@@ -1,0 +1,361 @@
+//! QPU calibration data: per-qubit coherence times and error rates, per-edge
+//! two-qubit gate errors, and the drift of all of these across calibration
+//! cycles (§2.1 and §3 of the paper: "noise models … vary across calibration
+//! cycles, leading to spatiotemporal performance variance").
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Calibration parameters of a single physical qubit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QubitCalibration {
+    /// Energy-relaxation time T1 in microseconds.
+    pub t1_us: f64,
+    /// Dephasing time T2 in microseconds.
+    pub t2_us: f64,
+    /// Single-qubit gate (SX/X) error probability.
+    pub gate_error: f64,
+    /// Readout (measurement) error probability.
+    pub readout_error: f64,
+    /// Single-qubit gate duration in nanoseconds.
+    pub gate_duration_ns: f64,
+    /// Readout duration in nanoseconds.
+    pub readout_duration_ns: f64,
+}
+
+impl QubitCalibration {
+    /// A "typical" IBM Falcon-era qubit.
+    pub fn typical() -> Self {
+        QubitCalibration {
+            t1_us: 100.0,
+            t2_us: 80.0,
+            gate_error: 3e-4,
+            readout_error: 1.5e-2,
+            gate_duration_ns: 35.0,
+            readout_duration_ns: 700.0,
+        }
+    }
+}
+
+/// Calibration parameters of a two-qubit gate on a coupling-map edge.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EdgeCalibration {
+    /// Two-qubit gate (CX/ECR/CZ) error probability.
+    pub gate_error: f64,
+    /// Two-qubit gate duration in nanoseconds.
+    pub gate_duration_ns: f64,
+}
+
+impl EdgeCalibration {
+    /// A "typical" IBM Falcon-era CX edge.
+    pub fn typical() -> Self {
+        EdgeCalibration { gate_error: 8e-3, gate_duration_ns: 400.0 }
+    }
+}
+
+/// A full calibration snapshot of a QPU at one calibration cycle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationData {
+    /// Per-qubit calibration, indexed by physical qubit.
+    pub qubits: Vec<QubitCalibration>,
+    /// Per-edge calibration, keyed by the canonical (min, max) qubit pair.
+    pub edges: BTreeMap<(u32, u32), EdgeCalibration>,
+    /// Monotonically increasing calibration-cycle counter.
+    pub cycle: u64,
+    /// Simulated wall-clock timestamp (seconds) at which this snapshot was taken.
+    pub timestamp_s: f64,
+}
+
+impl CalibrationData {
+    /// Number of calibrated qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.qubits.len()
+    }
+
+    /// Calibration for the edge `(a, b)` (order-insensitive), if the edge exists.
+    pub fn edge(&self, a: u32, b: u32) -> Option<&EdgeCalibration> {
+        self.edges.get(&(a.min(b), a.max(b)))
+    }
+
+    /// Average single-qubit gate error across all qubits.
+    pub fn mean_gate_error(&self) -> f64 {
+        mean(self.qubits.iter().map(|q| q.gate_error))
+    }
+
+    /// Average two-qubit gate error across all edges.
+    pub fn mean_two_qubit_error(&self) -> f64 {
+        mean(self.edges.values().map(|e| e.gate_error))
+    }
+
+    /// Average readout error across all qubits.
+    pub fn mean_readout_error(&self) -> f64 {
+        mean(self.qubits.iter().map(|q| q.readout_error))
+    }
+
+    /// Average T1 in microseconds.
+    pub fn mean_t1_us(&self) -> f64 {
+        mean(self.qubits.iter().map(|q| q.t1_us))
+    }
+
+    /// Average T2 in microseconds.
+    pub fn mean_t2_us(&self) -> f64 {
+        mean(self.qubits.iter().map(|q| q.t2_us))
+    }
+
+    /// Element-wise average of several calibration snapshots. Used to build the
+    /// *template QPUs* of §6 ("their calibration data are the average of all
+    /// available QPUs of that model").
+    ///
+    /// All snapshots must have the same number of qubits and edge set; the
+    /// cycle/timestamp of the first snapshot is kept.
+    pub fn average(snapshots: &[&CalibrationData]) -> CalibrationData {
+        assert!(!snapshots.is_empty(), "cannot average zero calibration snapshots");
+        let n = snapshots[0].qubits.len();
+        assert!(
+            snapshots.iter().all(|s| s.qubits.len() == n),
+            "all snapshots must have the same qubit count"
+        );
+        let k = snapshots.len() as f64;
+        let qubits = (0..n)
+            .map(|q| {
+                let mut acc = QubitCalibration {
+                    t1_us: 0.0,
+                    t2_us: 0.0,
+                    gate_error: 0.0,
+                    readout_error: 0.0,
+                    gate_duration_ns: 0.0,
+                    readout_duration_ns: 0.0,
+                };
+                for s in snapshots {
+                    let c = s.qubits[q];
+                    acc.t1_us += c.t1_us;
+                    acc.t2_us += c.t2_us;
+                    acc.gate_error += c.gate_error;
+                    acc.readout_error += c.readout_error;
+                    acc.gate_duration_ns += c.gate_duration_ns;
+                    acc.readout_duration_ns += c.readout_duration_ns;
+                }
+                QubitCalibration {
+                    t1_us: acc.t1_us / k,
+                    t2_us: acc.t2_us / k,
+                    gate_error: acc.gate_error / k,
+                    readout_error: acc.readout_error / k,
+                    gate_duration_ns: acc.gate_duration_ns / k,
+                    readout_duration_ns: acc.readout_duration_ns / k,
+                }
+            })
+            .collect();
+        let mut edges = BTreeMap::new();
+        for key in snapshots[0].edges.keys() {
+            let mut err = 0.0;
+            let mut dur = 0.0;
+            let mut count = 0.0;
+            for s in snapshots {
+                if let Some(e) = s.edges.get(key) {
+                    err += e.gate_error;
+                    dur += e.gate_duration_ns;
+                    count += 1.0;
+                }
+            }
+            if count > 0.0 {
+                edges.insert(*key, EdgeCalibration { gate_error: err / count, gate_duration_ns: dur / count });
+            }
+        }
+        CalibrationData {
+            qubits,
+            edges,
+            cycle: snapshots[0].cycle,
+            timestamp_s: snapshots[0].timestamp_s,
+        }
+    }
+}
+
+fn mean(iter: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in iter {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Generator of realistic calibration snapshots and their drift over time.
+///
+/// `quality` scales error rates: 1.0 is a typical device, values < 1.0 are
+/// better-than-typical devices, values > 1.0 are noisier devices. This is how
+/// the named fleet reproduces the spatial fidelity variance of Figure 2(b).
+#[derive(Debug, Clone, Copy)]
+pub struct CalibrationGenerator {
+    /// Error-rate scale factor of the device (lower is better).
+    pub quality: f64,
+    /// Relative spread of per-qubit parameters around the device mean.
+    pub spread: f64,
+    /// Relative magnitude of drift applied at each new calibration cycle.
+    pub drift: f64,
+}
+
+impl Default for CalibrationGenerator {
+    fn default() -> Self {
+        CalibrationGenerator { quality: 1.0, spread: 0.35, drift: 0.15 }
+    }
+}
+
+impl CalibrationGenerator {
+    /// Create a generator with a given device quality factor.
+    pub fn with_quality(quality: f64) -> Self {
+        CalibrationGenerator { quality, ..Default::default() }
+    }
+
+    /// Generate an initial calibration snapshot for `num_qubits` qubits and the
+    /// given coupling-map `edges`.
+    pub fn generate<R: Rng + ?Sized>(
+        &self,
+        num_qubits: u32,
+        edges: &[(u32, u32)],
+        rng: &mut R,
+    ) -> CalibrationData {
+        let typical = QubitCalibration::typical();
+        let typical_edge = EdgeCalibration::typical();
+        let qubits = (0..num_qubits)
+            .map(|_| QubitCalibration {
+                t1_us: (typical.t1_us / self.quality) * self.jitter(rng),
+                t2_us: (typical.t2_us / self.quality) * self.jitter(rng),
+                gate_error: (typical.gate_error * self.quality) * self.jitter(rng),
+                readout_error: (typical.readout_error * self.quality) * self.jitter(rng),
+                gate_duration_ns: typical.gate_duration_ns * self.jitter_small(rng),
+                readout_duration_ns: typical.readout_duration_ns * self.jitter_small(rng),
+            })
+            .collect();
+        let edges = edges
+            .iter()
+            .map(|&(a, b)| {
+                (
+                    (a.min(b), a.max(b)),
+                    EdgeCalibration {
+                        gate_error: (typical_edge.gate_error * self.quality) * self.jitter(rng),
+                        gate_duration_ns: typical_edge.gate_duration_ns * self.jitter_small(rng),
+                    },
+                )
+            })
+            .collect();
+        CalibrationData { qubits, edges, cycle: 0, timestamp_s: 0.0 }
+    }
+
+    /// Produce the next calibration cycle from `previous`: every parameter takes
+    /// a bounded multiplicative random walk step, modelling the unpredictable
+    /// fluctuation between calibration cycles reported by the paper.
+    pub fn drift_cycle<R: Rng + ?Sized>(
+        &self,
+        previous: &CalibrationData,
+        timestamp_s: f64,
+        rng: &mut R,
+    ) -> CalibrationData {
+        let step = |v: f64, rng: &mut R| -> f64 { v * (1.0 + rng.gen_range(-self.drift..self.drift)) };
+        let qubits = previous
+            .qubits
+            .iter()
+            .map(|q| QubitCalibration {
+                t1_us: step(q.t1_us, rng).max(1.0),
+                t2_us: step(q.t2_us, rng).max(1.0),
+                gate_error: step(q.gate_error, rng).clamp(1e-6, 0.5),
+                readout_error: step(q.readout_error, rng).clamp(1e-5, 0.5),
+                gate_duration_ns: q.gate_duration_ns,
+                readout_duration_ns: q.readout_duration_ns,
+            })
+            .collect();
+        let edges = previous
+            .edges
+            .iter()
+            .map(|(&k, e)| {
+                (
+                    k,
+                    EdgeCalibration {
+                        gate_error: step(e.gate_error, rng).clamp(1e-5, 0.8),
+                        gate_duration_ns: e.gate_duration_ns,
+                    },
+                )
+            })
+            .collect();
+        CalibrationData { qubits, edges, cycle: previous.cycle + 1, timestamp_s }
+    }
+
+    fn jitter<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        1.0 + rng.gen_range(-self.spread..self.spread)
+    }
+
+    fn jitter_small<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        1.0 + rng.gen_range(-0.05..0.05)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn linear_edges(n: u32) -> Vec<(u32, u32)> {
+        (0..n - 1).map(|q| (q, q + 1)).collect()
+    }
+
+    #[test]
+    fn generated_calibration_has_expected_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cal = CalibrationGenerator::default().generate(5, &linear_edges(5), &mut rng);
+        assert_eq!(cal.num_qubits(), 5);
+        assert_eq!(cal.edges.len(), 4);
+        assert!(cal.edge(1, 2).is_some());
+        assert!(cal.edge(2, 1).is_some(), "edge lookup must be order-insensitive");
+        assert!(cal.edge(0, 4).is_none());
+    }
+
+    #[test]
+    fn quality_factor_scales_errors() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let edges = linear_edges(20);
+        let good = CalibrationGenerator::with_quality(0.5).generate(20, &edges, &mut rng);
+        let bad = CalibrationGenerator::with_quality(2.0).generate(20, &edges, &mut rng);
+        assert!(good.mean_two_qubit_error() < bad.mean_two_qubit_error());
+        assert!(good.mean_readout_error() < bad.mean_readout_error());
+        assert!(good.mean_t1_us() > bad.mean_t1_us());
+    }
+
+    #[test]
+    fn drift_changes_values_but_preserves_shape() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let gen = CalibrationGenerator::default();
+        let c0 = gen.generate(8, &linear_edges(8), &mut rng);
+        let c1 = gen.drift_cycle(&c0, 3600.0, &mut rng);
+        assert_eq!(c1.cycle, 1);
+        assert_eq!(c1.num_qubits(), c0.num_qubits());
+        assert_eq!(c1.edges.len(), c0.edges.len());
+        assert_ne!(c0.mean_two_qubit_error(), c1.mean_two_qubit_error());
+        // Drift is bounded: no error escapes its clamp range.
+        assert!(c1.qubits.iter().all(|q| q.gate_error <= 0.5 && q.gate_error >= 1e-6));
+    }
+
+    #[test]
+    fn average_is_element_wise_mean() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let gen = CalibrationGenerator::default();
+        let a = gen.generate(4, &linear_edges(4), &mut rng);
+        let b = gen.generate(4, &linear_edges(4), &mut rng);
+        let avg = CalibrationData::average(&[&a, &b]);
+        let expected = (a.qubits[0].t1_us + b.qubits[0].t1_us) / 2.0;
+        assert!((avg.qubits[0].t1_us - expected).abs() < 1e-9);
+        let e_expected = (a.edge(0, 1).unwrap().gate_error + b.edge(0, 1).unwrap().gate_error) / 2.0;
+        assert!((avg.edge(0, 1).unwrap().gate_error - e_expected).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn average_of_nothing_panics() {
+        CalibrationData::average(&[]);
+    }
+}

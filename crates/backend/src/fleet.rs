@@ -1,0 +1,213 @@
+//! Named QPU fleets replicating the IBM Quantum devices used in the paper's
+//! evaluation (§8): the 27-qubit Falcons (cairo, hanoi, kolkata, mumbai,
+//! algiers, auckland), the 16-qubit guadalupe, and the 7-qubit lagos / nairobi.
+//!
+//! Device *quality factors* are chosen so that the spatial fidelity variance of
+//! Figure 2(b) (≈38% best-to-worst spread on a 12-qubit GHZ circuit) is
+//! reproduced, with auckland the best device and algiers the worst.
+
+use crate::qpu::{Qpu, QpuModel, TemplateQpu};
+use crate::queue::JobQueue;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A QPU plus its job queue — one entry of the simulated quantum cluster.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetMember {
+    /// The device.
+    pub qpu: Qpu,
+    /// The device's job queue (simulated time flow).
+    pub queue: JobQueue,
+}
+
+/// A collection of QPUs forming the quantum side of the hybrid cluster.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Fleet {
+    members: Vec<FleetMember>,
+}
+
+/// `(name, quality, model)` specification of the default 8-QPU evaluation fleet.
+/// Lower quality value = better device. The ordering of qualities reproduces the
+/// Fig. 2(b) fidelity ordering: auckland > hanoi > cairo > hanoi… etc.
+fn default_fleet_spec() -> Vec<(&'static str, f64, QpuModel)> {
+    vec![
+        ("auckland", 0.70, QpuModel::falcon_27()),
+        ("hanoi", 0.85, QpuModel::falcon_27()),
+        ("cairo", 1.00, QpuModel::falcon_27()),
+        ("kolkata", 1.20, QpuModel::falcon_27()),
+        ("mumbai", 1.25, QpuModel::falcon_27()),
+        ("algiers", 1.40, QpuModel::falcon_27()),
+        ("guadalupe", 1.10, QpuModel::falcon_16()),
+        ("lagos", 0.95, QpuModel::falcon_7()),
+    ]
+}
+
+impl Fleet {
+    /// The default 8-QPU fleet used by the end-to-end evaluation (Figures 6, 8).
+    pub fn ibm_default<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let members = default_fleet_spec()
+            .into_iter()
+            .map(|(name, quality, model)| FleetMember {
+                qpu: Qpu::new(format!("ibm_{name}"), model, quality, rng),
+                queue: JobQueue::new(),
+            })
+            .collect();
+        Fleet { members }
+    }
+
+    /// The six 27-qubit Falcons of the Figure 2(b) spatial-variance experiment.
+    pub fn falcon_six<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let members = default_fleet_spec()
+            .into_iter()
+            .filter(|(_, _, m)| m.num_qubits() == 27)
+            .map(|(name, quality, model)| FleetMember {
+                qpu: Qpu::new(format!("ibm_{name}"), model, quality, rng),
+                queue: JobQueue::new(),
+            })
+            .collect();
+        Fleet { members }
+    }
+
+    /// A scaled fleet of `n` 27-qubit devices with qualities interpolated over
+    /// the default range — used by the cluster-size scalability study (Fig. 9a/9c).
+    pub fn scaled<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        assert!(n >= 1);
+        let members = (0..n)
+            .map(|i| {
+                let quality = 0.7 + 0.7 * (i as f64 / n.max(2) as f64);
+                FleetMember {
+                    qpu: Qpu::new(format!("qpu_{i:02}"), QpuModel::falcon_27(), quality, rng),
+                    queue: JobQueue::new(),
+                }
+            })
+            .collect();
+        Fleet { members }
+    }
+
+    /// Build a fleet from explicit members.
+    pub fn from_members(members: Vec<FleetMember>) -> Self {
+        Fleet { members }
+    }
+
+    /// Number of QPUs in the fleet.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` if the fleet has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// All members.
+    pub fn members(&self) -> &[FleetMember] {
+        &self.members
+    }
+
+    /// Mutable access to all members.
+    pub fn members_mut(&mut self) -> &mut [FleetMember] {
+        &mut self.members
+    }
+
+    /// Member by device name.
+    pub fn by_name(&self, name: &str) -> Option<&FleetMember> {
+        self.members.iter().find(|m| m.qpu.name == name)
+    }
+
+    /// Mutable member by device name.
+    pub fn by_name_mut(&mut self, name: &str) -> Option<&mut FleetMember> {
+        self.members.iter_mut().find(|m| m.qpu.name == name)
+    }
+
+    /// Template QPUs (one per model) over the fleet.
+    pub fn template_qpus(&self) -> Vec<TemplateQpu> {
+        let devices: Vec<Qpu> = self.members.iter().map(|m| m.qpu.clone()).collect();
+        TemplateQpu::from_devices(&devices)
+    }
+
+    /// Largest QPU size in the fleet.
+    pub fn max_qubits(&self) -> u32 {
+        self.members.iter().map(|m| m.qpu.num_qubits()).max().unwrap_or(0)
+    }
+
+    /// Advance every member's queue to `target_s` and recalibrate devices whose
+    /// calibration period elapsed.
+    pub fn advance_to<R: Rng + ?Sized>(&mut self, target_s: f64, rng: &mut R) {
+        for m in &mut self.members {
+            m.queue.advance_to(target_s);
+            let due = m.qpu.calibration.timestamp_s + m.qpu.calibration_period_s;
+            if target_s >= due {
+                m.qpu.recalibrate(target_s, rng);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_fleet_has_eight_named_devices() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let fleet = Fleet::ibm_default(&mut rng);
+        assert_eq!(fleet.len(), 8);
+        assert!(fleet.by_name("ibm_auckland").is_some());
+        assert!(fleet.by_name("ibm_algiers").is_some());
+        assert!(fleet.by_name("ibm_lagos").is_some());
+        assert!(fleet.by_name("does_not_exist").is_none());
+        assert_eq!(fleet.max_qubits(), 27);
+    }
+
+    #[test]
+    fn falcon_six_are_all_27_qubits() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let fleet = Fleet::falcon_six(&mut rng);
+        assert_eq!(fleet.len(), 6);
+        assert!(fleet.members().iter().all(|m| m.qpu.num_qubits() == 27));
+    }
+
+    #[test]
+    fn quality_ordering_reflected_in_calibration() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let fleet = Fleet::falcon_six(&mut rng);
+        let best = fleet.by_name("ibm_auckland").unwrap();
+        let worst = fleet.by_name("ibm_algiers").unwrap();
+        assert!(
+            best.qpu.calibration.mean_two_qubit_error() < worst.qpu.calibration.mean_two_qubit_error()
+        );
+    }
+
+    #[test]
+    fn scaled_fleet_sizes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for n in [4usize, 8, 16] {
+            let fleet = Fleet::scaled(n, &mut rng);
+            assert_eq!(fleet.len(), n);
+        }
+    }
+
+    #[test]
+    fn template_qpus_cover_models() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let fleet = Fleet::ibm_default(&mut rng);
+        let templates = fleet.template_qpus();
+        // Three models in the default fleet: falcon-27, falcon-16, falcon-7.
+        assert_eq!(templates.len(), 3);
+        let t27 = templates.iter().find(|t| t.num_qubits() == 27).unwrap();
+        assert_eq!(t27.member_devices.len(), 6);
+    }
+
+    #[test]
+    fn advance_recalibrates_after_period() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut fleet = Fleet::ibm_default(&mut rng);
+        let before_cycle = fleet.members()[0].qpu.calibration.cycle;
+        fleet.advance_to(100.0, &mut rng);
+        assert_eq!(fleet.members()[0].qpu.calibration.cycle, before_cycle);
+        fleet.advance_to(4000.0, &mut rng);
+        assert_eq!(fleet.members()[0].qpu.calibration.cycle, before_cycle + 1);
+    }
+}

@@ -1,0 +1,233 @@
+//! Noise model derived from calibration data.
+//!
+//! The model captures the error channels of §2.1: stochastic gate (Pauli)
+//! errors, decoherence-induced damping over the circuit duration (T1/T2), and
+//! readout errors. It drives both the noisy simulator and the analytic
+//! estimated-success-probability (ESP) fidelity model used for wide circuits
+//! and by the numerical baseline estimator.
+
+use crate::calibration::CalibrationData;
+use qonductor_circuit::{Circuit, Gate};
+use serde::{Deserialize, Serialize};
+
+/// A calibration-derived noise model for one QPU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NoiseModel {
+    calibration: CalibrationData,
+}
+
+impl NoiseModel {
+    /// Build a noise model from a calibration snapshot.
+    pub fn new(calibration: CalibrationData) -> Self {
+        NoiseModel { calibration }
+    }
+
+    /// The underlying calibration snapshot.
+    pub fn calibration(&self) -> &CalibrationData {
+        &self.calibration
+    }
+
+    /// Error probability of a single-qubit gate on physical qubit `q`.
+    /// Virtual gates (RZ, barriers) are error-free.
+    pub fn one_qubit_error(&self, q: u32) -> f64 {
+        self.calibration
+            .qubits
+            .get(q as usize)
+            .map(|c| c.gate_error)
+            .unwrap_or_else(|| self.calibration.mean_gate_error())
+    }
+
+    /// Error probability of a two-qubit gate on the edge `(a, b)`. If the edge
+    /// is not calibrated (e.g. the circuit was not routed to this device), the
+    /// device-mean two-qubit error inflated by the coupling distance is used.
+    pub fn two_qubit_error(&self, a: u32, b: u32) -> f64 {
+        match self.calibration.edge(a, b) {
+            Some(e) => e.gate_error,
+            None => (self.calibration.mean_two_qubit_error() * 1.5).min(0.9),
+        }
+    }
+
+    /// Readout error probability of qubit `q`.
+    pub fn readout_error(&self, q: u32) -> f64 {
+        self.calibration
+            .qubits
+            .get(q as usize)
+            .map(|c| c.readout_error)
+            .unwrap_or_else(|| self.calibration.mean_readout_error())
+    }
+
+    /// Probability that an instruction introduces an error.
+    pub fn instruction_error(&self, gate: Gate, q0: u32, q1: u32) -> f64 {
+        if gate.is_virtual() {
+            return 0.0;
+        }
+        match gate {
+            Gate::Measure => self.readout_error(q0),
+            Gate::Delay(_) => 0.0,
+            g if g.is_two_qubit() => self.two_qubit_error(q0, q1),
+            _ => self.one_qubit_error(q0),
+        }
+    }
+
+    /// Duration of an instruction in nanoseconds according to the calibration.
+    /// SWAP gates count as three CX durations (their standard decomposition).
+    pub fn instruction_duration_ns(&self, gate: Gate, q0: u32, q1: u32) -> f64 {
+        let qubit = |q: u32| {
+            self.calibration
+                .qubits
+                .get(q as usize)
+                .copied()
+                .unwrap_or_else(crate::calibration::QubitCalibration::typical)
+        };
+        match gate {
+            Gate::Barrier | Gate::RZ(_) | Gate::Id => 0.0,
+            Gate::Delay(ns) => ns,
+            Gate::Measure => qubit(q0).readout_duration_ns,
+            g if g.is_two_qubit() => {
+                let d = self
+                    .calibration
+                    .edge(q0, q1)
+                    .map(|e| e.gate_duration_ns)
+                    .unwrap_or_else(|| crate::calibration::EdgeCalibration::typical().gate_duration_ns);
+                if matches!(g, Gate::Swap) {
+                    3.0 * d
+                } else {
+                    d
+                }
+            }
+            _ => qubit(q0).gate_duration_ns,
+        }
+    }
+
+    /// Estimated total execution duration of one shot of `circuit` in
+    /// nanoseconds: the critical-path sum of instruction durations.
+    pub fn circuit_duration_ns(&self, circuit: &Circuit) -> f64 {
+        let n = circuit.num_qubits() as usize;
+        let mut finish = vec![0.0f64; n];
+        for instr in circuit.instructions() {
+            if instr.gate == Gate::Barrier {
+                let m = finish.iter().cloned().fold(0.0, f64::max);
+                for f in finish.iter_mut() {
+                    *f = m;
+                }
+                continue;
+            }
+            let d = self.instruction_duration_ns(instr.gate, instr.q0, instr.q1);
+            let q0 = instr.q0 as usize;
+            if instr.gate.is_two_qubit() {
+                let q1 = instr.q1 as usize;
+                let start = finish[q0].max(finish[q1]);
+                finish[q0] = start + d;
+                finish[q1] = start + d;
+            } else {
+                finish[q0] += d;
+            }
+        }
+        finish.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Decoherence survival factor for a qubit idling (or operating) for
+    /// `duration_ns`: `exp(-t/T1) · exp(-t/T2)` combined as the standard
+    /// approximation `exp(-t·(1/T1 + 1/T2)/2)` on the damping envelope.
+    pub fn decoherence_factor(&self, q: u32, duration_ns: f64) -> f64 {
+        let cal = self
+            .calibration
+            .qubits
+            .get(q as usize)
+            .copied()
+            .unwrap_or_else(crate::calibration::QubitCalibration::typical);
+        let t_us = duration_ns / 1000.0;
+        let rate = 0.5 * (1.0 / cal.t1_us + 1.0 / cal.t2_us);
+        (-t_us * rate).exp()
+    }
+
+    /// Analytic estimated success probability (ESP) of a circuit on this
+    /// device: the product of per-instruction success probabilities and the
+    /// per-qubit decoherence survival over the circuit duration.
+    ///
+    /// This is the scalable fidelity proxy used for circuits too wide for the
+    /// statevector simulator and by the numerical baseline of Figure 7(b).
+    pub fn estimated_success_probability(&self, circuit: &Circuit) -> f64 {
+        let mut esp = 1.0f64;
+        for instr in circuit.instructions() {
+            let p_err = self.instruction_error(instr.gate, instr.q0, instr.q1);
+            esp *= 1.0 - p_err;
+        }
+        let duration = self.circuit_duration_ns(circuit);
+        for &q in circuit.active_qubits().iter() {
+            esp *= self.decoherence_factor(q, duration * 0.5);
+        }
+        esp.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::CalibrationGenerator;
+    use qonductor_circuit::generators::ghz;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model(n: u32, quality: f64, seed: u64) -> NoiseModel {
+        let edges: Vec<(u32, u32)> = (0..n - 1).map(|q| (q, q + 1)).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        NoiseModel::new(CalibrationGenerator::with_quality(quality).generate(n, &edges, &mut rng))
+    }
+
+    #[test]
+    fn virtual_gates_are_error_free() {
+        let m = model(4, 1.0, 1);
+        assert_eq!(m.instruction_error(Gate::RZ(0.3), 0, u32::MAX), 0.0);
+        assert_eq!(m.instruction_error(Gate::Barrier, 0, u32::MAX), 0.0);
+        assert!(m.instruction_error(Gate::CX, 0, 1) > 0.0);
+    }
+
+    #[test]
+    fn esp_decreases_with_circuit_size() {
+        let m = model(20, 1.0, 2);
+        let small = m.estimated_success_probability(&ghz(4));
+        let large = m.estimated_success_probability(&ghz(16));
+        assert!(small > large, "small={small} large={large}");
+        assert!(small <= 1.0 && large >= 0.0);
+    }
+
+    #[test]
+    fn esp_decreases_with_device_quality() {
+        let good = model(12, 0.5, 3).estimated_success_probability(&ghz(12));
+        let bad = model(12, 3.0, 3).estimated_success_probability(&ghz(12));
+        assert!(good > bad, "good={good} bad={bad}");
+    }
+
+    #[test]
+    fn duration_accumulates_on_critical_path() {
+        let m = model(3, 1.0, 4);
+        let mut c = Circuit::new(3);
+        c.x(0);
+        let d1 = m.circuit_duration_ns(&c);
+        c.cx(0, 1);
+        let d2 = m.circuit_duration_ns(&c);
+        assert!(d2 > d1);
+        // A gate on an independent qubit does not extend the critical path when
+        // it is shorter than the existing one.
+        c.x(2);
+        let d3 = m.circuit_duration_ns(&c);
+        assert!((d3 - d2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn swap_costs_three_cx() {
+        let m = model(3, 1.0, 5);
+        let cx = m.instruction_duration_ns(Gate::CX, 0, 1);
+        let swap = m.instruction_duration_ns(Gate::Swap, 0, 1);
+        assert!((swap - 3.0 * cx).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decoherence_factor_bounds() {
+        let m = model(2, 1.0, 6);
+        assert!((m.decoherence_factor(0, 0.0) - 1.0).abs() < 1e-12);
+        let f = m.decoherence_factor(0, 1_000_000.0); // 1 ms ≫ T1
+        assert!(f < 0.01);
+    }
+}

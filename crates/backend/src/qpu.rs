@@ -1,0 +1,271 @@
+//! QPU device models, technologies, and the *template QPUs* used by the
+//! resource estimator (§6: a template QPU adopts the basis gate set and
+//! coupling map of a QPU model, with calibration data averaged over all
+//! devices of that model).
+
+use crate::calibration::{CalibrationData, CalibrationGenerator};
+use crate::noise::NoiseModel;
+use crate::topology::CouplingMap;
+use qonductor_circuit::Gate;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Quantum hardware technology families (§2.2 heterogeneity dimension 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QpuTechnology {
+    /// Superconducting transmon devices (IBM, Google).
+    Superconducting,
+    /// Trapped-ion devices (IonQ, Quantinuum) — all-to-all connectivity,
+    /// slower gates, higher fidelity.
+    TrappedIon,
+    /// Neutral-atom devices (QuEra, Pasqal).
+    NeutralAtom,
+}
+
+/// A QPU *model* (architecture family): basis gates, coupling map, technology.
+/// Multiple physical devices share one model (heterogeneity dimension 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QpuModel {
+    /// Model name, e.g. "falcon-r5.11".
+    pub name: String,
+    /// Hardware technology.
+    pub technology: QpuTechnology,
+    /// Qubit connectivity.
+    pub coupling_map: CouplingMap,
+    /// Native basis gates (canonical lowercase gate names).
+    pub basis_gates: Vec<String>,
+}
+
+impl QpuModel {
+    /// IBM Falcon-style 27-qubit superconducting model.
+    pub fn falcon_27() -> Self {
+        QpuModel {
+            name: "falcon-r5.11".into(),
+            technology: QpuTechnology::Superconducting,
+            coupling_map: CouplingMap::heavy_hex_27(),
+            basis_gates: vec!["rz".into(), "sx".into(), "x".into(), "cx".into()],
+        }
+    }
+
+    /// IBM Falcon-style 16-qubit superconducting model (Guadalupe class).
+    pub fn falcon_16() -> Self {
+        QpuModel {
+            name: "falcon-r4p".into(),
+            technology: QpuTechnology::Superconducting,
+            coupling_map: CouplingMap::heavy_hex_16(),
+            basis_gates: vec!["rz".into(), "sx".into(), "x".into(), "cx".into()],
+        }
+    }
+
+    /// IBM Falcon-style 7-qubit superconducting model (Lagos/Nairobi class).
+    pub fn falcon_7() -> Self {
+        QpuModel {
+            name: "falcon-r5.11h".into(),
+            technology: QpuTechnology::Superconducting,
+            coupling_map: CouplingMap::heavy_hex_7(),
+            basis_gates: vec!["rz".into(), "sx".into(), "x".into(), "cx".into()],
+        }
+    }
+
+    /// Trapped-ion model with all-to-all connectivity over `n` qubits.
+    pub fn trapped_ion(n: u32) -> Self {
+        QpuModel {
+            name: format!("ion-{n}"),
+            technology: QpuTechnology::TrappedIon,
+            coupling_map: CouplingMap::full(n),
+            basis_gates: vec!["rz".into(), "rx".into(), "ry".into(), "rzz".into()],
+        }
+    }
+
+    /// Number of qubits of this model.
+    pub fn num_qubits(&self) -> u32 {
+        self.coupling_map.num_qubits()
+    }
+
+    /// `true` if `gate` is native on this model.
+    pub fn is_native(&self, gate: Gate) -> bool {
+        match gate {
+            Gate::Measure | Gate::Barrier | Gate::Delay(_) | Gate::Id => true,
+            g => self.basis_gates.iter().any(|b| b == g.name()),
+        }
+    }
+}
+
+/// A physical QPU: a named instance of a model with its own calibration history.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Qpu {
+    /// Device name, e.g. "ibm_cairo".
+    pub name: String,
+    /// Architecture model.
+    pub model: QpuModel,
+    /// Current calibration snapshot.
+    pub calibration: CalibrationData,
+    /// Device quality factor used when regenerating calibration (lower = better).
+    pub quality: f64,
+    /// Seconds between calibration cycles (IBM devices calibrate roughly daily;
+    /// the simulation default is hourly to exercise crossovers).
+    pub calibration_period_s: f64,
+}
+
+impl Qpu {
+    /// Create a QPU of the given model with freshly generated calibration data.
+    pub fn new<R: Rng + ?Sized>(
+        name: impl Into<String>,
+        model: QpuModel,
+        quality: f64,
+        rng: &mut R,
+    ) -> Self {
+        let calibration = CalibrationGenerator::with_quality(quality).generate(
+            model.num_qubits(),
+            model.coupling_map.edges(),
+            rng,
+        );
+        Qpu {
+            name: name.into(),
+            model,
+            calibration,
+            quality,
+            calibration_period_s: 3600.0,
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> u32 {
+        self.model.num_qubits()
+    }
+
+    /// The noise model induced by the current calibration.
+    pub fn noise_model(&self) -> NoiseModel {
+        NoiseModel::new(self.calibration.clone())
+    }
+
+    /// Advance to the next calibration cycle (drifting all parameters).
+    pub fn recalibrate<R: Rng + ?Sized>(&mut self, timestamp_s: f64, rng: &mut R) {
+        let gen = CalibrationGenerator { quality: self.quality, ..Default::default() };
+        self.calibration = gen.drift_cycle(&self.calibration, timestamp_s, rng);
+    }
+
+    /// Timestamp (seconds) of the next calibration cycle boundary after `now_s`.
+    pub fn next_calibration_after(&self, now_s: f64) -> f64 {
+        let period = self.calibration_period_s;
+        (now_s / period).floor() * period + period
+    }
+}
+
+/// A template QPU: one per model, carrying the model's coupling map / basis
+/// gates and the *average* calibration over all devices of that model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TemplateQpu {
+    /// The represented model.
+    pub model: QpuModel,
+    /// Averaged calibration data.
+    pub calibration: CalibrationData,
+    /// Names of the devices averaged into this template.
+    pub member_devices: Vec<String>,
+}
+
+impl TemplateQpu {
+    /// Build the template QPUs for a set of devices, grouping by model name.
+    pub fn from_devices(devices: &[Qpu]) -> Vec<TemplateQpu> {
+        let mut by_model: Vec<(String, Vec<&Qpu>)> = Vec::new();
+        for d in devices {
+            match by_model.iter_mut().find(|(name, _)| *name == d.model.name) {
+                Some((_, group)) => group.push(d),
+                None => by_model.push((d.model.name.clone(), vec![d])),
+            }
+        }
+        by_model
+            .into_iter()
+            .map(|(_, group)| {
+                let snapshots: Vec<&CalibrationData> = group.iter().map(|d| &d.calibration).collect();
+                TemplateQpu {
+                    model: group[0].model.clone(),
+                    calibration: CalibrationData::average(&snapshots),
+                    member_devices: group.iter().map(|d| d.name.clone()).collect(),
+                }
+            })
+            .collect()
+    }
+
+    /// Noise model induced by the averaged calibration.
+    pub fn noise_model(&self) -> NoiseModel {
+        NoiseModel::new(self.calibration.clone())
+    }
+
+    /// Number of qubits of the template's model.
+    pub fn num_qubits(&self) -> u32 {
+        self.model.num_qubits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn falcon_models_have_expected_sizes() {
+        assert_eq!(QpuModel::falcon_27().num_qubits(), 27);
+        assert_eq!(QpuModel::falcon_16().num_qubits(), 16);
+        assert_eq!(QpuModel::falcon_7().num_qubits(), 7);
+    }
+
+    #[test]
+    fn basis_gate_membership() {
+        let m = QpuModel::falcon_27();
+        assert!(m.is_native(Gate::CX));
+        assert!(m.is_native(Gate::RZ(0.4)));
+        assert!(m.is_native(Gate::Measure));
+        assert!(!m.is_native(Gate::H));
+        assert!(!m.is_native(Gate::RZZ(0.4)));
+        let ion = QpuModel::trapped_ion(11);
+        assert!(ion.is_native(Gate::RZZ(0.4)));
+        assert!(!ion.is_native(Gate::CX));
+    }
+
+    #[test]
+    fn qpu_calibration_matches_topology() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let qpu = Qpu::new("ibm_test", QpuModel::falcon_27(), 1.0, &mut rng);
+        assert_eq!(qpu.calibration.num_qubits(), 27);
+        assert_eq!(qpu.calibration.edges.len(), qpu.model.coupling_map.edges().len());
+    }
+
+    #[test]
+    fn recalibration_advances_cycle() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut qpu = Qpu::new("ibm_test", QpuModel::falcon_7(), 1.0, &mut rng);
+        let before = qpu.calibration.clone();
+        qpu.recalibrate(3600.0, &mut rng);
+        assert_eq!(qpu.calibration.cycle, before.cycle + 1);
+        assert_ne!(qpu.calibration.mean_two_qubit_error(), before.mean_two_qubit_error());
+    }
+
+    #[test]
+    fn next_calibration_boundary() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let qpu = Qpu::new("ibm_test", QpuModel::falcon_7(), 1.0, &mut rng);
+        assert_eq!(qpu.next_calibration_after(0.0), 3600.0);
+        assert_eq!(qpu.next_calibration_after(100.0), 3600.0);
+        assert_eq!(qpu.next_calibration_after(3600.0), 7200.0);
+    }
+
+    #[test]
+    fn template_qpus_group_by_model_and_average() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let devices = vec![
+            Qpu::new("ibm_a", QpuModel::falcon_27(), 0.8, &mut rng),
+            Qpu::new("ibm_b", QpuModel::falcon_27(), 1.4, &mut rng),
+            Qpu::new("ibm_c", QpuModel::falcon_7(), 1.0, &mut rng),
+        ];
+        let templates = TemplateQpu::from_devices(&devices);
+        assert_eq!(templates.len(), 2);
+        let t27 = templates.iter().find(|t| t.num_qubits() == 27).unwrap();
+        assert_eq!(t27.member_devices.len(), 2);
+        let expected = (devices[0].calibration.mean_two_qubit_error()
+            + devices[1].calibration.mean_two_qubit_error())
+            / 2.0;
+        assert!((t27.calibration.mean_two_qubit_error() - expected).abs() < 1e-9);
+    }
+}

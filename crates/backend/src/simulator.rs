@@ -1,0 +1,564 @@
+//! Noisy circuit execution on modelled QPUs.
+//!
+//! Two fidelity paths are provided, mirroring how the paper's evaluation
+//! operates at two scales:
+//!
+//! * **Statevector + Monte-Carlo Pauli trajectories** — exact ideal
+//!   distribution plus stochastic error injection, used for narrow circuits
+//!   (the GHZ-12 spatial-variance experiment of Fig. 2b, unit tests, and the
+//!   resource-estimator training set). Fidelity is the Hellinger fidelity
+//!   between the ideal and the noisy distribution, exactly as in the paper.
+//! * **Analytic ESP** — the estimated-success-probability model derived from
+//!   calibration data, used for circuits too wide to simulate (up to the
+//!   130-qubit benchmarks) and for the high-throughput cloud simulation.
+
+use crate::hellinger::{hellinger_fidelity, Distribution};
+use crate::math::C64;
+use crate::noise::NoiseModel;
+use qonductor_circuit::{Circuit, Gate, Instruction, NO_OPERAND};
+use rand::Rng;
+
+/// How `execute` should obtain the fidelity of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FidelityMode {
+    /// Statevector + trajectory sampling when the circuit is narrow enough,
+    /// analytic ESP otherwise.
+    Auto,
+    /// Always use the analytic ESP model (fast, any width).
+    Analytic,
+    /// Always use trajectory simulation (panics if the circuit is too wide).
+    Trajectory,
+}
+
+/// Result of executing a circuit on a modelled QPU.
+#[derive(Debug, Clone)]
+pub struct ExecutionResult {
+    /// Sampled measurement counts (empty when the analytic path was used).
+    pub counts: Distribution,
+    /// Execution fidelity in [0, 1].
+    pub fidelity: f64,
+    /// Quantum execution time for all shots, in nanoseconds.
+    pub duration_ns: f64,
+    /// Number of shots executed.
+    pub shots: u32,
+}
+
+/// Configurable noisy-execution engine.
+#[derive(Debug, Clone, Copy)]
+pub struct Simulator {
+    /// Maximum circuit width (active qubits) for the statevector path.
+    pub max_statevector_qubits: u32,
+    /// Number of Monte-Carlo noise trajectories sampled on the statevector path.
+    pub trajectories: usize,
+    /// Fidelity path selection.
+    pub mode: FidelityMode,
+    /// Per-shot repetition/reset overhead in nanoseconds (added to each shot).
+    pub shot_overhead_ns: f64,
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Simulator {
+            max_statevector_qubits: 14,
+            trajectories: 128,
+            mode: FidelityMode::Auto,
+            shot_overhead_ns: 1_000.0,
+        }
+    }
+}
+
+impl Simulator {
+    /// A simulator that always takes the fast analytic path (used by the cloud
+    /// simulation, which executes hundreds of thousands of jobs).
+    pub fn analytic() -> Self {
+        Simulator { mode: FidelityMode::Analytic, ..Default::default() }
+    }
+
+    /// Exact measurement-outcome distribution of the noiseless circuit.
+    ///
+    /// The circuit is first compacted onto its active qubits; it must use at
+    /// most [`Self::max_statevector_qubits`] of them.
+    pub fn ideal_distribution(&self, circuit: &Circuit) -> Distribution {
+        let (compact, _map) = compact_circuit(circuit);
+        assert!(
+            compact.num_qubits() <= self.max_statevector_qubits,
+            "circuit too wide for the statevector simulator ({} > {})",
+            compact.num_qubits(),
+            self.max_statevector_qubits
+        );
+        let mut state = Statevector::new(compact.num_qubits());
+        for instr in compact.instructions() {
+            if instr.gate.is_unitary() {
+                state.apply(instr);
+            }
+        }
+        state.measurement_distribution(&measurement_map(&compact))
+    }
+
+    /// Sample noisy measurement counts with Monte-Carlo Pauli-error trajectories.
+    pub fn noisy_counts<R: Rng + ?Sized>(
+        &self,
+        circuit: &Circuit,
+        noise: &NoiseModel,
+        shots: u32,
+        rng: &mut R,
+    ) -> Distribution {
+        let (compact, qubit_map) = compact_circuit(circuit);
+        assert!(
+            compact.num_qubits() <= self.max_statevector_qubits,
+            "circuit too wide for the statevector simulator"
+        );
+        let meas = measurement_map(&compact);
+        let trajectories = self.trajectories.min(shots as usize).max(1);
+        let shots_per_traj = (shots as usize / trajectories).max(1);
+        let duration = noise.circuit_duration_ns(circuit);
+        let mut counts = Distribution::new();
+
+        for _ in 0..trajectories {
+            let mut state = Statevector::new(compact.num_qubits());
+            for instr in compact.instructions() {
+                if !instr.gate.is_unitary() {
+                    continue;
+                }
+                state.apply(instr);
+                // Stochastic Pauli error after each noisy gate, using the
+                // *physical* qubit indices for calibration lookup.
+                let pq0 = qubit_map[instr.q0 as usize];
+                let pq1 = if instr.q1 == NO_OPERAND { NO_OPERAND } else { qubit_map[instr.q1 as usize] };
+                let p_err = noise.instruction_error(instr.gate, pq0, pq1);
+                if p_err > 0.0 && rng.gen_bool(p_err.min(1.0)) {
+                    state.apply_random_pauli(instr.q0, rng);
+                    if instr.q1 != NO_OPERAND && rng.gen_bool(0.5) {
+                        state.apply_random_pauli(instr.q1, rng);
+                    }
+                }
+            }
+            // Decoherence over the circuit duration: per-qubit dephasing/damping
+            // modelled as an extra stochastic Z/X error.
+            for logical in 0..compact.num_qubits() {
+                let phys = qubit_map[logical as usize];
+                let survive = noise.decoherence_factor(phys, duration * 0.5);
+                if rng.gen_bool((1.0 - survive).clamp(0.0, 1.0)) {
+                    state.apply_random_pauli(logical, rng);
+                }
+            }
+            // Sample shots from this trajectory, applying readout errors.
+            for _ in 0..shots_per_traj {
+                let mut outcome = state.sample(&meas, rng);
+                for (bit_idx, &(logical_q, _cbit)) in meas.iter().enumerate() {
+                    let phys = qubit_map[logical_q as usize];
+                    if rng.gen_bool(noise.readout_error(phys).clamp(0.0, 1.0)) {
+                        outcome ^= 1 << bit_idx;
+                    }
+                }
+                *counts.entry(outcome).or_insert(0.0) += 1.0;
+            }
+        }
+        counts
+    }
+
+    /// Execute a circuit on a device described by `noise`, returning counts (if
+    /// the trajectory path ran), fidelity, and the quantum execution time.
+    pub fn execute<R: Rng + ?Sized>(
+        &self,
+        circuit: &Circuit,
+        noise: &NoiseModel,
+        rng: &mut R,
+    ) -> ExecutionResult {
+        let width = circuit.active_qubits().len() as u32;
+        let per_shot = noise.circuit_duration_ns(circuit) + self.shot_overhead_ns;
+        let duration_ns = per_shot * f64::from(circuit.shots());
+        let use_trajectory = match self.mode {
+            FidelityMode::Trajectory => true,
+            FidelityMode::Analytic => false,
+            FidelityMode::Auto => width <= self.max_statevector_qubits,
+        };
+        if use_trajectory {
+            let ideal = self.ideal_distribution(circuit);
+            let noisy = self.noisy_counts(circuit, noise, circuit.shots(), rng);
+            let fidelity = hellinger_fidelity(&ideal, &noisy);
+            ExecutionResult { counts: noisy, fidelity, duration_ns, shots: circuit.shots() }
+        } else {
+            // Analytic path: ESP with small multiplicative sampling jitter so that
+            // repeated executions are not bit-identical (mirrors shot noise).
+            let esp = noise.estimated_success_probability(circuit);
+            let jitter = 1.0 + rng.gen_range(-0.02..0.02);
+            ExecutionResult {
+                counts: Distribution::new(),
+                fidelity: (esp * jitter).clamp(0.0, 1.0),
+                duration_ns,
+                shots: circuit.shots(),
+            }
+        }
+    }
+}
+
+/// Compact a circuit onto its active qubits. Returns the compacted circuit and
+/// the map `logical (compacted) index → original physical index`.
+pub fn compact_circuit(circuit: &Circuit) -> (Circuit, Vec<u32>) {
+    let active = circuit.active_qubits();
+    if active.is_empty() {
+        return (Circuit::new(1), vec![0]);
+    }
+    let mut phys_to_logical = vec![u32::MAX; circuit.num_qubits() as usize];
+    for (logical, &phys) in active.iter().enumerate() {
+        phys_to_logical[phys as usize] = logical as u32;
+    }
+    let mut compact = Circuit::named(active.len() as u32, circuit.name().to_string());
+    compact.set_shots(circuit.shots());
+    for instr in circuit.instructions() {
+        if instr.gate == Gate::Barrier {
+            compact.barrier();
+            continue;
+        }
+        let mut ni = *instr;
+        ni.q0 = phys_to_logical[instr.q0 as usize];
+        if instr.q1 != NO_OPERAND {
+            ni.q1 = phys_to_logical[instr.q1 as usize];
+        }
+        if ni.gate == Gate::Measure {
+            // Re-index classical bits densely as well.
+            ni.cbit = ni.q0;
+        }
+        compact.push(ni);
+    }
+    (compact, active)
+}
+
+/// Ordered `(qubit, clbit)` measurement pairs of a circuit; if the circuit has
+/// no measurements, all qubits are measured in index order.
+fn measurement_map(circuit: &Circuit) -> Vec<(u32, u32)> {
+    let mut pairs: Vec<(u32, u32)> = circuit
+        .instructions()
+        .iter()
+        .filter(|i| i.gate == Gate::Measure)
+        .map(|i| (i.q0, i.cbit))
+        .collect();
+    if pairs.is_empty() {
+        pairs = (0..circuit.num_qubits()).map(|q| (q, q)).collect();
+    }
+    pairs
+}
+
+/// Dense statevector over `n ≤ 30` qubits.
+#[derive(Debug, Clone)]
+pub struct Statevector {
+    num_qubits: u32,
+    amps: Vec<C64>,
+}
+
+impl Statevector {
+    /// The |0…0⟩ state over `n` qubits.
+    pub fn new(n: u32) -> Self {
+        assert!(n >= 1 && n <= 30, "statevector supports 1..=30 qubits");
+        let mut amps = vec![C64::ZERO; 1usize << n];
+        amps[0] = C64::ONE;
+        Statevector { num_qubits: n, amps }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    /// Probability of computational basis state `index`.
+    pub fn probability(&self, index: usize) -> f64 {
+        self.amps[index].norm_sqr()
+    }
+
+    /// Apply a unitary instruction.
+    pub fn apply(&mut self, instr: &Instruction) {
+        match instr.gate {
+            g if !g.is_unitary() => {}
+            Gate::CX => self.apply_cx(instr.q0, instr.q1),
+            Gate::CZ => self.apply_cz(instr.q0, instr.q1),
+            Gate::Swap => self.apply_swap(instr.q0, instr.q1),
+            Gate::ECR => {
+                // ECR is locally equivalent to CX; the simulator uses the CX
+                // representative (the transpiler never emits bare ECR without
+                // its dressing rotations, so sampled distributions agree).
+                self.apply_cx(instr.q0, instr.q1);
+            }
+            Gate::RZZ(theta) => self.apply_rzz(theta, instr.q0, instr.q1),
+            g => {
+                let m = one_qubit_matrix(g);
+                self.apply_one_qubit(&m, instr.q0);
+            }
+        }
+    }
+
+    /// Apply a uniformly random Pauli (X, Y, or Z) to qubit `q`.
+    pub fn apply_random_pauli<R: Rng + ?Sized>(&mut self, q: u32, rng: &mut R) {
+        let gate = match rng.gen_range(0..3) {
+            0 => Gate::X,
+            1 => Gate::Y,
+            _ => Gate::Z,
+        };
+        self.apply(&Instruction::one(gate, q));
+    }
+
+    fn apply_one_qubit(&mut self, m: &[[C64; 2]; 2], q: u32) {
+        let stride = 1usize << q;
+        let n = self.amps.len();
+        let mut i = 0usize;
+        while i < n {
+            if i & stride == 0 {
+                let a = self.amps[i];
+                let b = self.amps[i | stride];
+                self.amps[i] = m[0][0] * a + m[0][1] * b;
+                self.amps[i | stride] = m[1][0] * a + m[1][1] * b;
+            }
+            i += 1;
+        }
+    }
+
+    fn apply_cx(&mut self, control: u32, target: u32) {
+        let cmask = 1usize << control;
+        let tmask = 1usize << target;
+        for i in 0..self.amps.len() {
+            if i & cmask != 0 && i & tmask == 0 {
+                self.amps.swap(i, i | tmask);
+            }
+        }
+    }
+
+    fn apply_cz(&mut self, a: u32, b: u32) {
+        let amask = 1usize << a;
+        let bmask = 1usize << b;
+        for i in 0..self.amps.len() {
+            if i & amask != 0 && i & bmask != 0 {
+                self.amps[i] = -self.amps[i];
+            }
+        }
+    }
+
+    fn apply_swap(&mut self, a: u32, b: u32) {
+        let amask = 1usize << a;
+        let bmask = 1usize << b;
+        for i in 0..self.amps.len() {
+            if i & amask != 0 && i & bmask == 0 {
+                self.amps.swap(i, (i & !amask) | bmask);
+            }
+        }
+    }
+
+    fn apply_rzz(&mut self, theta: f64, a: u32, b: u32) {
+        let amask = 1usize << a;
+        let bmask = 1usize << b;
+        let plus = C64::from_polar(-theta / 2.0);
+        let minus = C64::from_polar(theta / 2.0);
+        for i in 0..self.amps.len() {
+            let parity = ((i & amask != 0) as u8) ^ ((i & bmask != 0) as u8);
+            let phase = if parity == 0 { plus } else { minus };
+            self.amps[i] = self.amps[i] * phase;
+        }
+    }
+
+    /// Distribution over the classical register defined by `measurements`
+    /// (`(qubit, clbit)` pairs), marginalising over unmeasured qubits.
+    pub fn measurement_distribution(&self, measurements: &[(u32, u32)]) -> Distribution {
+        let mut dist = Distribution::new();
+        for (idx, amp) in self.amps.iter().enumerate() {
+            let p = amp.norm_sqr();
+            if p < 1e-15 {
+                continue;
+            }
+            let mut key = 0u64;
+            for (bit_idx, &(q, _c)) in measurements.iter().enumerate() {
+                if idx & (1usize << q) != 0 {
+                    key |= 1 << bit_idx;
+                }
+            }
+            *dist.entry(key).or_insert(0.0) += p;
+        }
+        dist
+    }
+
+    /// Sample one measurement outcome over the classical register.
+    pub fn sample<R: Rng + ?Sized>(&self, measurements: &[(u32, u32)], rng: &mut R) -> u64 {
+        let r: f64 = rng.gen_range(0.0..1.0);
+        let mut acc = 0.0;
+        let mut chosen = self.amps.len() - 1;
+        for (idx, amp) in self.amps.iter().enumerate() {
+            acc += amp.norm_sqr();
+            if acc >= r {
+                chosen = idx;
+                break;
+            }
+        }
+        let mut key = 0u64;
+        for (bit_idx, &(q, _c)) in measurements.iter().enumerate() {
+            if chosen & (1usize << q) != 0 {
+                key |= 1 << bit_idx;
+            }
+        }
+        key
+    }
+}
+
+/// 2×2 matrix of a single-qubit gate.
+fn one_qubit_matrix(gate: Gate) -> [[C64; 2]; 2] {
+    use std::f64::consts::FRAC_1_SQRT_2 as S;
+    let z = C64::ZERO;
+    let o = C64::ONE;
+    match gate {
+        Gate::Id | Gate::Delay(_) | Gate::Barrier => [[o, z], [z, o]],
+        Gate::H => [[C64::real(S), C64::real(S)], [C64::real(S), C64::real(-S)]],
+        Gate::X => [[z, o], [o, z]],
+        Gate::Y => [[z, C64::new(0.0, -1.0)], [C64::I, z]],
+        Gate::Z => [[o, z], [z, C64::real(-1.0)]],
+        Gate::S => [[o, z], [z, C64::I]],
+        Gate::Sdg => [[o, z], [z, C64::new(0.0, -1.0)]],
+        Gate::T => [[o, z], [z, C64::from_polar(std::f64::consts::FRAC_PI_4)]],
+        Gate::Tdg => [[o, z], [z, C64::from_polar(-std::f64::consts::FRAC_PI_4)]],
+        Gate::SX => [
+            [C64::new(0.5, 0.5), C64::new(0.5, -0.5)],
+            [C64::new(0.5, -0.5), C64::new(0.5, 0.5)],
+        ],
+        Gate::RX(t) => {
+            let c = C64::real((t / 2.0).cos());
+            let s = C64::new(0.0, -(t / 2.0).sin());
+            [[c, s], [s, c]]
+        }
+        Gate::RY(t) => {
+            let c = C64::real((t / 2.0).cos());
+            let s = C64::real((t / 2.0).sin());
+            [[c, -s], [s, c]]
+        }
+        Gate::RZ(t) => [[C64::from_polar(-t / 2.0), z], [z, C64::from_polar(t / 2.0)]],
+        Gate::U(theta, phi, lambda) => {
+            let c = (theta / 2.0).cos();
+            let s = (theta / 2.0).sin();
+            [
+                [C64::real(c), C64::from_polar(lambda).scale(-s)],
+                [C64::from_polar(phi).scale(s), C64::from_polar(phi + lambda).scale(c)],
+            ]
+        }
+        g => panic!("{:?} is not a single-qubit unitary", g),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::CalibrationGenerator;
+    use qonductor_circuit::generators::{ghz, qft};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn noise(n: u32, quality: f64) -> NoiseModel {
+        let edges: Vec<(u32, u32)> = (0..n - 1).map(|q| (q, q + 1)).collect();
+        let mut rng = StdRng::seed_from_u64(123);
+        NoiseModel::new(CalibrationGenerator::with_quality(quality).generate(n, &edges, &mut rng))
+    }
+
+    #[test]
+    fn bell_state_ideal_distribution() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).measure_all();
+        let sim = Simulator::default();
+        let dist = sim.ideal_distribution(&c);
+        assert_eq!(dist.len(), 2);
+        assert!((dist[&0b00] - 0.5).abs() < 1e-10);
+        assert!((dist[&0b11] - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ghz_ideal_distribution_has_two_peaks() {
+        let sim = Simulator::default();
+        let dist = sim.ideal_distribution(&ghz(8));
+        assert_eq!(dist.len(), 2);
+        assert!((dist[&0] - 0.5).abs() < 1e-10);
+        assert!((dist[&0b1111_1111] - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn x_gate_flips_deterministically() {
+        let mut c = Circuit::new(3);
+        c.x(0).x(2).measure_all();
+        let sim = Simulator::default();
+        let dist = sim.ideal_distribution(&c);
+        assert_eq!(dist.len(), 1);
+        assert!((dist[&0b101] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rzz_is_diagonal_and_preserves_probabilities() {
+        let mut c = Circuit::new(2);
+        c.x(0).rzz(0.7, 0, 1).measure_all();
+        let sim = Simulator::default();
+        let dist = sim.ideal_distribution(&c);
+        assert_eq!(dist.len(), 1);
+        assert!((dist[&0b01] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn qft_distribution_is_normalised() {
+        let sim = Simulator::default();
+        let dist = sim.ideal_distribution(&qft(4));
+        let total: f64 = dist.values().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_execution_fidelity_below_one_and_quality_ordered() {
+        let sim = Simulator { trajectories: 64, ..Simulator::default() };
+        let c = ghz(8);
+        let mut rng = StdRng::seed_from_u64(7);
+        let good = sim.execute(&c, &noise(8, 0.5), &mut rng);
+        let bad = sim.execute(&c, &noise(8, 5.0), &mut rng);
+        assert!(good.fidelity <= 1.0 && good.fidelity > 0.0);
+        assert!(good.fidelity > bad.fidelity, "good={} bad={}", good.fidelity, bad.fidelity);
+    }
+
+    #[test]
+    fn analytic_mode_handles_wide_circuits() {
+        let sim = Simulator::analytic();
+        let c = ghz(60);
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = noise(60, 1.0);
+        let res = sim.execute(&c, &n, &mut rng);
+        assert!(res.fidelity >= 0.0 && res.fidelity <= 1.0);
+        assert!(res.counts.is_empty());
+        assert!(res.duration_ns > 0.0);
+    }
+
+    #[test]
+    fn execution_duration_scales_with_shots() {
+        let sim = Simulator::analytic();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = noise(8, 1.0);
+        let mut c1 = ghz(8);
+        c1.set_shots(1000);
+        let mut c2 = ghz(8);
+        c2.set_shots(4000);
+        let r1 = sim.execute(&c1, &n, &mut rng);
+        let r2 = sim.execute(&c2, &n, &mut rng);
+        assert!((r2.duration_ns / r1.duration_ns - 4.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn compact_circuit_maps_back_to_physical_qubits() {
+        let mut c = Circuit::new(27);
+        c.h(20).cx(20, 25).measure(20, 20);
+        c.measure(25, 25);
+        let (compact, map) = compact_circuit(&c);
+        assert_eq!(compact.num_qubits(), 2);
+        assert_eq!(map, vec![20, 25]);
+        let sim = Simulator::default();
+        let dist = sim.ideal_distribution(&c);
+        assert_eq!(dist.len(), 2); // bell pair on the two active qubits
+    }
+
+    #[test]
+    fn trajectory_counts_sum_to_requested_shots() {
+        let sim = Simulator { trajectories: 16, ..Simulator::default() };
+        let mut rng = StdRng::seed_from_u64(21);
+        let n = noise(4, 1.0);
+        let mut c = ghz(4);
+        c.set_shots(160);
+        let counts = sim.noisy_counts(&c, &n, c.shots(), &mut rng);
+        let total: f64 = counts.values().sum();
+        assert!((total - 160.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,68 @@
+//! Figure 2(c) — QPU load imbalance: pending-queue sizes per QPU across seven
+//! days when users follow today's fidelity-greedy device selection.
+
+use qonductor_backend::Fleet;
+use qonductor_bench::banner;
+use qonductor_cloudsim::{estimate, ArrivalConfig, LoadGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    banner(
+        "Figure 2(c)",
+        "Pending jobs per QPU over 7 days with fidelity-greedy user behaviour",
+    );
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut fleet = Fleet::falcon_six(&mut rng);
+    // One compressed hour of arrivals stands in for each day (the imbalance
+    // shape is rate-independent; see EXPERIMENTS.md).
+    let mut load = LoadGenerator::new(
+        ArrivalConfig { mean_rate_per_hour: 400.0, ..Default::default() },
+        27,
+        0.5,
+    );
+    let names: Vec<String> = fleet.members().iter().map(|m| m.qpu.name.clone()).collect();
+    println!("{:<12} {}", "day", names.join("  "));
+
+    let mut clock = 0.0f64;
+    for day in 1..=7 {
+        let apps = load.arrivals_in(clock, clock + 3600.0, &mut rng);
+        for app in &apps {
+            // Users pick the highest-fidelity QPU that fits (greedy behaviour).
+            let mut best = None;
+            let mut best_fid = -1.0;
+            for (idx, member) in fleet.members().iter().enumerate() {
+                if member.qpu.num_qubits() < app.circuit.num_qubits() {
+                    continue;
+                }
+                let est = estimate(&app.circuit, &app.mitigation, &member.qpu);
+                if est.fidelity > best_fid {
+                    best_fid = est.fidelity;
+                    best = Some((idx, est.quantum_time_s));
+                }
+            }
+            if let Some((idx, duration)) = best {
+                fleet.members_mut()[idx].queue.enqueue(app.app_id, duration.max(0.01));
+            }
+        }
+        clock += 3600.0;
+        // QPUs drain at their own pace during the "day".
+        fleet.advance_to(clock, &mut rng);
+        let queues: Vec<String> = fleet
+            .members()
+            .iter()
+            .map(|m| format!("{:>11}", m.queue.pending_len()))
+            .collect();
+        println!("day {day:<8} {}", queues.join("  "));
+    }
+
+    let pending: Vec<usize> = fleet.members().iter().map(|m| m.queue.pending_len()).collect();
+    let max = *pending.iter().max().unwrap_or(&0) as f64;
+    let min = *pending.iter().min().unwrap_or(&0) as f64;
+    println!();
+    println!(
+        "final load difference across QPUs: {:.0}x",
+        if min > 0.0 { max / min } else { max }
+    );
+    println!("(paper: up to ~100x load difference between QPUs)");
+}

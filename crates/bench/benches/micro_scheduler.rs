@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks of the scheduler's hot paths: objective
+//! evaluation (Eq. 1), one full NSGA-II run, and MCDM selection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qonductor_bench::synthetic_problem;
+use qonductor_scheduler::{optimize, select, Nsga2Config, Preference, SchedulingProblem};
+
+fn bench_objective_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("objective_evaluation");
+    for &num_jobs in &[50usize, 200, 800] {
+        let (jobs, qpus) = synthetic_problem(num_jobs, 8, 1);
+        let problem = SchedulingProblem::new(jobs, qpus);
+        let assignment: Vec<usize> = (0..num_jobs).map(|i| i % 8).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(num_jobs), &num_jobs, |b, _| {
+            b.iter(|| problem.evaluate(std::hint::black_box(&assignment)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_nsga2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nsga2_cycle");
+    group.sample_size(10);
+    for &num_jobs in &[50usize, 100] {
+        let (jobs, qpus) = synthetic_problem(num_jobs, 8, 2);
+        let problem = SchedulingProblem::new(jobs, qpus);
+        let config = Nsga2Config { max_generations: 20, max_evaluations: 2000, ..Default::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(num_jobs), &num_jobs, |b, _| {
+            b.iter(|| optimize(std::hint::black_box(&problem), &config))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mcdm(c: &mut Criterion) {
+    let (jobs, qpus) = synthetic_problem(100, 8, 3);
+    let problem = SchedulingProblem::new(jobs, qpus);
+    let result = optimize(&problem, &Nsga2Config::default());
+    c.bench_function("mcdm_selection", |b| {
+        b.iter(|| select(std::hint::black_box(&result.pareto_front), Preference::balanced()))
+    });
+}
+
+criterion_group!(benches, bench_objective_evaluation, bench_nsga2, bench_mcdm);
+criterion_main!(benches);

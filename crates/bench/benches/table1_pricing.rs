@@ -1,0 +1,22 @@
+//! Table 1 — IBM Cloud pricing: price per task and per hour for standard VMs,
+//! high-end VMs, and QPUs, plus the derived cost ratios that motivate key
+//! idea #2 (trade cheap classical resources for expensive quantum time).
+
+use qonductor_bench::banner;
+use qonductor_estimator::cost::{table1_rows, PricingTable, ResourceClass};
+
+fn main() {
+    banner("Table 1", "IBM Cloud pricing (per task / per hour)");
+    let table = PricingTable::default();
+    println!("Resource Type | Price/Task     | Price/Hour");
+    for row in table1_rows(&table) {
+        println!("{row}");
+    }
+    let qpu_h = table.price(ResourceClass::Qpu).per_hour_usd;
+    let hi_h = table.price(ResourceClass::HighEndVm).per_hour_usd;
+    let std_h = table.price(ResourceClass::StandardVm).per_hour_usd;
+    println!();
+    println!("QPU-hour / high-end VM-hour ratio: {:.0}x", qpu_h / hi_h);
+    println!("QPU-hour / standard VM-hour ratio: {:.0}x", qpu_h / std_h);
+    println!("(paper: QPU-hours cost two orders of magnitude more than VM-hours)");
+}

@@ -1,0 +1,51 @@
+//! GHZ state preparation: the circuit used by the paper's Figure 2(b)
+//! spatial-variance experiment (12-qubit GHZ across six IBM QPUs).
+
+use crate::circuit::Circuit;
+
+/// Build an `n`-qubit GHZ state preparation circuit followed by measurement of
+/// all qubits: `H` on qubit 0, then a CNOT chain `0→1→…→n-1`.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn ghz(n: u32) -> Circuit {
+    assert!(n >= 1, "GHZ circuit needs at least one qubit");
+    let mut c = Circuit::named(n, "ghz");
+    c.h(0);
+    for q in 0..n.saturating_sub(1) {
+        c.cx(q, q + 1);
+    }
+    c.measure_all();
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::CircuitMetrics;
+
+    #[test]
+    fn ghz_structure() {
+        let c = ghz(12);
+        let m = CircuitMetrics::of(&c);
+        assert_eq!(m.width, 12);
+        assert_eq!(m.one_qubit_gates, 1);
+        assert_eq!(m.two_qubit_gates, 11);
+        assert_eq!(m.measurements, 12);
+        // Linear CNOT chain: depth n (H + chain) plus trailing measurement.
+        assert_eq!(c.depth(), 13);
+    }
+
+    #[test]
+    fn ghz_single_qubit() {
+        let c = ghz(1);
+        assert_eq!(c.two_qubit_gates(), 0);
+        assert_eq!(c.num_measurements(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ghz_zero_panics() {
+        ghz(0);
+    }
+}

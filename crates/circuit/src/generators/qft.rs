@@ -1,0 +1,82 @@
+//! Quantum Fourier Transform generator.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// Build an `n`-qubit QFT circuit (with final qubit-reversal SWAPs) applied to
+/// the |+…+⟩-like input produced by an initial layer of Hadamards, followed by
+/// measurement of all qubits.
+///
+/// Controlled-phase rotations are decomposed as
+/// `CP(θ) = RZ(θ/2)⊗RZ(θ/2) · CX · RZ(-θ/2) · CX` up to global phase, which
+/// keeps the circuit within the `{RZ, CX, H}` gate alphabet.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn qft(n: u32) -> Circuit {
+    assert!(n >= 1, "QFT circuit needs at least one qubit");
+    let mut c = Circuit::named(n, "qft");
+    // Input state preparation.
+    for q in 0..n {
+        c.h(q);
+    }
+    c.barrier();
+    for target in 0..n {
+        c.h(target);
+        for control in (target + 1)..n {
+            let k = (control - target) as i32 + 1;
+            let theta = std::f64::consts::PI / f64::from(1u32 << (k - 1).min(30));
+            controlled_phase(&mut c, theta, control, target);
+        }
+    }
+    // Qubit reversal.
+    let mut lo = 0;
+    let mut hi = n - 1;
+    while lo < hi {
+        c.swap(lo, hi);
+        lo += 1;
+        hi -= 1;
+    }
+    c.measure_all();
+    c
+}
+
+/// Append a controlled-phase rotation CP(θ) between `control` and `target`
+/// using the RZ/CX decomposition (exact up to global phase).
+fn controlled_phase(c: &mut Circuit, theta: f64, control: u32, target: u32) {
+    c.apply1(Gate::RZ(theta / 2.0), control);
+    c.apply1(Gate::RZ(theta / 2.0), target);
+    c.cx(control, target);
+    c.apply1(Gate::RZ(-theta / 2.0), target);
+    c.cx(control, target);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qft_gate_scaling_is_quadratic() {
+        // Number of CP blocks is n(n-1)/2, each contributing two CX gates,
+        // plus floor(n/2) SWAPs.
+        for n in [2u32, 4, 6, 8] {
+            let c = qft(n);
+            let expected_cx = (n * (n - 1)) as usize; // 2 * n(n-1)/2
+            let expected_swap = (n / 2) as usize;
+            assert_eq!(c.two_qubit_gates(), expected_cx + expected_swap, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn qft_measures_everything() {
+        let c = qft(5);
+        assert_eq!(c.num_measurements(), 5);
+    }
+
+    #[test]
+    fn qft_single_qubit_is_hadamards() {
+        let c = qft(1);
+        assert_eq!(c.two_qubit_gates(), 0);
+        assert!(c.gate_counts().0 >= 2); // H prep + H transform
+    }
+}

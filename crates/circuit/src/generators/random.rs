@@ -1,0 +1,75 @@
+//! Structured random circuits: alternating layers of random single-qubit
+//! rotations and randomly paired two-qubit gates. Used by the load generator
+//! (§8.2: "hybrid applications with random quantum circuits").
+
+use crate::circuit::Circuit;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Build an `n`-qubit random circuit of the given `depth` (number of alternating
+/// layers), followed by measurement of all qubits.
+///
+/// Even layers apply a random rotation (RX/RY/RZ with a uniform angle) to every
+/// qubit; odd layers apply CX gates between a random perfect matching of qubits.
+pub fn random_circuit<R: Rng + ?Sized>(n: u32, depth: u32, rng: &mut R) -> Circuit {
+    assert!(n >= 1, "random circuit needs at least one qubit");
+    let mut c = Circuit::named(n, "random");
+    for layer in 0..depth {
+        if layer % 2 == 0 {
+            for q in 0..n {
+                let theta: f64 = rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
+                match rng.gen_range(0..3) {
+                    0 => c.rx(theta, q),
+                    1 => c.ry(theta, q),
+                    _ => c.rz(theta, q),
+                };
+            }
+        } else if n >= 2 {
+            let mut qubits: Vec<u32> = (0..n).collect();
+            qubits.shuffle(rng);
+            for pair in qubits.chunks_exact(2) {
+                c.cx(pair[0], pair[1]);
+            }
+        }
+    }
+    c.measure_all();
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_circuit_two_qubit_layers() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let c = random_circuit(8, 6, &mut rng);
+        // 3 entangling layers × 4 CX pairs.
+        assert_eq!(c.two_qubit_gates(), 12);
+        // 3 rotation layers × 8 qubits.
+        assert_eq!(c.gate_counts().0, 24);
+    }
+
+    #[test]
+    fn random_circuit_odd_width_leaves_one_idle_per_layer() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let c = random_circuit(5, 2, &mut rng);
+        assert_eq!(c.two_qubit_gates(), 2); // floor(5/2)
+    }
+
+    #[test]
+    fn random_circuit_single_qubit_has_no_entanglers() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let c = random_circuit(1, 10, &mut rng);
+        assert_eq!(c.two_qubit_gates(), 0);
+    }
+
+    #[test]
+    fn random_circuit_deterministic_per_seed() {
+        let a = random_circuit(6, 8, &mut StdRng::seed_from_u64(9));
+        let b = random_circuit(6, 8, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

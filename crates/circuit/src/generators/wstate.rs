@@ -1,0 +1,55 @@
+//! W-state preparation circuit.
+
+use crate::circuit::Circuit;
+
+/// Build an `n`-qubit W-state preparation circuit using the standard cascade of
+/// controlled rotations (decomposed into RY + CX), followed by measurement.
+///
+/// The W state is the equal superposition of all single-excitation basis states.
+pub fn w_state(n: u32) -> Circuit {
+    assert!(n >= 2, "W-state circuit needs at least two qubits");
+    let mut c = Circuit::named(n, "wstate");
+    // Start with the excitation on qubit 0.
+    c.x(0);
+    // Cascade: distribute the excitation with controlled-RY + CX blocks.
+    for k in 1..n {
+        let remaining = f64::from(n - k);
+        let theta = 2.0 * (1.0 / (remaining + 1.0)).sqrt().acos();
+        // Controlled-RY(θ) from qubit k-1 to k, decomposed as RY(θ/2) CX RY(-θ/2) CX.
+        c.ry(theta / 2.0, k);
+        c.cx(k - 1, k);
+        c.ry(-theta / 2.0, k);
+        c.cx(k - 1, k);
+        // Shift the excitation.
+        c.cx(k, k - 1);
+    }
+    c.measure_all();
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wstate_gate_counts() {
+        let c = w_state(5);
+        // 4 cascade blocks × 3 CX each.
+        assert_eq!(c.two_qubit_gates(), 12);
+        // 1 X + 4 × 2 RY.
+        assert_eq!(c.gate_counts().0, 9);
+        assert_eq!(c.num_measurements(), 5);
+    }
+
+    #[test]
+    fn wstate_two_qubits() {
+        let c = w_state(2);
+        assert_eq!(c.two_qubit_gates(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wstate_single_qubit_panics() {
+        w_state(1);
+    }
+}

@@ -1,0 +1,23 @@
+//! # qonductor-cloudsim
+//!
+//! Quantum-cloud simulation environment replicating the paper's evaluation
+//! methodology (§8.2): a diurnal Poisson load generator calibrated to the
+//! measured IBM Quantum arrival rates (1100–2050 jobs/hour, mean 1500),
+//! synthetic hybrid applications (benchmark circuits + optional error
+//! mitigation), closed-form per-QPU fidelity/runtime estimates, and a
+//! discrete-time simulation engine that drives the Qonductor scheduler (or the
+//! FCFS / least-busy baselines) against the modelled QPU fleet's job queues
+//! while collecting the end-to-end metrics of §8.1.
+
+#![warn(missing_docs)]
+
+pub mod estimates;
+pub mod load;
+pub mod sim;
+
+pub use estimates::{estimate, FastEstimate};
+pub use load::{ArrivalConfig, HybridApplication, LoadGenerator};
+pub use sim::{
+    CloudSimulation, CompletedApp, CycleRecord, Policy, SimulationConfig, SimulationReport,
+    TimePoint,
+};

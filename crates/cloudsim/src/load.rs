@@ -1,0 +1,201 @@
+//! Cloud load generation (§8.2): a Poisson arrival process whose rate follows
+//! the diurnal variation measured on the IBM Quantum platform (1100–2050 jobs
+//! per hour across the day, 1500 jobs/hour on average), and synthesis of hybrid
+//! applications (random benchmark circuits, shot counts, and sizes following a
+//! normal distribution, with ~50% of applications using error mitigation).
+
+use qonductor_circuit::{Circuit, WorkloadConfig, WorkloadGenerator};
+use qonductor_mitigation::{candidate_stacks, MitigationStack};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Arrival-process configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalConfig {
+    /// Mean arrival rate in jobs per hour (paper baseline: 1500).
+    pub mean_rate_per_hour: f64,
+    /// Relative amplitude of the diurnal rate variation (paper: 1100–2050 j/h
+    /// around a 1500 j/h mean ⇒ amplitude ≈ 0.3).
+    pub diurnal_amplitude: f64,
+    /// Period of the diurnal variation in seconds (24 h by default).
+    pub diurnal_period_s: f64,
+}
+
+impl Default for ArrivalConfig {
+    fn default() -> Self {
+        ArrivalConfig {
+            mean_rate_per_hour: 1500.0,
+            diurnal_amplitude: 0.3,
+            diurnal_period_s: 24.0 * 3600.0,
+        }
+    }
+}
+
+impl ArrivalConfig {
+    /// Instantaneous arrival rate (jobs/hour) at simulated time `t_s`.
+    pub fn rate_at(&self, t_s: f64) -> f64 {
+        let phase = 2.0 * std::f64::consts::PI * t_s / self.diurnal_period_s;
+        (self.mean_rate_per_hour * (1.0 + self.diurnal_amplitude * phase.sin())).max(1.0)
+    }
+
+    /// Sample the next inter-arrival gap (seconds) at time `t_s` from an
+    /// exponential distribution with the instantaneous rate.
+    pub fn sample_gap_s<R: Rng + ?Sized>(&self, t_s: f64, rng: &mut R) -> f64 {
+        let rate_per_s = self.rate_at(t_s) / 3600.0;
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        -u.ln() / rate_per_s
+    }
+}
+
+/// One synthesized hybrid application (a single quantum job plus optional
+/// classical error-mitigation processing).
+#[derive(Debug, Clone)]
+pub struct HybridApplication {
+    /// Application identifier.
+    pub app_id: u64,
+    /// Simulated submission time (seconds).
+    pub submit_time_s: f64,
+    /// The application's quantum circuit.
+    pub circuit: Circuit,
+    /// The error-mitigation stack it requested (empty stack = none).
+    pub mitigation: MitigationStack,
+}
+
+/// Hybrid-application generator.
+#[derive(Debug, Clone)]
+pub struct LoadGenerator {
+    arrival: ArrivalConfig,
+    workload: WorkloadGenerator,
+    /// Fraction of applications that request error mitigation (paper: 50%).
+    mitigation_fraction: f64,
+    next_app_id: u64,
+}
+
+impl LoadGenerator {
+    /// Create a load generator whose circuits fit devices of `max_qubits`.
+    pub fn new(arrival: ArrivalConfig, max_qubits: u32, mitigation_fraction: f64) -> Self {
+        let workload = WorkloadGenerator::new(WorkloadConfig {
+            mean_qubits: (f64::from(max_qubits) * 0.5).max(4.0),
+            std_qubits: (f64::from(max_qubits) * 0.25).max(2.0),
+            min_qubits: 2,
+            max_qubits,
+            ..WorkloadConfig::default()
+        });
+        LoadGenerator { arrival, workload, mitigation_fraction, next_app_id: 0 }
+    }
+
+    /// The arrival configuration.
+    pub fn arrival(&self) -> &ArrivalConfig {
+        &self.arrival
+    }
+
+    /// Generate all applications arriving in the window `[from_s, to_s)`.
+    pub fn arrivals_in<R: Rng + ?Sized>(
+        &mut self,
+        from_s: f64,
+        to_s: f64,
+        rng: &mut R,
+    ) -> Vec<HybridApplication> {
+        let mut out = Vec::new();
+        let mut t = from_s;
+        loop {
+            t += self.arrival.sample_gap_s(t, rng);
+            if t >= to_s {
+                break;
+            }
+            out.push(self.generate_app(t, rng));
+        }
+        out
+    }
+
+    /// Generate a single application submitted at `submit_time_s`.
+    pub fn generate_app<R: Rng + ?Sized>(&mut self, submit_time_s: f64, rng: &mut R) -> HybridApplication {
+        let app_id = self.next_app_id;
+        self.next_app_id += 1;
+        let circuit = self.workload.sample_circuit(rng);
+        let mitigation = if rng.gen_bool(self.mitigation_fraction.clamp(0.0, 1.0)) {
+            let stacks = candidate_stacks();
+            stacks[rng.gen_range(1..stacks.len())].clone()
+        } else {
+            MitigationStack::none()
+        };
+        HybridApplication { app_id, submit_time_s, circuit, mitigation }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn diurnal_rate_stays_in_the_measured_band() {
+        let cfg = ArrivalConfig::default();
+        let mut min = f64::INFINITY;
+        let mut max = 0.0f64;
+        for hour in 0..24 {
+            let r = cfg.rate_at(hour as f64 * 3600.0);
+            min = min.min(r);
+            max = max.max(r);
+        }
+        assert!(min >= 1000.0 && min <= 1200.0, "min rate {min}");
+        assert!(max >= 1900.0 && max <= 2050.0, "max rate {max}");
+    }
+
+    #[test]
+    fn one_hour_of_arrivals_is_close_to_the_mean_rate() {
+        let mut gen = LoadGenerator::new(ArrivalConfig::default(), 27, 0.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let apps = gen.arrivals_in(0.0, 3600.0, &mut rng);
+        // Poisson with ~1500–1900 expected arrivals in the first hour (rising phase).
+        assert!(apps.len() > 1200 && apps.len() < 2300, "got {} arrivals", apps.len());
+        // Arrival times are increasing and inside the window.
+        for w in apps.windows(2) {
+            assert!(w[0].submit_time_s <= w[1].submit_time_s);
+        }
+        assert!(apps.iter().all(|a| a.submit_time_s < 3600.0));
+    }
+
+    #[test]
+    fn roughly_half_the_applications_use_mitigation() {
+        let mut gen = LoadGenerator::new(ArrivalConfig::default(), 27, 0.5);
+        let mut rng = StdRng::seed_from_u64(2);
+        let apps = gen.arrivals_in(0.0, 1800.0, &mut rng);
+        let mitigated = apps.iter().filter(|a| !a.mitigation.is_empty()).count();
+        let fraction = mitigated as f64 / apps.len() as f64;
+        assert!((0.4..0.6).contains(&fraction), "mitigated fraction {fraction}");
+    }
+
+    #[test]
+    fn circuits_fit_the_requested_device_size() {
+        let mut gen = LoadGenerator::new(ArrivalConfig::default(), 16, 0.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let apps = gen.arrivals_in(0.0, 600.0, &mut rng);
+        assert!(!apps.is_empty());
+        assert!(apps.iter().all(|a| a.circuit.num_qubits() <= 16));
+        // Application ids are unique and increasing.
+        for w in apps.windows(2) {
+            assert!(w[1].app_id > w[0].app_id);
+        }
+    }
+
+    #[test]
+    fn higher_rate_produces_more_arrivals() {
+        let mut slow = LoadGenerator::new(
+            ArrivalConfig { mean_rate_per_hour: 500.0, ..Default::default() },
+            27,
+            0.5,
+        );
+        let mut fast = LoadGenerator::new(
+            ArrivalConfig { mean_rate_per_hour: 4500.0, ..Default::default() },
+            27,
+            0.5,
+        );
+        let mut rng1 = StdRng::seed_from_u64(4);
+        let mut rng2 = StdRng::seed_from_u64(4);
+        let a = slow.arrivals_in(0.0, 1800.0, &mut rng1).len();
+        let b = fast.arrivals_in(0.0, 1800.0, &mut rng2).len();
+        assert!(b > 3 * a, "fast {b} vs slow {a}");
+    }
+}

@@ -1,0 +1,677 @@
+//! The quantum-cloud discrete-time simulation (§8.2): synthetic hybrid
+//! applications arrive following the measured IBM load, the configured
+//! scheduling policy (Qonductor's NSGA-II + MCDM scheduler or the FCFS /
+//! least-busy baselines) places them onto the QPU fleet's job queues, queues
+//! advance in simulated time, and the end-to-end metrics of §8.1 (fidelity,
+//! completion time, utilization) are collected over time.
+
+use crate::estimates::{self, FastEstimate};
+use crate::load::{ArrivalConfig, HybridApplication, LoadGenerator};
+use qonductor_backend::Fleet;
+use qonductor_circuit::CircuitMetrics;
+use qonductor_scheduler::{
+    HybridScheduler, JobRequest, Nsga2Config, Objectives, Preference, QpuState, ScheduleTrigger,
+    SchedulerConfig,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The scheduling policy driving the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Policy {
+    /// The Qonductor hybrid scheduler (NSGA-II + MCDM) with a given preference.
+    Qonductor {
+        /// MCDM objective preference.
+        preference: Preference,
+    },
+    /// First-come-first-serve onto the highest-fidelity feasible QPU — the
+    /// "standard practice in the current quantum cloud" baseline.
+    Fcfs,
+    /// First-come-first-serve onto the least-busy feasible QPU (IBM `least_busy`).
+    LeastBusy,
+}
+
+/// Simulation configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimulationConfig {
+    /// Simulated duration in seconds (paper: one hour).
+    pub duration_s: f64,
+    /// Simulation step in seconds.
+    pub step_s: f64,
+    /// Arrival process configuration.
+    pub arrival: ArrivalConfig,
+    /// Fraction of applications using error mitigation (paper: 50%).
+    pub mitigation_fraction: f64,
+    /// Scheduling policy.
+    pub policy: Policy,
+    /// Queue-size trigger threshold of the Qonductor scheduler.
+    pub trigger_queue_limit: usize,
+    /// Time-based trigger interval (seconds) of the Qonductor scheduler.
+    pub trigger_interval_s: f64,
+    /// Metrics sampling interval in seconds.
+    pub metrics_interval_s: f64,
+    /// NSGA-II configuration used by the Qonductor policy.
+    pub nsga2: Nsga2Config,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        SimulationConfig {
+            duration_s: 3600.0,
+            step_s: 10.0,
+            arrival: ArrivalConfig::default(),
+            mitigation_fraction: 0.5,
+            policy: Policy::Qonductor { preference: Preference::balanced() },
+            trigger_queue_limit: 100,
+            trigger_interval_s: 120.0,
+            metrics_interval_s: 60.0,
+            nsga2: Nsga2Config {
+                population_size: 40,
+                max_generations: 40,
+                max_evaluations: 6000,
+                num_threads: 4,
+                ..Nsga2Config::default()
+            },
+            seed: 2024,
+        }
+    }
+}
+
+/// One sampled point of the simulation's time series (Figures 6 and 9b).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimePoint {
+    /// Simulated time of the sample (seconds).
+    pub t_s: f64,
+    /// Mean fidelity of all applications completed so far.
+    pub mean_fidelity: f64,
+    /// Mean end-to-end completion time of all applications completed so far (s).
+    pub mean_completion_s: f64,
+    /// Mean QPU utilization across the fleet, in [0, 1].
+    pub mean_utilization: f64,
+    /// Number of jobs currently pending in the scheduler's queue.
+    pub scheduler_queue_len: usize,
+    /// Number of applications completed so far.
+    pub completed: usize,
+}
+
+/// Per-scheduling-cycle statistics (Figures 8a, 8b, 10a).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CycleRecord {
+    /// Simulated time of the cycle.
+    pub t_s: f64,
+    /// Number of jobs scheduled in the cycle.
+    pub num_jobs: usize,
+    /// Objectives of the chosen solution.
+    pub chosen: Objectives,
+    /// 95th-percentile JCT of the chosen solution (seconds).
+    pub chosen_p95_jct_s: f64,
+    /// Minimum mean-JCT over the Pareto front.
+    pub front_min_jct_s: f64,
+    /// Maximum mean-JCT over the Pareto front.
+    pub front_max_jct_s: f64,
+    /// Maximum mean fidelity over the Pareto front.
+    pub front_max_fidelity: f64,
+    /// Minimum mean fidelity over the Pareto front.
+    pub front_min_fidelity: f64,
+    /// Mean per-job execution time of the chosen solution (seconds).
+    pub chosen_mean_exec_s: f64,
+    /// Minimum mean execution time over the Pareto front (seconds).
+    pub front_min_exec_s: f64,
+    /// Maximum mean execution time over the Pareto front (seconds).
+    pub front_max_exec_s: f64,
+    /// Scheduler stage runtimes (seconds): pre-processing, optimization, selection.
+    pub stage_runtimes_s: [f64; 3],
+}
+
+/// One completed application.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompletedApp {
+    /// Application id.
+    pub app_id: u64,
+    /// Index of the QPU it ran on.
+    pub qpu_index: usize,
+    /// Submission time (s).
+    pub submit_s: f64,
+    /// Completion time = finish − submit (s).
+    pub completion_s: f64,
+    /// Waiting time before execution started (s).
+    pub waiting_s: f64,
+    /// Quantum execution time (s).
+    pub execution_s: f64,
+    /// Achieved fidelity.
+    pub fidelity: f64,
+    /// Whether the application used error mitigation.
+    pub mitigated: bool,
+}
+
+/// Full simulation report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimulationReport {
+    /// Time series of aggregate metrics.
+    pub timeline: Vec<TimePoint>,
+    /// Per-scheduling-cycle records (empty for the FCFS/least-busy policies).
+    pub cycles: Vec<CycleRecord>,
+    /// All completed applications.
+    pub completed: Vec<CompletedApp>,
+    /// Total busy seconds per QPU (index-aligned with the fleet), Figure 8c.
+    pub qpu_busy_s: Vec<f64>,
+    /// QPU names, index-aligned with `qpu_busy_s`.
+    pub qpu_names: Vec<String>,
+    /// Number of applications that arrived.
+    pub arrived: usize,
+    /// Number of applications rejected (no feasible QPU).
+    pub rejected: usize,
+}
+
+impl SimulationReport {
+    /// Mean fidelity over all completed applications.
+    pub fn mean_fidelity(&self) -> f64 {
+        mean(self.completed.iter().map(|c| c.fidelity))
+    }
+
+    /// Mean completion time over all completed applications (seconds).
+    pub fn mean_completion_s(&self) -> f64 {
+        mean(self.completed.iter().map(|c| c.completion_s))
+    }
+
+    /// Mean execution time over all completed applications (seconds).
+    pub fn mean_execution_s(&self) -> f64 {
+        mean(self.completed.iter().map(|c| c.execution_s))
+    }
+
+    /// Final mean QPU utilization.
+    pub fn mean_utilization(&self) -> f64 {
+        self.timeline.last().map(|p| p.mean_utilization).unwrap_or(0.0)
+    }
+
+    /// Maximum relative load difference between any two QPUs (Figure 8c's
+    /// "maximum load difference"): `(max − min) / max` over per-QPU busy time.
+    pub fn max_load_difference(&self) -> f64 {
+        let max = self.qpu_busy_s.iter().cloned().fold(0.0, f64::max);
+        let min = self.qpu_busy_s.iter().cloned().fold(f64::INFINITY, f64::min);
+        if max <= 0.0 {
+            0.0
+        } else {
+            (max - min) / max
+        }
+    }
+}
+
+fn mean(iter: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in iter {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// A job waiting in the Qonductor scheduler's pending queue.
+#[derive(Debug, Clone)]
+struct PendingJob {
+    app_id: u64,
+    submit_s: f64,
+    qubits: u32,
+    shots: u32,
+    mitigated: bool,
+    /// Per-QPU estimates (index-aligned with the fleet).
+    estimates: Vec<FastEstimate>,
+}
+
+/// The cloud simulation engine.
+pub struct CloudSimulation {
+    config: SimulationConfig,
+    fleet: Fleet,
+    rng: StdRng,
+}
+
+impl CloudSimulation {
+    /// Create a simulation over an explicit fleet.
+    pub fn new(config: SimulationConfig, fleet: Fleet) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        CloudSimulation { config, fleet, rng }
+    }
+
+    /// Create a simulation over the default 8-QPU IBM-like fleet.
+    pub fn with_default_fleet(config: SimulationConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xF1EE7);
+        let fleet = Fleet::ibm_default(&mut rng);
+        Self::new(config, fleet)
+    }
+
+    /// Run the simulation to completion and produce the report.
+    pub fn run(mut self) -> SimulationReport {
+        let cfg = self.config;
+        let num_qpus = self.fleet.len();
+        let mut load = LoadGenerator::new(cfg.arrival, self.fleet.max_qubits(), cfg.mitigation_fraction);
+        let mut trigger = ScheduleTrigger::new(cfg.trigger_queue_limit, cfg.trigger_interval_s);
+        let scheduler = match cfg.policy {
+            Policy::Qonductor { preference } => Some(HybridScheduler::new(SchedulerConfig {
+                nsga2: cfg.nsga2,
+                preference,
+            })),
+            _ => None,
+        };
+
+        let mut pending: Vec<PendingJob> = Vec::new();
+        let mut in_flight: HashMap<u64, PendingJob> = HashMap::new();
+        let mut assigned_qpu: HashMap<u64, usize> = HashMap::new();
+        let mut completed: Vec<CompletedApp> = Vec::new();
+        let mut timeline: Vec<TimePoint> = Vec::new();
+        let mut cycles: Vec<CycleRecord> = Vec::new();
+        let mut arrived = 0usize;
+        let mut rejected = 0usize;
+        let mut next_metrics_s = 0.0;
+
+        let mut t = 0.0f64;
+        while t < cfg.duration_s {
+            let t_next = (t + cfg.step_s).min(cfg.duration_s);
+
+            // 1. Advance QPU queues (and calibration drift) to t_next, then
+            //    collect completions, so that jobs arriving in [t, t_next) are
+            //    enqueued at t_next and never start before they were submitted.
+            self.fleet.advance_to(t_next, &mut self.rng);
+            for (idx, member) in self.fleet.members_mut().iter_mut().enumerate() {
+                for done in member.queue.take_completed() {
+                    if let Some(job) = in_flight.remove(&done.job_id) {
+                        let est = &job.estimates[idx];
+                        let jitter = 1.0 + self.rng.gen_range(-0.02..0.02);
+                        completed.push(CompletedApp {
+                            app_id: job.app_id,
+                            qpu_index: idx,
+                            submit_s: job.submit_s,
+                            completion_s: done.finish_time_s - job.submit_s,
+                            waiting_s: done.start_time_s - job.submit_s,
+                            execution_s: done.execution_s(),
+                            fidelity: (est.fidelity * jitter).clamp(0.0, 1.0),
+                            mitigated: job.mitigated,
+                        });
+                        assigned_qpu.remove(&job.app_id);
+                    }
+                }
+            }
+
+            // 2. Arrivals in [t, t_next).
+            for app in load.arrivals_in(t, t_next, &mut self.rng) {
+                arrived += 1;
+                match self.build_pending(&app) {
+                    Some(job) => match cfg.policy {
+                        Policy::Qonductor { .. } => pending.push(job),
+                        Policy::Fcfs => {
+                            let qpu = best_fidelity_qpu(&job, &self.fleet);
+                            self.place(job, qpu, t_next, &mut in_flight, &mut assigned_qpu);
+                        }
+                        Policy::LeastBusy => {
+                            let qpu = least_busy_qpu(&job, &self.fleet);
+                            self.place(job, qpu, t_next, &mut in_flight, &mut assigned_qpu);
+                        }
+                    },
+                    None => rejected += 1,
+                }
+            }
+
+            // 3. Scheduling trigger (Qonductor policy only).
+            if let Some(scheduler) = &scheduler {
+                if trigger.check(pending.len(), t_next).is_some() {
+                    trigger.mark_invoked(t_next);
+                    let cycle = self.run_cycle(scheduler, &mut pending, t_next, &mut in_flight, &mut assigned_qpu);
+                    if let Some(c) = cycle {
+                        cycles.push(c);
+                    }
+                }
+            }
+
+            // 4. Metrics sampling.
+            if t_next >= next_metrics_s {
+                next_metrics_s += cfg.metrics_interval_s;
+                timeline.push(TimePoint {
+                    t_s: t_next,
+                    mean_fidelity: mean(completed.iter().map(|c| c.fidelity)),
+                    mean_completion_s: mean(completed.iter().map(|c| c.completion_s)),
+                    mean_utilization: mean(self.fleet.members().iter().map(|m| m.queue.utilization())),
+                    scheduler_queue_len: pending.len(),
+                    completed: completed.len(),
+                });
+            }
+
+            t = t_next;
+        }
+
+        let _ = num_qpus;
+        SimulationReport {
+            timeline,
+            cycles,
+            qpu_busy_s: self.fleet.members().iter().map(|m| m.queue.busy_s()).collect(),
+            qpu_names: self.fleet.members().iter().map(|m| m.qpu.name.clone()).collect(),
+            completed,
+            arrived,
+            rejected,
+        }
+    }
+
+    /// Build the pending-job record (per-QPU estimates) for an application.
+    /// Returns `None` if no QPU in the fleet can fit the circuit.
+    fn build_pending(&mut self, app: &HybridApplication) -> Option<PendingJob> {
+        let qubits = app.circuit.num_qubits();
+        if qubits > self.fleet.max_qubits() {
+            return None;
+        }
+        let metrics = CircuitMetrics::of(&app.circuit);
+        let estimates: Vec<FastEstimate> = self
+            .fleet
+            .members()
+            .iter()
+            .map(|m| {
+                if m.qpu.num_qubits() >= qubits {
+                    let cost = estimates::stack_cost_for(&app.circuit, &app.mitigation, &m.qpu);
+                    estimates::estimate_from_metrics(&metrics, cost, &m.qpu)
+                } else {
+                    FastEstimate { fidelity: 0.0, quantum_time_s: f64::INFINITY, classical_time_s: 0.0 }
+                }
+            })
+            .collect();
+        Some(PendingJob {
+            app_id: app.app_id,
+            submit_s: app.submit_time_s,
+            qubits,
+            shots: app.circuit.shots(),
+            mitigated: !app.mitigation.is_empty(),
+            estimates,
+        })
+    }
+
+    /// Enqueue a job on a QPU's queue.
+    fn place(
+        &mut self,
+        job: PendingJob,
+        qpu_index: usize,
+        _now_s: f64,
+        in_flight: &mut HashMap<u64, PendingJob>,
+        assigned: &mut HashMap<u64, usize>,
+    ) {
+        let duration = job.estimates[qpu_index].quantum_time_s.max(0.001);
+        self.fleet.members_mut()[qpu_index].queue.enqueue(job.app_id, duration);
+        assigned.insert(job.app_id, qpu_index);
+        in_flight.insert(job.app_id, job);
+    }
+
+    /// Run one Qonductor scheduling cycle over the pending queue.
+    fn run_cycle(
+        &mut self,
+        scheduler: &HybridScheduler,
+        pending: &mut Vec<PendingJob>,
+        now_s: f64,
+        in_flight: &mut HashMap<u64, PendingJob>,
+        assigned: &mut HashMap<u64, usize>,
+    ) -> Option<CycleRecord> {
+        if pending.is_empty() {
+            return None;
+        }
+        let qpus: Vec<QpuState> = self
+            .fleet
+            .members()
+            .iter()
+            .map(|m| QpuState {
+                name: m.qpu.name.clone(),
+                num_qubits: m.qpu.num_qubits(),
+                waiting_time_s: m.queue.estimated_waiting_s(),
+            })
+            .collect();
+        let jobs: Vec<JobRequest> = pending
+            .iter()
+            .map(|j| JobRequest {
+                job_id: j.app_id,
+                qubits: j.qubits,
+                shots: j.shots,
+                fidelity_per_qpu: j.estimates.iter().map(|e| e.fidelity).collect(),
+                exec_time_per_qpu: j
+                    .estimates
+                    .iter()
+                    .map(|e| if e.quantum_time_s.is_finite() { e.quantum_time_s } else { 1e6 })
+                    .collect(),
+            })
+            .collect();
+        let num_jobs = jobs.len();
+        let outcome = scheduler.schedule(jobs, qpus.clone());
+
+        // Compute per-cycle statistics needed by Figures 8 and 10a.
+        let jcts = completion_times(&outcome.placements, pending, &qpus);
+        let p95 = percentile(&jcts, 0.95);
+        let chosen_exec = mean_exec_of(&outcome.placements.iter().map(|p| p.qpu_index).collect::<Vec<_>>(), pending);
+        let (mut min_exec, mut max_exec) = (chosen_exec, chosen_exec);
+        for sol in &outcome.pareto_front {
+            let e = mean_exec_of(&sol.assignment, pending);
+            min_exec = min_exec.min(e);
+            max_exec = max_exec.max(e);
+        }
+        let front_min_jct = outcome
+            .pareto_front
+            .iter()
+            .map(|s| s.objectives.mean_jct_s)
+            .fold(f64::INFINITY, f64::min);
+        let front_max_jct = outcome
+            .pareto_front
+            .iter()
+            .map(|s| s.objectives.mean_jct_s)
+            .fold(0.0, f64::max);
+        let front_max_fid = outcome
+            .pareto_front
+            .iter()
+            .map(|s| s.objectives.mean_fidelity())
+            .fold(0.0, f64::max);
+        let front_min_fid = outcome
+            .pareto_front
+            .iter()
+            .map(|s| s.objectives.mean_fidelity())
+            .fold(f64::INFINITY, f64::min);
+
+        let record = CycleRecord {
+            t_s: now_s,
+            num_jobs,
+            chosen: outcome.chosen,
+            chosen_p95_jct_s: p95,
+            front_min_jct_s: front_min_jct,
+            front_max_jct_s: front_max_jct,
+            front_max_fidelity: front_max_fid,
+            front_min_fidelity: front_min_fid,
+            chosen_mean_exec_s: chosen_exec,
+            front_min_exec_s: min_exec,
+            front_max_exec_s: max_exec,
+            stage_runtimes_s: [
+                outcome.timings.preprocessing_s,
+                outcome.timings.optimization_s,
+                outcome.timings.selection_s,
+            ],
+        };
+
+        // Place the chosen assignment onto the QPU queues.
+        let placement_of: HashMap<u64, usize> =
+            outcome.placements.iter().map(|p| (p.job_id, p.qpu_index)).collect();
+        let mut still_pending = Vec::new();
+        for job in pending.drain(..) {
+            match placement_of.get(&job.app_id) {
+                Some(&qpu) => self.place(job, qpu, now_s, in_flight, assigned),
+                None => {
+                    if outcome.rejected_jobs.contains(&job.app_id) {
+                        // Permanently rejected: drop it.
+                    } else {
+                        still_pending.push(job);
+                    }
+                }
+            }
+        }
+        *pending = still_pending;
+        Some(record)
+    }
+}
+
+fn best_fidelity_qpu(job: &PendingJob, fleet: &Fleet) -> usize {
+    (0..fleet.len())
+        .filter(|&i| fleet.members()[i].qpu.num_qubits() >= job.qubits)
+        .max_by(|&a, &b| job.estimates[a].fidelity.partial_cmp(&job.estimates[b].fidelity).unwrap())
+        .unwrap_or(0)
+}
+
+fn least_busy_qpu(job: &PendingJob, fleet: &Fleet) -> usize {
+    (0..fleet.len())
+        .filter(|&i| fleet.members()[i].qpu.num_qubits() >= job.qubits)
+        .min_by(|&a, &b| {
+            let wa = fleet.members()[a].queue.estimated_waiting_s();
+            let wb = fleet.members()[b].queue.estimated_waiting_s();
+            wa.partial_cmp(&wb).unwrap()
+        })
+        .unwrap_or(0)
+}
+
+/// Per-job completion-time estimates of a placement set (queue wait + all
+/// co-scheduled execution time on the chosen QPU), mirroring Eq. 1.
+fn completion_times(
+    placements: &[qonductor_scheduler::Placement],
+    pending: &[PendingJob],
+    qpus: &[QpuState],
+) -> Vec<f64> {
+    let by_id: HashMap<u64, &PendingJob> = pending.iter().map(|j| (j.app_id, j)).collect();
+    let mut per_qpu_load = vec![0.0f64; qpus.len()];
+    for p in placements {
+        if let Some(job) = by_id.get(&p.job_id) {
+            per_qpu_load[p.qpu_index] += job.estimates[p.qpu_index].quantum_time_s;
+        }
+    }
+    placements
+        .iter()
+        .map(|p| qpus[p.qpu_index].waiting_time_s + per_qpu_load[p.qpu_index])
+        .collect()
+}
+
+fn mean_exec_of(assignment: &[usize], pending: &[PendingJob]) -> f64 {
+    if assignment.is_empty() || pending.is_empty() {
+        return 0.0;
+    }
+    let n = assignment.len().min(pending.len());
+    let mut sum = 0.0;
+    for i in 0..n {
+        let e = pending[i].estimates[assignment[i]].quantum_time_s;
+        if e.is_finite() {
+            sum += e;
+        }
+    }
+    sum / n as f64
+}
+
+fn percentile(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn short_config(policy: Policy) -> SimulationConfig {
+        SimulationConfig {
+            duration_s: 400.0,
+            step_s: 10.0,
+            arrival: ArrivalConfig { mean_rate_per_hour: 600.0, ..Default::default() },
+            policy,
+            trigger_queue_limit: 30,
+            trigger_interval_s: 60.0,
+            metrics_interval_s: 50.0,
+            nsga2: Nsga2Config {
+                population_size: 20,
+                max_generations: 15,
+                max_evaluations: 1500,
+                num_threads: 2,
+                ..Nsga2Config::default()
+            },
+            seed: 7,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn qonductor_simulation_produces_cycles_and_completions() {
+        let sim = CloudSimulation::with_default_fleet(short_config(Policy::Qonductor {
+            preference: Preference::balanced(),
+        }));
+        let report = sim.run();
+        assert!(report.arrived > 20);
+        assert!(!report.cycles.is_empty(), "scheduling cycles must have run");
+        assert!(!report.completed.is_empty(), "jobs must have completed");
+        assert!(!report.timeline.is_empty());
+        assert_eq!(report.qpu_busy_s.len(), 8);
+        for c in &report.completed {
+            assert!(c.fidelity >= 0.0 && c.fidelity <= 1.0);
+            assert!(c.completion_s >= c.execution_s - 1e-6);
+            assert!(c.waiting_s >= -1e-6);
+        }
+    }
+
+    #[test]
+    fn fcfs_concentrates_load_qonductor_spreads_it() {
+        let fcfs = CloudSimulation::with_default_fleet(short_config(Policy::Fcfs)).run();
+        let qonductor = CloudSimulation::with_default_fleet(short_config(Policy::Qonductor {
+            preference: Preference::balanced(),
+        }))
+        .run();
+        // FCFS (fidelity-greedy) leaves some QPUs idle; Qonductor spreads the load,
+        // so its max-load-difference is smaller.
+        assert!(
+            qonductor.max_load_difference() < fcfs.max_load_difference() + 1e-9,
+            "qonductor {} vs fcfs {}",
+            qonductor.max_load_difference(),
+            fcfs.max_load_difference()
+        );
+        // FCFS uses fewer distinct QPUs than Qonductor.
+        let used = |r: &SimulationReport| r.qpu_busy_s.iter().filter(|&&b| b > 0.0).count();
+        assert!(used(&qonductor) >= used(&fcfs));
+    }
+
+    #[test]
+    fn cycle_records_are_internally_consistent() {
+        let report = CloudSimulation::with_default_fleet(short_config(Policy::Qonductor {
+            preference: Preference::balanced(),
+        }))
+        .run();
+        for c in &report.cycles {
+            assert!(c.front_min_jct_s <= c.chosen.mean_jct_s + 1e-6);
+            assert!(c.front_max_jct_s >= c.chosen.mean_jct_s - 1e-6);
+            assert!(c.front_min_fidelity <= c.chosen.mean_fidelity() + 1e-6);
+            assert!(c.front_max_fidelity >= c.chosen.mean_fidelity() - 1e-6);
+            assert!(c.front_min_exec_s <= c.chosen_mean_exec_s + 1e-6);
+            assert!(c.front_max_exec_s >= c.chosen_mean_exec_s - 1e-6);
+            assert!(c.chosen_p95_jct_s >= 0.0);
+            assert!(c.num_jobs > 0);
+            assert!(c.stage_runtimes_s[1] > 0.0, "optimization stage must take time");
+        }
+    }
+
+    #[test]
+    fn least_busy_policy_runs_without_scheduler_cycles() {
+        let report = CloudSimulation::with_default_fleet(short_config(Policy::LeastBusy)).run();
+        assert!(report.cycles.is_empty());
+        assert!(!report.completed.is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = CloudSimulation::with_default_fleet(short_config(Policy::Fcfs)).run();
+        let b = CloudSimulation::with_default_fleet(short_config(Policy::Fcfs)).run();
+        assert_eq!(a.arrived, b.arrived);
+        assert_eq!(a.completed.len(), b.completed.len());
+        assert!((a.mean_fidelity() - b.mean_fidelity()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,377 @@
+//! Raft-style leader election over a simulated partially synchronous network
+//! (§4 "Fault tolerance": the control plane and system monitor are replicated
+//! over 2f+1 nodes; backups detect failures through heartbeat messages delayed
+//! beyond Δ and elect a new leader using Raft).
+//!
+//! The implementation is a deterministic discrete-time simulation: every call
+//! to [`Cluster::tick`] advances logical time by one step, delivers queued
+//! messages, fires election timeouts, and lets the leader emit heartbeats.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Role of a replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Role {
+    /// Passive replica following a leader.
+    Follower,
+    /// Replica campaigning for leadership.
+    Candidate,
+    /// The elected leader.
+    Leader,
+}
+
+/// Messages exchanged between replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Message {
+    /// Leader heartbeat (empty AppendEntries).
+    Heartbeat {
+        /// Sender's term.
+        term: u64,
+        /// Sender (leader) id.
+        from: usize,
+    },
+    /// Vote request from a candidate.
+    RequestVote {
+        /// Candidate's term.
+        term: u64,
+        /// Candidate id.
+        from: usize,
+    },
+    /// Vote granted to a candidate.
+    VoteGranted {
+        /// Voter's term.
+        term: u64,
+        /// Voter id.
+        from: usize,
+        /// Candidate the vote is for.
+        candidate: usize,
+    },
+}
+
+/// One replica's volatile election state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Node {
+    /// Replica id.
+    pub id: usize,
+    /// Current role.
+    pub role: Role,
+    /// Current term.
+    pub term: u64,
+    /// Vote cast in the current term.
+    pub voted_for: Option<usize>,
+    /// Ticks since the last heartbeat (or election start).
+    pub ticks_since_heartbeat: u64,
+    /// Election timeout in ticks (randomised per node to avoid split votes).
+    pub election_timeout: u64,
+    /// Votes received while a candidate.
+    pub votes_received: usize,
+    /// `true` while the node is crashed (drops all messages, sends nothing).
+    pub crashed: bool,
+}
+
+/// A cluster of 2f+1 replicas with an in-memory message network.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    nodes: Vec<Node>,
+    /// Per-destination message queues.
+    inboxes: Vec<VecDeque<Message>>,
+    heartbeat_interval: u64,
+    rng: StdRng,
+    /// Logical time in ticks.
+    time: u64,
+}
+
+impl Cluster {
+    /// Create a cluster of `num_nodes` replicas (must be odd, ≥ 3 for f ≥ 1).
+    pub fn new(num_nodes: usize, seed: u64) -> Self {
+        assert!(num_nodes >= 1, "cluster needs at least one node");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let nodes = (0..num_nodes)
+            .map(|id| Node {
+                id,
+                role: Role::Follower,
+                term: 0,
+                voted_for: None,
+                ticks_since_heartbeat: 0,
+                election_timeout: rng.gen_range(10..20),
+                votes_received: 0,
+                crashed: false,
+            })
+            .collect();
+        Cluster {
+            nodes,
+            inboxes: (0..num_nodes).map(|_| VecDeque::new()).collect(),
+            heartbeat_interval: 3,
+            rng,
+            time: 0,
+        }
+    }
+
+    /// Number of replicas.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the cluster has no replicas.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The current leader id, if exactly one non-crashed leader exists.
+    pub fn leader(&self) -> Option<usize> {
+        let leaders: Vec<usize> = self
+            .nodes
+            .iter()
+            .filter(|n| n.role == Role::Leader && !n.crashed)
+            .map(|n| n.id)
+            .collect();
+        // With multiple stale leaders, the one with the highest term wins.
+        leaders
+            .iter()
+            .copied()
+            .max_by_key(|&id| self.nodes[id].term)
+    }
+
+    /// Access a node's state.
+    pub fn node(&self, id: usize) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// Logical time in ticks.
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Crash a replica (it stops sending and receiving).
+    pub fn crash(&mut self, id: usize) {
+        self.nodes[id].crashed = true;
+        self.inboxes[id].clear();
+    }
+
+    /// Recover a crashed replica as a follower.
+    pub fn recover(&mut self, id: usize) {
+        let node = &mut self.nodes[id];
+        node.crashed = false;
+        node.role = Role::Follower;
+        node.ticks_since_heartbeat = 0;
+        node.votes_received = 0;
+    }
+
+    /// Advance the simulation by one tick: deliver messages, fire timeouts,
+    /// emit heartbeats.
+    pub fn tick(&mut self) {
+        self.time += 1;
+        let n = self.nodes.len();
+        // 1. Deliver all queued messages.
+        for id in 0..n {
+            if self.nodes[id].crashed {
+                self.inboxes[id].clear();
+                continue;
+            }
+            let messages: Vec<Message> = self.inboxes[id].drain(..).collect();
+            for msg in messages {
+                self.handle_message(id, msg);
+            }
+        }
+        // 2. Timers.
+        for id in 0..n {
+            if self.nodes[id].crashed {
+                continue;
+            }
+            match self.nodes[id].role {
+                Role::Leader => {
+                    if self.time % self.heartbeat_interval == 0 {
+                        let term = self.nodes[id].term;
+                        self.broadcast(id, Message::Heartbeat { term, from: id });
+                    }
+                }
+                Role::Follower | Role::Candidate => {
+                    self.nodes[id].ticks_since_heartbeat += 1;
+                    if self.nodes[id].ticks_since_heartbeat >= self.nodes[id].election_timeout {
+                        self.start_election(id);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run ticks until a leader is elected or `max_ticks` elapse. Returns the
+    /// leader id if one emerged.
+    pub fn run_until_leader(&mut self, max_ticks: u64) -> Option<usize> {
+        for _ in 0..max_ticks {
+            self.tick();
+            if let Some(l) = self.leader() {
+                // Require the leader to have a quorum of up nodes acknowledging
+                // (approximated by a majority of nodes sharing its term).
+                let term = self.nodes[l].term;
+                let followers = self
+                    .nodes
+                    .iter()
+                    .filter(|x| !x.crashed && x.term == term)
+                    .count();
+                if followers * 2 > self.alive_count() {
+                    return Some(l);
+                }
+            }
+        }
+        self.leader()
+    }
+
+    fn alive_count(&self) -> usize {
+        self.nodes.iter().filter(|n| !n.crashed).count()
+    }
+
+    fn start_election(&mut self, id: usize) {
+        let node = &mut self.nodes[id];
+        node.role = Role::Candidate;
+        node.term += 1;
+        node.voted_for = Some(id);
+        node.votes_received = 1;
+        node.ticks_since_heartbeat = 0;
+        node.election_timeout = self.rng.gen_range(10..20);
+        let term = node.term;
+        self.broadcast(id, Message::RequestVote { term, from: id });
+        // Single-node cluster: immediate leadership.
+        if self.nodes.len() == 1 {
+            self.nodes[id].role = Role::Leader;
+        }
+    }
+
+    fn broadcast(&mut self, from: usize, msg: Message) {
+        for id in 0..self.nodes.len() {
+            if id != from && !self.nodes[id].crashed {
+                self.inboxes[id].push_back(msg);
+            }
+        }
+    }
+
+    fn send(&mut self, to: usize, msg: Message) {
+        if !self.nodes[to].crashed {
+            self.inboxes[to].push_back(msg);
+        }
+    }
+
+    fn handle_message(&mut self, id: usize, msg: Message) {
+        match msg {
+            Message::Heartbeat { term, from } => {
+                let node = &mut self.nodes[id];
+                if term >= node.term {
+                    node.term = term;
+                    node.role = Role::Follower;
+                    node.ticks_since_heartbeat = 0;
+                    node.voted_for = Some(from);
+                }
+            }
+            Message::RequestVote { term, from } => {
+                let grant = {
+                    let node = &mut self.nodes[id];
+                    if term > node.term {
+                        node.term = term;
+                        node.role = Role::Follower;
+                        node.voted_for = None;
+                    }
+                    term >= node.term && node.voted_for.is_none()
+                };
+                if grant {
+                    self.nodes[id].voted_for = Some(from);
+                    self.nodes[id].ticks_since_heartbeat = 0;
+                    let term = self.nodes[id].term;
+                    self.send(from, Message::VoteGranted { term, from: id, candidate: from });
+                }
+            }
+            Message::VoteGranted { term, candidate, .. } => {
+                let majority = self.nodes.len() / 2 + 1;
+                let node = &mut self.nodes[id];
+                if node.role == Role::Candidate && candidate == id && term == node.term {
+                    node.votes_received += 1;
+                    if node.votes_received >= majority {
+                        node.role = Role::Leader;
+                        let term = node.term;
+                        self.broadcast(id, Message::Heartbeat { term, from: id });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_node_cluster_elects_exactly_one_leader() {
+        let mut cluster = Cluster::new(3, 1);
+        let leader = cluster.run_until_leader(200);
+        assert!(leader.is_some());
+        let leaders = (0..3).filter(|&i| cluster.node(i).role == Role::Leader).count();
+        assert_eq!(leaders, 1);
+    }
+
+    #[test]
+    fn leader_failure_triggers_re_election() {
+        let mut cluster = Cluster::new(5, 2);
+        let first = cluster.run_until_leader(200).expect("initial leader");
+        cluster.crash(first);
+        let second = cluster.run_until_leader(400).expect("new leader after crash");
+        assert_ne!(first, second);
+        assert!(cluster.node(second).term > cluster.node(first).term);
+    }
+
+    #[test]
+    fn heartbeats_keep_followers_from_campaigning() {
+        let mut cluster = Cluster::new(3, 3);
+        let leader = cluster.run_until_leader(200).unwrap();
+        let term_after_election = cluster.node(leader).term;
+        // Run for a long stable period: the term must not change.
+        for _ in 0..300 {
+            cluster.tick();
+        }
+        assert_eq!(cluster.leader(), Some(leader));
+        assert_eq!(cluster.node(leader).term, term_after_election);
+    }
+
+    #[test]
+    fn recovered_node_rejoins_as_follower() {
+        let mut cluster = Cluster::new(5, 4);
+        let leader = cluster.run_until_leader(200).unwrap();
+        let victim = (leader + 1) % 5;
+        cluster.crash(victim);
+        for _ in 0..50 {
+            cluster.tick();
+        }
+        cluster.recover(victim);
+        for _ in 0..100 {
+            cluster.tick();
+        }
+        assert_eq!(cluster.node(victim).role, Role::Follower);
+        assert_eq!(cluster.leader(), Some(leader));
+    }
+
+    #[test]
+    fn single_node_cluster_becomes_leader_immediately() {
+        let mut cluster = Cluster::new(1, 5);
+        let leader = cluster.run_until_leader(50);
+        assert_eq!(leader, Some(0));
+    }
+
+    #[test]
+    fn majority_loss_prevents_election() {
+        let mut cluster = Cluster::new(5, 6);
+        let leader = cluster.run_until_leader(200).unwrap();
+        // Crash the leader and two more nodes: only 2 of 5 remain — no majority.
+        cluster.crash(leader);
+        cluster.crash((leader + 1) % 5);
+        cluster.crash((leader + 2) % 5);
+        for _ in 0..400 {
+            cluster.tick();
+        }
+        let leaders = (0..5)
+            .filter(|&i| !cluster.node(i).crashed && cluster.node(i).role == Role::Leader)
+            .count();
+        assert_eq!(leaders, 0, "no leader can be elected without a majority");
+    }
+}

@@ -1,0 +1,236 @@
+//! Replicated key-value store backing the *system monitor* datastore (§4): the
+//! complete system state (worker resources, QPU calibration data, job queues,
+//! workflow status, results) is persisted on a quorum of 2f+1 replicas; writes
+//! commit once a majority of live replicas acknowledge them.
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A single replica's storage.
+#[derive(Debug, Default)]
+struct Replica {
+    data: BTreeMap<String, String>,
+    /// Index of the last applied write.
+    applied_index: u64,
+    /// `true` while the replica is down.
+    crashed: bool,
+}
+
+/// Errors returned by the replicated store.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StoreError {
+    /// Fewer than a majority of replicas are alive: writes cannot commit.
+    NoQuorum,
+    /// The requested key does not exist.
+    KeyNotFound,
+}
+
+/// A majority-quorum replicated key-value store.
+///
+/// Thread-safe: the store can be shared across the control-plane threads
+/// (API server, job manager, scheduler) via `clone()`; all clones view the
+/// same replicated state.
+#[derive(Debug, Clone, Default)]
+pub struct ReplicatedKvStore {
+    replicas: Arc<RwLock<Vec<Replica>>>,
+    log_length: Arc<RwLock<u64>>,
+}
+
+impl ReplicatedKvStore {
+    /// Create a store replicated over `2f + 1` replicas.
+    pub fn new(fault_tolerance: usize) -> Self {
+        let replica_count = 2 * fault_tolerance + 1;
+        ReplicatedKvStore {
+            replicas: Arc::new(RwLock::new(
+                (0..replica_count).map(|_| Replica::default()).collect(),
+            )),
+            log_length: Arc::new(RwLock::new(0)),
+        }
+    }
+
+    /// Number of replicas (2f + 1).
+    pub fn replica_count(&self) -> usize {
+        self.replicas.read().len()
+    }
+
+    /// Number of currently live replicas.
+    pub fn live_replicas(&self) -> usize {
+        self.replicas.read().iter().filter(|r| !r.crashed).count()
+    }
+
+    /// `true` if a write quorum (majority of all replicas) is available.
+    pub fn has_quorum(&self) -> bool {
+        self.live_replicas() * 2 > self.replica_count()
+    }
+
+    /// Crash one replica (its data is retained but it stops acknowledging writes).
+    pub fn crash_replica(&self, index: usize) {
+        self.replicas.write()[index].crashed = true;
+    }
+
+    /// Recover a crashed replica and catch it up from a live majority replica.
+    pub fn recover_replica(&self, index: usize) {
+        let mut replicas = self.replicas.write();
+        // Find the most up-to-date live replica to copy state from.
+        let best = replicas
+            .iter()
+            .enumerate()
+            .filter(|(i, r)| *i != index && !r.crashed)
+            .max_by_key(|(_, r)| r.applied_index)
+            .map(|(i, _)| i);
+        if let Some(src) = best {
+            let (data, applied) = (replicas[src].data.clone(), replicas[src].applied_index);
+            let target = &mut replicas[index];
+            target.data = data;
+            target.applied_index = applied;
+        }
+        replicas[index].crashed = false;
+    }
+
+    /// Write a key. Succeeds once a majority of replicas apply it.
+    pub fn put(&self, key: impl Into<String>, value: impl Into<String>) -> Result<(), StoreError> {
+        if !self.has_quorum() {
+            return Err(StoreError::NoQuorum);
+        }
+        let key = key.into();
+        let value = value.into();
+        let mut log_length = self.log_length.write();
+        *log_length += 1;
+        let index = *log_length;
+        let mut replicas = self.replicas.write();
+        for r in replicas.iter_mut().filter(|r| !r.crashed) {
+            r.data.insert(key.clone(), value.clone());
+            r.applied_index = index;
+        }
+        Ok(())
+    }
+
+    /// Read a key from any live, up-to-date replica.
+    pub fn get(&self, key: &str) -> Result<String, StoreError> {
+        let replicas = self.replicas.read();
+        let newest = replicas
+            .iter()
+            .filter(|r| !r.crashed)
+            .max_by_key(|r| r.applied_index)
+            .ok_or(StoreError::NoQuorum)?;
+        newest.data.get(key).cloned().ok_or(StoreError::KeyNotFound)
+    }
+
+    /// Delete a key on a majority of replicas.
+    pub fn delete(&self, key: &str) -> Result<(), StoreError> {
+        if !self.has_quorum() {
+            return Err(StoreError::NoQuorum);
+        }
+        let mut log_length = self.log_length.write();
+        *log_length += 1;
+        let index = *log_length;
+        let mut replicas = self.replicas.write();
+        for r in replicas.iter_mut().filter(|r| !r.crashed) {
+            r.data.remove(key);
+            r.applied_index = index;
+        }
+        Ok(())
+    }
+
+    /// List all keys with the given prefix (from the freshest live replica).
+    pub fn keys_with_prefix(&self, prefix: &str) -> Vec<String> {
+        let replicas = self.replicas.read();
+        replicas
+            .iter()
+            .filter(|r| !r.crashed)
+            .max_by_key(|r| r.applied_index)
+            .map(|r| {
+                r.data
+                    .keys()
+                    .filter(|k| k.starts_with(prefix))
+                    .cloned()
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Number of committed writes (the replication log length).
+    pub fn committed_writes(&self) -> u64 {
+        *self.log_length.read()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let store = ReplicatedKvStore::new(1);
+        assert_eq!(store.replica_count(), 3);
+        store.put("qpu/ibm_cairo/queue", "17").unwrap();
+        assert_eq!(store.get("qpu/ibm_cairo/queue").unwrap(), "17");
+        assert_eq!(store.get("missing"), Err(StoreError::KeyNotFound));
+    }
+
+    #[test]
+    fn writes_survive_single_replica_failure() {
+        let store = ReplicatedKvStore::new(1);
+        store.put("a", "1").unwrap();
+        store.crash_replica(0);
+        assert!(store.has_quorum());
+        store.put("b", "2").unwrap();
+        assert_eq!(store.get("a").unwrap(), "1");
+        assert_eq!(store.get("b").unwrap(), "2");
+    }
+
+    #[test]
+    fn losing_the_majority_blocks_writes() {
+        let store = ReplicatedKvStore::new(1);
+        store.put("a", "1").unwrap();
+        store.crash_replica(0);
+        store.crash_replica(1);
+        assert!(!store.has_quorum());
+        assert_eq!(store.put("b", "2"), Err(StoreError::NoQuorum));
+        // Reads from the surviving replica still work.
+        assert_eq!(store.get("a").unwrap(), "1");
+    }
+
+    #[test]
+    fn recovered_replica_catches_up() {
+        let store = ReplicatedKvStore::new(1);
+        store.put("a", "1").unwrap();
+        store.crash_replica(2);
+        store.put("b", "2").unwrap();
+        store.put("a", "updated").unwrap();
+        store.recover_replica(2);
+        // Crash the other two: replica 2 must now serve the latest state alone.
+        store.crash_replica(0);
+        store.crash_replica(1);
+        assert_eq!(store.get("a").unwrap(), "updated");
+        assert_eq!(store.get("b").unwrap(), "2");
+    }
+
+    #[test]
+    fn prefix_listing_and_delete() {
+        let store = ReplicatedKvStore::new(1);
+        store.put("qpu/cairo/queue", "3").unwrap();
+        store.put("qpu/hanoi/queue", "9").unwrap();
+        store.put("workflow/42/status", "running").unwrap();
+        let qpu_keys = store.keys_with_prefix("qpu/");
+        assert_eq!(qpu_keys.len(), 2);
+        store.delete("qpu/cairo/queue").unwrap();
+        assert_eq!(store.keys_with_prefix("qpu/").len(), 1);
+        assert_eq!(store.get("qpu/cairo/queue"), Err(StoreError::KeyNotFound));
+    }
+
+    #[test]
+    fn clones_share_state_across_threads() {
+        let store = ReplicatedKvStore::new(2);
+        assert_eq!(store.replica_count(), 5);
+        let clone = store.clone();
+        let handle = std::thread::spawn(move || {
+            clone.put("written/from/thread", "yes").unwrap();
+        });
+        handle.join().unwrap();
+        assert_eq!(store.get("written/from/thread").unwrap(), "yes");
+        assert_eq!(store.committed_writes(), 1);
+    }
+}

@@ -1,0 +1,16 @@
+//! # qonductor-consensus
+//!
+//! Fault-tolerance substrate for the Qonductor control plane and system
+//! monitor (§4): heartbeat-based failure detection with Raft-style leader
+//! election over a simulated partially synchronous network, and a
+//! majority-quorum replicated key-value store that persists the complete
+//! system state (worker resources, QPU calibration, job queues, workflow
+//! status, and results).
+
+#![warn(missing_docs)]
+
+pub mod election;
+pub mod kvstore;
+
+pub use election::{Cluster, Message, Node, Role};
+pub use kvstore::{ReplicatedKvStore, StoreError};

@@ -1,0 +1,28 @@
+//! # qonductor-core
+//!
+//! The Qonductor control plane and data plane (§4, §5): the hardware-agnostic
+//! user API of Table 2 (`create_workflow`, `deploy`, `invoke`,
+//! `workflow_results`, image listing, resource estimation, scheduling), the
+//! workflow manager (hybrid DAGs of classical and quantum steps), the workflow
+//! registry (hybrid workflow images), deployment configuration (Listing 1
+//! analogue), the replicated system monitor, and the orchestrator that wires
+//! the resource estimator, hybrid scheduler, QPU fleet, and classical nodes
+//! into an end-to-end execution engine.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod monitor;
+pub mod orchestrator;
+pub mod registry;
+pub mod workflow;
+
+pub use config::{DeploymentConfig, Priority, ResourceLimits};
+pub use monitor::{SystemMonitor, WorkflowStatus};
+pub use orchestrator::{
+    ClassicalStepResult, Orchestrator, OrchestratorError, QuantumStepResult, RunId, WorkflowResult,
+};
+pub use registry::{HybridWorkflowImage, ImageId, WorkflowRegistry};
+pub use workflow::{
+    mitigated_execution_workflow, ClassicalKind, ClassicalStep, QuantumStep, Step, Workflow,
+};

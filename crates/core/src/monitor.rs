@@ -1,0 +1,168 @@
+//! The system monitor (§4): a typed facade over the replicated key-value store
+//! that persists the complete system state — worker/QPU static and dynamic
+//! information, workflow execution status, and results.
+
+use qonductor_consensus::{ReplicatedKvStore, StoreError};
+use serde::{Deserialize, Serialize};
+
+/// Execution status of a workflow run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkflowStatus {
+    /// Accepted but not yet scheduled.
+    Pending,
+    /// Currently executing.
+    Running,
+    /// Finished successfully.
+    Completed,
+    /// Failed (e.g. no feasible QPU).
+    Failed,
+}
+
+impl WorkflowStatus {
+    fn as_str(&self) -> &'static str {
+        match self {
+            WorkflowStatus::Pending => "pending",
+            WorkflowStatus::Running => "running",
+            WorkflowStatus::Completed => "completed",
+            WorkflowStatus::Failed => "failed",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Self> {
+        match s {
+            "pending" => Some(WorkflowStatus::Pending),
+            "running" => Some(WorkflowStatus::Running),
+            "completed" => Some(WorkflowStatus::Completed),
+            "failed" => Some(WorkflowStatus::Failed),
+            _ => None,
+        }
+    }
+}
+
+/// Typed system-monitor facade over the replicated datastore.
+#[derive(Debug, Clone)]
+pub struct SystemMonitor {
+    store: ReplicatedKvStore,
+}
+
+impl Default for SystemMonitor {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+impl SystemMonitor {
+    /// Create a monitor replicated over `2f + 1` replicas (default `f = 1`).
+    pub fn new(fault_tolerance: usize) -> Self {
+        SystemMonitor { store: ReplicatedKvStore::new(fault_tolerance) }
+    }
+
+    /// The underlying replicated store.
+    pub fn store(&self) -> &ReplicatedKvStore {
+        &self.store
+    }
+
+    /// Record a QPU's static information.
+    pub fn record_qpu_static(&self, name: &str, num_qubits: u32, model: &str) -> Result<(), StoreError> {
+        self.store.put(format!("qpu/{name}/static"), format!("{num_qubits},{model}"))
+    }
+
+    /// Record a QPU's dynamic information (queue length, estimated waiting time,
+    /// calibration cycle).
+    pub fn record_qpu_dynamic(
+        &self,
+        name: &str,
+        queue_len: usize,
+        waiting_s: f64,
+        calibration_cycle: u64,
+    ) -> Result<(), StoreError> {
+        self.store.put(
+            format!("qpu/{name}/dynamic"),
+            format!("{queue_len},{waiting_s:.3},{calibration_cycle}"),
+        )
+    }
+
+    /// All QPU names known to the monitor.
+    pub fn qpu_names(&self) -> Vec<String> {
+        self.store
+            .keys_with_prefix("qpu/")
+            .into_iter()
+            .filter_map(|k| k.split('/').nth(1).map(|s| s.to_string()))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect()
+    }
+
+    /// The recorded waiting time of a QPU (seconds), if known.
+    pub fn qpu_waiting_s(&self, name: &str) -> Option<f64> {
+        let value = self.store.get(&format!("qpu/{name}/dynamic")).ok()?;
+        value.split(',').nth(1)?.parse().ok()
+    }
+
+    /// Update a workflow run's execution status.
+    pub fn set_workflow_status(&self, run_id: u64, status: WorkflowStatus) -> Result<(), StoreError> {
+        self.store.put(format!("workflow/{run_id}/status"), status.as_str())
+    }
+
+    /// Read a workflow run's execution status.
+    pub fn workflow_status(&self, run_id: u64) -> Option<WorkflowStatus> {
+        self.store
+            .get(&format!("workflow/{run_id}/status"))
+            .ok()
+            .and_then(|s| WorkflowStatus::from_str(&s))
+    }
+
+    /// Store a workflow run's (serialised) result payload.
+    pub fn set_workflow_result(&self, run_id: u64, payload: &str) -> Result<(), StoreError> {
+        self.store.put(format!("workflow/{run_id}/result"), payload)
+    }
+
+    /// Read a workflow run's result payload.
+    pub fn workflow_result(&self, run_id: u64) -> Option<String> {
+        self.store.get(&format!("workflow/{run_id}/result")).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qpu_records_roundtrip() {
+        let monitor = SystemMonitor::default();
+        monitor.record_qpu_static("ibm_cairo", 27, "falcon-r5.11").unwrap();
+        monitor.record_qpu_dynamic("ibm_cairo", 12, 340.5, 3).unwrap();
+        monitor.record_qpu_static("ibm_lagos", 7, "falcon-r5.11h").unwrap();
+        let names = monitor.qpu_names();
+        assert_eq!(names, vec!["ibm_cairo".to_string(), "ibm_lagos".to_string()]);
+        assert!((monitor.qpu_waiting_s("ibm_cairo").unwrap() - 340.5).abs() < 1e-9);
+        assert!(monitor.qpu_waiting_s("ibm_unknown").is_none());
+    }
+
+    #[test]
+    fn workflow_status_lifecycle() {
+        let monitor = SystemMonitor::default();
+        assert!(monitor.workflow_status(7).is_none());
+        monitor.set_workflow_status(7, WorkflowStatus::Pending).unwrap();
+        monitor.set_workflow_status(7, WorkflowStatus::Running).unwrap();
+        assert_eq!(monitor.workflow_status(7), Some(WorkflowStatus::Running));
+        monitor.set_workflow_status(7, WorkflowStatus::Completed).unwrap();
+        assert_eq!(monitor.workflow_status(7), Some(WorkflowStatus::Completed));
+    }
+
+    #[test]
+    fn results_survive_replica_failure() {
+        let monitor = SystemMonitor::new(1);
+        monitor.set_workflow_result(1, "fidelity=0.93").unwrap();
+        monitor.store().crash_replica(0);
+        assert_eq!(monitor.workflow_result(1).unwrap(), "fidelity=0.93");
+        monitor.set_workflow_result(2, "fidelity=0.88").unwrap();
+        assert_eq!(monitor.workflow_result(2).unwrap(), "fidelity=0.88");
+    }
+
+    #[test]
+    fn status_parsing_rejects_unknown_values() {
+        assert_eq!(WorkflowStatus::from_str("running"), Some(WorkflowStatus::Running));
+        assert_eq!(WorkflowStatus::from_str("bogus"), None);
+    }
+}

@@ -1,0 +1,579 @@
+//! The Qonductor orchestrator: the user-facing API of Table 2
+//! (`create_workflow`, `deploy`, `invoke`, `workflow_results`, …) wired to the
+//! control-plane components — workflow manager/registry, resource estimator,
+//! hybrid scheduler, job manager — and the worker-node resources (the QPU
+//! fleet and classical nodes).
+//!
+//! The orchestrator executes workflows against the *modelled* hybrid cluster
+//! (simulated time): quantum steps are scheduled with the NSGA-II + MCDM
+//! scheduler onto fleet queues, classical steps are placed with the
+//! filter–score scheduler, and results (per-step fidelity, waiting, execution
+//! and completion times, dollar cost) are persisted in the system monitor.
+
+use crate::config::{DeploymentConfig, Priority};
+use crate::monitor::{SystemMonitor, WorkflowStatus};
+use crate::registry::{HybridWorkflowImage, ImageId, WorkflowRegistry};
+use crate::workflow::{Step, Workflow};
+use parking_lot::Mutex;
+use qonductor_backend::Fleet;
+use qonductor_estimator::{
+    generate_plans, EstimationBackend, PlanGeneratorConfig, PricingTable, ResourcePlan,
+};
+use qonductor_mitigation::MitigationStack;
+use qonductor_scheduler::{
+    place, ClassicalNode, HybridScheduler, JobRequest, QpuState, SchedulerConfig, ScoringPolicy,
+};
+use qonductor_transpiler::Transpiler;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a workflow invocation.
+pub type RunId = u64;
+
+/// Errors surfaced by the orchestrator API.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OrchestratorError {
+    /// The referenced workflow image does not exist.
+    ImageNotFound(ImageId),
+    /// The referenced run does not exist.
+    RunNotFound(RunId),
+    /// No QPU in the cluster satisfies the workflow's qubit requirement.
+    NoFeasibleQpu {
+        /// Qubits required by the largest quantum step.
+        required_qubits: u32,
+    },
+    /// No classical node satisfies a classical step's resource request.
+    NoFeasibleClassicalNode,
+}
+
+/// Execution record of one quantum step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantumStepResult {
+    /// Step name.
+    pub step: String,
+    /// Device the step ran on.
+    pub qpu: String,
+    /// Achieved fidelity.
+    pub fidelity: f64,
+    /// Waiting time in the QPU queue (seconds).
+    pub waiting_s: f64,
+    /// Quantum execution time (seconds).
+    pub execution_s: f64,
+}
+
+/// Execution record of one classical step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassicalStepResult {
+    /// Step name.
+    pub step: String,
+    /// Node the step ran on.
+    pub node: String,
+    /// Execution time (seconds).
+    pub execution_s: f64,
+}
+
+/// The result of a completed workflow invocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkflowResult {
+    /// Invocation id.
+    pub run_id: RunId,
+    /// Image the run was invoked from.
+    pub image_id: ImageId,
+    /// The resource plan the run used.
+    pub plan: ResourcePlan,
+    /// Quantum step records.
+    pub quantum_steps: Vec<QuantumStepResult>,
+    /// Classical step records.
+    pub classical_steps: Vec<ClassicalStepResult>,
+    /// End-to-end completion time (seconds of simulated time).
+    pub completion_s: f64,
+    /// Estimated dollar cost of the run (Table 1 pricing).
+    pub cost_usd: f64,
+}
+
+impl WorkflowResult {
+    /// Mean fidelity over the quantum steps (1.0 if there are none).
+    pub fn mean_fidelity(&self) -> f64 {
+        if self.quantum_steps.is_empty() {
+            return 1.0;
+        }
+        self.quantum_steps.iter().map(|s| s.fidelity).sum::<f64>() / self.quantum_steps.len() as f64
+    }
+}
+
+struct OrchestratorState {
+    fleet: Fleet,
+    classical_nodes: Vec<ClassicalNode>,
+    clock_s: f64,
+    next_run_id: RunId,
+    results: Vec<WorkflowResult>,
+    rng: StdRng,
+}
+
+/// The Qonductor orchestrator (control plane + worker resources).
+pub struct Orchestrator {
+    registry: WorkflowRegistry,
+    monitor: SystemMonitor,
+    scheduler: HybridScheduler,
+    transpiler: Transpiler,
+    pricing: PricingTable,
+    state: Mutex<OrchestratorState>,
+}
+
+impl Orchestrator {
+    /// Create an orchestrator over a QPU fleet and a set of classical nodes.
+    pub fn new(fleet: Fleet, classical_nodes: Vec<ClassicalNode>, seed: u64) -> Self {
+        let monitor = SystemMonitor::default();
+        for member in fleet.members() {
+            let _ = monitor.record_qpu_static(
+                &member.qpu.name,
+                member.qpu.num_qubits(),
+                &member.qpu.model.name,
+            );
+        }
+        Orchestrator {
+            registry: WorkflowRegistry::new(),
+            monitor,
+            scheduler: HybridScheduler::new(SchedulerConfig::default()),
+            transpiler: Transpiler::default(),
+            pricing: PricingTable::default(),
+            state: Mutex::new(OrchestratorState {
+                fleet,
+                classical_nodes,
+                clock_s: 0.0,
+                next_run_id: 0,
+                results: Vec::new(),
+                rng: StdRng::seed_from_u64(seed),
+            }),
+        }
+    }
+
+    /// An orchestrator over the default 8-QPU IBM-like fleet and a small
+    /// classical cluster (two standard VMs and one accelerated VM).
+    pub fn with_default_cluster(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fleet = Fleet::ibm_default(&mut rng);
+        let nodes = vec![
+            ClassicalNode::standard_vm("vm-0"),
+            ClassicalNode::standard_vm("vm-1"),
+            ClassicalNode::high_end_vm("gpu-0"),
+        ];
+        Orchestrator::new(fleet, nodes, seed)
+    }
+
+    /// The workflow registry (Table 2: "Register a workflow image", "List
+    /// available hybrid workflow images").
+    pub fn registry(&self) -> &WorkflowRegistry {
+        &self.registry
+    }
+
+    /// The system monitor.
+    pub fn monitor(&self) -> &SystemMonitor {
+        &self.monitor
+    }
+
+    /// Table 2 — *Create a workflow with hybrid code*: package a workflow and
+    /// its deployment configuration into a hybrid workflow image.
+    pub fn create_workflow(&self, workflow: Workflow, config: DeploymentConfig) -> ImageId {
+        self.registry.register(workflow, config)
+    }
+
+    /// Table 2 — *List available hybrid workflow images*.
+    pub fn list_images(&self) -> Vec<(ImageId, String)> {
+        self.registry.list()
+    }
+
+    /// Table 2 — *Deploy a workflow*: validate the image against the cluster
+    /// (does any QPU fit the largest quantum step?) without executing it.
+    pub fn deploy(&self, image_id: ImageId) -> Result<(), OrchestratorError> {
+        let image = self.image(image_id)?;
+        let required = image.workflow.max_qubits().max(image.config.quantum.min_qubits);
+        let state = self.state.lock();
+        if required > 0 && state.fleet.max_qubits() < required {
+            return Err(OrchestratorError::NoFeasibleQpu { required_qubits: required });
+        }
+        Ok(())
+    }
+
+    /// Table 2 — *Estimate the hybrid resources required*: generate resource
+    /// plans for an image (fidelity/runtime/cost tradeoffs over template QPUs
+    /// and mitigation stacks).
+    pub fn estimate_resources(&self, image_id: ImageId) -> Result<Vec<ResourcePlan>, OrchestratorError> {
+        let image = self.image(image_id)?;
+        let state = self.state.lock();
+        let templates: Vec<_> = state
+            .fleet
+            .template_qpus()
+            .into_iter()
+            .filter(|t| {
+                image.config.preferred_models.is_empty()
+                    || image.config.preferred_models.contains(&t.model.name)
+            })
+            .filter(|t| t.num_qubits() >= image.config.quantum.min_qubits)
+            .collect();
+        let plan_config = PlanGeneratorConfig {
+            num_plans: image.config.num_resource_plans,
+            pricing: self.pricing,
+            accelerators_available: state.classical_nodes.iter().any(|n| n.accelerators_free() > 0),
+        };
+        let mut plans = Vec::new();
+        for step in image.workflow.steps() {
+            if let Step::Quantum(q) = step {
+                plans.extend(generate_plans(
+                    &q.circuit,
+                    &templates,
+                    EstimationBackend::Analytic,
+                    &plan_config,
+                ));
+            }
+        }
+        Ok(plans)
+    }
+
+    /// Table 2 — *Invoke a workflow*: execute the image end-to-end on the
+    /// hybrid cluster and return the run id. The run's status and results are
+    /// persisted in the system monitor.
+    pub fn invoke(&self, image_id: ImageId) -> Result<RunId, OrchestratorError> {
+        let image = self.image(image_id)?;
+        let plans = self.estimate_resources(image_id)?;
+        let mut state = self.state.lock();
+        let run_id = state.next_run_id;
+        state.next_run_id += 1;
+        let _ = self.monitor.set_workflow_status(run_id, WorkflowStatus::Pending);
+
+        // Pick the plan matching the configured priority.
+        let plan = pick_plan(&plans, image.config.priority).cloned().unwrap_or_else(|| ResourcePlan {
+            stack_label: "none".into(),
+            stack: MitigationStack::none(),
+            qpu_model: "any".into(),
+            estimated_fidelity: 0.0,
+            quantum_time_s: 0.0,
+            classical_time_s: 0.0,
+            uses_accelerator: false,
+            cost_usd: 0.0,
+        });
+
+        let _ = self.monitor.set_workflow_status(run_id, WorkflowStatus::Running);
+        match self.execute_workflow(&mut state, &image, &plan, run_id) {
+            Ok(result) => {
+                let _ = self.monitor.set_workflow_status(run_id, WorkflowStatus::Completed);
+                let _ = self.monitor.set_workflow_result(
+                    run_id,
+                    &format!(
+                        "fidelity={:.4},completion_s={:.3},cost_usd={:.2}",
+                        result.mean_fidelity(),
+                        result.completion_s,
+                        result.cost_usd
+                    ),
+                );
+                state.results.push(result);
+                Ok(run_id)
+            }
+            Err(e) => {
+                let _ = self.monitor.set_workflow_status(run_id, WorkflowStatus::Failed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Table 2 — *Get the workflow results*.
+    pub fn workflow_results(&self, run_id: RunId) -> Result<WorkflowResult, OrchestratorError> {
+        self.state
+            .lock()
+            .results
+            .iter()
+            .find(|r| r.run_id == run_id)
+            .cloned()
+            .ok_or(OrchestratorError::RunNotFound(run_id))
+    }
+
+    /// Execution status of a run (from the system monitor).
+    pub fn workflow_status(&self, run_id: RunId) -> Option<WorkflowStatus> {
+        self.monitor.workflow_status(run_id)
+    }
+
+    fn image(&self, image_id: ImageId) -> Result<HybridWorkflowImage, OrchestratorError> {
+        self.registry.get(image_id).ok_or(OrchestratorError::ImageNotFound(image_id))
+    }
+
+    /// Execute a workflow's steps in topological order against the cluster.
+    fn execute_workflow(
+        &self,
+        state: &mut OrchestratorState,
+        image: &HybridWorkflowImage,
+        plan: &ResourcePlan,
+        run_id: RunId,
+    ) -> Result<WorkflowResult, OrchestratorError> {
+        let order = image.workflow.topological_order().expect("registry guarantees acyclic workflows");
+        let start_s = state.clock_s;
+        let mut quantum_steps = Vec::new();
+        let mut classical_steps = Vec::new();
+        let mut quantum_time_total = 0.0;
+        let mut classical_time_total = 0.0;
+
+        for idx in order {
+            match &image.workflow.steps()[idx] {
+                Step::Classical(step) => {
+                    let node_idx = place(&state.classical_nodes, &step.request, ScoringPolicy::LeastAllocated)
+                        .ok_or(OrchestratorError::NoFeasibleClassicalNode)?;
+                    let node_name = state.classical_nodes[node_idx].name.clone();
+                    let duration = step.estimated_duration_s;
+                    state.clock_s += duration;
+                    classical_time_total += duration;
+                    classical_steps.push(ClassicalStepResult {
+                        step: step.name.clone(),
+                        node: node_name,
+                        execution_s: duration,
+                    });
+                }
+                Step::Quantum(step) => {
+                    let result = self.execute_quantum_step(state, step, &plan.stack)?;
+                    quantum_time_total += result.execution_s;
+                    quantum_steps.push(result);
+                }
+            }
+        }
+
+        let completion_s = state.clock_s - start_s;
+        let cost_usd = self
+            .pricing
+            .hybrid_job_cost_usd(quantum_time_total, classical_time_total, plan.uses_accelerator);
+        Ok(WorkflowResult {
+            run_id,
+            image_id: image.id,
+            plan: plan.clone(),
+            quantum_steps,
+            classical_steps,
+            completion_s,
+            cost_usd,
+        })
+    }
+
+    /// Schedule and execute one quantum step on the fleet.
+    fn execute_quantum_step(
+        &self,
+        state: &mut OrchestratorState,
+        step: &crate::workflow::QuantumStep,
+        plan_stack: &MitigationStack,
+    ) -> Result<QuantumStepResult, OrchestratorError> {
+        let circuit = &step.circuit;
+        let stack = if step.mitigation.is_empty() { plan_stack.clone() } else { step.mitigation.clone() };
+        // Per-QPU estimates via transpilation + ESP + mitigation uplift.
+        let mut fidelity_per_qpu = Vec::with_capacity(state.fleet.len());
+        let mut exec_time_per_qpu = Vec::with_capacity(state.fleet.len());
+        for member in state.fleet.members() {
+            if member.qpu.num_qubits() < circuit.num_qubits() {
+                fidelity_per_qpu.push(0.0);
+                exec_time_per_qpu.push(1e9);
+                continue;
+            }
+            let noise = member.qpu.noise_model();
+            let transpiled = self.transpiler.transpile_for_qpu(circuit, &member.qpu);
+            let cost = stack.cost(&transpiled.circuit, &noise);
+            let base = noise.estimated_success_probability(&transpiled.circuit);
+            fidelity_per_qpu.push(cost.mitigated_fidelity(base));
+            exec_time_per_qpu.push(transpiled.total_execution_s() * cost.quantum_time_factor);
+        }
+        if fidelity_per_qpu.iter().all(|&f| f <= 0.0) {
+            return Err(OrchestratorError::NoFeasibleQpu { required_qubits: circuit.num_qubits() });
+        }
+
+        let qpus: Vec<QpuState> = state
+            .fleet
+            .members()
+            .iter()
+            .map(|m| QpuState {
+                name: m.qpu.name.clone(),
+                num_qubits: m.qpu.num_qubits(),
+                waiting_time_s: m.queue.estimated_waiting_s(),
+            })
+            .collect();
+        let job = JobRequest {
+            job_id: 0,
+            qubits: circuit.num_qubits(),
+            shots: circuit.shots(),
+            fidelity_per_qpu: fidelity_per_qpu.clone(),
+            exec_time_per_qpu: exec_time_per_qpu.clone(),
+        };
+        let outcome = self.scheduler.schedule(vec![job], qpus);
+        let placement = outcome
+            .placements
+            .first()
+            .ok_or(OrchestratorError::NoFeasibleQpu { required_qubits: circuit.num_qubits() })?;
+        let qpu_index = placement.qpu_index;
+
+        // Enqueue and run to completion on the chosen QPU's queue.
+        let duration = exec_time_per_qpu[qpu_index].max(0.001);
+        let now = state.clock_s;
+        let member_name;
+        let waiting_s;
+        let finish_s;
+        {
+            let member = &mut state.fleet.members_mut()[qpu_index];
+            // The workflow clock and the queue's own simulated time may differ
+            // (a previous run advanced this queue past the current clock).
+            let start_base = member.queue.now_s().max(now);
+            member.queue.advance_to(start_base);
+            member.queue.enqueue(u64::MAX, duration);
+            let wait = member.queue.estimated_waiting_s() - duration;
+            member.queue.advance_to(start_base + wait.max(0.0) + duration + 1.0);
+            let done = member
+                .queue
+                .take_completed()
+                .into_iter()
+                .last()
+                .expect("the enqueued job must complete");
+            member_name = member.qpu.name.clone();
+            waiting_s = done.waiting_s();
+            finish_s = done.finish_time_s;
+        }
+        state.clock_s = finish_s.max(state.clock_s);
+        // Update the monitor's dynamic QPU info.
+        let _ = self.monitor.record_qpu_dynamic(
+            &member_name,
+            state.fleet.members()[qpu_index].queue.pending_len(),
+            state.fleet.members()[qpu_index].queue.estimated_waiting_s(),
+            state.fleet.members()[qpu_index].qpu.calibration.cycle,
+        );
+
+        let jitter = 1.0 + state.rng.gen_range(-0.02..0.02);
+        Ok(QuantumStepResult {
+            step: step.name.clone(),
+            qpu: member_name,
+            fidelity: (fidelity_per_qpu[qpu_index] * jitter).clamp(0.0, 1.0),
+            waiting_s,
+            execution_s: duration,
+        })
+    }
+}
+
+/// Pick the plan matching a priority: highest fidelity, lowest total time, or
+/// the most balanced (closest to the fidelity-per-second knee).
+fn pick_plan(plans: &[ResourcePlan], priority: Priority) -> Option<&ResourcePlan> {
+    if plans.is_empty() {
+        return None;
+    }
+    match priority {
+        Priority::Fidelity => plans
+            .iter()
+            .max_by(|a, b| a.estimated_fidelity.partial_cmp(&b.estimated_fidelity).unwrap()),
+        Priority::CompletionTime => plans
+            .iter()
+            .min_by(|a, b| a.total_time_s().partial_cmp(&b.total_time_s()).unwrap()),
+        Priority::Balanced => {
+            let max_f = plans.iter().map(|p| p.estimated_fidelity).fold(0.0, f64::max);
+            let max_t = plans.iter().map(|p| p.total_time_s()).fold(0.0, f64::max);
+            plans.iter().max_by(|a, b| {
+                let score = |p: &ResourcePlan| {
+                    p.estimated_fidelity / max_f.max(1e-9) - 0.5 * p.total_time_s() / max_t.max(1e-9)
+                };
+                score(a).partial_cmp(&score(b)).unwrap()
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workflow::mitigated_execution_workflow;
+    use qonductor_circuit::generators::{ghz, qaoa_maxcut, MaxCutGraph};
+    use qonductor_scheduler::ClassicalRequest;
+
+    fn ghz_image(orchestrator: &Orchestrator, n: u32, mitigated: bool) -> ImageId {
+        let stack = if mitigated { MitigationStack::listing2() } else { MitigationStack::none() };
+        let wf = mitigated_execution_workflow(format!("ghz{n}"), ghz(n), stack, ClassicalRequest::small());
+        orchestrator.create_workflow(wf, DeploymentConfig::default())
+    }
+
+    #[test]
+    fn end_to_end_invoke_produces_results() {
+        let orchestrator = Orchestrator::with_default_cluster(1);
+        let image = ghz_image(&orchestrator, 8, true);
+        orchestrator.deploy(image).unwrap();
+        let run = orchestrator.invoke(image).unwrap();
+        assert_eq!(orchestrator.workflow_status(run), Some(WorkflowStatus::Completed));
+        let result = orchestrator.workflow_results(run).unwrap();
+        assert_eq!(result.quantum_steps.len(), 1);
+        assert_eq!(result.classical_steps.len(), 2);
+        assert!(result.mean_fidelity() > 0.0 && result.mean_fidelity() <= 1.0);
+        assert!(result.completion_s > 0.0);
+        assert!(result.cost_usd > 0.0);
+        assert!(orchestrator.monitor().workflow_result(run).is_some());
+    }
+
+    #[test]
+    fn oversized_workflow_fails_deploy_and_invoke() {
+        let orchestrator = Orchestrator::with_default_cluster(2);
+        let image = ghz_image(&orchestrator, 40, false);
+        assert!(matches!(
+            orchestrator.deploy(image),
+            Err(OrchestratorError::NoFeasibleQpu { required_qubits: 40 })
+        ));
+        assert!(orchestrator.invoke(image).is_err());
+    }
+
+    #[test]
+    fn unknown_image_and_run_are_reported() {
+        let orchestrator = Orchestrator::with_default_cluster(3);
+        assert_eq!(orchestrator.deploy(99), Err(OrchestratorError::ImageNotFound(99)));
+        assert_eq!(
+            orchestrator.workflow_results(42),
+            Err(OrchestratorError::RunNotFound(42))
+        );
+    }
+
+    #[test]
+    fn resource_plans_are_generated_for_images() {
+        let orchestrator = Orchestrator::with_default_cluster(4);
+        let graph = MaxCutGraph::ring(12);
+        let wf = mitigated_execution_workflow(
+            "qaoa",
+            qaoa_maxcut(&graph, &[0.4], &[0.7]),
+            MitigationStack::listing2(),
+            ClassicalRequest::small(),
+        );
+        let image = orchestrator.create_workflow(wf, DeploymentConfig::default());
+        let plans = orchestrator.estimate_resources(image).unwrap();
+        assert!(!plans.is_empty());
+        assert!(plans.len() <= 3);
+        assert!(plans.iter().all(|p| p.estimated_fidelity > 0.0));
+    }
+
+    #[test]
+    fn consecutive_runs_accumulate_queue_time() {
+        let orchestrator = Orchestrator::with_default_cluster(5);
+        let image = ghz_image(&orchestrator, 12, false);
+        let first = orchestrator.invoke(image).unwrap();
+        let second = orchestrator.invoke(image).unwrap();
+        let r1 = orchestrator.workflow_results(first).unwrap();
+        let r2 = orchestrator.workflow_results(second).unwrap();
+        assert_ne!(first, second);
+        assert!(r1.completion_s > 0.0 && r2.completion_s > 0.0);
+        assert_eq!(orchestrator.list_images().len(), 1);
+    }
+
+    #[test]
+    fn priority_changes_the_selected_plan() {
+        let orchestrator = Orchestrator::with_default_cluster(6);
+        let make = |priority| {
+            let wf = mitigated_execution_workflow(
+                "ghz",
+                ghz(16),
+                MitigationStack::none(),
+                ClassicalRequest::small(),
+            );
+            let config = DeploymentConfig { priority, ..Default::default() };
+            orchestrator.create_workflow(wf, config)
+        };
+        let fid_image = make(Priority::Fidelity);
+        let jct_image = make(Priority::CompletionTime);
+        let fid_run = orchestrator.invoke(fid_image).unwrap();
+        let jct_run = orchestrator.invoke(jct_image).unwrap();
+        let fid_plan = orchestrator.workflow_results(fid_run).unwrap().plan;
+        let jct_plan = orchestrator.workflow_results(jct_run).unwrap().plan;
+        assert!(fid_plan.estimated_fidelity >= jct_plan.estimated_fidelity);
+        assert!(fid_plan.total_time_s() >= jct_plan.total_time_s());
+    }
+}

@@ -1,0 +1,80 @@
+//! Numerical (calibration-product) baseline estimator.
+//!
+//! This is the approach "followed by state-of-the-art work, where fidelity and
+//! execution times are computed based on the calibration data of the QPU and
+//! the operations applied in the circuit, e.g., by traversing the circuit DAG
+//! and multiplying the noise errors or summing the gate execution times"
+//! (§8.4). It is the comparison baseline of Figure 7(b)/(c); unlike the
+//! regression estimator it does not account for the effects of error
+//! mitigation.
+
+use qonductor_backend::NoiseModel;
+use qonductor_circuit::{Circuit, CircuitDag};
+
+/// Calibration-product fidelity estimate: traverse the circuit DAG and multiply
+/// per-operation success probabilities, then apply per-qubit decoherence over
+/// the circuit duration.
+pub fn estimate_fidelity(circuit: &Circuit, noise: &NoiseModel) -> f64 {
+    // Traversal over the DAG in topological order (equivalent to the
+    // instruction order, but mirrors how the baseline is described).
+    let dag = CircuitDag::from_circuit(circuit);
+    let mut fidelity = 1.0f64;
+    for node in dag.nodes() {
+        let i = node.instruction;
+        fidelity *= 1.0 - noise.instruction_error(i.gate, i.q0, i.q1);
+    }
+    let duration = noise.circuit_duration_ns(circuit);
+    for &q in circuit.active_qubits().iter() {
+        fidelity *= noise.decoherence_factor(q, duration * 0.5);
+    }
+    fidelity.clamp(0.0, 1.0)
+}
+
+/// Calibration-sum execution-time estimate in seconds for all shots: the
+/// critical-path circuit duration times the shot count (plus per-shot reset).
+pub fn estimate_execution_time_s(circuit: &Circuit, noise: &NoiseModel) -> f64 {
+    let per_shot_ns = noise.circuit_duration_ns(circuit) + 1_000.0;
+    per_shot_ns * f64::from(circuit.shots()) / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qonductor_backend::CalibrationGenerator;
+    use qonductor_circuit::generators::ghz;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn noise(n: u32, quality: f64) -> NoiseModel {
+        let edges: Vec<(u32, u32)> = (0..n - 1).map(|q| (q, q + 1)).collect();
+        let mut rng = StdRng::seed_from_u64(31);
+        NoiseModel::new(CalibrationGenerator::with_quality(quality).generate(n, &edges, &mut rng))
+    }
+
+    #[test]
+    fn numerical_fidelity_matches_esp_model() {
+        let nm = noise(10, 1.0);
+        let c = ghz(10);
+        let numerical = estimate_fidelity(&c, &nm);
+        let esp = nm.estimated_success_probability(&c);
+        assert!((numerical - esp).abs() < 1e-9, "DAG traversal must equal the ESP product");
+    }
+
+    #[test]
+    fn fidelity_decreases_with_device_noise() {
+        let c = ghz(8);
+        assert!(estimate_fidelity(&c, &noise(8, 0.5)) > estimate_fidelity(&c, &noise(8, 3.0)));
+    }
+
+    #[test]
+    fn execution_time_scales_with_shots() {
+        let nm = noise(6, 1.0);
+        let mut c = ghz(6);
+        c.set_shots(1000);
+        let t1 = estimate_execution_time_s(&c, &nm);
+        c.set_shots(3000);
+        let t2 = estimate_execution_time_s(&c, &nm);
+        assert!((t2 / t1 - 3.0).abs() < 1e-9);
+        assert!(t1 > 0.0);
+    }
+}

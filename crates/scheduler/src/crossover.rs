@@ -1,0 +1,135 @@
+//! Calibration-crossover handling (§7): if a generated schedule spans a
+//! calibration cycle boundary, the jobs that would run *after* the calibration
+//! update are partitioned off so that their fidelity/runtime estimates can be
+//! recomputed with the new calibration data and the jobs reassigned or delayed.
+
+use serde::{Deserialize, Serialize};
+
+/// One scheduled job with its planned start time on its assigned QPU.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlannedJob {
+    /// Job identifier.
+    pub job_id: u64,
+    /// Index of the QPU the job was assigned to.
+    pub qpu_index: usize,
+    /// Planned start time (simulated seconds).
+    pub start_s: f64,
+    /// Planned execution duration in seconds.
+    pub duration_s: f64,
+}
+
+impl PlannedJob {
+    /// Planned finish time.
+    pub fn finish_s(&self) -> f64 {
+        self.start_s + self.duration_s
+    }
+}
+
+/// The partition of a schedule at a calibration boundary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossoverPartition {
+    /// Jobs that complete entirely before the calibration boundary: keep as-is.
+    pub before: Vec<PlannedJob>,
+    /// Jobs that start before but finish after the boundary: they straddle the
+    /// calibration update and are conservatively re-evaluated as well.
+    pub straddling: Vec<PlannedJob>,
+    /// Jobs that start after the boundary: must be re-estimated with the new
+    /// calibration data and reassigned or delayed.
+    pub after: Vec<PlannedJob>,
+}
+
+impl CrossoverPartition {
+    /// `true` if any job needs re-evaluation (straddles or follows the boundary).
+    pub fn needs_reevaluation(&self) -> bool {
+        !self.straddling.is_empty() || !self.after.is_empty()
+    }
+
+    /// Job IDs requiring fresh estimates from the resource estimator.
+    pub fn jobs_to_reestimate(&self) -> Vec<u64> {
+        self.straddling
+            .iter()
+            .chain(self.after.iter())
+            .map(|j| j.job_id)
+            .collect()
+    }
+}
+
+/// Partition a planned schedule at a calibration boundary time.
+pub fn partition_at_boundary(schedule: &[PlannedJob], boundary_s: f64) -> CrossoverPartition {
+    let mut before = Vec::new();
+    let mut straddling = Vec::new();
+    let mut after = Vec::new();
+    for job in schedule {
+        if job.finish_s() <= boundary_s {
+            before.push(*job);
+        } else if job.start_s < boundary_s {
+            straddling.push(*job);
+        } else {
+            after.push(*job);
+        }
+    }
+    CrossoverPartition { before, straddling, after }
+}
+
+/// Build the planned per-QPU timeline of an assignment: jobs run back-to-back
+/// on their assigned QPU after its current queue drains.
+pub fn plan_timeline(
+    assignment: &[(u64, usize, f64)], // (job_id, qpu_index, duration_s)
+    qpu_waiting_s: &[f64],
+    now_s: f64,
+) -> Vec<PlannedJob> {
+    let mut next_free: Vec<f64> = qpu_waiting_s.iter().map(|w| now_s + w).collect();
+    let mut planned = Vec::with_capacity(assignment.len());
+    for &(job_id, qpu, duration_s) in assignment {
+        let start = next_free[qpu];
+        planned.push(PlannedJob { job_id, qpu_index: qpu, start_s: start, duration_s });
+        next_free[qpu] = start + duration_s;
+    }
+    planned
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_classifies_before_straddling_after() {
+        let schedule = vec![
+            PlannedJob { job_id: 1, qpu_index: 0, start_s: 0.0, duration_s: 50.0 },
+            PlannedJob { job_id: 2, qpu_index: 0, start_s: 80.0, duration_s: 50.0 },
+            PlannedJob { job_id: 3, qpu_index: 1, start_s: 150.0, duration_s: 20.0 },
+        ];
+        let partition = partition_at_boundary(&schedule, 100.0);
+        assert_eq!(partition.before.len(), 1);
+        assert_eq!(partition.straddling.len(), 1);
+        assert_eq!(partition.after.len(), 1);
+        assert!(partition.needs_reevaluation());
+        assert_eq!(partition.jobs_to_reestimate(), vec![2, 3]);
+    }
+
+    #[test]
+    fn schedule_entirely_before_boundary_needs_no_work() {
+        let schedule = vec![PlannedJob { job_id: 1, qpu_index: 0, start_s: 0.0, duration_s: 10.0 }];
+        let partition = partition_at_boundary(&schedule, 1000.0);
+        assert!(!partition.needs_reevaluation());
+        assert!(partition.jobs_to_reestimate().is_empty());
+    }
+
+    #[test]
+    fn timeline_respects_queue_waits_and_serialises_per_qpu() {
+        let assignment = vec![(1u64, 0usize, 10.0), (2, 0, 20.0), (3, 1, 5.0)];
+        let planned = plan_timeline(&assignment, &[30.0, 0.0], 100.0);
+        assert_eq!(planned[0].start_s, 130.0);
+        assert_eq!(planned[1].start_s, 140.0);
+        assert_eq!(planned[1].finish_s(), 160.0);
+        assert_eq!(planned[2].start_s, 100.0);
+    }
+
+    #[test]
+    fn boundary_exactly_at_finish_keeps_job_before() {
+        let schedule = vec![PlannedJob { job_id: 1, qpu_index: 0, start_s: 0.0, duration_s: 100.0 }];
+        let partition = partition_at_boundary(&schedule, 100.0);
+        assert_eq!(partition.before.len(), 1);
+        assert!(partition.after.is_empty());
+    }
+}

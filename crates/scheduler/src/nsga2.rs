@@ -1,0 +1,469 @@
+//! NSGA-II multi-objective genetic algorithm (Deb et al. 2002), customised as
+//! described in §7: random-integer population initialisation, real-valued
+//! crossover simulated with an exponential probability distribution, polynomial
+//! mutation perturbing solutions within a parent's vicinity, maximum
+//! generation/evaluation thresholds, and sliding-window tolerance termination.
+//! Fitness evaluation of a generation is parallelised with crossbeam scopes.
+
+use crate::problem::{Objectives, SchedulingProblem};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// NSGA-II hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Nsga2Config {
+    /// Population size.
+    pub population_size: usize,
+    /// Maximum number of generations.
+    pub max_generations: usize,
+    /// Maximum number of objective-function evaluations.
+    pub max_evaluations: usize,
+    /// Crossover probability per gene.
+    pub crossover_probability: f64,
+    /// Mutation probability per gene.
+    pub mutation_probability: f64,
+    /// Mean of the exponential distribution used to simulate real-valued crossover.
+    pub crossover_spread: f64,
+    /// Polynomial-mutation distribution index (higher = smaller perturbations).
+    pub mutation_eta: f64,
+    /// Sliding-window tolerance termination: stop when the best mean-JCT and
+    /// mean-error improvements over the last `tolerance_window` generations are
+    /// both below `tolerance`.
+    pub tolerance: f64,
+    /// Number of generations in the termination window.
+    pub tolerance_window: usize,
+    /// Number of worker threads used for fitness evaluation.
+    pub num_threads: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Nsga2Config {
+    fn default() -> Self {
+        Nsga2Config {
+            population_size: 60,
+            max_generations: 80,
+            max_evaluations: 20_000,
+            crossover_probability: 0.9,
+            mutation_probability: 0.15,
+            crossover_spread: 1.0,
+            mutation_eta: 20.0,
+            tolerance: 1e-3,
+            tolerance_window: 10,
+            num_threads: 4,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// One solution on the returned Pareto front.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParetoSolution {
+    /// Job→QPU assignment.
+    pub assignment: Vec<usize>,
+    /// Objective values of the assignment.
+    pub objectives: Objectives,
+}
+
+/// Result of an NSGA-II run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Nsga2Result {
+    /// The non-dominated front of the final population.
+    pub pareto_front: Vec<ParetoSolution>,
+    /// Number of generations executed.
+    pub generations: usize,
+    /// Number of objective-function evaluations performed.
+    pub evaluations: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Individual {
+    genes: Vec<usize>,
+    objectives: Objectives,
+    rank: usize,
+    crowding: f64,
+}
+
+/// Run NSGA-II on a scheduling problem and return its Pareto front.
+pub fn optimize(problem: &SchedulingProblem, config: &Nsga2Config) -> Nsga2Result {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n_jobs = problem.num_jobs();
+    let pop_size = config.population_size.max(4);
+
+    // Initial population: random feasible integers per gene.
+    let mut population: Vec<Individual> = (0..pop_size)
+        .map(|_| {
+            let genes = random_assignment(problem, &mut rng);
+            Individual { genes, objectives: Objectives { mean_jct_s: 0.0, mean_error: 0.0 }, rank: 0, crowding: 0.0 }
+        })
+        .collect();
+    evaluate_population(problem, &mut population, config.num_threads);
+    let mut evaluations = pop_size;
+
+    assign_rank_and_crowding(&mut population);
+
+    let mut history: Vec<(f64, f64)> = Vec::new();
+    let mut generations = 0usize;
+
+    for gen in 0..config.max_generations {
+        generations = gen + 1;
+        // Offspring generation.
+        let mut offspring: Vec<Individual> = Vec::with_capacity(pop_size);
+        while offspring.len() < pop_size {
+            let p1 = tournament(&population, &mut rng);
+            let p2 = tournament(&population, &mut rng);
+            let (mut c1, mut c2) = crossover(problem, &population[p1].genes, &population[p2].genes, config, &mut rng);
+            mutate(problem, &mut c1, config, &mut rng);
+            mutate(problem, &mut c2, config, &mut rng);
+            offspring.push(Individual {
+                genes: c1,
+                objectives: Objectives { mean_jct_s: 0.0, mean_error: 0.0 },
+                rank: 0,
+                crowding: 0.0,
+            });
+            if offspring.len() < pop_size {
+                offspring.push(Individual {
+                    genes: c2,
+                    objectives: Objectives { mean_jct_s: 0.0, mean_error: 0.0 },
+                    rank: 0,
+                    crowding: 0.0,
+                });
+            }
+        }
+        evaluate_population(problem, &mut offspring, config.num_threads);
+        evaluations += offspring.len();
+
+        // Environmental selection over the merged population.
+        population.extend(offspring);
+        assign_rank_and_crowding(&mut population);
+        population.sort_by(|a, b| {
+            a.rank
+                .cmp(&b.rank)
+                .then(b.crowding.partial_cmp(&a.crowding).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        population.truncate(pop_size);
+
+        // Termination checks.
+        let best_jct = population.iter().map(|i| i.objectives.mean_jct_s).fold(f64::INFINITY, f64::min);
+        let best_err = population.iter().map(|i| i.objectives.mean_error).fold(f64::INFINITY, f64::min);
+        history.push((best_jct, best_err));
+        if evaluations >= config.max_evaluations {
+            break;
+        }
+        if history.len() > config.tolerance_window {
+            let w = config.tolerance_window;
+            let (old_jct, old_err) = history[history.len() - 1 - w];
+            let jct_impr = (old_jct - best_jct) / old_jct.abs().max(1e-9);
+            let err_impr = (old_err - best_err) / old_err.abs().max(1e-9);
+            if jct_impr < config.tolerance && err_impr < config.tolerance {
+                break;
+            }
+        }
+        let _ = n_jobs;
+    }
+
+    // Extract the first non-dominated front, deduplicated by objectives.
+    assign_rank_and_crowding(&mut population);
+    let mut front: Vec<ParetoSolution> = population
+        .iter()
+        .filter(|i| i.rank == 0)
+        .map(|i| ParetoSolution { assignment: i.genes.clone(), objectives: i.objectives })
+        .collect();
+    front.sort_by(|a, b| a.objectives.mean_jct_s.partial_cmp(&b.objectives.mean_jct_s).unwrap());
+    front.dedup_by(|a, b| {
+        (a.objectives.mean_jct_s - b.objectives.mean_jct_s).abs() < 1e-9
+            && (a.objectives.mean_error - b.objectives.mean_error).abs() < 1e-9
+    });
+
+    Nsga2Result { pareto_front: front, generations, evaluations }
+}
+
+fn random_assignment(problem: &SchedulingProblem, rng: &mut StdRng) -> Vec<usize> {
+    (0..problem.num_jobs())
+        .map(|i| {
+            let feasible = problem.feasible_qpus(i);
+            if feasible.is_empty() {
+                rng.gen_range(0..problem.num_qpus())
+            } else {
+                feasible[rng.gen_range(0..feasible.len())]
+            }
+        })
+        .collect()
+}
+
+/// Parallel objective evaluation of a population using crossbeam-scoped threads.
+fn evaluate_population(problem: &SchedulingProblem, population: &mut [Individual], num_threads: usize) {
+    let threads = num_threads.max(1).min(population.len().max(1));
+    if threads <= 1 || population.len() < 32 {
+        for ind in population.iter_mut() {
+            ind.objectives = problem.evaluate(&ind.genes);
+        }
+        return;
+    }
+    let chunk = population.len().div_ceil(threads);
+    crossbeam::scope(|scope| {
+        for slice in population.chunks_mut(chunk) {
+            scope.spawn(move |_| {
+                for ind in slice {
+                    ind.objectives = problem.evaluate(&ind.genes);
+                }
+            });
+        }
+    })
+    .expect("fitness evaluation scope failed");
+}
+
+/// Binary tournament on (rank, crowding distance).
+fn tournament(population: &[Individual], rng: &mut StdRng) -> usize {
+    let a = rng.gen_range(0..population.len());
+    let b = rng.gen_range(0..population.len());
+    let better = |x: &Individual, y: &Individual| {
+        x.rank < y.rank || (x.rank == y.rank && x.crowding > y.crowding)
+    };
+    if better(&population[a], &population[b]) {
+        a
+    } else {
+        b
+    }
+}
+
+/// Crossover on the real-valued relaxation of the integer genes: each child gene
+/// is drawn around the two parents with an exponentially distributed offset
+/// (the paper's customisation), then rounded and clamped to a feasible QPU.
+fn crossover(
+    problem: &SchedulingProblem,
+    p1: &[usize],
+    p2: &[usize],
+    config: &Nsga2Config,
+    rng: &mut StdRng,
+) -> (Vec<usize>, Vec<usize>) {
+    let mut c1 = p1.to_vec();
+    let mut c2 = p2.to_vec();
+    for i in 0..p1.len() {
+        if rng.gen_bool(config.crossover_probability) {
+            let a = p1[i] as f64;
+            let b = p2[i] as f64;
+            // Exponentially distributed blending offset.
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let offset = -config.crossover_spread * u.ln();
+            let direction: f64 = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            let mid = (a + b) / 2.0;
+            let child1 = mid + direction * offset * (b - a).abs().max(1.0) * 0.5;
+            let child2 = mid - direction * offset * (b - a).abs().max(1.0) * 0.5;
+            c1[i] = snap_to_feasible(problem, i, child1, rng);
+            c2[i] = snap_to_feasible(problem, i, child2, rng);
+        }
+    }
+    (c1, c2)
+}
+
+/// Polynomial mutation: perturb the gene within the vicinity of its current
+/// value with distribution index `eta`, then snap to a feasible QPU.
+fn mutate(problem: &SchedulingProblem, genes: &mut [usize], config: &Nsga2Config, rng: &mut StdRng) {
+    let q = problem.num_qpus() as f64;
+    for (i, gene) in genes.iter_mut().enumerate() {
+        if rng.gen_bool(config.mutation_probability) {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            let delta = if u < 0.5 {
+                (2.0 * u).powf(1.0 / (config.mutation_eta + 1.0)) - 1.0
+            } else {
+                1.0 - (2.0 * (1.0 - u)).powf(1.0 / (config.mutation_eta + 1.0))
+            };
+            let value = *gene as f64 + delta * q;
+            *gene = snap_to_feasible(problem, i, value, rng);
+        }
+    }
+}
+
+/// Round a real-valued gene to the nearest feasible QPU index for the job.
+fn snap_to_feasible(problem: &SchedulingProblem, job: usize, value: f64, rng: &mut StdRng) -> usize {
+    let feasible = problem.feasible_qpus(job);
+    if feasible.is_empty() {
+        return (value.round().abs() as usize) % problem.num_qpus();
+    }
+    let rounded = value.round();
+    feasible
+        .iter()
+        .copied()
+        .min_by_key(|&q| {
+            let d = (q as f64 - rounded).abs();
+            // Tie-break randomly but deterministically per call via a tiny jitter.
+            ((d * 1000.0) as i64) * 2 + i64::from(rng.gen_bool(0.5))
+        })
+        .unwrap_or(feasible[0])
+}
+
+/// Fast non-dominated sorting + crowding-distance assignment (in place).
+fn assign_rank_and_crowding(population: &mut [Individual]) {
+    let n = population.len();
+    // Non-dominated sorting.
+    let mut dominated_by: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut domination_count = vec![0usize; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            if population[i].objectives.dominates(&population[j].objectives) {
+                dominated_by[i].push(j);
+            } else if population[j].objectives.dominates(&population[i].objectives) {
+                domination_count[i] += 1;
+            }
+        }
+    }
+    let mut current: Vec<usize> = (0..n).filter(|&i| domination_count[i] == 0).collect();
+    let mut rank = 0usize;
+    while !current.is_empty() {
+        let mut next = Vec::new();
+        for &i in &current {
+            population[i].rank = rank;
+            for &j in &dominated_by[i] {
+                domination_count[j] -= 1;
+                if domination_count[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        // Crowding distance within this front.
+        assign_crowding(population, &current);
+        current = next;
+        rank += 1;
+    }
+}
+
+fn assign_crowding(population: &mut [Individual], front: &[usize]) {
+    if front.is_empty() {
+        return;
+    }
+    for &i in front {
+        population[i].crowding = 0.0;
+    }
+    for objective in 0..2 {
+        let value = |ind: &Individual| match objective {
+            0 => ind.objectives.mean_jct_s,
+            _ => ind.objectives.mean_error,
+        };
+        let mut sorted: Vec<usize> = front.to_vec();
+        sorted.sort_by(|&a, &b| value(&population[a]).partial_cmp(&value(&population[b])).unwrap());
+        let min = value(&population[sorted[0]]);
+        let max = value(&population[*sorted.last().unwrap()]);
+        let range = (max - min).max(1e-12);
+        population[sorted[0]].crowding = f64::INFINITY;
+        population[*sorted.last().unwrap()].crowding = f64::INFINITY;
+        for w in 1..sorted.len().saturating_sub(1) {
+            let prev = value(&population[sorted[w - 1]]);
+            let next = value(&population[sorted[w + 1]]);
+            population[sorted[w]].crowding += (next - prev) / range;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{JobRequest, QpuState};
+    use rand::Rng;
+
+    fn random_problem(num_jobs: usize, num_qpus: usize, seed: u64) -> SchedulingProblem {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let qpus: Vec<QpuState> = (0..num_qpus)
+            .map(|i| QpuState {
+                name: format!("qpu{i}"),
+                num_qubits: 27,
+                waiting_time_s: rng.gen_range(0.0..500.0),
+            })
+            .collect();
+        let jobs: Vec<JobRequest> = (0..num_jobs)
+            .map(|i| JobRequest {
+                job_id: i as u64,
+                qubits: rng.gen_range(2..=20),
+                shots: 1000,
+                fidelity_per_qpu: (0..num_qpus).map(|_| rng.gen_range(0.4..0.95)).collect(),
+                exec_time_per_qpu: (0..num_qpus).map(|_| rng.gen_range(5.0..60.0)).collect(),
+            })
+            .collect();
+        SchedulingProblem::new(jobs, qpus)
+    }
+
+    #[test]
+    fn pareto_front_is_mutually_non_dominated_and_feasible() {
+        let problem = random_problem(40, 6, 1);
+        let result = optimize(&problem, &Nsga2Config { max_generations: 30, ..Default::default() });
+        assert!(!result.pareto_front.is_empty());
+        for a in &result.pareto_front {
+            assert!(problem.assignment_is_feasible(&a.assignment));
+            for b in &result.pareto_front {
+                assert!(
+                    !a.objectives.dominates(&b.objectives) || a.objectives == b.objectives,
+                    "front contains dominated solutions"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn front_spans_the_fidelity_jct_tradeoff() {
+        let problem = random_problem(60, 8, 2);
+        let result = optimize(&problem, &Nsga2Config::default());
+        let front = &result.pareto_front;
+        let min_jct = front.iter().map(|s| s.objectives.mean_jct_s).fold(f64::INFINITY, f64::min);
+        let max_jct = front.iter().map(|s| s.objectives.mean_jct_s).fold(0.0, f64::max);
+        let min_err = front.iter().map(|s| s.objectives.mean_error).fold(f64::INFINITY, f64::min);
+        let max_err = front.iter().map(|s| s.objectives.mean_error).fold(0.0, f64::max);
+        // A real tradeoff exists: the front is not a single point.
+        assert!(front.len() >= 3, "front size = {}", front.len());
+        assert!(max_jct > min_jct);
+        assert!(max_err > min_err);
+    }
+
+    #[test]
+    fn nsga2_beats_random_assignment_on_both_objectives() {
+        let problem = random_problem(50, 6, 3);
+        let result = optimize(&problem, &Nsga2Config::default());
+        // Average objectives of random assignments.
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut rand_jct = 0.0;
+        let mut rand_err = 0.0;
+        let trials = 50;
+        for _ in 0..trials {
+            let assignment = random_assignment(&problem, &mut rng);
+            let o = problem.evaluate(&assignment);
+            rand_jct += o.mean_jct_s;
+            rand_err += o.mean_error;
+        }
+        rand_jct /= trials as f64;
+        rand_err /= trials as f64;
+        let best_jct = result.pareto_front.iter().map(|s| s.objectives.mean_jct_s).fold(f64::INFINITY, f64::min);
+        let best_err = result.pareto_front.iter().map(|s| s.objectives.mean_error).fold(f64::INFINITY, f64::min);
+        assert!(best_jct < rand_jct, "NSGA-II best JCT {best_jct} vs random {rand_jct}");
+        assert!(best_err < rand_err, "NSGA-II best error {best_err} vs random {rand_err}");
+    }
+
+    #[test]
+    fn termination_respects_evaluation_budget() {
+        let problem = random_problem(30, 4, 4);
+        let config = Nsga2Config { max_evaluations: 500, population_size: 40, ..Default::default() };
+        let result = optimize(&problem, &config);
+        assert!(result.evaluations <= 500 + config.population_size * 2);
+        assert!(result.generations >= 1);
+    }
+
+    #[test]
+    fn single_qpu_problem_collapses_to_one_solution() {
+        let problem = random_problem(10, 1, 5);
+        let result = optimize(&problem, &Nsga2Config { max_generations: 10, ..Default::default() });
+        assert_eq!(result.pareto_front.len(), 1);
+        assert!(result.pareto_front[0].assignment.iter().all(|&q| q == 0));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let problem = random_problem(25, 5, 6);
+        let config = Nsga2Config { max_generations: 15, ..Default::default() };
+        let a = optimize(&problem, &config);
+        let b = optimize(&problem, &config);
+        assert_eq!(a.pareto_front.len(), b.pareto_front.len());
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+}

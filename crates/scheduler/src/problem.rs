@@ -1,0 +1,249 @@
+//! The quantum-job scheduling problem formulation of §7, Eq. (1).
+//!
+//! An assignment maps each of `N` jobs to one of `Q` QPUs. The two conflicting
+//! objectives are the mean job completion time (queue waiting time of the
+//! chosen QPU plus the execution time of every job co-scheduled on it) and the
+//! mean error (one minus the estimated fidelity of each job on its chosen
+//! QPU). The qubit-capacity constraint `q_i ≤ s_{x_i}` restricts the feasible
+//! QPU set of each job.
+
+use serde::{Deserialize, Serialize};
+
+/// One job awaiting scheduling, together with its per-QPU estimates (produced
+/// by the resource estimator and fetched from the system monitor).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRequest {
+    /// Unique job identifier.
+    pub job_id: u64,
+    /// Number of qubits the job needs (`q_i` in Eq. 1).
+    pub qubits: u32,
+    /// Number of shots.
+    pub shots: u32,
+    /// Estimated fidelity of this job on each QPU (`f_{i,x}`), indexed by QPU.
+    pub fidelity_per_qpu: Vec<f64>,
+    /// Estimated execution time in seconds on each QPU (`t_{i,x}`), indexed by QPU.
+    pub exec_time_per_qpu: Vec<f64>,
+}
+
+/// The scheduler-visible state of one QPU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QpuState {
+    /// Device name.
+    pub name: String,
+    /// Number of qubits (`s_x` in Eq. 1).
+    pub num_qubits: u32,
+    /// Approximate waiting time of the device's current queue in seconds (`w_x`).
+    pub waiting_time_s: f64,
+}
+
+/// A fully specified scheduling problem instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchedulingProblem {
+    /// Jobs to schedule in this cycle.
+    pub jobs: Vec<JobRequest>,
+    /// Available QPUs.
+    pub qpus: Vec<QpuState>,
+    /// For each job, the indices of QPUs that satisfy the capacity constraint.
+    feasible: Vec<Vec<usize>>,
+}
+
+/// The two objective values of one assignment (both minimised).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Objectives {
+    /// Mean job completion time in seconds (`f₁`).
+    pub mean_jct_s: f64,
+    /// Mean error = 1 − mean fidelity (`f₂`).
+    pub mean_error: f64,
+}
+
+impl Objectives {
+    /// Mean fidelity of the assignment.
+    pub fn mean_fidelity(&self) -> f64 {
+        1.0 - self.mean_error
+    }
+
+    /// Pareto dominance: `self` dominates `other` if it is no worse in both
+    /// objectives and strictly better in at least one.
+    pub fn dominates(&self, other: &Objectives) -> bool {
+        let no_worse = self.mean_jct_s <= other.mean_jct_s && self.mean_error <= other.mean_error;
+        let better = self.mean_jct_s < other.mean_jct_s || self.mean_error < other.mean_error;
+        no_worse && better
+    }
+}
+
+impl SchedulingProblem {
+    /// Build a problem instance, computing the per-job feasible QPU sets.
+    ///
+    /// # Panics
+    /// Panics if `jobs` or `qpus` is empty, or if estimate vectors have the
+    /// wrong length.
+    pub fn new(jobs: Vec<JobRequest>, qpus: Vec<QpuState>) -> Self {
+        assert!(!jobs.is_empty(), "scheduling problem needs at least one job");
+        assert!(!qpus.is_empty(), "scheduling problem needs at least one QPU");
+        for j in &jobs {
+            assert_eq!(j.fidelity_per_qpu.len(), qpus.len(), "job {} fidelity estimates", j.job_id);
+            assert_eq!(j.exec_time_per_qpu.len(), qpus.len(), "job {} time estimates", j.job_id);
+        }
+        let feasible = jobs
+            .iter()
+            .map(|j| {
+                qpus.iter()
+                    .enumerate()
+                    .filter(|(_, q)| q.num_qubits >= j.qubits)
+                    .map(|(idx, _)| idx)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        SchedulingProblem { jobs, qpus, feasible }
+    }
+
+    /// Number of jobs (`N`).
+    pub fn num_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Number of QPUs (`Q`).
+    pub fn num_qpus(&self) -> usize {
+        self.qpus.len()
+    }
+
+    /// Feasible QPU indices for job `i`.
+    pub fn feasible_qpus(&self, job: usize) -> &[usize] {
+        &self.feasible[job]
+    }
+
+    /// `true` if every job has at least one feasible QPU.
+    pub fn is_feasible(&self) -> bool {
+        self.feasible.iter().all(|f| !f.is_empty())
+    }
+
+    /// `true` if the assignment respects every job's capacity constraint.
+    pub fn assignment_is_feasible(&self, assignment: &[usize]) -> bool {
+        assignment.len() == self.num_jobs()
+            && assignment
+                .iter()
+                .enumerate()
+                .all(|(i, &q)| q < self.num_qpus() && self.qpus[q].num_qubits >= self.jobs[i].qubits)
+    }
+
+    /// Evaluate the two objectives of Eq. (1) for an assignment
+    /// (`assignment[i]` = QPU index of job `i`). Infeasible job placements are
+    /// penalised with a large constant so the optimizer steers away from them.
+    pub fn evaluate(&self, assignment: &[usize]) -> Objectives {
+        assert_eq!(assignment.len(), self.num_jobs());
+        let n = self.num_jobs() as f64;
+        // Total execution time newly assigned to each QPU this cycle.
+        let mut assigned_time = vec![0.0f64; self.num_qpus()];
+        for (i, &q) in assignment.iter().enumerate() {
+            assigned_time[q] += self.jobs[i].exec_time_per_qpu[q];
+        }
+        let mut jct_sum = 0.0;
+        let mut err_sum = 0.0;
+        const INFEASIBLE_PENALTY: f64 = 1e7;
+        for (i, &q) in assignment.iter().enumerate() {
+            if self.qpus[q].num_qubits < self.jobs[i].qubits {
+                jct_sum += INFEASIBLE_PENALTY;
+                err_sum += 1.0;
+                continue;
+            }
+            jct_sum += self.qpus[q].waiting_time_s + assigned_time[q];
+            err_sum += 1.0 - self.jobs[i].fidelity_per_qpu[q];
+        }
+        Objectives { mean_jct_s: jct_sum / n, mean_error: err_sum / n }
+    }
+
+    /// Per-job completion times (seconds) under an assignment — used by the
+    /// evaluation to report JCT percentiles.
+    pub fn job_completion_times(&self, assignment: &[usize]) -> Vec<f64> {
+        let mut assigned_time = vec![0.0f64; self.num_qpus()];
+        for (i, &q) in assignment.iter().enumerate() {
+            assigned_time[q] += self.jobs[i].exec_time_per_qpu[q];
+        }
+        assignment
+            .iter()
+            .map(|&q| self.qpus[q].waiting_time_s + assigned_time[q])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn toy_problem() -> SchedulingProblem {
+        let qpus = vec![
+            QpuState { name: "fast_noisy".into(), num_qubits: 27, waiting_time_s: 0.0 },
+            QpuState { name: "slow_good".into(), num_qubits: 27, waiting_time_s: 100.0 },
+            QpuState { name: "small".into(), num_qubits: 7, waiting_time_s: 10.0 },
+        ];
+        let jobs = (0..4)
+            .map(|i| JobRequest {
+                job_id: i,
+                qubits: if i == 3 { 20 } else { 5 },
+                shots: 1000,
+                fidelity_per_qpu: vec![0.6, 0.9, 0.7],
+                exec_time_per_qpu: vec![10.0, 10.0, 12.0],
+            })
+            .collect();
+        SchedulingProblem::new(jobs, qpus)
+    }
+
+    #[test]
+    fn feasible_sets_respect_capacity() {
+        let p = toy_problem();
+        assert_eq!(p.feasible_qpus(0), &[0, 1, 2]);
+        assert_eq!(p.feasible_qpus(3), &[0, 1], "20-qubit job cannot use the 7-qubit QPU");
+        assert!(p.is_feasible());
+    }
+
+    #[test]
+    fn evaluate_accounts_for_queue_and_co_scheduled_jobs() {
+        let p = toy_problem();
+        // All four jobs on QPU 0: each job's JCT = 0 (wait) + 40 (all co-scheduled).
+        let all_zero = vec![0, 0, 0, 0];
+        let obj = p.evaluate(&all_zero);
+        assert!((obj.mean_jct_s - 40.0).abs() < 1e-9);
+        assert!((obj.mean_error - 0.4).abs() < 1e-9);
+        // Spread over QPUs 0 and 1: lower mean JCT contribution from co-scheduling
+        // but QPU 1 carries its 100 s queue.
+        let spread = vec![0, 0, 1, 1];
+        let obj2 = p.evaluate(&spread);
+        assert!((obj2.mean_jct_s - ((20.0 + 20.0 + 120.0 + 120.0) / 4.0)).abs() < 1e-9);
+        assert!(obj2.mean_error < obj.mean_error);
+    }
+
+    #[test]
+    fn infeasible_assignment_is_penalised() {
+        let p = toy_problem();
+        let bad = vec![2, 2, 2, 2]; // job 3 (20 qubits) cannot run on the 7-qubit QPU
+        assert!(!p.assignment_is_feasible(&bad));
+        let obj = p.evaluate(&bad);
+        assert!(obj.mean_jct_s > 1e6);
+    }
+
+    #[test]
+    fn dominance_relation() {
+        let a = Objectives { mean_jct_s: 10.0, mean_error: 0.1 };
+        let b = Objectives { mean_jct_s: 20.0, mean_error: 0.2 };
+        let c = Objectives { mean_jct_s: 5.0, mean_error: 0.3 };
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        assert!(!a.dominates(&c) && !c.dominates(&a), "a and c are incomparable");
+        assert!(!a.dominates(&a), "dominance is irreflexive");
+    }
+
+    #[test]
+    fn completion_times_match_objective_mean() {
+        let p = toy_problem();
+        let assignment = vec![0, 1, 0, 1];
+        let jcts = p.job_completion_times(&assignment);
+        let mean: f64 = jcts.iter().sum::<f64>() / jcts.len() as f64;
+        assert!((mean - p.evaluate(&assignment).mean_jct_s).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_problem_panics() {
+        SchedulingProblem::new(vec![], vec![]);
+    }
+}

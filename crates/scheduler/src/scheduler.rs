@@ -1,0 +1,263 @@
+//! The Qonductor hybrid quantum scheduler (§7, Figure 5): three configurable
+//! stages — job pre-processing (filtering + estimate fetching), multi-objective
+//! optimization (NSGA-II), and selection (MCDM pseudo-weights) — with per-stage
+//! runtime instrumentation used by the scalability study (Figure 9c).
+
+use crate::mcdm::{self, Preference};
+use crate::nsga2::{self, Nsga2Config, ParetoSolution};
+use crate::problem::{JobRequest, Objectives, QpuState, SchedulingProblem};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Scheduler configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerConfig {
+    /// NSGA-II hyper-parameters for the optimization stage.
+    pub nsga2: Nsga2Config,
+    /// Objective preference used by the MCDM selection stage.
+    pub preference: Preference,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig { nsga2: Nsga2Config::default(), preference: Preference::balanced() }
+    }
+}
+
+/// Wall-clock runtime of each scheduling stage, in seconds (Figure 9c).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageTimings {
+    /// Job pre-processing: filtering and estimate assembly.
+    pub preprocessing_s: f64,
+    /// Multi-objective optimization (NSGA-II).
+    pub optimization_s: f64,
+    /// MCDM selection.
+    pub selection_s: f64,
+}
+
+impl StageTimings {
+    /// Total scheduling overhead.
+    pub fn total_s(&self) -> f64 {
+        self.preprocessing_s + self.optimization_s + self.selection_s
+    }
+}
+
+/// One job→QPU placement decided by the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Job identifier.
+    pub job_id: u64,
+    /// Index of the assigned QPU (into the QPU list given to the scheduler).
+    pub qpu_index: usize,
+}
+
+/// The outcome of one scheduling cycle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleOutcome {
+    /// Chosen placements (one per schedulable job).
+    pub placements: Vec<Placement>,
+    /// Objectives of the chosen solution.
+    pub chosen: Objectives,
+    /// The full Pareto front explored by the optimizer.
+    pub pareto_front: Vec<ParetoSolution>,
+    /// Objectives of the front's extreme points: (min-JCT solution, min-error solution).
+    pub front_min_jct: Objectives,
+    /// Objectives of the front solution with the lowest error (highest fidelity).
+    pub front_min_error: Objectives,
+    /// Jobs that could not be scheduled (no feasible QPU).
+    pub rejected_jobs: Vec<u64>,
+    /// Per-stage runtimes.
+    pub timings: StageTimings,
+    /// Index of the chosen solution within `pareto_front`.
+    pub chosen_index: usize,
+}
+
+/// The Qonductor quantum-job scheduler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HybridScheduler {
+    config: SchedulerConfig,
+}
+
+impl HybridScheduler {
+    /// Create a scheduler with the given configuration.
+    pub fn new(config: SchedulerConfig) -> Self {
+        HybridScheduler { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// Run one scheduling cycle over the pending jobs and available QPUs.
+    ///
+    /// Jobs whose qubit requirement no QPU can satisfy are filtered out during
+    /// pre-processing and reported in `rejected_jobs`.
+    pub fn schedule(&self, jobs: Vec<JobRequest>, qpus: Vec<QpuState>) -> ScheduleOutcome {
+        assert!(!qpus.is_empty(), "scheduling requires at least one QPU");
+        // ---------- Stage 1: job pre-processing ----------
+        let t0 = Instant::now();
+        let max_qpu_size = qpus.iter().map(|q| q.num_qubits).max().unwrap_or(0);
+        let (schedulable, rejected): (Vec<JobRequest>, Vec<JobRequest>) =
+            jobs.into_iter().partition(|j| j.qubits <= max_qpu_size);
+        let rejected_jobs: Vec<u64> = rejected.iter().map(|j| j.job_id).collect();
+        if schedulable.is_empty() {
+            let zero = Objectives { mean_jct_s: 0.0, mean_error: 0.0 };
+            return ScheduleOutcome {
+                placements: vec![],
+                chosen: zero,
+                pareto_front: vec![],
+                front_min_jct: zero,
+                front_min_error: zero,
+                rejected_jobs,
+                timings: StageTimings {
+                    preprocessing_s: t0.elapsed().as_secs_f64(),
+                    optimization_s: 0.0,
+                    selection_s: 0.0,
+                },
+                chosen_index: 0,
+            };
+        }
+        let job_ids: Vec<u64> = schedulable.iter().map(|j| j.job_id).collect();
+        let problem = SchedulingProblem::new(schedulable, qpus);
+        let preprocessing_s = t0.elapsed().as_secs_f64();
+
+        // ---------- Stage 2: multi-objective optimization ----------
+        let t1 = Instant::now();
+        let result = nsga2::optimize(&problem, &self.config.nsga2);
+        let optimization_s = t1.elapsed().as_secs_f64();
+
+        // ---------- Stage 3: MCDM selection ----------
+        let t2 = Instant::now();
+        let chosen_index = mcdm::select(&result.pareto_front, self.config.preference);
+        let chosen_solution = &result.pareto_front[chosen_index];
+        let placements: Vec<Placement> = chosen_solution
+            .assignment
+            .iter()
+            .zip(&job_ids)
+            .map(|(&qpu_index, &job_id)| Placement { job_id, qpu_index })
+            .collect();
+        let front_min_jct = result
+            .pareto_front
+            .iter()
+            .map(|s| s.objectives)
+            .min_by(|a, b| a.mean_jct_s.partial_cmp(&b.mean_jct_s).unwrap())
+            .unwrap_or(chosen_solution.objectives);
+        let front_min_error = result
+            .pareto_front
+            .iter()
+            .map(|s| s.objectives)
+            .min_by(|a, b| a.mean_error.partial_cmp(&b.mean_error).unwrap())
+            .unwrap_or(chosen_solution.objectives);
+        let selection_s = t2.elapsed().as_secs_f64();
+
+        ScheduleOutcome {
+            placements,
+            chosen: chosen_solution.objectives,
+            pareto_front: result.pareto_front,
+            front_min_jct,
+            front_min_error,
+            rejected_jobs,
+            timings: StageTimings { preprocessing_s, optimization_s, selection_s },
+            chosen_index,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn jobs_and_qpus(num_jobs: usize, num_qpus: usize, seed: u64) -> (Vec<JobRequest>, Vec<QpuState>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let qpus: Vec<QpuState> = (0..num_qpus)
+            .map(|i| QpuState {
+                name: format!("qpu{i}"),
+                num_qubits: if i == 0 { 7 } else { 27 },
+                waiting_time_s: rng.gen_range(0.0..300.0),
+            })
+            .collect();
+        let jobs: Vec<JobRequest> = (0..num_jobs)
+            .map(|i| JobRequest {
+                job_id: 1000 + i as u64,
+                qubits: rng.gen_range(2..=25),
+                shots: 4000,
+                fidelity_per_qpu: (0..num_qpus).map(|_| rng.gen_range(0.5..0.95)).collect(),
+                exec_time_per_qpu: (0..num_qpus).map(|_| rng.gen_range(5.0..80.0)).collect(),
+            })
+            .collect();
+        (jobs, qpus)
+    }
+
+    #[test]
+    fn schedule_places_every_schedulable_job_feasibly() {
+        let (jobs, qpus) = jobs_and_qpus(50, 5, 1);
+        let scheduler = HybridScheduler::default();
+        let outcome = scheduler.schedule(jobs.clone(), qpus.clone());
+        assert_eq!(outcome.placements.len() + outcome.rejected_jobs.len(), jobs.len());
+        for p in &outcome.placements {
+            let job = jobs.iter().find(|j| j.job_id == p.job_id).unwrap();
+            assert!(qpus[p.qpu_index].num_qubits >= job.qubits);
+        }
+        assert!(outcome.timings.total_s() > 0.0);
+        assert!(outcome.timings.optimization_s > outcome.timings.selection_s);
+    }
+
+    #[test]
+    fn oversized_jobs_are_rejected() {
+        let (mut jobs, qpus) = jobs_and_qpus(5, 3, 2);
+        jobs.push(JobRequest {
+            job_id: 9999,
+            qubits: 100,
+            shots: 100,
+            fidelity_per_qpu: vec![0.5; 3],
+            exec_time_per_qpu: vec![1.0; 3],
+        });
+        let outcome = HybridScheduler::default().schedule(jobs, qpus);
+        assert!(outcome.rejected_jobs.contains(&9999));
+    }
+
+    #[test]
+    fn chosen_solution_sits_between_front_extremes() {
+        let (jobs, qpus) = jobs_and_qpus(80, 8, 3);
+        let outcome = HybridScheduler::default().schedule(jobs, qpus);
+        assert!(outcome.chosen.mean_jct_s >= outcome.front_min_jct.mean_jct_s - 1e-9);
+        assert!(outcome.chosen.mean_error >= outcome.front_min_error.mean_error - 1e-9);
+        assert!(!outcome.pareto_front.is_empty());
+        assert!(outcome.chosen_index < outcome.pareto_front.len());
+    }
+
+    #[test]
+    fn jct_priority_yields_lower_jct_than_fidelity_priority() {
+        let (jobs, qpus) = jobs_and_qpus(60, 6, 4);
+        let jct_first = HybridScheduler::new(SchedulerConfig {
+            preference: Preference::jct_first(),
+            ..Default::default()
+        })
+        .schedule(jobs.clone(), qpus.clone());
+        let fid_first = HybridScheduler::new(SchedulerConfig {
+            preference: Preference::fidelity_first(),
+            ..Default::default()
+        })
+        .schedule(jobs, qpus);
+        assert!(jct_first.chosen.mean_jct_s <= fid_first.chosen.mean_jct_s);
+        assert!(jct_first.chosen.mean_fidelity() <= fid_first.chosen.mean_fidelity() + 1e-9);
+    }
+
+    #[test]
+    fn all_jobs_oversized_returns_empty_schedule() {
+        let qpus = vec![QpuState { name: "tiny".into(), num_qubits: 5, waiting_time_s: 0.0 }];
+        let jobs = vec![JobRequest {
+            job_id: 1,
+            qubits: 50,
+            shots: 100,
+            fidelity_per_qpu: vec![0.5],
+            exec_time_per_qpu: vec![1.0],
+        }];
+        let outcome = HybridScheduler::default().schedule(jobs, qpus);
+        assert!(outcome.placements.is_empty());
+        assert_eq!(outcome.rejected_jobs, vec![1]);
+    }
+}

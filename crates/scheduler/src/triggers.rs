@@ -1,0 +1,104 @@
+//! Scheduling triggers (§7): scheduling is invoked either when the pending job
+//! queue reaches a size limit (default 100) or when a time interval elapses
+//! (default 120 s), whichever comes first.
+
+use serde::{Deserialize, Serialize};
+
+/// Trigger configuration and state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleTrigger {
+    /// Queue-size trigger threshold (paper default: 100 jobs).
+    pub queue_limit: usize,
+    /// Time-based trigger interval in seconds (paper default: 120 s).
+    pub interval_s: f64,
+    /// Simulated time of the last scheduling invocation.
+    last_invocation_s: f64,
+}
+
+/// Why scheduling was triggered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TriggerReason {
+    /// The pending queue reached the size limit.
+    QueueSize,
+    /// The time interval elapsed.
+    Interval,
+}
+
+impl Default for ScheduleTrigger {
+    fn default() -> Self {
+        ScheduleTrigger { queue_limit: 100, interval_s: 120.0, last_invocation_s: 0.0 }
+    }
+}
+
+impl ScheduleTrigger {
+    /// Create a trigger with explicit thresholds.
+    pub fn new(queue_limit: usize, interval_s: f64) -> Self {
+        ScheduleTrigger { queue_limit, interval_s, last_invocation_s: 0.0 }
+    }
+
+    /// Check whether scheduling should run now. Returns the trigger reason, or
+    /// `None` if neither condition holds. The queue-size check takes priority.
+    pub fn check(&self, queue_len: usize, now_s: f64) -> Option<TriggerReason> {
+        if queue_len >= self.queue_limit && queue_len > 0 {
+            Some(TriggerReason::QueueSize)
+        } else if now_s - self.last_invocation_s >= self.interval_s && queue_len > 0 {
+            Some(TriggerReason::Interval)
+        } else {
+            None
+        }
+    }
+
+    /// Record that scheduling ran at `now_s` (resets the interval timer).
+    pub fn mark_invoked(&mut self, now_s: f64) {
+        self.last_invocation_s = now_s;
+    }
+
+    /// Simulated time of the last invocation.
+    pub fn last_invocation_s(&self) -> f64 {
+        self.last_invocation_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_size_trigger_fires_at_the_limit() {
+        let t = ScheduleTrigger::default();
+        assert_eq!(t.check(99, 10.0), None);
+        assert_eq!(t.check(100, 10.0), Some(TriggerReason::QueueSize));
+        assert_eq!(t.check(250, 10.0), Some(TriggerReason::QueueSize));
+    }
+
+    #[test]
+    fn interval_trigger_fires_after_the_period() {
+        let mut t = ScheduleTrigger::default();
+        assert_eq!(t.check(5, 60.0), None);
+        assert_eq!(t.check(5, 120.0), Some(TriggerReason::Interval));
+        t.mark_invoked(120.0);
+        assert_eq!(t.check(5, 180.0), None);
+        assert_eq!(t.check(5, 240.0), Some(TriggerReason::Interval));
+    }
+
+    #[test]
+    fn empty_queue_never_triggers() {
+        let t = ScheduleTrigger::default();
+        assert_eq!(t.check(0, 10_000.0), None);
+    }
+
+    #[test]
+    fn queue_trigger_takes_priority_over_interval() {
+        let t = ScheduleTrigger::default();
+        assert_eq!(t.check(150, 10_000.0), Some(TriggerReason::QueueSize));
+    }
+
+    #[test]
+    fn custom_thresholds_are_respected() {
+        let mut t = ScheduleTrigger::new(10, 30.0);
+        assert_eq!(t.check(10, 0.0), Some(TriggerReason::QueueSize));
+        t.mark_invoked(0.0);
+        assert_eq!(t.check(3, 29.0), None);
+        assert_eq!(t.check(3, 30.0), Some(TriggerReason::Interval));
+    }
+}

@@ -1,0 +1,67 @@
+//! Quickstart: create a hybrid workflow, deploy it on Qonductor, invoke it, and
+//! read back the results — the minimal end-to-end path through the Table-2 API.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use qonductor::core::{
+    mitigated_execution_workflow, DeploymentConfig, Orchestrator, WorkflowStatus,
+};
+use qonductor::circuit::generators::ghz;
+use qonductor::mitigation::MitigationStack;
+use qonductor::scheduler::ClassicalRequest;
+
+fn main() {
+    // An orchestrator over the default modelled cluster: eight IBM-like QPUs
+    // (six 27-qubit Falcons, one 16-qubit, one 7-qubit) plus three classical VMs.
+    let qonductor = Orchestrator::with_default_cluster(7);
+
+    // 1. Create a hybrid workflow: pre-process → execute (8-qubit GHZ) → post-process,
+    //    with the Listing-2 mitigation stack (ZNE + dynamical decoupling + REM).
+    let workflow = mitigated_execution_workflow(
+        "quickstart-ghz",
+        ghz(8),
+        MitigationStack::listing2(),
+        ClassicalRequest::small(),
+    );
+    let image = qonductor.create_workflow(workflow, DeploymentConfig::default());
+    println!("registered hybrid workflow image #{image}");
+
+    // 2. Deploy (validates that the cluster can host the workflow).
+    qonductor.deploy(image).expect("deployment should succeed on the default cluster");
+
+    // 3. Ask the resource estimator for fidelity/runtime/cost tradeoff plans.
+    let plans = qonductor.estimate_resources(image).expect("plans");
+    println!("\nresource plans (fidelity vs runtime vs cost):");
+    for plan in &plans {
+        println!(
+            "  {:24} on {:14}  fidelity {:.3}  runtime {:7.1}s  cost ${:.2}",
+            plan.stack_label,
+            plan.qpu_model,
+            plan.estimated_fidelity,
+            plan.total_time_s(),
+            plan.cost_usd
+        );
+    }
+
+    // 4. Invoke the workflow and wait for the result.
+    let run = qonductor.invoke(image).expect("invocation");
+    assert_eq!(qonductor.workflow_status(run), Some(WorkflowStatus::Completed));
+    let result = qonductor.workflow_results(run).expect("results");
+
+    println!("\nrun #{run} completed:");
+    for step in &result.quantum_steps {
+        println!(
+            "  quantum step {:22} on {:14} fidelity {:.3}  wait {:6.1}s  exec {:6.2}s",
+            step.step, step.qpu, step.fidelity, step.waiting_s, step.execution_s
+        );
+    }
+    for step in &result.classical_steps {
+        println!("  classical step {:20} on {:14} exec {:6.2}s", step.step, step.node, step.execution_s);
+    }
+    println!(
+        "  end-to-end completion {:.2}s, mean fidelity {:.3}, cost ${:.2}",
+        result.completion_s,
+        result.mean_fidelity(),
+        result.cost_usd
+    );
+}

@@ -1,0 +1,75 @@
+//! Scheduler tradeoff exploration (the Figure-10(b) scenario): build one batch
+//! of quantum jobs, run the NSGA-II optimizer once, and show how the MCDM
+//! selection stage picks different Pareto-front solutions depending on whether
+//! the user prioritises completion time, fidelity, or a balance of both.
+//!
+//! Run with: `cargo run --release --example scheduler_tradeoff`
+
+use qonductor::scheduler::{
+    optimize, pseudo_weights, select, JobRequest, Nsga2Config, Preference, QpuState,
+    SchedulingProblem,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(21);
+
+    // Eight 27-qubit QPUs with different queue backlogs.
+    let qpus: Vec<QpuState> = (0..8)
+        .map(|i| QpuState {
+            name: format!("qpu{i}"),
+            num_qubits: 27,
+            waiting_time_s: rng.gen_range(0.0..800.0),
+        })
+        .collect();
+
+    // One hundred random quantum jobs with per-QPU estimates.
+    let jobs: Vec<JobRequest> = (0..100)
+        .map(|i| {
+            let base: f64 = rng.gen_range(0.55..0.95);
+            JobRequest {
+                job_id: i,
+                qubits: rng.gen_range(2..=27),
+                shots: rng.gen_range(1000..8000),
+                fidelity_per_qpu: (0..8).map(|_| (base + rng.gen_range(-0.15..0.15)).clamp(0.05, 0.99)).collect(),
+                exec_time_per_qpu: (0..8).map(|_| rng.gen_range(5.0..120.0)).collect(),
+            }
+        })
+        .collect();
+
+    let problem = SchedulingProblem::new(jobs, qpus);
+    let result = optimize(&problem, &Nsga2Config::default());
+
+    println!("Pareto front of {} scheduling solutions:", result.pareto_front.len());
+    let weights = pseudo_weights(&result.pareto_front);
+    for (sol, (w_fid, w_jct)) in result.pareto_front.iter().zip(&weights) {
+        println!(
+            "  mean fidelity {:.3}  mean JCT {:8.1}s   pseudo-weights (fidelity {:.2}, jct {:.2})",
+            sol.objectives.mean_fidelity(),
+            sol.objectives.mean_jct_s,
+            w_fid,
+            w_jct
+        );
+    }
+
+    println!("\nMCDM selections:");
+    for (label, preference) in [
+        ("prioritise JCT", Preference::jct_first()),
+        ("balanced", Preference::balanced()),
+        ("prioritise fidelity", Preference::fidelity_first()),
+    ] {
+        let idx = select(&result.pareto_front, preference);
+        let chosen = &result.pareto_front[idx].objectives;
+        println!(
+            "  {:22} -> mean fidelity {:.3}, mean JCT {:8.1}s",
+            label,
+            chosen.mean_fidelity(),
+            chosen.mean_jct_s
+        );
+    }
+    println!(
+        "\n(the NSGA-II run used {} objective evaluations over {} generations)",
+        result.evaluations, result.generations
+    );
+}

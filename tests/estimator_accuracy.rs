@@ -1,0 +1,99 @@
+//! Integration tests of the resource estimator across crates: dataset
+//! generation against the modelled fleet, regression training, accuracy
+//! against held-out executions, and the comparison with the numerical
+//! calibration-product baseline (the Figure-7 methodology at test scale).
+
+use qonductor::backend::Fleet;
+use qonductor::estimator::{
+    dataset::{generate_dataset, split, DatasetConfig},
+    numerical, ResourceEstimator,
+};
+use qonductor::circuit::generators::ghz;
+use qonductor::transpiler::Transpiler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fleet() -> Fleet {
+    let mut rng = StdRng::seed_from_u64(404);
+    Fleet::ibm_default(&mut rng)
+}
+
+#[test]
+fn regression_estimator_is_accurate_on_held_out_executions() {
+    let records = generate_dataset(
+        &fleet(),
+        &DatasetConfig { num_records: 700, num_threads: 4, ..Default::default() },
+        2026,
+    );
+    let (train, test) = split(&records, 0.8);
+    let estimator = ResourceEstimator::train(&train, 2);
+    let accuracy = estimator.evaluate(&test);
+    // The paper reports R² of 0.976 (fidelity) and 0.998 (runtime) on its dataset;
+    // at test scale we require the same qualitative level of accuracy.
+    assert!(accuracy.fidelity_r2 > 0.75, "fidelity R² = {}", accuracy.fidelity_r2);
+    assert!(accuracy.runtime_r2 > 0.9, "runtime R² = {}", accuracy.runtime_r2);
+    assert!(
+        accuracy.fidelity_within_0_1 > 0.6,
+        "within-0.1 fraction = {}",
+        accuracy.fidelity_within_0_1
+    );
+}
+
+#[test]
+fn regression_beats_numerical_baseline_on_mitigated_jobs() {
+    let fleet = fleet();
+    let records = generate_dataset(
+        &fleet,
+        &DatasetConfig {
+            num_records: 500,
+            num_threads: 4,
+            mitigation_fraction: 1.0, // every job is mitigated
+            ..Default::default()
+        },
+        99,
+    );
+    let (train, test) = split(&records, 0.8);
+    let estimator = ResourceEstimator::train(&train, 2);
+
+    // The numerical baseline cannot see the mitigation uplift, so on mitigated
+    // jobs its fidelity error must exceed the regression estimator's.
+    let reg_err: f64 = test
+        .iter()
+        .map(|r| (estimator.estimate_fidelity(&r.features) - r.fidelity).abs())
+        .sum::<f64>()
+        / test.len() as f64;
+    // Numerical baseline on a representative mitigated workload.
+    let transpiler = Transpiler::default();
+    let qpu = &fleet.by_name("ibm_cairo").unwrap().qpu;
+    let transpiled = transpiler.transpile_for_qpu(&ghz(12), qpu);
+    let noise = qpu.noise_model();
+    let numerical_fid = numerical::estimate_fidelity(&transpiled.circuit, &noise);
+    let mitigated_truth: f64 =
+        test.iter().map(|r| r.fidelity).sum::<f64>() / test.len() as f64;
+    let num_err = (numerical_fid - mitigated_truth).abs();
+    assert!(
+        reg_err < num_err,
+        "regression mean error {reg_err:.3} should beat the mitigation-blind baseline error {num_err:.3}"
+    );
+}
+
+#[test]
+fn numerical_baseline_orders_devices_by_quality() {
+    let fleet = fleet();
+    let transpiler = Transpiler::default();
+    let circuit = ghz(12);
+    let best = fleet.by_name("ibm_auckland").unwrap();
+    let worst = fleet.by_name("ibm_algiers").unwrap();
+    let f_best = numerical::estimate_fidelity(
+        &transpiler.transpile_for_qpu(&circuit, &best.qpu).circuit,
+        &best.qpu.noise_model(),
+    );
+    let f_worst = numerical::estimate_fidelity(
+        &transpiler.transpile_for_qpu(&circuit, &worst.qpu).circuit,
+        &worst.qpu.noise_model(),
+    );
+    assert!(
+        f_best > f_worst,
+        "auckland ({f_best:.3}) must beat algiers ({f_worst:.3}), matching Fig. 2b"
+    );
+}

@@ -1,0 +1,168 @@
+//! Property-based tests (proptest) on the core data structures and invariants:
+//! circuit IR metrics, transpilation correctness, Hellinger fidelity bounds,
+//! mitigation cost composition, scheduler feasibility, and MCDM selection.
+
+use proptest::prelude::*;
+use qonductor::backend::{hellinger_fidelity, CouplingMap, Distribution, Qpu, QpuModel, Simulator};
+use qonductor::circuit::{generators, Circuit, CircuitMetrics};
+use qonductor::mitigation::{fold_circuit, MitigationCost};
+use qonductor::scheduler::{
+    optimize, select, JobRequest, Nsga2Config, Preference, QpuState, SchedulingProblem,
+};
+use qonductor::transpiler::Transpiler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Circuit depth never exceeds the gate count, and width never exceeds the register.
+    #[test]
+    fn circuit_metric_invariants(n in 2u32..20, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let circuit = generators::random_circuit(n, 10, &mut rng);
+        let m = CircuitMetrics::of(&circuit);
+        prop_assert!(m.width <= m.register_size);
+        prop_assert!(m.depth <= circuit.len());
+        prop_assert!(m.two_qubit_ratio() >= 0.0 && m.two_qubit_ratio() <= 1.0);
+    }
+
+    /// GHZ transpilation onto the heavy-hex Falcon preserves the ideal output
+    /// distribution for any width that fits the statevector simulator.
+    #[test]
+    fn transpilation_preserves_distribution(n in 2u32..9) {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let qpu = Qpu::new("prop", QpuModel::falcon_27(), 1.0, &mut rng);
+        let circuit = generators::ghz(n);
+        let transpiled = Transpiler::default().transpile_for_qpu(&circuit, &qpu);
+        let sim = Simulator::default();
+        let before = sim.ideal_distribution(&circuit);
+        let after = sim.ideal_distribution(&transpiled.circuit);
+        prop_assert!(hellinger_fidelity(&before, &after) > 0.999);
+        // Every two-qubit gate respects the coupling map.
+        for instr in transpiled.circuit.instructions() {
+            if instr.gate.is_two_qubit() {
+                prop_assert!(qpu.model.coupling_map.are_coupled(instr.q0, instr.q1));
+            }
+        }
+    }
+
+    /// ZNE folding with odd factors scales the two-qubit gate count exactly and
+    /// never changes the measurement count.
+    #[test]
+    fn folding_scales_gates(n in 2u32..10, k in 0u32..4) {
+        let factor = (2 * k + 1) as f64;
+        let circuit = generators::ghz(n);
+        let folded = fold_circuit(&circuit, factor);
+        prop_assert_eq!(folded.two_qubit_gates(), circuit.two_qubit_gates() * (2 * k as usize + 1));
+        prop_assert_eq!(folded.num_measurements(), circuit.num_measurements());
+    }
+
+    /// Hellinger fidelity is symmetric and bounded in [0, 1].
+    #[test]
+    fn hellinger_bounds(values in prop::collection::vec(0.0f64..100.0, 1..12)) {
+        let p: Distribution = values.iter().enumerate().map(|(i, &v)| (i as u64, v + 0.01)).collect();
+        let q: Distribution = values.iter().enumerate().map(|(i, &v)| (i as u64, 100.01 - v)).collect();
+        let f = hellinger_fidelity(&p, &q);
+        prop_assert!((0.0..=1.0).contains(&f));
+        prop_assert!((f - hellinger_fidelity(&q, &p)).abs() < 1e-9);
+        prop_assert!((hellinger_fidelity(&p, &p) - 1.0).abs() < 1e-9);
+    }
+
+    /// Stacking mitigation costs is monotone: the stacked error factor is never
+    /// worse than either component, and multiplicities multiply.
+    #[test]
+    fn mitigation_stacking_monotone(e1 in 0.1f64..1.0, e2 in 0.1f64..1.0, m1 in 1usize..6, m2 in 1usize..6) {
+        let a = MitigationCost {
+            circuit_multiplicity: m1,
+            quantum_time_factor: m1 as f64,
+            classical_time_cpu_s: 0.1,
+            accelerator_speedup: 1.0,
+            error_reduction_factor: e1,
+        };
+        let b = MitigationCost { circuit_multiplicity: m2, error_reduction_factor: e2, ..a };
+        let s = a.stack(&b);
+        prop_assert_eq!(s.circuit_multiplicity, m1 * m2);
+        prop_assert!(s.error_reduction_factor <= e1 + 1e-12);
+        prop_assert!(s.error_reduction_factor <= e2 + 1e-12);
+        prop_assert!(s.error_reduction_factor >= 0.03 - 1e-12);
+        // Mitigated fidelity is always a valid probability.
+        let f = s.mitigated_fidelity(0.42);
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+
+    /// The NSGA-II scheduler always returns feasible, mutually non-dominated fronts,
+    /// and MCDM selection picks a member of the front.
+    #[test]
+    fn scheduler_front_invariants(num_jobs in 5usize..30, num_qpus in 2usize..6, seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let qpus: Vec<QpuState> = (0..num_qpus)
+            .map(|i| QpuState {
+                name: format!("q{i}"),
+                num_qubits: if i == 0 { 7 } else { 27 },
+                waiting_time_s: rng.gen_range(0.0..300.0),
+            })
+            .collect();
+        let jobs: Vec<JobRequest> = (0..num_jobs)
+            .map(|i| JobRequest {
+                job_id: i as u64,
+                qubits: rng.gen_range(2..=20),
+                shots: 1000,
+                fidelity_per_qpu: (0..num_qpus).map(|_| rng.gen_range(0.3..0.95)).collect(),
+                exec_time_per_qpu: (0..num_qpus).map(|_| rng.gen_range(1.0..60.0)).collect(),
+            })
+            .collect();
+        let problem = SchedulingProblem::new(jobs, qpus);
+        let config = Nsga2Config {
+            population_size: 16,
+            max_generations: 10,
+            max_evaluations: 1000,
+            num_threads: 1,
+            seed,
+            ..Nsga2Config::default()
+        };
+        let result = optimize(&problem, &config);
+        prop_assert!(!result.pareto_front.is_empty());
+        for sol in &result.pareto_front {
+            prop_assert!(problem.assignment_is_feasible(&sol.assignment));
+        }
+        let idx = select(&result.pareto_front, Preference::balanced());
+        prop_assert!(idx < result.pareto_front.len());
+    }
+
+    /// Coupling maps report symmetric adjacency and triangle-inequality distances.
+    #[test]
+    fn coupling_map_distance_invariants(rows in 1u32..4, cols in 2u32..5) {
+        let map = CouplingMap::grid(rows, cols);
+        let n = map.num_qubits();
+        for a in 0..n {
+            for b in 0..n {
+                prop_assert_eq!(map.are_coupled(a, b), map.are_coupled(b, a));
+                if a == b {
+                    prop_assert_eq!(map.distance(a, b), Some(0));
+                } else {
+                    let d = map.distance(a, b).unwrap();
+                    prop_assert!(d >= 1);
+                    if map.are_coupled(a, b) {
+                        prop_assert_eq!(d, 1);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Workload circuits always measure every qubit and respect the width bounds.
+    #[test]
+    fn workload_circuits_are_well_formed(seed in 0u64..300) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let generator = qonductor::circuit::WorkloadGenerator::new(qonductor::circuit::WorkloadConfig {
+            max_qubits: 27,
+            ..Default::default()
+        });
+        let circuit: Circuit = generator.sample_circuit(&mut rng);
+        prop_assert!(circuit.num_qubits() >= 2 && circuit.num_qubits() <= 27);
+        prop_assert!(circuit.num_measurements() as u32 >= circuit.num_qubits());
+        prop_assert!(circuit.shots() >= 100);
+    }
+}
