@@ -159,7 +159,10 @@ impl CalibrationData {
                 }
             }
             if count > 0.0 {
-                edges.insert(*key, EdgeCalibration { gate_error: err / count, gate_duration_ns: dur / count });
+                edges.insert(
+                    *key,
+                    EdgeCalibration { gate_error: err / count, gate_duration_ns: dur / count },
+                );
             }
         }
         CalibrationData {
@@ -256,7 +259,8 @@ impl CalibrationGenerator {
         timestamp_s: f64,
         rng: &mut R,
     ) -> CalibrationData {
-        let step = |v: f64, rng: &mut R| -> f64 { v * (1.0 + rng.gen_range(-self.drift..self.drift)) };
+        let step =
+            |v: f64, rng: &mut R| -> f64 { v * (1.0 + rng.gen_range(-self.drift..self.drift)) };
         let qubits = previous
             .qubits
             .iter()
@@ -349,7 +353,8 @@ mod tests {
         let avg = CalibrationData::average(&[&a, &b]);
         let expected = (a.qubits[0].t1_us + b.qubits[0].t1_us) / 2.0;
         assert!((avg.qubits[0].t1_us - expected).abs() < 1e-9);
-        let e_expected = (a.edge(0, 1).unwrap().gate_error + b.edge(0, 1).unwrap().gate_error) / 2.0;
+        let e_expected =
+            (a.edge(0, 1).unwrap().gate_error + b.edge(0, 1).unwrap().gate_error) / 2.0;
         assert!((avg.edge(0, 1).unwrap().gate_error - e_expected).abs() < 1e-12);
     }
 

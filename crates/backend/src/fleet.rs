@@ -176,7 +176,8 @@ mod tests {
         let best = fleet.by_name("ibm_auckland").unwrap();
         let worst = fleet.by_name("ibm_algiers").unwrap();
         assert!(
-            best.qpu.calibration.mean_two_qubit_error() < worst.qpu.calibration.mean_two_qubit_error()
+            best.qpu.calibration.mean_two_qubit_error()
+                < worst.qpu.calibration.mean_two_qubit_error()
         );
     }
 

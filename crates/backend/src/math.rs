@@ -82,10 +82,7 @@ impl Sub for C64 {
 impl Mul for C64 {
     type Output = C64;
     fn mul(self, rhs: C64) -> C64 {
-        C64 {
-            re: self.re * rhs.re - self.im * rhs.im,
-            im: self.re * rhs.im + self.im * rhs.re,
-        }
+        C64 { re: self.re * rhs.re - self.im * rhs.im, im: self.re * rhs.im + self.im * rhs.re }
     }
 }
 

@@ -84,11 +84,9 @@ impl NoiseModel {
             Gate::Delay(ns) => ns,
             Gate::Measure => qubit(q0).readout_duration_ns,
             g if g.is_two_qubit() => {
-                let d = self
-                    .calibration
-                    .edge(q0, q1)
-                    .map(|e| e.gate_duration_ns)
-                    .unwrap_or_else(|| crate::calibration::EdgeCalibration::typical().gate_duration_ns);
+                let d = self.calibration.edge(q0, q1).map(|e| e.gate_duration_ns).unwrap_or_else(
+                    || crate::calibration::EdgeCalibration::typical().gate_duration_ns,
+                );
                 if matches!(g, Gate::Swap) {
                     3.0 * d
                 } else {

@@ -120,13 +120,7 @@ impl Qpu {
             model.coupling_map.edges(),
             rng,
         );
-        Qpu {
-            name: name.into(),
-            model,
-            calibration,
-            quality,
-            calibration_period_s: 3600.0,
-        }
+        Qpu { name: name.into(), model, calibration, quality, calibration_period_s: 3600.0 }
     }
 
     /// Number of qubits.
@@ -177,7 +171,8 @@ impl TemplateQpu {
         by_model
             .into_iter()
             .map(|(_, group)| {
-                let snapshots: Vec<&CalibrationData> = group.iter().map(|d| &d.calibration).collect();
+                let snapshots: Vec<&CalibrationData> =
+                    group.iter().map(|d| &d.calibration).collect();
                 TemplateQpu {
                     model: group[0].model.clone(),
                     calibration: CalibrationData::average(&snapshots),

@@ -119,6 +119,16 @@ impl JobQueue {
         self.pending.push_back(QueuedJob { job_id, duration_s, enqueue_time_s: self.now_s });
     }
 
+    /// Simulated time of the next job completion, or `None` if nothing is
+    /// running or pending. Used by event-driven callers to advance time to
+    /// the earliest completion instead of draining the whole queue.
+    pub fn next_completion_s(&self) -> Option<f64> {
+        if let Some((job, started)) = &self.running {
+            return Some(started + job.duration_s);
+        }
+        self.pending.front().map(|job| self.now_s.max(job.enqueue_time_s) + job.duration_s)
+    }
+
     /// Advance simulated time to `target_s`, starting and finishing jobs FIFO.
     ///
     /// # Panics
@@ -239,6 +249,22 @@ mod tests {
         let mut q = JobQueue::new();
         q.advance_to(10.0);
         q.advance_to(5.0);
+    }
+
+    #[test]
+    fn next_completion_tracks_running_and_pending() {
+        let mut q = JobQueue::new();
+        assert_eq!(q.next_completion_s(), None);
+        q.enqueue(1, 10.0);
+        q.enqueue(2, 5.0);
+        // Nothing started yet: the head of the queue completes first.
+        assert_eq!(q.next_completion_s(), Some(10.0));
+        q.advance_to(4.0); // job 1 running, finishes at 10
+        assert_eq!(q.next_completion_s(), Some(10.0));
+        q.advance_to(12.0); // job 2 running, finishes at 15
+        assert_eq!(q.next_completion_s(), Some(15.0));
+        q.advance_to(20.0);
+        assert_eq!(q.next_completion_s(), None);
     }
 
     #[test]

@@ -124,7 +124,8 @@ impl Simulator {
                 // Stochastic Pauli error after each noisy gate, using the
                 // *physical* qubit indices for calibration lookup.
                 let pq0 = qubit_map[instr.q0 as usize];
-                let pq1 = if instr.q1 == NO_OPERAND { NO_OPERAND } else { qubit_map[instr.q1 as usize] };
+                let pq1 =
+                    if instr.q1 == NO_OPERAND { NO_OPERAND } else { qubit_map[instr.q1 as usize] };
                 let p_err = noise.instruction_error(instr.gate, pq0, pq1);
                 if p_err > 0.0 && rng.gen_bool(p_err.min(1.0)) {
                     state.apply_random_pauli(instr.q0, rng);
@@ -250,7 +251,7 @@ pub struct Statevector {
 impl Statevector {
     /// The |0…0⟩ state over `n` qubits.
     pub fn new(n: u32) -> Self {
-        assert!(n >= 1 && n <= 30, "statevector supports 1..=30 qubits");
+        assert!((1..=30).contains(&n), "statevector supports 1..=30 qubits");
         let mut amps = vec![C64::ZERO; 1usize << n];
         amps[0] = C64::ONE;
         Statevector { num_qubits: n, amps }
@@ -411,10 +412,9 @@ fn one_qubit_matrix(gate: Gate) -> [[C64; 2]; 2] {
         Gate::Sdg => [[o, z], [z, C64::new(0.0, -1.0)]],
         Gate::T => [[o, z], [z, C64::from_polar(std::f64::consts::FRAC_PI_4)]],
         Gate::Tdg => [[o, z], [z, C64::from_polar(-std::f64::consts::FRAC_PI_4)]],
-        Gate::SX => [
-            [C64::new(0.5, 0.5), C64::new(0.5, -0.5)],
-            [C64::new(0.5, -0.5), C64::new(0.5, 0.5)],
-        ],
+        Gate::SX => {
+            [[C64::new(0.5, 0.5), C64::new(0.5, -0.5)], [C64::new(0.5, -0.5), C64::new(0.5, 0.5)]]
+        }
         Gate::RX(t) => {
             let c = C64::real((t / 2.0).cos());
             let s = C64::new(0.0, -(t / 2.0).sin());

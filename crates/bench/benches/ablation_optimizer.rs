@@ -45,16 +45,28 @@ fn main() {
         chosen.objectives.mean_jct_s,
         chosen.objectives.mean_fidelity()
     );
-    for policy in [BaselinePolicy::FidelityGreedy, BaselinePolicy::LeastBusy, BaselinePolicy::RoundRobin] {
+    for policy in
+        [BaselinePolicy::FidelityGreedy, BaselinePolicy::LeastBusy, BaselinePolicy::RoundRobin]
+    {
         let assignment = baseline_assign(&problem, policy);
         let o = problem.evaluate(&assignment);
-        println!("{:<22} {:>12.1} {:>12.3}", format!("{policy:?}"), o.mean_jct_s, o.mean_fidelity());
+        println!(
+            "{:<22} {:>12.1} {:>12.3}",
+            format!("{policy:?}"),
+            o.mean_jct_s,
+            o.mean_fidelity()
+        );
     }
     if let Some((_, jct)) = best_random {
         println!("{:<22} {:>12.1} {:>12}", "random search", jct, "-");
     }
     println!();
-    println!("NSGA-II evaluations used: {}, generations: {}", result.evaluations, result.generations);
-    println!("(design claim: the multi-objective optimizer dominates single-objective greedy policies");
+    println!(
+        "NSGA-II evaluations used: {}, generations: {}",
+        result.evaluations, result.generations
+    );
+    println!(
+        "(design claim: the multi-objective optimizer dominates single-objective greedy policies"
+    );
     println!(" on the combined fidelity-JCT objective rather than at either extreme)");
 }

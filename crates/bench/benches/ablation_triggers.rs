@@ -15,12 +15,11 @@ fn main() {
         "{:>12} {:>12} {:>10} {:>14} {:>14} {:>12}",
         "queue limit", "interval [s]", "cycles", "mean JCT [s]", "mean fidelity", "utilization"
     );
-    for &(queue_limit, interval_s) in &[(25usize, 60.0f64), (100, 120.0), (200, 240.0), (400, 480.0)] {
-        let mut config = simulation_config(
-            Policy::Qonductor { preference: Preference::balanced() },
-            1500.0,
-            61,
-        );
+    for &(queue_limit, interval_s) in
+        &[(25usize, 60.0f64), (100, 120.0), (200, 240.0), (400, 480.0)]
+    {
+        let mut config =
+            simulation_config(Policy::Qonductor { preference: Preference::balanced() }, 1500.0, 61);
         config.trigger_queue_limit = queue_limit;
         config.trigger_interval_s = interval_s;
         let report = CloudSimulation::with_default_fleet(config).run();
@@ -35,6 +34,8 @@ fn main() {
         );
     }
     println!();
-    println!("(design claim: small triggers schedule too eagerly on partial information; very large");
+    println!(
+        "(design claim: small triggers schedule too eagerly on partial information; very large"
+    );
     println!(" triggers delay placement — the paper's 100-job / 120-s defaults sit in between)");
 }

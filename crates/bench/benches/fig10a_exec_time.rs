@@ -17,10 +17,7 @@ fn main() {
     ))
     .run();
 
-    println!(
-        "{:>6} {:>14} {:>14} {:>14}",
-        "cycle", "min front [s]", "max front [s]", "chosen [s]"
-    );
+    println!("{:>6} {:>14} {:>14} {:>14}", "cycle", "min front [s]", "max front [s]", "chosen [s]");
     for (i, c) in report.cycles.iter().enumerate() {
         println!(
             "{:>6} {:>14.2} {:>14.2} {:>14.2}",

@@ -62,6 +62,8 @@ fn main() {
         pct((fid.mean_jct_s - bal.mean_jct_s) / fid.mean_jct_s.max(1e-9)),
         pct((fid.mean_fidelity() - bal.mean_fidelity()) / fid.mean_fidelity().max(1e-9)),
     );
-    println!("(paper: JCT priority gives 67% lower JCT; fidelity priority gives 16% higher fidelity;");
+    println!(
+        "(paper: JCT priority gives 67% lower JCT; fidelity priority gives 16% higher fidelity;"
+    );
     println!(" balanced gives 54% lower JCT for 6% lower fidelity)");
 }

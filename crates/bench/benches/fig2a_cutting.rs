@@ -52,7 +52,10 @@ fn main() {
     );
     let mut rng = StdRng::seed_from_u64(7);
     let qpu = Qpu::new("ibm_cairo", QpuModel::falcon_27(), 1.2, &mut rng);
-    println!("{:<12} {:>18} {:>18} {:>14}", "circuit", "classical runtime", "quantum runtime", "fidelity");
+    println!(
+        "{:<12} {:>18} {:>18} {:>14}",
+        "circuit", "classical runtime", "quantum runtime", "fidelity"
+    );
     for width in [12u32, 24] {
         let (classical, quantum, fidelity) = relative_increase(width, &qpu);
         println!(

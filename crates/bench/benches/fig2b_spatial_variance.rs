@@ -29,7 +29,11 @@ fn main() {
         println!("{:<16} {:>10.2}", name, fidelity);
     }
     let best = results.iter().cloned().fold(("", 0.0_f64), |acc, (n, f)| {
-        if f > acc.1 { (Box::leak(n.into_boxed_str()), f) } else { acc }
+        if f > acc.1 {
+            (Box::leak(n.into_boxed_str()), f)
+        } else {
+            acc
+        }
     });
     let worst = results.iter().map(|(_, f)| *f).fold(f64::INFINITY, f64::min);
     println!();

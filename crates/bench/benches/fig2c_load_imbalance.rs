@@ -8,10 +8,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    banner(
-        "Figure 2(c)",
-        "Pending jobs per QPU over 7 days with fidelity-greedy user behaviour",
-    );
+    banner("Figure 2(c)", "Pending jobs per QPU over 7 days with fidelity-greedy user behaviour");
     let mut rng = StdRng::seed_from_u64(11);
     let mut fleet = Fleet::falcon_six(&mut rng);
     // One compressed hour of arrivals stands in for each day (the imbalance
@@ -48,11 +45,8 @@ fn main() {
         clock += 3600.0;
         // QPUs drain at their own pace during the "day".
         fleet.advance_to(clock, &mut rng);
-        let queues: Vec<String> = fleet
-            .members()
-            .iter()
-            .map(|m| format!("{:>11}", m.queue.pending_len()))
-            .collect();
+        let queues: Vec<String> =
+            fleet.members().iter().map(|m| format!("{:>11}", m.queue.pending_len())).collect();
         println!("day {day:<8} {}", queues.join("  "));
     }
 
@@ -60,9 +54,6 @@ fn main() {
     let max = *pending.iter().max().unwrap_or(&0) as f64;
     let min = *pending.iter().min().unwrap_or(&0) as f64;
     println!();
-    println!(
-        "final load difference across QPUs: {:.0}x",
-        if min > 0.0 { max / min } else { max }
-    );
+    println!("final load difference across QPUs: {:.0}x", if min > 0.0 { max / min } else { max });
     println!("(paper: up to ~100x load difference between QPUs)");
 }

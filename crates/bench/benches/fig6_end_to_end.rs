@@ -26,14 +26,20 @@ fn main() {
     for (q, f) in qonductor.timeline.iter().zip(fcfs.timeline.iter()) {
         println!(
             "{:>7.0} | {:>10.3} {:>12.1} {:>8.2} | {:>10.3} {:>12.1} {:>8.2}",
-            q.t_s, q.mean_fidelity, q.mean_completion_s, q.mean_utilization,
-            f.mean_fidelity, f.mean_completion_s, f.mean_utilization
+            q.t_s,
+            q.mean_fidelity,
+            q.mean_completion_s,
+            q.mean_utilization,
+            f.mean_fidelity,
+            f.mean_completion_s,
+            f.mean_utilization
         );
     }
 
     println!();
     println!("-- summary --");
-    let fid_penalty = (fcfs.mean_fidelity() - qonductor.mean_fidelity()) / fcfs.mean_fidelity().max(1e-9);
+    let fid_penalty =
+        (fcfs.mean_fidelity() - qonductor.mean_fidelity()) / fcfs.mean_fidelity().max(1e-9);
     let jct_gain = (fcfs.mean_completion_s() - qonductor.mean_completion_s())
         / fcfs.mean_completion_s().max(1e-9);
     let util_gain = (qonductor.mean_utilization() - fcfs.mean_utilization())

@@ -28,11 +28,14 @@ fn main() {
     );
     let front = pareto_front(&plans);
 
-    println!("{:<28} {:>12} {:>14} {:>10}  pareto", "plan (stack @ model)", "est. fidelity", "runtime [s]", "cost [$]");
+    println!(
+        "{:<28} {:>12} {:>14} {:>10}  pareto",
+        "plan (stack @ model)", "est. fidelity", "runtime [s]", "cost [$]"
+    );
     for plan in &plans {
-        let on_front = front.iter().any(|p| {
-            p.stack_label == plan.stack_label && p.qpu_model == plan.qpu_model
-        });
+        let on_front = front
+            .iter()
+            .any(|p| p.stack_label == plan.stack_label && p.qpu_model == plan.qpu_model);
         println!(
             "{:<28} {:>12.3} {:>14.1} {:>10.2}  {}",
             format!("{} @ {}", plan.stack_label, plan.qpu_model),
@@ -47,7 +50,8 @@ fn main() {
         let best = &front[0];
         let second = &front[1];
         let runtime_gain = (best.total_time_s() - second.total_time_s()) / best.total_time_s();
-        let fid_loss = (best.estimated_fidelity - second.estimated_fidelity) / best.estimated_fidelity;
+        let fid_loss =
+            (best.estimated_fidelity - second.estimated_fidelity) / best.estimated_fidelity;
         println!(
             "second-highest-fidelity plan: {:.1}% lower runtime for {:.1}% lower fidelity",
             runtime_gain * 100.0,

@@ -4,18 +4,18 @@
 
 use qonductor_backend::Fleet;
 use qonductor_bench::{banner, bench_scale, pct};
+use qonductor_circuit::workload;
+use qonductor_circuit::Algorithm;
 use qonductor_estimator::{
     dataset::{generate_dataset, split, DatasetConfig},
     numerical, ResourceEstimator,
 };
-use qonductor_circuit::workload;
-use qonductor_circuit::Algorithm;
 use qonductor_mitigation::MitigationStack;
 use qonductor_transpiler::Transpiler;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-fn cdf_points(errors: &mut Vec<f64>, thresholds: &[f64]) -> Vec<f64> {
+fn cdf_points(errors: &mut [f64], thresholds: &[f64]) -> Vec<f64> {
     errors.sort_by(|a, b| a.partial_cmp(b).unwrap());
     thresholds
         .iter()
@@ -98,6 +98,8 @@ fn main() {
         accuracy.runtime_r2,
         pct(accuracy.fidelity_within_0_1)
     );
-    println!("(paper: ~75% of fidelity estimates within 0.1; 80% of runtime estimates within 500 ms;");
+    println!(
+        "(paper: ~75% of fidelity estimates within 0.1; 80% of runtime estimates within 500 ms;"
+    );
     println!(" training R²: 0.976 fidelity / 0.998 runtime)");
 }

@@ -37,10 +37,7 @@ fn main() {
 
     println!();
     println!("-- (b) Fidelity of scheduled jobs --");
-    println!(
-        "{:>6} {:>12} {:>12} {:>12}",
-        "cycle", "min front", "max front", "chosen"
-    );
+    println!("{:>6} {:>12} {:>12} {:>12}", "cycle", "min front", "max front", "chosen");
     for (i, c) in report.cycles.iter().enumerate() {
         println!(
             "{:>6} {:>12.3} {:>12.3} {:>12.3}",
@@ -53,7 +50,8 @@ fn main() {
 
     let chosen_jct = mean(&report.cycles.iter().map(|c| c.chosen.mean_jct_s).collect::<Vec<_>>());
     let max_jct = mean(&report.cycles.iter().map(|c| c.front_max_jct_s).collect::<Vec<_>>());
-    let chosen_fid = mean(&report.cycles.iter().map(|c| c.chosen.mean_fidelity()).collect::<Vec<_>>());
+    let chosen_fid =
+        mean(&report.cycles.iter().map(|c| c.chosen.mean_fidelity()).collect::<Vec<_>>());
     let max_fid = mean(&report.cycles.iter().map(|c| c.front_max_fidelity).collect::<Vec<_>>());
     println!();
     println!(

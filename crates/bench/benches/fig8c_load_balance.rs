@@ -20,14 +20,14 @@ fn main() {
     }
 
     let names = &per_rate[0].qpu_names;
-    println!("{:<16} {:>14} {:>14} {:>14}", "IBM QPU", "1500 j/h [s]", "3000 j/h [s]", "4500 j/h [s]");
+    println!(
+        "{:<16} {:>14} {:>14} {:>14}",
+        "IBM QPU", "1500 j/h [s]", "3000 j/h [s]", "4500 j/h [s]"
+    );
     for (i, name) in names.iter().enumerate() {
         println!(
             "{:<16} {:>14.0} {:>14.0} {:>14.0}",
-            name,
-            per_rate[0].qpu_busy_s[i],
-            per_rate[1].qpu_busy_s[i],
-            per_rate[2].qpu_busy_s[i]
+            name, per_rate[0].qpu_busy_s[i], per_rate[1].qpu_busy_s[i], per_rate[2].qpu_busy_s[i]
         );
     }
     println!();

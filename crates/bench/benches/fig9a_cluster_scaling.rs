@@ -13,7 +13,8 @@ fn main() {
     let sizes = [4usize, 8, 16];
     let mut results = Vec::new();
     for &n in &sizes {
-        let config = simulation_config(Policy::Qonductor { preference: Preference::balanced() }, 1500.0, 71);
+        let config =
+            simulation_config(Policy::Qonductor { preference: Preference::balanced() }, 1500.0, 71);
         let mut rng = StdRng::seed_from_u64(71 ^ n as u64);
         let fleet = Fleet::scaled(n, &mut rng);
         let report = CloudSimulation::new(config, fleet).run();

@@ -45,5 +45,7 @@ fn main() {
         );
     }
     println!("(paper: the scheduler remains stable at up to 3x the current IBM load; the sawtooth");
-    println!(" drops correspond to queue-size / time-based scheduling triggers emptying the queue)");
+    println!(
+        " drops correspond to queue-size / time-based scheduling triggers emptying the queue)"
+    );
 }

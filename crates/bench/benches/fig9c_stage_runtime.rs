@@ -26,13 +26,7 @@ fn main() {
             opt.push(outcome.timings.optimization_s);
             sel.push(outcome.timings.selection_s);
         }
-        println!(
-            "{:>8} {:>20.6} {:>18.6} {:>16.6}",
-            num_qpus,
-            mean(&pre),
-            mean(&opt),
-            mean(&sel)
-        );
+        println!("{:>8} {:>20.6} {:>18.6} {:>16.6}", num_qpus, mean(&pre), mean(&opt), mean(&sel));
     }
     println!();
     println!("(paper: all stage runtimes stay roughly constant as the cluster grows; only");

@@ -24,7 +24,8 @@ fn bench_nsga2(c: &mut Criterion) {
     for &num_jobs in &[50usize, 100] {
         let (jobs, qpus) = synthetic_problem(num_jobs, 8, 2);
         let problem = SchedulingProblem::new(jobs, qpus);
-        let config = Nsga2Config { max_generations: 20, max_evaluations: 2000, ..Default::default() };
+        let config =
+            Nsga2Config { max_generations: 20, max_evaluations: 2000, ..Default::default() };
         group.bench_with_input(BenchmarkId::from_parameter(num_jobs), &num_jobs, |b, _| {
             b.iter(|| optimize(std::hint::black_box(&problem), &config))
         });

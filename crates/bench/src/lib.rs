@@ -59,7 +59,11 @@ pub fn simulation_config(policy: Policy, rate_per_hour: f64, seed: u64) -> Simul
 
 /// Generate a synthetic batch of scheduling jobs and QPU states (used by the
 /// scheduler-facing figures 9c and 10b and the ablations).
-pub fn synthetic_problem(num_jobs: usize, num_qpus: usize, seed: u64) -> (Vec<JobRequest>, Vec<QpuState>) {
+pub fn synthetic_problem(
+    num_jobs: usize,
+    num_qpus: usize,
+    seed: u64,
+) -> (Vec<JobRequest>, Vec<QpuState>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let qpus: Vec<QpuState> = (0..num_qpus)
         .map(|i| QpuState {

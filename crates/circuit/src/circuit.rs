@@ -221,10 +221,7 @@ impl Circuit {
     /// Append all instructions of `other` to `self`. Both circuits must have the
     /// same width; measurement bits are preserved.
     pub fn compose(&mut self, other: &Circuit) -> &mut Self {
-        assert_eq!(
-            self.num_qubits, other.num_qubits,
-            "compose requires equal circuit widths"
-        );
+        assert_eq!(self.num_qubits, other.num_qubits, "compose requires equal circuit widths");
         self.instructions.extend_from_slice(&other.instructions);
         self
     }
@@ -251,12 +248,8 @@ impl Circuit {
     pub fn unitary_part(&self) -> Circuit {
         let mut c = Circuit::named(self.num_qubits, self.name.clone());
         c.shots = self.shots;
-        c.instructions = self
-            .instructions
-            .iter()
-            .copied()
-            .filter(|i| i.gate.is_unitary())
-            .collect();
+        c.instructions =
+            self.instructions.iter().copied().filter(|i| i.gate.is_unitary()).collect();
         c
     }
 
@@ -285,10 +278,7 @@ impl Circuit {
 
     /// Number of measurement instructions.
     pub fn num_measurements(&self) -> usize {
-        self.instructions
-            .iter()
-            .filter(|i| i.gate == Gate::Measure)
-            .count()
+        self.instructions.iter().filter(|i| i.gate == Gate::Measure).count()
     }
 
     /// Circuit depth: the length of the longest qubit-wise dependency chain,
@@ -448,11 +438,7 @@ mod tests {
         let c = bell();
         let mapped = c.remap(&[3, 1], 5);
         assert_eq!(mapped.num_qubits(), 5);
-        let cx = mapped
-            .instructions()
-            .iter()
-            .find(|i| i.gate == Gate::CX)
-            .unwrap();
+        let cx = mapped.instructions().iter().find(|i| i.gate == Gate::CX).unwrap();
         assert_eq!((cx.q0, cx.q1), (3, 1));
     }
 

@@ -117,11 +117,7 @@ impl CircuitDag {
 
     /// Nodes with no predecessors (the circuit's front layer).
     pub fn front_layer(&self) -> Vec<usize> {
-        self.nodes
-            .iter()
-            .filter(|n| n.predecessors.is_empty())
-            .map(|n| n.index)
-            .collect()
+        self.nodes.iter().filter(|n| n.predecessors.is_empty()).map(|n| n.index).collect()
     }
 
     /// Partition nodes into ASAP layers: layer k contains the nodes whose
@@ -159,7 +155,9 @@ impl CircuitDag {
         let mut level = vec![0usize; self.nodes.len()];
         let mut best = 0;
         for (idx, node) in self.nodes.iter().enumerate() {
-            let own = usize::from(!node.instruction.gate.is_virtual() && node.instruction.gate != Gate::Barrier);
+            let own = usize::from(
+                !node.instruction.gate.is_virtual() && node.instruction.gate != Gate::Barrier,
+            );
             let base = node.predecessors.iter().map(|&p| level[p]).max().unwrap_or(0);
             level[idx] = base + own;
             best = best.max(level[idx]);

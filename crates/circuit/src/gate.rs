@@ -265,6 +265,7 @@ mod tests {
 
     #[test]
     #[should_panic]
+    #[cfg(debug_assertions)]
     fn two_qubit_same_operand_panics_in_debug() {
         let _ = Instruction::two(Gate::CX, 1, 1);
     }

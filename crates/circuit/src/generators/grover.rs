@@ -17,8 +17,8 @@ pub fn grover(n: u32) -> Circuit {
     for q in 0..n {
         c.h(q);
     }
-    let iterations = (((std::f64::consts::FRAC_PI_4) * f64::from(1u32 << n.min(20)).sqrt()) as u32)
-        .clamp(1, 8);
+    let iterations =
+        (((std::f64::consts::FRAC_PI_4) * f64::from(1u32 << n.min(20)).sqrt()) as u32).clamp(1, 8);
     for _ in 0..iterations {
         c.barrier();
         // Oracle marking |1…1⟩: ladder of CZ gates approximating a multi-controlled Z.

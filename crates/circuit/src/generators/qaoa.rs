@@ -108,7 +108,7 @@ mod tests {
     fn random_graph_has_no_isolated_vertices() {
         let mut rng = StdRng::seed_from_u64(3);
         let g = MaxCutGraph::random(12, 0.1, &mut rng);
-        let mut deg = vec![0u32; 12];
+        let mut deg = [0u32; 12];
         for &(u, v) in &g.edges {
             deg[u as usize] += 1;
             deg[v as usize] += 1;

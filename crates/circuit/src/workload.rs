@@ -61,7 +61,12 @@ pub fn sample_normal<R: Rng + ?Sized>(mean: f64, std: f64, rng: &mut R) -> f64 {
 ///
 /// `layers` controls the repetition count for the variational/random families
 /// (QAOA layers, VQE repetitions, random-circuit depth multiplier).
-pub fn build_algorithm<R: Rng + ?Sized>(alg: Algorithm, n: u32, layers: u32, rng: &mut R) -> Circuit {
+pub fn build_algorithm<R: Rng + ?Sized>(
+    alg: Algorithm,
+    n: u32,
+    layers: u32,
+    rng: &mut R,
+) -> Circuit {
     let n = n.max(2);
     let layers = layers.max(1);
     match alg {
@@ -69,8 +74,10 @@ pub fn build_algorithm<R: Rng + ?Sized>(alg: Algorithm, n: u32, layers: u32, rng
         Algorithm::Qft => generators::qft(n),
         Algorithm::Qaoa => {
             let graph = MaxCutGraph::random(n, 3.0 / f64::from(n.max(4)), rng);
-            let gammas: Vec<f64> = (0..layers).map(|_| rng.gen_range(0.0..std::f64::consts::PI)).collect();
-            let betas: Vec<f64> = (0..layers).map(|_| rng.gen_range(0.0..std::f64::consts::PI)).collect();
+            let gammas: Vec<f64> =
+                (0..layers).map(|_| rng.gen_range(0.0..std::f64::consts::PI)).collect();
+            let betas: Vec<f64> =
+                (0..layers).map(|_| rng.gen_range(0.0..std::f64::consts::PI)).collect();
             generators::qaoa_maxcut(&graph, &gammas, &betas)
         }
         Algorithm::Vqe => generators::vqe_ansatz(n, layers, rng),

@@ -40,7 +40,11 @@ fn routing_factor(circuit_width: u32, device_qubits: u32) -> f64 {
 
 /// Estimate the unmitigated fidelity of a circuit on a device from its metrics
 /// and the device calibration (ESP-style product model with routing overhead).
-pub fn base_fidelity(metrics: &CircuitMetrics, calibration: &CalibrationData, device_qubits: u32) -> f64 {
+pub fn base_fidelity(
+    metrics: &CircuitMetrics,
+    calibration: &CalibrationData,
+    device_qubits: u32,
+) -> f64 {
     let routing = routing_factor(metrics.width, device_qubits);
     let two_q = metrics.two_qubit_gates as f64 * routing;
     let one_q = metrics.one_qubit_gates as f64;
@@ -50,7 +54,8 @@ pub fn base_fidelity(metrics: &CircuitMetrics, calibration: &CalibrationData, de
     // Decoherence over the critical path: depth × average 2q duration.
     let depth_ns = metrics.depth as f64 * 250.0 * routing;
     let t_us = depth_ns / 1000.0;
-    let rate = 0.5 * (1.0 / calibration.mean_t1_us().max(1.0) + 1.0 / calibration.mean_t2_us().max(1.0));
+    let rate =
+        0.5 * (1.0 / calibration.mean_t1_us().max(1.0) + 1.0 / calibration.mean_t2_us().max(1.0));
     let decoherence = (-t_us * rate * metrics.width as f64 * 0.5).exp();
     (gate_part * readout_part * decoherence).clamp(0.0, 1.0)
 }
@@ -67,14 +72,14 @@ const JOB_OVERHEAD_S: f64 = 8.0;
 
 /// Estimate the unmitigated quantum execution time (seconds, all shots),
 /// including the per-shot repetition delay and the fixed per-job overhead.
-pub fn base_quantum_time_s(metrics: &CircuitMetrics, calibration: &CalibrationData, device_qubits: u32) -> f64 {
+pub fn base_quantum_time_s(
+    metrics: &CircuitMetrics,
+    calibration: &CalibrationData,
+    device_qubits: u32,
+) -> f64 {
     let routing = routing_factor(metrics.width, device_qubits);
     let gate_ns = metrics.depth as f64 * 220.0 * routing;
-    let readout_ns = calibration
-        .qubits
-        .first()
-        .map(|q| q.readout_duration_ns)
-        .unwrap_or(700.0);
+    let readout_ns = calibration.qubits.first().map(|q| q.readout_duration_ns).unwrap_or(700.0);
     let per_shot_ns = gate_ns + readout_ns + SHOT_TURNAROUND_NS;
     JOB_OVERHEAD_S + per_shot_ns * f64::from(metrics.shots) / 1e9
 }
@@ -91,7 +96,11 @@ pub fn stack_cost_for(circuit: &Circuit, stack: &MitigationStack, qpu: &Qpu) -> 
 }
 
 /// Estimate from precomputed metrics and mitigation cost.
-pub fn estimate_from_metrics(metrics: &CircuitMetrics, mitigation: MitigationCost, qpu: &Qpu) -> FastEstimate {
+pub fn estimate_from_metrics(
+    metrics: &CircuitMetrics,
+    mitigation: MitigationCost,
+    qpu: &Qpu,
+) -> FastEstimate {
     let base_f = base_fidelity(metrics, &qpu.calibration, qpu.num_qubits());
     let base_t = base_quantum_time_s(metrics, &qpu.calibration, qpu.num_qubits());
     FastEstimate {

@@ -109,7 +109,11 @@ impl LoadGenerator {
     }
 
     /// Generate a single application submitted at `submit_time_s`.
-    pub fn generate_app<R: Rng + ?Sized>(&mut self, submit_time_s: f64, rng: &mut R) -> HybridApplication {
+    pub fn generate_app<R: Rng + ?Sized>(
+        &mut self,
+        submit_time_s: f64,
+        rng: &mut R,
+    ) -> HybridApplication {
         let app_id = self.next_app_id;
         self.next_app_id += 1;
         let circuit = self.workload.sample_circuit(rng);
@@ -139,8 +143,8 @@ mod tests {
             min = min.min(r);
             max = max.max(r);
         }
-        assert!(min >= 1000.0 && min <= 1200.0, "min rate {min}");
-        assert!(max >= 1900.0 && max <= 2050.0, "max rate {max}");
+        assert!((1000.0..=1200.0).contains(&min), "min rate {min}");
+        assert!((1900.0..=2050.0).contains(&max), "max rate {max}");
     }
 
     #[test]

@@ -1,17 +1,20 @@
 //! The quantum-cloud discrete-time simulation (§8.2): synthetic hybrid
-//! applications arrive following the measured IBM load, the configured
-//! scheduling policy (Qonductor's NSGA-II + MCDM scheduler or the FCFS /
-//! least-busy baselines) places them onto the QPU fleet's job queues, queues
-//! advance in simulated time, and the end-to-end metrics of §8.1 (fidelity,
-//! completion time, utilization) are collected over time.
+//! applications arrive following the measured IBM load and are submitted to
+//! the *shared* batch execution engine ([`JobManager`], the same engine the
+//! orchestrator uses). Under the Qonductor policy the engine's
+//! `ScheduleTrigger` gates every NSGA-II + MCDM invocation and dispatches
+//! whole batches onto the fleet queues; the FCFS / least-busy baselines
+//! place each arrival directly through the engine's direct-dispatch path.
+//! Queues advance in simulated time and the end-to-end metrics of §8.1
+//! (fidelity, completion time, utilization) are collected over time.
 
 use crate::estimates::{self, FastEstimate};
 use crate::load::{ArrivalConfig, HybridApplication, LoadGenerator};
 use qonductor_backend::Fleet;
 use qonductor_circuit::CircuitMetrics;
+use qonductor_core::jobmanager::{BatchRecord, JobId, JobManager, JobSpec};
 use qonductor_scheduler::{
-    HybridScheduler, JobRequest, Nsga2Config, Objectives, Preference, QpuState, ScheduleTrigger,
-    SchedulerConfig,
+    HybridScheduler, Nsga2Config, Objectives, Preference, ScheduleTrigger, SchedulerConfig,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -215,13 +218,12 @@ fn mean(iter: impl Iterator<Item = f64>) -> f64 {
     }
 }
 
-/// A job waiting in the Qonductor scheduler's pending queue.
+/// Simulation-side bookkeeping for one application submitted to the shared
+/// batch engine, keyed by the engine's job id.
 #[derive(Debug, Clone)]
-struct PendingJob {
+struct AppRecord {
     app_id: u64,
     submit_s: f64,
-    qubits: u32,
-    shots: u32,
     mitigated: bool,
     /// Per-QPU estimates (index-aligned with the fleet).
     estimates: Vec<FastEstimate>,
@@ -251,20 +253,20 @@ impl CloudSimulation {
     /// Run the simulation to completion and produce the report.
     pub fn run(mut self) -> SimulationReport {
         let cfg = self.config;
-        let num_qpus = self.fleet.len();
-        let mut load = LoadGenerator::new(cfg.arrival, self.fleet.max_qubits(), cfg.mitigation_fraction);
-        let mut trigger = ScheduleTrigger::new(cfg.trigger_queue_limit, cfg.trigger_interval_s);
+        let mut load =
+            LoadGenerator::new(cfg.arrival, self.fleet.max_qubits(), cfg.mitigation_fraction);
+        // The shared batch execution engine: pending pool + trigger + dispatch.
+        let mut engine =
+            JobManager::new(ScheduleTrigger::new(cfg.trigger_queue_limit, cfg.trigger_interval_s));
         let scheduler = match cfg.policy {
-            Policy::Qonductor { preference } => Some(HybridScheduler::new(SchedulerConfig {
-                nsga2: cfg.nsga2,
-                preference,
-            })),
+            Policy::Qonductor { preference } => {
+                Some(HybridScheduler::new(SchedulerConfig { nsga2: cfg.nsga2, preference }))
+            }
             _ => None,
         };
 
-        let mut pending: Vec<PendingJob> = Vec::new();
-        let mut in_flight: HashMap<u64, PendingJob> = HashMap::new();
-        let mut assigned_qpu: HashMap<u64, usize> = HashMap::new();
+        // Engine job id → application bookkeeping (pending and in flight).
+        let mut apps: HashMap<JobId, AppRecord> = HashMap::new();
         let mut completed: Vec<CompletedApp> = Vec::new();
         let mut timeline: Vec<TimePoint> = Vec::new();
         let mut cycles: Vec<CycleRecord> = Vec::new();
@@ -280,52 +282,60 @@ impl CloudSimulation {
             //    collect completions, so that jobs arriving in [t, t_next) are
             //    enqueued at t_next and never start before they were submitted.
             self.fleet.advance_to(t_next, &mut self.rng);
-            for (idx, member) in self.fleet.members_mut().iter_mut().enumerate() {
-                for done in member.queue.take_completed() {
-                    if let Some(job) = in_flight.remove(&done.job_id) {
-                        let est = &job.estimates[idx];
-                        let jitter = 1.0 + self.rng.gen_range(-0.02..0.02);
-                        completed.push(CompletedApp {
-                            app_id: job.app_id,
-                            qpu_index: idx,
-                            submit_s: job.submit_s,
-                            completion_s: done.finish_time_s - job.submit_s,
-                            waiting_s: done.start_time_s - job.submit_s,
-                            execution_s: done.execution_s(),
-                            fidelity: (est.fidelity * jitter).clamp(0.0, 1.0),
-                            mitigated: job.mitigated,
-                        });
-                        assigned_qpu.remove(&job.app_id);
-                    }
+            for done in engine.drain_completions(&mut self.fleet) {
+                if let Some(app) = apps.remove(&done.job_id) {
+                    let est = &app.estimates[done.qpu_index];
+                    let jitter = 1.0 + self.rng.gen_range(-0.02..0.02);
+                    completed.push(CompletedApp {
+                        app_id: app.app_id,
+                        qpu_index: done.qpu_index,
+                        submit_s: app.submit_s,
+                        completion_s: done.record.finish_time_s - app.submit_s,
+                        waiting_s: done.record.start_time_s - app.submit_s,
+                        execution_s: done.record.execution_s(),
+                        fidelity: (est.fidelity * jitter).clamp(0.0, 1.0),
+                        mitigated: app.mitigated,
+                    });
                 }
             }
 
-            // 2. Arrivals in [t, t_next).
+            // 2. Arrivals in [t, t_next): submit into the shared engine. The
+            //    baselines place directly (no trigger, no optimizer); the
+            //    Qonductor policy leaves jobs pending for the batch dispatch.
             for app in load.arrivals_in(t, t_next, &mut self.rng) {
                 arrived += 1;
-                match self.build_pending(&app) {
-                    Some(job) => match cfg.policy {
-                        Policy::Qonductor { .. } => pending.push(job),
-                        Policy::Fcfs => {
-                            let qpu = best_fidelity_qpu(&job, &self.fleet);
-                            self.place(job, qpu, t_next, &mut in_flight, &mut assigned_qpu);
+                match self.build_submission(&app) {
+                    Some((spec, record)) => {
+                        let job_id = engine.submit(spec, app.submit_time_s);
+                        match cfg.policy {
+                            Policy::Qonductor { .. } => {}
+                            Policy::Fcfs => {
+                                let qpu = best_fidelity_qpu(&record, &self.fleet);
+                                engine.dispatch_direct(job_id, qpu, &mut self.fleet);
+                            }
+                            Policy::LeastBusy => {
+                                let qpu = least_busy_qpu(&record, &self.fleet);
+                                engine.dispatch_direct(job_id, qpu, &mut self.fleet);
+                            }
                         }
-                        Policy::LeastBusy => {
-                            let qpu = least_busy_qpu(&job, &self.fleet);
-                            self.place(job, qpu, t_next, &mut in_flight, &mut assigned_qpu);
-                        }
-                    },
+                        apps.insert(job_id, record);
+                    }
                     None => rejected += 1,
                 }
             }
 
-            // 3. Scheduling trigger (Qonductor policy only).
+            // 3. Trigger-gated batch dispatch (Qonductor policy only): the
+            //    engine checks its trigger, runs one NSGA-II + MCDM cycle
+            //    over the whole pool, and enqueues the chosen placements.
             if let Some(scheduler) = &scheduler {
-                if trigger.check(pending.len(), t_next).is_some() {
-                    trigger.mark_invoked(t_next);
-                    let cycle = self.run_cycle(scheduler, &mut pending, t_next, &mut in_flight, &mut assigned_qpu);
-                    if let Some(c) = cycle {
-                        cycles.push(c);
+                if let Some(batch) = engine.try_dispatch(t_next, scheduler, &mut self.fleet) {
+                    for job_id in &batch.outcome.rejected_jobs {
+                        if apps.remove(job_id).is_some() {
+                            rejected += 1;
+                        }
+                    }
+                    if let Some(record) = cycle_record_from(&batch, &apps) {
+                        cycles.push(record);
                     }
                 }
             }
@@ -337,8 +347,10 @@ impl CloudSimulation {
                     t_s: t_next,
                     mean_fidelity: mean(completed.iter().map(|c| c.fidelity)),
                     mean_completion_s: mean(completed.iter().map(|c| c.completion_s)),
-                    mean_utilization: mean(self.fleet.members().iter().map(|m| m.queue.utilization())),
-                    scheduler_queue_len: pending.len(),
+                    mean_utilization: mean(
+                        self.fleet.members().iter().map(|m| m.queue.utilization()),
+                    ),
+                    scheduler_queue_len: engine.pending_len(),
                     completed: completed.len(),
                 });
             }
@@ -346,7 +358,6 @@ impl CloudSimulation {
             t = t_next;
         }
 
-        let _ = num_qpus;
         SimulationReport {
             timeline,
             cycles,
@@ -358,9 +369,9 @@ impl CloudSimulation {
         }
     }
 
-    /// Build the pending-job record (per-QPU estimates) for an application.
+    /// Build the engine submission (per-QPU estimates) for an application.
     /// Returns `None` if no QPU in the fleet can fit the circuit.
-    fn build_pending(&mut self, app: &HybridApplication) -> Option<PendingJob> {
+    fn build_submission(&mut self, app: &HybridApplication) -> Option<(JobSpec, AppRecord)> {
         let qubits = app.circuit.num_qubits();
         if qubits > self.fleet.max_qubits() {
             return None;
@@ -375,155 +386,40 @@ impl CloudSimulation {
                     let cost = estimates::stack_cost_for(&app.circuit, &app.mitigation, &m.qpu);
                     estimates::estimate_from_metrics(&metrics, cost, &m.qpu)
                 } else {
-                    FastEstimate { fidelity: 0.0, quantum_time_s: f64::INFINITY, classical_time_s: 0.0 }
-                }
-            })
-            .collect();
-        Some(PendingJob {
-            app_id: app.app_id,
-            submit_s: app.submit_time_s,
-            qubits,
-            shots: app.circuit.shots(),
-            mitigated: !app.mitigation.is_empty(),
-            estimates,
-        })
-    }
-
-    /// Enqueue a job on a QPU's queue.
-    fn place(
-        &mut self,
-        job: PendingJob,
-        qpu_index: usize,
-        _now_s: f64,
-        in_flight: &mut HashMap<u64, PendingJob>,
-        assigned: &mut HashMap<u64, usize>,
-    ) {
-        let duration = job.estimates[qpu_index].quantum_time_s.max(0.001);
-        self.fleet.members_mut()[qpu_index].queue.enqueue(job.app_id, duration);
-        assigned.insert(job.app_id, qpu_index);
-        in_flight.insert(job.app_id, job);
-    }
-
-    /// Run one Qonductor scheduling cycle over the pending queue.
-    fn run_cycle(
-        &mut self,
-        scheduler: &HybridScheduler,
-        pending: &mut Vec<PendingJob>,
-        now_s: f64,
-        in_flight: &mut HashMap<u64, PendingJob>,
-        assigned: &mut HashMap<u64, usize>,
-    ) -> Option<CycleRecord> {
-        if pending.is_empty() {
-            return None;
-        }
-        let qpus: Vec<QpuState> = self
-            .fleet
-            .members()
-            .iter()
-            .map(|m| QpuState {
-                name: m.qpu.name.clone(),
-                num_qubits: m.qpu.num_qubits(),
-                waiting_time_s: m.queue.estimated_waiting_s(),
-            })
-            .collect();
-        let jobs: Vec<JobRequest> = pending
-            .iter()
-            .map(|j| JobRequest {
-                job_id: j.app_id,
-                qubits: j.qubits,
-                shots: j.shots,
-                fidelity_per_qpu: j.estimates.iter().map(|e| e.fidelity).collect(),
-                exec_time_per_qpu: j
-                    .estimates
-                    .iter()
-                    .map(|e| if e.quantum_time_s.is_finite() { e.quantum_time_s } else { 1e6 })
-                    .collect(),
-            })
-            .collect();
-        let num_jobs = jobs.len();
-        let outcome = scheduler.schedule(jobs, qpus.clone());
-
-        // Compute per-cycle statistics needed by Figures 8 and 10a.
-        let jcts = completion_times(&outcome.placements, pending, &qpus);
-        let p95 = percentile(&jcts, 0.95);
-        let chosen_exec = mean_exec_of(&outcome.placements.iter().map(|p| p.qpu_index).collect::<Vec<_>>(), pending);
-        let (mut min_exec, mut max_exec) = (chosen_exec, chosen_exec);
-        for sol in &outcome.pareto_front {
-            let e = mean_exec_of(&sol.assignment, pending);
-            min_exec = min_exec.min(e);
-            max_exec = max_exec.max(e);
-        }
-        let front_min_jct = outcome
-            .pareto_front
-            .iter()
-            .map(|s| s.objectives.mean_jct_s)
-            .fold(f64::INFINITY, f64::min);
-        let front_max_jct = outcome
-            .pareto_front
-            .iter()
-            .map(|s| s.objectives.mean_jct_s)
-            .fold(0.0, f64::max);
-        let front_max_fid = outcome
-            .pareto_front
-            .iter()
-            .map(|s| s.objectives.mean_fidelity())
-            .fold(0.0, f64::max);
-        let front_min_fid = outcome
-            .pareto_front
-            .iter()
-            .map(|s| s.objectives.mean_fidelity())
-            .fold(f64::INFINITY, f64::min);
-
-        let record = CycleRecord {
-            t_s: now_s,
-            num_jobs,
-            chosen: outcome.chosen,
-            chosen_p95_jct_s: p95,
-            front_min_jct_s: front_min_jct,
-            front_max_jct_s: front_max_jct,
-            front_max_fidelity: front_max_fid,
-            front_min_fidelity: front_min_fid,
-            chosen_mean_exec_s: chosen_exec,
-            front_min_exec_s: min_exec,
-            front_max_exec_s: max_exec,
-            stage_runtimes_s: [
-                outcome.timings.preprocessing_s,
-                outcome.timings.optimization_s,
-                outcome.timings.selection_s,
-            ],
-        };
-
-        // Place the chosen assignment onto the QPU queues.
-        let placement_of: HashMap<u64, usize> =
-            outcome.placements.iter().map(|p| (p.job_id, p.qpu_index)).collect();
-        let mut still_pending = Vec::new();
-        for job in pending.drain(..) {
-            match placement_of.get(&job.app_id) {
-                Some(&qpu) => self.place(job, qpu, now_s, in_flight, assigned),
-                None => {
-                    if outcome.rejected_jobs.contains(&job.app_id) {
-                        // Permanently rejected: drop it.
-                    } else {
-                        still_pending.push(job);
+                    FastEstimate {
+                        fidelity: 0.0,
+                        quantum_time_s: f64::INFINITY,
+                        classical_time_s: 0.0,
                     }
                 }
-            }
-        }
-        *pending = still_pending;
-        Some(record)
+            })
+            .collect();
+        let spec = JobSpec {
+            qubits,
+            shots: app.circuit.shots(),
+            fidelity_per_qpu: estimates.iter().map(|e| e.fidelity).collect(),
+            exec_time_per_qpu: estimates.iter().map(|e| e.quantum_time_s).collect(),
+        };
+        let record = AppRecord {
+            app_id: app.app_id,
+            submit_s: app.submit_time_s,
+            mitigated: !app.mitigation.is_empty(),
+            estimates,
+        };
+        Some((spec, record))
     }
 }
 
-fn best_fidelity_qpu(job: &PendingJob, fleet: &Fleet) -> usize {
+fn best_fidelity_qpu(app: &AppRecord, fleet: &Fleet) -> usize {
     (0..fleet.len())
-        .filter(|&i| fleet.members()[i].qpu.num_qubits() >= job.qubits)
-        .max_by(|&a, &b| job.estimates[a].fidelity.partial_cmp(&job.estimates[b].fidelity).unwrap())
+        .filter(|&i| app.estimates[i].quantum_time_s.is_finite())
+        .max_by(|&a, &b| app.estimates[a].fidelity.partial_cmp(&app.estimates[b].fidelity).unwrap())
         .unwrap_or(0)
 }
 
-fn least_busy_qpu(job: &PendingJob, fleet: &Fleet) -> usize {
+fn least_busy_qpu(app: &AppRecord, fleet: &Fleet) -> usize {
     (0..fleet.len())
-        .filter(|&i| fleet.members()[i].qpu.num_qubits() >= job.qubits)
+        .filter(|&i| app.estimates[i].quantum_time_s.is_finite())
         .min_by(|&a, &b| {
             let wa = fleet.members()[a].queue.estimated_waiting_s();
             let wb = fleet.members()[b].queue.estimated_waiting_s();
@@ -532,36 +428,95 @@ fn least_busy_qpu(job: &PendingJob, fleet: &Fleet) -> usize {
         .unwrap_or(0)
 }
 
-/// Per-job completion-time estimates of a placement set (queue wait + all
-/// co-scheduled execution time on the chosen QPU), mirroring Eq. 1.
+/// Derive the per-cycle statistics of Figures 8 and 10a from one of the
+/// engine's batch records.
+fn cycle_record_from(batch: &BatchRecord, apps: &HashMap<JobId, AppRecord>) -> Option<CycleRecord> {
+    if batch.job_ids.is_empty() {
+        return None;
+    }
+    let outcome = &batch.outcome;
+    // The placements are ordered like the scheduler's schedulable-job list,
+    // so every Pareto solution's assignment vector aligns with this order.
+    let sched_order: Vec<JobId> = outcome.placements.iter().map(|p| p.job_id).collect();
+
+    let jcts = completion_times(outcome, apps, batch);
+    let p95 = percentile(&jcts, 0.95);
+    let chosen_assignment: Vec<usize> = outcome.placements.iter().map(|p| p.qpu_index).collect();
+    let chosen_exec = mean_exec_of(&chosen_assignment, &sched_order, apps);
+    let (mut min_exec, mut max_exec) = (chosen_exec, chosen_exec);
+    for sol in &outcome.pareto_front {
+        let e = mean_exec_of(&sol.assignment, &sched_order, apps);
+        min_exec = min_exec.min(e);
+        max_exec = max_exec.max(e);
+    }
+    let front_min_jct =
+        outcome.pareto_front.iter().map(|s| s.objectives.mean_jct_s).fold(f64::INFINITY, f64::min);
+    let front_max_jct =
+        outcome.pareto_front.iter().map(|s| s.objectives.mean_jct_s).fold(0.0, f64::max);
+    let front_max_fid =
+        outcome.pareto_front.iter().map(|s| s.objectives.mean_fidelity()).fold(0.0, f64::max);
+    let front_min_fid = outcome
+        .pareto_front
+        .iter()
+        .map(|s| s.objectives.mean_fidelity())
+        .fold(f64::INFINITY, f64::min);
+
+    Some(CycleRecord {
+        t_s: batch.t_s,
+        num_jobs: batch.job_ids.len(),
+        chosen: outcome.chosen,
+        chosen_p95_jct_s: p95,
+        front_min_jct_s: front_min_jct,
+        front_max_jct_s: front_max_jct,
+        front_max_fidelity: front_max_fid,
+        front_min_fidelity: front_min_fid,
+        chosen_mean_exec_s: chosen_exec,
+        front_min_exec_s: min_exec,
+        front_max_exec_s: max_exec,
+        stage_runtimes_s: [
+            outcome.timings.preprocessing_s,
+            outcome.timings.optimization_s,
+            outcome.timings.selection_s,
+        ],
+    })
+}
+
+/// Per-job completion-time estimates of the chosen placement set (queue wait
+/// + all co-scheduled execution time on the chosen QPU), mirroring Eq. 1.
 fn completion_times(
-    placements: &[qonductor_scheduler::Placement],
-    pending: &[PendingJob],
-    qpus: &[QpuState],
+    outcome: &qonductor_scheduler::ScheduleOutcome,
+    apps: &HashMap<JobId, AppRecord>,
+    batch: &BatchRecord,
 ) -> Vec<f64> {
-    let by_id: HashMap<u64, &PendingJob> = pending.iter().map(|j| (j.app_id, j)).collect();
-    let mut per_qpu_load = vec![0.0f64; qpus.len()];
-    for p in placements {
-        if let Some(job) = by_id.get(&p.job_id) {
-            per_qpu_load[p.qpu_index] += job.estimates[p.qpu_index].quantum_time_s;
+    let mut per_qpu_load = vec![0.0f64; batch.qpus.len()];
+    for p in &outcome.placements {
+        if let Some(app) = apps.get(&p.job_id) {
+            per_qpu_load[p.qpu_index] += app.estimates[p.qpu_index].quantum_time_s;
         }
     }
-    placements
+    outcome
+        .placements
         .iter()
-        .map(|p| qpus[p.qpu_index].waiting_time_s + per_qpu_load[p.qpu_index])
+        .map(|p| batch.qpus[p.qpu_index].waiting_time_s + per_qpu_load[p.qpu_index])
         .collect()
 }
 
-fn mean_exec_of(assignment: &[usize], pending: &[PendingJob]) -> f64 {
-    if assignment.is_empty() || pending.is_empty() {
+fn mean_exec_of(
+    assignment: &[usize],
+    sched_order: &[JobId],
+    apps: &HashMap<JobId, AppRecord>,
+) -> f64 {
+    let n = assignment.len().min(sched_order.len());
+    if n == 0 {
         return 0.0;
     }
-    let n = assignment.len().min(pending.len());
     let mut sum = 0.0;
     for i in 0..n {
-        let e = pending[i].estimates[assignment[i]].quantum_time_s;
-        if e.is_finite() {
-            sum += e;
+        if let Some(app) = apps.get(&sched_order[i]) {
+            let e = app.estimates[assignment[i]].quantum_time_s;
+            if e.is_finite() {
+                sum += e;
+            }
         }
     }
     sum / n as f64

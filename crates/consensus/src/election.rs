@@ -129,10 +129,7 @@ impl Cluster {
             .map(|n| n.id)
             .collect();
         // With multiple stale leaders, the one with the highest term wins.
-        leaders
-            .iter()
-            .copied()
-            .max_by_key(|&id| self.nodes[id].term)
+        leaders.iter().copied().max_by_key(|&id| self.nodes[id].term)
     }
 
     /// Access a node's state.
@@ -183,7 +180,7 @@ impl Cluster {
             }
             match self.nodes[id].role {
                 Role::Leader => {
-                    if self.time % self.heartbeat_interval == 0 {
+                    if self.time.is_multiple_of(self.heartbeat_interval) {
                         let term = self.nodes[id].term;
                         self.broadcast(id, Message::Heartbeat { term, from: id });
                     }
@@ -207,11 +204,7 @@ impl Cluster {
                 // Require the leader to have a quorum of up nodes acknowledging
                 // (approximated by a majority of nodes sharing its term).
                 let term = self.nodes[l].term;
-                let followers = self
-                    .nodes
-                    .iter()
-                    .filter(|x| !x.crashed && x.term == term)
-                    .count();
+                let followers = self.nodes.iter().filter(|x| !x.crashed && x.term == term).count();
                 if followers * 2 > self.alive_count() {
                     return Some(l);
                 }

@@ -141,13 +141,7 @@ impl ReplicatedKvStore {
             .iter()
             .filter(|r| !r.crashed)
             .max_by_key(|r| r.applied_index)
-            .map(|r| {
-                r.data
-                    .keys()
-                    .filter(|k| k.starts_with(prefix))
-                    .cloned()
-                    .collect()
-            })
+            .map(|r| r.data.keys().filter(|k| k.starts_with(prefix)).cloned().collect())
             .unwrap_or_default()
     }
 

@@ -1,0 +1,456 @@
+//! The batch job manager (§7): the single execution engine shared by the
+//! orchestrator and the cloud simulation.
+//!
+//! Quantum jobs are *submitted* into a pending pool with manager-assigned
+//! monotonic ids; a [`ScheduleTrigger`] (queue-size limit or elapsed interval,
+//! whichever fires first) gates every invocation of the NSGA-II + MCDM
+//! scheduler; each triggered invocation schedules the whole pending pool as
+//! one batch and enqueues the chosen placements onto the [`Fleet`]'s per-QPU
+//! queues. Baseline policies (FCFS / least-busy) bypass the trigger with
+//! [`JobManager::dispatch_direct`] but still share the same submission pool,
+//! id space, and enqueue path.
+
+use qonductor_backend::{CompletedJob, Fleet};
+use qonductor_scheduler::{
+    HybridScheduler, JobRequest, QpuState, ScheduleOutcome, ScheduleTrigger, TriggerReason,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Identifier of a submitted quantum job (monotonic per manager).
+pub type JobId = u64;
+
+/// Execution-time estimate assigned to QPUs that cannot run a job (used in
+/// place of non-finite estimates so the optimizer's arithmetic stays finite).
+const INFEASIBLE_EXEC_S: f64 = 1e6;
+
+/// Minimum execution duration enqueued on a QPU queue (guards against
+/// zero-length jobs producing zero-time completions).
+const MIN_EXEC_S: f64 = 0.001;
+
+/// A job submission: per-QPU estimates for one circuit execution. Ids are
+/// assigned by the manager on submit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Qubits the circuit needs.
+    pub qubits: u32,
+    /// Number of shots.
+    pub shots: u32,
+    /// Estimated fidelity per fleet QPU (index-aligned; 0 where infeasible).
+    pub fidelity_per_qpu: Vec<f64>,
+    /// Estimated execution seconds per fleet QPU (index-aligned).
+    pub exec_time_per_qpu: Vec<f64>,
+}
+
+/// A job waiting in the manager's pending pool.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PendingJob {
+    /// Manager-assigned id.
+    pub job_id: JobId,
+    /// Simulated submission time.
+    pub submitted_s: f64,
+    /// The submission payload.
+    pub spec: JobSpec,
+}
+
+/// Record of one trigger-gated batch dispatch (the unit of observability:
+/// Figures 8a/8b/10a derive from these, and the orchestrator mirrors them
+/// into the system monitor).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchRecord {
+    /// Zero-based index of the batch within this manager's lifetime.
+    pub batch_index: usize,
+    /// Simulated time of the dispatch.
+    pub t_s: f64,
+    /// Why the trigger fired.
+    pub reason: TriggerReason,
+    /// Ids of every job handed to the scheduler, in submission order.
+    pub job_ids: Vec<JobId>,
+    /// Fleet snapshot (name, size, estimated waiting) taken before enqueueing.
+    pub qpus: Vec<QpuState>,
+    /// The scheduler's full outcome (placements, Pareto front, timings).
+    pub outcome: ScheduleOutcome,
+}
+
+/// A completed quantum execution drained from a fleet queue.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompletedExecution {
+    /// Manager-assigned job id.
+    pub job_id: JobId,
+    /// Index of the QPU the job ran on.
+    pub qpu_index: usize,
+    /// The queue's completion record (exact enqueue/start/finish times).
+    pub record: CompletedJob,
+}
+
+/// The shared batch execution engine.
+#[derive(Debug, Clone)]
+pub struct JobManager {
+    trigger: ScheduleTrigger,
+    pending: Vec<PendingJob>,
+    next_job_id: JobId,
+    batches_dispatched: usize,
+}
+
+impl Default for JobManager {
+    fn default() -> Self {
+        JobManager::new(ScheduleTrigger::default())
+    }
+}
+
+impl JobManager {
+    /// A manager gated by the given trigger.
+    pub fn new(trigger: ScheduleTrigger) -> Self {
+        JobManager { trigger, pending: Vec::new(), next_job_id: 0, batches_dispatched: 0 }
+    }
+
+    /// The gating trigger.
+    pub fn trigger(&self) -> &ScheduleTrigger {
+        &self.trigger
+    }
+
+    /// Number of jobs waiting in the pending pool.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The pending pool (submission order).
+    pub fn pending(&self) -> &[PendingJob] {
+        &self.pending
+    }
+
+    /// Number of batches dispatched so far.
+    pub fn batches_dispatched(&self) -> usize {
+        self.batches_dispatched
+    }
+
+    /// Submit a job into the pending pool, assigning the next monotonic id.
+    pub fn submit(&mut self, spec: JobSpec, now_s: f64) -> JobId {
+        let job_id = self.next_job_id;
+        self.next_job_id += 1;
+        self.pending.push(PendingJob { job_id, submitted_s: now_s, spec });
+        job_id
+    }
+
+    /// Number of pooled jobs submitted at or before `now_s`. Jobs carry
+    /// their own submission times, so a causally-ordered caller can ask
+    /// about an instant earlier than the latest submission.
+    fn pending_submitted_by(&self, now_s: f64) -> usize {
+        self.pending.iter().filter(|j| j.submitted_s <= now_s).count()
+    }
+
+    /// Whether the trigger would fire now, and why. Only jobs already
+    /// submitted by `now_s` count toward the queue-size limit.
+    pub fn check_trigger(&self, now_s: f64) -> Option<TriggerReason> {
+        self.trigger.check(self.pending_submitted_by(now_s), now_s)
+    }
+
+    /// Earliest simulated time at which the trigger can fire, or `None` with
+    /// an empty pool: the interval expiry (but no earlier than the first
+    /// pooled submission), or the instant the `queue_limit`-th job is
+    /// submitted, whichever comes first. Event-driven callers advance their
+    /// clock here instead of busy-stepping simulated time.
+    pub fn next_trigger_s(&self) -> Option<f64> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let mut submitted: Vec<f64> = self.pending.iter().map(|j| j.submitted_s).collect();
+        submitted.sort_by(|a, b| a.partial_cmp(b).expect("submission times are finite"));
+        let interval_fire =
+            (self.trigger.last_invocation_s() + self.trigger.interval_s).max(submitted[0]);
+        // The queue-size path fires the instant the limit-th job is submitted.
+        match submitted.get(self.trigger.queue_limit.saturating_sub(1)) {
+            Some(&queue_fire) => Some(interval_fire.min(queue_fire)),
+            None => Some(interval_fire),
+        }
+    }
+
+    /// Run one trigger-gated scheduling cycle: if the trigger fires, schedule
+    /// every job submitted by `now_s` as one batch, enqueue the chosen
+    /// placements onto the fleet queues, and return the batch record. Jobs
+    /// the scheduler rejects are dropped from the pool (reported in the
+    /// record); jobs it leaves unplaced — and jobs with later submission
+    /// times — stay pending for the next cycle.
+    pub fn try_dispatch(
+        &mut self,
+        now_s: f64,
+        scheduler: &HybridScheduler,
+        fleet: &mut Fleet,
+    ) -> Option<BatchRecord> {
+        let reason = self.check_trigger(now_s)?;
+        self.trigger.mark_invoked(now_s);
+
+        let qpus: Vec<QpuState> = fleet
+            .members()
+            .iter()
+            .map(|m| QpuState {
+                name: m.qpu.name.clone(),
+                num_qubits: m.qpu.num_qubits(),
+                waiting_time_s: m.queue.estimated_waiting_s(),
+            })
+            .collect();
+        let batch: Vec<&PendingJob> =
+            self.pending.iter().filter(|j| j.submitted_s <= now_s).collect();
+        let job_ids: Vec<JobId> = batch.iter().map(|j| j.job_id).collect();
+        let requests: Vec<JobRequest> = batch
+            .iter()
+            .map(|j| JobRequest {
+                job_id: j.job_id,
+                qubits: j.spec.qubits,
+                shots: j.spec.shots,
+                fidelity_per_qpu: j
+                    .spec
+                    .fidelity_per_qpu
+                    .iter()
+                    .map(|&f| if f.is_finite() { f } else { 0.0 })
+                    .collect(),
+                exec_time_per_qpu: j
+                    .spec
+                    .exec_time_per_qpu
+                    .iter()
+                    .map(|&t| if t.is_finite() { t } else { INFEASIBLE_EXEC_S })
+                    .collect(),
+            })
+            .collect();
+
+        let outcome = scheduler.schedule(requests, qpus.clone());
+
+        // One pass over the pool: enqueue placed jobs, drop rejected ones,
+        // retain the rest (unplaced or submitted after `now_s`).
+        let placement_of: HashMap<JobId, usize> =
+            outcome.placements.iter().map(|p| (p.job_id, p.qpu_index)).collect();
+        let rejected: HashSet<JobId> = outcome.rejected_jobs.iter().copied().collect();
+        self.pending.retain(|job| {
+            if let Some(&qpu_index) = placement_of.get(&job.job_id) {
+                let duration = sanitized_exec_s(&job.spec, qpu_index);
+                fleet.members_mut()[qpu_index].queue.enqueue(job.job_id, duration);
+                false
+            } else {
+                !rejected.contains(&job.job_id)
+            }
+        });
+
+        let batch_index = self.batches_dispatched;
+        self.batches_dispatched += 1;
+        Some(BatchRecord { batch_index, t_s: now_s, reason, job_ids, qpus, outcome })
+    }
+
+    /// Place one pending job directly onto a QPU queue, bypassing the trigger
+    /// and the optimizer — the enqueue path of the FCFS / least-busy baseline
+    /// policies. Returns `false` (leaving the job pending) if the job is not
+    /// in the pool or the target QPU has no finite execution estimate (i.e.
+    /// cannot run the job).
+    pub fn dispatch_direct(&mut self, job_id: JobId, qpu_index: usize, fleet: &mut Fleet) -> bool {
+        let Some(pos) = self.pending.iter().position(|j| j.job_id == job_id) else {
+            return false;
+        };
+        if !self.pending[pos].spec.exec_time_per_qpu[qpu_index].is_finite() {
+            return false;
+        }
+        let job = self.pending.remove(pos);
+        let duration = sanitized_exec_s(&job.spec, qpu_index);
+        fleet.members_mut()[qpu_index].queue.enqueue(job_id, duration);
+        true
+    }
+
+    /// Drain completion records from every fleet queue.
+    pub fn drain_completions(&mut self, fleet: &mut Fleet) -> Vec<CompletedExecution> {
+        let mut completions = Vec::new();
+        for (qpu_index, member) in fleet.members_mut().iter_mut().enumerate() {
+            for record in member.queue.take_completed() {
+                completions.push(CompletedExecution { job_id: record.job_id, qpu_index, record });
+            }
+        }
+        completions
+    }
+
+    /// Simulated time of the earliest next job completion across the fleet,
+    /// or `None` when no queue has work. Event-driven callers advance time
+    /// here instead of draining every queue, so co-batched jobs complete
+    /// (and unblock their submitters) as soon as they actually finish.
+    pub fn next_event_s(&self, fleet: &Fleet) -> Option<f64> {
+        fleet
+            .members()
+            .iter()
+            .filter_map(|m| m.queue.next_completion_s())
+            .min_by(|a, b| a.partial_cmp(b).expect("completion times are finite"))
+    }
+}
+
+/// Execution duration safe to enqueue: finite, and at least [`MIN_EXEC_S`].
+/// Non-finite estimates (the "cannot run here" marker) degrade to
+/// [`INFEASIBLE_EXEC_S`] so simulated time can never be wedged at infinity.
+fn sanitized_exec_s(spec: &JobSpec, qpu_index: usize) -> f64 {
+    let exec = spec.exec_time_per_qpu[qpu_index];
+    if exec.is_finite() {
+        exec.max(MIN_EXEC_S)
+    } else {
+        INFEASIBLE_EXEC_S
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qonductor_scheduler::{Nsga2Config, SchedulerConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_fleet(seed: u64) -> Fleet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Fleet::ibm_default(&mut rng)
+    }
+
+    fn scheduler() -> HybridScheduler {
+        HybridScheduler::new(SchedulerConfig {
+            nsga2: Nsga2Config {
+                population_size: 16,
+                max_generations: 10,
+                max_evaluations: 1000,
+                num_threads: 1,
+                ..Nsga2Config::default()
+            },
+            ..SchedulerConfig::default()
+        })
+    }
+
+    fn spec(fleet: &Fleet, qubits: u32, exec_s: f64) -> JobSpec {
+        JobSpec {
+            qubits,
+            shots: 1000,
+            fidelity_per_qpu: fleet
+                .members()
+                .iter()
+                .map(|m| if m.qpu.num_qubits() >= qubits { 0.9 } else { 0.0 })
+                .collect(),
+            exec_time_per_qpu: fleet
+                .members()
+                .iter()
+                .map(|m| if m.qpu.num_qubits() >= qubits { exec_s } else { f64::INFINITY })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn ids_are_monotonic_and_unique() {
+        let fleet = small_fleet(1);
+        let mut jm = JobManager::default();
+        let ids: Vec<JobId> = (0..5).map(|i| jm.submit(spec(&fleet, 5, 10.0), i as f64)).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        assert_eq!(jm.pending_len(), 5);
+    }
+
+    #[test]
+    fn queue_size_trigger_dispatches_one_batch() {
+        let mut fleet = small_fleet(2);
+        let mut jm = JobManager::new(ScheduleTrigger::new(3, 1e12));
+        for _ in 0..3 {
+            jm.submit(spec(&fleet, 5, 10.0), 0.0);
+        }
+        let batch = jm.try_dispatch(0.0, &scheduler(), &mut fleet).expect("trigger must fire");
+        assert_eq!(batch.reason, TriggerReason::QueueSize);
+        assert_eq!(batch.job_ids.len(), 3);
+        assert_eq!(batch.outcome.placements.len(), 3);
+        assert_eq!(jm.pending_len(), 0);
+        assert_eq!(jm.batches_dispatched(), 1);
+        // The placements actually landed on queues.
+        let enqueued: usize = fleet.members().iter().map(|m| m.queue.pending_len()).sum();
+        assert_eq!(enqueued, 3);
+    }
+
+    #[test]
+    fn below_limit_does_not_dispatch() {
+        let mut fleet = small_fleet(3);
+        let mut jm = JobManager::new(ScheduleTrigger::new(10, 120.0));
+        jm.submit(spec(&fleet, 5, 10.0), 0.0);
+        assert!(jm.try_dispatch(10.0, &scheduler(), &mut fleet).is_none());
+        assert_eq!(jm.pending_len(), 1);
+        // …but the interval trigger fires once the period elapses.
+        let batch = jm.try_dispatch(120.0, &scheduler(), &mut fleet).expect("interval fires");
+        assert_eq!(batch.reason, TriggerReason::Interval);
+        // The interval timer reset on dispatch: nothing can fire before 240.
+        jm.submit(spec(&fleet, 5, 10.0), 121.0);
+        assert_eq!(jm.next_trigger_s(), Some(240.0));
+    }
+
+    #[test]
+    fn infeasible_jobs_are_rejected_and_dropped() {
+        let mut fleet = small_fleet(4);
+        let mut jm = JobManager::new(ScheduleTrigger::new(2, 1e12));
+        let too_big = jm.submit(spec(&fleet, 64, 10.0), 0.0);
+        let ok = jm.submit(spec(&fleet, 5, 10.0), 0.0);
+        let batch = jm.try_dispatch(0.0, &scheduler(), &mut fleet).unwrap();
+        assert!(batch.outcome.rejected_jobs.contains(&too_big));
+        assert!(batch.outcome.placements.iter().any(|p| p.job_id == ok));
+        assert_eq!(jm.pending_len(), 0, "rejected jobs must not linger in the pool");
+    }
+
+    #[test]
+    fn trigger_counts_only_causally_submitted_jobs() {
+        let mut fleet = small_fleet(7);
+        let mut jm = JobManager::new(ScheduleTrigger::new(2, 120.0));
+        jm.submit(spec(&fleet, 5, 10.0), 5.0);
+        jm.submit(spec(&fleet, 5, 10.0), 300.0); // submitted far in the future
+                                                 // At t=10 only one job exists causally: queue-size (2) must not fire.
+        assert_eq!(jm.check_trigger(10.0), None);
+        // The earliest firing is the interval expiry for the t=5 job.
+        assert_eq!(jm.next_trigger_s(), Some(120.0));
+        let batch = jm.try_dispatch(120.0, &scheduler(), &mut fleet).expect("interval fires");
+        assert_eq!(batch.reason, TriggerReason::Interval);
+        assert_eq!(batch.job_ids.len(), 1, "the future submission stays pooled");
+        assert_eq!(jm.pending_len(), 1);
+        // Once time reaches the second submission, it becomes schedulable.
+        assert_eq!(jm.next_trigger_s(), Some(300.0));
+        let batch = jm.try_dispatch(300.0, &scheduler(), &mut fleet).expect("fires at submission");
+        assert_eq!(batch.job_ids.len(), 1);
+        assert_eq!(jm.pending_len(), 0);
+    }
+
+    #[test]
+    fn next_trigger_is_the_queue_limit_th_submission() {
+        let fleet = small_fleet(8);
+        let mut jm = JobManager::new(ScheduleTrigger::new(3, 1000.0));
+        assert_eq!(jm.next_trigger_s(), None);
+        jm.submit(spec(&fleet, 5, 10.0), 10.0);
+        jm.submit(spec(&fleet, 5, 10.0), 40.0);
+        // Two jobs: only the interval path (1000, floored at first submission).
+        assert_eq!(jm.next_trigger_s(), Some(1000.0));
+        jm.submit(spec(&fleet, 5, 10.0), 25.0);
+        // Third job submitted at 25 < 40: the limit is reached at t=40.
+        assert_eq!(jm.next_trigger_s(), Some(40.0));
+    }
+
+    #[test]
+    fn direct_dispatch_refuses_infeasible_qpus() {
+        let mut fleet = small_fleet(6);
+        let mut jm = JobManager::new(ScheduleTrigger::new(100, 1e12));
+        // 20-qubit job: only the 27-qubit members have finite estimates.
+        let id = jm.submit(spec(&fleet, 20, 5.0), 0.0);
+        let lagos = fleet.members().iter().position(|m| m.qpu.num_qubits() == 7).unwrap();
+        assert!(!jm.dispatch_direct(id, lagos, &mut fleet), "7-qubit QPU cannot run it");
+        assert_eq!(jm.pending_len(), 1, "refused job stays pending");
+        assert!(jm.next_event_s(&fleet).is_none(), "nothing was enqueued");
+        assert!(jm.dispatch_direct(id, 0, &mut fleet));
+        let event = jm.next_event_s(&fleet).expect("enqueued job is the next event");
+        assert!(event.is_finite() && (event - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn direct_dispatch_bypasses_the_trigger() {
+        let mut fleet = small_fleet(5);
+        let mut jm = JobManager::new(ScheduleTrigger::new(100, 1e12));
+        let id = jm.submit(spec(&fleet, 5, 7.0), 0.0);
+        assert!(jm.dispatch_direct(id, 0, &mut fleet));
+        assert!(!jm.dispatch_direct(id, 0, &mut fleet), "already dispatched");
+        assert_eq!(fleet.members()[0].queue.pending_len(), 1);
+        // Completions drain with exact queue times.
+        let mut rng = StdRng::seed_from_u64(9);
+        let horizon = jm.next_event_s(&fleet).expect("job is enqueued");
+        fleet.advance_to(horizon, &mut rng);
+        let done = jm.drain_completions(&mut fleet);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].job_id, id);
+        assert_eq!(done[0].qpu_index, 0);
+        assert!((done[0].record.finish_time_s - 7.0).abs() < 1e-9);
+    }
+}

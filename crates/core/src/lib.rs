@@ -12,13 +12,15 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod jobmanager;
 pub mod monitor;
 pub mod orchestrator;
 pub mod registry;
 pub mod workflow;
 
 pub use config::{DeploymentConfig, Priority, ResourceLimits};
-pub use monitor::{SystemMonitor, WorkflowStatus};
+pub use jobmanager::{BatchRecord, CompletedExecution, JobId, JobManager, JobSpec, PendingJob};
+pub use monitor::{BatchObservation, SystemMonitor, WorkflowStatus};
 pub use orchestrator::{
     ClassicalStepResult, Orchestrator, OrchestratorError, QuantumStepResult, RunId, WorkflowResult,
 };

@@ -3,6 +3,7 @@
 //! information, workflow execution status, and results.
 
 use qonductor_consensus::{ReplicatedKvStore, StoreError};
+use qonductor_scheduler::TriggerReason;
 use serde::{Deserialize, Serialize};
 
 /// Execution status of a workflow run.
@@ -63,7 +64,12 @@ impl SystemMonitor {
     }
 
     /// Record a QPU's static information.
-    pub fn record_qpu_static(&self, name: &str, num_qubits: u32, model: &str) -> Result<(), StoreError> {
+    pub fn record_qpu_static(
+        &self,
+        name: &str,
+        num_qubits: u32,
+        model: &str,
+    ) -> Result<(), StoreError> {
         self.store.put(format!("qpu/{name}/static"), format!("{num_qubits},{model}"))
     }
 
@@ -100,7 +106,11 @@ impl SystemMonitor {
     }
 
     /// Update a workflow run's execution status.
-    pub fn set_workflow_status(&self, run_id: u64, status: WorkflowStatus) -> Result<(), StoreError> {
+    pub fn set_workflow_status(
+        &self,
+        run_id: u64,
+        status: WorkflowStatus,
+    ) -> Result<(), StoreError> {
         self.store.put(format!("workflow/{run_id}/status"), status.as_str())
     }
 
@@ -121,6 +131,60 @@ impl SystemMonitor {
     pub fn workflow_result(&self, run_id: u64) -> Option<String> {
         self.store.get(&format!("workflow/{run_id}/result")).ok()
     }
+
+    /// Record one dispatched scheduling batch (trigger reason, time, size).
+    pub fn record_schedule_batch(
+        &self,
+        batch_index: usize,
+        t_s: f64,
+        reason: TriggerReason,
+        num_jobs: usize,
+    ) -> Result<(), StoreError> {
+        let reason = match reason {
+            TriggerReason::QueueSize => "queue_size",
+            TriggerReason::Interval => "interval",
+        };
+        self.store.put(
+            format!("scheduler/batch/{batch_index:08}"),
+            format!("{t_s:.3},{reason},{num_jobs}"),
+        )
+    }
+
+    /// All recorded scheduling batches, in dispatch order.
+    pub fn schedule_batches(&self) -> Vec<BatchObservation> {
+        let mut keys = self.store.keys_with_prefix("scheduler/batch/");
+        keys.sort();
+        keys.into_iter()
+            .filter_map(|key| {
+                let index: usize = key.rsplit('/').next()?.parse().ok()?;
+                let value = self.store.get(&key).ok()?;
+                let mut parts = value.split(',');
+                Some(BatchObservation {
+                    batch_index: index,
+                    t_s: parts.next()?.parse().ok()?,
+                    reason: match parts.next()? {
+                        "queue_size" => TriggerReason::QueueSize,
+                        "interval" => TriggerReason::Interval,
+                        _ => return None,
+                    },
+                    num_jobs: parts.next()?.parse().ok()?,
+                })
+            })
+            .collect()
+    }
+}
+
+/// A scheduling batch as observed through the monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchObservation {
+    /// Zero-based dispatch index.
+    pub batch_index: usize,
+    /// Simulated time of the dispatch.
+    pub t_s: f64,
+    /// Why the scheduling trigger fired.
+    pub reason: TriggerReason,
+    /// Number of jobs handed to the scheduler in the batch.
+    pub num_jobs: usize,
 }
 
 #[cfg(test)]
@@ -164,5 +228,21 @@ mod tests {
     fn status_parsing_rejects_unknown_values() {
         assert_eq!(WorkflowStatus::from_str("running"), Some(WorkflowStatus::Running));
         assert_eq!(WorkflowStatus::from_str("bogus"), None);
+    }
+
+    #[test]
+    fn schedule_batches_roundtrip_in_order() {
+        let monitor = SystemMonitor::default();
+        assert!(monitor.schedule_batches().is_empty());
+        monitor.record_schedule_batch(0, 120.0, TriggerReason::Interval, 3).unwrap();
+        monitor.record_schedule_batch(1, 150.5, TriggerReason::QueueSize, 100).unwrap();
+        let batches = monitor.schedule_batches();
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].batch_index, 0);
+        assert_eq!(batches[0].reason, TriggerReason::Interval);
+        assert_eq!(batches[0].num_jobs, 3);
+        assert!((batches[0].t_s - 120.0).abs() < 1e-9);
+        assert_eq!(batches[1].reason, TriggerReason::QueueSize);
+        assert_eq!(batches[1].num_jobs, 100);
     }
 }

@@ -5,28 +5,35 @@
 //! fleet and classical nodes).
 //!
 //! The orchestrator executes workflows against the *modelled* hybrid cluster
-//! (simulated time): quantum steps are scheduled with the NSGA-II + MCDM
-//! scheduler onto fleet queues, classical steps are placed with the
-//! filter–score scheduler, and results (per-step fidelity, waiting, execution
-//! and completion times, dollar cost) are persisted in the system monitor.
+//! (simulated time): quantum steps are submitted into the shared batch
+//! [`JobManager`], whose [`qonductor_scheduler::ScheduleTrigger`] gates every
+//! NSGA-II + MCDM scheduler invocation and dispatches whole batches onto the
+//! fleet queues; classical steps are placed with the filter–score scheduler;
+//! results (per-step fidelity, waiting, execution and completion times,
+//! dollar cost) and every dispatched batch are persisted in the system
+//! monitor. Submitting several workflows with [`Orchestrator::invoke_many`]
+//! lets their quantum steps share a single scheduler invocation.
 
 use crate::config::{DeploymentConfig, Priority};
+use crate::jobmanager::{JobId, JobManager, JobSpec};
 use crate::monitor::{SystemMonitor, WorkflowStatus};
 use crate::registry::{HybridWorkflowImage, ImageId, WorkflowRegistry};
 use crate::workflow::{Step, Workflow};
 use parking_lot::Mutex;
 use qonductor_backend::Fleet;
+use qonductor_circuit::Circuit;
 use qonductor_estimator::{
     generate_plans, EstimationBackend, PlanGeneratorConfig, PricingTable, ResourcePlan,
 };
 use qonductor_mitigation::MitigationStack;
 use qonductor_scheduler::{
-    place, ClassicalNode, HybridScheduler, JobRequest, QpuState, SchedulerConfig, ScoringPolicy,
+    place, ClassicalNode, HybridScheduler, ScheduleTrigger, SchedulerConfig, ScoringPolicy,
 };
 use qonductor_transpiler::Transpiler;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// Identifier of a workflow invocation.
 pub type RunId = u64;
@@ -45,6 +52,10 @@ pub enum OrchestratorError {
     },
     /// No classical node satisfies a classical step's resource request.
     NoFeasibleClassicalNode,
+    /// Resource estimation produced no feasible plan for the workflow's
+    /// quantum steps (e.g. every template QPU is excluded by the deployment
+    /// configuration).
+    NoFeasiblePlan,
 }
 
 /// Execution record of one quantum step.
@@ -56,7 +67,9 @@ pub struct QuantumStepResult {
     pub qpu: String,
     /// Achieved fidelity.
     pub fidelity: f64,
-    /// Waiting time in the QPU queue (seconds).
+    /// Waiting time from submission to execution start (seconds): time in
+    /// the batch engine's pending pool waiting for the scheduling trigger,
+    /// plus time in the QPU queue.
     pub waiting_s: f64,
     /// Quantum execution time (seconds).
     pub execution_s: f64,
@@ -105,6 +118,7 @@ impl WorkflowResult {
 struct OrchestratorState {
     fleet: Fleet,
     classical_nodes: Vec<ClassicalNode>,
+    jobmanager: JobManager,
     clock_s: f64,
     next_run_id: RunId,
     results: Vec<WorkflowResult>,
@@ -141,12 +155,32 @@ impl Orchestrator {
             state: Mutex::new(OrchestratorState {
                 fleet,
                 classical_nodes,
+                jobmanager: JobManager::default(),
                 clock_s: 0.0,
                 next_run_id: 0,
                 results: Vec::new(),
                 rng: StdRng::seed_from_u64(seed),
             }),
         }
+    }
+
+    /// Replace the batch engine's scheduling trigger (paper defaults: 100
+    /// pending jobs / 120 s). Construction-time only: replacing the engine
+    /// after workflows ran would discard pending jobs and restart the job-id
+    /// space.
+    ///
+    /// # Panics
+    /// Panics if any workflow has already been invoked.
+    pub fn with_trigger(self, trigger: ScheduleTrigger) -> Self {
+        {
+            let mut state = self.state.lock();
+            assert!(
+                state.next_run_id == 0 && state.jobmanager.pending_len() == 0,
+                "with_trigger must be called before any workflow is invoked"
+            );
+            state.jobmanager = JobManager::new(trigger);
+        }
+        self
     }
 
     /// An orchestrator over the default 8-QPU IBM-like fleet and a small
@@ -199,9 +233,21 @@ impl Orchestrator {
     /// Table 2 — *Estimate the hybrid resources required*: generate resource
     /// plans for an image (fidelity/runtime/cost tradeoffs over template QPUs
     /// and mitigation stacks).
-    pub fn estimate_resources(&self, image_id: ImageId) -> Result<Vec<ResourcePlan>, OrchestratorError> {
+    pub fn estimate_resources(
+        &self,
+        image_id: ImageId,
+    ) -> Result<Vec<ResourcePlan>, OrchestratorError> {
         let image = self.image(image_id)?;
         let state = self.state.lock();
+        Ok(self.estimate_resources_inner(&state, &image))
+    }
+
+    /// Plan generation against an already-locked state.
+    fn estimate_resources_inner(
+        &self,
+        state: &OrchestratorState,
+        image: &HybridWorkflowImage,
+    ) -> Vec<ResourcePlan> {
         let templates: Vec<_> = state
             .fleet
             .template_qpus()
@@ -228,38 +274,103 @@ impl Orchestrator {
                 ));
             }
         }
-        Ok(plans)
+        plans
     }
 
     /// Table 2 — *Invoke a workflow*: execute the image end-to-end on the
     /// hybrid cluster and return the run id. The run's status and results are
-    /// persisted in the system monitor.
+    /// persisted in the system monitor. Quantum steps go through the shared
+    /// batch engine: the run's jobs wait in the pending pool until the
+    /// scheduling trigger fires (for a lone invocation, the interval trigger).
     pub fn invoke(&self, image_id: ImageId) -> Result<RunId, OrchestratorError> {
-        let image = self.image(image_id)?;
-        let plans = self.estimate_resources(image_id)?;
+        self.invoke_many(&[image_id]).pop().expect("one result per image")
+    }
+
+    /// Invoke several workflows as one submission wave: their quantum steps
+    /// enter the batch engine's pending pool together, so one trigger firing
+    /// schedules them in a single NSGA-II invocation (multi-workflow
+    /// batching, §7). Returns one result per input image, in order.
+    pub fn invoke_many(&self, image_ids: &[ImageId]) -> Vec<Result<RunId, OrchestratorError>> {
         let mut state = self.state.lock();
-        let run_id = state.next_run_id;
-        state.next_run_id += 1;
-        let _ = self.monitor.set_workflow_status(run_id, WorkflowStatus::Pending);
+        let state = &mut *state;
+        // One slot per input: either an early error or an index into `runs`.
+        let mut slots: Vec<Result<usize, OrchestratorError>> = Vec::with_capacity(image_ids.len());
+        let mut runs: Vec<ActiveRun> = Vec::new();
 
-        // Pick the plan matching the configured priority.
-        let plan = pick_plan(&plans, image.config.priority).cloned().unwrap_or_else(|| ResourcePlan {
-            stack_label: "none".into(),
-            stack: MitigationStack::none(),
-            qpu_model: "any".into(),
-            estimated_fidelity: 0.0,
-            quantum_time_s: 0.0,
-            classical_time_s: 0.0,
-            uses_accelerator: false,
-            cost_usd: 0.0,
-        });
+        for &image_id in image_ids {
+            let image = match self.image(image_id) {
+                Ok(image) => image,
+                Err(e) => {
+                    slots.push(Err(e));
+                    continue;
+                }
+            };
+            let run_id = state.next_run_id;
+            state.next_run_id += 1;
+            let _ = self.monitor.set_workflow_status(run_id, WorkflowStatus::Pending);
 
-        let _ = self.monitor.set_workflow_status(run_id, WorkflowStatus::Running);
-        match self.execute_workflow(&mut state, &image, &plan, run_id) {
-            Ok(result) => {
-                let _ = self.monitor.set_workflow_status(run_id, WorkflowStatus::Completed);
+            let has_quantum = image.workflow.steps().iter().any(|s| matches!(s, Step::Quantum(_)));
+            let plan = if has_quantum {
+                let plans = self.estimate_resources_inner(state, &image);
+                match pick_plan(&plans, image.config.priority) {
+                    Some(plan) => plan.clone(),
+                    None => {
+                        let _ = self.monitor.set_workflow_status(run_id, WorkflowStatus::Failed);
+                        slots.push(Err(OrchestratorError::NoFeasiblePlan));
+                        continue;
+                    }
+                }
+            } else {
+                classical_only_plan()
+            };
+
+            let _ = self.monitor.set_workflow_status(run_id, WorkflowStatus::Running);
+            let order =
+                image.workflow.topological_order().expect("registry guarantees acyclic workflows");
+            slots.push(Ok(runs.len()));
+            runs.push(ActiveRun {
+                run_id,
+                image,
+                plan,
+                order,
+                cursor: 0,
+                start_s: state.clock_s,
+                clock_s: state.clock_s,
+                awaiting_job: false,
+                quantum_steps: Vec::new(),
+                classical_steps: Vec::new(),
+                quantum_time_total: 0.0,
+                classical_time_total: 0.0,
+                failed: None,
+            });
+        }
+
+        // Alternate submission waves and engine drives until every run has
+        // either finished all its steps or failed.
+        let mut awaiting: HashMap<JobId, AwaitedStep> = HashMap::new();
+        loop {
+            for run_index in 0..runs.len() {
+                self.progress_run(state, &mut runs, run_index, &mut awaiting);
+            }
+            if awaiting.is_empty() {
+                break;
+            }
+            self.drive_engine(state, &mut runs, &mut awaiting);
+        }
+
+        // Finalize: persist results and map runs back to input order.
+        slots
+            .into_iter()
+            .map(|slot| {
+                let run = &mut runs[slot?];
+                if let Some(e) = run.failed.take() {
+                    let _ = self.monitor.set_workflow_status(run.run_id, WorkflowStatus::Failed);
+                    return Err(e);
+                }
+                let result = run.finish(&self.pricing);
+                let _ = self.monitor.set_workflow_status(run.run_id, WorkflowStatus::Completed);
                 let _ = self.monitor.set_workflow_result(
-                    run_id,
+                    run.run_id,
                     &format!(
                         "fidelity={:.4},completion_s={:.3},cost_usd={:.2}",
                         result.mean_fidelity(),
@@ -267,14 +378,223 @@ impl Orchestrator {
                         result.cost_usd
                     ),
                 );
+                let run_id = run.run_id;
                 state.results.push(result);
                 Ok(run_id)
-            }
-            Err(e) => {
-                let _ = self.monitor.set_workflow_status(run_id, WorkflowStatus::Failed);
-                Err(e)
+            })
+            .collect()
+    }
+
+    /// Execute a run's steps in topological order until it blocks on a
+    /// quantum result, fails, or finishes. Classical steps advance the run's
+    /// local clock immediately; a quantum step is submitted into the batch
+    /// engine and the run parks until [`Self::drive_engine`] delivers it.
+    fn progress_run(
+        &self,
+        state: &mut OrchestratorState,
+        runs: &mut [ActiveRun],
+        run_index: usize,
+        awaiting: &mut HashMap<JobId, AwaitedStep>,
+    ) {
+        let run = &mut runs[run_index];
+        if run.failed.is_some() || run.awaiting_job {
+            return;
+        }
+        while run.cursor < run.order.len() {
+            let step_index = run.order[run.cursor];
+            match &run.image.workflow.steps()[step_index] {
+                Step::Classical(step) => {
+                    let Some(node_index) =
+                        place(&state.classical_nodes, &step.request, ScoringPolicy::LeastAllocated)
+                    else {
+                        run.failed = Some(OrchestratorError::NoFeasibleClassicalNode);
+                        return;
+                    };
+                    let duration = step.estimated_duration_s;
+                    run.clock_s += duration;
+                    run.classical_time_total += duration;
+                    run.classical_steps.push(ClassicalStepResult {
+                        step: step.name.clone(),
+                        node: state.classical_nodes[node_index].name.clone(),
+                        execution_s: duration,
+                    });
+                    run.cursor += 1;
+                }
+                Step::Quantum(step) => {
+                    let stack = if step.mitigation.is_empty() {
+                        run.plan.stack.clone()
+                    } else {
+                        step.mitigation.clone()
+                    };
+                    let (fidelity_per_qpu, exec_time_per_qpu) =
+                        self.step_estimates(&state.fleet, &step.circuit, &stack);
+                    if fidelity_per_qpu.iter().all(|&f| f <= 0.0) {
+                        run.failed = Some(OrchestratorError::NoFeasibleQpu {
+                            required_qubits: step.circuit.num_qubits(),
+                        });
+                        return;
+                    }
+                    let spec = JobSpec {
+                        qubits: step.circuit.num_qubits(),
+                        shots: step.circuit.shots(),
+                        fidelity_per_qpu: fidelity_per_qpu.clone(),
+                        exec_time_per_qpu,
+                    };
+                    let job_id = state.jobmanager.submit(spec, run.clock_s);
+                    awaiting.insert(
+                        job_id,
+                        AwaitedStep {
+                            run_index,
+                            step_name: step.name.clone(),
+                            required_qubits: step.circuit.num_qubits(),
+                            submitted_s: run.clock_s,
+                            fidelity_per_qpu,
+                        },
+                    );
+                    run.awaiting_job = true;
+                    run.cursor += 1;
+                    return;
+                }
             }
         }
+    }
+
+    /// Drive the batch engine in event order until at least one awaited job
+    /// completes (or a batch rejects one): advance simulated time to the
+    /// earliest of the next queued completion and the next trigger firing,
+    /// deliver any completions at that instant — freed runs return to the
+    /// submission wave before anything else is dispatched — and otherwise
+    /// dispatch the pool as one batch when the trigger is due. Every
+    /// dispatched batch is recorded in the system monitor.
+    fn drive_engine(
+        &self,
+        state: &mut OrchestratorState,
+        runs: &mut [ActiveRun],
+        awaiting: &mut HashMap<JobId, AwaitedStep>,
+    ) {
+        let mut rounds = 0usize;
+        while !awaiting.is_empty() {
+            rounds += 1;
+            assert!(rounds < 10_000, "batch engine failed to converge");
+
+            // Next simulated instant anything can happen: a queued job
+            // completing, or the trigger firing (interval expiry, or the
+            // queue-limit-th pooled submission) — whichever comes first.
+            // Queued completions at the same instant are delivered before
+            // dispatching, so freed runs can submit their next steps in time
+            // to join the upcoming batch.
+            let next_event = state.jobmanager.next_event_s(&state.fleet);
+            let next_trigger = state.jobmanager.next_trigger_s();
+            let target = match (next_event, next_trigger) {
+                (Some(e), Some(t)) => e.min(t),
+                (Some(e), None) => e,
+                (None, Some(t)) => t,
+                (None, None) => unreachable!("awaited jobs are pooled or enqueued"),
+            }
+            .max(state.clock_s);
+            state.fleet.advance_to(target, &mut state.rng);
+            state.clock_s = target;
+
+            // Deliver completions up to this instant.
+            let mut delivered = 0usize;
+            for completion in state.jobmanager.drain_completions(&mut state.fleet) {
+                let Some(step) = awaiting.remove(&completion.job_id) else { continue };
+                let run = &mut runs[step.run_index];
+                let jitter = 1.0 + state.rng.gen_range(-0.02..0.02);
+                run.quantum_steps.push(QuantumStepResult {
+                    step: step.step_name,
+                    qpu: state.fleet.members()[completion.qpu_index].qpu.name.clone(),
+                    fidelity: (step.fidelity_per_qpu[completion.qpu_index] * jitter)
+                        .clamp(0.0, 1.0),
+                    // Waiting from submission: pool wait (for the trigger)
+                    // plus queue wait, matching the cloud simulation's
+                    // definition over the same engine.
+                    waiting_s: completion.record.start_time_s - step.submitted_s,
+                    execution_s: completion.record.execution_s(),
+                });
+                run.quantum_time_total += completion.record.execution_s();
+                run.clock_s = run.clock_s.max(completion.record.finish_time_s);
+                run.awaiting_job = false;
+                delivered += 1;
+            }
+            if delivered > 0 {
+                // Hand control back so unblocked runs can submit their next
+                // steps (possibly joining the next batch) before driving on.
+                self.record_fleet_dynamics(state);
+                return;
+            }
+
+            // No completions at this instant: dispatch if the trigger is due
+            // (the queues are already advanced to the dispatch time).
+            if let Some(batch) =
+                state.jobmanager.try_dispatch(state.clock_s, &self.scheduler, &mut state.fleet)
+            {
+                let _ = self.monitor.record_schedule_batch(
+                    batch.batch_index,
+                    batch.t_s,
+                    batch.reason,
+                    batch.job_ids.len(),
+                );
+                self.record_fleet_dynamics(state);
+                let mut any_rejected = false;
+                for job_id in &batch.outcome.rejected_jobs {
+                    if let Some(step) = awaiting.remove(job_id) {
+                        runs[step.run_index].failed = Some(OrchestratorError::NoFeasibleQpu {
+                            required_qubits: step.required_qubits,
+                        });
+                        runs[step.run_index].awaiting_job = false;
+                        any_rejected = true;
+                    }
+                }
+                if any_rejected && awaiting.is_empty() {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Refresh the monitor's dynamic per-QPU records (queue depth, waiting
+    /// estimate, calibration cycle) from the current fleet state.
+    fn record_fleet_dynamics(&self, state: &OrchestratorState) {
+        for member in state.fleet.members() {
+            let _ = self.monitor.record_qpu_dynamic(
+                &member.qpu.name,
+                member.queue.pending_len(),
+                member.queue.estimated_waiting_s(),
+                member.qpu.calibration.cycle,
+            );
+        }
+    }
+
+    /// Per-QPU fidelity and execution-time estimates for one circuit under a
+    /// mitigation stack (transpilation + ESP + mitigation uplift). QPUs that
+    /// cannot fit the circuit get zero fidelity and an effectively-infinite
+    /// execution time.
+    fn step_estimates(
+        &self,
+        fleet: &Fleet,
+        circuit: &Circuit,
+        stack: &MitigationStack,
+    ) -> (Vec<f64>, Vec<f64>) {
+        let mut fidelity_per_qpu = Vec::with_capacity(fleet.len());
+        let mut exec_time_per_qpu = Vec::with_capacity(fleet.len());
+        for member in fleet.members() {
+            if member.qpu.num_qubits() < circuit.num_qubits() {
+                // The engine's "cannot run here" marker (it sanitizes this to
+                // a finite penalty for the optimizer and refuses it in
+                // direct dispatch); cloudsim uses the same representation.
+                fidelity_per_qpu.push(0.0);
+                exec_time_per_qpu.push(f64::INFINITY);
+                continue;
+            }
+            let noise = member.qpu.noise_model();
+            let transpiled = self.transpiler.transpile_for_qpu(circuit, &member.qpu);
+            let cost = stack.cost(&transpiled.circuit, &noise);
+            let base = noise.estimated_success_probability(&transpiled.circuit);
+            fidelity_per_qpu.push(cost.mitigated_fidelity(base));
+            exec_time_per_qpu.push(transpiled.total_execution_s() * cost.quantum_time_factor);
+        }
+        (fidelity_per_qpu, exec_time_per_qpu)
     }
 
     /// Table 2 — *Get the workflow results*.
@@ -296,155 +616,73 @@ impl Orchestrator {
     fn image(&self, image_id: ImageId) -> Result<HybridWorkflowImage, OrchestratorError> {
         self.registry.get(image_id).ok_or(OrchestratorError::ImageNotFound(image_id))
     }
+}
 
-    /// Execute a workflow's steps in topological order against the cluster.
-    fn execute_workflow(
-        &self,
-        state: &mut OrchestratorState,
-        image: &HybridWorkflowImage,
-        plan: &ResourcePlan,
-        run_id: RunId,
-    ) -> Result<WorkflowResult, OrchestratorError> {
-        let order = image.workflow.topological_order().expect("registry guarantees acyclic workflows");
-        let start_s = state.clock_s;
-        let mut quantum_steps = Vec::new();
-        let mut classical_steps = Vec::new();
-        let mut quantum_time_total = 0.0;
-        let mut classical_time_total = 0.0;
+/// Execution state of one in-flight workflow invocation.
+struct ActiveRun {
+    run_id: RunId,
+    image: HybridWorkflowImage,
+    plan: ResourcePlan,
+    /// Topological step order.
+    order: Vec<usize>,
+    /// Next position in `order`.
+    cursor: usize,
+    /// Simulated time the run started.
+    start_s: f64,
+    /// Run-local simulated time (advances past classical steps and to each
+    /// quantum completion).
+    clock_s: f64,
+    /// Whether the run is parked on a submitted quantum job.
+    awaiting_job: bool,
+    quantum_steps: Vec<QuantumStepResult>,
+    classical_steps: Vec<ClassicalStepResult>,
+    quantum_time_total: f64,
+    classical_time_total: f64,
+    failed: Option<OrchestratorError>,
+}
 
-        for idx in order {
-            match &image.workflow.steps()[idx] {
-                Step::Classical(step) => {
-                    let node_idx = place(&state.classical_nodes, &step.request, ScoringPolicy::LeastAllocated)
-                        .ok_or(OrchestratorError::NoFeasibleClassicalNode)?;
-                    let node_name = state.classical_nodes[node_idx].name.clone();
-                    let duration = step.estimated_duration_s;
-                    state.clock_s += duration;
-                    classical_time_total += duration;
-                    classical_steps.push(ClassicalStepResult {
-                        step: step.name.clone(),
-                        node: node_name,
-                        execution_s: duration,
-                    });
-                }
-                Step::Quantum(step) => {
-                    let result = self.execute_quantum_step(state, step, &plan.stack)?;
-                    quantum_time_total += result.execution_s;
-                    quantum_steps.push(result);
-                }
-            }
-        }
-
-        let completion_s = state.clock_s - start_s;
-        let cost_usd = self
-            .pricing
-            .hybrid_job_cost_usd(quantum_time_total, classical_time_total, plan.uses_accelerator);
-        Ok(WorkflowResult {
-            run_id,
-            image_id: image.id,
-            plan: plan.clone(),
-            quantum_steps,
-            classical_steps,
-            completion_s,
-            cost_usd,
-        })
-    }
-
-    /// Schedule and execute one quantum step on the fleet.
-    fn execute_quantum_step(
-        &self,
-        state: &mut OrchestratorState,
-        step: &crate::workflow::QuantumStep,
-        plan_stack: &MitigationStack,
-    ) -> Result<QuantumStepResult, OrchestratorError> {
-        let circuit = &step.circuit;
-        let stack = if step.mitigation.is_empty() { plan_stack.clone() } else { step.mitigation.clone() };
-        // Per-QPU estimates via transpilation + ESP + mitigation uplift.
-        let mut fidelity_per_qpu = Vec::with_capacity(state.fleet.len());
-        let mut exec_time_per_qpu = Vec::with_capacity(state.fleet.len());
-        for member in state.fleet.members() {
-            if member.qpu.num_qubits() < circuit.num_qubits() {
-                fidelity_per_qpu.push(0.0);
-                exec_time_per_qpu.push(1e9);
-                continue;
-            }
-            let noise = member.qpu.noise_model();
-            let transpiled = self.transpiler.transpile_for_qpu(circuit, &member.qpu);
-            let cost = stack.cost(&transpiled.circuit, &noise);
-            let base = noise.estimated_success_probability(&transpiled.circuit);
-            fidelity_per_qpu.push(cost.mitigated_fidelity(base));
-            exec_time_per_qpu.push(transpiled.total_execution_s() * cost.quantum_time_factor);
-        }
-        if fidelity_per_qpu.iter().all(|&f| f <= 0.0) {
-            return Err(OrchestratorError::NoFeasibleQpu { required_qubits: circuit.num_qubits() });
-        }
-
-        let qpus: Vec<QpuState> = state
-            .fleet
-            .members()
-            .iter()
-            .map(|m| QpuState {
-                name: m.qpu.name.clone(),
-                num_qubits: m.qpu.num_qubits(),
-                waiting_time_s: m.queue.estimated_waiting_s(),
-            })
-            .collect();
-        let job = JobRequest {
-            job_id: 0,
-            qubits: circuit.num_qubits(),
-            shots: circuit.shots(),
-            fidelity_per_qpu: fidelity_per_qpu.clone(),
-            exec_time_per_qpu: exec_time_per_qpu.clone(),
-        };
-        let outcome = self.scheduler.schedule(vec![job], qpus);
-        let placement = outcome
-            .placements
-            .first()
-            .ok_or(OrchestratorError::NoFeasibleQpu { required_qubits: circuit.num_qubits() })?;
-        let qpu_index = placement.qpu_index;
-
-        // Enqueue and run to completion on the chosen QPU's queue.
-        let duration = exec_time_per_qpu[qpu_index].max(0.001);
-        let now = state.clock_s;
-        let member_name;
-        let waiting_s;
-        let finish_s;
-        {
-            let member = &mut state.fleet.members_mut()[qpu_index];
-            // The workflow clock and the queue's own simulated time may differ
-            // (a previous run advanced this queue past the current clock).
-            let start_base = member.queue.now_s().max(now);
-            member.queue.advance_to(start_base);
-            member.queue.enqueue(u64::MAX, duration);
-            let wait = member.queue.estimated_waiting_s() - duration;
-            member.queue.advance_to(start_base + wait.max(0.0) + duration + 1.0);
-            let done = member
-                .queue
-                .take_completed()
-                .into_iter()
-                .last()
-                .expect("the enqueued job must complete");
-            member_name = member.qpu.name.clone();
-            waiting_s = done.waiting_s();
-            finish_s = done.finish_time_s;
-        }
-        state.clock_s = finish_s.max(state.clock_s);
-        // Update the monitor's dynamic QPU info.
-        let _ = self.monitor.record_qpu_dynamic(
-            &member_name,
-            state.fleet.members()[qpu_index].queue.pending_len(),
-            state.fleet.members()[qpu_index].queue.estimated_waiting_s(),
-            state.fleet.members()[qpu_index].qpu.calibration.cycle,
+impl ActiveRun {
+    /// Build the final result record of a completed run.
+    fn finish(&mut self, pricing: &PricingTable) -> WorkflowResult {
+        let cost_usd = pricing.hybrid_job_cost_usd(
+            self.quantum_time_total,
+            self.classical_time_total,
+            self.plan.uses_accelerator,
         );
+        WorkflowResult {
+            run_id: self.run_id,
+            image_id: self.image.id,
+            plan: self.plan.clone(),
+            quantum_steps: std::mem::take(&mut self.quantum_steps),
+            classical_steps: std::mem::take(&mut self.classical_steps),
+            completion_s: self.clock_s - self.start_s,
+            cost_usd,
+        }
+    }
+}
 
-        let jitter = 1.0 + state.rng.gen_range(-0.02..0.02);
-        Ok(QuantumStepResult {
-            step: step.name.clone(),
-            qpu: member_name,
-            fidelity: (fidelity_per_qpu[qpu_index] * jitter).clamp(0.0, 1.0),
-            waiting_s,
-            execution_s: duration,
-        })
+/// Bookkeeping for a quantum step parked in the batch engine.
+struct AwaitedStep {
+    run_index: usize,
+    step_name: String,
+    required_qubits: u32,
+    /// Run-local simulated time of the submission (waiting is measured from
+    /// here: pool wait for the trigger + queue wait).
+    submitted_s: f64,
+    fidelity_per_qpu: Vec<f64>,
+}
+
+/// The neutral plan used by workflows without quantum steps.
+fn classical_only_plan() -> ResourcePlan {
+    ResourcePlan {
+        stack_label: "classical-only".into(),
+        stack: MitigationStack::none(),
+        qpu_model: "none".into(),
+        estimated_fidelity: 1.0,
+        quantum_time_s: 0.0,
+        classical_time_s: 0.0,
+        uses_accelerator: false,
+        cost_usd: 0.0,
     }
 }
 
@@ -458,15 +696,16 @@ fn pick_plan(plans: &[ResourcePlan], priority: Priority) -> Option<&ResourcePlan
         Priority::Fidelity => plans
             .iter()
             .max_by(|a, b| a.estimated_fidelity.partial_cmp(&b.estimated_fidelity).unwrap()),
-        Priority::CompletionTime => plans
-            .iter()
-            .min_by(|a, b| a.total_time_s().partial_cmp(&b.total_time_s()).unwrap()),
+        Priority::CompletionTime => {
+            plans.iter().min_by(|a, b| a.total_time_s().partial_cmp(&b.total_time_s()).unwrap())
+        }
         Priority::Balanced => {
             let max_f = plans.iter().map(|p| p.estimated_fidelity).fold(0.0, f64::max);
             let max_t = plans.iter().map(|p| p.total_time_s()).fold(0.0, f64::max);
             plans.iter().max_by(|a, b| {
                 let score = |p: &ResourcePlan| {
-                    p.estimated_fidelity / max_f.max(1e-9) - 0.5 * p.total_time_s() / max_t.max(1e-9)
+                    p.estimated_fidelity / max_f.max(1e-9)
+                        - 0.5 * p.total_time_s() / max_t.max(1e-9)
                 };
                 score(a).partial_cmp(&score(b)).unwrap()
             })
@@ -483,7 +722,12 @@ mod tests {
 
     fn ghz_image(orchestrator: &Orchestrator, n: u32, mitigated: bool) -> ImageId {
         let stack = if mitigated { MitigationStack::listing2() } else { MitigationStack::none() };
-        let wf = mitigated_execution_workflow(format!("ghz{n}"), ghz(n), stack, ClassicalRequest::small());
+        let wf = mitigated_execution_workflow(
+            format!("ghz{n}"),
+            ghz(n),
+            stack,
+            ClassicalRequest::small(),
+        );
         orchestrator.create_workflow(wf, DeploymentConfig::default())
     }
 
@@ -518,10 +762,7 @@ mod tests {
     fn unknown_image_and_run_are_reported() {
         let orchestrator = Orchestrator::with_default_cluster(3);
         assert_eq!(orchestrator.deploy(99), Err(OrchestratorError::ImageNotFound(99)));
-        assert_eq!(
-            orchestrator.workflow_results(42),
-            Err(OrchestratorError::RunNotFound(42))
-        );
+        assert_eq!(orchestrator.workflow_results(42), Err(OrchestratorError::RunNotFound(42)));
     }
 
     #[test]

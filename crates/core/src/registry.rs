@@ -65,12 +65,7 @@ impl WorkflowRegistry {
 
     /// List all registered images (id, name) pairs in id order.
     pub fn list(&self) -> Vec<(ImageId, String)> {
-        self.inner
-            .read()
-            .images
-            .values()
-            .map(|img| (img.id, img.name.clone()))
-            .collect()
+        self.inner.read().images.values().map(|img| (img.id, img.name.clone())).collect()
     }
 
     /// Remove an image; returns `true` if it existed.
@@ -98,7 +93,12 @@ mod tests {
     use qonductor_scheduler::ClassicalRequest;
 
     fn demo_workflow(name: &str) -> Workflow {
-        mitigated_execution_workflow(name, ghz(4), MitigationStack::listing2(), ClassicalRequest::small())
+        mitigated_execution_workflow(
+            name,
+            ghz(4),
+            MitigationStack::listing2(),
+            ClassicalRequest::small(),
+        )
     }
 
     #[test]

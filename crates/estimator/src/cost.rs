@@ -70,11 +70,8 @@ impl PricingTable {
         classical_s: f64,
         uses_accelerator: bool,
     ) -> f64 {
-        let classical_class = if uses_accelerator {
-            ResourceClass::HighEndVm
-        } else {
-            ResourceClass::StandardVm
-        };
+        let classical_class =
+            if uses_accelerator { ResourceClass::HighEndVm } else { ResourceClass::StandardVm };
         self.usage_cost_usd(ResourceClass::Qpu, quantum_s)
             + self.usage_cost_usd(classical_class, classical_s)
     }

@@ -43,12 +43,7 @@ pub struct DatasetConfig {
 
 impl Default for DatasetConfig {
     fn default() -> Self {
-        DatasetConfig {
-            num_records: 7000,
-            max_width: 27,
-            mitigation_fraction: 0.5,
-            num_threads: 4,
-        }
+        DatasetConfig { num_records: 7000, max_width: 27, mitigation_fraction: 0.5, num_threads: 4 }
     }
 }
 
@@ -138,7 +133,8 @@ pub fn execute_and_record<R: Rng + ?Sized>(
     let fidelity = (mitigation_cost.mitigated_fidelity(base_fidelity) * jitter_f).clamp(0.0, 1.0);
 
     let jitter_t = 1.0 + rng.gen_range(-0.03..0.03);
-    let quantum_time_s = transpiled.total_execution_s() * mitigation_cost.quantum_time_factor * jitter_t;
+    let quantum_time_s =
+        transpiled.total_execution_s() * mitigation_cost.quantum_time_factor * jitter_t;
     let classical_time_s =
         mitigation_cost.classical_time_cpu_s + 2e-7 * f64::from(circuit.shots()) * jitter_t;
 
@@ -146,7 +142,10 @@ pub fn execute_and_record<R: Rng + ?Sized>(
 }
 
 /// Split a dataset into `(train, test)` with the given training fraction.
-pub fn split(records: &[ExecutionRecord], train_fraction: f64) -> (Vec<ExecutionRecord>, Vec<ExecutionRecord>) {
+pub fn split(
+    records: &[ExecutionRecord],
+    train_fraction: f64,
+) -> (Vec<ExecutionRecord>, Vec<ExecutionRecord>) {
     let cut = ((records.len() as f64) * train_fraction.clamp(0.0, 1.0)) as usize;
     (records[..cut].to_vec(), records[cut..].to_vec())
 }

@@ -98,9 +98,11 @@ impl ResourceEstimator {
     /// Evaluate estimator accuracy against a held-out dataset.
     pub fn evaluate(&self, records: &[ExecutionRecord]) -> EstimatorAccuracy {
         assert!(!records.is_empty());
-        let fid_pred: Vec<f64> = records.iter().map(|r| self.estimate_fidelity(&r.features)).collect();
+        let fid_pred: Vec<f64> =
+            records.iter().map(|r| self.estimate_fidelity(&r.features)).collect();
         let fid_true: Vec<f64> = records.iter().map(|r| r.fidelity).collect();
-        let run_pred: Vec<f64> = records.iter().map(|r| self.estimate_quantum_time_s(&r.features)).collect();
+        let run_pred: Vec<f64> =
+            records.iter().map(|r| self.estimate_quantum_time_s(&r.features)).collect();
         let run_true: Vec<f64> = records.iter().map(|r| r.quantum_time_s).collect();
         let n = records.len() as f64;
         EstimatorAccuracy {
@@ -133,7 +135,11 @@ mod tests {
     fn dataset(n: usize) -> Vec<ExecutionRecord> {
         let mut rng = StdRng::seed_from_u64(100);
         let fleet = Fleet::ibm_default(&mut rng);
-        generate_dataset(&fleet, &DatasetConfig { num_records: n, num_threads: 4, ..Default::default() }, 11)
+        generate_dataset(
+            &fleet,
+            &DatasetConfig { num_records: n, num_threads: 4, ..Default::default() },
+            11,
+        )
     }
 
     #[test]

@@ -43,7 +43,11 @@ pub struct JobFeatures {
 impl JobFeatures {
     /// Build features from transpiled-circuit metrics, target calibration, and
     /// the applied mitigation stack's cost profile.
-    pub fn new(metrics: &CircuitMetrics, calibration: &CalibrationData, mitigation: &MitigationCost) -> Self {
+    pub fn new(
+        metrics: &CircuitMetrics,
+        calibration: &CalibrationData,
+        mitigation: &MitigationCost,
+    ) -> Self {
         JobFeatures {
             width: metrics.width as f64,
             shots: metrics.shots as f64,

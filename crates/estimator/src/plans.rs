@@ -90,7 +90,8 @@ pub fn generate_candidate_plans(
         let transpiled = transpiler.transpile_for_template(circuit, template);
         for stack in candidate_stacks() {
             let mitigation = stack.cost(&transpiled.circuit, &noise);
-            let features = JobFeatures::new(&transpiled.metrics, &template.calibration, &mitigation);
+            let features =
+                JobFeatures::new(&transpiled.metrics, &template.calibration, &mitigation);
             let (fidelity, quantum_time_s, classical_cpu_s) = match backend {
                 EstimationBackend::Analytic => {
                     let base = noise.estimated_success_probability(&transpiled.circuit);
@@ -105,13 +106,18 @@ pub fn generate_candidate_plans(
                     (e.fidelity, e.quantum_time_s, e.classical_time_s)
                 }
             };
-            let uses_accelerator = config.accelerators_available && mitigation.accelerator_speedup > 1.0;
+            let uses_accelerator =
+                config.accelerators_available && mitigation.accelerator_speedup > 1.0;
             let classical_time_s = if uses_accelerator {
                 classical_cpu_s / mitigation.accelerator_speedup.max(1.0)
             } else {
                 classical_cpu_s
             };
-            let cost_usd = config.pricing.hybrid_job_cost_usd(quantum_time_s, classical_time_s, uses_accelerator);
+            let cost_usd = config.pricing.hybrid_job_cost_usd(
+                quantum_time_s,
+                classical_time_s,
+                uses_accelerator,
+            );
             plans.push(ResourcePlan {
                 stack_label: stack.label(),
                 stack,
@@ -136,7 +142,8 @@ pub fn pareto_front(plans: &[ResourcePlan]) -> Vec<ResourcePlan> {
         let dominated = plans.iter().any(|q| {
             let better_fid = q.estimated_fidelity >= p.estimated_fidelity;
             let better_time = q.total_time_s() <= p.total_time_s();
-            let strictly = q.estimated_fidelity > p.estimated_fidelity || q.total_time_s() < p.total_time_s();
+            let strictly =
+                q.estimated_fidelity > p.estimated_fidelity || q.total_time_s() < p.total_time_s();
             better_fid && better_time && strictly
         });
         if !dominated {
@@ -228,7 +235,8 @@ mod tests {
             for b in &front {
                 let dominates = b.estimated_fidelity >= a.estimated_fidelity
                     && b.total_time_s() <= a.total_time_s()
-                    && (b.estimated_fidelity > a.estimated_fidelity || b.total_time_s() < a.total_time_s());
+                    && (b.estimated_fidelity > a.estimated_fidelity
+                        || b.total_time_s() < a.total_time_s());
                 assert!(!dominates, "front contains a dominated plan");
             }
         }
@@ -245,13 +253,11 @@ mod tests {
         );
         let unmitigated = plans
             .iter()
-            .filter(|p| p.stack_label == "none" && p.qpu_model == "falcon-r5.11")
-            .next()
+            .find(|p| p.stack_label == "none" && p.qpu_model == "falcon-r5.11")
             .unwrap();
         let mitigated = plans
             .iter()
-            .filter(|p| p.stack_label == "zne+dd+rem" && p.qpu_model == "falcon-r5.11")
-            .next()
+            .find(|p| p.stack_label == "zne+dd+rem" && p.qpu_model == "falcon-r5.11")
             .unwrap();
         assert!(mitigated.estimated_fidelity > unmitigated.estimated_fidelity);
         assert!(mitigated.total_time_s() > unmitigated.total_time_s());

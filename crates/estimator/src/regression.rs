@@ -39,15 +39,11 @@ impl PolynomialRegressor {
 
         // Standardise raw features for numerical stability.
         let (means, stds) = standardisation(features);
-        let standardised: Vec<Vec<f64>> = features
-            .iter()
-            .map(|row| standardise(row, &means, &stds))
-            .collect();
+        let standardised: Vec<Vec<f64>> =
+            features.iter().map(|row| standardise(row, &means, &stds)).collect();
 
-        let expanded: Vec<Vec<f64>> = standardised
-            .iter()
-            .map(|row| expand_polynomial(row, degree))
-            .collect();
+        let expanded: Vec<Vec<f64>> =
+            standardised.iter().map(|row| expand_polynomial(row, degree)).collect();
         let p = expanded[0].len();
         let n = expanded.len();
         assert!(n >= 2, "need at least two samples");
@@ -82,11 +78,7 @@ impl PolynomialRegressor {
     pub fn predict(&self, features: &[f64]) -> f64 {
         let standardised = standardise(features, &self.feature_means, &self.feature_stds);
         let expanded = expand_polynomial(&standardised, self.degree);
-        expanded
-            .iter()
-            .zip(&self.coefficients)
-            .map(|(x, w)| x * w)
-            .sum()
+        expanded.iter().zip(&self.coefficients).map(|(x, w)| x * w).sum()
     }
 
     /// Predict targets for a batch of feature vectors.
@@ -111,11 +103,7 @@ pub fn r2_score(targets: &[f64], predictions: &[f64]) -> f64 {
     assert!(!targets.is_empty());
     let mean = targets.iter().sum::<f64>() / targets.len() as f64;
     let ss_tot: f64 = targets.iter().map(|y| (y - mean).powi(2)).sum();
-    let ss_res: f64 = targets
-        .iter()
-        .zip(predictions)
-        .map(|(y, p)| (y - p).powi(2))
-        .sum();
+    let ss_res: f64 = targets.iter().zip(predictions).map(|(y, p)| (y - p).powi(2)).sum();
     if ss_tot < 1e-15 {
         if ss_res < 1e-15 {
             1.0
@@ -205,11 +193,7 @@ fn standardisation(features: &[Vec<f64>]) -> (Vec<f64>, Vec<f64>) {
 }
 
 fn standardise(row: &[f64], means: &[f64], stds: &[f64]) -> Vec<f64> {
-    row.iter()
-        .zip(means)
-        .zip(stds)
-        .map(|((&x, &m), &s)| (x - m) / s)
-        .collect()
+    row.iter().zip(means).zip(stds).map(|((&x, &m), &s)| (x - m) / s).collect()
 }
 
 /// Solve `A x = b` with Gaussian elimination and partial pivoting.
@@ -234,8 +218,10 @@ fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
             if factor == 0.0 {
                 continue;
             }
-            for k in col..n {
-                a[row][k] -= factor * a[col][k];
+            let (pivot_rows, rest) = a.split_at_mut(row);
+            let pivot = &pivot_rows[col];
+            for (k, value) in rest[0].iter_mut().enumerate().skip(col) {
+                *value -= factor * pivot[k];
             }
             b[row] -= factor * b[col];
         }
@@ -258,7 +244,11 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    fn synth_dataset<R: Rng>(n: usize, rng: &mut R, f: impl Fn(f64, f64) -> f64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    fn synth_dataset<R: Rng>(
+        n: usize,
+        rng: &mut R,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> (Vec<Vec<f64>>, Vec<f64>) {
         let mut xs = Vec::new();
         let mut ys = Vec::new();
         for _ in 0..n {

@@ -61,7 +61,9 @@ pub fn insert_dd(
         let mut anchor: Option<usize> = None;
         for op in &schedule.ops {
             let instr = circuit.instructions()[op.index];
-            if instr.touches(window.qubit) && (op.start_ns + op.duration_ns - window.start_ns).abs() < 1e-6 {
+            if instr.touches(window.qubit)
+                && (op.start_ns + op.duration_ns - window.start_ns).abs() < 1e-6
+            {
                 anchor = Some(op.index);
             }
         }

@@ -98,12 +98,7 @@ pub fn cut_at(circuit: &Circuit, boundary: u32) -> CutResult {
     let effective_cuts = num_cuts.min(8) as u32;
     let sampling_overhead = 9f64.powi(effective_cuts as i32);
     let subcircuit_variants = 2 * 4usize.pow(effective_cuts.min(6));
-    CutResult {
-        fragments: vec![frag0, frag1],
-        num_cuts,
-        sampling_overhead,
-        subcircuit_variants,
-    }
+    CutResult { fragments: vec![frag0, frag1], num_cuts, sampling_overhead, subcircuit_variants }
 }
 
 /// Cut a circuit in half (the Figure 2(a) setting).
@@ -122,11 +117,7 @@ pub fn reconstruction_cost(result: &CutResult, shots: u32) -> ReconstructionCost
     let terms = 4f64.powi(result.num_cuts.min(8) as i32);
     let flops = terms * (hist0 * hist1);
     // 1 GFLOP/s effective CPU throughput for the combination kernel, 40 GFLOP/s on GPU.
-    ReconstructionCost {
-        flops,
-        cpu_time_s: flops / 1e9,
-        gpu_time_s: flops / 4e10,
-    }
+    ReconstructionCost { flops, cpu_time_s: flops / 1e9, gpu_time_s: flops / 4e10 }
 }
 
 /// Resource-cost profile of circuit knitting for the resource estimator.
@@ -143,7 +134,7 @@ pub fn cost(circuit: &Circuit) -> MitigationCost {
     let recon = reconstruction_cost(&cut, circuit.shots());
     MitigationCost {
         circuit_multiplicity: cut.subcircuit_variants,
-        quantum_time_factor: (cut.subcircuit_variants as f64).min(24.0).max(1.0),
+        quantum_time_factor: (cut.subcircuit_variants as f64).clamp(1.0, 24.0),
         classical_time_cpu_s: recon.cpu_time_s.max(0.05),
         accelerator_speedup: (recon.cpu_time_s / recon.gpu_time_s.max(1e-9)).max(1.0),
         error_reduction_factor: 0.30,
@@ -153,8 +144,8 @@ pub fn cost(circuit: &Circuit) -> MitigationCost {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qonductor_circuit::generators::{ghz, MaxCutGraph};
     use qonductor_circuit::generators::qaoa_maxcut;
+    use qonductor_circuit::generators::{ghz, MaxCutGraph};
 
     #[test]
     fn ghz_cut_in_half_has_one_crossing_gate() {

@@ -27,10 +27,7 @@ impl QubitConfusion {
         // Confusion matrix M = [[1-p01, p10], [p01, 1-p10]] maps true → observed.
         let det = (1.0 - self.p01) * (1.0 - self.p10) - self.p01 * self.p10;
         assert!(det.abs() > 1e-9, "confusion matrix is singular");
-        [
-            [(1.0 - self.p10) / det, -self.p10 / det],
-            [-self.p01 / det, (1.0 - self.p01) / det],
-        ]
+        [[(1.0 - self.p10) / det, -self.p10 / det], [-self.p01 / det, (1.0 - self.p01) / det]]
     }
 }
 
@@ -84,8 +81,8 @@ impl ReadoutMitigator {
             let mut next = Distribution::new();
             for (&key, &weight) in &current {
                 let observed_bit = ((key >> bit) & 1) as usize;
-                for true_bit in 0..2usize {
-                    let w = inv[true_bit][observed_bit] * weight;
+                for (true_bit, inv_row) in inv.iter().enumerate() {
+                    let w = inv_row[observed_bit] * weight;
                     if w.abs() < 1e-15 {
                         continue;
                     }
@@ -97,10 +94,7 @@ impl ReadoutMitigator {
         }
         // Clip negatives and renormalise to the original total weight.
         let original_total: f64 = counts.values().sum();
-        let mut clipped: Distribution = current
-            .into_iter()
-            .filter(|(_, v)| *v > 0.0)
-            .collect();
+        let mut clipped: Distribution = current.into_iter().filter(|(_, v)| *v > 0.0).collect();
         let new_total: f64 = clipped.values().sum();
         if new_total > 0.0 {
             for v in clipped.values_mut() {

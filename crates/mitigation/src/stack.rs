@@ -107,14 +107,12 @@ impl MitigationStack {
         let mut current = vec![circuit.clone()];
         for t in &self.techniques {
             current = match t {
-                Technique::Zne => current
-                    .iter()
-                    .flat_map(|c| zne::generate_circuits(c, &self.zne))
-                    .collect(),
-                Technique::PauliTwirling => current
-                    .iter()
-                    .map(|c| twirling::twirl_circuit(c, rng))
-                    .collect(),
+                Technique::Zne => {
+                    current.iter().flat_map(|c| zne::generate_circuits(c, &self.zne)).collect()
+                }
+                Technique::PauliTwirling => {
+                    current.iter().map(|c| twirling::twirl_circuit(c, rng)).collect()
+                }
                 Technique::DynamicalDecoupling => current
                     .iter()
                     .map(|c| dd::insert_dd(c, noise, self.dd_sequence, 500.0).circuit)
@@ -224,7 +222,8 @@ mod tests {
         let c = ghz(6);
         let nm = noise(6);
         let mut rng = StdRng::seed_from_u64(1);
-        let circuits = MitigationStack::with(vec![Technique::Zne]).generate_circuits(&c, &nm, &mut rng);
+        let circuits =
+            MitigationStack::with(vec![Technique::Zne]).generate_circuits(&c, &nm, &mut rng);
         assert_eq!(circuits.len(), 3);
     }
 
@@ -262,7 +261,8 @@ mod tests {
         let c = ghz(5);
         let nm = noise(5);
         let mut rng = StdRng::seed_from_u64(3);
-        let circuits = MitigationStack::with(vec![Technique::Rem]).generate_circuits(&c, &nm, &mut rng);
+        let circuits =
+            MitigationStack::with(vec![Technique::Rem]).generate_circuits(&c, &nm, &mut rng);
         assert_eq!(circuits.len(), 1);
     }
 }

@@ -106,8 +106,8 @@ fn linear_extrapolate(xs: &[f64], ys: &[f64]) -> f64 {
         return ys[0];
     }
     let slope = (n * sxy - sx * sy) / denom;
-    let intercept = (sy - slope * sx) / n;
-    intercept
+
+    (sy - slope * sx) / n
 }
 
 /// Richardson extrapolation: evaluate the Lagrange interpolating polynomial at λ = 0.
@@ -246,7 +246,10 @@ mod tests {
     #[test]
     fn cost_scales_with_noise_factors() {
         let c = ghz(8);
-        let cheap = cost(&ZneConfig { noise_factors: vec![1.0, 2.0], factory: ExtrapolationFactory::Linear }, &c);
+        let cheap = cost(
+            &ZneConfig { noise_factors: vec![1.0, 2.0], factory: ExtrapolationFactory::Linear },
+            &c,
+        );
         let expensive = cost(&ZneConfig::default(), &c);
         assert_eq!(cheap.circuit_multiplicity, 2);
         assert_eq!(expensive.circuit_multiplicity, 3);

@@ -39,9 +39,7 @@ pub fn assign(problem: &SchedulingProblem, policy: BaselinePolicy) -> Vec<usize>
                     .iter()
                     .copied()
                     .max_by(|&a, &b| {
-                        job.fidelity_per_qpu[a]
-                            .partial_cmp(&job.fidelity_per_qpu[b])
-                            .unwrap()
+                        job.fidelity_per_qpu[a].partial_cmp(&job.fidelity_per_qpu[b]).unwrap()
                     })
                     .unwrap(),
                 BaselinePolicy::LeastBusy => feasible

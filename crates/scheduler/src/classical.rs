@@ -122,7 +122,10 @@ pub enum ScoringPolicy {
 }
 
 /// Filter stage: nodes that can satisfy the request.
-pub fn filter<'a>(nodes: &'a [ClassicalNode], request: &ClassicalRequest) -> Vec<&'a ClassicalNode> {
+pub fn filter<'a>(
+    nodes: &'a [ClassicalNode],
+    request: &ClassicalRequest,
+) -> Vec<&'a ClassicalNode> {
     nodes
         .iter()
         .filter(|n| {
@@ -135,7 +138,11 @@ pub fn filter<'a>(nodes: &'a [ClassicalNode], request: &ClassicalRequest) -> Vec
 
 /// Two-stage filter–score placement. Returns the index of the chosen node in
 /// `nodes`, or `None` if no node fits.
-pub fn place(nodes: &[ClassicalNode], request: &ClassicalRequest, policy: ScoringPolicy) -> Option<usize> {
+pub fn place(
+    nodes: &[ClassicalNode],
+    request: &ClassicalRequest,
+    policy: ScoringPolicy,
+) -> Option<usize> {
     let candidates: Vec<usize> = nodes
         .iter()
         .enumerate()
@@ -169,7 +176,8 @@ mod tests {
     #[test]
     fn filter_removes_nodes_without_capacity() {
         let nodes = cluster();
-        let filtered = filter(&nodes, &ClassicalRequest { cpus: 16, memory_gb: 32, accelerators: 0 });
+        let filtered =
+            filter(&nodes, &ClassicalRequest { cpus: 16, memory_gb: 32, accelerators: 0 });
         let names: Vec<&str> = filtered.iter().map(|n| n.name.as_str()).collect();
         assert!(!names.contains(&"busy"));
         assert!(names.contains(&"idle"));
@@ -186,7 +194,8 @@ mod tests {
     #[test]
     fn least_allocated_prefers_the_idle_node() {
         let nodes = cluster();
-        let placed = place(&nodes, &ClassicalRequest::small(), ScoringPolicy::LeastAllocated).unwrap();
+        let placed =
+            place(&nodes, &ClassicalRequest::small(), ScoringPolicy::LeastAllocated).unwrap();
         // Both "idle" and "gpu" are at zero utilisation; either is acceptable,
         // but never the busy node.
         assert_ne!(nodes[placed].name, "busy");
@@ -196,14 +205,19 @@ mod tests {
     #[test]
     fn most_allocated_bin_packs_onto_the_busy_node() {
         let nodes = cluster();
-        let placed = place(&nodes, &ClassicalRequest::small(), ScoringPolicy::MostAllocated).unwrap();
+        let placed =
+            place(&nodes, &ClassicalRequest::small(), ScoringPolicy::MostAllocated).unwrap();
         assert_eq!(nodes[placed].name, "busy");
     }
 
     #[test]
     fn no_fit_returns_none() {
         let nodes = vec![ClassicalNode::standard_vm("only")];
-        let placed = place(&nodes, &ClassicalRequest { cpus: 64, memory_gb: 8, accelerators: 0 }, ScoringPolicy::LeastAllocated);
+        let placed = place(
+            &nodes,
+            &ClassicalRequest { cpus: 64, memory_gb: 8, accelerators: 0 },
+            ScoringPolicy::LeastAllocated,
+        );
         assert_eq!(placed, None);
     }
 

@@ -46,11 +46,7 @@ impl CrossoverPartition {
 
     /// Job IDs requiring fresh estimates from the resource estimator.
     pub fn jobs_to_reestimate(&self) -> Vec<u64> {
-        self.straddling
-            .iter()
-            .chain(self.after.iter())
-            .map(|j| j.job_id)
-            .collect()
+        self.straddling.iter().chain(self.after.iter()).map(|j| j.job_id).collect()
     }
 }
 
@@ -127,7 +123,8 @@ mod tests {
 
     #[test]
     fn boundary_exactly_at_finish_keeps_job_before() {
-        let schedule = vec![PlannedJob { job_id: 1, qpu_index: 0, start_s: 0.0, duration_s: 100.0 }];
+        let schedule =
+            vec![PlannedJob { job_id: 1, qpu_index: 0, start_s: 0.0, duration_s: 100.0 }];
         let partition = partition_at_boundary(&schedule, 100.0);
         assert_eq!(partition.before.len(), 1);
         assert!(partition.after.is_empty());

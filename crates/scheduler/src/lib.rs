@@ -24,7 +24,5 @@ pub use crossover::{partition_at_boundary, plan_timeline, CrossoverPartition, Pl
 pub use mcdm::{pseudo_weights, select, Preference};
 pub use nsga2::{optimize, Nsga2Config, Nsga2Result, ParetoSolution};
 pub use problem::{JobRequest, Objectives, QpuState, SchedulingProblem};
-pub use scheduler::{
-    HybridScheduler, Placement, ScheduleOutcome, SchedulerConfig, StageTimings,
-};
+pub use scheduler::{HybridScheduler, Placement, ScheduleOutcome, SchedulerConfig, StageTimings};
 pub use triggers::{ScheduleTrigger, TriggerReason};

@@ -95,7 +95,12 @@ pub fn optimize(problem: &SchedulingProblem, config: &Nsga2Config) -> Nsga2Resul
     let mut population: Vec<Individual> = (0..pop_size)
         .map(|_| {
             let genes = random_assignment(problem, &mut rng);
-            Individual { genes, objectives: Objectives { mean_jct_s: 0.0, mean_error: 0.0 }, rank: 0, crowding: 0.0 }
+            Individual {
+                genes,
+                objectives: Objectives { mean_jct_s: 0.0, mean_error: 0.0 },
+                rank: 0,
+                crowding: 0.0,
+            }
         })
         .collect();
     evaluate_population(problem, &mut population, config.num_threads);
@@ -113,7 +118,8 @@ pub fn optimize(problem: &SchedulingProblem, config: &Nsga2Config) -> Nsga2Resul
         while offspring.len() < pop_size {
             let p1 = tournament(&population, &mut rng);
             let p2 = tournament(&population, &mut rng);
-            let (mut c1, mut c2) = crossover(problem, &population[p1].genes, &population[p2].genes, config, &mut rng);
+            let (mut c1, mut c2) =
+                crossover(problem, &population[p1].genes, &population[p2].genes, config, &mut rng);
             mutate(problem, &mut c1, config, &mut rng);
             mutate(problem, &mut c2, config, &mut rng);
             offspring.push(Individual {
@@ -145,8 +151,10 @@ pub fn optimize(problem: &SchedulingProblem, config: &Nsga2Config) -> Nsga2Resul
         population.truncate(pop_size);
 
         // Termination checks.
-        let best_jct = population.iter().map(|i| i.objectives.mean_jct_s).fold(f64::INFINITY, f64::min);
-        let best_err = population.iter().map(|i| i.objectives.mean_error).fold(f64::INFINITY, f64::min);
+        let best_jct =
+            population.iter().map(|i| i.objectives.mean_jct_s).fold(f64::INFINITY, f64::min);
+        let best_err =
+            population.iter().map(|i| i.objectives.mean_error).fold(f64::INFINITY, f64::min);
         history.push((best_jct, best_err));
         if evaluations >= config.max_evaluations {
             break;
@@ -193,7 +201,11 @@ fn random_assignment(problem: &SchedulingProblem, rng: &mut StdRng) -> Vec<usize
 }
 
 /// Parallel objective evaluation of a population using crossbeam-scoped threads.
-fn evaluate_population(problem: &SchedulingProblem, population: &mut [Individual], num_threads: usize) {
+fn evaluate_population(
+    problem: &SchedulingProblem,
+    population: &mut [Individual],
+    num_threads: usize,
+) {
     let threads = num_threads.max(1).min(population.len().max(1));
     if threads <= 1 || population.len() < 32 {
         for ind in population.iter_mut() {
@@ -260,7 +272,12 @@ fn crossover(
 
 /// Polynomial mutation: perturb the gene within the vicinity of its current
 /// value with distribution index `eta`, then snap to a feasible QPU.
-fn mutate(problem: &SchedulingProblem, genes: &mut [usize], config: &Nsga2Config, rng: &mut StdRng) {
+fn mutate(
+    problem: &SchedulingProblem,
+    genes: &mut [usize],
+    config: &Nsga2Config,
+    rng: &mut StdRng,
+) {
     let q = problem.num_qpus() as f64;
     for (i, gene) in genes.iter_mut().enumerate() {
         if rng.gen_bool(config.mutation_probability) {
@@ -277,7 +294,12 @@ fn mutate(problem: &SchedulingProblem, genes: &mut [usize], config: &Nsga2Config
 }
 
 /// Round a real-valued gene to the nearest feasible QPU index for the job.
-fn snap_to_feasible(problem: &SchedulingProblem, job: usize, value: f64, rng: &mut StdRng) -> usize {
+fn snap_to_feasible(
+    problem: &SchedulingProblem,
+    job: usize,
+    value: f64,
+    rng: &mut StdRng,
+) -> usize {
     let feasible = problem.feasible_qpus(job);
     if feasible.is_empty() {
         return (value.round().abs() as usize) % problem.num_qpus();
@@ -434,8 +456,16 @@ mod tests {
         }
         rand_jct /= trials as f64;
         rand_err /= trials as f64;
-        let best_jct = result.pareto_front.iter().map(|s| s.objectives.mean_jct_s).fold(f64::INFINITY, f64::min);
-        let best_err = result.pareto_front.iter().map(|s| s.objectives.mean_error).fold(f64::INFINITY, f64::min);
+        let best_jct = result
+            .pareto_front
+            .iter()
+            .map(|s| s.objectives.mean_jct_s)
+            .fold(f64::INFINITY, f64::min);
+        let best_err = result
+            .pareto_front
+            .iter()
+            .map(|s| s.objectives.mean_error)
+            .fold(f64::INFINITY, f64::min);
         assert!(best_jct < rand_jct, "NSGA-II best JCT {best_jct} vs random {rand_jct}");
         assert!(best_err < rand_err, "NSGA-II best error {best_err} vs random {rand_err}");
     }
@@ -443,7 +473,8 @@ mod tests {
     #[test]
     fn termination_respects_evaluation_budget() {
         let problem = random_problem(30, 4, 4);
-        let config = Nsga2Config { max_evaluations: 500, population_size: 40, ..Default::default() };
+        let config =
+            Nsga2Config { max_evaluations: 500, population_size: 40, ..Default::default() };
         let result = optimize(&problem, &config);
         assert!(result.evaluations <= 500 + config.population_size * 2);
         assert!(result.generations >= 1);

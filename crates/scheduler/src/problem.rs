@@ -120,10 +120,9 @@ impl SchedulingProblem {
     /// `true` if the assignment respects every job's capacity constraint.
     pub fn assignment_is_feasible(&self, assignment: &[usize]) -> bool {
         assignment.len() == self.num_jobs()
-            && assignment
-                .iter()
-                .enumerate()
-                .all(|(i, &q)| q < self.num_qpus() && self.qpus[q].num_qubits >= self.jobs[i].qubits)
+            && assignment.iter().enumerate().all(|(i, &q)| {
+                q < self.num_qpus() && self.qpus[q].num_qubits >= self.jobs[i].qubits
+            })
     }
 
     /// Evaluate the two objectives of Eq. (1) for an assignment
@@ -159,10 +158,7 @@ impl SchedulingProblem {
         for (i, &q) in assignment.iter().enumerate() {
             assigned_time[q] += self.jobs[i].exec_time_per_qpu[q];
         }
-        assignment
-            .iter()
-            .map(|&q| self.qpus[q].waiting_time_s + assigned_time[q])
-            .collect()
+        assignment.iter().map(|&q| self.qpus[q].waiting_time_s + assigned_time[q]).collect()
     }
 }
 

@@ -170,7 +170,11 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    fn jobs_and_qpus(num_jobs: usize, num_qpus: usize, seed: u64) -> (Vec<JobRequest>, Vec<QpuState>) {
+    fn jobs_and_qpus(
+        num_jobs: usize,
+        num_qpus: usize,
+        seed: u64,
+    ) -> (Vec<JobRequest>, Vec<QpuState>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let qpus: Vec<QpuState> = (0..num_qpus)
             .map(|i| QpuState {

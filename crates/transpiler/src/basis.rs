@@ -37,11 +37,25 @@ impl BasisSet {
         match self {
             BasisSet::IbmSuperconducting => matches!(
                 gate,
-                Gate::RZ(_) | Gate::SX | Gate::X | Gate::CX | Gate::Measure | Gate::Barrier | Gate::Delay(_) | Gate::Id
+                Gate::RZ(_)
+                    | Gate::SX
+                    | Gate::X
+                    | Gate::CX
+                    | Gate::Measure
+                    | Gate::Barrier
+                    | Gate::Delay(_)
+                    | Gate::Id
             ),
             BasisSet::TrappedIon => matches!(
                 gate,
-                Gate::RZ(_) | Gate::RX(_) | Gate::RY(_) | Gate::RZZ(_) | Gate::Measure | Gate::Barrier | Gate::Delay(_) | Gate::Id
+                Gate::RZ(_)
+                    | Gate::RX(_)
+                    | Gate::RY(_)
+                    | Gate::RZZ(_)
+                    | Gate::Measure
+                    | Gate::Barrier
+                    | Gate::Delay(_)
+                    | Gate::Id
             ),
         }
     }
@@ -101,7 +115,9 @@ fn as_rz(gate: Gate) -> Option<f64> {
 
 fn push_rz(out: &mut Circuit, theta: f64, q: u32) {
     // Skip numerically irrelevant rotations to keep translated circuits tight.
-    if theta.rem_euclid(2.0 * PI).abs() > 1e-12 && (theta.rem_euclid(2.0 * PI) - 2.0 * PI).abs() > 1e-12 {
+    if theta.rem_euclid(2.0 * PI).abs() > 1e-12
+        && (theta.rem_euclid(2.0 * PI) - 2.0 * PI).abs() > 1e-12
+    {
         out.rz(theta, q);
     }
 }

@@ -99,7 +99,11 @@ pub fn select_layout(
 /// Greedy region growing: start from the lowest-error two-qubit edge and
 /// repeatedly add the frontier qubit with the smallest combined (edge error +
 /// readout error) until `num_logical` physical qubits are selected.
-fn noise_aware_layout(num_logical: u32, coupling: &CouplingMap, calibration: &CalibrationData) -> Layout {
+fn noise_aware_layout(
+    num_logical: u32,
+    coupling: &CouplingMap,
+    calibration: &CalibrationData,
+) -> Layout {
     if num_logical == 0 {
         return Layout::new(vec![]);
     }
@@ -159,11 +163,7 @@ fn noise_aware_layout(num_logical: u32, coupling: &CouplingMap, calibration: &Ca
 }
 
 fn qubit_cost(calibration: &CalibrationData, q: u32) -> f64 {
-    calibration
-        .qubits
-        .get(q as usize)
-        .map(|c| c.gate_error + c.readout_error)
-        .unwrap_or(1.0)
+    calibration.qubits.get(q as usize).map(|c| c.gate_error + c.readout_error).unwrap_or(1.0)
 }
 
 fn edge_cost(calibration: &CalibrationData, a: u32, b: u32) -> f64 {
@@ -218,9 +218,11 @@ mod tests {
             if i == 0 {
                 continue;
             }
-            let connected = l.mapping().iter().enumerate().any(|(j, &other)| {
-                j != i && coupling.are_coupled(q, other)
-            });
+            let connected = l
+                .mapping()
+                .iter()
+                .enumerate()
+                .any(|(j, &other)| j != i && coupling.are_coupled(q, other));
             assert!(connected, "qubit {q} is isolated in the layout");
         }
     }

@@ -119,7 +119,11 @@ impl Transpiler {
 
     /// Transpile for a template QPU (model-averaged calibration), as used by the
     /// resource estimator.
-    pub fn transpile_for_template(&self, circuit: &Circuit, template: &TemplateQpu) -> TranspiledCircuit {
+    pub fn transpile_for_template(
+        &self,
+        circuit: &Circuit,
+        template: &TemplateQpu,
+    ) -> TranspiledCircuit {
         self.transpile(circuit, &template.model, &template.noise_model())
     }
 }

@@ -70,7 +70,7 @@ pub fn asap_schedule(circuit: &Circuit, noise: &NoiseModel) -> Schedule {
             qubit_free_at[q0]
         };
         // Record idle windows that end when this op starts (gap since last activity).
-        for &q in &[Some(q0), (instr.q1 != NO_OPERAND).then(|| instr.q1 as usize)] {
+        for &q in &[Some(q0), (instr.q1 != NO_OPERAND).then_some(instr.q1 as usize)] {
             if let Some(q) = q {
                 if first_activity_start[q].is_some() {
                     let gap = start - last_activity_end[q];

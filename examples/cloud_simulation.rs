@@ -27,7 +27,12 @@ fn main() {
 
     println!("{:<26} {:>12} {:>12}", "metric", "Qonductor", "FCFS");
     println!("{:<26} {:>12} {:>12}", "applications arrived", qonductor.arrived, fcfs.arrived);
-    println!("{:<26} {:>12} {:>12}", "applications completed", qonductor.completed.len(), fcfs.completed.len());
+    println!(
+        "{:<26} {:>12} {:>12}",
+        "applications completed",
+        qonductor.completed.len(),
+        fcfs.completed.len()
+    );
     println!(
         "{:<26} {:>12.3} {:>12.3}",
         "mean fidelity",
@@ -56,10 +61,7 @@ fn main() {
     println!("\nper-QPU busy time [s]:");
     println!("{:<16} {:>12} {:>12}", "QPU", "Qonductor", "FCFS");
     for (i, name) in qonductor.qpu_names.iter().enumerate() {
-        println!(
-            "{:<16} {:>12.0} {:>12.0}",
-            name, qonductor.qpu_busy_s[i], fcfs.qpu_busy_s[i]
-        );
+        println!("{:<16} {:>12.0} {:>12.0}", name, qonductor.qpu_busy_s[i], fcfs.qpu_busy_s[i]);
     }
     println!(
         "\nQonductor ran {} scheduling cycles (NSGA-II + MCDM, balanced preference).",

@@ -3,10 +3,10 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+use qonductor::circuit::generators::ghz;
 use qonductor::core::{
     mitigated_execution_workflow, DeploymentConfig, Orchestrator, WorkflowStatus,
 };
-use qonductor::circuit::generators::ghz;
 use qonductor::mitigation::MitigationStack;
 use qonductor::scheduler::ClassicalRequest;
 
@@ -56,7 +56,10 @@ fn main() {
         );
     }
     for step in &result.classical_steps {
-        println!("  classical step {:20} on {:14} exec {:6.2}s", step.step, step.node, step.execution_s);
+        println!(
+            "  classical step {:20} on {:14} exec {:6.2}s",
+            step.step, step.node, step.execution_s
+        );
     }
     println!(
         "  end-to-end completion {:.2}s, mean fidelity {:.3}, cost ${:.2}",

@@ -32,7 +32,9 @@ fn main() {
                 job_id: i,
                 qubits: rng.gen_range(2..=27),
                 shots: rng.gen_range(1000..8000),
-                fidelity_per_qpu: (0..8).map(|_| (base + rng.gen_range(-0.15..0.15)).clamp(0.05, 0.99)).collect(),
+                fidelity_per_qpu: (0..8)
+                    .map(|_| (base + rng.gen_range(-0.15..0.15)).clamp(0.05, 0.99))
+                    .collect(),
                 exec_time_per_qpu: (0..8).map(|_| rng.gen_range(5.0..120.0)).collect(),
             }
         })

@@ -1,0 +1,216 @@
+//! Offline shim for the subset of `criterion` this workspace uses: a small
+//! timing harness behind `Criterion`, `BenchmarkGroup`, `Bencher::iter`,
+//! `BenchmarkId`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! It warms up briefly, times a fixed wall-clock budget of iterations, and
+//! prints a one-line mean per benchmark — a smoke-test harness, not a
+//! statistics engine.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (upstream deprecated alias).
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark case within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id: `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    measured: Option<(Duration, u64)>,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly within the harness budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: one untimed call (also primes caches/allocations).
+        black_box(routine());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() >= self.budget {
+                break;
+            }
+        }
+        self.measured = Some((start.elapsed(), iters));
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn run_case(full_name: &str, budget: Duration, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher { measured: None, budget };
+    f(&mut bencher);
+    match bencher.measured {
+        Some((elapsed, iters)) if iters > 0 => {
+            let per_iter = elapsed / iters as u32;
+            println!(
+                "bench {full_name:<40} {:>12}/iter  ({iters} iters)",
+                format_duration(per_iter)
+            );
+        }
+        _ => println!("bench {full_name:<40} (no measurement)"),
+    }
+}
+
+/// A named collection of related benchmark cases.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for upstream compatibility; the shim's budget-based timing
+    /// ignores the sample count.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for upstream compatibility.
+    pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
+        self.criterion.budget = budget.min(Duration::from_secs(2));
+        self
+    }
+
+    /// Benchmark a closure against one input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_case(&full, self.criterion.budget, |b| f(b, input));
+        self
+    }
+
+    /// Benchmark a closure with no input.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_case(&full, self.criterion.budget, |b| f(b));
+        self
+    }
+
+    /// End the group (prints nothing extra in the shim).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep workspace bench runs fast: a small per-case budget is enough
+        // for smoke-level numbers.
+        Criterion { budget: Duration::from_millis(200) }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), criterion: self }
+    }
+
+    /// Benchmark a standalone function.
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_case(&name.to_string(), self.budget, |b| f(b));
+        self
+    }
+}
+
+/// Declare a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the benchmark `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        let mut group = c.benchmark_group("tiny");
+        group.sample_size(10);
+        for &n in &[4u64, 16] {
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter(|| (0..n).map(black_box).sum::<u64>())
+            });
+        }
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(2u64 + 2)));
+    }
+
+    #[test]
+    fn harness_runs_measured_cases() {
+        let mut c = Criterion { budget: Duration::from_millis(5) };
+        tiny(&mut c);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

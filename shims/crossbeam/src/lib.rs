@@ -1,0 +1,89 @@
+//! Offline shim for `crossbeam::scope`, implemented on `std::thread::scope`.
+//!
+//! Only the subset the workspace uses is provided: `scope(|s| …)` with
+//! `s.spawn(|_| …)` and `handle.join()`. The closure argument that upstream
+//! crossbeam passes for nested spawns is replaced by an opaque token (every
+//! call site ignores it with `|_|`).
+
+use std::any::Any;
+
+/// Result alias matching `crossbeam::thread::Result`.
+pub type ScopeResult<T> = Result<T, Box<dyn Any + Send + 'static>>;
+
+/// Opaque token passed to spawned closures in place of crossbeam's nested
+/// scope handle (unused by this workspace).
+pub struct NestedScope(());
+
+/// A scope handle for spawning threads that may borrow from the caller.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Handle to a scoped thread, joinable before the scope ends.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Wait for the thread to finish, returning its result or panic payload.
+    pub fn join(self) -> ScopeResult<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure receives an opaque token where
+    /// upstream crossbeam passes the scope for nested spawns.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(NestedScope) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        ScopedJoinHandle { inner: self.inner.spawn(move || f(NestedScope(()))) }
+    }
+}
+
+/// Run `f` with a scope in which borrowed-data threads can be spawned; all
+/// threads are joined before `scope` returns. Unjoined panicking threads
+/// abort the scope with a panic (upstream returns `Err` instead — every
+/// call site in this workspace unwraps, so behavior is equivalent).
+pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| {
+        let wrapper = Scope { inner: s };
+        f(&wrapper)
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let mut data = vec![0u64; 64];
+        scope(|s| {
+            for chunk in data.chunks_mut(16) {
+                s.spawn(move |_| {
+                    for v in chunk {
+                        *v += 1;
+                    }
+                });
+            }
+        })
+        .expect("scope failed");
+        assert!(data.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn handles_return_values() {
+        let total: u64 = scope(|s| {
+            let handles: Vec<_> = (0..4u64).map(|i| s.spawn(move |_| i * 10)).collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
+        })
+        .expect("scope failed");
+        assert_eq!(total, 60);
+    }
+}

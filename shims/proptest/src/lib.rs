@@ -1,0 +1,195 @@
+//! Offline shim for the subset of `proptest` this workspace uses: the
+//! `proptest!` macro (with optional `#![proptest_config(..)]`), range and
+//! `prop::collection::vec` strategies, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Unlike upstream proptest there is no shrinking: each test runs
+//! `cases` deterministic random inputs (seeded from the test name) and
+//! assertion macros panic directly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Per-test-run configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of random test inputs.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Produce one random value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! numeric_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+numeric_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Strategy combinators namespace, mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies, mirroring `proptest::collection`.
+    pub mod collection {
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+        use std::ops::Range;
+
+        /// Strategy producing `Vec`s with lengths drawn from a range.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        /// `vec(element, size)`: vectors of `element`-generated values whose
+        /// length is uniform in `size`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            assert!(size.start < size.end, "vec strategy: empty size range");
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let len = rng.gen_range(self.size.clone());
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything a property test needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{prop, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// FNV-1a hash of the test name, used as the deterministic base seed.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Build a fresh RNG for one case of one property.
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    StdRng::seed_from_u64(seed_for(test_name).wrapping_add(case as u64))
+}
+
+/// Assert a condition inside a property (panics with case context).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "property assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Assert equality inside a property (panics with case context).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*)
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, …) { body }` becomes
+/// a `#[test]` running `cases` random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut proptest_rng = $crate::case_rng(stringify!($name), case);
+                $(
+                    let $arg = $crate::Strategy::generate(&($strategy), &mut proptest_rng);
+                )*
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_sample_within_bounds() {
+        let mut rng = crate::case_rng("strategies_sample_within_bounds", 0);
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(2u32..20), &mut rng);
+            assert!((2..20).contains(&v));
+            let f = Strategy::generate(&(0.1f64..1.0), &mut rng);
+            assert!((0.1..1.0).contains(&f));
+            let xs = Strategy::generate(&prop::collection::vec(0.0f64..100.0, 1..12), &mut rng);
+            assert!(!xs.is_empty() && xs.len() < 12);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro wires arguments, bodies, and assertions together.
+        #[test]
+        fn macro_generates_cases(a in 1usize..5, b in 0u64..100) {
+            prop_assert!((1..5).contains(&a));
+            prop_assert_eq!(b / 100, 0);
+        }
+    }
+}

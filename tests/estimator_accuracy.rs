@@ -4,11 +4,11 @@
 //! calibration-product baseline (the Figure-7 methodology at test scale).
 
 use qonductor::backend::Fleet;
+use qonductor::circuit::generators::ghz;
 use qonductor::estimator::{
     dataset::{generate_dataset, split, DatasetConfig},
     numerical, ResourceEstimator,
 };
-use qonductor::circuit::generators::ghz;
 use qonductor::transpiler::Transpiler;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -68,8 +68,7 @@ fn regression_beats_numerical_baseline_on_mitigated_jobs() {
     let transpiled = transpiler.transpile_for_qpu(&ghz(12), qpu);
     let noise = qpu.noise_model();
     let numerical_fid = numerical::estimate_fidelity(&transpiled.circuit, &noise);
-    let mitigated_truth: f64 =
-        test.iter().map(|r| r.fidelity).sum::<f64>() / test.len() as f64;
+    let mitigated_truth: f64 = test.iter().map(|r| r.fidelity).sum::<f64>() / test.len() as f64;
     let num_err = (numerical_fid - mitigated_truth).abs();
     assert!(
         reg_err < num_err,
