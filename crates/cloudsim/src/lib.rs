@@ -13,10 +13,18 @@
 
 pub mod estimates;
 pub mod load;
+pub mod multitenant;
 pub mod sim;
 
 pub use estimates::{estimate, FastEstimate};
-pub use load::{ArrivalConfig, HybridApplication, LoadGenerator};
+pub use load::{
+    ArrivalConfig, HybridApplication, LoadGenerator, MultiTenantLoadGenerator, StreamArrival,
+    TenantArrivalConfig,
+};
+pub use multitenant::{
+    BatchComposition, MultiTenantConfig, MultiTenantReport, MultiTenantSimulation,
+    TenantCompletion, TenantLoad, TenantOutcome,
+};
 pub use sim::{
     CloudSimulation, CompletedApp, CycleRecord, Policy, SimulationConfig, SimulationReport,
     TimePoint,

@@ -127,6 +127,88 @@ impl LoadGenerator {
     }
 }
 
+/// One tenant's arrival stream in a multi-tenant load (per-tenant Poisson
+/// rate and mitigation mix).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TenantArrivalConfig {
+    /// The tenant's Poisson arrival process.
+    pub arrival: ArrivalConfig,
+    /// Fraction of this tenant's applications requesting error mitigation.
+    pub mitigation_fraction: f64,
+}
+
+impl Default for TenantArrivalConfig {
+    fn default() -> Self {
+        TenantArrivalConfig { arrival: ArrivalConfig::default(), mitigation_fraction: 0.5 }
+    }
+}
+
+/// An application arrival attributed to one stream of a
+/// [`MultiTenantLoadGenerator`].
+#[derive(Debug, Clone)]
+pub struct StreamArrival {
+    /// Index of the stream (tenant) the application arrived on.
+    pub stream: usize,
+    /// The application (ids are unique and increasing across all streams).
+    pub app: HybridApplication,
+}
+
+/// Superposition of independent per-tenant Poisson arrival streams: each
+/// stream has its own rate and mitigation mix, and the merged output is
+/// ordered by submission time with globally unique, time-ordered app ids.
+#[derive(Debug, Clone)]
+pub struct MultiTenantLoadGenerator {
+    streams: Vec<LoadGenerator>,
+    next_app_id: u64,
+}
+
+impl MultiTenantLoadGenerator {
+    /// One stream per config entry, all fitting devices of `max_qubits`.
+    pub fn new(configs: &[TenantArrivalConfig], max_qubits: u32) -> Self {
+        let streams = configs
+            .iter()
+            .map(|c| LoadGenerator::new(c.arrival, max_qubits, c.mitigation_fraction))
+            .collect();
+        MultiTenantLoadGenerator { streams, next_app_id: 0 }
+    }
+
+    /// Number of tenant streams.
+    pub fn num_streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Generate the merged arrivals of every stream in `[from_s, to_s)`,
+    /// sorted by submission time, with app ids reassigned to be unique and
+    /// increasing across the merge.
+    pub fn arrivals_in<R: Rng + ?Sized>(
+        &mut self,
+        from_s: f64,
+        to_s: f64,
+        rng: &mut R,
+    ) -> Vec<StreamArrival> {
+        let mut merged: Vec<StreamArrival> = Vec::new();
+        for (stream, generator) in self.streams.iter_mut().enumerate() {
+            merged.extend(
+                generator
+                    .arrivals_in(from_s, to_s, rng)
+                    .into_iter()
+                    .map(|app| StreamArrival { stream, app }),
+            );
+        }
+        merged.sort_by(|a, b| {
+            a.app
+                .submit_time_s
+                .partial_cmp(&b.app.submit_time_s)
+                .expect("submission times are finite")
+        });
+        for arrival in &mut merged {
+            arrival.app.app_id = self.next_app_id;
+            self.next_app_id += 1;
+        }
+        merged
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,6 +264,38 @@ mod tests {
         for w in apps.windows(2) {
             assert!(w[1].app_id > w[0].app_id);
         }
+    }
+
+    #[test]
+    fn multi_tenant_streams_merge_ordered_with_unique_ids() {
+        let fast = TenantArrivalConfig {
+            arrival: ArrivalConfig { mean_rate_per_hour: 1800.0, ..Default::default() },
+            mitigation_fraction: 0.0,
+        };
+        let slow = TenantArrivalConfig {
+            arrival: ArrivalConfig { mean_rate_per_hour: 600.0, ..Default::default() },
+            mitigation_fraction: 1.0,
+        };
+        let mut gen = MultiTenantLoadGenerator::new(&[fast, slow], 27);
+        assert_eq!(gen.num_streams(), 2);
+        let mut rng = StdRng::seed_from_u64(5);
+        let arrivals = gen.arrivals_in(0.0, 1800.0, &mut rng);
+        // Ordered by time, ids unique and increasing across the merge.
+        for w in arrivals.windows(2) {
+            assert!(w[0].app.submit_time_s <= w[1].app.submit_time_s);
+            assert!(w[0].app.app_id < w[1].app.app_id);
+        }
+        // Both streams contribute, roughly proportionally to their rates.
+        let fast_n = arrivals.iter().filter(|a| a.stream == 0).count();
+        let slow_n = arrivals.iter().filter(|a| a.stream == 1).count();
+        assert!(fast_n > slow_n * 2, "fast {fast_n} vs slow {slow_n}");
+        assert!(slow_n > 100, "slow stream produces arrivals, got {slow_n}");
+        // Mitigation mix follows the per-stream config.
+        assert!(arrivals.iter().filter(|a| a.stream == 0).all(|a| a.app.mitigation.is_empty()));
+        assert!(arrivals.iter().filter(|a| a.stream == 1).all(|a| !a.app.mitigation.is_empty()));
+        // A second window continues the id space without reuse.
+        let more = gen.arrivals_in(1800.0, 2400.0, &mut rng);
+        assert!(more[0].app.app_id > arrivals.last().unwrap().app.app_id);
     }
 
     #[test]

@@ -219,14 +219,15 @@ fn mean(iter: impl Iterator<Item = f64>) -> f64 {
 }
 
 /// Simulation-side bookkeeping for one application submitted to the shared
-/// batch engine, keyed by the engine's job id.
+/// batch engine, keyed by the engine's job id (or, in the multi-tenant
+/// simulation, by the submission-service ticket).
 #[derive(Debug, Clone)]
-struct AppRecord {
-    app_id: u64,
-    submit_s: f64,
-    mitigated: bool,
+pub(crate) struct AppRecord {
+    pub(crate) app_id: u64,
+    pub(crate) submit_s: f64,
+    pub(crate) mitigated: bool,
     /// Per-QPU estimates (index-aligned with the fleet).
-    estimates: Vec<FastEstimate>,
+    pub(crate) estimates: Vec<FastEstimate>,
 }
 
 /// The cloud simulation engine.
@@ -371,43 +372,48 @@ impl CloudSimulation {
 
     /// Build the engine submission (per-QPU estimates) for an application.
     /// Returns `None` if no QPU in the fleet can fit the circuit.
-    fn build_submission(&mut self, app: &HybridApplication) -> Option<(JobSpec, AppRecord)> {
-        let qubits = app.circuit.num_qubits();
-        if qubits > self.fleet.max_qubits() {
-            return None;
-        }
-        let metrics = CircuitMetrics::of(&app.circuit);
-        let estimates: Vec<FastEstimate> = self
-            .fleet
-            .members()
-            .iter()
-            .map(|m| {
-                if m.qpu.num_qubits() >= qubits {
-                    let cost = estimates::stack_cost_for(&app.circuit, &app.mitigation, &m.qpu);
-                    estimates::estimate_from_metrics(&metrics, cost, &m.qpu)
-                } else {
-                    FastEstimate {
-                        fidelity: 0.0,
-                        quantum_time_s: f64::INFINITY,
-                        classical_time_s: 0.0,
-                    }
-                }
-            })
-            .collect();
-        let spec = JobSpec {
-            qubits,
-            shots: app.circuit.shots(),
-            fidelity_per_qpu: estimates.iter().map(|e| e.fidelity).collect(),
-            exec_time_per_qpu: estimates.iter().map(|e| e.quantum_time_s).collect(),
-        };
-        let record = AppRecord {
-            app_id: app.app_id,
-            submit_s: app.submit_time_s,
-            mitigated: !app.mitigation.is_empty(),
-            estimates,
-        };
-        Some((spec, record))
+    fn build_submission(&self, app: &HybridApplication) -> Option<(JobSpec, AppRecord)> {
+        build_submission(&self.fleet, app)
     }
+}
+
+/// Build the engine submission (per-QPU fast estimates) for an application
+/// against a fleet. Returns `None` if no QPU can fit the circuit. Shared by
+/// the single-tenant and multi-tenant simulations.
+pub(crate) fn build_submission(
+    fleet: &Fleet,
+    app: &HybridApplication,
+) -> Option<(JobSpec, AppRecord)> {
+    let qubits = app.circuit.num_qubits();
+    if qubits > fleet.max_qubits() {
+        return None;
+    }
+    let metrics = CircuitMetrics::of(&app.circuit);
+    let estimates: Vec<FastEstimate> = fleet
+        .members()
+        .iter()
+        .map(|m| {
+            if m.qpu.num_qubits() >= qubits {
+                let cost = estimates::stack_cost_for(&app.circuit, &app.mitigation, &m.qpu);
+                estimates::estimate_from_metrics(&metrics, cost, &m.qpu)
+            } else {
+                FastEstimate { fidelity: 0.0, quantum_time_s: f64::INFINITY, classical_time_s: 0.0 }
+            }
+        })
+        .collect();
+    let spec = JobSpec {
+        qubits,
+        shots: app.circuit.shots(),
+        fidelity_per_qpu: estimates.iter().map(|e| e.fidelity).collect(),
+        exec_time_per_qpu: estimates.iter().map(|e| e.quantum_time_s).collect(),
+    };
+    let record = AppRecord {
+        app_id: app.app_id,
+        submit_s: app.submit_time_s,
+        mitigated: !app.mitigation.is_empty(),
+        estimates,
+    };
+    Some((spec, record))
 }
 
 fn best_fidelity_qpu(app: &AppRecord, fleet: &Fleet) -> usize {

@@ -15,10 +15,18 @@ use qonductor_scheduler::{
     HybridScheduler, JobRequest, QpuState, ScheduleOutcome, ScheduleTrigger, TriggerReason,
 };
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Identifier of a submitted quantum job (monotonic per manager).
 pub type JobId = u64;
+
+/// Identifier of a submitting tenant (see [`crate::submission`]).
+pub type TenantId = u32;
+
+/// The tenant that jobs submitted outside the submission service belong to
+/// (single-caller paths: direct [`JobManager::submit`], the orchestrator's
+/// default routing, the single-tenant cloud simulation).
+pub const DEFAULT_TENANT: TenantId = 0;
 
 /// Execution-time estimate assigned to QPUs that cannot run a job (used in
 /// place of non-finite estimates so the optimizer's arithmetic stays finite).
@@ -47,6 +55,8 @@ pub struct JobSpec {
 pub struct PendingJob {
     /// Manager-assigned id.
     pub job_id: JobId,
+    /// Tenant the job belongs to ([`DEFAULT_TENANT`] for single-caller paths).
+    pub tenant: TenantId,
     /// Simulated submission time.
     pub submitted_s: f64,
     /// The submission payload.
@@ -66,6 +76,9 @@ pub struct BatchRecord {
     pub reason: TriggerReason,
     /// Ids of every job handed to the scheduler, in submission order.
     pub job_ids: Vec<JobId>,
+    /// Per-tenant composition of the batch: `(tenant, job count)` pairs in
+    /// ascending tenant order, covering exactly the jobs in `job_ids`.
+    pub tenant_jobs: Vec<(TenantId, usize)>,
     /// Fleet snapshot (name, size, estimated waiting) taken before enqueueing.
     pub qpus: Vec<QpuState>,
     /// The scheduler's full outcome (placements, Pareto front, timings).
@@ -125,10 +138,17 @@ impl JobManager {
     }
 
     /// Submit a job into the pending pool, assigning the next monotonic id.
+    /// The job is accounted to the [`DEFAULT_TENANT`].
     pub fn submit(&mut self, spec: JobSpec, now_s: f64) -> JobId {
+        self.submit_for_tenant(spec, now_s, DEFAULT_TENANT)
+    }
+
+    /// Submit a job on behalf of a tenant (the admission path of the
+    /// submission service). Ids stay monotonic across all tenants.
+    pub fn submit_for_tenant(&mut self, spec: JobSpec, now_s: f64, tenant: TenantId) -> JobId {
         let job_id = self.next_job_id;
         self.next_job_id += 1;
-        self.pending.push(PendingJob { job_id, submitted_s: now_s, spec });
+        self.pending.push(PendingJob { job_id, tenant, submitted_s: now_s, spec });
         job_id
     }
 
@@ -192,6 +212,11 @@ impl JobManager {
         let batch: Vec<&PendingJob> =
             self.pending.iter().filter(|j| j.submitted_s <= now_s).collect();
         let job_ids: Vec<JobId> = batch.iter().map(|j| j.job_id).collect();
+        let mut tenant_counts: BTreeMap<TenantId, usize> = BTreeMap::new();
+        for job in &batch {
+            *tenant_counts.entry(job.tenant).or_insert(0) += 1;
+        }
+        let tenant_jobs: Vec<(TenantId, usize)> = tenant_counts.into_iter().collect();
         let requests: Vec<JobRequest> = batch
             .iter()
             .map(|j| JobRequest {
@@ -232,7 +257,7 @@ impl JobManager {
 
         let batch_index = self.batches_dispatched;
         self.batches_dispatched += 1;
-        Some(BatchRecord { batch_index, t_s: now_s, reason, job_ids, qpus, outcome })
+        Some(BatchRecord { batch_index, t_s: now_s, reason, job_ids, tenant_jobs, qpus, outcome })
     }
 
     /// Place one pending job directly onto a QPU queue, bypassing the trigger

@@ -16,15 +16,23 @@ pub mod jobmanager;
 pub mod monitor;
 pub mod orchestrator;
 pub mod registry;
+pub mod submission;
 pub mod workflow;
 
 pub use config::{DeploymentConfig, Priority, ResourceLimits};
-pub use jobmanager::{BatchRecord, CompletedExecution, JobId, JobManager, JobSpec, PendingJob};
+pub use jobmanager::{
+    BatchRecord, CompletedExecution, JobId, JobManager, JobSpec, PendingJob, TenantId,
+    DEFAULT_TENANT,
+};
 pub use monitor::{BatchObservation, SystemMonitor, WorkflowStatus};
 pub use orchestrator::{
     ClassicalStepResult, Orchestrator, OrchestratorError, QuantumStepResult, RunId, WorkflowResult,
 };
 pub use registry::{HybridWorkflowImage, ImageId, WorkflowRegistry};
+pub use submission::{
+    JobTicket, SubmissionError, SubmissionService, TenantConfig, TenantStats, TicketId,
+    TicketStatus,
+};
 pub use workflow::{
     mitigated_execution_workflow, ClassicalKind, ClassicalStep, QuantumStep, Step, Workflow,
 };

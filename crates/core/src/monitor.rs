@@ -2,6 +2,8 @@
 //! that persists the complete system state — worker/QPU static and dynamic
 //! information, workflow execution status, and results.
 
+use crate::jobmanager::TenantId;
+use crate::submission::TenantStats;
 use qonductor_consensus::{ReplicatedKvStore, StoreError};
 use qonductor_scheduler::TriggerReason;
 use serde::{Deserialize, Serialize};
@@ -132,21 +134,28 @@ impl SystemMonitor {
         self.store.get(&format!("workflow/{run_id}/result")).ok()
     }
 
-    /// Record one dispatched scheduling batch (trigger reason, time, size).
+    /// Record one dispatched scheduling batch (trigger reason, time, size,
+    /// per-tenant composition).
     pub fn record_schedule_batch(
         &self,
         batch_index: usize,
         t_s: f64,
         reason: TriggerReason,
         num_jobs: usize,
+        tenant_jobs: &[(TenantId, usize)],
     ) -> Result<(), StoreError> {
         let reason = match reason {
             TriggerReason::QueueSize => "queue_size",
             TriggerReason::Interval => "interval",
         };
+        let composition = tenant_jobs
+            .iter()
+            .map(|(tenant, count)| format!("{tenant}:{count}"))
+            .collect::<Vec<_>>()
+            .join("|");
         self.store.put(
             format!("scheduler/batch/{batch_index:08}"),
-            format!("{t_s:.3},{reason},{num_jobs}"),
+            format!("{t_s:.3},{reason},{num_jobs},{composition}"),
         )
     }
 
@@ -168,14 +177,79 @@ impl SystemMonitor {
                         _ => return None,
                     },
                     num_jobs: parts.next()?.parse().ok()?,
+                    tenant_jobs: parts.next().map(parse_tenant_composition).unwrap_or_default(),
                 })
             })
             .collect()
     }
+
+    /// Persist a tenant's submission-service accounting.
+    pub fn record_tenant_stats(
+        &self,
+        tenant: TenantId,
+        stats: &TenantStats,
+    ) -> Result<(), StoreError> {
+        self.store.put(
+            format!("tenant/{tenant:08}/stats"),
+            format!(
+                "{},{},{},{},{},{},{},{:.3},{:.3}",
+                stats.weight,
+                stats.submitted,
+                stats.admitted,
+                stats.completed,
+                stats.rejected,
+                stats.queued,
+                stats.in_flight,
+                stats.mean_queue_wait_s,
+                stats.mean_turnaround_s
+            ),
+        )
+    }
+
+    /// Read back a tenant's persisted accounting.
+    pub fn tenant_stats(&self, tenant: TenantId) -> Option<TenantStats> {
+        let value = self.store.get(&format!("tenant/{tenant:08}/stats")).ok()?;
+        let mut parts = value.split(',');
+        Some(TenantStats {
+            weight: parts.next()?.parse().ok()?,
+            submitted: parts.next()?.parse().ok()?,
+            admitted: parts.next()?.parse().ok()?,
+            completed: parts.next()?.parse().ok()?,
+            rejected: parts.next()?.parse().ok()?,
+            queued: parts.next()?.parse().ok()?,
+            in_flight: parts.next()?.parse().ok()?,
+            mean_queue_wait_s: parts.next()?.parse().ok()?,
+            mean_turnaround_s: parts.next()?.parse().ok()?,
+        })
+    }
+
+    /// All tenant ids with persisted accounting, ascending.
+    pub fn tenant_ids(&self) -> Vec<TenantId> {
+        let mut ids: Vec<TenantId> = self
+            .store
+            .keys_with_prefix("tenant/")
+            .into_iter()
+            .filter_map(|k| k.split('/').nth(1)?.parse().ok())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+}
+
+/// Parse a `tenant:count|tenant:count` composition field (empty ⇒ empty vec).
+fn parse_tenant_composition(field: &str) -> Vec<(TenantId, usize)> {
+    field
+        .split('|')
+        .filter_map(|pair| {
+            let (tenant, count) = pair.split_once(':')?;
+            Some((tenant.parse().ok()?, count.parse().ok()?))
+        })
+        .collect()
 }
 
 /// A scheduling batch as observed through the monitor.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BatchObservation {
     /// Zero-based dispatch index.
     pub batch_index: usize,
@@ -185,6 +259,9 @@ pub struct BatchObservation {
     pub reason: TriggerReason,
     /// Number of jobs handed to the scheduler in the batch.
     pub num_jobs: usize,
+    /// Per-tenant composition (`(tenant, job count)`, ascending tenant order;
+    /// empty for records written before multi-tenant submission existed).
+    pub tenant_jobs: Vec<(TenantId, usize)>,
 }
 
 #[cfg(test)]
@@ -234,15 +311,50 @@ mod tests {
     fn schedule_batches_roundtrip_in_order() {
         let monitor = SystemMonitor::default();
         assert!(monitor.schedule_batches().is_empty());
-        monitor.record_schedule_batch(0, 120.0, TriggerReason::Interval, 3).unwrap();
-        monitor.record_schedule_batch(1, 150.5, TriggerReason::QueueSize, 100).unwrap();
+        monitor.record_schedule_batch(0, 120.0, TriggerReason::Interval, 3, &[(0, 3)]).unwrap();
+        monitor
+            .record_schedule_batch(1, 150.5, TriggerReason::QueueSize, 100, &[(0, 60), (2, 40)])
+            .unwrap();
         let batches = monitor.schedule_batches();
         assert_eq!(batches.len(), 2);
         assert_eq!(batches[0].batch_index, 0);
         assert_eq!(batches[0].reason, TriggerReason::Interval);
         assert_eq!(batches[0].num_jobs, 3);
+        assert_eq!(batches[0].tenant_jobs, vec![(0, 3)]);
         assert!((batches[0].t_s - 120.0).abs() < 1e-9);
         assert_eq!(batches[1].reason, TriggerReason::QueueSize);
         assert_eq!(batches[1].num_jobs, 100);
+        assert_eq!(batches[1].tenant_jobs, vec![(0, 60), (2, 40)]);
+    }
+
+    #[test]
+    fn tenant_stats_roundtrip() {
+        let monitor = SystemMonitor::default();
+        assert!(monitor.tenant_stats(3).is_none());
+        assert!(monitor.tenant_ids().is_empty());
+        let stats = crate::submission::TenantStats {
+            weight: 2,
+            submitted: 40,
+            admitted: 31,
+            completed: 25,
+            rejected: 1,
+            queued: 10,
+            in_flight: 4,
+            mean_queue_wait_s: 12.5,
+            mean_turnaround_s: 98.25,
+        };
+        monitor.record_tenant_stats(3, &stats).unwrap();
+        monitor.record_tenant_stats(1, &stats).unwrap();
+        assert_eq!(monitor.tenant_ids(), vec![1, 3]);
+        let back = monitor.tenant_stats(3).unwrap();
+        assert_eq!(back.weight, 2);
+        assert_eq!(back.submitted, 40);
+        assert_eq!(back.admitted, 31);
+        assert_eq!(back.completed, 25);
+        assert_eq!(back.rejected, 1);
+        assert_eq!(back.queued, 10);
+        assert_eq!(back.in_flight, 4);
+        assert!((back.mean_queue_wait_s - 12.5).abs() < 1e-9);
+        assert!((back.mean_turnaround_s - 98.25).abs() < 1e-9);
     }
 }

@@ -15,9 +15,10 @@
 //! lets their quantum steps share a single scheduler invocation.
 
 use crate::config::{DeploymentConfig, Priority};
-use crate::jobmanager::{JobId, JobManager, JobSpec};
+use crate::jobmanager::{JobManager, JobSpec, TenantId, DEFAULT_TENANT};
 use crate::monitor::{SystemMonitor, WorkflowStatus};
 use crate::registry::{HybridWorkflowImage, ImageId, WorkflowRegistry};
+use crate::submission::{SubmissionService, TenantConfig, TenantStats, TicketId};
 use crate::workflow::{Step, Workflow};
 use parking_lot::Mutex;
 use qonductor_backend::Fleet;
@@ -56,6 +57,8 @@ pub enum OrchestratorError {
     /// quantum steps (e.g. every template QPU is excluded by the deployment
     /// configuration).
     NoFeasiblePlan,
+    /// The referenced submission tenant was never registered.
+    UnknownTenant(TenantId),
 }
 
 /// Execution record of one quantum step.
@@ -119,6 +122,7 @@ struct OrchestratorState {
     fleet: Fleet,
     classical_nodes: Vec<ClassicalNode>,
     jobmanager: JobManager,
+    submissions: SubmissionService,
     clock_s: f64,
     next_run_id: RunId,
     results: Vec<WorkflowResult>,
@@ -156,6 +160,7 @@ impl Orchestrator {
                 fleet,
                 classical_nodes,
                 jobmanager: JobManager::default(),
+                submissions: default_submission_service(),
                 clock_s: 0.0,
                 next_run_id: 0,
                 results: Vec::new(),
@@ -205,6 +210,20 @@ impl Orchestrator {
     /// The system monitor.
     pub fn monitor(&self) -> &SystemMonitor {
         &self.monitor
+    }
+
+    /// Register a submission tenant with the given fairness weight. Workflows
+    /// invoked via [`Self::invoke_many_as`] under this tenant compete for
+    /// batch slots through the weighted-fair admission step; plain
+    /// [`Self::invoke`] / [`Self::invoke_many`] run as the default tenant.
+    pub fn register_tenant(&self, weight: u32) -> TenantId {
+        self.state.lock().submissions.register_tenant(weight)
+    }
+
+    /// A tenant's current submission accounting (admissions, completions,
+    /// rejections, mean queue wait and turnaround).
+    pub fn tenant_stats(&self, tenant: TenantId) -> Option<TenantStats> {
+        self.state.lock().submissions.tenant_stats(tenant)
     }
 
     /// Table 2 — *Create a workflow with hybrid code*: package a workflow and
@@ -291,8 +310,25 @@ impl Orchestrator {
     /// schedules them in a single NSGA-II invocation (multi-workflow
     /// batching, §7). Returns one result per input image, in order.
     pub fn invoke_many(&self, image_ids: &[ImageId]) -> Vec<Result<RunId, OrchestratorError>> {
+        self.invoke_many_as(DEFAULT_TENANT, image_ids)
+    }
+
+    /// [`Self::invoke_many`] on behalf of a registered submission tenant: the
+    /// wave's quantum jobs ride the tenant's FIFO queue and the weighted-fair
+    /// admission step before reaching the batch engine's pending pool.
+    pub fn invoke_many_as(
+        &self,
+        tenant: TenantId,
+        image_ids: &[ImageId],
+    ) -> Vec<Result<RunId, OrchestratorError>> {
         let mut state = self.state.lock();
         let state = &mut *state;
+        if state.submissions.tenant_stats(tenant).is_none() {
+            return image_ids
+                .iter()
+                .map(|_| Err(OrchestratorError::UnknownTenant(tenant)))
+                .collect();
+        }
         // One slot per input: either an early error or an index into `runs`.
         let mut slots: Vec<Result<usize, OrchestratorError>> = Vec::with_capacity(image_ids.len());
         let mut runs: Vec<ActiveRun> = Vec::new();
@@ -347,15 +383,20 @@ impl Orchestrator {
 
         // Alternate submission waves and engine drives until every run has
         // either finished all its steps or failed.
-        let mut awaiting: HashMap<JobId, AwaitedStep> = HashMap::new();
+        let mut awaiting: HashMap<TicketId, AwaitedStep> = HashMap::new();
         loop {
             for run_index in 0..runs.len() {
-                self.progress_run(state, &mut runs, run_index, &mut awaiting);
+                self.progress_run(state, &mut runs, run_index, tenant, &mut awaiting);
             }
             if awaiting.is_empty() {
                 break;
             }
             self.drive_engine(state, &mut runs, &mut awaiting);
+        }
+
+        // Persist per-tenant submission accounting alongside the results.
+        for (id, stats) in state.submissions.snapshot() {
+            let _ = self.monitor.record_tenant_stats(id, &stats);
         }
 
         // Finalize: persist results and map runs back to input order.
@@ -387,14 +428,16 @@ impl Orchestrator {
 
     /// Execute a run's steps in topological order until it blocks on a
     /// quantum result, fails, or finishes. Classical steps advance the run's
-    /// local clock immediately; a quantum step is submitted into the batch
-    /// engine and the run parks until [`Self::drive_engine`] delivers it.
+    /// local clock immediately; a quantum step is submitted into the tenant's
+    /// queue (non-blocking) and the run parks until [`Self::drive_engine`]
+    /// admits, schedules, and delivers it.
     fn progress_run(
         &self,
         state: &mut OrchestratorState,
         runs: &mut [ActiveRun],
         run_index: usize,
-        awaiting: &mut HashMap<JobId, AwaitedStep>,
+        tenant: TenantId,
+        awaiting: &mut HashMap<TicketId, AwaitedStep>,
     ) {
         let run = &mut runs[run_index];
         if run.failed.is_some() || run.awaiting_job {
@@ -440,9 +483,12 @@ impl Orchestrator {
                         fidelity_per_qpu: fidelity_per_qpu.clone(),
                         exec_time_per_qpu,
                     };
-                    let job_id = state.jobmanager.submit(spec, run.clock_s);
+                    let ticket = state
+                        .submissions
+                        .submit(tenant, spec, run.clock_s)
+                        .expect("tenant validated at wave entry");
                     awaiting.insert(
-                        job_id,
+                        ticket.ticket,
                         AwaitedStep {
                             run_index,
                             step_name: step.name.clone(),
@@ -460,22 +506,28 @@ impl Orchestrator {
     }
 
     /// Drive the batch engine in event order until at least one awaited job
-    /// completes (or a batch rejects one): advance simulated time to the
-    /// earliest of the next queued completion and the next trigger firing,
-    /// deliver any completions at that instant — freed runs return to the
-    /// submission wave before anything else is dispatched — and otherwise
-    /// dispatch the pool as one batch when the trigger is due. Every
-    /// dispatched batch is recorded in the system monitor.
+    /// completes (or a batch terminally rejects one): run the weighted-fair
+    /// admission pass, advance simulated time to the earliest of the next
+    /// queued completion and the next trigger firing, deliver any completions
+    /// at that instant — freed runs return to the submission wave before
+    /// anything else is dispatched — and otherwise dispatch the pool as one
+    /// batch when the trigger is due. Every dispatched batch is recorded in
+    /// the system monitor with its per-tenant composition.
     fn drive_engine(
         &self,
         state: &mut OrchestratorState,
         runs: &mut [ActiveRun],
-        awaiting: &mut HashMap<JobId, AwaitedStep>,
+        awaiting: &mut HashMap<TicketId, AwaitedStep>,
     ) {
         let mut rounds = 0usize;
         while !awaiting.is_empty() {
             rounds += 1;
             assert!(rounds < 10_000, "batch engine failed to converge");
+
+            // Weighted-fair admission: drain tenant queues into the pending
+            // pool (up to the trigger's queue limit) before looking for the
+            // next event, so freshly submitted or re-queued jobs count.
+            state.submissions.admit(state.clock_s, &mut state.jobmanager);
 
             // Next simulated instant anything can happen: a queued job
             // completing, or the trigger firing (interval expiry, or the
@@ -489,7 +541,7 @@ impl Orchestrator {
                 (Some(e), Some(t)) => e.min(t),
                 (Some(e), None) => e,
                 (None, Some(t)) => t,
-                (None, None) => unreachable!("awaited jobs are pooled or enqueued"),
+                (None, None) => unreachable!("awaited jobs are queued, pooled, or enqueued"),
             }
             .max(state.clock_s);
             state.fleet.advance_to(target, &mut state.rng);
@@ -497,8 +549,9 @@ impl Orchestrator {
 
             // Deliver completions up to this instant.
             let mut delivered = 0usize;
-            for completion in state.jobmanager.drain_completions(&mut state.fleet) {
-                let Some(step) = awaiting.remove(&completion.job_id) else { continue };
+            let completions = state.jobmanager.drain_completions(&mut state.fleet);
+            for (ticket, completion) in state.submissions.note_completions(&completions) {
+                let Some(step) = awaiting.remove(&ticket.ticket) else { continue };
                 let run = &mut runs[step.run_index];
                 let jitter = 1.0 + state.rng.gen_range(-0.02..0.02);
                 run.quantum_steps.push(QuantumStepResult {
@@ -534,11 +587,15 @@ impl Orchestrator {
                     batch.t_s,
                     batch.reason,
                     batch.job_ids.len(),
+                    &batch.tenant_jobs,
                 );
                 self.record_fleet_dynamics(state);
+                // Scheduler-rejected jobs return to their tenant queue for
+                // re-admission until the retry budget runs out; only the
+                // terminal rejections fail their runs.
                 let mut any_rejected = false;
-                for job_id in &batch.outcome.rejected_jobs {
-                    if let Some(step) = awaiting.remove(job_id) {
+                for ticket in state.submissions.note_batch(&batch) {
+                    if let Some(step) = awaiting.remove(&ticket.ticket) {
                         runs[step.run_index].failed = Some(OrchestratorError::NoFeasibleQpu {
                             required_qubits: step.required_qubits,
                         });
@@ -670,6 +727,21 @@ struct AwaitedStep {
     /// here: pool wait for the trigger + queue wait).
     submitted_s: f64,
     fidelity_per_qpu: Vec<f64>,
+}
+
+/// A submission service whose tenant 0 mirrors the legacy single-caller path:
+/// weight 1, unbounded in-flight, and no rejection retries (a scheduler
+/// rejection fails the awaiting run immediately, as before the service
+/// existed).
+fn default_submission_service() -> SubmissionService {
+    let mut service = SubmissionService::new();
+    let tenant = service.register_tenant_with(TenantConfig {
+        weight: 1,
+        max_in_flight: usize::MAX,
+        max_retries: 0,
+    });
+    debug_assert_eq!(tenant, DEFAULT_TENANT);
+    service
 }
 
 /// The neutral plan used by workflows without quantum steps.

@@ -1,0 +1,618 @@
+//! Tenant-aware, non-blocking job submission (the "cloud" entry point of the
+//! batch engine): independent clients register as tenants, [`submit`] enqueues
+//! a job into the tenant's FIFO queue and returns a [`JobTicket`] immediately,
+//! and a weighted-fair admission step ([`admit`]) drains the tenant queues
+//! into the [`JobManager`]'s pending pool with deficit round-robin by tenant
+//! weight — so many independent clients amortize one NSGA-II run per batch
+//! while a chatty tenant cannot monopolize it.
+//!
+//! Admission respects two caps: a per-tenant in-flight limit (admitted but not
+//! yet completed) and the engine's queue-size trigger limit as the pool
+//! capacity, which bounds every dispatched batch at the trigger limit. Jobs the
+//! scheduler rejects are returned to the *front* of their tenant's queue with a
+//! bounded retry budget ([`note_batch`]); once the budget is exhausted the
+//! terminal rejection is visible through [`poll`] instead of the job being
+//! silently lost.
+//!
+//! [`submit`]: SubmissionService::submit
+//! [`admit`]: SubmissionService::admit
+//! [`note_batch`]: SubmissionService::note_batch
+//! [`poll`]: SubmissionService::poll
+
+use crate::jobmanager::{BatchRecord, CompletedExecution, JobId, JobManager, JobSpec, TenantId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Identifier of a submitted ticket (monotonic across all tenants).
+pub type TicketId = u64;
+
+/// Per-tenant admission configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantConfig {
+    /// Deficit-round-robin weight: jobs admitted per round are proportional
+    /// to this (minimum 1).
+    pub weight: u32,
+    /// Maximum number of admitted-but-not-completed jobs (minimum 1).
+    pub max_in_flight: usize,
+    /// How many times a scheduler-rejected job is re-queued before the
+    /// rejection becomes terminal (0 = fail on first rejection).
+    pub max_retries: u32,
+}
+
+impl Default for TenantConfig {
+    fn default() -> Self {
+        TenantConfig { weight: 1, max_in_flight: 256, max_retries: 1 }
+    }
+}
+
+impl TenantConfig {
+    /// A configuration with the given weight and the default caps.
+    pub fn weighted(weight: u32) -> Self {
+        TenantConfig { weight, ..TenantConfig::default() }
+    }
+}
+
+/// Handle returned by [`SubmissionService::submit`]; pass it to
+/// [`SubmissionService::poll`] to observe the job's progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct JobTicket {
+    /// The tenant the job was submitted under.
+    pub tenant: TenantId,
+    /// Service-assigned ticket id (monotonic across tenants).
+    pub ticket: TicketId,
+}
+
+/// Observable lifecycle of a submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TicketStatus {
+    /// Waiting in the tenant's FIFO queue for admission.
+    Queued {
+        /// Zero-based position from the queue head.
+        position: usize,
+        /// Scheduler rejections suffered so far (re-queued for retry).
+        attempts: u32,
+    },
+    /// Admitted into the batch engine (pending pool or a QPU queue).
+    Admitted {
+        /// The engine-assigned job id.
+        job_id: JobId,
+    },
+    /// Execution finished.
+    Completed {
+        /// The engine-assigned job id.
+        job_id: JobId,
+        /// Index of the QPU the job ran on.
+        qpu_index: usize,
+        /// Submission-to-execution-start wait (seconds).
+        waiting_s: f64,
+        /// Submission-to-finish turnaround (seconds).
+        turnaround_s: f64,
+    },
+    /// Terminally rejected by the scheduler after exhausting the retry budget.
+    Rejected {
+        /// Total scheduler rejections (always `max_retries + 1`).
+        attempts: u32,
+    },
+}
+
+/// Errors surfaced by the submission API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SubmissionError {
+    /// The tenant was never registered.
+    UnknownTenant(TenantId),
+}
+
+/// Point-in-time per-tenant accounting (also persisted via the
+/// [`crate::monitor::SystemMonitor`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TenantStats {
+    /// The tenant's DRR weight.
+    pub weight: u32,
+    /// Tickets ever submitted.
+    pub submitted: u64,
+    /// Admission events (re-admissions after a rejection count again).
+    pub admitted: u64,
+    /// Tickets that completed execution.
+    pub completed: u64,
+    /// Tickets terminally rejected.
+    pub rejected: u64,
+    /// Tickets currently waiting in the tenant queue.
+    pub queued: usize,
+    /// Tickets admitted but not yet completed.
+    pub in_flight: usize,
+    /// Mean submission-to-admission wait over all admission events (seconds).
+    pub mean_queue_wait_s: f64,
+    /// Mean submission-to-finish turnaround over completed tickets (seconds).
+    pub mean_turnaround_s: f64,
+}
+
+/// Where a ticket currently is.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum TicketState {
+    Queued,
+    Admitted { job_id: JobId },
+    Completed { job_id: JobId, qpu_index: usize, waiting_s: f64, turnaround_s: f64 },
+    Rejected,
+}
+
+/// Full per-ticket record (the spec is kept so rejected jobs can re-enter the
+/// tenant queue without the engine keeping them).
+#[derive(Debug, Clone)]
+struct TicketRecord {
+    tenant: TenantId,
+    submitted_s: f64,
+    attempts: u32,
+    spec: JobSpec,
+    state: TicketState,
+}
+
+/// Per-tenant queue, DRR state, and counters.
+#[derive(Debug, Clone)]
+struct TenantState {
+    config: TenantConfig,
+    queue: VecDeque<TicketId>,
+    deficit: u64,
+    in_flight: usize,
+    submitted: u64,
+    admitted: u64,
+    completed: u64,
+    rejected: u64,
+    queue_wait_total_s: f64,
+    turnaround_total_s: f64,
+}
+
+impl TenantState {
+    fn new(config: TenantConfig) -> Self {
+        TenantState {
+            config: TenantConfig {
+                weight: config.weight.max(1),
+                max_in_flight: config.max_in_flight.max(1),
+                max_retries: config.max_retries,
+            },
+            queue: VecDeque::new(),
+            deficit: 0,
+            in_flight: 0,
+            submitted: 0,
+            admitted: 0,
+            completed: 0,
+            rejected: 0,
+            queue_wait_total_s: 0.0,
+            turnaround_total_s: 0.0,
+        }
+    }
+
+    fn stats(&self) -> TenantStats {
+        TenantStats {
+            weight: self.config.weight,
+            submitted: self.submitted,
+            admitted: self.admitted,
+            completed: self.completed,
+            rejected: self.rejected,
+            queued: self.queue.len(),
+            in_flight: self.in_flight,
+            mean_queue_wait_s: if self.admitted == 0 {
+                0.0
+            } else {
+                self.queue_wait_total_s / self.admitted as f64
+            },
+            mean_turnaround_s: if self.completed == 0 {
+                0.0
+            } else {
+                self.turnaround_total_s / self.completed as f64
+            },
+        }
+    }
+}
+
+/// The tenant-aware submission front-end of the batch engine.
+#[derive(Debug, Clone, Default)]
+pub struct SubmissionService {
+    tenants: BTreeMap<TenantId, TenantState>,
+    next_tenant_id: TenantId,
+    next_ticket_id: TicketId,
+    tickets: HashMap<TicketId, TicketRecord>,
+    job_to_ticket: HashMap<JobId, TicketId>,
+    /// Rotates the DRR starting tenant so pool-capacity cutoffs do not
+    /// systematically favor low tenant ids.
+    rr_start: usize,
+}
+
+impl SubmissionService {
+    /// An empty service with no tenants.
+    pub fn new() -> Self {
+        SubmissionService::default()
+    }
+
+    /// Register a tenant with the given DRR weight (and default caps).
+    /// Returns the new tenant's id.
+    pub fn register_tenant(&mut self, weight: u32) -> TenantId {
+        self.register_tenant_with(TenantConfig::weighted(weight))
+    }
+
+    /// Register a tenant with an explicit configuration.
+    pub fn register_tenant_with(&mut self, config: TenantConfig) -> TenantId {
+        let id = self.next_tenant_id;
+        self.next_tenant_id += 1;
+        self.tenants.insert(id, TenantState::new(config));
+        id
+    }
+
+    /// All registered tenant ids, ascending.
+    pub fn tenant_ids(&self) -> Vec<TenantId> {
+        self.tenants.keys().copied().collect()
+    }
+
+    /// Non-blocking submission: enqueue a job spec into the tenant's FIFO
+    /// queue and return a ticket immediately. The job enters the batch engine
+    /// only when a later [`Self::admit`] pass selects it.
+    pub fn submit(
+        &mut self,
+        tenant: TenantId,
+        spec: JobSpec,
+        now_s: f64,
+    ) -> Result<JobTicket, SubmissionError> {
+        let state = self.tenants.get_mut(&tenant).ok_or(SubmissionError::UnknownTenant(tenant))?;
+        let ticket = self.next_ticket_id;
+        self.next_ticket_id += 1;
+        state.submitted += 1;
+        state.queue.push_back(ticket);
+        self.tickets.insert(
+            ticket,
+            TicketRecord {
+                tenant,
+                submitted_s: now_s,
+                attempts: 0,
+                spec,
+                state: TicketState::Queued,
+            },
+        );
+        Ok(JobTicket { tenant, ticket })
+    }
+
+    /// Observe a ticket's progress. `None` for tickets this service never
+    /// issued — including handles whose `tenant` does not match the tenant
+    /// the ticket was actually issued to (one tenant's handle can never read
+    /// another tenant's job status).
+    pub fn poll(&self, ticket: JobTicket) -> Option<TicketStatus> {
+        let record = self.tickets.get(&ticket.ticket)?;
+        if record.tenant != ticket.tenant {
+            return None;
+        }
+        Some(match record.state {
+            TicketState::Queued => TicketStatus::Queued {
+                position: self
+                    .tenants
+                    .get(&record.tenant)
+                    .and_then(|t| t.queue.iter().position(|&id| id == ticket.ticket))
+                    .unwrap_or(0),
+                attempts: record.attempts,
+            },
+            TicketState::Admitted { job_id } => TicketStatus::Admitted { job_id },
+            TicketState::Completed { job_id, qpu_index, waiting_s, turnaround_s } => {
+                TicketStatus::Completed { job_id, qpu_index, waiting_s, turnaround_s }
+            }
+            TicketState::Rejected => TicketStatus::Rejected { attempts: record.attempts },
+        })
+    }
+
+    /// Weighted-fair admission: drain the tenant queues into the engine's
+    /// pending pool by deficit round-robin (quantum = tenant weight, unit job
+    /// cost), stopping at the per-tenant in-flight caps and at the engine's
+    /// queue-size trigger limit — the pool capacity — so no dispatched batch
+    /// can exceed the trigger limit. Unspent deficits carry over to the next
+    /// pass, and the round-robin starting tenant rotates per pass, so
+    /// capacity cutoffs even out across batches. Returns the admitted
+    /// `(ticket, job id)` pairs in admission order.
+    pub fn admit(&mut self, now_s: f64, jobmanager: &mut JobManager) -> Vec<(JobTicket, JobId)> {
+        let mut admitted = Vec::new();
+        let ids: Vec<TenantId> = self.tenants.keys().copied().collect();
+        if ids.is_empty() {
+            return admitted;
+        }
+        let capacity = jobmanager.trigger().queue_limit.max(1);
+        let start = self.rr_start % ids.len();
+        self.rr_start = self.rr_start.wrapping_add(1);
+        loop {
+            if jobmanager.pending_len() >= capacity {
+                break;
+            }
+            let mut progressed = false;
+            for offset in 0..ids.len() {
+                let id = ids[(start + offset) % ids.len()];
+                let tenant = self.tenants.get_mut(&id).expect("tenant ids are registered");
+                if tenant.queue.is_empty() {
+                    // Standard DRR: an idle tenant hoards no credit.
+                    tenant.deficit = 0;
+                    continue;
+                }
+                if tenant.in_flight >= tenant.config.max_in_flight {
+                    continue;
+                }
+                tenant.deficit += u64::from(tenant.config.weight);
+                while tenant.deficit > 0
+                    && tenant.in_flight < tenant.config.max_in_flight
+                    && jobmanager.pending_len() < capacity
+                {
+                    let Some(ticket) = tenant.queue.pop_front() else { break };
+                    let record = self.tickets.get_mut(&ticket).expect("queued tickets exist");
+                    let job_id =
+                        jobmanager.submit_for_tenant(record.spec.clone(), record.submitted_s, id);
+                    record.state = TicketState::Admitted { job_id };
+                    self.job_to_ticket.insert(job_id, ticket);
+                    tenant.deficit -= 1;
+                    tenant.in_flight += 1;
+                    tenant.admitted += 1;
+                    tenant.queue_wait_total_s += (now_s - record.submitted_s).max(0.0);
+                    admitted.push((JobTicket { tenant: id, ticket }, job_id));
+                    progressed = true;
+                }
+                if tenant.queue.is_empty() {
+                    tenant.deficit = 0;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        admitted
+    }
+
+    /// Account a dispatched batch: jobs the scheduler rejected return to the
+    /// *front* of their tenant's queue for re-admission until the tenant's
+    /// retry budget is exhausted, at which point the ticket becomes terminally
+    /// [`TicketStatus::Rejected`]. Returns the terminally rejected tickets.
+    pub fn note_batch(&mut self, batch: &BatchRecord) -> Vec<JobTicket> {
+        let mut terminal = Vec::new();
+        for job_id in &batch.outcome.rejected_jobs {
+            let Some(ticket) = self.job_to_ticket.remove(job_id) else { continue };
+            let record = self.tickets.get_mut(&ticket).expect("admitted tickets exist");
+            let tenant =
+                self.tenants.get_mut(&record.tenant).expect("tickets belong to registered tenants");
+            tenant.in_flight -= 1;
+            record.attempts += 1;
+            if record.attempts > tenant.config.max_retries {
+                record.state = TicketState::Rejected;
+                tenant.rejected += 1;
+                terminal.push(JobTicket { tenant: record.tenant, ticket });
+            } else {
+                record.state = TicketState::Queued;
+                tenant.queue.push_front(ticket);
+            }
+        }
+        terminal
+    }
+
+    /// Account drained completions: resolves tickets to
+    /// [`TicketStatus::Completed`], frees in-flight slots, and returns the
+    /// `(ticket, completion)` pairs for completions this service admitted.
+    pub fn note_completions(
+        &mut self,
+        completions: &[CompletedExecution],
+    ) -> Vec<(JobTicket, CompletedExecution)> {
+        let mut out = Vec::new();
+        for &completion in completions {
+            let Some(ticket) = self.job_to_ticket.remove(&completion.job_id) else { continue };
+            let record = self.tickets.get_mut(&ticket).expect("admitted tickets exist");
+            let tenant =
+                self.tenants.get_mut(&record.tenant).expect("tickets belong to registered tenants");
+            tenant.in_flight -= 1;
+            tenant.completed += 1;
+            let waiting_s = (completion.record.start_time_s - record.submitted_s).max(0.0);
+            let turnaround_s = (completion.record.finish_time_s - record.submitted_s).max(0.0);
+            tenant.turnaround_total_s += turnaround_s;
+            record.state = TicketState::Completed {
+                job_id: completion.job_id,
+                qpu_index: completion.qpu_index,
+                waiting_s,
+                turnaround_s,
+            };
+            out.push((JobTicket { tenant: record.tenant, ticket }, completion));
+        }
+        out
+    }
+
+    /// Current accounting for one tenant.
+    pub fn tenant_stats(&self, tenant: TenantId) -> Option<TenantStats> {
+        self.tenants.get(&tenant).map(TenantState::stats)
+    }
+
+    /// Current accounting for every tenant, ascending by id.
+    pub fn snapshot(&self) -> Vec<(TenantId, TenantStats)> {
+        self.tenants.iter().map(|(&id, state)| (id, state.stats())).collect()
+    }
+
+    /// Number of tickets waiting in a tenant's queue (0 for unknown tenants).
+    pub fn queued_len(&self, tenant: TenantId) -> usize {
+        self.tenants.get(&tenant).map_or(0, |t| t.queue.len())
+    }
+
+    /// Total tickets waiting across all tenant queues.
+    pub fn total_queued(&self) -> usize {
+        self.tenants.values().map(|t| t.queue.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qonductor_backend::Fleet;
+    use qonductor_scheduler::{HybridScheduler, Nsga2Config, ScheduleTrigger, SchedulerConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_fleet(seed: u64) -> Fleet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Fleet::ibm_default(&mut rng)
+    }
+
+    fn scheduler() -> HybridScheduler {
+        HybridScheduler::new(SchedulerConfig {
+            nsga2: Nsga2Config {
+                population_size: 16,
+                max_generations: 8,
+                max_evaluations: 800,
+                num_threads: 1,
+                ..Nsga2Config::default()
+            },
+            ..SchedulerConfig::default()
+        })
+    }
+
+    fn spec(fleet: &Fleet, qubits: u32, exec_s: f64) -> JobSpec {
+        JobSpec {
+            qubits,
+            shots: 1000,
+            fidelity_per_qpu: fleet
+                .members()
+                .iter()
+                .map(|m| if m.qpu.num_qubits() >= qubits { 0.9 } else { 0.0 })
+                .collect(),
+            exec_time_per_qpu: fleet
+                .members()
+                .iter()
+                .map(|m| if m.qpu.num_qubits() >= qubits { exec_s } else { f64::INFINITY })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn submit_is_non_blocking_and_polls_queued() {
+        let fleet = small_fleet(1);
+        let mut svc = SubmissionService::new();
+        let tenant = svc.register_tenant(1);
+        let t0 = svc.submit(tenant, spec(&fleet, 5, 10.0), 0.0).unwrap();
+        let t1 = svc.submit(tenant, spec(&fleet, 5, 10.0), 1.0).unwrap();
+        assert_eq!(svc.poll(t0), Some(TicketStatus::Queued { position: 0, attempts: 0 }));
+        assert_eq!(svc.poll(t1), Some(TicketStatus::Queued { position: 1, attempts: 0 }));
+        assert_eq!(svc.queued_len(tenant), 2);
+        assert!(svc.submit(99, spec(&fleet, 5, 10.0), 0.0).is_err());
+        assert!(svc.poll(JobTicket { tenant: 0, ticket: 999 }).is_none());
+        // A handle with a forged tenant cannot read another tenant's status.
+        assert!(svc.poll(JobTicket { tenant: 5, ticket: t0.ticket }).is_none());
+    }
+
+    #[test]
+    fn admission_respects_weights_and_capacity() {
+        let fleet = small_fleet(2);
+        let mut svc = SubmissionService::new();
+        let heavy = svc.register_tenant(2);
+        let light = svc.register_tenant(1);
+        for i in 0..20 {
+            svc.submit(heavy, spec(&fleet, 5, 10.0), i as f64 * 0.01).unwrap();
+            svc.submit(light, spec(&fleet, 5, 10.0), i as f64 * 0.01).unwrap();
+        }
+        // Pool capacity = trigger queue limit (6): one pass admits 4:2.
+        let mut jm = JobManager::new(ScheduleTrigger::new(6, 1e12));
+        let admitted = svc.admit(1.0, &mut jm);
+        assert_eq!(admitted.len(), 6);
+        assert_eq!(jm.pending_len(), 6);
+        let heavy_count = admitted.iter().filter(|(t, _)| t.tenant == heavy).count();
+        let light_count = admitted.iter().filter(|(t, _)| t.tenant == light).count();
+        assert_eq!((heavy_count, light_count), (4, 2));
+        // Admitted tickets poll as admitted, with engine job ids.
+        for (ticket, job_id) in &admitted {
+            assert_eq!(svc.poll(*ticket), Some(TicketStatus::Admitted { job_id: *job_id }));
+        }
+        // A full pool admits nothing more.
+        assert!(svc.admit(2.0, &mut jm).is_empty());
+    }
+
+    #[test]
+    fn in_flight_cap_limits_admission() {
+        let fleet = small_fleet(3);
+        let mut svc = SubmissionService::new();
+        let tenant =
+            svc.register_tenant_with(TenantConfig { weight: 1, max_in_flight: 2, max_retries: 0 });
+        for _ in 0..5 {
+            svc.submit(tenant, spec(&fleet, 5, 10.0), 0.0).unwrap();
+        }
+        // Pool capacity (5) exceeds the in-flight cap (2): the cap binds.
+        let mut jm = JobManager::new(ScheduleTrigger::new(5, 50.0));
+        assert_eq!(svc.admit(0.0, &mut jm).len(), 2, "cap of 2 in flight");
+        assert_eq!(svc.queued_len(tenant), 3);
+        // Completing the in-flight jobs frees slots for the next pass.
+        let mut fleet = fleet;
+        let batch = jm.try_dispatch(60.0, &scheduler(), &mut fleet).expect("interval fires");
+        svc.note_batch(&batch);
+        let mut rng = StdRng::seed_from_u64(9);
+        fleet.advance_to(1e5, &mut rng);
+        let done = jm.drain_completions(&mut fleet);
+        let resolved = svc.note_completions(&done);
+        assert_eq!(resolved.len(), 2);
+        assert_eq!(svc.admit(1.0, &mut jm).len(), 2);
+    }
+
+    #[test]
+    fn rejected_jobs_retry_then_terminalize() {
+        let mut fleet = small_fleet(4);
+        let mut svc = SubmissionService::new();
+        let tenant =
+            svc.register_tenant_with(TenantConfig { weight: 1, max_in_flight: 16, max_retries: 1 });
+        // 64 qubits fits no QPU: the scheduler rejects it every time.
+        let doomed = svc.submit(tenant, spec(&fleet, 64, 10.0), 0.0).unwrap();
+        let mut jm = JobManager::new(ScheduleTrigger::new(1, 1e12));
+        let scheduler = scheduler();
+
+        svc.admit(0.0, &mut jm);
+        let batch = jm.try_dispatch(0.0, &scheduler, &mut fleet).expect("trigger fires");
+        assert!(svc.note_batch(&batch).is_empty(), "first rejection re-queues");
+        assert_eq!(svc.poll(doomed), Some(TicketStatus::Queued { position: 0, attempts: 1 }));
+
+        svc.admit(1.0, &mut jm);
+        let batch = jm.try_dispatch(1.0, &scheduler, &mut fleet).expect("trigger fires again");
+        let terminal = svc.note_batch(&batch);
+        assert_eq!(terminal, vec![doomed]);
+        assert_eq!(svc.poll(doomed), Some(TicketStatus::Rejected { attempts: 2 }));
+        let stats = svc.tenant_stats(tenant).unwrap();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.admitted, 2, "both admission events are counted");
+        assert_eq!(stats.in_flight, 0);
+        assert_eq!(stats.queued, 0);
+    }
+
+    #[test]
+    fn ticket_conservation_across_the_lifecycle() {
+        let mut fleet = small_fleet(5);
+        let mut svc = SubmissionService::new();
+        let a = svc.register_tenant(3);
+        let b = svc.register_tenant(1);
+        let mut tickets = Vec::new();
+        for i in 0..12 {
+            tickets.push(svc.submit(a, spec(&fleet, 5, 5.0), i as f64).unwrap());
+            tickets.push(svc.submit(b, spec(&fleet, 5, 5.0), i as f64).unwrap());
+        }
+        let mut jm = JobManager::new(ScheduleTrigger::new(8, 5.0));
+        let scheduler = scheduler();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut t = 20.0;
+        let mut guard = 0;
+        while svc.total_queued() > 0 || jm.pending_len() > 0 {
+            guard += 1;
+            assert!(guard < 200, "drain loop must converge");
+            svc.admit(t, &mut jm);
+            if let Some(batch) = jm.try_dispatch(t, &scheduler, &mut fleet) {
+                svc.note_batch(&batch);
+            }
+            t += 1.0;
+            fleet.advance_to(t, &mut rng);
+            svc.note_completions(&jm.drain_completions(&mut fleet));
+        }
+        fleet.advance_to(1e6, &mut rng);
+        svc.note_completions(&jm.drain_completions(&mut fleet));
+        for (id, stats) in svc.snapshot() {
+            assert_eq!(
+                stats.queued as u64 + stats.in_flight as u64 + stats.completed + stats.rejected,
+                stats.submitted,
+                "tenant {id} loses no tickets"
+            );
+            assert_eq!(stats.rejected, 0, "all jobs were feasible");
+            assert_eq!(stats.completed, 12);
+        }
+        for ticket in tickets {
+            assert!(
+                matches!(svc.poll(ticket), Some(TicketStatus::Completed { .. })),
+                "every ticket completes"
+            );
+        }
+    }
+}

@@ -4,8 +4,10 @@
 //! interval paths), jobs submitted together share one scheduler invocation,
 //! and every dispatched batch is observable through the `SystemMonitor`.
 
+mod common;
+
 use qonductor::circuit::generators::ghz;
-use qonductor::core::{DeploymentConfig, Orchestrator, WorkflowStatus};
+use qonductor::core::{DeploymentConfig, JobManager, Orchestrator, WorkflowStatus};
 use qonductor::mitigation::MitigationStack;
 use qonductor::scheduler::{ClassicalRequest, ScheduleTrigger, TriggerReason};
 
@@ -106,6 +108,36 @@ fn both_trigger_paths_fire_across_a_session() {
         assert_eq!(orchestrator.workflow_status(run_id), Some(WorkflowStatus::Completed));
         assert!(orchestrator.workflow_results(run_id).is_ok());
     }
+}
+
+/// Regression: an interval expiry over an idle pool — empty, or holding only
+/// jobs submitted later in simulated time — must not emit an empty
+/// `BatchRecord` or advance the batch index. The first real batch still gets
+/// index 0.
+#[test]
+fn idle_interval_firing_emits_no_empty_batch() {
+    let mut fleet = common::small_fleet(16);
+    let scheduler = common::small_scheduler(8, 4, 240);
+    let mut jm = JobManager::new(ScheduleTrigger::new(100, 60.0));
+
+    // Empty pool: the interval has elapsed many times over, yet nothing fires.
+    for now in [60.0, 120.0, 600.0] {
+        assert!(jm.try_dispatch(now, &scheduler, &mut fleet).is_none());
+    }
+    assert_eq!(jm.batches_dispatched(), 0, "no empty batch was emitted");
+
+    // Pool holds only a job submitted later in simulated time: the interval
+    // firing still has zero admitted jobs and must stay silent.
+    jm.submit(common::feasible_spec(&fleet, 5, 10.0), 1000.0);
+    assert!(jm.check_trigger(700.0).is_none());
+    assert!(jm.try_dispatch(700.0, &scheduler, &mut fleet).is_none());
+    assert_eq!(jm.batches_dispatched(), 0);
+
+    // Once the submission is causally present, the batch fires with index 0.
+    let batch = jm.try_dispatch(1000.0, &scheduler, &mut fleet).expect("job is now schedulable");
+    assert_eq!(batch.batch_index, 0);
+    assert_eq!(batch.job_ids.len(), 1);
+    assert_eq!(jm.batches_dispatched(), 1);
 }
 
 #[test]

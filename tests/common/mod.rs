@@ -1,0 +1,56 @@
+//! Helpers shared by the integration-test targets: a seeded default fleet, a
+//! small NSGA-II scheduler, and a per-QPU job spec that is feasible exactly on
+//! the QPUs large enough for it.
+
+// Each test target compiles this module independently and uses a subset.
+#![allow(dead_code)]
+
+use qonductor::backend::Fleet;
+use qonductor::core::JobSpec;
+use qonductor::scheduler::{HybridScheduler, Nsga2Config, SchedulerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The default 8-QPU IBM-like fleet, seeded.
+pub fn small_fleet(seed: u64) -> Fleet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Fleet::ibm_default(&mut rng)
+}
+
+/// A single-threaded scheduler with a small NSGA-II budget.
+pub fn small_scheduler(
+    population_size: usize,
+    max_generations: usize,
+    max_evaluations: usize,
+) -> HybridScheduler {
+    HybridScheduler::new(SchedulerConfig {
+        nsga2: Nsga2Config {
+            population_size,
+            max_generations,
+            max_evaluations,
+            num_threads: 1,
+            ..Nsga2Config::default()
+        },
+        ..SchedulerConfig::default()
+    })
+}
+
+/// A job spec feasible exactly on the fleet members with at least `qubits`
+/// qubits (0 fidelity / infinite execution estimate elsewhere — the engine's
+/// "cannot run here" marker).
+pub fn feasible_spec(fleet: &Fleet, qubits: u32, exec_s: f64) -> JobSpec {
+    JobSpec {
+        qubits,
+        shots: 1000,
+        fidelity_per_qpu: fleet
+            .members()
+            .iter()
+            .map(|m| if m.qpu.num_qubits() >= qubits { 0.9 } else { 0.0 })
+            .collect(),
+        exec_time_per_qpu: fleet
+            .members()
+            .iter()
+            .map(|m| if m.qpu.num_qubits() >= qubits { exec_s } else { f64::INFINITY })
+            .collect(),
+    }
+}

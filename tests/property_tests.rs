@@ -1,17 +1,25 @@
 //! Property-based tests (proptest) on the core data structures and invariants:
 //! circuit IR metrics, transpilation correctness, Hellinger fidelity bounds,
-//! mitigation cost composition, scheduler feasibility, and MCDM selection.
+//! mitigation cost composition, scheduler feasibility, MCDM selection, and
+//! the multi-tenant submission/batch-dispatch engine.
+
+mod common;
 
 use proptest::prelude::*;
-use qonductor::backend::{hellinger_fidelity, CouplingMap, Distribution, Qpu, QpuModel, Simulator};
+use qonductor::backend::{
+    hellinger_fidelity, CouplingMap, Distribution, Fleet, Qpu, QpuModel, Simulator,
+};
 use qonductor::circuit::{generators, Circuit, CircuitMetrics};
+use qonductor::core::{JobManager, JobTicket, SubmissionService, TenantConfig, TicketStatus};
 use qonductor::mitigation::{fold_circuit, MitigationCost};
 use qonductor::scheduler::{
-    optimize, select, JobRequest, Nsga2Config, Preference, QpuState, SchedulingProblem,
+    optimize, select, JobRequest, Nsga2Config, Preference, QpuState, ScheduleTrigger,
+    SchedulingProblem,
 };
 use qonductor::transpiler::Transpiler;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -149,6 +157,117 @@ proptest! {
                     }
                 }
             }
+        }
+    }
+
+    /// For arbitrary interleavings of multi-tenant `submit`, weighted-fair
+    /// admission, and trigger-gated dispatch: (a) engine job ids stay
+    /// monotonic and unique across tenants, (b) every admitted job appears in
+    /// exactly one `BatchRecord`, (c) no batch exceeds the queue-size trigger
+    /// limit, and every ticket ends in exactly one terminal or live state.
+    #[test]
+    fn interleaved_submission_dispatch_invariants(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut fleet = common::small_fleet(seed ^ 0xBEEF);
+        const QUEUE_LIMIT: usize = 7;
+        let mut jm = JobManager::new(ScheduleTrigger::new(QUEUE_LIMIT, 40.0));
+        let scheduler = common::small_scheduler(8, 4, 240);
+        let mut svc = SubmissionService::new();
+        let tenants: Vec<_> = (1..=3u32)
+            .map(|w| svc.register_tenant_with(TenantConfig {
+                weight: w,
+                max_in_flight: 16,
+                max_retries: 1,
+            }))
+            .collect();
+
+        let mut t = 0.0f64;
+        let mut all_tickets: Vec<JobTicket> = Vec::new();
+        let mut admitted_ids: Vec<u64> = Vec::new();
+        let mut batches = Vec::new();
+        let drive = |t: &mut f64,
+                         dt: f64,
+                         svc: &mut SubmissionService,
+                         jm: &mut JobManager,
+                         fleet: &mut Fleet,
+                         admitted_ids: &mut Vec<u64>,
+                         batches: &mut Vec<qonductor::core::BatchRecord>,
+                         rng: &mut StdRng| {
+            *t += dt;
+            admitted_ids.extend(svc.admit(*t, jm).into_iter().map(|(_, id)| id));
+            if let Some(batch) = jm.try_dispatch(*t, &scheduler, fleet) {
+                svc.note_batch(&batch);
+                batches.push(batch);
+            }
+            fleet.advance_to(*t, rng);
+            svc.note_completions(&jm.drain_completions(fleet));
+        };
+
+        let num_ops = rng.gen_range(20..60);
+        for _ in 0..num_ops {
+            if rng.gen_bool(0.6) {
+                let tenant = tenants[rng.gen_range(0..tenants.len())];
+                // ~12% of submissions are infeasible (wider than every QPU)
+                // to exercise the bounded-retry rejection path.
+                let qubits = if rng.gen_bool(0.12) { 40 } else { rng.gen_range(2..=20) };
+                let spec = common::feasible_spec(&fleet, qubits, 5.0);
+                all_tickets.push(svc.submit(tenant, spec, t).unwrap());
+            } else {
+                let dt = rng.gen_range(1.0..60.0);
+                drive(&mut t, dt, &mut svc, &mut jm, &mut fleet, &mut admitted_ids, &mut batches, &mut rng);
+            }
+        }
+        // Flush: drive until every queue and the pool are empty.
+        let mut guard = 0;
+        while svc.total_queued() > 0 || jm.pending_len() > 0 {
+            guard += 1;
+            prop_assert!(guard < 500, "flush must converge");
+            drive(&mut t, 41.0, &mut svc, &mut jm, &mut fleet, &mut admitted_ids, &mut batches, &mut rng);
+        }
+        fleet.advance_to(t + 1e6, &mut rng);
+        svc.note_completions(&jm.drain_completions(&mut fleet));
+
+        // (a) ids are strictly increasing (hence unique) across tenants, in
+        // admission order.
+        for w in admitted_ids.windows(2) {
+            prop_assert!(w[0] < w[1], "ids must be monotonic: {:?}", w);
+        }
+        // (b) every admitted job appears in exactly one batch record, and
+        // batches contain only admitted jobs.
+        let mut seen: HashMap<u64, usize> = HashMap::new();
+        for batch in &batches {
+            // (c) no batch exceeds the queue-size trigger limit.
+            prop_assert!(batch.job_ids.len() <= QUEUE_LIMIT, "batch size {}", batch.job_ids.len());
+            let composition: usize = batch.tenant_jobs.iter().map(|(_, n)| n).sum();
+            prop_assert_eq!(composition, batch.job_ids.len());
+            for &id in &batch.job_ids {
+                *seen.entry(id).or_insert(0) += 1;
+            }
+        }
+        let admitted_set: HashSet<u64> = admitted_ids.iter().copied().collect();
+        prop_assert_eq!(admitted_set.len(), admitted_ids.len());
+        for (&id, &count) in &seen {
+            prop_assert_eq!(count, 1, "job {} appears in {} batches", id, count);
+            prop_assert!(admitted_set.contains(&id), "batched job {} was admitted", id);
+        }
+        for &id in &admitted_set {
+            prop_assert!(seen.contains_key(&id), "admitted job {} reached a batch", id);
+        }
+        // Ticket conservation: every ticket ends Completed or (for the
+        // infeasible ones) terminally Rejected after max_retries + 1 attempts.
+        for ticket in &all_tickets {
+            match svc.poll(*ticket) {
+                Some(TicketStatus::Completed { .. }) => {}
+                Some(TicketStatus::Rejected { attempts }) => prop_assert_eq!(attempts, 2),
+                other => panic!("ticket {ticket:?} ended as {other:?}"),
+            }
+        }
+        for (id, stats) in svc.snapshot() {
+            prop_assert_eq!(
+                stats.completed + stats.rejected,
+                stats.submitted,
+                "tenant {} conserves tickets", id
+            );
         }
     }
 
