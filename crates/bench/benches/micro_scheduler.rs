@@ -1,16 +1,28 @@
 //! Criterion micro-benchmarks of the scheduler's hot paths: objective
-//! evaluation (Eq. 1), one full NSGA-II run, and MCDM selection.
+//! evaluation (full O(N) scan vs incremental O(1) delta), one full NSGA-II
+//! run (cold vs warm-started with a previous front + reused workspace), and
+//! MCDM selection.
+//!
+//! With `QONDUCTOR_BENCH_JSON=<path>` the harness writes every measurement to
+//! `<path>` — CI runs this in quick mode and uploads `BENCH_scheduler.json`
+//! as the perf-trajectory artifact.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qonductor_bench::synthetic_problem;
-use qonductor_scheduler::{optimize, select, Nsga2Config, Preference, SchedulingProblem};
+use qonductor_scheduler::{
+    optimize, optimize_with, select, EvalState, Nsga2Config, OptimizerWorkspace, Preference,
+    SchedulingProblem,
+};
+
+const SIZES: [usize; 3] = [50, 200, 800];
+const NUM_QPUS: usize = 8;
 
 fn bench_objective_evaluation(c: &mut Criterion) {
     let mut group = c.benchmark_group("objective_evaluation");
-    for &num_jobs in &[50usize, 200, 800] {
-        let (jobs, qpus) = synthetic_problem(num_jobs, 8, 1);
+    for &num_jobs in &SIZES {
+        let (jobs, qpus) = synthetic_problem(num_jobs, NUM_QPUS, 1);
         let problem = SchedulingProblem::new(jobs, qpus);
-        let assignment: Vec<usize> = (0..num_jobs).map(|i| i % 8).collect();
+        let assignment: Vec<usize> = (0..num_jobs).map(|i| i % NUM_QPUS).collect();
         group.bench_with_input(BenchmarkId::from_parameter(num_jobs), &num_jobs, |b, _| {
             b.iter(|| problem.evaluate(std::hint::black_box(&assignment)))
         });
@@ -18,14 +30,42 @@ fn bench_objective_evaluation(c: &mut Criterion) {
     group.finish();
 }
 
+/// The incremental path: one gene move (delta update) plus the O(Q) objective
+/// reduction — what an offspring with a single changed gene costs, versus the
+/// full O(N) re-scan above.
+fn bench_incremental_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_evaluation");
+    for &num_jobs in &SIZES {
+        let (jobs, qpus) = synthetic_problem(num_jobs, NUM_QPUS, 1);
+        let problem = SchedulingProblem::new(jobs, qpus);
+        let assignment: Vec<usize> = (0..num_jobs).map(|i| i % NUM_QPUS).collect();
+        let mut state = EvalState::new(NUM_QPUS);
+        problem.init_state(&assignment, &mut state);
+        let mut current = assignment[0];
+        group.bench_with_input(BenchmarkId::from_parameter(num_jobs), &num_jobs, |b, _| {
+            b.iter(|| {
+                // Flip job 0 between two QPUs: a one-gene offspring delta.
+                let to = if current == 0 { 1 } else { 0 };
+                problem.move_job(&mut state, 0, current, to);
+                current = to;
+                std::hint::black_box(problem.objectives_of(&state))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn nsga2_config() -> Nsga2Config {
+    Nsga2Config { max_generations: 20, max_evaluations: 2000, ..Default::default() }
+}
+
 fn bench_nsga2(c: &mut Criterion) {
     let mut group = c.benchmark_group("nsga2_cycle");
     group.sample_size(10);
     for &num_jobs in &[50usize, 100] {
-        let (jobs, qpus) = synthetic_problem(num_jobs, 8, 2);
+        let (jobs, qpus) = synthetic_problem(num_jobs, NUM_QPUS, 2);
         let problem = SchedulingProblem::new(jobs, qpus);
-        let config =
-            Nsga2Config { max_generations: 20, max_evaluations: 2000, ..Default::default() };
+        let config = nsga2_config();
         group.bench_with_input(BenchmarkId::from_parameter(num_jobs), &num_jobs, |b, _| {
             b.iter(|| optimize(std::hint::black_box(&problem), &config))
         });
@@ -33,8 +73,53 @@ fn bench_nsga2(c: &mut Criterion) {
     group.finish();
 }
 
+/// Warm-started cycles: the population is seeded from a previous run's Pareto
+/// front and the workspace is reused, the steady state of a stateful
+/// `HybridScheduler` between consecutive batch dispatches.
+fn bench_nsga2_warm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nsga2_warm_cycle");
+    group.sample_size(10);
+    for &num_jobs in &[50usize, 100] {
+        let (jobs, qpus) = synthetic_problem(num_jobs, NUM_QPUS, 2);
+        let problem = SchedulingProblem::new(jobs, qpus);
+        let config = nsga2_config();
+        let cold = optimize(&problem, &config);
+        let seeds: Vec<Vec<usize>> =
+            cold.pareto_front.iter().map(|s| s.assignment.clone()).collect();
+        let mut workspace = OptimizerWorkspace::new();
+        group.bench_with_input(BenchmarkId::from_parameter(num_jobs), &num_jobs, |b, _| {
+            b.iter(|| {
+                optimize_with(std::hint::black_box(&problem), &config, &seeds, &mut workspace)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Cold vs warm under the *default* (tolerance-terminated) budget: here the
+/// warm start shows its convergence effect — seeded populations plateau
+/// within the sliding tolerance window in a fraction of the generations a
+/// cold random start needs.
+fn bench_nsga2_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nsga2_convergence");
+    group.sample_size(10);
+    let (jobs, qpus) = synthetic_problem(100, NUM_QPUS, 2);
+    let problem = SchedulingProblem::new(jobs, qpus);
+    let config = Nsga2Config::default();
+    group.bench_function("cold/100", |b| {
+        b.iter(|| optimize(std::hint::black_box(&problem), &config))
+    });
+    let cold = optimize(&problem, &config);
+    let seeds: Vec<Vec<usize>> = cold.pareto_front.iter().map(|s| s.assignment.clone()).collect();
+    let mut workspace = OptimizerWorkspace::new();
+    group.bench_function("warm/100", |b| {
+        b.iter(|| optimize_with(std::hint::black_box(&problem), &config, &seeds, &mut workspace))
+    });
+    group.finish();
+}
+
 fn bench_mcdm(c: &mut Criterion) {
-    let (jobs, qpus) = synthetic_problem(100, 8, 3);
+    let (jobs, qpus) = synthetic_problem(100, NUM_QPUS, 3);
     let problem = SchedulingProblem::new(jobs, qpus);
     let result = optimize(&problem, &Nsga2Config::default());
     c.bench_function("mcdm_selection", |b| {
@@ -42,5 +127,13 @@ fn bench_mcdm(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_objective_evaluation, bench_nsga2, bench_mcdm);
+criterion_group!(
+    benches,
+    bench_objective_evaluation,
+    bench_incremental_evaluation,
+    bench_nsga2,
+    bench_nsga2_warm,
+    bench_nsga2_convergence,
+    bench_mcdm
+);
 criterion_main!(benches);

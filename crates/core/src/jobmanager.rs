@@ -144,8 +144,12 @@ impl JobManager {
     }
 
     /// Submit a job on behalf of a tenant (the admission path of the
-    /// submission service). Ids stay monotonic across all tenants.
+    /// submission service). Ids stay monotonic across all tenants. The first
+    /// pooled submission arms the trigger's interval timer, so a manager
+    /// created long after the simulated epoch measures the interval from when
+    /// work first appeared, not from time zero.
     pub fn submit_for_tenant(&mut self, spec: JobSpec, now_s: f64, tenant: TenantId) -> JobId {
+        self.trigger.arm_if_unarmed(now_s);
         let job_id = self.next_job_id;
         self.next_job_id += 1;
         self.pending.push(PendingJob { job_id, tenant, submitted_s: now_s, spec });
@@ -160,8 +164,9 @@ impl JobManager {
     }
 
     /// Whether the trigger would fire now, and why. Only jobs already
-    /// submitted by `now_s` count toward the queue-size limit.
-    pub fn check_trigger(&self, now_s: f64) -> Option<TriggerReason> {
+    /// submitted by `now_s` count toward the queue-size limit. (Takes `&mut`
+    /// because an unarmed trigger arms itself on its first non-empty check.)
+    pub fn check_trigger(&mut self, now_s: f64) -> Option<TriggerReason> {
         self.trigger.check(self.pending_submitted_by(now_s), now_s)
     }
 
@@ -175,9 +180,10 @@ impl JobManager {
             return None;
         }
         let mut submitted: Vec<f64> = self.pending.iter().map(|j| j.submitted_s).collect();
-        submitted.sort_by(|a, b| a.partial_cmp(b).expect("submission times are finite"));
-        let interval_fire =
-            (self.trigger.last_invocation_s() + self.trigger.interval_s).max(submitted[0]);
+        submitted.sort_by(f64::total_cmp);
+        // An unarmed trigger arms at the first pooled submission.
+        let baseline = self.trigger.last_invocation_s().unwrap_or(submitted[0]);
+        let interval_fire = (baseline + self.trigger.interval_s).max(submitted[0]);
         // The queue-size path fires the instant the limit-th job is submitted.
         match submitted.get(self.trigger.queue_limit.saturating_sub(1)) {
             Some(&queue_fire) => Some(interval_fire.min(queue_fire)),
@@ -298,7 +304,7 @@ impl JobManager {
             .members()
             .iter()
             .filter_map(|m| m.queue.next_completion_s())
-            .min_by(|a, b| a.partial_cmp(b).expect("completion times are finite"))
+            .min_by(|a, b| a.total_cmp(b))
     }
 }
 
@@ -418,9 +424,10 @@ mod tests {
         jm.submit(spec(&fleet, 5, 10.0), 300.0); // submitted far in the future
                                                  // At t=10 only one job exists causally: queue-size (2) must not fire.
         assert_eq!(jm.check_trigger(10.0), None);
-        // The earliest firing is the interval expiry for the t=5 job.
-        assert_eq!(jm.next_trigger_s(), Some(120.0));
-        let batch = jm.try_dispatch(120.0, &scheduler(), &mut fleet).expect("interval fires");
+        // The earliest firing is the interval expiry for the t=5 job (the
+        // first submission armed the interval timer at t=5).
+        assert_eq!(jm.next_trigger_s(), Some(125.0));
+        let batch = jm.try_dispatch(125.0, &scheduler(), &mut fleet).expect("interval fires");
         assert_eq!(batch.reason, TriggerReason::Interval);
         assert_eq!(batch.job_ids.len(), 1, "the future submission stays pooled");
         assert_eq!(jm.pending_len(), 1);
@@ -431,6 +438,27 @@ mod tests {
         assert_eq!(jm.pending_len(), 0);
     }
 
+    /// Regression: a manager whose first submission arrives long after the
+    /// simulated epoch must not interval-fire immediately — the old trigger
+    /// baseline of `0.0` made `now - 0.0 ≥ interval_s` trivially true for any
+    /// late-constructed system.
+    #[test]
+    fn late_first_submission_waits_a_full_interval() {
+        let mut fleet = small_fleet(9);
+        let mut jm = JobManager::new(ScheduleTrigger::new(100, 120.0));
+        // System has been "up" (idle) for a long time before the first job.
+        assert_eq!(jm.check_trigger(9_000.0), None);
+        jm.submit(spec(&fleet, 5, 10.0), 10_000.0);
+        // The interval is measured from the first submission, not from t=0.
+        assert_eq!(jm.check_trigger(10_000.0), None, "must not fire on arrival");
+        assert!(jm.try_dispatch(10_060.0, &scheduler(), &mut fleet).is_none());
+        assert_eq!(jm.next_trigger_s(), Some(10_120.0));
+        let batch =
+            jm.try_dispatch(10_120.0, &scheduler(), &mut fleet).expect("one interval later");
+        assert_eq!(batch.reason, TriggerReason::Interval);
+        assert_eq!(batch.job_ids.len(), 1);
+    }
+
     #[test]
     fn next_trigger_is_the_queue_limit_th_submission() {
         let fleet = small_fleet(8);
@@ -438,8 +466,9 @@ mod tests {
         assert_eq!(jm.next_trigger_s(), None);
         jm.submit(spec(&fleet, 5, 10.0), 10.0);
         jm.submit(spec(&fleet, 5, 10.0), 40.0);
-        // Two jobs: only the interval path (1000, floored at first submission).
-        assert_eq!(jm.next_trigger_s(), Some(1000.0));
+        // Two jobs: only the interval path (armed at the first submission,
+        // t=10, so it expires at 1010).
+        assert_eq!(jm.next_trigger_s(), Some(1010.0));
         jm.submit(spec(&fleet, 5, 10.0), 25.0);
         // Third job submitted at 25 < 40: the limit is reached at t=40.
         assert_eq!(jm.next_trigger_s(), Some(40.0));

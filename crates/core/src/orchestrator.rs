@@ -153,7 +153,9 @@ impl Orchestrator {
         Orchestrator {
             registry: WorkflowRegistry::new(),
             monitor,
-            scheduler: HybridScheduler::new(SchedulerConfig::default()),
+            // Warm-started: each batch cycle seeds NSGA-II from the previous
+            // cycle's Pareto front and reuses the optimizer workspace.
+            scheduler: HybridScheduler::with_warm_start(SchedulerConfig::default()),
             transpiler: Transpiler::default(),
             pricing: PricingTable::default(),
             state: Mutex::new(OrchestratorState {
@@ -765,11 +767,11 @@ fn pick_plan(plans: &[ResourcePlan], priority: Priority) -> Option<&ResourcePlan
         return None;
     }
     match priority {
-        Priority::Fidelity => plans
-            .iter()
-            .max_by(|a, b| a.estimated_fidelity.partial_cmp(&b.estimated_fidelity).unwrap()),
+        Priority::Fidelity => {
+            plans.iter().max_by(|a, b| a.estimated_fidelity.total_cmp(&b.estimated_fidelity))
+        }
         Priority::CompletionTime => {
-            plans.iter().min_by(|a, b| a.total_time_s().partial_cmp(&b.total_time_s()).unwrap())
+            plans.iter().min_by(|a, b| a.total_time_s().total_cmp(&b.total_time_s()))
         }
         Priority::Balanced => {
             let max_f = plans.iter().map(|p| p.estimated_fidelity).fold(0.0, f64::max);
@@ -779,7 +781,7 @@ fn pick_plan(plans: &[ResourcePlan], priority: Priority) -> Option<&ResourcePlan
                     p.estimated_fidelity / max_f.max(1e-9)
                         - 0.5 * p.total_time_s() / max_t.max(1e-9)
                 };
-                score(a).partial_cmp(&score(b)).unwrap()
+                score(a).total_cmp(&score(b))
             })
         }
     }

@@ -38,9 +38,7 @@ pub fn assign(problem: &SchedulingProblem, policy: BaselinePolicy) -> Vec<usize>
                 BaselinePolicy::FidelityGreedy => feasible
                     .iter()
                     .copied()
-                    .max_by(|&a, &b| {
-                        job.fidelity_per_qpu[a].partial_cmp(&job.fidelity_per_qpu[b]).unwrap()
-                    })
+                    .max_by(|&a, &b| job.fidelity_per_qpu[a].total_cmp(&job.fidelity_per_qpu[b]))
                     .unwrap(),
                 BaselinePolicy::LeastBusy => feasible
                     .iter()
@@ -48,7 +46,7 @@ pub fn assign(problem: &SchedulingProblem, policy: BaselinePolicy) -> Vec<usize>
                     .min_by(|&a, &b| {
                         let wa = problem.qpus[a].waiting_time_s + cycle_load[a];
                         let wb = problem.qpus[b].waiting_time_s + cycle_load[b];
-                        wa.partial_cmp(&wb).unwrap()
+                        wa.total_cmp(&wb)
                     })
                     .unwrap(),
                 BaselinePolicy::RoundRobin => {

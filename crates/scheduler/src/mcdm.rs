@@ -43,13 +43,23 @@ impl Preference {
 
 /// Pseudo-weights of every solution on the front: `(w_fidelity, w_jct)` per
 /// solution, each measuring the normalised distance to the worst value of that
-/// objective (Eq. 2). Both components of each pair sum to 1.
+/// objective (Eq. 2). Both components of each pair sum to 1. On a degenerate
+/// front where both objective ranges collapse (every solution effectively
+/// identical) the weights fall back to uniform `(0.5, 0.5)` so the sum-to-1
+/// invariant holds and selection stays well-defined.
 pub fn pseudo_weights(front: &[ParetoSolution]) -> Vec<(f64, f64)> {
     assert!(!front.is_empty(), "cannot compute pseudo-weights of an empty front");
     let jct: Vec<f64> = front.iter().map(|s| s.objectives.mean_jct_s).collect();
     let err: Vec<f64> = front.iter().map(|s| s.objectives.mean_error).collect();
     let (jct_min, jct_max) = min_max(&jct);
     let (err_min, err_max) = min_max(&err);
+    // Degeneracy is a *front-level* property: only when neither objective
+    // separates any pair of solutions do the weights fall back to uniform.
+    // (A per-solution check would hand a near-worst-in-both corner solution
+    // the uniform weights too, making balanced selection prefer it.)
+    if jct_max - jct_min <= 1e-12 && err_max - err_min <= 1e-12 {
+        return vec![(0.5, 0.5); front.len()];
+    }
     front
         .iter()
         .map(|s| {
@@ -76,7 +86,7 @@ pub fn select(front: &[ParetoSolution], preference: Preference) -> usize {
         .min_by(|(_, a), (_, b)| {
             let da = (a.0 - pref.fidelity_weight).powi(2) + (a.1 - pref.jct_weight).powi(2);
             let db = (b.0 - pref.fidelity_weight).powi(2) + (b.1 - pref.jct_weight).powi(2);
-            da.partial_cmp(&db).unwrap()
+            da.total_cmp(&db)
         })
         .map(|(i, _)| i)
         .expect("non-empty front")
@@ -156,6 +166,53 @@ mod tests {
         let p = Preference { fidelity_weight: 2.0, jct_weight: 6.0 }.normalised();
         assert!((p.fidelity_weight - 0.25).abs() < 1e-12);
         assert!((p.jct_weight - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_front_falls_back_to_uniform_weights() {
+        // Every solution has identical objectives: both ranges collapse.
+        let f: Vec<ParetoSolution> = (0..3)
+            .map(|i| ParetoSolution {
+                assignment: vec![i],
+                objectives: Objectives { mean_jct_s: 42.0, mean_error: 0.25 },
+            })
+            .collect();
+        for (fid, jct) in pseudo_weights(&f) {
+            assert!((fid + jct - 1.0).abs() < 1e-9, "sum-to-1 must hold on degenerate fronts");
+            assert!((fid - 0.5).abs() < 1e-9 && (jct - 0.5).abs() < 1e-9);
+        }
+        // Selection is well-defined (and deterministic) rather than arbitrary.
+        assert_eq!(select(&f, Preference::balanced()), 0);
+        assert_eq!(select(&f, Preference::jct_first()), 0);
+    }
+
+    /// A near-worst-in-both corner solution on a *non*-degenerate front must
+    /// keep its normalised raw pseudo-weights (here ≈ (1/3, 2/3)) — the exact
+    /// uniform fallback is reserved for fully collapsed fronts. (Eq. 2
+    /// measures *relative* tradeoff position, so such a corner still gets
+    /// interior-looking weights; what the front-level check guarantees is
+    /// that the fallback never overrides the formula on a live front.)
+    #[test]
+    fn near_worst_corner_solution_is_not_mistaken_for_degenerate() {
+        let points = [(100.0, 0.0), (0.0, 1.0), (100.0 - 1e-7, 1.0 - 5e-10)];
+        let f: Vec<ParetoSolution> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &(jct, err))| ParetoSolution {
+                assignment: vec![i],
+                objectives: Objectives { mean_jct_s: jct, mean_error: err },
+            })
+            .collect();
+        let w = pseudo_weights(&f);
+        for (fid, jct) in &w {
+            assert!((fid + jct - 1.0).abs() < 1e-9);
+        }
+        // Raw weights survive: w_fid/w_jct are 5e-10 and 1e-9 before
+        // normalisation, i.e. (1/3, 2/3) — not the uniform (0.5, 0.5).
+        assert!((w[2].0 - 1.0 / 3.0).abs() < 1e-6, "corner weights: {:?}", w[2]);
+        // The extremes keep their full pseudo-weight on either objective.
+        assert!((w[0].0 - 1.0).abs() < 1e-9);
+        assert!((w[1].1 - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -6,8 +6,78 @@
 //! mean error (one minus the estimated fidelity of each job on its chosen
 //! QPU). The qubit-capacity constraint `q_i ≤ s_{x_i}` restricts the feasible
 //! QPU set of each job.
+//!
+//! # Hot-path layout
+//!
+//! Estimates are stored twice: in the caller-facing [`JobRequest`] /
+//! [`QpuState`] structs, and in flat structure-of-arrays tables with stride
+//! `num_qpus` (`exec`, `err`, `feasible_mask`) that the optimizer's inner loop
+//! indexes directly. Both views hold the *sanitised* values computed by
+//! [`SchedulingProblem::new`]: non-finite or out-of-range estimates are
+//! clamped (a NaN/∞ from the resource estimator must penalise a placement,
+//! never panic or poison the objective arithmetic), and every time/error value
+//! is quantised to a dyadic grid (multiples of 2⁻²⁰ s and 2⁻³² respectively).
+//!
+//! The dyadic grid is what makes *incremental* evaluation exact: per-QPU sums
+//! of grid values are integers scaled by a power of two, so as long as the
+//! scaled magnitude stays below 2⁵³ (≈ 8.6·10⁹ s of total assigned time per
+//! QPU) every add/remove in [`EvalState`] is exact f64 arithmetic. An
+//! [`EvalState`] updated through any sequence of [`SchedulingProblem::move_job`]
+//! calls therefore yields objectives that are bit-for-bit identical to a
+//! from-scratch [`SchedulingProblem::evaluate`] of the same assignment —
+//! property-tested in `tests/property_tests.rs`.
 
 use serde::{Deserialize, Serialize};
+
+/// Execution-time estimate substituted for non-finite (or negative) estimates:
+/// large enough that the optimizer steers away, finite so arithmetic stays
+/// well-defined.
+pub const NON_FINITE_EXEC_S: f64 = 1e6;
+
+/// Upper clamp on per-job execution estimates (seconds).
+pub const MAX_EXEC_S: f64 = 1e6;
+
+/// Upper clamp on per-QPU queue waiting-time estimates (seconds); non-finite
+/// waiting times clamp here (an unknown queue is assumed maximally busy).
+pub const MAX_WAIT_S: f64 = 1e8;
+
+/// Mean-JCT penalty added per infeasibly placed job (Eq. 1 constraint
+/// violation), steering the optimizer toward feasible assignments.
+pub const INFEASIBLE_PENALTY_S: f64 = 1e7;
+
+/// Times snap to multiples of 2⁻²⁰ s (≈ 1 µs): power-of-two scaling keeps
+/// quantisation exact and per-QPU sums exactly representable.
+const TIME_GRID: f64 = 1_048_576.0; // 2^20
+/// Errors snap to multiples of 2⁻³² (≈ 2.3e-10), far below any estimator
+/// resolution but exact under summation.
+const ERR_GRID: f64 = 4_294_967_296.0; // 2^32
+
+/// Snap `v` to the dyadic grid with `grid` steps per unit. Scaling by a power
+/// of two is exact, `round` is exact, and the division back is exact, so the
+/// result is exactly `k / grid` for an integer `k`.
+fn snap(v: f64, grid: f64) -> f64 {
+    (v * grid).round() / grid
+}
+
+/// Sanitised execution-time estimate: finite, non-negative, clamped to
+/// [`MAX_EXEC_S`], on the time grid.
+fn sanitize_exec(v: f64) -> f64 {
+    let v = if v.is_finite() && v >= 0.0 { v.min(MAX_EXEC_S) } else { NON_FINITE_EXEC_S };
+    snap(v, TIME_GRID)
+}
+
+/// Sanitised error (1 − fidelity): a non-finite fidelity estimate degrades to
+/// the maximum error 1.0 so the optimizer penalises the placement.
+fn sanitize_err(fidelity: f64) -> f64 {
+    let f = if fidelity.is_finite() { fidelity.clamp(0.0, 1.0) } else { 0.0 };
+    snap(1.0 - f, ERR_GRID)
+}
+
+/// Sanitised queue waiting time: finite, non-negative, clamped, on the grid.
+fn sanitize_wait(v: f64) -> f64 {
+    let v = if v.is_finite() { v.clamp(0.0, MAX_WAIT_S) } else { MAX_WAIT_S };
+    snap(v, TIME_GRID)
+}
 
 /// One job awaiting scheduling, together with its per-QPU estimates (produced
 /// by the resource estimator and fetched from the system monitor).
@@ -39,13 +109,29 @@ pub struct QpuState {
 /// A fully specified scheduling problem instance.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SchedulingProblem {
-    /// Jobs to schedule in this cycle.
+    /// Jobs to schedule in this cycle (estimates sanitised by [`Self::new`]).
     pub jobs: Vec<JobRequest>,
-    /// Available QPUs.
+    /// Available QPUs (waiting times sanitised by [`Self::new`]).
     pub qpus: Vec<QpuState>,
     /// For each job, the indices of QPUs that satisfy the capacity constraint.
     feasible: Vec<Vec<usize>>,
+    /// Flat execution-time table, `exec[job * num_qpus + qpu]`.
+    exec: Vec<f64>,
+    /// Flat error table (1 − fidelity), `err[job * num_qpus + qpu]`.
+    err: Vec<f64>,
+    /// Flat capacity-feasibility table, `feasible_mask[job * num_qpus + qpu]`.
+    feasible_mask: Vec<bool>,
+    /// Sanitised per-QPU queue waiting times.
+    wait: Vec<f64>,
+    /// `nearest[job * num_qpus + r]` = the feasible QPU(s) nearest to index
+    /// `r`: `(lo, hi)` with `lo == hi` when unambiguous, two equidistant
+    /// candidates otherwise, and `(MAX, MAX)` for jobs with no feasible QPU.
+    /// Lets the optimizer snap a real-valued gene in O(1).
+    nearest: Vec<(u32, u32)>,
 }
+
+/// Sentinel in the nearest-feasible table for jobs with an empty feasible set.
+const NO_FEASIBLE: u32 = u32::MAX;
 
 /// The two objective values of one assignment (both minimised).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -71,30 +157,141 @@ impl Objectives {
     }
 }
 
+/// Per-assignment evaluation aggregates, maintained incrementally: the per-QPU
+/// assigned execution time and feasibly-placed job count, plus the error sum
+/// and infeasible-placement count. An offspring whose crossover/mutation
+/// changed `k` genes updates in O(k) instead of re-scanning all `N` jobs;
+/// [`SchedulingProblem::objectives_of`] turns the aggregates into objective
+/// values in O(Q).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EvalState {
+    /// Total execution time newly assigned to each QPU (all placements,
+    /// including infeasible ones — they still occupy the device in Eq. 1).
+    assigned_time: Vec<f64>,
+    /// Number of feasibly placed jobs per QPU.
+    feasible_count: Vec<u32>,
+    /// Sum of error values over feasibly placed jobs.
+    err_sum: f64,
+    /// Number of infeasibly placed jobs (each adds the JCT penalty and a full
+    /// error of 1.0).
+    infeasible: u32,
+}
+
+impl EvalState {
+    /// An empty state sized for `num_qpus` devices.
+    pub fn new(num_qpus: usize) -> Self {
+        EvalState {
+            assigned_time: vec![0.0; num_qpus],
+            feasible_count: vec![0; num_qpus],
+            err_sum: 0.0,
+            infeasible: 0,
+        }
+    }
+
+    /// Clear and resize for `num_qpus` devices, reusing the buffers.
+    pub fn reset(&mut self, num_qpus: usize) {
+        self.assigned_time.clear();
+        self.assigned_time.resize(num_qpus, 0.0);
+        self.feasible_count.clear();
+        self.feasible_count.resize(num_qpus, 0);
+        self.err_sum = 0.0;
+        self.infeasible = 0;
+    }
+
+    /// Copy another state into this one, reusing the buffers (no allocation
+    /// when capacities suffice).
+    pub fn copy_from(&mut self, src: &EvalState) {
+        self.assigned_time.clone_from(&src.assigned_time);
+        self.feasible_count.clone_from(&src.feasible_count);
+        self.err_sum = src.err_sum;
+        self.infeasible = src.infeasible;
+    }
+}
+
 impl SchedulingProblem {
-    /// Build a problem instance, computing the per-job feasible QPU sets.
+    /// Build a problem instance, computing the per-job feasible QPU sets and
+    /// the flat evaluation tables. Estimates are sanitised here (see the
+    /// module docs): non-finite fidelities degrade to 0, non-finite execution
+    /// times to [`NON_FINITE_EXEC_S`], non-finite waiting times to
+    /// [`MAX_WAIT_S`], and everything snaps to the dyadic grid that keeps
+    /// incremental evaluation exact. The sanitised values are written back
+    /// into the public `jobs` / `qpus` so every view agrees.
     ///
     /// # Panics
     /// Panics if `jobs` or `qpus` is empty, or if estimate vectors have the
     /// wrong length.
-    pub fn new(jobs: Vec<JobRequest>, qpus: Vec<QpuState>) -> Self {
+    pub fn new(mut jobs: Vec<JobRequest>, mut qpus: Vec<QpuState>) -> Self {
         assert!(!jobs.is_empty(), "scheduling problem needs at least one job");
         assert!(!qpus.is_empty(), "scheduling problem needs at least one QPU");
+        let num_qpus = qpus.len();
         for j in &jobs {
-            assert_eq!(j.fidelity_per_qpu.len(), qpus.len(), "job {} fidelity estimates", j.job_id);
-            assert_eq!(j.exec_time_per_qpu.len(), qpus.len(), "job {} time estimates", j.job_id);
+            assert_eq!(j.fidelity_per_qpu.len(), num_qpus, "job {} fidelity estimates", j.job_id);
+            assert_eq!(j.exec_time_per_qpu.len(), num_qpus, "job {} time estimates", j.job_id);
         }
-        let feasible = jobs
-            .iter()
-            .map(|j| {
-                qpus.iter()
-                    .enumerate()
-                    .filter(|(_, q)| q.num_qubits >= j.qubits)
-                    .map(|(idx, _)| idx)
-                    .collect::<Vec<_>>()
-            })
-            .collect();
-        SchedulingProblem { jobs, qpus, feasible }
+        for q in &mut qpus {
+            q.waiting_time_s = sanitize_wait(q.waiting_time_s);
+        }
+        let wait: Vec<f64> = qpus.iter().map(|q| q.waiting_time_s).collect();
+        let mut exec = Vec::with_capacity(jobs.len() * num_qpus);
+        let mut err = Vec::with_capacity(jobs.len() * num_qpus);
+        let mut feasible_mask = Vec::with_capacity(jobs.len() * num_qpus);
+        let mut feasible = Vec::with_capacity(jobs.len());
+        for j in &mut jobs {
+            for t in &mut j.exec_time_per_qpu {
+                *t = sanitize_exec(*t);
+                exec.push(*t);
+            }
+            for f in &mut j.fidelity_per_qpu {
+                let e = sanitize_err(*f);
+                // 1 − k·2⁻³² is exact, so the stored fidelity mirrors `err`.
+                *f = 1.0 - e;
+                err.push(e);
+            }
+            let mut set = Vec::new();
+            for (idx, q) in qpus.iter().enumerate() {
+                let ok = q.num_qubits >= j.qubits;
+                feasible_mask.push(ok);
+                if ok {
+                    set.push(idx);
+                }
+            }
+            feasible.push(set);
+        }
+        let mut nearest = Vec::with_capacity(jobs.len() * num_qpus);
+        for set in &feasible {
+            if set.is_empty() {
+                nearest.extend(std::iter::repeat_n((NO_FEASIBLE, NO_FEASIBLE), num_qpus));
+                continue;
+            }
+            for r in 0..num_qpus {
+                // `set` is ascending; find the nearest member(s) to index r.
+                let idx = set.partition_point(|&q| q < r);
+                let entry = if idx == 0 {
+                    (set[0] as u32, set[0] as u32)
+                } else if idx == set.len() {
+                    (set[set.len() - 1] as u32, set[set.len() - 1] as u32)
+                } else {
+                    let lo = set[idx - 1];
+                    let hi = set[idx];
+                    match (r - lo).cmp(&(hi - r)) {
+                        std::cmp::Ordering::Less => (lo as u32, lo as u32),
+                        std::cmp::Ordering::Greater => (hi as u32, hi as u32),
+                        std::cmp::Ordering::Equal => (lo as u32, hi as u32),
+                    }
+                };
+                nearest.push(entry);
+            }
+        }
+        SchedulingProblem { jobs, qpus, feasible, exec, err, feasible_mask, wait, nearest }
+    }
+
+    /// The feasible QPU(s) nearest to index `r` for `job`: `Some((lo, hi))`
+    /// with `lo == hi` when unambiguous and `lo < hi` for an equidistant tie,
+    /// or `None` when the job has no feasible QPU. O(1) table lookup for the
+    /// optimizer's gene-snapping inner loop.
+    pub fn nearest_feasible(&self, job: usize, r: usize) -> Option<(usize, usize)> {
+        let (lo, hi) = self.nearest[job * self.num_qpus() + r.min(self.num_qpus() - 1)];
+        (lo != NO_FEASIBLE).then_some((lo as usize, hi as usize))
     }
 
     /// Number of jobs (`N`).
@@ -112,6 +309,11 @@ impl SchedulingProblem {
         &self.feasible[job]
     }
 
+    /// `true` if placing `job` on `qpu` satisfies the capacity constraint.
+    pub fn placement_is_feasible(&self, job: usize, qpu: usize) -> bool {
+        qpu < self.num_qpus() && self.feasible_mask[job * self.num_qpus() + qpu]
+    }
+
     /// `true` if every job has at least one feasible QPU.
     pub fn is_feasible(&self) -> bool {
         self.feasible.iter().all(|f| !f.is_empty())
@@ -120,45 +322,107 @@ impl SchedulingProblem {
     /// `true` if the assignment respects every job's capacity constraint.
     pub fn assignment_is_feasible(&self, assignment: &[usize]) -> bool {
         assignment.len() == self.num_jobs()
-            && assignment.iter().enumerate().all(|(i, &q)| {
-                q < self.num_qpus() && self.qpus[q].num_qubits >= self.jobs[i].qubits
-            })
+            && assignment.iter().enumerate().all(|(i, &q)| self.placement_is_feasible(i, q))
+    }
+
+    /// Rebuild `state` from scratch for an assignment (O(N)).
+    pub fn init_state(&self, assignment: &[usize], state: &mut EvalState) {
+        assert_eq!(assignment.len(), self.num_jobs());
+        state.reset(self.num_qpus());
+        for (i, &q) in assignment.iter().enumerate() {
+            self.place_job(state, i, q);
+        }
+    }
+
+    /// Add job `i`'s contribution on QPU `q` to the aggregates (O(1)).
+    pub fn place_job(&self, state: &mut EvalState, job: usize, qpu: usize) {
+        let k = job * self.num_qpus() + qpu;
+        state.assigned_time[qpu] += self.exec[k];
+        if self.feasible_mask[k] {
+            state.feasible_count[qpu] += 1;
+            state.err_sum += self.err[k];
+        } else {
+            state.infeasible += 1;
+        }
+    }
+
+    /// Remove job `i`'s contribution on QPU `q` from the aggregates (O(1)).
+    /// Exact inverse of [`Self::place_job`] thanks to the dyadic grid.
+    pub fn unplace_job(&self, state: &mut EvalState, job: usize, qpu: usize) {
+        let k = job * self.num_qpus() + qpu;
+        state.assigned_time[qpu] -= self.exec[k];
+        if self.feasible_mask[k] {
+            state.feasible_count[qpu] -= 1;
+            state.err_sum -= self.err[k];
+        } else {
+            state.infeasible -= 1;
+        }
+    }
+
+    /// Move job `i` from QPU `from` to QPU `to`, updating the aggregates in
+    /// O(1). No-op when `from == to`. Equivalent to
+    /// [`Self::unplace_job`] + [`Self::place_job`], fused for the optimizer's
+    /// inner loop.
+    pub fn move_job(&self, state: &mut EvalState, job: usize, from: usize, to: usize) {
+        if from == to {
+            return;
+        }
+        let row = job * self.num_qpus();
+        let (kf, kt) = (row + from, row + to);
+        state.assigned_time[from] -= self.exec[kf];
+        state.assigned_time[to] += self.exec[kt];
+        match (self.feasible_mask[kf], self.feasible_mask[kt]) {
+            (true, true) => {
+                state.feasible_count[from] -= 1;
+                state.feasible_count[to] += 1;
+                state.err_sum += self.err[kt] - self.err[kf];
+            }
+            (true, false) => {
+                state.feasible_count[from] -= 1;
+                state.err_sum -= self.err[kf];
+                state.infeasible += 1;
+            }
+            (false, true) => {
+                state.feasible_count[to] += 1;
+                state.err_sum += self.err[kt];
+                state.infeasible -= 1;
+            }
+            (false, false) => {}
+        }
+    }
+
+    /// Objective values of the assignment summarised by `state` (O(Q)). This
+    /// is the single canonical reduction: [`Self::evaluate`] and the
+    /// incremental path both end here, so their results are bitwise equal.
+    pub fn objectives_of(&self, state: &EvalState) -> Objectives {
+        let n = self.num_jobs() as f64;
+        let mut jct_sum = f64::from(state.infeasible) * INFEASIBLE_PENALTY_S;
+        for q in 0..self.num_qpus() {
+            jct_sum += f64::from(state.feasible_count[q]) * (self.wait[q] + state.assigned_time[q]);
+        }
+        let err_total = state.err_sum + f64::from(state.infeasible);
+        Objectives { mean_jct_s: jct_sum / n, mean_error: err_total / n }
     }
 
     /// Evaluate the two objectives of Eq. (1) for an assignment
     /// (`assignment[i]` = QPU index of job `i`). Infeasible job placements are
-    /// penalised with a large constant so the optimizer steers away from them.
+    /// penalised with [`INFEASIBLE_PENALTY_S`] so the optimizer steers away
+    /// from them.
     pub fn evaluate(&self, assignment: &[usize]) -> Objectives {
-        assert_eq!(assignment.len(), self.num_jobs());
-        let n = self.num_jobs() as f64;
-        // Total execution time newly assigned to each QPU this cycle.
-        let mut assigned_time = vec![0.0f64; self.num_qpus()];
-        for (i, &q) in assignment.iter().enumerate() {
-            assigned_time[q] += self.jobs[i].exec_time_per_qpu[q];
-        }
-        let mut jct_sum = 0.0;
-        let mut err_sum = 0.0;
-        const INFEASIBLE_PENALTY: f64 = 1e7;
-        for (i, &q) in assignment.iter().enumerate() {
-            if self.qpus[q].num_qubits < self.jobs[i].qubits {
-                jct_sum += INFEASIBLE_PENALTY;
-                err_sum += 1.0;
-                continue;
-            }
-            jct_sum += self.qpus[q].waiting_time_s + assigned_time[q];
-            err_sum += 1.0 - self.jobs[i].fidelity_per_qpu[q];
-        }
-        Objectives { mean_jct_s: jct_sum / n, mean_error: err_sum / n }
+        let mut state = EvalState::new(self.num_qpus());
+        self.init_state(assignment, &mut state);
+        self.objectives_of(&state)
     }
 
     /// Per-job completion times (seconds) under an assignment — used by the
     /// evaluation to report JCT percentiles.
     pub fn job_completion_times(&self, assignment: &[usize]) -> Vec<f64> {
-        let mut assigned_time = vec![0.0f64; self.num_qpus()];
+        let stride = self.num_qpus();
+        let mut assigned_time = vec![0.0f64; stride];
         for (i, &q) in assignment.iter().enumerate() {
-            assigned_time[q] += self.jobs[i].exec_time_per_qpu[q];
+            assigned_time[q] += self.exec[i * stride + q];
         }
-        assignment.iter().map(|&q| self.qpus[q].waiting_time_s + assigned_time[q]).collect()
+        assignment.iter().map(|&q| self.wait[q] + assigned_time[q]).collect()
     }
 }
 
@@ -190,6 +454,9 @@ mod tests {
         assert_eq!(p.feasible_qpus(0), &[0, 1, 2]);
         assert_eq!(p.feasible_qpus(3), &[0, 1], "20-qubit job cannot use the 7-qubit QPU");
         assert!(p.is_feasible());
+        assert!(p.placement_is_feasible(0, 2));
+        assert!(!p.placement_is_feasible(3, 2));
+        assert!(!p.placement_is_feasible(0, 99), "out-of-range QPU is never feasible");
     }
 
     #[test]
@@ -235,6 +502,49 @@ mod tests {
         let jcts = p.job_completion_times(&assignment);
         let mean: f64 = jcts.iter().sum::<f64>() / jcts.len() as f64;
         assert!((mean - p.evaluate(&assignment).mean_jct_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_finite_estimates_are_sanitised_not_propagated() {
+        let qpus = vec![
+            QpuState { name: "a".into(), num_qubits: 27, waiting_time_s: f64::NAN },
+            QpuState { name: "b".into(), num_qubits: 27, waiting_time_s: 5.0 },
+        ];
+        let jobs = vec![JobRequest {
+            job_id: 0,
+            qubits: 5,
+            shots: 100,
+            fidelity_per_qpu: vec![f64::NAN, 0.9],
+            exec_time_per_qpu: vec![f64::INFINITY, 10.0],
+        }];
+        let p = SchedulingProblem::new(jobs, qpus);
+        // NaN wait clamps to the maximum: the unknown queue is maximally busy.
+        assert_eq!(p.qpus[0].waiting_time_s, MAX_WAIT_S);
+        // NaN fidelity degrades to zero; ∞ exec degrades to the finite marker.
+        assert_eq!(p.jobs[0].fidelity_per_qpu[0], 0.0);
+        assert_eq!(p.jobs[0].exec_time_per_qpu[0], NON_FINITE_EXEC_S);
+        let on_bad = p.evaluate(&[0]);
+        let on_good = p.evaluate(&[1]);
+        assert!(on_bad.mean_jct_s.is_finite() && on_bad.mean_error.is_finite());
+        assert!(on_bad.mean_error > on_good.mean_error, "NaN placement is penalised");
+        assert!(on_bad.mean_jct_s > on_good.mean_jct_s);
+    }
+
+    #[test]
+    fn incremental_moves_match_full_evaluation() {
+        let p = toy_problem();
+        let mut assignment = vec![0, 0, 0, 0];
+        let mut state = EvalState::new(p.num_qpus());
+        p.init_state(&assignment, &mut state);
+        // Walk job 1 across every QPU (including the infeasible one for job 3).
+        for (job, to) in [(1usize, 1usize), (3, 2), (1, 2), (3, 0), (2, 1), (1, 0)] {
+            p.move_job(&mut state, job, assignment[job], to);
+            assignment[job] = to;
+            let inc = p.objectives_of(&state);
+            let full = p.evaluate(&assignment);
+            assert_eq!(inc.mean_jct_s.to_bits(), full.mean_jct_s.to_bits());
+            assert_eq!(inc.mean_error.to_bits(), full.mean_error.to_bits());
+        }
     }
 
     #[test]

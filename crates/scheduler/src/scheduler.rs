@@ -4,10 +4,15 @@
 //! runtime instrumentation used by the scalability study (Figure 9c).
 
 use crate::mcdm::{self, Preference};
-use crate::nsga2::{self, Nsga2Config, ParetoSolution};
+use crate::nsga2::{self, Nsga2Config, OptimizerWorkspace, ParetoSolution};
 use crate::problem::{JobRequest, Objectives, QpuState, SchedulingProblem};
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::time::Instant;
+
+/// Maximum number of Pareto solutions remembered between warm-started cycles.
+const WARM_FRONT_CAP: usize = 16;
 
 /// Scheduler configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -72,21 +77,107 @@ pub struct ScheduleOutcome {
     pub chosen_index: usize,
 }
 
-/// The Qonductor quantum-job scheduler.
-#[derive(Debug, Clone, Copy, Default)]
+/// Cross-cycle optimizer memory of a warm-started scheduler: the reusable
+/// workspace (no steady-state allocation) and the previous cycle's Pareto
+/// front, stored as job-id→QPU maps so it can be repaired against the next
+/// cycle's job list.
+#[derive(Debug, Default)]
+struct WarmState {
+    workspace: OptimizerWorkspace,
+    front: Vec<Vec<(u64, usize)>>,
+}
+
+/// The Qonductor quantum-job scheduler. Stateless by default; constructed
+/// with [`HybridScheduler::with_warm_start`] it becomes optionally stateful,
+/// seeding each cycle's NSGA-II population from the previous cycle's Pareto
+/// front (repaired against the new job list) so batch-to-batch cycles
+/// converge in fewer generations. The memory sits behind a mutex, so the
+/// shared-reference [`HybridScheduler::schedule`] signature is unchanged.
+#[derive(Debug, Default)]
 pub struct HybridScheduler {
     config: SchedulerConfig,
+    warm: Option<Mutex<WarmState>>,
+}
+
+impl Clone for HybridScheduler {
+    fn clone(&self) -> Self {
+        HybridScheduler {
+            config: self.config,
+            // The remembered front transfers; the workspace is rebuilt lazily.
+            warm: self.warm.as_ref().map(|m| {
+                Mutex::new(WarmState {
+                    workspace: OptimizerWorkspace::new(),
+                    front: m.lock().front.clone(),
+                })
+            }),
+        }
+    }
 }
 
 impl HybridScheduler {
-    /// Create a scheduler with the given configuration.
+    /// Create a stateless scheduler with the given configuration: every cycle
+    /// starts the optimizer from a fresh random population.
     pub fn new(config: SchedulerConfig) -> Self {
-        HybridScheduler { config }
+        HybridScheduler { config, warm: None }
+    }
+
+    /// Create a warm-started scheduler: each cycle seeds the optimizer with
+    /// the previous cycle's Pareto front and reuses the optimizer workspace.
+    /// The first cycle (cold path) is identical to a stateless scheduler's.
+    pub fn with_warm_start(config: SchedulerConfig) -> Self {
+        HybridScheduler { config, warm: Some(Mutex::new(WarmState::default())) }
+    }
+
+    /// Whether this scheduler carries warm-start memory across cycles.
+    pub fn is_warm_start(&self) -> bool {
+        self.warm.is_some()
+    }
+
+    /// Drop any remembered Pareto front (e.g. after a fleet reconfiguration
+    /// that invalidates previous placements). No-op on stateless schedulers.
+    pub fn clear_memory(&self) {
+        if let Some(mem) = &self.warm {
+            mem.lock().front.clear();
+        }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &SchedulerConfig {
         &self.config
+    }
+
+    /// Run the optimizer for one cycle, consulting and updating the
+    /// warm-start memory when enabled.
+    fn run_optimizer(&self, problem: &SchedulingProblem, job_ids: &[u64]) -> nsga2::Nsga2Result {
+        let Some(mem) = &self.warm else {
+            return nsga2::optimize(problem, &self.config.nsga2);
+        };
+        let mut mem = mem.lock();
+        // Repair the remembered front against the current job list: genes for
+        // unknown jobs are marked invalid and snapped by the optimizer.
+        let seeds: Vec<Vec<usize>> = mem
+            .front
+            .iter()
+            .map(|sol| {
+                let by_id: HashMap<u64, usize> = sol.iter().copied().collect();
+                job_ids.iter().map(|id| by_id.get(id).copied().unwrap_or(usize::MAX)).collect()
+            })
+            .collect();
+        let WarmState { workspace, front } = &mut *mem;
+        let result = nsga2::optimize_with(problem, &self.config.nsga2, &seeds, workspace);
+        // The front is sorted by JCT; stride-sample the cap across it so both
+        // extremes (and the interior) stay represented in the next cycle's
+        // seeds, whatever the configured preference favours.
+        let n = result.pareto_front.len();
+        let keep = n.min(WARM_FRONT_CAP);
+        *front = (0..keep)
+            .map(|k| {
+                let idx = if keep <= 1 { 0 } else { k * (n - 1) / (keep - 1) };
+                let s = &result.pareto_front[idx];
+                job_ids.iter().copied().zip(s.assignment.iter().copied()).collect()
+            })
+            .collect();
+        result
     }
 
     /// Run one scheduling cycle over the pending jobs and available QPUs.
@@ -124,7 +215,7 @@ impl HybridScheduler {
 
         // ---------- Stage 2: multi-objective optimization ----------
         let t1 = Instant::now();
-        let result = nsga2::optimize(&problem, &self.config.nsga2);
+        let result = self.run_optimizer(&problem, &job_ids);
         let optimization_s = t1.elapsed().as_secs_f64();
 
         // ---------- Stage 3: MCDM selection ----------
@@ -141,13 +232,13 @@ impl HybridScheduler {
             .pareto_front
             .iter()
             .map(|s| s.objectives)
-            .min_by(|a, b| a.mean_jct_s.partial_cmp(&b.mean_jct_s).unwrap())
+            .min_by(|a, b| a.mean_jct_s.total_cmp(&b.mean_jct_s))
             .unwrap_or(chosen_solution.objectives);
         let front_min_error = result
             .pareto_front
             .iter()
             .map(|s| s.objectives)
-            .min_by(|a, b| a.mean_error.partial_cmp(&b.mean_error).unwrap())
+            .min_by(|a, b| a.mean_error.total_cmp(&b.mean_error))
             .unwrap_or(chosen_solution.objectives);
         let selection_s = t2.elapsed().as_secs_f64();
 
@@ -248,6 +339,73 @@ mod tests {
         .schedule(jobs, qpus);
         assert!(jct_first.chosen.mean_jct_s <= fid_first.chosen.mean_jct_s);
         assert!(jct_first.chosen.mean_fidelity() <= fid_first.chosen.mean_fidelity() + 1e-9);
+    }
+
+    /// Regression: a NaN/∞ estimate from the resource estimator must not
+    /// panic the scheduling cycle — it is clamped at problem construction and
+    /// the placement is penalised instead.
+    #[test]
+    fn non_finite_estimates_complete_the_cycle_penalised() {
+        let qpus = vec![
+            QpuState { name: "poisoned".into(), num_qubits: 27, waiting_time_s: 1.0 },
+            QpuState { name: "clean".into(), num_qubits: 27, waiting_time_s: 1.0 },
+        ];
+        let jobs: Vec<JobRequest> = (0..6)
+            .map(|i| JobRequest {
+                job_id: i,
+                qubits: 5,
+                shots: 1000,
+                // QPU 0 reports NaN fidelity and ∞ execution time for every job.
+                fidelity_per_qpu: vec![f64::NAN, 0.9],
+                exec_time_per_qpu: vec![f64::INFINITY, 10.0],
+            })
+            .collect();
+        let outcome = HybridScheduler::default().schedule(jobs, qpus);
+        assert_eq!(outcome.placements.len(), 6);
+        assert!(outcome.chosen.mean_jct_s.is_finite());
+        assert!(outcome.chosen.mean_error.is_finite());
+        // The sanitised estimates (fidelity 0, huge exec time) make the
+        // poisoned QPU strictly dominated: every job lands on the clean one.
+        for p in &outcome.placements {
+            assert_eq!(p.qpu_index, 1, "job {} must avoid the poisoned QPU", p.job_id);
+        }
+    }
+
+    #[test]
+    fn warm_start_matches_cold_first_cycle_and_stays_deterministic() {
+        let (jobs, qpus) = jobs_and_qpus(40, 5, 7);
+        let cold = HybridScheduler::default();
+        let warm = HybridScheduler::with_warm_start(SchedulerConfig::default());
+        assert!(warm.is_warm_start() && !cold.is_warm_start());
+        // Cycle 1: no memory yet, so the warm scheduler is bit-identical.
+        let a = cold.schedule(jobs.clone(), qpus.clone());
+        let b = warm.schedule(jobs.clone(), qpus.clone());
+        assert_eq!(a.placements, b.placements);
+        assert_eq!(a.chosen, b.chosen);
+        // Cycle 2 (same jobs): the warm scheduler seeds from its remembered
+        // front; two independent warm schedulers agree cycle for cycle.
+        let warm2 = HybridScheduler::with_warm_start(SchedulerConfig::default());
+        let _ = warm2.schedule(jobs.clone(), qpus.clone());
+        let c = warm.schedule(jobs.clone(), qpus.clone());
+        let d = warm2.schedule(jobs.clone(), qpus.clone());
+        assert_eq!(c.placements, d.placements);
+        assert_eq!(c.chosen, d.chosen);
+        // Warm seeding never regresses the chosen solution's JCT extreme.
+        assert!(c.front_min_jct.mean_jct_s <= a.front_min_jct.mean_jct_s + 1e-9);
+    }
+
+    #[test]
+    fn warm_start_memory_survives_clone_and_clears() {
+        let (jobs, qpus) = jobs_and_qpus(20, 4, 8);
+        let warm = HybridScheduler::with_warm_start(SchedulerConfig::default());
+        let _ = warm.schedule(jobs.clone(), qpus.clone());
+        let cloned = warm.clone();
+        assert!(cloned.is_warm_start());
+        let a = warm.schedule(jobs.clone(), qpus.clone());
+        let b = cloned.schedule(jobs.clone(), qpus.clone());
+        assert_eq!(a.placements, b.placements, "cloned memory must behave identically");
+        warm.clear_memory();
+        let _ = warm.schedule(jobs, qpus); // cold again: must not panic
     }
 
     #[test]

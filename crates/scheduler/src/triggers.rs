@@ -1,6 +1,13 @@
 //! Scheduling triggers (§7): scheduling is invoked either when the pending job
 //! queue reaches a size limit (default 100) or when a time interval elapses
 //! (default 120 s), whichever comes first.
+//!
+//! The interval timer arms *lazily*: a freshly constructed trigger has no
+//! baseline, so a trigger created long after the simulated epoch does not fire
+//! the interval path on the first submission it sees. The baseline is set by
+//! the first non-empty [`ScheduleTrigger::check`], an explicit
+//! [`ScheduleTrigger::arm_if_unarmed`] (the job manager arms at the first
+//! pooled submission), or [`ScheduleTrigger::mark_invoked`].
 
 use serde::{Deserialize, Serialize};
 
@@ -11,8 +18,9 @@ pub struct ScheduleTrigger {
     pub queue_limit: usize,
     /// Time-based trigger interval in seconds (paper default: 120 s).
     pub interval_s: f64,
-    /// Simulated time of the last scheduling invocation.
-    last_invocation_s: f64,
+    /// Simulated time of the last scheduling invocation, or `None` until the
+    /// trigger is armed.
+    last_invocation_s: Option<f64>,
 }
 
 /// Why scheduling was triggered.
@@ -26,22 +34,41 @@ pub enum TriggerReason {
 
 impl Default for ScheduleTrigger {
     fn default() -> Self {
-        ScheduleTrigger { queue_limit: 100, interval_s: 120.0, last_invocation_s: 0.0 }
+        ScheduleTrigger { queue_limit: 100, interval_s: 120.0, last_invocation_s: None }
     }
 }
 
 impl ScheduleTrigger {
-    /// Create a trigger with explicit thresholds.
+    /// Create a trigger with explicit thresholds. The interval timer is
+    /// unarmed until the first observation (see the module docs).
     pub fn new(queue_limit: usize, interval_s: f64) -> Self {
-        ScheduleTrigger { queue_limit, interval_s, last_invocation_s: 0.0 }
+        ScheduleTrigger { queue_limit, interval_s, last_invocation_s: None }
+    }
+
+    /// Arm the interval timer at `now_s` if it has no baseline yet. Callers
+    /// that pool work (the job manager) arm at the first submission so the
+    /// interval measures time-with-pending-work, not time-since-epoch.
+    pub fn arm_if_unarmed(&mut self, now_s: f64) {
+        if self.last_invocation_s.is_none() {
+            self.last_invocation_s = Some(now_s);
+        }
     }
 
     /// Check whether scheduling should run now. Returns the trigger reason, or
     /// `None` if neither condition holds. The queue-size check takes priority.
-    pub fn check(&self, queue_len: usize, now_s: f64) -> Option<TriggerReason> {
-        if queue_len >= self.queue_limit && queue_len > 0 {
+    /// An unarmed trigger arms itself at the first check that observes a
+    /// non-empty queue (and therefore never interval-fires on that check).
+    pub fn check(&mut self, queue_len: usize, now_s: f64) -> Option<TriggerReason> {
+        if queue_len == 0 {
+            return None;
+        }
+        let Some(last) = self.last_invocation_s else {
+            self.last_invocation_s = Some(now_s);
+            return (queue_len >= self.queue_limit).then_some(TriggerReason::QueueSize);
+        };
+        if queue_len >= self.queue_limit {
             Some(TriggerReason::QueueSize)
-        } else if now_s - self.last_invocation_s >= self.interval_s && queue_len > 0 {
+        } else if now_s - last >= self.interval_s {
             Some(TriggerReason::Interval)
         } else {
             None
@@ -50,11 +77,12 @@ impl ScheduleTrigger {
 
     /// Record that scheduling ran at `now_s` (resets the interval timer).
     pub fn mark_invoked(&mut self, now_s: f64) {
-        self.last_invocation_s = now_s;
+        self.last_invocation_s = Some(now_s);
     }
 
-    /// Simulated time of the last invocation.
-    pub fn last_invocation_s(&self) -> f64 {
+    /// Simulated time of the last invocation (or lazy-arming observation);
+    /// `None` while the trigger is unarmed.
+    pub fn last_invocation_s(&self) -> Option<f64> {
         self.last_invocation_s
     }
 }
@@ -65,31 +93,35 @@ mod tests {
 
     #[test]
     fn queue_size_trigger_fires_at_the_limit() {
-        let t = ScheduleTrigger::default();
+        let mut t = ScheduleTrigger::default();
         assert_eq!(t.check(99, 10.0), None);
         assert_eq!(t.check(100, 10.0), Some(TriggerReason::QueueSize));
         assert_eq!(t.check(250, 10.0), Some(TriggerReason::QueueSize));
     }
 
     #[test]
-    fn interval_trigger_fires_after_the_period() {
+    fn interval_trigger_fires_one_period_after_arming() {
         let mut t = ScheduleTrigger::default();
+        // First observation arms the timer instead of firing it.
         assert_eq!(t.check(5, 60.0), None);
-        assert_eq!(t.check(5, 120.0), Some(TriggerReason::Interval));
-        t.mark_invoked(120.0);
-        assert_eq!(t.check(5, 180.0), None);
-        assert_eq!(t.check(5, 240.0), Some(TriggerReason::Interval));
+        assert_eq!(t.check(5, 179.0), None, "one interval must elapse after arming");
+        assert_eq!(t.check(5, 180.0), Some(TriggerReason::Interval));
+        t.mark_invoked(180.0);
+        assert_eq!(t.check(5, 240.0), None);
+        assert_eq!(t.check(5, 300.0), Some(TriggerReason::Interval));
     }
 
     #[test]
-    fn empty_queue_never_triggers() {
-        let t = ScheduleTrigger::default();
+    fn empty_queue_never_triggers_or_arms() {
+        let mut t = ScheduleTrigger::default();
         assert_eq!(t.check(0, 10_000.0), None);
+        assert_eq!(t.last_invocation_s(), None, "an idle check must not arm the timer");
     }
 
     #[test]
     fn queue_trigger_takes_priority_over_interval() {
-        let t = ScheduleTrigger::default();
+        let mut t = ScheduleTrigger::default();
+        t.mark_invoked(0.0);
         assert_eq!(t.check(150, 10_000.0), Some(TriggerReason::QueueSize));
     }
 
@@ -100,5 +132,34 @@ mod tests {
         t.mark_invoked(0.0);
         assert_eq!(t.check(3, 29.0), None);
         assert_eq!(t.check(3, 30.0), Some(TriggerReason::Interval));
+    }
+
+    /// Regression: a trigger constructed when simulated time is already far
+    /// beyond `interval_s` must not fire the interval path on the first
+    /// submission it observes — the old eager `last_invocation_s = 0.0`
+    /// baseline made `now - 0.0 ≥ interval` trivially true.
+    #[test]
+    fn late_construction_does_not_fire_immediately() {
+        let mut t = ScheduleTrigger::new(100, 120.0);
+        assert_eq!(t.check(5, 10_000.0), None, "first check arms, never interval-fires");
+        assert_eq!(t.check(5, 10_119.9), None);
+        assert_eq!(t.check(5, 10_120.0), Some(TriggerReason::Interval));
+    }
+
+    /// The queue-size path still fires on the very first (arming) check.
+    #[test]
+    fn late_construction_queue_path_is_unaffected() {
+        let mut t = ScheduleTrigger::new(3, 120.0);
+        assert_eq!(t.check(3, 50_000.0), Some(TriggerReason::QueueSize));
+    }
+
+    #[test]
+    fn explicit_arming_sets_the_baseline_once() {
+        let mut t = ScheduleTrigger::new(100, 60.0);
+        t.arm_if_unarmed(500.0);
+        t.arm_if_unarmed(900.0); // no-op: already armed
+        assert_eq!(t.last_invocation_s(), Some(500.0));
+        assert_eq!(t.check(1, 559.0), None);
+        assert_eq!(t.check(1, 560.0), Some(TriggerReason::Interval));
     }
 }

@@ -5,9 +5,43 @@
 //! It warms up briefly, times a fixed wall-clock budget of iterations, and
 //! prints a one-line mean per benchmark — a smoke-test harness, not a
 //! statistics engine.
+//!
+//! Two environment variables support perf artifacts in CI:
+//! - `QONDUCTOR_BENCH_JSON=<path>`: after `criterion_main!` finishes, write
+//!   every recorded measurement as JSON (`{"benchmarks": [{name, mean_ns,
+//!   iters}]}`) to `<path>`.
+//! - `QONDUCTOR_BENCH_BUDGET_MS=<n>`: override the per-case timing budget
+//!   (e.g. a small value for CI quick mode).
 
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Measurements recorded by every `run_case` in this process, in execution
+/// order, for [`write_json_results`].
+static RESULTS: Mutex<Vec<(String, f64, u64)>> = Mutex::new(Vec::new());
+
+/// Write all measurements recorded so far to the path named by the
+/// `QONDUCTOR_BENCH_JSON` environment variable (no-op when unset). Invoked by
+/// `criterion_main!` after every group has run; harmless to call directly.
+pub fn write_json_results() {
+    let Ok(path) = std::env::var("QONDUCTOR_BENCH_JSON") else { return };
+    let results = RESULTS.lock().unwrap_or_else(|e| e.into_inner());
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, (name, mean_ns, iters)) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        // Benchmark names are plain identifiers with '/' separators; escape
+        // quotes and backslashes defensively anyway.
+        let escaped = name.replace('\\', "\\\\").replace('"', "\\\"");
+        out.push_str(&format!(
+            "    {{\"name\": \"{escaped}\", \"mean_ns\": {mean_ns:.1}, \"iters\": {iters}}}{comma}\n"
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion shim: failed to write {path}: {e}");
+    }
+}
 
 /// Re-export matching `criterion::black_box` (upstream deprecated alias).
 pub use std::hint::black_box;
@@ -83,6 +117,11 @@ fn run_case(full_name: &str, budget: Duration, f: impl FnOnce(&mut Bencher)) {
                 "bench {full_name:<40} {:>12}/iter  ({iters} iters)",
                 format_duration(per_iter)
             );
+            RESULTS.lock().unwrap_or_else(|e| e.into_inner()).push((
+                full_name.to_string(),
+                elapsed.as_nanos() as f64 / iters as f64,
+                iters,
+            ));
         }
         _ => println!("bench {full_name:<40} (no measurement)"),
     }
@@ -144,8 +183,14 @@ pub struct Criterion {
 impl Default for Criterion {
     fn default() -> Self {
         // Keep workspace bench runs fast: a small per-case budget is enough
-        // for smoke-level numbers.
-        Criterion { budget: Duration::from_millis(200) }
+        // for smoke-level numbers. `QONDUCTOR_BENCH_BUDGET_MS` overrides it
+        // (CI quick mode uses an even smaller budget).
+        let ms = std::env::var("QONDUCTOR_BENCH_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&v: &u64| v > 0 && v <= 10_000)
+            .unwrap_or(200);
+        Criterion { budget: Duration::from_millis(ms) }
     }
 }
 
@@ -176,12 +221,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declare the benchmark `main`, mirroring `criterion_main!`.
+/// Declare the benchmark `main`, mirroring `criterion_main!`. After every
+/// group has run, measurements are flushed to `QONDUCTOR_BENCH_JSON` if set.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_json_results();
         }
     };
 }

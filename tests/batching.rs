@@ -133,8 +133,10 @@ fn idle_interval_firing_emits_no_empty_batch() {
     assert!(jm.try_dispatch(700.0, &scheduler, &mut fleet).is_none());
     assert_eq!(jm.batches_dispatched(), 0);
 
-    // Once the submission is causally present, the batch fires with index 0.
-    let batch = jm.try_dispatch(1000.0, &scheduler, &mut fleet).expect("job is now schedulable");
+    // Once the submission is causally present and a full interval has passed
+    // since it armed the timer (t=1000), the batch fires with index 0.
+    assert!(jm.try_dispatch(1000.0, &scheduler, &mut fleet).is_none(), "interval not yet elapsed");
+    let batch = jm.try_dispatch(1060.0, &scheduler, &mut fleet).expect("job is now schedulable");
     assert_eq!(batch.batch_index, 0);
     assert_eq!(batch.job_ids.len(), 1);
     assert_eq!(jm.batches_dispatched(), 1);

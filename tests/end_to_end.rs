@@ -90,9 +90,13 @@ fn plan_generation_and_direct_estimation_agree_on_feasibility() {
 
 #[test]
 fn qonductor_policy_beats_fcfs_on_completion_time_in_a_short_simulation() {
+    // 650 jobs/hour sits just under the default fleet's service capacity:
+    // queues stay bounded, so the completed-job means compare like for like.
+    // (Above capacity the "mean completion of completed jobs" metric is
+    // survivor-biased and chaotically sensitive to batch phase.)
     let config = |policy| SimulationConfig {
         duration_s: 600.0,
-        arrival: ArrivalConfig { mean_rate_per_hour: 1200.0, ..Default::default() },
+        arrival: ArrivalConfig { mean_rate_per_hour: 650.0, ..Default::default() },
         policy,
         nsga2: Nsga2Config {
             population_size: 24,

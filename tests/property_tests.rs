@@ -13,8 +13,8 @@ use qonductor::circuit::{generators, Circuit, CircuitMetrics};
 use qonductor::core::{JobManager, JobTicket, SubmissionService, TenantConfig, TicketStatus};
 use qonductor::mitigation::{fold_circuit, MitigationCost};
 use qonductor::scheduler::{
-    optimize, select, JobRequest, Nsga2Config, Preference, QpuState, ScheduleTrigger,
-    SchedulingProblem,
+    optimize, optimize_with, select, EvalState, JobRequest, Nsga2Config, OptimizerWorkspace,
+    Preference, QpuState, ScheduleTrigger, SchedulingProblem,
 };
 use qonductor::transpiler::Transpiler;
 use rand::rngs::StdRng;
@@ -137,6 +137,129 @@ proptest! {
         }
         let idx = select(&result.pareto_front, Preference::balanced());
         prop_assert!(idx < result.pareto_front.len());
+    }
+
+    /// Incremental objective evaluation equals the full `evaluate` **bit for
+    /// bit** over arbitrary random mutation sequences — including infeasible
+    /// placements and non-finite estimates (sanitised at problem
+    /// construction). This is the exactness contract the NSGA-II hot path
+    /// relies on: an offspring's delta-updated aggregates must be
+    /// indistinguishable from a from-scratch re-evaluation.
+    #[test]
+    fn incremental_evaluation_matches_full_bit_for_bit(
+        num_jobs in 2usize..40,
+        num_qpus in 2usize..7,
+        seed in 0u64..500,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let qpus: Vec<QpuState> = (0..num_qpus)
+            .map(|i| QpuState {
+                name: format!("q{i}"),
+                num_qubits: if i == 0 { 7 } else { 27 },
+                waiting_time_s: rng.gen_range(0.0..600.0),
+            })
+            .collect();
+        let jobs: Vec<JobRequest> = (0..num_jobs)
+            .map(|i| JobRequest {
+                job_id: i as u64,
+                qubits: rng.gen_range(2..=20),
+                shots: 1000,
+                // ~5% of estimates are poisoned with NaN/∞ to exercise the
+                // sanitisation path.
+                fidelity_per_qpu: (0..num_qpus)
+                    .map(|_| if rng.gen_bool(0.05) { f64::NAN } else { rng.gen_range(0.3..0.95) })
+                    .collect(),
+                exec_time_per_qpu: (0..num_qpus)
+                    .map(|_| {
+                        if rng.gen_bool(0.05) { f64::INFINITY } else { rng.gen_range(1.0..90.0) }
+                    })
+                    .collect(),
+            })
+            .collect();
+        let problem = SchedulingProblem::new(jobs, qpus);
+        // Random initial assignment — feasibility NOT enforced, so the
+        // penalty bookkeeping is exercised too.
+        let mut assignment: Vec<usize> =
+            (0..num_jobs).map(|_| rng.gen_range(0..num_qpus)).collect();
+        let mut state = EvalState::new(num_qpus);
+        problem.init_state(&assignment, &mut state);
+        for _ in 0..80 {
+            let job = rng.gen_range(0..num_jobs);
+            let to = rng.gen_range(0..num_qpus);
+            problem.move_job(&mut state, job, assignment[job], to);
+            assignment[job] = to;
+            let incremental = problem.objectives_of(&state);
+            let full = problem.evaluate(&assignment);
+            prop_assert_eq!(
+                incremental.mean_jct_s.to_bits(), full.mean_jct_s.to_bits(),
+                "jct: incremental {} vs full {}", incremental.mean_jct_s, full.mean_jct_s
+            );
+            prop_assert_eq!(
+                incremental.mean_error.to_bits(), full.mean_error.to_bits(),
+                "err: incremental {} vs full {}", incremental.mean_error, full.mean_error
+            );
+        }
+    }
+
+    /// `optimize` stays deterministic for a fixed seed under workspace reuse
+    /// and (cold-path) warm-start plumbing: dirtying a workspace on a
+    /// different problem first never changes the result, and seeding with the
+    /// run's own front is stable.
+    #[test]
+    fn optimizer_deterministic_under_workspace_reuse(seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let make = |rng: &mut StdRng, num_jobs: usize, num_qpus: usize| {
+            let qpus: Vec<QpuState> = (0..num_qpus)
+                .map(|i| QpuState {
+                    name: format!("q{i}"),
+                    num_qubits: 27,
+                    waiting_time_s: rng.gen_range(0.0..300.0),
+                })
+                .collect();
+            let jobs: Vec<JobRequest> = (0..num_jobs)
+                .map(|i| JobRequest {
+                    job_id: i as u64,
+                    qubits: rng.gen_range(2..=20),
+                    shots: 1000,
+                    fidelity_per_qpu: (0..num_qpus).map(|_| rng.gen_range(0.3..0.95)).collect(),
+                    exec_time_per_qpu: (0..num_qpus).map(|_| rng.gen_range(1.0..60.0)).collect(),
+                })
+                .collect();
+            SchedulingProblem::new(jobs, qpus)
+        };
+        let problem = make(&mut rng, 20, 4);
+        let other = make(&mut rng, 33, 6);
+        let config = Nsga2Config {
+            population_size: 16,
+            max_generations: 8,
+            max_evaluations: 1000,
+            num_threads: 1,
+            seed,
+            ..Nsga2Config::default()
+        };
+        let fresh = optimize(&problem, &config);
+        // Dirty a workspace on a different problem shape, then reuse it.
+        let mut ws = OptimizerWorkspace::new();
+        let _ = optimize_with(&other, &config, &[], &mut ws);
+        let reused = optimize_with(&problem, &config, &[], &mut ws);
+        prop_assert_eq!(fresh.evaluations, reused.evaluations);
+        prop_assert_eq!(fresh.pareto_front.len(), reused.pareto_front.len());
+        for (a, b) in fresh.pareto_front.iter().zip(&reused.pareto_front) {
+            prop_assert_eq!(&a.assignment, &b.assignment);
+            prop_assert_eq!(a.objectives.mean_jct_s.to_bits(), b.objectives.mean_jct_s.to_bits());
+            prop_assert_eq!(a.objectives.mean_error.to_bits(), b.objectives.mean_error.to_bits());
+        }
+        // Warm seeds are deterministic too: same seeds → same result.
+        let seeds: Vec<Vec<usize>> =
+            fresh.pareto_front.iter().map(|s| s.assignment.clone()).collect();
+        let warm_a = optimize_with(&problem, &config, &seeds, &mut ws);
+        let mut ws2 = OptimizerWorkspace::new();
+        let warm_b = optimize_with(&problem, &config, &seeds, &mut ws2);
+        prop_assert_eq!(warm_a.pareto_front, warm_b.pareto_front);
+        prop_assert_eq!(warm_a.evaluations, warm_b.evaluations);
+        for s in &warm_a.pareto_front {
+            prop_assert!(problem.assignment_is_feasible(&s.assignment));
+        }
     }
 
     /// Coupling maps report symmetric adjacency and triangle-inequality distances.
