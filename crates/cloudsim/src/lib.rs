@@ -12,11 +12,13 @@
 #![warn(missing_docs)]
 
 pub mod estimates;
+pub mod failover;
 pub mod load;
 pub mod multitenant;
 pub mod sim;
 
 pub use estimates::{estimate, FastEstimate};
+pub use failover::{ChaosReport, CrashRecord, FailurePlan};
 pub use load::{
     ArrivalConfig, HybridApplication, LoadGenerator, MultiTenantLoadGenerator, StreamArrival,
     TenantArrivalConfig,

@@ -1,22 +1,29 @@
 //! Multi-tenant cloud simulation: independent tenants with their own Poisson
 //! arrival streams and fairness weights submit through the non-blocking
-//! [`SubmissionService`], the weighted-fair admission step drains their queues
-//! into the shared batch engine, and the trigger-gated NSGA-II + MCDM
+//! submission front-end of the *replicated* control plane
+//! ([`ReplicatedControlPlane`]), the weighted-fair admission step drains their
+//! queues into the shared batch engine, and the trigger-gated NSGA-II + MCDM
 //! scheduler dispatches per-batch — so the fairness path of the control plane
-//! is exercised end-to-end under realistic load.
+//! is exercised end-to-end under realistic load. Every state transition rides
+//! the quorum-replicated journal, which lets
+//! [`MultiTenantSimulation::run_with_failures`] kill the control-plane leader
+//! mid-simulation and continue on a replica rebuilt from `snapshot + log
+//! replay`.
 
+use crate::failover::{ChaosReport, CrashRecord, FailurePlan};
 use crate::load::{MultiTenantLoadGenerator, TenantArrivalConfig};
 use crate::sim::{build_submission, AppRecord};
 use qonductor_backend::Fleet;
-use qonductor_core::jobmanager::{JobManager, TenantId};
-use qonductor_core::submission::{SubmissionService, TenantConfig, TenantStats, TicketId};
+use qonductor_core::jobmanager::{JobId, TenantId};
+use qonductor_core::replication::ReplicatedControlPlane;
+use qonductor_core::submission::{TenantConfig, TenantStats, TicketId};
 use qonductor_scheduler::{
     HybridScheduler, Nsga2Config, Preference, ScheduleTrigger, SchedulerConfig, TriggerReason,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// One tenant of the multi-tenant simulation: fairness configuration plus an
 /// arrival stream.
@@ -100,6 +107,9 @@ pub struct BatchComposition {
     pub num_jobs: usize,
     /// `(tenant, job count)` pairs, ascending tenant order.
     pub tenant_jobs: Vec<(TenantId, usize)>,
+    /// Engine job ids in the batch (submission order) — the chaos suite uses
+    /// these to prove no job is dispatched twice across a failover.
+    pub job_ids: Vec<JobId>,
 }
 
 /// One completed application, attributed to its tenant.
@@ -197,23 +207,44 @@ impl MultiTenantSimulation {
     }
 
     /// Run the simulation to completion and produce the report.
-    pub fn run(mut self) -> MultiTenantReport {
+    pub fn run(self) -> MultiTenantReport {
+        self.run_inner(None).report
+    }
+
+    /// Run the simulation under fault injection: at each instant of the
+    /// plan's crash schedule the control-plane leader is killed (its volatile
+    /// job state dies with it), a new leader is elected, and the job state is
+    /// rebuilt from the replicated `snapshot + log replay` before the
+    /// simulation continues. The report records, per crash, whether the
+    /// rebuilt state matched the pre-crash state byte for byte.
+    pub fn run_with_failures(self, plan: &FailurePlan) -> ChaosReport {
+        self.run_inner(Some(plan))
+    }
+
+    fn run_inner(mut self, plan: Option<&FailurePlan>) -> ChaosReport {
         let cfg = self.config.clone();
         assert!(!cfg.tenants.is_empty(), "multi-tenant simulation needs at least one tenant");
-        let mut engine =
-            JobManager::new(ScheduleTrigger::new(cfg.trigger_queue_limit, cfg.trigger_interval_s));
         let scheduler =
             HybridScheduler::new(SchedulerConfig { nsga2: cfg.nsga2, preference: cfg.preference });
-        let mut service = SubmissionService::new();
+        // The journaled control plane: f = 1 (three store replicas, three
+        // election nodes). The election cluster has its own RNG, so
+        // replication does not perturb the simulation's random stream.
+        let mut control = ReplicatedControlPlane::new(
+            ScheduleTrigger::new(cfg.trigger_queue_limit, cfg.trigger_interval_s),
+            1,
+            cfg.seed ^ 0x51AB,
+        );
         let tenant_ids: Vec<TenantId> = cfg
             .tenants
             .iter()
             .map(|t| {
-                service.register_tenant_with(TenantConfig {
-                    weight: t.weight,
-                    max_in_flight: t.max_in_flight,
-                    max_retries: t.max_retries,
-                })
+                control
+                    .register_tenant_with(TenantConfig {
+                        weight: t.weight,
+                        max_in_flight: t.max_in_flight,
+                        max_retries: t.max_retries,
+                    })
+                    .expect("fresh store has a quorum")
             })
             .collect();
         let streams: Vec<TenantArrivalConfig> = cfg.tenants.iter().map(|t| t.arrivals).collect();
@@ -224,15 +255,47 @@ impl MultiTenantSimulation {
         let mut infeasible = vec![0u64; cfg.tenants.len()];
         let mut batches: Vec<BatchComposition> = Vec::new();
         let mut completed: Vec<TenantCompletion> = Vec::new();
+        let mut crash_schedule: VecDeque<f64> =
+            plan.map(|p| p.crash_times_s.iter().copied().collect()).unwrap_or_default();
+        // Checkpoint even without a failure plan: snapshots are
+        // behavior-neutral (proven by the chaos-vs-plain equality test) and
+        // keep the journal bounded over long figure-generating runs instead
+        // of growing one entry per event for the whole simulation.
+        const DEFAULT_SNAPSHOT_EVERY_BATCHES: usize = 8;
+        let snapshot_every =
+            plan.map_or(DEFAULT_SNAPSHOT_EVERY_BATCHES, |p| p.snapshot_every_batches);
+        let mut crashes: Vec<CrashRecord> = Vec::new();
+        let mut snapshots_installed = 0u64;
 
         let mut t = 0.0f64;
         while t < cfg.duration_s {
             let t_next = (t + cfg.step_s).min(cfg.duration_s);
 
+            // 0. Fault injection: kill the leader at every scheduled instant
+            //    in (t, t_next], then fail over and continue on the rebuilt
+            //    replica.
+            while crash_schedule.front().is_some_and(|&c| c <= t_next) {
+                let crash_t = crash_schedule.pop_front().expect("front checked");
+                let digest = control.state_digest();
+                let old_leader = control.leader().unwrap_or(0);
+                let replayed_events = control.replay_backlog();
+                control.crash_leader();
+                control.failover().expect("a majority of control replicas survives");
+                crashes.push(CrashRecord {
+                    t_s: crash_t,
+                    old_leader,
+                    new_leader: control.leader().unwrap_or(old_leader),
+                    replayed_events,
+                    digest_matched: control.state_digest() == digest,
+                });
+            }
+
             // 1. Advance QPU queues to t_next and resolve completions.
             self.fleet.advance_to(t_next, &mut self.rng);
-            let done = engine.drain_completions(&mut self.fleet);
-            for (ticket, completion) in service.note_completions(&done) {
+            let done = control.drain_completions(&mut self.fleet);
+            let resolved =
+                control.note_completions(&done).expect("control-plane journal has a quorum");
+            for (ticket, completion) in resolved {
                 let Some((tenant, record)) = apps.remove(&ticket.ticket) else { continue };
                 let est = &record.estimates[completion.qpu_index];
                 let jitter = 1.0 + self.rng.gen_range(-0.02..0.02);
@@ -247,14 +310,14 @@ impl MultiTenantSimulation {
             }
 
             // 2. Per-tenant arrivals in [t, t_next): non-blocking submission
-            //    into the tenant's FIFO queue.
+            //    into the tenant's FIFO queue (journaled).
             for arrival in load.arrivals_in(t, t_next, &mut self.rng) {
                 arrived[arrival.stream] += 1;
                 match build_submission(&self.fleet, &arrival.app) {
                     Some((spec, record)) => {
-                        let ticket = service
+                        let ticket = control
                             .submit(tenant_ids[arrival.stream], spec, arrival.app.submit_time_s)
-                            .expect("streams map to registered tenants");
+                            .expect("streams map to registered tenants; journal has a quorum");
                         apps.insert(ticket.ticket, (tenant_ids[arrival.stream], record));
                     }
                     None => infeasible[arrival.stream] += 1,
@@ -262,18 +325,29 @@ impl MultiTenantSimulation {
             }
 
             // 3. Weighted-fair admission into the pending pool, then the
-            //    trigger-gated batch dispatch.
-            service.admit(t_next, &mut engine);
-            if let Some(batch) = engine.try_dispatch(t_next, &scheduler, &mut self.fleet) {
-                for ticket in service.note_batch(&batch) {
+            //    trigger-gated batch dispatch (both journaled).
+            control.admit(t_next).expect("control-plane journal has a quorum");
+            if let Some(outcome) = control
+                .try_dispatch(t_next, &scheduler, &mut self.fleet)
+                .expect("control-plane journal has a quorum")
+            {
+                for ticket in &outcome.terminal_rejections {
                     apps.remove(&ticket.ticket);
                 }
+                let batch = &outcome.record;
                 batches.push(BatchComposition {
                     t_s: batch.t_s,
                     reason: batch.reason,
                     num_jobs: batch.job_ids.len(),
                     tenant_jobs: batch.tenant_jobs.clone(),
+                    job_ids: batch.job_ids.clone(),
                 });
+                // Periodic checkpoint: snapshot the job state and compact the
+                // journal so failovers replay a short suffix, not history.
+                if snapshot_every > 0 && batches.len().is_multiple_of(snapshot_every) {
+                    control.snapshot().expect("control-plane journal has a quorum");
+                    snapshots_installed += 1;
+                }
             }
 
             t = t_next;
@@ -286,10 +360,14 @@ impl MultiTenantSimulation {
                 tenant,
                 arrived: arrived[i],
                 infeasible: infeasible[i],
-                stats: service.tenant_stats(tenant).expect("tenant registered"),
+                stats: control.submissions().tenant_stats(tenant).expect("tenant registered"),
             })
             .collect();
-        MultiTenantReport { batches, tenants, completed }
+        ChaosReport {
+            report: MultiTenantReport { batches, tenants, completed },
+            crashes,
+            snapshots_installed,
+        }
     }
 }
 
@@ -373,5 +451,27 @@ mod tests {
         let b = MultiTenantSimulation::with_default_fleet(saturating_config()).run();
         assert_eq!(a.batches, b.batches);
         assert_eq!(a.completed.len(), b.completed.len());
+    }
+
+    /// Leader crashes mid-run are invisible to the workload: every failover
+    /// rebuilds the job state byte for byte, so the fault-injected run
+    /// produces *exactly* the batches and completions of the failure-free
+    /// run, loses no ticket, and dispatches no job twice.
+    #[test]
+    fn failovers_mid_run_lose_no_state() {
+        let plan = FailurePlan::from_seed(5, 400.0, 2);
+        let chaos =
+            MultiTenantSimulation::with_default_fleet(saturating_config()).run_with_failures(&plan);
+        assert_eq!(chaos.crashes.len(), 2);
+        assert!(chaos.all_digests_matched(), "rebuilt state diverged: {:?}", chaos.crashes);
+        assert_eq!(chaos.lost_tickets(), 0);
+        assert!(chaos.double_dispatched_jobs().is_empty());
+        assert!(chaos.snapshots_installed > 0, "checkpoints compacted the journal");
+        for crash in &chaos.crashes {
+            assert_ne!(crash.old_leader, crash.new_leader, "failover elected a new leader");
+        }
+        let plain = MultiTenantSimulation::with_default_fleet(saturating_config()).run();
+        assert_eq!(chaos.report.batches, plain.batches);
+        assert_eq!(chaos.report.completed, plain.completed);
     }
 }

@@ -134,15 +134,24 @@ impl ReplicatedKvStore {
         Ok(())
     }
 
-    /// List all keys with the given prefix (from the freshest live replica).
+    /// List all keys with the given prefix (from the freshest live replica),
+    /// in ascending lexicographic order.
+    ///
+    /// The ordering is a contract, not an accident of the backing container:
+    /// log replay and snapshot enumeration in [`crate::log`] iterate these
+    /// keys directly, so the result is explicitly sorted to stay
+    /// deterministic even if a replica's storage is swapped for a
+    /// hash-ordered map.
     pub fn keys_with_prefix(&self, prefix: &str) -> Vec<String> {
         let replicas = self.replicas.read();
-        replicas
+        let mut keys: Vec<String> = replicas
             .iter()
             .filter(|r| !r.crashed)
             .max_by_key(|r| r.applied_index)
             .map(|r| r.data.keys().filter(|k| k.starts_with(prefix)).cloned().collect())
-            .unwrap_or_default()
+            .unwrap_or_default();
+        keys.sort_unstable();
+        keys
     }
 
     /// Number of committed writes (the replication log length).
@@ -213,6 +222,38 @@ mod tests {
         store.delete("qpu/cairo/queue").unwrap();
         assert_eq!(store.keys_with_prefix("qpu/").len(), 1);
         assert_eq!(store.get("qpu/cairo/queue"), Err(StoreError::KeyNotFound));
+    }
+
+    /// Regression: prefix enumeration is sorted regardless of insertion
+    /// order, and stays sorted when served by a recovered replica — log
+    /// replay and snapshot enumeration depend on this determinism.
+    #[test]
+    fn prefix_listing_is_sorted_regardless_of_insertion_order() {
+        let store = ReplicatedKvStore::new(1);
+        for key in ["log/entry/0000000007", "log/entry/0000000001", "log/entry/0000000003"] {
+            store.put(key, "x").unwrap();
+        }
+        let keys = store.keys_with_prefix("log/entry/");
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        assert_eq!(
+            keys,
+            vec![
+                "log/entry/0000000001".to_string(),
+                "log/entry/0000000003".to_string(),
+                "log/entry/0000000007".to_string(),
+            ]
+        );
+        // A crash + catch-up recovery must serve the same sorted view.
+        store.crash_replica(0);
+        store.put("log/entry/0000000002", "y").unwrap();
+        store.recover_replica(0);
+        store.crash_replica(1);
+        store.crash_replica(2);
+        let keys = store.keys_with_prefix("log/entry/");
+        assert_eq!(keys.len(), 4);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "sorted after recovery: {keys:?}");
     }
 
     #[test]

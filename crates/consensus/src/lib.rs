@@ -5,12 +5,15 @@
 //! election over a simulated partially synchronous network, and a
 //! majority-quorum replicated key-value store that persists the complete
 //! system state (worker resources, QPU calibration, job queues, workflow
-//! status, and results).
+//! status, and results), plus a typed append-only replicated log with
+//! snapshot compaction — the journaling substrate of the control plane.
 
 #![warn(missing_docs)]
 
 pub mod election;
 pub mod kvstore;
+pub mod log;
 
 pub use election::{Cluster, Message, Node, Role};
 pub use kvstore::{ReplicatedKvStore, StoreError};
+pub use log::{LogEntry, ReplicatedLog};

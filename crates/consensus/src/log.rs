@@ -1,0 +1,242 @@
+//! Replicated append-only log over the quorum [`ReplicatedKvStore`] (§4): the
+//! journaling substrate of the control plane. Every control-plane state
+//! transition is appended as one *typed* entry under majority quorum; a fresh
+//! replica rebuilds the exact state by restoring the latest snapshot and
+//! replaying the suffix of the log. Snapshot installation doubles as log
+//! compaction: entries covered by the snapshot are deleted from the store.
+//!
+//! The log is deliberately simple — strictly monotonic indices assigned by the
+//! appender, text-encoded entries (the workspace's serde shim erases wire
+//! formats, so entry types bring their own line codec via [`LogEntry`]) — but
+//! its durability model is the store's: an append that returns `Ok` has been
+//! applied by a majority of replicas and survives any minority failure.
+
+use crate::kvstore::{ReplicatedKvStore, StoreError};
+use std::marker::PhantomData;
+
+/// A typed log entry with a self-contained, single-line text codec.
+///
+/// Implementations must guarantee `decode(encode(e)) == Some(e)` and that the
+/// encoded form contains no `'\n'` (entries are stored one per key, but the
+/// invariant keeps dumps and snapshots greppable).
+pub trait LogEntry: Sized {
+    /// Encode the entry as a single line.
+    fn encode(&self) -> String;
+    /// Decode an entry previously produced by [`LogEntry::encode`].
+    fn decode(line: &str) -> Option<Self>;
+}
+
+/// A typed, append-only, quorum-replicated log with snapshot compaction.
+///
+/// Keys written under `prefix`:
+/// - `{prefix}/entry/{index:016}` — one encoded entry per index,
+/// - `{prefix}/len` — number of committed entries (next index),
+/// - `{prefix}/snapshot` — `"{first index not covered}\n{payload}"`,
+///   committed as one key so index and payload can never tear apart.
+///
+/// Enumeration relies on [`ReplicatedKvStore::keys_with_prefix`] returning
+/// keys in sorted order, which (with the fixed-width index encoding) makes
+/// replay order deterministic.
+#[derive(Debug, Clone)]
+pub struct ReplicatedLog<E> {
+    store: ReplicatedKvStore,
+    prefix: String,
+    _entries: PhantomData<fn() -> E>,
+}
+
+impl<E: LogEntry> ReplicatedLog<E> {
+    /// A log journaling under `prefix` in the given store.
+    pub fn new(store: ReplicatedKvStore, prefix: impl Into<String>) -> Self {
+        ReplicatedLog { store, prefix: prefix.into(), _entries: PhantomData }
+    }
+
+    /// The backing replicated store.
+    pub fn store(&self) -> &ReplicatedKvStore {
+        &self.store
+    }
+
+    /// Number of entries ever appended (compacted entries included); the next
+    /// entry receives this index.
+    pub fn len(&self) -> u64 {
+        self.store
+            .get(&format!("{}/len", self.prefix))
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    }
+
+    /// `true` if nothing was ever appended.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append one entry under quorum. Returns the entry's index.
+    ///
+    /// The entry key is written before the length key; an entry whose length
+    /// update failed (the append returned an error) is a *phantom*: readers
+    /// never observe it, because [`ReplicatedLog::entries_from`] bounds
+    /// enumeration by the committed length, and a retried append simply
+    /// overwrites the phantom key at the same index.
+    pub fn append(&self, entry: &E) -> Result<u64, StoreError> {
+        let index = self.len();
+        self.store.put(format!("{}/entry/{index:016}", self.prefix), entry.encode())?;
+        self.store.put(format!("{}/len", self.prefix), (index + 1).to_string())?;
+        Ok(index)
+    }
+
+    /// All retained entries with index ≥ `from`, in index order. Entries
+    /// compacted away by [`ReplicatedLog::install_snapshot`] are not
+    /// returned, and neither is a phantom entry from a torn append (only
+    /// indices below the committed length count).
+    pub fn entries_from(&self, from: u64) -> Vec<(u64, E)> {
+        let committed = self.len();
+        let key_prefix = format!("{}/entry/", self.prefix);
+        self.store
+            .keys_with_prefix(&key_prefix)
+            .into_iter()
+            .filter_map(|key| {
+                let index: u64 = key.strip_prefix(&key_prefix)?.parse().ok()?;
+                if index < from || index >= committed {
+                    return None;
+                }
+                let entry = E::decode(&self.store.get(&key).ok()?)?;
+                Some((index, entry))
+            })
+            .collect()
+    }
+
+    /// Install a snapshot covering every entry with index < `upto`, then
+    /// compact: the covered entries are deleted from the store. `upto` is
+    /// typically [`ReplicatedLog::len`] at snapshot time.
+    ///
+    /// Index and payload are committed as *one* key (one quorum write), so a
+    /// torn install can never pair a new baseline index with stale data (or
+    /// vice versa) — the store either serves the old snapshot or the new one.
+    /// A failure during the follow-up compaction deletes merely leaves extra
+    /// covered entries behind, which [`ReplicatedLog::entries_from`] callers
+    /// skip by starting at the snapshot index.
+    pub fn install_snapshot(&self, payload: &str, upto: u64) -> Result<(), StoreError> {
+        self.store.put(format!("{}/snapshot", self.prefix), format!("{upto}\n{payload}"))?;
+        let key_prefix = format!("{}/entry/", self.prefix);
+        for key in self.store.keys_with_prefix(&key_prefix) {
+            let covered = key
+                .strip_prefix(&key_prefix)
+                .and_then(|s| s.parse::<u64>().ok())
+                .is_some_and(|index| index < upto);
+            if covered {
+                self.store.delete(&key)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The latest installed snapshot as `(first index not covered, payload)`,
+    /// or `None` if no snapshot was ever installed.
+    pub fn snapshot(&self) -> Option<(u64, String)> {
+        let value = self.store.get(&format!("{}/snapshot", self.prefix)).ok()?;
+        let (index, payload) = value.split_once('\n')?;
+        Some((index.parse().ok()?, payload.to_string()))
+    }
+
+    /// Number of entries currently retained in the store (not compacted).
+    pub fn retained_len(&self) -> usize {
+        self.store.keys_with_prefix(&format!("{}/entry/", self.prefix)).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Note(String);
+
+    impl LogEntry for Note {
+        fn encode(&self) -> String {
+            self.0.clone()
+        }
+        fn decode(line: &str) -> Option<Self> {
+            Some(Note(line.to_string()))
+        }
+    }
+
+    #[test]
+    fn append_and_replay_in_order() {
+        let log: ReplicatedLog<Note> = ReplicatedLog::new(ReplicatedKvStore::new(1), "t");
+        assert!(log.is_empty());
+        for i in 0..12 {
+            assert_eq!(log.append(&Note(format!("e{i}"))).unwrap(), i);
+        }
+        assert_eq!(log.len(), 12);
+        let entries = log.entries_from(0);
+        assert_eq!(entries.len(), 12);
+        for (i, (index, note)) in entries.iter().enumerate() {
+            assert_eq!(*index, i as u64);
+            assert_eq!(note.0, format!("e{i}"));
+        }
+        let suffix = log.entries_from(9);
+        assert_eq!(suffix.len(), 3);
+        assert_eq!(suffix[0].0, 9);
+    }
+
+    #[test]
+    fn snapshot_compacts_covered_entries() {
+        let log: ReplicatedLog<Note> = ReplicatedLog::new(ReplicatedKvStore::new(1), "t");
+        for i in 0..10 {
+            log.append(&Note(format!("e{i}"))).unwrap();
+        }
+        log.install_snapshot("state-at-7", 7).unwrap();
+        assert_eq!(log.snapshot(), Some((7, "state-at-7".to_string())));
+        assert_eq!(log.retained_len(), 3, "entries 0..7 are compacted away");
+        let entries = log.entries_from(7);
+        assert_eq!(entries.iter().map(|(i, _)| *i).collect::<Vec<_>>(), vec![7, 8, 9]);
+        // Appending continues from the pre-compaction length.
+        assert_eq!(log.append(&Note("e10".into())).unwrap(), 10);
+        assert_eq!(log.len(), 11);
+    }
+
+    #[test]
+    fn entries_survive_minority_replica_failure() {
+        let log: ReplicatedLog<Note> = ReplicatedLog::new(ReplicatedKvStore::new(1), "t");
+        log.append(&Note("a".into())).unwrap();
+        log.store().crash_replica(0);
+        log.append(&Note("b".into())).unwrap();
+        assert_eq!(log.entries_from(0).len(), 2);
+        // Without a quorum, appends fail and the log is unchanged.
+        log.store().crash_replica(1);
+        assert_eq!(log.append(&Note("c".into())), Err(StoreError::NoQuorum));
+        assert_eq!(log.len(), 2);
+    }
+
+    /// Regression: an entry key whose length update never committed (a torn
+    /// append) is a phantom — replay must not observe it, and a retried
+    /// append overwrites it at the same index.
+    #[test]
+    fn torn_append_leaves_no_phantom_entry_in_replay() {
+        let store = ReplicatedKvStore::new(1);
+        let log: ReplicatedLog<Note> = ReplicatedLog::new(store.clone(), "t");
+        log.append(&Note("committed".into())).unwrap();
+        // Simulate the torn second append: entry key written, len key not.
+        store.put("t/entry/0000000000000001", "phantom").unwrap();
+        assert_eq!(log.len(), 1);
+        let entries = log.entries_from(0);
+        assert_eq!(entries.len(), 1, "phantom entry must not replay");
+        assert_eq!(entries[0].1 .0, "committed");
+        // A retried append claims the same index, replacing the phantom.
+        assert_eq!(log.append(&Note("retried".into())).unwrap(), 1);
+        let entries = log.entries_from(0);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[1].1 .0, "retried");
+    }
+
+    #[test]
+    fn logs_with_distinct_prefixes_do_not_interfere() {
+        let store = ReplicatedKvStore::new(1);
+        let a: ReplicatedLog<Note> = ReplicatedLog::new(store.clone(), "a");
+        let b: ReplicatedLog<Note> = ReplicatedLog::new(store, "b");
+        a.append(&Note("x".into())).unwrap();
+        assert_eq!(b.len(), 0);
+        assert!(b.entries_from(0).is_empty());
+        assert_eq!(a.entries_from(0).len(), 1);
+    }
+}

@@ -5,9 +5,12 @@
 //! `workflow_results`, image listing, resource estimation, scheduling), the
 //! workflow manager (hybrid DAGs of classical and quantum steps), the workflow
 //! registry (hybrid workflow images), deployment configuration (Listing 1
-//! analogue), the replicated system monitor, and the orchestrator that wires
-//! the resource estimator, hybrid scheduler, QPU fleet, and classical nodes
-//! into an end-to-end execution engine.
+//! analogue), the replicated system monitor, the consensus-backed replication
+//! of the job state (every `JobManager`/`SubmissionService` transition is
+//! journaled through [`replication::ReplicatedControlPlane`], so a
+//! control-plane failover loses no pending jobs), and the orchestrator that
+//! wires the resource estimator, hybrid scheduler, QPU fleet, and classical
+//! nodes into an end-to-end execution engine.
 
 #![warn(missing_docs)]
 
@@ -16,6 +19,7 @@ pub mod jobmanager;
 pub mod monitor;
 pub mod orchestrator;
 pub mod registry;
+pub mod replication;
 pub mod submission;
 pub mod workflow;
 
@@ -29,6 +33,9 @@ pub use orchestrator::{
     ClassicalStepResult, Orchestrator, OrchestratorError, QuantumStepResult, RunId, WorkflowResult,
 };
 pub use registry::{HybridWorkflowImage, ImageId, WorkflowRegistry};
+pub use replication::{
+    ControlPlaneEvent, DispatchOutcome, FailoverError, ReplicatedControlPlane, ReplicationError,
+};
 pub use submission::{
     JobTicket, SubmissionError, SubmissionService, TenantConfig, TenantStats, TicketId,
     TicketStatus,

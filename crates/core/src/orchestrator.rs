@@ -15,10 +15,11 @@
 //! lets their quantum steps share a single scheduler invocation.
 
 use crate::config::{DeploymentConfig, Priority};
-use crate::jobmanager::{JobManager, JobSpec, TenantId, DEFAULT_TENANT};
+use crate::jobmanager::{JobSpec, TenantId, DEFAULT_TENANT};
 use crate::monitor::{SystemMonitor, WorkflowStatus};
 use crate::registry::{HybridWorkflowImage, ImageId, WorkflowRegistry};
-use crate::submission::{SubmissionService, TenantConfig, TenantStats, TicketId};
+use crate::replication::ReplicatedControlPlane;
+use crate::submission::{TenantConfig, TenantStats, TicketId};
 use crate::workflow::{Step, Workflow};
 use parking_lot::Mutex;
 use qonductor_backend::Fleet;
@@ -59,6 +60,13 @@ pub enum OrchestratorError {
     NoFeasiblePlan,
     /// The referenced submission tenant was never registered.
     UnknownTenant(TenantId),
+    /// The replicated control plane cannot serve the request (no leader could
+    /// be elected, or the journal has no store quorum). Surfaced by the
+    /// explicit control-plane operations ([`Orchestrator::failover`],
+    /// [`Orchestrator::snapshot_control`]); the invoke path itself assumes a
+    /// standing quorum and panics if one is lost mid-flight (see
+    /// [`Orchestrator::with_control`]).
+    ControlPlaneUnavailable,
 }
 
 /// Execution record of one quantum step.
@@ -121,8 +129,10 @@ impl WorkflowResult {
 struct OrchestratorState {
     fleet: Fleet,
     classical_nodes: Vec<ClassicalNode>,
-    jobmanager: JobManager,
-    submissions: SubmissionService,
+    /// The journaled batch engine + submission service: every mutation of
+    /// job state flows through its quorum-replicated log, so
+    /// [`Orchestrator::failover`] can rebuild it without losing pending jobs.
+    control: ReplicatedControlPlane,
     clock_s: f64,
     next_run_id: RunId,
     results: Vec<WorkflowResult>,
@@ -136,6 +146,9 @@ pub struct Orchestrator {
     scheduler: HybridScheduler,
     transpiler: Transpiler,
     pricing: PricingTable,
+    /// Seed for the control-plane election cluster (kept so
+    /// [`Orchestrator::with_trigger`] rebuilds deterministically).
+    control_seed: u64,
     state: Mutex<OrchestratorState>,
 }
 
@@ -158,11 +171,11 @@ impl Orchestrator {
             scheduler: HybridScheduler::with_warm_start(SchedulerConfig::default()),
             transpiler: Transpiler::default(),
             pricing: PricingTable::default(),
+            control_seed: seed,
             state: Mutex::new(OrchestratorState {
                 fleet,
                 classical_nodes,
-                jobmanager: JobManager::default(),
-                submissions: default_submission_service(),
+                control: default_control_plane(ScheduleTrigger::default(), seed),
                 clock_s: 0.0,
                 next_run_id: 0,
                 results: Vec::new(),
@@ -174,7 +187,8 @@ impl Orchestrator {
     /// Replace the batch engine's scheduling trigger (paper defaults: 100
     /// pending jobs / 120 s). Construction-time only: replacing the engine
     /// after workflows ran would discard pending jobs and restart the job-id
-    /// space.
+    /// space. Tenants registered before the call carry over (with their
+    /// configuration and ids) into the rebuilt control plane.
     ///
     /// # Panics
     /// Panics if any workflow has already been invoked.
@@ -182,10 +196,22 @@ impl Orchestrator {
         {
             let mut state = self.state.lock();
             assert!(
-                state.next_run_id == 0 && state.jobmanager.pending_len() == 0,
+                state.next_run_id == 0 && state.control.jobmanager().pending_len() == 0,
                 "with_trigger must be called before any workflow is invoked"
             );
-            state.jobmanager = JobManager::new(trigger);
+            let mut control = default_control_plane(trigger, self.control_seed);
+            // Re-register every pre-existing tenant beyond the default one
+            // (ids are sequential and never removed, so replaying the
+            // configurations in ascending order reproduces the id space).
+            for (id, config) in state.control.submissions().tenant_configs() {
+                if id == DEFAULT_TENANT {
+                    continue;
+                }
+                let new_id =
+                    control.register_tenant_with(config).expect("fresh control plane has a quorum");
+                debug_assert_eq!(new_id, id);
+            }
+            state.control = control;
         }
         self
     }
@@ -219,13 +245,54 @@ impl Orchestrator {
     /// batch slots through the weighted-fair admission step; plain
     /// [`Self::invoke`] / [`Self::invoke_many`] run as the default tenant.
     pub fn register_tenant(&self, weight: u32) -> TenantId {
-        self.state.lock().submissions.register_tenant(weight)
+        self.state
+            .lock()
+            .control
+            .register_tenant(weight)
+            .expect("control-plane journal has a quorum")
     }
 
     /// A tenant's current submission accounting (admissions, completions,
     /// rejections, mean queue wait and turnaround).
     pub fn tenant_stats(&self, tenant: TenantId) -> Option<TenantStats> {
-        self.state.lock().submissions.tenant_stats(tenant)
+        self.state.lock().control.submissions().tenant_stats(tenant)
+    }
+
+    /// Run a closure against the replicated control plane (fault-injection
+    /// hooks for tests: crash/recover store replicas, inspect the journal and
+    /// election cluster).
+    ///
+    /// Crash at most a *minority* of store replicas while invocations are in
+    /// flight: the invoke path journals through the control plane with a
+    /// standing-quorum assumption and panics (rather than returning
+    /// [`OrchestratorError::ControlPlaneUnavailable`]) if an in-flight
+    /// journal write finds no quorum.
+    pub fn with_control<R>(&self, f: impl FnOnce(&ReplicatedControlPlane) -> R) -> R {
+        f(&self.state.lock().control)
+    }
+
+    /// Canonical byte-for-byte encoding of the control plane's job state
+    /// (batch engine + submission service); equal digests imply bit-identical
+    /// states.
+    pub fn control_digest(&self) -> String {
+        self.state.lock().control.state_digest()
+    }
+
+    /// Checkpoint the control plane: install a snapshot of the current job
+    /// state in the replicated store and compact the journal up to it.
+    pub fn snapshot_control(&self) -> Result<u64, OrchestratorError> {
+        self.state.lock().control.snapshot().map_err(|_| OrchestratorError::ControlPlaneUnavailable)
+    }
+
+    /// Fault-inject a control-plane failover: crash the elected leader (its
+    /// volatile job state dies with it), elect a new leader, and rebuild the
+    /// batch engine + submission service deterministically from the
+    /// replicated `snapshot + log replay`. No pending job is lost: every
+    /// ticket issued before the crash still resolves afterwards.
+    pub fn failover(&self) -> Result<(), OrchestratorError> {
+        let mut state = self.state.lock();
+        state.control.crash_leader();
+        state.control.failover().map(|_| ()).map_err(|_| OrchestratorError::ControlPlaneUnavailable)
     }
 
     /// Table 2 — *Create a workflow with hybrid code*: package a workflow and
@@ -325,7 +392,7 @@ impl Orchestrator {
     ) -> Vec<Result<RunId, OrchestratorError>> {
         let mut state = self.state.lock();
         let state = &mut *state;
-        if state.submissions.tenant_stats(tenant).is_none() {
+        if state.control.submissions().tenant_stats(tenant).is_none() {
             return image_ids
                 .iter()
                 .map(|_| Err(OrchestratorError::UnknownTenant(tenant)))
@@ -397,7 +464,7 @@ impl Orchestrator {
         }
 
         // Persist per-tenant submission accounting alongside the results.
-        for (id, stats) in state.submissions.snapshot() {
+        for (id, stats) in state.control.submissions().snapshot() {
             let _ = self.monitor.record_tenant_stats(id, &stats);
         }
 
@@ -486,9 +553,9 @@ impl Orchestrator {
                         exec_time_per_qpu,
                     };
                     let ticket = state
-                        .submissions
+                        .control
                         .submit(tenant, spec, run.clock_s)
-                        .expect("tenant validated at wave entry");
+                        .expect("tenant validated at wave entry; journal has a quorum");
                     awaiting.insert(
                         ticket.ticket,
                         AwaitedStep {
@@ -528,8 +595,9 @@ impl Orchestrator {
 
             // Weighted-fair admission: drain tenant queues into the pending
             // pool (up to the trigger's queue limit) before looking for the
-            // next event, so freshly submitted or re-queued jobs count.
-            state.submissions.admit(state.clock_s, &mut state.jobmanager);
+            // next event, so freshly submitted or re-queued jobs count. The
+            // pass is journaled through the replicated control plane.
+            state.control.admit(state.clock_s).expect("control-plane journal has a quorum");
 
             // Next simulated instant anything can happen: a queued job
             // completing, or the trigger firing (interval expiry, or the
@@ -537,8 +605,8 @@ impl Orchestrator {
             // Queued completions at the same instant are delivered before
             // dispatching, so freed runs can submit their next steps in time
             // to join the upcoming batch.
-            let next_event = state.jobmanager.next_event_s(&state.fleet);
-            let next_trigger = state.jobmanager.next_trigger_s();
+            let next_event = state.control.next_event_s(&state.fleet);
+            let next_trigger = state.control.next_trigger_s();
             let target = match (next_event, next_trigger) {
                 (Some(e), Some(t)) => e.min(t),
                 (Some(e), None) => e,
@@ -549,10 +617,14 @@ impl Orchestrator {
             state.fleet.advance_to(target, &mut state.rng);
             state.clock_s = target;
 
-            // Deliver completions up to this instant.
+            // Deliver completions up to this instant (journaled per ticket).
             let mut delivered = 0usize;
-            let completions = state.jobmanager.drain_completions(&mut state.fleet);
-            for (ticket, completion) in state.submissions.note_completions(&completions) {
+            let completions = state.control.drain_completions(&mut state.fleet);
+            for (ticket, completion) in state
+                .control
+                .note_completions(&completions)
+                .expect("control-plane journal has a quorum")
+            {
                 let Some(step) = awaiting.remove(&ticket.ticket) else { continue };
                 let run = &mut runs[step.run_index];
                 let jitter = 1.0 + state.rng.gen_range(-0.02..0.02);
@@ -580,10 +652,14 @@ impl Orchestrator {
             }
 
             // No completions at this instant: dispatch if the trigger is due
-            // (the queues are already advanced to the dispatch time).
-            if let Some(batch) =
-                state.jobmanager.try_dispatch(state.clock_s, &self.scheduler, &mut state.fleet)
+            // (the queues are already advanced to the dispatch time). The
+            // dispatch is journaled as one event through the control plane.
+            if let Some(outcome) = state
+                .control
+                .try_dispatch(state.clock_s, &self.scheduler, &mut state.fleet)
+                .expect("control-plane journal has a quorum")
             {
+                let batch = &outcome.record;
                 let _ = self.monitor.record_schedule_batch(
                     batch.batch_index,
                     batch.t_s,
@@ -596,7 +672,7 @@ impl Orchestrator {
                 // re-admission until the retry budget runs out; only the
                 // terminal rejections fail their runs.
                 let mut any_rejected = false;
-                for ticket in state.submissions.note_batch(&batch) {
+                for ticket in outcome.terminal_rejections {
                     if let Some(step) = awaiting.remove(&ticket.ticket) {
                         runs[step.run_index].failed = Some(OrchestratorError::NoFeasibleQpu {
                             required_qubits: step.required_qubits,
@@ -731,19 +807,17 @@ struct AwaitedStep {
     fidelity_per_qpu: Vec<f64>,
 }
 
-/// A submission service whose tenant 0 mirrors the legacy single-caller path:
-/// weight 1, unbounded in-flight, and no rejection retries (a scheduler
-/// rejection fails the awaiting run immediately, as before the service
-/// existed).
-fn default_submission_service() -> SubmissionService {
-    let mut service = SubmissionService::new();
-    let tenant = service.register_tenant_with(TenantConfig {
-        weight: 1,
-        max_in_flight: usize::MAX,
-        max_retries: 0,
-    });
+/// A replicated control plane (f = 1: three store replicas, three election
+/// nodes) whose tenant 0 mirrors the legacy single-caller path: weight 1,
+/// unbounded in-flight, and no rejection retries (a scheduler rejection fails
+/// the awaiting run immediately, as before the submission service existed).
+fn default_control_plane(trigger: ScheduleTrigger, seed: u64) -> ReplicatedControlPlane {
+    let mut control = ReplicatedControlPlane::new(trigger, 1, seed);
+    let tenant = control
+        .register_tenant_with(TenantConfig { weight: 1, max_in_flight: usize::MAX, max_retries: 0 })
+        .expect("fresh store has a quorum");
     debug_assert_eq!(tenant, DEFAULT_TENANT);
-    service
+    control
 }
 
 /// The neutral plan used by workflows without quantum steps.
@@ -867,6 +941,43 @@ mod tests {
         assert_ne!(first, second);
         assert!(r1.completion_s > 0.0 && r2.completion_s > 0.0);
         assert_eq!(orchestrator.list_images().len(), 1);
+    }
+
+    /// A control-plane failover between invocations loses nothing: the job
+    /// state is rebuilt bit-for-bit from the replicated journal, later
+    /// invocations keep working, and accounting/id spaces continue seamlessly.
+    #[test]
+    fn failover_between_invocations_preserves_control_state() {
+        let orchestrator = Orchestrator::with_default_cluster(7);
+        let image = ghz_image(&orchestrator, 8, false);
+        let first = orchestrator.invoke(image).unwrap();
+        let digest = orchestrator.control_digest();
+        let leader_before = orchestrator.with_control(|c| c.leader());
+        orchestrator.failover().expect("failover succeeds");
+        assert_eq!(orchestrator.control_digest(), digest, "state rebuilt bit-for-bit");
+        assert_ne!(orchestrator.with_control(|c| c.leader()), leader_before);
+        // The orchestrator keeps serving invocations on the recovered state.
+        let second = orchestrator.invoke(image).unwrap();
+        assert_ne!(first, second);
+        assert_eq!(orchestrator.workflow_status(second), Some(WorkflowStatus::Completed));
+        let stats = orchestrator.tenant_stats(DEFAULT_TENANT).unwrap();
+        assert_eq!(stats.completed, 2, "pre-crash accounting survived the failover");
+    }
+
+    /// Snapshot + compaction keeps failover working with a truncated journal.
+    #[test]
+    fn snapshot_compaction_then_failover() {
+        let orchestrator = Orchestrator::with_default_cluster(8);
+        let image = ghz_image(&orchestrator, 8, false);
+        orchestrator.invoke(image).unwrap();
+        let entries_before = orchestrator.with_control(|c| c.log().retained_len());
+        assert!(entries_before > 0, "invocation journaled events");
+        orchestrator.snapshot_control().unwrap();
+        assert_eq!(orchestrator.with_control(|c| c.log().retained_len()), 0);
+        let digest = orchestrator.control_digest();
+        orchestrator.failover().expect("failover from snapshot alone");
+        assert_eq!(orchestrator.control_digest(), digest);
+        orchestrator.invoke(image).unwrap();
     }
 
     #[test]

@@ -1,0 +1,768 @@
+//! Consensus-backed replication of the control-plane job state (§4): every
+//! mutation of the [`JobManager`] pending pool and the [`SubmissionService`]
+//! tenant queues flows through one journaled choke point — the
+//! [`ReplicatedControlPlane`] — which appends a typed [`ControlPlaneEvent`] to
+//! a quorum-replicated log *before* applying it locally. A fresh control-plane
+//! replica rebuilds the exact state (`snapshot + log replay`) after a
+//! failover, so a leader crash loses no pending jobs: every pre-crash
+//! [`JobTicket`] still resolves through [`ReplicatedControlPlane::poll`].
+//!
+//! The workspace's offline serde shim erases wire formats, so the journal
+//! brings its own text codec. Floats are encoded as IEEE-754 bit patterns in
+//! hex ([`wire::enc_f64`]), which makes snapshot + replay reconstruction
+//! **byte-for-byte** identical to the uninterrupted state — compare
+//! [`ReplicatedControlPlane::state_digest`] before a crash and after
+//! [`ReplicatedControlPlane::failover`] to prove it.
+
+use crate::jobmanager::{CompletedExecution, JobId, JobManager, JobSpec, TenantId};
+use crate::submission::{
+    JobTicket, SubmissionError, SubmissionService, TenantConfig, TicketStatus,
+};
+use qonductor_backend::{CompletedJob, Fleet};
+use qonductor_consensus::{Cluster, LogEntry, ReplicatedKvStore, ReplicatedLog, StoreError};
+use qonductor_scheduler::{HybridScheduler, ScheduleTrigger};
+
+/// Bit-exact text codecs shared by the journal and the state snapshots.
+pub(crate) mod wire {
+    use crate::jobmanager::JobSpec;
+
+    /// Encode an `f64` as its IEEE-754 bit pattern in hex (bit-exact, `-0.0`,
+    /// `NaN` payloads and all).
+    pub(crate) fn enc_f64(value: f64) -> String {
+        format!("{:016x}", value.to_bits())
+    }
+
+    /// Decode [`enc_f64`] output.
+    pub(crate) fn dec_f64(field: &str) -> Option<f64> {
+        u64::from_str_radix(field, 16).ok().map(f64::from_bits)
+    }
+
+    /// Encode an optional `f64` (`-` for `None`).
+    pub(crate) fn enc_opt_f64(value: Option<f64>) -> String {
+        value.map_or_else(|| "-".to_string(), enc_f64)
+    }
+
+    /// Decode [`enc_opt_f64`] output.
+    pub(crate) fn dec_opt_f64(field: &str) -> Option<Option<f64>> {
+        if field == "-" {
+            Some(None)
+        } else {
+            dec_f64(field).map(Some)
+        }
+    }
+
+    /// Encode a job spec as `qubits|shots|f_bits,..|t_bits,..` (no spaces, so
+    /// a spec is a single field of a space-separated record).
+    pub(crate) fn enc_spec(spec: &JobSpec) -> String {
+        let join =
+            |values: &[f64]| values.iter().map(|&v| enc_f64(v)).collect::<Vec<_>>().join(",");
+        format!(
+            "{}|{}|{}|{}",
+            spec.qubits,
+            spec.shots,
+            join(&spec.fidelity_per_qpu),
+            join(&spec.exec_time_per_qpu)
+        )
+    }
+
+    /// Decode [`enc_spec`] output.
+    pub(crate) fn dec_spec(field: &str) -> Option<JobSpec> {
+        let mut parts = field.split('|');
+        let qubits = parts.next()?.parse().ok()?;
+        let shots = parts.next()?.parse().ok()?;
+        let split = |segment: &str| -> Option<Vec<f64>> {
+            if segment.is_empty() {
+                return Some(Vec::new());
+            }
+            segment.split(',').map(dec_f64).collect()
+        };
+        let fidelity_per_qpu = split(parts.next()?)?;
+        let exec_time_per_qpu = split(parts.next()?)?;
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(JobSpec { qubits, shots, fidelity_per_qpu, exec_time_per_qpu })
+    }
+}
+
+/// One journaled control-plane state transition. Replaying the sequence of
+/// events (from a snapshot baseline) deterministically reproduces the
+/// [`JobManager`] + [`SubmissionService`] pair, because every non-journaled
+/// computation they perform (deficit-round-robin admission, ticket/job id
+/// assignment) is a pure function of the state the journal already covers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlPlaneEvent {
+    /// A tenant registered with the submission service.
+    TenantRegistered {
+        /// The tenant's admission configuration.
+        config: TenantConfig,
+    },
+    /// A job entered a tenant's FIFO queue.
+    JobSubmitted {
+        /// The submitting tenant.
+        tenant: TenantId,
+        /// The job payload.
+        spec: JobSpec,
+        /// Simulated submission time.
+        now_s: f64,
+    },
+    /// One weighted-fair admission pass ran (its outcome is a deterministic
+    /// function of the state, so only the instant is journaled).
+    AdmissionPass {
+        /// Simulated time of the pass.
+        now_s: f64,
+    },
+    /// The trigger fired and a batch was dispatched: `placed` jobs left the
+    /// pool onto QPU queues, `rejected` jobs were bounced by the scheduler.
+    BatchDispatched {
+        /// Simulated dispatch time.
+        t_s: f64,
+        /// `(job id, QPU index)` placements, in scheduler outcome order.
+        placed: Vec<(JobId, usize)>,
+        /// Scheduler-rejected job ids.
+        rejected: Vec<JobId>,
+    },
+    /// A dispatched job finished executing on a QPU.
+    JobCompleted {
+        /// The engine-assigned job id.
+        job_id: JobId,
+        /// Index of the QPU the job ran on.
+        qpu_index: usize,
+        /// Simulated enqueue time on the QPU queue.
+        enqueue_s: f64,
+        /// Simulated execution start time.
+        start_s: f64,
+        /// Simulated finish time.
+        finish_s: f64,
+    },
+}
+
+impl LogEntry for ControlPlaneEvent {
+    fn encode(&self) -> String {
+        use wire::{enc_f64, enc_spec};
+        match self {
+            ControlPlaneEvent::TenantRegistered { config } => {
+                format!("treg {} {} {}", config.weight, config.max_in_flight, config.max_retries)
+            }
+            ControlPlaneEvent::JobSubmitted { tenant, spec, now_s } => {
+                format!("subm {tenant} {} {}", enc_f64(*now_s), enc_spec(spec))
+            }
+            ControlPlaneEvent::AdmissionPass { now_s } => format!("admt {}", enc_f64(*now_s)),
+            ControlPlaneEvent::BatchDispatched { t_s, placed, rejected } => {
+                let placed = if placed.is_empty() {
+                    "-".to_string()
+                } else {
+                    placed
+                        .iter()
+                        .map(|(job, qpu)| format!("{job}:{qpu}"))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                };
+                let rejected = if rejected.is_empty() {
+                    "-".to_string()
+                } else {
+                    rejected.iter().map(u64::to_string).collect::<Vec<_>>().join(",")
+                };
+                format!("disp {} {placed} {rejected}", enc_f64(*t_s))
+            }
+            ControlPlaneEvent::JobCompleted { job_id, qpu_index, enqueue_s, start_s, finish_s } => {
+                format!(
+                    "done {job_id} {qpu_index} {} {} {}",
+                    enc_f64(*enqueue_s),
+                    enc_f64(*start_s),
+                    enc_f64(*finish_s)
+                )
+            }
+        }
+    }
+
+    fn decode(line: &str) -> Option<Self> {
+        use wire::{dec_f64, dec_spec};
+        let mut fields = line.split(' ');
+        let event = match fields.next()? {
+            "treg" => ControlPlaneEvent::TenantRegistered {
+                config: TenantConfig {
+                    weight: fields.next()?.parse().ok()?,
+                    max_in_flight: fields.next()?.parse().ok()?,
+                    max_retries: fields.next()?.parse().ok()?,
+                },
+            },
+            "subm" => ControlPlaneEvent::JobSubmitted {
+                tenant: fields.next()?.parse().ok()?,
+                now_s: dec_f64(fields.next()?)?,
+                spec: dec_spec(fields.next()?)?,
+            },
+            "admt" => ControlPlaneEvent::AdmissionPass { now_s: dec_f64(fields.next()?)? },
+            "disp" => {
+                let t_s = dec_f64(fields.next()?)?;
+                let placed_field = fields.next()?;
+                let placed = if placed_field == "-" {
+                    Vec::new()
+                } else {
+                    placed_field
+                        .split(',')
+                        .map(|pair| {
+                            let (job, qpu) = pair.split_once(':')?;
+                            Some((job.parse().ok()?, qpu.parse().ok()?))
+                        })
+                        .collect::<Option<Vec<_>>>()?
+                };
+                let rejected_field = fields.next()?;
+                let rejected = if rejected_field == "-" {
+                    Vec::new()
+                } else {
+                    rejected_field
+                        .split(',')
+                        .map(|id| id.parse().ok())
+                        .collect::<Option<Vec<_>>>()?
+                };
+                ControlPlaneEvent::BatchDispatched { t_s, placed, rejected }
+            }
+            "done" => ControlPlaneEvent::JobCompleted {
+                job_id: fields.next()?.parse().ok()?,
+                qpu_index: fields.next()?.parse().ok()?,
+                enqueue_s: dec_f64(fields.next()?)?,
+                start_s: dec_f64(fields.next()?)?,
+                finish_s: dec_f64(fields.next()?)?,
+            },
+            _ => return None,
+        };
+        if fields.next().is_some() {
+            return None;
+        }
+        Some(event)
+    }
+}
+
+/// Errors surfaced by the replicated control plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplicationError {
+    /// The replicated store rejected the journal write (e.g. no quorum).
+    Store(StoreError),
+    /// The submission-side validation failed (e.g. unknown tenant).
+    Submission(SubmissionError),
+}
+
+impl From<StoreError> for ReplicationError {
+    fn from(e: StoreError) -> Self {
+        ReplicationError::Store(e)
+    }
+}
+
+impl From<SubmissionError> for ReplicationError {
+    fn from(e: SubmissionError) -> Self {
+        ReplicationError::Submission(e)
+    }
+}
+
+/// Errors surfaced by [`ReplicatedControlPlane::failover`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailoverError {
+    /// No leader could be elected (a majority of control replicas is down).
+    NoLeader,
+    /// The store holds no snapshot to rebuild from.
+    MissingSnapshot,
+    /// The snapshot or a journal entry failed to decode.
+    CorruptState,
+}
+
+/// The result of one journaled, trigger-gated batch dispatch.
+#[derive(Debug, Clone)]
+pub struct DispatchOutcome {
+    /// The engine's batch record (placements, Pareto front, timings).
+    pub record: crate::jobmanager::BatchRecord,
+    /// Tickets whose retry budget is now exhausted (terminally rejected).
+    pub terminal_rejections: Vec<JobTicket>,
+}
+
+/// The journaled control plane: a [`JobManager`] + [`SubmissionService`] pair
+/// whose every state transition is appended to a quorum-replicated log before
+/// it is applied, with leadership decided by a Raft-style [`Cluster`].
+///
+/// Write-ahead discipline: journal first, apply second — so the replicated
+/// log can only ever be *ahead* of the volatile state, never behind, and a
+/// crash between the two replays the tail event idempotently on recovery.
+/// ([`Self::try_dispatch`] is the one post-hoc journal: the scheduler outcome
+/// must be computed to be journaled, so it pre-checks quorum instead.)
+#[derive(Debug)]
+pub struct ReplicatedControlPlane {
+    cluster: Cluster,
+    log: ReplicatedLog<ControlPlaneEvent>,
+    jobmanager: JobManager,
+    submissions: SubmissionService,
+}
+
+impl ReplicatedControlPlane {
+    /// A control plane whose engine is gated by `trigger`, journaling to a
+    /// fresh store of `2f + 1` replicas, with a `2f + 1`-node leader-election
+    /// cluster seeded by `seed`. Installs a genesis snapshot so a replica can
+    /// always rebuild, and elects the initial leader.
+    pub fn new(trigger: ScheduleTrigger, fault_tolerance: usize, seed: u64) -> Self {
+        let store = ReplicatedKvStore::new(fault_tolerance);
+        let log = ReplicatedLog::new(store, "ctl");
+        let mut cluster = Cluster::new(2 * fault_tolerance + 1, seed);
+        cluster.run_until_leader(2_000);
+        let plane = ReplicatedControlPlane {
+            cluster,
+            log,
+            jobmanager: JobManager::new(trigger),
+            submissions: SubmissionService::new(),
+        };
+        plane.log.install_snapshot(&plane.encode_state(), 0).expect("fresh store has a quorum");
+        plane
+    }
+
+    /// The batch engine (read-only; every mutation goes through the journal).
+    pub fn jobmanager(&self) -> &JobManager {
+        &self.jobmanager
+    }
+
+    /// The submission service (read-only; every mutation goes through the
+    /// journal).
+    pub fn submissions(&self) -> &SubmissionService {
+        &self.submissions
+    }
+
+    /// The leader-election cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The journal.
+    pub fn log(&self) -> &ReplicatedLog<ControlPlaneEvent> {
+        &self.log
+    }
+
+    /// The replicated store backing the journal (crash/recover replicas here
+    /// to fault-inject the storage tier).
+    pub fn store(&self) -> &ReplicatedKvStore {
+        self.log.store()
+    }
+
+    /// The current control-plane leader, if one is elected and alive.
+    pub fn leader(&self) -> Option<usize> {
+        self.cluster.leader()
+    }
+
+    /// Register a tenant with the given weight (journaled).
+    pub fn register_tenant(&mut self, weight: u32) -> Result<TenantId, ReplicationError> {
+        self.register_tenant_with(TenantConfig::weighted(weight))
+    }
+
+    /// Register a tenant with an explicit configuration (journaled).
+    pub fn register_tenant_with(
+        &mut self,
+        config: TenantConfig,
+    ) -> Result<TenantId, ReplicationError> {
+        self.log.append(&ControlPlaneEvent::TenantRegistered { config })?;
+        Ok(self.submissions.register_tenant_with(config))
+    }
+
+    /// Non-blocking submission into the tenant's FIFO queue (journaled).
+    pub fn submit(
+        &mut self,
+        tenant: TenantId,
+        spec: JobSpec,
+        now_s: f64,
+    ) -> Result<JobTicket, ReplicationError> {
+        if self.submissions.tenant_stats(tenant).is_none() {
+            return Err(SubmissionError::UnknownTenant(tenant).into());
+        }
+        self.log.append(&ControlPlaneEvent::JobSubmitted { tenant, spec: spec.clone(), now_s })?;
+        Ok(self.submissions.submit(tenant, spec, now_s).expect("tenant checked above"))
+    }
+
+    /// Observe a ticket's progress (read-only, served locally).
+    pub fn poll(&self, ticket: JobTicket) -> Option<TicketStatus> {
+        self.submissions.poll(ticket)
+    }
+
+    /// One weighted-fair admission pass into the engine's pending pool
+    /// (journaled — the pass itself is deterministic given the state, so only
+    /// its instant is logged). A pass with every tenant queue empty is
+    /// skipped entirely — no journal entry *and* no local pass (the skip must
+    /// cover both sides: even an empty pass would advance the round-robin
+    /// cursor, and a journal/local mismatch would desynchronize replay) — so
+    /// idle periods do not grow the journal or the failover replay backlog.
+    pub fn admit(&mut self, now_s: f64) -> Result<Vec<(JobTicket, JobId)>, ReplicationError> {
+        if self.submissions.tenant_ids().is_empty() || self.submissions.total_queued() == 0 {
+            return Ok(Vec::new());
+        }
+        self.log.append(&ControlPlaneEvent::AdmissionPass { now_s })?;
+        Ok(self.submissions.admit(now_s, &mut self.jobmanager))
+    }
+
+    /// One trigger-gated scheduling cycle: dispatch the pool as a batch onto
+    /// the fleet queues, journal the state delta (placements + rejections),
+    /// and account the batch with the submission service. Returns `Ok(None)`
+    /// when the trigger does not fire. Fails *before* dispatching if the
+    /// journal has no quorum, so volatile state never runs ahead of the log.
+    ///
+    /// The quorum pre-check and the post-scheduling append are not one atomic
+    /// step: fault injection that crashes store replicas from *another
+    /// thread* mid-call can defeat the pre-check and panic the post-hoc
+    /// append with jobs already enqueued. Crash/recover replicas between
+    /// control-plane calls (as every suite here does), not concurrently with
+    /// them.
+    pub fn try_dispatch(
+        &mut self,
+        now_s: f64,
+        scheduler: &HybridScheduler,
+        fleet: &mut Fleet,
+    ) -> Result<Option<DispatchOutcome>, ReplicationError> {
+        if !self.log.store().has_quorum() {
+            return Err(StoreError::NoQuorum.into());
+        }
+        let Some(record) = self.jobmanager.try_dispatch(now_s, scheduler, fleet) else {
+            return Ok(None);
+        };
+        let placed: Vec<(JobId, usize)> =
+            record.outcome.placements.iter().map(|p| (p.job_id, p.qpu_index)).collect();
+        self.log
+            .append(&ControlPlaneEvent::BatchDispatched {
+                t_s: now_s,
+                placed,
+                rejected: record.outcome.rejected_jobs.clone(),
+            })
+            .expect("quorum pre-checked");
+        let terminal_rejections = self.submissions.note_batch(&record);
+        Ok(Some(DispatchOutcome { record, terminal_rejections }))
+    }
+
+    /// Drain completion records from the fleet queues (data-plane state; no
+    /// journal entry until [`Self::note_completions`] resolves tickets).
+    pub fn drain_completions(&mut self, fleet: &mut Fleet) -> Vec<CompletedExecution> {
+        self.jobmanager.drain_completions(fleet)
+    }
+
+    /// Account drained completions (journaled per resolved ticket) and return
+    /// the `(ticket, completion)` pairs this control plane admitted.
+    pub fn note_completions(
+        &mut self,
+        completions: &[CompletedExecution],
+    ) -> Result<Vec<(JobTicket, CompletedExecution)>, ReplicationError> {
+        for completion in completions {
+            if self.submissions.tracks_job(completion.job_id) {
+                self.log.append(&ControlPlaneEvent::JobCompleted {
+                    job_id: completion.job_id,
+                    qpu_index: completion.qpu_index,
+                    enqueue_s: completion.record.enqueue_time_s,
+                    start_s: completion.record.start_time_s,
+                    finish_s: completion.record.finish_time_s,
+                })?;
+            }
+        }
+        Ok(self.submissions.note_completions(completions))
+    }
+
+    /// Earliest next completion across the fleet (delegates to the engine).
+    pub fn next_event_s(&self, fleet: &Fleet) -> Option<f64> {
+        self.jobmanager.next_event_s(fleet)
+    }
+
+    /// Earliest simulated time the trigger can fire (delegates to the
+    /// engine).
+    pub fn next_trigger_s(&self) -> Option<f64> {
+        self.jobmanager.next_trigger_s()
+    }
+
+    /// Checkpoint: install a snapshot of the current state and compact the
+    /// journal up to it. Returns the first journal index not covered.
+    pub fn snapshot(&self) -> Result<u64, ReplicationError> {
+        let upto = self.log.len();
+        self.log.install_snapshot(&self.encode_state(), upto)?;
+        Ok(upto)
+    }
+
+    /// Canonical byte-for-byte encoding of the full control-plane state
+    /// (engine + submission service). Two states are identical iff their
+    /// digests are equal as strings.
+    pub fn state_digest(&self) -> String {
+        self.encode_state()
+    }
+
+    /// Crash the elected leader: its node stops heartbeating and the
+    /// *volatile* control-plane state dies with it. The replicated journal
+    /// (and any installed snapshot) survives on the store replicas. State is
+    /// unusable until [`Self::failover`] rebuilds it.
+    pub fn crash_leader(&mut self) {
+        if let Some(leader) = self.cluster.leader() {
+            self.cluster.crash(leader);
+        }
+        self.jobmanager = JobManager::default();
+        self.submissions = SubmissionService::new();
+    }
+
+    /// Fail over to a recovered replica: elect a new leader, rebuild the
+    /// engine + submission service deterministically from `snapshot + log
+    /// replay`, install the rebuilt pair as the live state, and let crashed
+    /// nodes rejoin as followers. Returns clones of the rebuilt pair for
+    /// inspection.
+    pub fn failover(&mut self) -> Result<(JobManager, SubmissionService), FailoverError> {
+        self.cluster.run_until_leader(5_000).ok_or(FailoverError::NoLeader)?;
+        let (jobmanager, submissions) = self.rebuild()?;
+        self.jobmanager = jobmanager.clone();
+        self.submissions = submissions.clone();
+        for id in 0..self.cluster.len() {
+            if self.cluster.node(id).crashed {
+                self.cluster.recover(id);
+            }
+        }
+        Ok((jobmanager, submissions))
+    }
+
+    /// Rebuild a `(JobManager, SubmissionService)` pair from the replicated
+    /// store without touching the live state: restore the latest snapshot,
+    /// then replay every retained journal entry after it, in order.
+    pub fn rebuild(&self) -> Result<(JobManager, SubmissionService), FailoverError> {
+        let (from, payload) = self.log.snapshot().ok_or(FailoverError::MissingSnapshot)?;
+        let (mut jobmanager, mut submissions) =
+            decode_combined_state(&payload).ok_or(FailoverError::CorruptState)?;
+        for (_, event) in self.log.entries_from(from) {
+            apply_event(&mut jobmanager, &mut submissions, &event);
+        }
+        Ok((jobmanager, submissions))
+    }
+
+    /// Number of journal entries a failover right now would replay on top of
+    /// the latest snapshot.
+    pub fn replay_backlog(&self) -> u64 {
+        let baseline = self.log.snapshot().map_or(0, |(index, _)| index);
+        self.log.len().saturating_sub(baseline)
+    }
+
+    fn encode_state(&self) -> String {
+        format!("{}\n{}", self.jobmanager.encode_state(), self.submissions.encode_state())
+    }
+}
+
+/// Split a combined snapshot payload at the submission-service header and
+/// decode both halves.
+fn decode_combined_state(payload: &str) -> Option<(JobManager, SubmissionService)> {
+    let split = payload.find("\nsvc ")?;
+    let (jm_part, svc_part) = payload.split_at(split);
+    let jobmanager = JobManager::decode_state(jm_part)?;
+    let submissions = SubmissionService::decode_state(svc_part.trim_start_matches('\n'))?;
+    Some((jobmanager, submissions))
+}
+
+/// Apply one journaled event to a rebuilding state pair. Every arm is
+/// idempotent-or-deterministic: replaying the exact journal sequence from the
+/// snapshot baseline reproduces the live state byte for byte.
+fn apply_event(
+    jobmanager: &mut JobManager,
+    submissions: &mut SubmissionService,
+    event: &ControlPlaneEvent,
+) {
+    match event {
+        ControlPlaneEvent::TenantRegistered { config } => {
+            submissions.register_tenant_with(*config);
+        }
+        ControlPlaneEvent::JobSubmitted { tenant, spec, now_s } => {
+            let _ = submissions.submit(*tenant, spec.clone(), *now_s);
+        }
+        ControlPlaneEvent::AdmissionPass { now_s } => {
+            submissions.admit(*now_s, jobmanager);
+        }
+        ControlPlaneEvent::BatchDispatched { t_s, placed, rejected } => {
+            jobmanager.apply_batch(*t_s, placed, rejected);
+            submissions.note_rejections(rejected);
+        }
+        ControlPlaneEvent::JobCompleted { job_id, qpu_index, enqueue_s, start_s, finish_s } => {
+            submissions.note_completions(&[CompletedExecution {
+                job_id: *job_id,
+                qpu_index: *qpu_index,
+                record: CompletedJob {
+                    job_id: *job_id,
+                    enqueue_time_s: *enqueue_s,
+                    start_time_s: *start_s,
+                    finish_time_s: *finish_s,
+                },
+            }]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qonductor_scheduler::{Nsga2Config, SchedulerConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_fleet(seed: u64) -> Fleet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Fleet::ibm_default(&mut rng)
+    }
+
+    fn scheduler() -> HybridScheduler {
+        HybridScheduler::new(SchedulerConfig {
+            nsga2: Nsga2Config {
+                population_size: 16,
+                max_generations: 8,
+                max_evaluations: 800,
+                num_threads: 1,
+                ..Nsga2Config::default()
+            },
+            ..SchedulerConfig::default()
+        })
+    }
+
+    fn spec(fleet: &Fleet, qubits: u32, exec_s: f64) -> JobSpec {
+        JobSpec {
+            qubits,
+            shots: 1000,
+            fidelity_per_qpu: fleet
+                .members()
+                .iter()
+                .map(|m| if m.qpu.num_qubits() >= qubits { 0.9 } else { 0.0 })
+                .collect(),
+            exec_time_per_qpu: fleet
+                .members()
+                .iter()
+                .map(|m| if m.qpu.num_qubits() >= qubits { exec_s } else { f64::INFINITY })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn event_codec_roundtrips() {
+        let events = vec![
+            ControlPlaneEvent::TenantRegistered {
+                config: TenantConfig { weight: 3, max_in_flight: usize::MAX, max_retries: 2 },
+            },
+            ControlPlaneEvent::JobSubmitted {
+                tenant: 7,
+                spec: JobSpec {
+                    qubits: 5,
+                    shots: 1024,
+                    fidelity_per_qpu: vec![0.9, 0.0, f64::NAN],
+                    exec_time_per_qpu: vec![4.25, f64::INFINITY, -0.0],
+                },
+                now_s: 123.456,
+            },
+            ControlPlaneEvent::AdmissionPass { now_s: 0.1 + 0.2 },
+            ControlPlaneEvent::BatchDispatched {
+                t_s: 99.5,
+                placed: vec![(0, 3), (2, 1)],
+                rejected: vec![1, 4],
+            },
+            ControlPlaneEvent::BatchDispatched { t_s: 1.0, placed: vec![], rejected: vec![] },
+            ControlPlaneEvent::JobCompleted {
+                job_id: 12,
+                qpu_index: 4,
+                enqueue_s: 1.0,
+                start_s: 2.5,
+                finish_s: 7.125,
+            },
+        ];
+        for event in events {
+            let line = event.encode();
+            assert!(!line.contains('\n'));
+            let back = ControlPlaneEvent::decode(&line).expect("decodes");
+            // NaN != NaN under PartialEq: compare the re-encoded line, which
+            // is bit-exact.
+            assert_eq!(back.encode(), line, "{event:?}");
+        }
+        assert!(ControlPlaneEvent::decode("bogus 1 2").is_none());
+        assert!(ControlPlaneEvent::decode("subm 1").is_none());
+        assert!(ControlPlaneEvent::decode("admt 0000000000000000 trailing").is_none());
+    }
+
+    #[test]
+    fn lifecycle_is_journaled_and_rebuilds_bit_for_bit() {
+        let mut fleet = small_fleet(11);
+        let scheduler = scheduler();
+        let mut plane = ReplicatedControlPlane::new(ScheduleTrigger::new(3, 1e12), 1, 5);
+        assert!(plane.leader().is_some());
+        let tenant = plane.register_tenant(2).unwrap();
+        let tickets: Vec<JobTicket> =
+            (0..3).map(|i| plane.submit(tenant, spec(&fleet, 5, 6.0), i as f64).unwrap()).collect();
+        plane.admit(3.0).unwrap();
+        let outcome =
+            plane.try_dispatch(3.0, &scheduler, &mut fleet).unwrap().expect("trigger fires");
+        assert_eq!(outcome.record.job_ids.len(), 3);
+        assert!(outcome.terminal_rejections.is_empty());
+        let mut rng = StdRng::seed_from_u64(1);
+        fleet.advance_to(1e5, &mut rng);
+        let done = plane.drain_completions(&mut fleet);
+        plane.note_completions(&done).unwrap();
+        for &ticket in &tickets {
+            assert!(matches!(plane.poll(ticket), Some(TicketStatus::Completed { .. })));
+        }
+
+        // An independent rebuild from the store matches the live state byte
+        // for byte.
+        let digest = plane.state_digest();
+        let (jm, svc) = plane.rebuild().expect("rebuild succeeds");
+        assert_eq!(format!("{}\n{}", jm.encode_state(), svc.encode_state()), digest);
+
+        // Crash + failover: the recovered pair is identical too.
+        let old_leader = plane.leader().unwrap();
+        plane.crash_leader();
+        assert_ne!(plane.state_digest(), digest, "volatile state died with the leader");
+        plane.failover().expect("failover succeeds");
+        assert_eq!(plane.state_digest(), digest);
+        assert_ne!(plane.leader(), Some(old_leader));
+        for &ticket in &tickets {
+            assert!(matches!(plane.poll(ticket), Some(TicketStatus::Completed { .. })));
+        }
+    }
+
+    #[test]
+    fn snapshot_compacts_and_failover_replays_the_suffix() {
+        let mut fleet = small_fleet(12);
+        let scheduler = scheduler();
+        let mut plane = ReplicatedControlPlane::new(ScheduleTrigger::new(2, 1e12), 1, 6);
+        let tenant = plane.register_tenant(1).unwrap();
+        for i in 0..2 {
+            plane.submit(tenant, spec(&fleet, 5, 4.0), i as f64).unwrap();
+        }
+        plane.admit(2.0).unwrap();
+        plane.try_dispatch(2.0, &scheduler, &mut fleet).unwrap().expect("dispatch");
+        let upto = plane.snapshot().unwrap();
+        assert_eq!(plane.replay_backlog(), 0);
+        assert_eq!(plane.log().retained_len(), 0, "journal compacted");
+
+        // Post-snapshot activity replays on top of the snapshot.
+        let t2 = plane.submit(tenant, spec(&fleet, 5, 4.0), 3.0).unwrap();
+        plane.admit(3.0).unwrap();
+        assert!(plane.replay_backlog() >= 2);
+        assert!(plane.log().len() > upto);
+        let digest = plane.state_digest();
+        plane.crash_leader();
+        plane.failover().expect("failover succeeds");
+        assert_eq!(plane.state_digest(), digest);
+        assert!(matches!(plane.poll(t2), Some(TicketStatus::Admitted { .. })));
+    }
+
+    #[test]
+    fn writes_fail_without_store_quorum_and_resume_after_recovery() {
+        let fleet = small_fleet(13);
+        let mut plane = ReplicatedControlPlane::new(ScheduleTrigger::new(4, 1e12), 1, 7);
+        let tenant = plane.register_tenant(1).unwrap();
+        plane.store().crash_replica(0);
+        plane.submit(tenant, spec(&fleet, 5, 4.0), 0.0).unwrap();
+        plane.store().crash_replica(1);
+        assert_eq!(
+            plane.submit(tenant, spec(&fleet, 5, 4.0), 1.0),
+            Err(ReplicationError::Store(StoreError::NoQuorum))
+        );
+        assert_eq!(plane.admit(1.0), Err(ReplicationError::Store(StoreError::NoQuorum)));
+        plane.store().recover_replica(0);
+        plane.submit(tenant, spec(&fleet, 5, 4.0), 2.0).unwrap();
+        assert_eq!(plane.submissions().queued_len(tenant), 2);
+    }
+
+    #[test]
+    fn unknown_tenant_is_rejected_without_journaling() {
+        let fleet = small_fleet(14);
+        let mut plane = ReplicatedControlPlane::new(ScheduleTrigger::default(), 1, 8);
+        let before = plane.log().len();
+        assert_eq!(
+            plane.submit(99, spec(&fleet, 5, 4.0), 0.0),
+            Err(ReplicationError::Submission(SubmissionError::UnknownTenant(99)))
+        );
+        assert_eq!(plane.log().len(), before, "failed submissions leave no journal entry");
+    }
+}

@@ -242,6 +242,13 @@ impl SubmissionService {
         self.tenants.keys().copied().collect()
     }
 
+    /// Every tenant's (clamped) admission configuration, ascending by id —
+    /// enough to re-register the same tenant population elsewhere, since ids
+    /// are assigned sequentially and tenants are never removed.
+    pub fn tenant_configs(&self) -> Vec<(TenantId, TenantConfig)> {
+        self.tenants.iter().map(|(&id, state)| (id, state.config)).collect()
+    }
+
     /// Non-blocking submission: enqueue a job spec into the tenant's FIFO
     /// queue and return a ticket immediately. The job enters the batch engine
     /// only when a later [`Self::admit`] pass selects it.
@@ -362,8 +369,15 @@ impl SubmissionService {
     /// retry budget is exhausted, at which point the ticket becomes terminally
     /// [`TicketStatus::Rejected`]. Returns the terminally rejected tickets.
     pub fn note_batch(&mut self, batch: &BatchRecord) -> Vec<JobTicket> {
+        self.note_rejections(&batch.outcome.rejected_jobs)
+    }
+
+    /// [`Self::note_batch`] from the raw rejected job ids — the replay form
+    /// used when re-applying a journaled batch dispatch, where only the state
+    /// delta (not the full batch record) was persisted.
+    pub fn note_rejections(&mut self, rejected_jobs: &[JobId]) -> Vec<JobTicket> {
         let mut terminal = Vec::new();
-        for job_id in &batch.outcome.rejected_jobs {
+        for job_id in rejected_jobs {
             let Some(ticket) = self.job_to_ticket.remove(job_id) else { continue };
             let record = self.tickets.get_mut(&ticket).expect("admitted tickets exist");
             let tenant =
@@ -429,6 +443,165 @@ impl SubmissionService {
     /// Total tickets waiting across all tenant queues.
     pub fn total_queued(&self) -> usize {
         self.tenants.values().map(|t| t.queue.len()).sum()
+    }
+
+    /// `true` if `job_id` belongs to a ticket this service admitted and has
+    /// not yet resolved (completion or rejection accounting still pending).
+    pub fn tracks_job(&self, job_id: JobId) -> bool {
+        self.job_to_ticket.contains_key(&job_id)
+    }
+
+    /// Canonical byte-for-byte text encoding of the service's full state:
+    /// id counters and round-robin cursor, per-tenant configuration, queue,
+    /// DRR deficit and accounting, every ticket record (sorted by id), and
+    /// the job→ticket map (sorted by job id). Floats are encoded as IEEE-754
+    /// bit patterns, so equal encodings imply bit-identical states.
+    pub fn encode_state(&self) -> String {
+        use crate::replication::wire::{enc_f64, enc_spec};
+        let mut out = String::from("svc 1\n");
+        out.push_str(&format!(
+            "ids {} {} {}\n",
+            self.next_tenant_id, self.next_ticket_id, self.rr_start
+        ));
+        for (id, tenant) in &self.tenants {
+            let queue = if tenant.queue.is_empty() {
+                "-".to_string()
+            } else {
+                tenant.queue.iter().map(u64::to_string).collect::<Vec<_>>().join(",")
+            };
+            out.push_str(&format!(
+                "tenant {id} {} {} {} {} {} {} {} {} {} {} {} {queue}\n",
+                tenant.config.weight,
+                tenant.config.max_in_flight,
+                tenant.config.max_retries,
+                tenant.deficit,
+                tenant.in_flight,
+                tenant.submitted,
+                tenant.admitted,
+                tenant.completed,
+                tenant.rejected,
+                enc_f64(tenant.queue_wait_total_s),
+                enc_f64(tenant.turnaround_total_s),
+            ));
+        }
+        let mut ticket_ids: Vec<TicketId> = self.tickets.keys().copied().collect();
+        ticket_ids.sort_unstable();
+        for ticket_id in ticket_ids {
+            let record = &self.tickets[&ticket_id];
+            let state = match record.state {
+                TicketState::Queued => "q".to_string(),
+                TicketState::Admitted { job_id } => format!("a:{job_id}"),
+                TicketState::Completed { job_id, qpu_index, waiting_s, turnaround_s } => {
+                    format!(
+                        "c:{job_id}:{qpu_index}:{}:{}",
+                        enc_f64(waiting_s),
+                        enc_f64(turnaround_s)
+                    )
+                }
+                TicketState::Rejected => "r".to_string(),
+            };
+            out.push_str(&format!(
+                "ticket {ticket_id} {} {} {} {state} {}\n",
+                record.tenant,
+                enc_f64(record.submitted_s),
+                record.attempts,
+                enc_spec(&record.spec)
+            ));
+        }
+        let mut jobs: Vec<(JobId, TicketId)> =
+            self.job_to_ticket.iter().map(|(&job, &ticket)| (job, ticket)).collect();
+        jobs.sort_unstable();
+        let map = if jobs.is_empty() {
+            "-".to_string()
+        } else {
+            jobs.iter().map(|(job, ticket)| format!("{job}:{ticket}")).collect::<Vec<_>>().join(",")
+        };
+        out.push_str(&format!("jobmap {map}\n"));
+        out
+    }
+
+    /// Decode a state produced by [`SubmissionService::encode_state`].
+    pub fn decode_state(encoded: &str) -> Option<SubmissionService> {
+        use crate::replication::wire::{dec_f64, dec_spec};
+        let mut lines = encoded.lines();
+        if lines.next()? != "svc 1" {
+            return None;
+        }
+        let mut ids = lines.next()?.split(' ');
+        if ids.next()? != "ids" {
+            return None;
+        }
+        let mut service = SubmissionService {
+            tenants: BTreeMap::new(),
+            next_tenant_id: ids.next()?.parse().ok()?,
+            next_ticket_id: ids.next()?.parse().ok()?,
+            tickets: HashMap::new(),
+            job_to_ticket: HashMap::new(),
+            rr_start: ids.next()?.parse().ok()?,
+        };
+        for line in lines {
+            let mut fields = line.split(' ');
+            match fields.next()? {
+                "tenant" => {
+                    let id: TenantId = fields.next()?.parse().ok()?;
+                    let mut tenant = TenantState::new(TenantConfig {
+                        weight: fields.next()?.parse().ok()?,
+                        max_in_flight: fields.next()?.parse().ok()?,
+                        max_retries: fields.next()?.parse().ok()?,
+                    });
+                    tenant.deficit = fields.next()?.parse().ok()?;
+                    tenant.in_flight = fields.next()?.parse().ok()?;
+                    tenant.submitted = fields.next()?.parse().ok()?;
+                    tenant.admitted = fields.next()?.parse().ok()?;
+                    tenant.completed = fields.next()?.parse().ok()?;
+                    tenant.rejected = fields.next()?.parse().ok()?;
+                    tenant.queue_wait_total_s = dec_f64(fields.next()?)?;
+                    tenant.turnaround_total_s = dec_f64(fields.next()?)?;
+                    let queue = fields.next()?;
+                    if queue != "-" {
+                        for ticket in queue.split(',') {
+                            tenant.queue.push_back(ticket.parse().ok()?);
+                        }
+                    }
+                    service.tenants.insert(id, tenant);
+                }
+                "ticket" => {
+                    let ticket_id: TicketId = fields.next()?.parse().ok()?;
+                    let tenant = fields.next()?.parse().ok()?;
+                    let submitted_s = dec_f64(fields.next()?)?;
+                    let attempts = fields.next()?.parse().ok()?;
+                    let state_field = fields.next()?;
+                    let state = match state_field.split(':').collect::<Vec<_>>().as_slice() {
+                        ["q"] => TicketState::Queued,
+                        ["a", job] => TicketState::Admitted { job_id: job.parse().ok()? },
+                        ["c", job, qpu, wait, turn] => TicketState::Completed {
+                            job_id: job.parse().ok()?,
+                            qpu_index: qpu.parse().ok()?,
+                            waiting_s: dec_f64(wait)?,
+                            turnaround_s: dec_f64(turn)?,
+                        },
+                        ["r"] => TicketState::Rejected,
+                        _ => return None,
+                    };
+                    let spec = dec_spec(fields.next()?)?;
+                    service.tickets.insert(
+                        ticket_id,
+                        TicketRecord { tenant, submitted_s, attempts, spec, state },
+                    );
+                }
+                "jobmap" => {
+                    let map = fields.next()?;
+                    if map != "-" {
+                        for pair in map.split(',') {
+                            let (job, ticket) = pair.split_once(':')?;
+                            service.job_to_ticket.insert(job.parse().ok()?, ticket.parse().ok()?);
+                        }
+                    }
+                }
+                _ => return None,
+            }
+        }
+        Some(service)
     }
 }
 
@@ -568,6 +741,51 @@ mod tests {
         assert_eq!(stats.admitted, 2, "both admission events are counted");
         assert_eq!(stats.in_flight, 0);
         assert_eq!(stats.queued, 0);
+    }
+
+    /// The state codec roundtrips bit for bit across a mixed lifecycle:
+    /// queued, admitted, completed, and terminally rejected tickets, non-zero
+    /// DRR deficits, and accumulated float accounting.
+    #[test]
+    fn state_encoding_roundtrips_bit_for_bit() {
+        let mut fleet = small_fleet(6);
+        let mut svc = SubmissionService::new();
+        let a =
+            svc.register_tenant_with(TenantConfig { weight: 3, max_in_flight: 2, max_retries: 0 });
+        let b = svc.register_tenant_with(TenantConfig::weighted(1));
+        for i in 0..4 {
+            svc.submit(a, spec(&fleet, 5, 7.0), 0.1 * i as f64).unwrap();
+            svc.submit(b, spec(&fleet, 5, 7.0), 0.1 * i as f64).unwrap();
+        }
+        svc.submit(a, spec(&fleet, 64, 1.0), 0.5).unwrap(); // will terminally reject
+        let mut jm = JobManager::new(ScheduleTrigger::new(5, 40.0));
+        let scheduler = scheduler();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut t = 1.0;
+        for _ in 0..4 {
+            svc.admit(t, &mut jm);
+            if let Some(batch) = jm.try_dispatch(t, &scheduler, &mut fleet) {
+                svc.note_batch(&batch);
+            }
+            t += 41.0;
+            fleet.advance_to(t, &mut rng);
+            svc.note_completions(&jm.drain_completions(&mut fleet));
+        }
+        let encoded = svc.encode_state();
+        let back = SubmissionService::decode_state(&encoded).expect("decodes");
+        assert_eq!(back.encode_state(), encoded);
+        assert_eq!(back.snapshot(), svc.snapshot());
+        // The restored service keeps behaving identically.
+        let mut live = svc;
+        let mut restored = back;
+        assert_eq!(
+            live.submit(a, spec(&fleet, 5, 2.0), t).unwrap(),
+            restored.submit(a, spec(&fleet, 5, 2.0), t).unwrap()
+        );
+        let mut jm_live = jm.clone();
+        let mut jm_restored = jm;
+        assert_eq!(live.admit(t, &mut jm_live), restored.admit(t, &mut jm_restored));
+        assert_eq!(live.encode_state(), restored.encode_state());
     }
 
     #[test]

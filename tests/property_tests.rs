@@ -1,7 +1,8 @@
 //! Property-based tests (proptest) on the core data structures and invariants:
 //! circuit IR metrics, transpilation correctness, Hellinger fidelity bounds,
-//! mitigation cost composition, scheduler feasibility, MCDM selection, and
-//! the multi-tenant submission/batch-dispatch engine.
+//! mitigation cost composition, scheduler feasibility, MCDM selection, the
+//! multi-tenant submission/batch-dispatch engine, and the replicated control
+//! plane's crash-replay identity.
 
 mod common;
 
@@ -10,7 +11,9 @@ use qonductor::backend::{
     hellinger_fidelity, CouplingMap, Distribution, Fleet, Qpu, QpuModel, Simulator,
 };
 use qonductor::circuit::{generators, Circuit, CircuitMetrics};
-use qonductor::core::{JobManager, JobTicket, SubmissionService, TenantConfig, TicketStatus};
+use qonductor::core::{
+    JobManager, JobTicket, ReplicatedControlPlane, SubmissionService, TenantConfig, TicketStatus,
+};
 use qonductor::mitigation::{fold_circuit, MitigationCost};
 use qonductor::scheduler::{
     optimize, optimize_with, select, EvalState, JobRequest, Nsga2Config, OptimizerWorkspace,
@@ -406,5 +409,170 @@ proptest! {
         prop_assert!(circuit.num_qubits() >= 2 && circuit.num_qubits() <= 27);
         prop_assert!(circuit.num_measurements() as u32 >= circuit.num_qubits());
         prop_assert!(circuit.shots() >= 100);
+    }
+}
+
+/// One step of the replicated-control-plane property run.
+#[derive(Debug, Clone, Copy)]
+enum ControlOp {
+    /// Submit a job for tenant `tenant_index` (infeasible if `qubits` exceeds
+    /// every QPU, exercising the bounded-retry rejection path on replay).
+    Submit { tenant_index: usize, qubits: u32 },
+    /// Advance simulated time by `dt_s`: admit, maybe dispatch, advance the
+    /// fleet, deliver completions.
+    Drive { dt_s: f64 },
+    /// Checkpoint: install a snapshot and compact the journal (moves the
+    /// replay baseline, so later crash points restore `snapshot + log[..k]`).
+    Snapshot,
+}
+
+/// Execute an op sequence against a fresh replicated control plane; if
+/// `crash_at` is `Some(k)`, the leader is killed and failed over right before
+/// op `k` (the journal then holds exactly the events of `log[..k]`, and the
+/// run continues by appending — i.e. replaying — `log[k..]`). Returns the
+/// final state digest, every ticket's final status, and whether each failover
+/// rebuilt the pre-crash state byte for byte.
+fn run_control_ops(
+    seed: u64,
+    ops: &[ControlOp],
+    crash_at: Option<usize>,
+) -> (String, Vec<Option<TicketStatus>>, bool) {
+    const QUEUE_LIMIT: usize = 5;
+    const INTERVAL_S: f64 = 40.0;
+    let mut fleet = common::small_fleet(seed ^ 0xF1EE);
+    let scheduler = common::small_scheduler(8, 4, 240);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD21F);
+    let mut plane = ReplicatedControlPlane::new(
+        qonductor::scheduler::ScheduleTrigger::new(QUEUE_LIMIT, INTERVAL_S),
+        1,
+        seed,
+    );
+    let tenants: Vec<_> = (1..=3u32)
+        .map(|w| {
+            plane
+                .register_tenant_with(TenantConfig { weight: w, max_in_flight: 16, max_retries: 1 })
+                .expect("quorum")
+        })
+        .collect();
+    let mut tickets: Vec<JobTicket> = Vec::new();
+    let mut rebuilds_matched = true;
+    let mut t = 0.0f64;
+
+    let crash = |plane: &mut ReplicatedControlPlane, matched: &mut bool| {
+        let digest = plane.state_digest();
+        plane.crash_leader();
+        plane.failover().expect("a majority of control replicas survives");
+        *matched &= plane.state_digest() == digest;
+    };
+    let drive = |plane: &mut ReplicatedControlPlane,
+                 fleet: &mut Fleet,
+                 rng: &mut StdRng,
+                 t: &mut f64,
+                 dt_s: f64| {
+        *t += dt_s;
+        plane.admit(*t).expect("quorum");
+        let _ = plane.try_dispatch(*t, &scheduler, fleet).expect("quorum");
+        fleet.advance_to(*t, rng);
+        let done = plane.drain_completions(fleet);
+        plane.note_completions(&done).expect("quorum");
+    };
+
+    for (index, op) in ops.iter().enumerate() {
+        if crash_at == Some(index) {
+            crash(&mut plane, &mut rebuilds_matched);
+        }
+        match *op {
+            ControlOp::Submit { tenant_index, qubits } => {
+                let spec = common::feasible_spec(&fleet, qubits, 5.0);
+                let tenant = tenants[tenant_index % tenants.len()];
+                tickets.push(plane.submit(tenant, spec, t).expect("quorum"));
+            }
+            ControlOp::Drive { dt_s } => drive(&mut plane, &mut fleet, &mut rng, &mut t, dt_s),
+            ControlOp::Snapshot => {
+                plane.snapshot().expect("quorum");
+            }
+        }
+    }
+    if crash_at == Some(ops.len()) {
+        crash(&mut plane, &mut rebuilds_matched);
+    }
+    // Flush: drive until every tenant queue and the pending pool drain.
+    let mut guard = 0;
+    while plane.submissions().total_queued() > 0 || plane.jobmanager().pending_len() > 0 {
+        guard += 1;
+        assert!(guard < 500, "flush must converge");
+        drive(&mut plane, &mut fleet, &mut rng, &mut t, INTERVAL_S + 1.0);
+    }
+    fleet.advance_to(t + 1e6, &mut rng);
+    let done = plane.drain_completions(&mut fleet);
+    plane.note_completions(&done).expect("quorum");
+    let statuses = tickets.iter().map(|&ticket| plane.poll(ticket)).collect();
+    (plane.state_digest(), statuses, rebuilds_matched)
+}
+
+proptest! {
+    // The failover acceptance criterion: ≥100 random interleavings × crash
+    // points, each run twice (uninterrupted vs. crashed), byte-compared.
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    /// For an arbitrary interleaving of submit / admit+dispatch / complete /
+    /// snapshot ops and an arbitrary crash point `k`: killing the leader
+    /// before op `k` and rebuilding from `restore(snapshot, log[..k])`, then
+    /// replaying the remaining ops (`log[k..]`), yields a final control-plane
+    /// state **byte-for-byte identical** to the uninterrupted run — same
+    /// pending pool, next ids, per-tenant queues/stats, and every ticket in
+    /// the same terminal state. No pre-crash ticket is ever lost.
+    #[test]
+    fn crash_replay_is_identical_to_the_uninterrupted_run(
+        seed in 0u64..1_000_000,
+        crash_fraction in 0.0f64..1.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0DE);
+        let num_ops = rng.gen_range(8..22);
+        let ops: Vec<ControlOp> = (0..num_ops)
+            .map(|_| {
+                let roll: f64 = rng.gen_range(0.0..1.0);
+                if roll < 0.55 {
+                    ControlOp::Submit {
+                        tenant_index: rng.gen_range(0..3),
+                        // ~10% of submissions are wider than every QPU, so
+                        // replay also covers rejection + bounded retry.
+                        qubits: if rng.gen_bool(0.1) { 40 } else { rng.gen_range(2..=20) },
+                    }
+                } else if roll < 0.9 {
+                    ControlOp::Drive { dt_s: rng.gen_range(1.0..50.0) }
+                } else {
+                    ControlOp::Snapshot
+                }
+            })
+            .collect();
+        // `ops.len() + 1` crash points: before each op, plus one *after* the
+        // last op (crashing with queues still draining, exercised by the
+        // flush phase); the min() guards the crash_fraction == 1.0 edge.
+        let crash_at =
+            ((crash_fraction * (ops.len() + 1) as f64).floor() as usize).min(ops.len());
+
+        let (reference_digest, reference_statuses, _) = run_control_ops(seed, &ops, None);
+        let (crashed_digest, crashed_statuses, rebuilds_matched) =
+            run_control_ops(seed, &ops, Some(crash_at));
+
+        prop_assert!(rebuilds_matched, "failover rebuilt divergent state at op {crash_at}");
+        prop_assert_eq!(
+            &crashed_digest, &reference_digest,
+            "crash at op {} diverged from the uninterrupted run", crash_at
+        );
+        prop_assert_eq!(crashed_statuses.len(), reference_statuses.len());
+        for (i, (crashed, reference)) in
+            crashed_statuses.iter().zip(&reference_statuses).enumerate()
+        {
+            prop_assert_eq!(crashed, reference, "ticket {} status diverged", i);
+            prop_assert!(
+                matches!(
+                    crashed,
+                    Some(TicketStatus::Completed { .. }) | Some(TicketStatus::Rejected { .. })
+                ),
+                "ticket {} must reach a terminal state, got {:?}", i, crashed
+            );
+        }
     }
 }
