@@ -188,6 +188,55 @@ fn mean(iter: impl Iterator<Item = f64>) -> f64 {
     }
 }
 
+/// A QPU's explicit recalibration schedule: the current calibration *epoch*
+/// (one epoch per calibration cycle, so the epoch of the device's live
+/// [`CalibrationData`] is always `epoch`) and the simulated instant of the
+/// next recalibration boundary. Estimates computed against one epoch are
+/// invalid past the boundary (§7: schedules that cross a calibration-cycle
+/// boundary must be partitioned and re-estimated), so the scheduler and the
+/// batch engine read this clock to know how far ahead a plan may reach.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationClock {
+    /// Current calibration epoch (mirrors [`CalibrationData::cycle`]).
+    pub epoch: u64,
+    /// Simulated time (seconds) of the next recalibration boundary.
+    pub next_boundary_s: f64,
+    /// Seconds between recalibration boundaries.
+    pub period_s: f64,
+}
+
+impl CalibrationClock {
+    /// A fresh clock at epoch 0 whose first boundary is one period from the
+    /// simulated epoch (boundaries sit on multiples of the period).
+    pub fn new(period_s: f64) -> Self {
+        assert!(period_s > 0.0, "calibration period must be positive");
+        CalibrationClock { epoch: 0, next_boundary_s: period_s, period_s }
+    }
+
+    /// `true` if a recalibration boundary lies at or before `t_s`.
+    pub fn boundary_due(&self, t_s: f64) -> bool {
+        t_s >= self.next_boundary_s
+    }
+
+    /// Advance one epoch past a recalibration at `timestamp_s`: the epoch
+    /// increments and the next boundary moves to the first period multiple
+    /// strictly after the recalibration instant.
+    pub fn advance_past(&mut self, timestamp_s: f64) {
+        self.epoch += 1;
+        while self.next_boundary_s <= timestamp_s {
+            self.next_boundary_s += self.period_s;
+        }
+    }
+
+    /// Reset to a new period (epoch unchanged): the next boundary becomes the
+    /// first multiple of the new period strictly after `now_s`.
+    pub fn reschedule(&mut self, period_s: f64, now_s: f64) {
+        assert!(period_s > 0.0, "calibration period must be positive");
+        self.period_s = period_s;
+        self.next_boundary_s = (now_s / period_s).floor() * period_s + period_s;
+    }
+}
+
 /// Generator of realistic calibration snapshots and their drift over time.
 ///
 /// `quality` scales error rates: 1.0 is a typical device, values < 1.0 are
@@ -362,5 +411,32 @@ mod tests {
     #[should_panic]
     fn average_of_nothing_panics() {
         CalibrationData::average(&[]);
+    }
+
+    #[test]
+    fn clock_advances_epoch_and_boundary() {
+        let mut clock = CalibrationClock::new(3600.0);
+        assert_eq!(clock.epoch, 0);
+        assert_eq!(clock.next_boundary_s, 3600.0);
+        assert!(!clock.boundary_due(3599.9));
+        assert!(clock.boundary_due(3600.0));
+        clock.advance_past(3600.0);
+        assert_eq!(clock.epoch, 1);
+        assert_eq!(clock.next_boundary_s, 7200.0);
+        // A late recalibration (boundary long overdue) skips to the first
+        // boundary after the recalibration instant.
+        clock.advance_past(20_000.0);
+        assert_eq!(clock.epoch, 2);
+        assert_eq!(clock.next_boundary_s, 21_600.0);
+    }
+
+    #[test]
+    fn clock_reschedule_snaps_to_the_new_period() {
+        let mut clock = CalibrationClock::new(3600.0);
+        clock.advance_past(3600.0);
+        clock.reschedule(600.0, 3700.0);
+        assert_eq!(clock.epoch, 1, "rescheduling keeps the epoch");
+        assert_eq!(clock.next_boundary_s, 4200.0);
+        assert_eq!(clock.period_s, 600.0);
     }
 }

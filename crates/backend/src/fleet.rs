@@ -130,16 +130,49 @@ impl Fleet {
         self.members.iter().map(|m| m.qpu.num_qubits()).max().unwrap_or(0)
     }
 
-    /// Advance every member's queue to `target_s` and recalibrate devices whose
-    /// calibration period elapsed.
+    /// Advance every member's queue to `target_s` and recalibrate devices at
+    /// every calibration boundary the advance crosses: each elapsed boundary
+    /// is its own epoch, stamped at the boundary instant.
     pub fn advance_to<R: Rng + ?Sized>(&mut self, target_s: f64, rng: &mut R) {
         for m in &mut self.members {
             m.queue.advance_to(target_s);
-            let due = m.qpu.calibration.timestamp_s + m.qpu.calibration_period_s;
-            if target_s >= due {
-                m.qpu.recalibrate(target_s, rng);
+        }
+        self.sync_calibrations(target_s, rng);
+    }
+
+    /// Recalibrate (only) the devices whose boundary has passed by `now_s`
+    /// without advancing any queue — plan-time freshness for callers that
+    /// compute estimates between queue advances.
+    pub fn sync_calibrations<R: Rng + ?Sized>(&mut self, now_s: f64, rng: &mut R) {
+        for m in &mut self.members {
+            while m.qpu.clock.boundary_due(now_s) {
+                let boundary = m.qpu.clock.next_boundary_s;
+                m.qpu.recalibrate(boundary, rng);
             }
         }
+    }
+
+    /// Fleet-wide calibration epoch: the sum of every member's epoch. It is
+    /// monotonic and changes whenever *any* device recalibrates, so estimate
+    /// tables stamped with it are stale iff the fleet epoch moved on.
+    pub fn calibration_epoch(&self) -> u64 {
+        self.members.iter().map(|m| m.qpu.clock.epoch).sum()
+    }
+
+    /// Earliest upcoming recalibration boundary across the fleet, or `None`
+    /// for an empty fleet.
+    pub fn next_calibration_boundary_s(&self) -> Option<f64> {
+        self.members.iter().map(|m| m.qpu.clock.next_boundary_s).min_by(|a, b| a.total_cmp(b))
+    }
+
+    /// The same fleet with every member recalibrating every `period_s`
+    /// seconds (next boundaries snap to multiples of the new period after
+    /// `now_s`) — drift scenarios shorten the cadence to force crossovers.
+    pub fn with_calibration_period(mut self, period_s: f64, now_s: f64) -> Self {
+        for m in &mut self.members {
+            m.qpu.set_calibration_period(period_s, now_s);
+        }
+        self
     }
 }
 
@@ -210,5 +243,41 @@ mod tests {
         assert_eq!(fleet.members()[0].qpu.calibration.cycle, before_cycle);
         fleet.advance_to(4000.0, &mut rng);
         assert_eq!(fleet.members()[0].qpu.calibration.cycle, before_cycle + 1);
+        // The calibration snapshot is stamped at the boundary, not the target.
+        assert_eq!(fleet.members()[0].qpu.calibration.timestamp_s, 3600.0);
+    }
+
+    #[test]
+    fn advance_crosses_every_elapsed_boundary() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut fleet = Fleet::ibm_default(&mut rng);
+        assert_eq!(fleet.calibration_epoch(), 0);
+        assert_eq!(fleet.next_calibration_boundary_s(), Some(3600.0));
+        // Jumping 3 periods ahead recalibrates three times per member.
+        fleet.advance_to(3.5 * 3600.0, &mut rng);
+        assert_eq!(fleet.calibration_epoch(), 3 * fleet.len() as u64);
+        assert!(fleet.members().iter().all(|m| m.qpu.calibration.cycle == 3));
+        assert_eq!(fleet.next_calibration_boundary_s(), Some(4.0 * 3600.0));
+    }
+
+    #[test]
+    fn sync_calibrations_refreshes_without_touching_queues() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut fleet = Fleet::ibm_default(&mut rng);
+        fleet.members_mut()[0].queue.enqueue(1, 50.0);
+        fleet.sync_calibrations(4000.0, &mut rng);
+        assert!(fleet.members().iter().all(|m| m.qpu.clock.epoch == 1));
+        // The queue did not advance: the enqueued job is still pending.
+        assert_eq!(fleet.members()[0].queue.pending_len(), 1);
+    }
+
+    #[test]
+    fn calibration_period_override_moves_boundaries() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut fleet = Fleet::ibm_default(&mut rng).with_calibration_period(600.0, 0.0);
+        assert_eq!(fleet.next_calibration_boundary_s(), Some(600.0));
+        fleet.advance_to(650.0, &mut rng);
+        assert_eq!(fleet.calibration_epoch(), fleet.len() as u64);
+        assert_eq!(fleet.next_calibration_boundary_s(), Some(1200.0));
     }
 }

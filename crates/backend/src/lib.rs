@@ -20,7 +20,9 @@ pub mod queue;
 pub mod simulator;
 pub mod topology;
 
-pub use calibration::{CalibrationData, CalibrationGenerator, EdgeCalibration, QubitCalibration};
+pub use calibration::{
+    CalibrationClock, CalibrationData, CalibrationGenerator, EdgeCalibration, QubitCalibration,
+};
 pub use fleet::{Fleet, FleetMember};
 pub use hellinger::{hellinger_fidelity, Distribution};
 pub use noise::NoiseModel;

@@ -3,7 +3,7 @@
 //! coupling map of a QPU model, with calibration data averaged over all
 //! devices of that model).
 
-use crate::calibration::{CalibrationData, CalibrationGenerator};
+use crate::calibration::{CalibrationClock, CalibrationData, CalibrationGenerator};
 use crate::noise::NoiseModel;
 use crate::topology::CouplingMap;
 use qonductor_circuit::Gate;
@@ -102,9 +102,10 @@ pub struct Qpu {
     pub calibration: CalibrationData,
     /// Device quality factor used when regenerating calibration (lower = better).
     pub quality: f64,
-    /// Seconds between calibration cycles (IBM devices calibrate roughly daily;
-    /// the simulation default is hourly to exercise crossovers).
-    pub calibration_period_s: f64,
+    /// The device's recalibration schedule: current epoch and next boundary
+    /// (IBM devices calibrate roughly daily; the simulation default is hourly
+    /// to exercise crossovers). Invariant: `clock.epoch == calibration.cycle`.
+    pub clock: CalibrationClock,
 }
 
 impl Qpu {
@@ -120,7 +121,7 @@ impl Qpu {
             model.coupling_map.edges(),
             rng,
         );
-        Qpu { name: name.into(), model, calibration, quality, calibration_period_s: 3600.0 }
+        Qpu { name: name.into(), model, calibration, quality, clock: CalibrationClock::new(3600.0) }
     }
 
     /// Number of qubits.
@@ -133,16 +134,37 @@ impl Qpu {
         NoiseModel::new(self.calibration.clone())
     }
 
-    /// Advance to the next calibration cycle (drifting all parameters).
+    /// Advance to the next calibration cycle (drifting all parameters) and
+    /// step the epoch clock past `timestamp_s`. The clock's epoch stays in
+    /// lock-step with [`CalibrationData::cycle`].
     pub fn recalibrate<R: Rng + ?Sized>(&mut self, timestamp_s: f64, rng: &mut R) {
         let gen = CalibrationGenerator { quality: self.quality, ..Default::default() };
         self.calibration = gen.drift_cycle(&self.calibration, timestamp_s, rng);
+        self.clock.advance_past(timestamp_s);
+        debug_assert_eq!(self.clock.epoch, self.calibration.cycle);
     }
 
-    /// Timestamp (seconds) of the next calibration cycle boundary after `now_s`.
+    /// Seconds between calibration cycles.
+    pub fn calibration_period_s(&self) -> f64 {
+        self.clock.period_s
+    }
+
+    /// Replace the recalibration cadence (next boundary snaps to the first
+    /// multiple of the new period after `now_s`).
+    pub fn set_calibration_period(&mut self, period_s: f64, now_s: f64) {
+        self.clock.reschedule(period_s, now_s);
+    }
+
+    /// Timestamp (seconds) of the next calibration boundary strictly after
+    /// `now_s`, as the clock will actually fire it: never earlier than the
+    /// clock's own next boundary (boundaries the clock already consumed are
+    /// gone, even if `now_s` lies before them).
     pub fn next_calibration_after(&self, now_s: f64) -> f64 {
-        let period = self.calibration_period_s;
-        (now_s / period).floor() * period + period
+        let mut boundary = self.clock.next_boundary_s;
+        while boundary <= now_s {
+            boundary += self.clock.period_s;
+        }
+        boundary
     }
 }
 
@@ -232,8 +254,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let mut qpu = Qpu::new("ibm_test", QpuModel::falcon_7(), 1.0, &mut rng);
         let before = qpu.calibration.clone();
+        assert_eq!(qpu.clock.epoch, 0);
+        assert_eq!(qpu.clock.next_boundary_s, 3600.0);
         qpu.recalibrate(3600.0, &mut rng);
         assert_eq!(qpu.calibration.cycle, before.cycle + 1);
+        assert_eq!(qpu.clock.epoch, qpu.calibration.cycle, "clock stays in lock-step");
+        assert_eq!(qpu.clock.next_boundary_s, 7200.0);
         assert_ne!(qpu.calibration.mean_two_qubit_error(), before.mean_two_qubit_error());
     }
 
@@ -244,6 +270,12 @@ mod tests {
         assert_eq!(qpu.next_calibration_after(0.0), 3600.0);
         assert_eq!(qpu.next_calibration_after(100.0), 3600.0);
         assert_eq!(qpu.next_calibration_after(3600.0), 7200.0);
+        // Consumed boundaries are gone: after a late recalibration the next
+        // boundary is the clock's, even for a `now_s` in the past.
+        let mut qpu = qpu;
+        let mut rng = StdRng::seed_from_u64(9);
+        qpu.recalibrate(20_000.0, &mut rng);
+        assert_eq!(qpu.next_calibration_after(4_000.0), 21_600.0);
     }
 
     #[test]

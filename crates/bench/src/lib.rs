@@ -70,6 +70,7 @@ pub fn synthetic_problem(
             name: format!("qpu{i:02}"),
             num_qubits: 27,
             waiting_time_s: rng.gen_range(0.0..600.0),
+            calibration_epoch: 0,
         })
         .collect();
     let jobs: Vec<JobRequest> = (0..num_jobs)

@@ -8,6 +8,7 @@
 //! twice).
 
 use crate::multitenant::MultiTenantReport;
+use crate::sim::SimulationReport;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -58,6 +59,32 @@ pub struct CrashRecord {
     /// `true` iff the rebuilt job state was byte-for-byte identical to the
     /// pre-crash state.
     pub digest_matched: bool,
+}
+
+/// Outcome of a (possibly fault-injected) single-tenant simulation run on
+/// the journaled control plane — the baseline-simulation analogue of
+/// [`ChaosReport`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BaselineChaosReport {
+    /// The ordinary simulation report (timeline, cycles, completions, and
+    /// the §7 split decisions in `dispatches`).
+    pub report: SimulationReport,
+    /// One record per injected crash, in schedule order (empty without a
+    /// failure plan).
+    pub crashes: Vec<CrashRecord>,
+    /// Snapshots installed (journal compactions) during the run.
+    pub snapshots_installed: u64,
+    /// The control plane's byte-for-byte state digest at the end of the run
+    /// — fault-injected and failure-free runs of the same configuration must
+    /// produce equal digests.
+    pub final_digest: String,
+}
+
+impl BaselineChaosReport {
+    /// `true` iff every failover rebuilt the pre-crash state byte for byte.
+    pub fn all_digests_matched(&self) -> bool {
+        self.crashes.iter().all(|c| c.digest_matched)
+    }
 }
 
 /// Outcome of a fault-injected multi-tenant run.

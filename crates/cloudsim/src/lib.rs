@@ -11,14 +11,16 @@
 
 #![warn(missing_docs)]
 
+pub mod drift;
 pub mod estimates;
 pub mod failover;
 pub mod load;
 pub mod multitenant;
 pub mod sim;
 
+pub use drift::{run_drift_comparison, DriftComparison, DriftConfig};
 pub use estimates::{estimate, FastEstimate};
-pub use failover::{ChaosReport, CrashRecord, FailurePlan};
+pub use failover::{BaselineChaosReport, ChaosReport, CrashRecord, FailurePlan};
 pub use load::{
     ArrivalConfig, HybridApplication, LoadGenerator, MultiTenantLoadGenerator, StreamArrival,
     TenantArrivalConfig,
@@ -28,6 +30,6 @@ pub use multitenant::{
     TenantCompletion, TenantLoad, TenantOutcome,
 };
 pub use sim::{
-    CloudSimulation, CompletedApp, CycleRecord, Policy, SimulationConfig, SimulationReport,
-    TimePoint,
+    CloudSimulation, CompletedApp, CycleRecord, DispatchRecord, Policy, SimulationConfig,
+    SimulationReport, TimePoint,
 };

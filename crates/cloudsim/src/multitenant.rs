@@ -224,8 +224,12 @@ impl MultiTenantSimulation {
     fn run_inner(mut self, plan: Option<&FailurePlan>) -> ChaosReport {
         let cfg = self.config.clone();
         assert!(!cfg.tenants.is_empty(), "multi-tenant simulation needs at least one tenant");
-        let scheduler =
-            HybridScheduler::new(SchedulerConfig { nsga2: cfg.nsga2, preference: cfg.preference });
+        // Warm-started like the orchestrator: each batch cycle seeds NSGA-II
+        // from the previous cycle's Pareto front.
+        let scheduler = HybridScheduler::with_warm_start(SchedulerConfig {
+            nsga2: cfg.nsga2,
+            preference: cfg.preference,
+        });
         // The journaled control plane: f = 1 (three store replicas, three
         // election nodes). The election cluster has its own RNG, so
         // replication does not perturb the simulation's random stream.

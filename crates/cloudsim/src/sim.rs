@@ -1,25 +1,38 @@
 //! The quantum-cloud discrete-time simulation (§8.2): synthetic hybrid
 //! applications arrive following the measured IBM load and are submitted to
-//! the *shared* batch execution engine ([`JobManager`], the same engine the
-//! orchestrator uses). Under the Qonductor policy the engine's
+//! the *journaled* batch execution engine (a [`ReplicatedControlPlane`], the
+//! same control plane the orchestrator uses, so chaos coverage extends to the
+//! baseline simulations). Under the Qonductor policy the engine's
 //! `ScheduleTrigger` gates every NSGA-II + MCDM invocation and dispatches
 //! whole batches onto the fleet queues; the FCFS / least-busy baselines
-//! place each arrival directly through the engine's direct-dispatch path.
-//! Queues advance in simulated time and the end-to-end metrics of §8.1
-//! (fidelity, completion time, utilization) are collected over time.
+//! place each arrival directly through the engine's (journaled)
+//! direct-dispatch path. Queues advance in simulated time and the end-to-end
+//! metrics of §8.1 (fidelity, completion time, utilization) are collected
+//! over time.
+//!
+//! Under [`CalibrationPolicy::SplitAtBoundary`] the simulation also exercises
+//! the §7 calibration-crossover path end-to-end: batch plans that straddle a
+//! recalibration boundary are split, the deferred jobs are re-estimated
+//! against the post-boundary snapshot, and every completion records the
+//! *fidelity estimation error* — the gap between the estimate the scheduler
+//! placed with and the estimate recomputed from the calibration actually in
+//! force when the job ran.
 
 use crate::estimates::{self, FastEstimate};
+use crate::failover::{BaselineChaosReport, CrashRecord, FailurePlan};
 use crate::load::{ArrivalConfig, HybridApplication, LoadGenerator};
 use qonductor_backend::Fleet;
 use qonductor_circuit::CircuitMetrics;
-use qonductor_core::jobmanager::{BatchRecord, JobId, JobManager, JobSpec};
+use qonductor_core::jobmanager::{BatchRecord, CalibrationPolicy, JobId, JobSpec};
+use qonductor_core::replication::ReplicatedControlPlane;
+use qonductor_core::submission::{TenantConfig, TicketId};
 use qonductor_scheduler::{
     HybridScheduler, Nsga2Config, Objectives, Preference, ScheduleTrigger, SchedulerConfig,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// The scheduling policy driving the simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -57,6 +70,11 @@ pub struct SimulationConfig {
     pub metrics_interval_s: f64,
     /// NSGA-II configuration used by the Qonductor policy.
     pub nsga2: Nsga2Config,
+    /// How the batch engine treats plans that cross a recalibration boundary
+    /// (§7): [`CalibrationPolicy::Naive`] dispatches them with stale
+    /// estimates, [`CalibrationPolicy::SplitAtBoundary`] partitions them and
+    /// re-estimates the post-boundary jobs.
+    pub calibration: CalibrationPolicy,
     /// RNG seed.
     pub seed: u64,
 }
@@ -79,6 +97,7 @@ impl Default for SimulationConfig {
                 num_threads: 4,
                 ..Nsga2Config::default()
             },
+            calibration: CalibrationPolicy::Naive,
             seed: 2024,
         }
     }
@@ -147,8 +166,29 @@ pub struct CompletedApp {
     pub execution_s: f64,
     /// Achieved fidelity.
     pub fidelity: f64,
+    /// Absolute gap between the fidelity estimate the job was *scheduled*
+    /// with and the estimate recomputed from the calibration in force when
+    /// it finished — the realized cost of dispatching across a drift cycle
+    /// with stale estimates (0 when no boundary intervened).
+    pub fidelity_error: f64,
     /// Whether the application used error mitigation.
     pub mitigated: bool,
+}
+
+/// One trigger-gated batch dispatch as seen by the simulation (ids only; the
+/// chaos and drift suites compare these across runs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DispatchRecord {
+    /// Simulated dispatch time.
+    pub t_s: f64,
+    /// Every job handed to the scheduler.
+    pub job_ids: Vec<JobId>,
+    /// Jobs actually enqueued (placements minus the deferred set).
+    pub enqueued: Vec<JobId>,
+    /// Jobs pulled out at a recalibration boundary (§7 split decision).
+    pub deferred: Vec<JobId>,
+    /// Fleet-wide calibration epoch at dispatch.
+    pub fleet_epoch: u64,
 }
 
 /// Full simulation report.
@@ -158,6 +198,9 @@ pub struct SimulationReport {
     pub timeline: Vec<TimePoint>,
     /// Per-scheduling-cycle records (empty for the FCFS/least-busy policies).
     pub cycles: Vec<CycleRecord>,
+    /// Every trigger-gated dispatch with its §7 split decision (empty for
+    /// the FCFS/least-busy policies).
+    pub dispatches: Vec<DispatchRecord>,
     /// All completed applications.
     pub completed: Vec<CompletedApp>,
     /// Total busy seconds per QPU (index-aligned with the fleet), Figure 8c.
@@ -168,6 +211,8 @@ pub struct SimulationReport {
     pub arrived: usize,
     /// Number of applications rejected (no feasible QPU).
     pub rejected: usize,
+    /// Pending jobs whose estimates were recomputed after a drift cycle.
+    pub reestimated_jobs: usize,
 }
 
 impl SimulationReport {
@@ -189,6 +234,23 @@ impl SimulationReport {
     /// Final mean QPU utilization.
     pub fn mean_utilization(&self) -> f64 {
         self.timeline.last().map(|p| p.mean_utilization).unwrap_or(0.0)
+    }
+
+    /// Mean absolute fidelity estimation error over all completed
+    /// applications (see [`CompletedApp::fidelity_error`]).
+    pub fn mean_fidelity_error(&self) -> f64 {
+        mean(self.completed.iter().map(|c| c.fidelity_error))
+    }
+
+    /// Number of dispatches whose plan crossed a recalibration boundary.
+    pub fn split_batches(&self) -> usize {
+        self.dispatches.iter().filter(|d| !d.deferred.is_empty()).count()
+    }
+
+    /// Total boundary deferrals across all dispatches (a job deferred twice
+    /// counts twice).
+    pub fn deferred_total(&self) -> usize {
+        self.dispatches.iter().map(|d| d.deferred.len()).sum()
     }
 
     /// Maximum relative load difference between any two QPUs (Figure 8c's
@@ -219,15 +281,19 @@ fn mean(iter: impl Iterator<Item = f64>) -> f64 {
 }
 
 /// Simulation-side bookkeeping for one application submitted to the shared
-/// batch engine, keyed by the engine's job id (or, in the multi-tenant
-/// simulation, by the submission-service ticket).
+/// batch engine, keyed by the submission-service ticket.
 #[derive(Debug, Clone)]
 pub(crate) struct AppRecord {
     pub(crate) app_id: u64,
     pub(crate) submit_s: f64,
     pub(crate) mitigated: bool,
-    /// Per-QPU estimates (index-aligned with the fleet).
+    /// Per-QPU estimates (index-aligned with the fleet) the job is currently
+    /// scheduled against — refreshed when the job is re-estimated after a
+    /// drift cycle.
     pub(crate) estimates: Vec<FastEstimate>,
+    /// The application itself (circuit + mitigation stack), kept so the
+    /// estimates can be recomputed against a fresh calibration snapshot.
+    pub(crate) app: HybridApplication,
 }
 
 /// The cloud simulation engine.
@@ -251,97 +317,245 @@ impl CloudSimulation {
         Self::new(config, fleet)
     }
 
+    /// Create a simulation over the default fleet with every device
+    /// recalibrating every `period_s` seconds — the drifting-hardware
+    /// scenario, where boundaries fall inside the simulated window.
+    pub fn with_drifting_fleet(config: SimulationConfig, period_s: f64) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xF1EE7);
+        let fleet = Fleet::ibm_default(&mut rng).with_calibration_period(period_s, 0.0);
+        Self::new(config, fleet)
+    }
+
     /// Run the simulation to completion and produce the report.
-    pub fn run(mut self) -> SimulationReport {
+    pub fn run(self) -> SimulationReport {
+        self.run_inner(None).report
+    }
+
+    /// Run the simulation under fault injection: at each instant of the
+    /// plan's crash schedule the control-plane leader is killed (its volatile
+    /// job state dies with it), a new leader is elected, and the job state is
+    /// rebuilt from the replicated `snapshot + log replay` before the
+    /// simulation continues — the chaos path of the single-tenant baselines.
+    pub fn run_with_failures(self, plan: &FailurePlan) -> BaselineChaosReport {
+        self.run_inner(Some(plan))
+    }
+
+    fn run_inner(mut self, plan: Option<&FailurePlan>) -> BaselineChaosReport {
         let cfg = self.config;
         let mut load =
             LoadGenerator::new(cfg.arrival, self.fleet.max_qubits(), cfg.mitigation_fraction);
-        // The shared batch execution engine: pending pool + trigger + dispatch.
-        let mut engine =
-            JobManager::new(ScheduleTrigger::new(cfg.trigger_queue_limit, cfg.trigger_interval_s));
+        // Independent seeded streams: arrivals and calibration drift must not
+        // share a generator with completion jitter, whose draw count depends
+        // on the policy under test — two runs of the same seed with
+        // different policies (the drift comparison's arms, the
+        // Qonductor-vs-FCFS studies) then face the *identical* workload and
+        // the identical calibration trajectory, and differ only in
+        // scheduling.
+        let mut arrival_rng = StdRng::seed_from_u64(cfg.seed ^ 0x0A22_17A1);
+        let mut drift_rng = StdRng::seed_from_u64(cfg.seed ^ 0x00D8_1F7C);
+        // The journaled batch execution engine: every submission, admission,
+        // dispatch (batch or direct), re-estimation, and completion rides the
+        // quorum-replicated control-plane log.
+        let mut control = ReplicatedControlPlane::with_policy(
+            ScheduleTrigger::new(cfg.trigger_queue_limit, cfg.trigger_interval_s),
+            cfg.calibration,
+            1,
+            cfg.seed ^ 0xC1A5,
+        );
+        let tenant = control
+            .register_tenant_with(TenantConfig {
+                weight: 1,
+                max_in_flight: usize::MAX,
+                max_retries: 0,
+            })
+            .expect("fresh store has a quorum");
         let scheduler = match cfg.policy {
+            // Warm-started: each batch cycle seeds NSGA-II from the previous
+            // cycle's Pareto front (like the orchestrator).
             Policy::Qonductor { preference } => {
-                Some(HybridScheduler::new(SchedulerConfig { nsga2: cfg.nsga2, preference }))
+                Some(HybridScheduler::with_warm_start(SchedulerConfig {
+                    nsga2: cfg.nsga2,
+                    preference,
+                }))
             }
             _ => None,
         };
 
-        // Engine job id → application bookkeeping (pending and in flight).
-        let mut apps: HashMap<JobId, AppRecord> = HashMap::new();
+        // Submission ticket → application bookkeeping (pending and in flight).
+        let mut apps: HashMap<TicketId, AppRecord> = HashMap::new();
         let mut completed: Vec<CompletedApp> = Vec::new();
         let mut timeline: Vec<TimePoint> = Vec::new();
         let mut cycles: Vec<CycleRecord> = Vec::new();
+        let mut dispatches: Vec<DispatchRecord> = Vec::new();
         let mut arrived = 0usize;
         let mut rejected = 0usize;
+        let mut reestimated_jobs = 0usize;
         let mut next_metrics_s = 0.0;
+        let mut crash_schedule: VecDeque<f64> =
+            plan.map(|p| p.crash_times_s.iter().copied().collect()).unwrap_or_default();
+        const DEFAULT_SNAPSHOT_EVERY_BATCHES: usize = 8;
+        let snapshot_every =
+            plan.map_or(DEFAULT_SNAPSHOT_EVERY_BATCHES, |p| p.snapshot_every_batches);
+        let mut crashes: Vec<CrashRecord> = Vec::new();
+        let mut snapshots_installed = 0u64;
+        let mut batches_seen = 0usize;
 
         let mut t = 0.0f64;
         while t < cfg.duration_s {
             let t_next = (t + cfg.step_s).min(cfg.duration_s);
 
+            // 0. Fault injection: kill the leader at every scheduled instant
+            //    in (t, t_next], then fail over and continue on the rebuilt
+            //    replica.
+            while crash_schedule.front().is_some_and(|&c| c <= t_next) {
+                let crash_t = crash_schedule.pop_front().expect("front checked");
+                let digest = control.state_digest();
+                let old_leader = control.leader().unwrap_or(0);
+                let replayed_events = control.replay_backlog();
+                control.crash_leader();
+                control.failover().expect("a majority of control replicas survives");
+                crashes.push(CrashRecord {
+                    t_s: crash_t,
+                    old_leader,
+                    new_leader: control.leader().unwrap_or(old_leader),
+                    replayed_events,
+                    digest_matched: control.state_digest() == digest,
+                });
+            }
+
             // 1. Advance QPU queues (and calibration drift) to t_next, then
             //    collect completions, so that jobs arriving in [t, t_next) are
             //    enqueued at t_next and never start before they were submitted.
-            self.fleet.advance_to(t_next, &mut self.rng);
-            for done in engine.drain_completions(&mut self.fleet) {
-                if let Some(app) = apps.remove(&done.job_id) {
-                    let est = &app.estimates[done.qpu_index];
-                    let jitter = 1.0 + self.rng.gen_range(-0.02..0.02);
-                    completed.push(CompletedApp {
-                        app_id: app.app_id,
-                        qpu_index: done.qpu_index,
-                        submit_s: app.submit_s,
-                        completion_s: done.record.finish_time_s - app.submit_s,
-                        waiting_s: done.record.start_time_s - app.submit_s,
-                        execution_s: done.record.execution_s(),
-                        fidelity: (est.fidelity * jitter).clamp(0.0, 1.0),
-                        mitigated: app.mitigated,
-                    });
-                }
+            self.fleet.advance_to(t_next, &mut drift_rng);
+            let epoch = self.fleet.calibration_epoch();
+
+            let done = control.drain_completions(&mut self.fleet);
+            let resolved =
+                control.note_completions(&done).expect("control-plane journal has a quorum");
+            for (ticket, completion) in resolved {
+                let Some(app) = apps.remove(&ticket.ticket) else { continue };
+                let est = &app.estimates[completion.qpu_index];
+                // The estimate the job would get from the calibration in
+                // force at the drain step (within one `step_s` of its actual
+                // finish): the gap is the realized cost of scheduling
+                // against a stale snapshot.
+                let fresh = execution_time_estimate(&self.fleet, &app.app, completion.qpu_index);
+                let fidelity_error =
+                    fresh.map_or(0.0, |fresh| (est.fidelity - fresh.fidelity).abs());
+                let jitter = 1.0 + self.rng.gen_range(-0.02..0.02);
+                completed.push(CompletedApp {
+                    app_id: app.app_id,
+                    qpu_index: completion.qpu_index,
+                    submit_s: app.submit_s,
+                    completion_s: completion.record.finish_time_s - app.submit_s,
+                    waiting_s: completion.record.start_time_s - app.submit_s,
+                    execution_s: completion.record.execution_s(),
+                    fidelity: (est.fidelity * jitter).clamp(0.0, 1.0),
+                    fidelity_error,
+                    mitigated: app.mitigated,
+                });
             }
 
-            // 2. Arrivals in [t, t_next): submit into the shared engine. The
-            //    baselines place directly (no trigger, no optimizer); the
-            //    Qonductor policy leaves jobs pending for the batch dispatch.
-            for app in load.arrivals_in(t, t_next, &mut self.rng) {
+            // 2. Arrivals in [t, t_next): non-blocking submission into the
+            //    tenant queue (journaled).
+            for app in load.arrivals_in(t, t_next, &mut arrival_rng) {
                 arrived += 1;
-                match self.build_submission(&app) {
+                match build_submission(&self.fleet, &app) {
                     Some((spec, record)) => {
-                        let job_id = engine.submit(spec, app.submit_time_s);
-                        match cfg.policy {
-                            Policy::Qonductor { .. } => {}
-                            Policy::Fcfs => {
-                                let qpu = best_fidelity_qpu(&record, &self.fleet);
-                                engine.dispatch_direct(job_id, qpu, &mut self.fleet);
-                            }
-                            Policy::LeastBusy => {
-                                let qpu = least_busy_qpu(&record, &self.fleet);
-                                engine.dispatch_direct(job_id, qpu, &mut self.fleet);
-                            }
-                        }
-                        apps.insert(job_id, record);
+                        let ticket = control
+                            .submit(tenant, spec, app.submit_time_s)
+                            .expect("tenant registered; journal has a quorum");
+                        apps.insert(ticket.ticket, record);
                     }
                     None => rejected += 1,
                 }
             }
 
-            // 3. Trigger-gated batch dispatch (Qonductor policy only): the
-            //    engine checks its trigger, runs one NSGA-II + MCDM cycle
-            //    over the whole pool, and enqueues the chosen placements.
-            if let Some(scheduler) = &scheduler {
-                if let Some(batch) = engine.try_dispatch(t_next, scheduler, &mut self.fleet) {
-                    for job_id in &batch.outcome.rejected_jobs {
-                        if apps.remove(job_id).is_some() {
-                            rejected += 1;
-                        }
-                    }
-                    if let Some(record) = cycle_record_from(&batch, &apps) {
-                        cycles.push(record);
+            // 3. Admission into the engine's pending pool (journaled). The
+            //    baselines then place each admitted job directly (no trigger,
+            //    no optimizer) through the journaled direct-dispatch path;
+            //    the Qonductor policy leaves jobs pooled for the batch
+            //    dispatch.
+            let admitted = control.admit(t_next).expect("control-plane journal has a quorum");
+            match cfg.policy {
+                Policy::Qonductor { .. } => {}
+                Policy::Fcfs | Policy::LeastBusy => {
+                    for (ticket, job_id) in &admitted {
+                        let record = &apps[&ticket.ticket];
+                        let qpu = match cfg.policy {
+                            Policy::Fcfs => best_fidelity_qpu(record, &self.fleet),
+                            _ => least_busy_qpu(record, &self.fleet),
+                        };
+                        control
+                            .dispatch_direct(*job_id, qpu, &mut self.fleet)
+                            .expect("control-plane journal has a quorum");
                     }
                 }
             }
 
-            // 4. Metrics sampling.
+            // 3b. Under the calibration-aware policy, recompute the
+            //     estimates of every stale *pooled* job against the current
+            //     snapshots, journaling each refresh. Running after
+            //     admission covers the boundary-deferred jobs, jobs that sat
+            //     in the tenant queue across a boundary, and jobs admitted
+            //     only now from a pre-boundary backlog (their submit-time
+            //     specs carry the old epoch) — nothing dispatches stale.
+            if cfg.calibration == CalibrationPolicy::SplitAtBoundary {
+                for job_id in control.stale_pending(epoch) {
+                    let Some(ticket) = control.submissions().admitted_ticket(job_id) else {
+                        continue;
+                    };
+                    let Some(record) = apps.get_mut(&ticket.ticket) else { continue };
+                    let Some((spec, fresh)) = build_submission(&self.fleet, &record.app) else {
+                        continue;
+                    };
+                    record.estimates = fresh.estimates;
+                    if control
+                        .reestimate_job(job_id, spec)
+                        .expect("control-plane journal has a quorum")
+                    {
+                        reestimated_jobs += 1;
+                    }
+                }
+            }
+
+            // 4. Trigger-gated batch dispatch (Qonductor policy only): the
+            //    engine checks its trigger, runs one NSGA-II + MCDM cycle
+            //    over the schedulable pool, splits the plan at recalibration
+            //    boundaries (§7, calibration-aware policy), and enqueues the
+            //    surviving placements.
+            if let Some(scheduler) = &scheduler {
+                if let Some(outcome) = control
+                    .try_dispatch(t_next, scheduler, &mut self.fleet)
+                    .expect("control-plane journal has a quorum")
+                {
+                    for ticket in &outcome.terminal_rejections {
+                        if apps.remove(&ticket.ticket).is_some() {
+                            rejected += 1;
+                        }
+                    }
+                    let batch = &outcome.record;
+                    dispatches.push(DispatchRecord {
+                        t_s: batch.t_s,
+                        job_ids: batch.job_ids.clone(),
+                        enqueued: batch.enqueued_job_ids(),
+                        deferred: batch.deferred.iter().map(|(id, _)| *id).collect(),
+                        fleet_epoch: batch.fleet_epoch,
+                    });
+                    if let Some(record) = cycle_record_from(batch, &control, &apps) {
+                        cycles.push(record);
+                    }
+                    batches_seen += 1;
+                    // Periodic checkpoint: snapshot the job state and compact
+                    // the journal so failovers replay a short suffix.
+                    if snapshot_every > 0 && batches_seen.is_multiple_of(snapshot_every) {
+                        control.snapshot().expect("control-plane journal has a quorum");
+                        snapshots_installed += 1;
+                    }
+                }
+            }
+
+            // 5. Metrics sampling.
             if t_next >= next_metrics_s {
                 next_metrics_s += cfg.metrics_interval_s;
                 timeline.push(TimePoint {
@@ -351,7 +565,7 @@ impl CloudSimulation {
                     mean_utilization: mean(
                         self.fleet.members().iter().map(|m| m.queue.utilization()),
                     ),
-                    scheduler_queue_len: engine.pending_len(),
+                    scheduler_queue_len: control.jobmanager().pending_len(),
                     completed: completed.len(),
                 });
             }
@@ -359,22 +573,38 @@ impl CloudSimulation {
             t = t_next;
         }
 
-        SimulationReport {
+        let report = SimulationReport {
             timeline,
             cycles,
+            dispatches,
             qpu_busy_s: self.fleet.members().iter().map(|m| m.queue.busy_s()).collect(),
             qpu_names: self.fleet.members().iter().map(|m| m.qpu.name.clone()).collect(),
             completed,
             arrived,
             rejected,
+            reestimated_jobs,
+        };
+        BaselineChaosReport {
+            final_digest: control.state_digest(),
+            report,
+            crashes,
+            snapshots_installed,
         }
     }
+}
 
-    /// Build the engine submission (per-QPU estimates) for an application.
-    /// Returns `None` if no QPU in the fleet can fit the circuit.
-    fn build_submission(&self, app: &HybridApplication) -> Option<(JobSpec, AppRecord)> {
-        build_submission(&self.fleet, app)
+/// The estimate an application would receive *right now* on `qpu_index`
+/// (against the device's current calibration), or `None` if it does not fit.
+fn execution_time_estimate(
+    fleet: &Fleet,
+    app: &HybridApplication,
+    qpu_index: usize,
+) -> Option<FastEstimate> {
+    let member = &fleet.members()[qpu_index];
+    if member.qpu.num_qubits() < app.circuit.num_qubits() {
+        return None;
     }
+    Some(estimates::estimate(&app.circuit, &app.mitigation, &member.qpu))
 }
 
 /// Build the engine submission (per-QPU fast estimates) for an application
@@ -406,12 +636,14 @@ pub(crate) fn build_submission(
         shots: app.circuit.shots(),
         fidelity_per_qpu: estimates.iter().map(|e| e.fidelity).collect(),
         exec_time_per_qpu: estimates.iter().map(|e| e.quantum_time_s).collect(),
+        estimate_epoch: fleet.calibration_epoch(),
     };
     let record = AppRecord {
         app_id: app.app_id,
         submit_s: app.submit_time_s,
         mitigated: !app.mitigation.is_empty(),
         estimates,
+        app: app.clone(),
     };
     Some((spec, record))
 }
@@ -435,11 +667,27 @@ fn least_busy_qpu(app: &AppRecord, fleet: &Fleet) -> usize {
 }
 
 /// Derive the per-cycle statistics of Figures 8 and 10a from one of the
-/// engine's batch records.
-fn cycle_record_from(batch: &BatchRecord, apps: &HashMap<JobId, AppRecord>) -> Option<CycleRecord> {
+/// engine's batch records. `apps` is keyed by submission ticket; the control
+/// plane maps engine job ids back to tickets.
+fn cycle_record_from(
+    batch: &BatchRecord,
+    control: &ReplicatedControlPlane,
+    apps_by_ticket: &HashMap<TicketId, AppRecord>,
+) -> Option<CycleRecord> {
     if batch.job_ids.is_empty() {
         return None;
     }
+    // Job-id view of the batch's applications (placed jobs stay ticket-mapped
+    // until their completion resolves).
+    let apps: HashMap<JobId, &AppRecord> = batch
+        .job_ids
+        .iter()
+        .filter_map(|&job_id| {
+            let ticket = control.submissions().admitted_ticket(job_id)?;
+            Some((job_id, apps_by_ticket.get(&ticket.ticket)?))
+        })
+        .collect();
+    let apps = &apps;
     let outcome = &batch.outcome;
     // The placements are ordered like the scheduler's schedulable-job list,
     // so every Pareto solution's assignment vector aligns with this order.
@@ -491,7 +739,7 @@ fn cycle_record_from(batch: &BatchRecord, apps: &HashMap<JobId, AppRecord>) -> O
 /// + all co-scheduled execution time on the chosen QPU), mirroring Eq. 1.
 fn completion_times(
     outcome: &qonductor_scheduler::ScheduleOutcome,
-    apps: &HashMap<JobId, AppRecord>,
+    apps: &HashMap<JobId, &AppRecord>,
     batch: &BatchRecord,
 ) -> Vec<f64> {
     let mut per_qpu_load = vec![0.0f64; batch.qpus.len()];
@@ -510,7 +758,7 @@ fn completion_times(
 fn mean_exec_of(
     assignment: &[usize],
     sched_order: &[JobId],
-    apps: &HashMap<JobId, AppRecord>,
+    apps: &HashMap<JobId, &AppRecord>,
 ) -> f64 {
     let n = assignment.len().min(sched_order.len());
     if n == 0 {
@@ -634,5 +882,44 @@ mod tests {
         assert_eq!(a.arrived, b.arrived);
         assert_eq!(a.completed.len(), b.completed.len());
         assert!((a.mean_fidelity() - b.mean_fidelity()).abs() < 1e-12);
+    }
+
+    /// Warm-started scheduling stays deterministic: two fresh simulations of
+    /// the same seed produce identical batch sequences and completions.
+    #[test]
+    fn qonductor_policy_is_deterministic_with_warm_start() {
+        let config = || short_config(Policy::Qonductor { preference: Preference::balanced() });
+        let a = CloudSimulation::with_default_fleet(config()).run();
+        let b = CloudSimulation::with_default_fleet(config()).run();
+        assert!(!a.dispatches.is_empty());
+        assert_eq!(a.dispatches, b.dispatches, "warm-started batches must be reproducible");
+        assert_eq!(a.completed.len(), b.completed.len());
+        assert!((a.mean_fidelity() - b.mean_fidelity()).abs() < 1e-12);
+        assert!((a.mean_completion_s() - b.mean_completion_s()).abs() < 1e-9);
+    }
+
+    /// The single-tenant simulation now rides the journaled control plane:
+    /// leader crashes mid-run are invisible — the fault-injected run matches
+    /// the failure-free run's completions and final state digest exactly,
+    /// for both a baseline policy and the Qonductor policy.
+    #[test]
+    fn baseline_sim_failovers_are_invisible() {
+        use crate::failover::FailurePlan;
+        for policy in [Policy::Fcfs, Policy::Qonductor { preference: Preference::balanced() }] {
+            let plan = FailurePlan::from_seed(31, 400.0, 2);
+            let chaos =
+                CloudSimulation::with_default_fleet(short_config(policy)).run_with_failures(&plan);
+            let plain = CloudSimulation::with_default_fleet(short_config(policy))
+                .run_with_failures(&FailurePlan {
+                    crash_times_s: vec![],
+                    snapshot_every_batches: plan.snapshot_every_batches,
+                });
+            assert_eq!(chaos.crashes.len(), 2, "{policy:?}");
+            assert!(chaos.all_digests_matched(), "{policy:?}: rebuilt state diverged");
+            assert_eq!(chaos.final_digest, plain.final_digest, "{policy:?}");
+            assert_eq!(chaos.report.completed, plain.report.completed, "{policy:?}");
+            assert_eq!(chaos.report.dispatches, plain.report.dispatches, "{policy:?}");
+            assert!(!chaos.report.completed.is_empty(), "{policy:?}");
+        }
     }
 }

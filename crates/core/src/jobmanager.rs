@@ -12,7 +12,8 @@
 
 use qonductor_backend::{CompletedJob, Fleet};
 use qonductor_scheduler::{
-    HybridScheduler, JobRequest, QpuState, ScheduleOutcome, ScheduleTrigger, TriggerReason,
+    partition_at_boundary, HybridScheduler, JobRequest, PlannedJob, QpuState, ScheduleOutcome,
+    ScheduleTrigger, TriggerReason,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -36,6 +37,27 @@ const INFEASIBLE_EXEC_S: f64 = 1e6;
 /// zero-length jobs producing zero-time completions).
 const MIN_EXEC_S: f64 = 0.001;
 
+/// How many times a job may be pulled out of a batch at a recalibration
+/// boundary before it is dispatched anyway. A persistent backlog longer than
+/// the calibration period would otherwise starve the job one period at a
+/// time; after this many splits, a stale estimate beats never running.
+const MAX_DEFERRALS: u32 = 4;
+
+/// How the batch engine treats plans that cross a recalibration boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CalibrationPolicy {
+    /// Dispatch the whole batch regardless of calibration boundaries (the
+    /// pre-§7 behaviour, kept as the baseline for drift studies).
+    #[default]
+    Naive,
+    /// Partition the planned batch timeline at each QPU's next recalibration
+    /// boundary (`crossover::partition_at_boundary`, §7): jobs finishing
+    /// before the boundary dispatch unchanged; straddling and post-boundary
+    /// jobs return to the pending pool, held until the boundary, to be
+    /// re-estimated against the new calibration snapshot and re-planned.
+    SplitAtBoundary,
+}
+
 /// A job submission: per-QPU estimates for one circuit execution. Ids are
 /// assigned by the manager on submit.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -48,6 +70,10 @@ pub struct JobSpec {
     pub fidelity_per_qpu: Vec<f64>,
     /// Estimated execution seconds per fleet QPU (index-aligned).
     pub exec_time_per_qpu: Vec<f64>,
+    /// Fleet calibration epoch ([`Fleet::calibration_epoch`]) the estimates
+    /// were computed against; 0 for callers without an epoch clock. The
+    /// engine compares it with the live epoch to find stale estimate tables.
+    pub estimate_epoch: u64,
 }
 
 /// A job waiting in the manager's pending pool.
@@ -59,6 +85,14 @@ pub struct PendingJob {
     pub tenant: TenantId,
     /// Simulated submission time.
     pub submitted_s: f64,
+    /// Times this job was pulled out of a batch at a recalibration boundary.
+    pub deferrals: u32,
+    /// The job is parked until this instant (the boundary that split it out);
+    /// 0 for never-deferred jobs. Held jobs do not count toward the trigger
+    /// and are excluded from batches, so a split cannot re-fire the trigger
+    /// at the same instant and re-plan the same jobs against the same stale
+    /// estimates.
+    pub held_until_s: f64,
     /// The submission payload.
     pub spec: JobSpec,
 }
@@ -79,10 +113,33 @@ pub struct BatchRecord {
     /// Per-tenant composition of the batch: `(tenant, job count)` pairs in
     /// ascending tenant order, covering exactly the jobs in `job_ids`.
     pub tenant_jobs: Vec<(TenantId, usize)>,
-    /// Fleet snapshot (name, size, estimated waiting) taken before enqueueing.
+    /// Fleet snapshot (name, size, estimated waiting, calibration epoch)
+    /// taken before enqueueing.
     pub qpus: Vec<QpuState>,
+    /// Fleet-wide calibration epoch at dispatch time.
+    pub fleet_epoch: u64,
+    /// Jobs pulled out of the batch because their planned execution crossed
+    /// their QPU's recalibration boundary: `(job id, boundary instant)`.
+    /// They stay in the pending pool, held until the boundary, for
+    /// re-estimation and re-planning. Empty under
+    /// [`CalibrationPolicy::Naive`].
+    pub deferred: Vec<(JobId, f64)>,
     /// The scheduler's full outcome (placements, Pareto front, timings).
     pub outcome: ScheduleOutcome,
+}
+
+impl BatchRecord {
+    /// Ids of the jobs actually enqueued by this dispatch (placements minus
+    /// the boundary-deferred set).
+    pub fn enqueued_job_ids(&self) -> Vec<JobId> {
+        let deferred: HashSet<JobId> = self.deferred.iter().map(|(id, _)| *id).collect();
+        self.outcome
+            .placements
+            .iter()
+            .map(|p| p.job_id)
+            .filter(|id| !deferred.contains(id))
+            .collect()
+    }
 }
 
 /// A completed quantum execution drained from a fleet queue.
@@ -100,6 +157,7 @@ pub struct CompletedExecution {
 #[derive(Debug, Clone)]
 pub struct JobManager {
     trigger: ScheduleTrigger,
+    policy: CalibrationPolicy,
     pending: Vec<PendingJob>,
     next_job_id: JobId,
     batches_dispatched: usize,
@@ -112,9 +170,27 @@ impl Default for JobManager {
 }
 
 impl JobManager {
-    /// A manager gated by the given trigger.
+    /// A manager gated by the given trigger (calibration-naive dispatch).
     pub fn new(trigger: ScheduleTrigger) -> Self {
-        JobManager { trigger, pending: Vec::new(), next_job_id: 0, batches_dispatched: 0 }
+        JobManager {
+            trigger,
+            policy: CalibrationPolicy::default(),
+            pending: Vec::new(),
+            next_job_id: 0,
+            batches_dispatched: 0,
+        }
+    }
+
+    /// The same manager with the given calibration policy (construction-time
+    /// configuration, like the trigger).
+    pub fn with_calibration_policy(mut self, policy: CalibrationPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// How this engine treats plans that cross a recalibration boundary.
+    pub fn calibration_policy(&self) -> CalibrationPolicy {
+        self.policy
     }
 
     /// The gating trigger.
@@ -152,51 +228,76 @@ impl JobManager {
         self.trigger.arm_if_unarmed(now_s);
         let job_id = self.next_job_id;
         self.next_job_id += 1;
-        self.pending.push(PendingJob { job_id, tenant, submitted_s: now_s, spec });
+        self.pending.push(PendingJob {
+            job_id,
+            tenant,
+            submitted_s: now_s,
+            deferrals: 0,
+            held_until_s: 0.0,
+            spec,
+        });
         job_id
     }
 
-    /// Number of pooled jobs submitted at or before `now_s`. Jobs carry
+    /// The instant a pending job becomes schedulable: its submission time,
+    /// or the recalibration boundary it is parked behind after a split.
+    fn available_s(job: &PendingJob) -> f64 {
+        job.submitted_s.max(job.held_until_s)
+    }
+
+    /// Number of pooled jobs schedulable at or before `now_s`. Jobs carry
     /// their own submission times, so a causally-ordered caller can ask
-    /// about an instant earlier than the latest submission.
-    fn pending_submitted_by(&self, now_s: f64) -> usize {
-        self.pending.iter().filter(|j| j.submitted_s <= now_s).count()
+    /// about an instant earlier than the latest submission; boundary-held
+    /// jobs do not count until the boundary passes.
+    fn pending_available_by(&self, now_s: f64) -> usize {
+        self.pending.iter().filter(|j| Self::available_s(j) <= now_s).count()
     }
 
     /// Whether the trigger would fire now, and why. Only jobs already
-    /// submitted by `now_s` count toward the queue-size limit. (Takes `&mut`
-    /// because an unarmed trigger arms itself on its first non-empty check.)
+    /// schedulable by `now_s` count toward the queue-size limit. (Takes
+    /// `&mut` because an unarmed trigger arms itself on its first non-empty
+    /// check.)
     pub fn check_trigger(&mut self, now_s: f64) -> Option<TriggerReason> {
-        self.trigger.check(self.pending_submitted_by(now_s), now_s)
+        self.trigger.check(self.pending_available_by(now_s), now_s)
     }
 
     /// Earliest simulated time at which the trigger can fire, or `None` with
     /// an empty pool: the interval expiry (but no earlier than the first
-    /// pooled submission), or the instant the `queue_limit`-th job is
-    /// submitted, whichever comes first. Event-driven callers advance their
+    /// schedulable job), or the instant the `queue_limit`-th job becomes
+    /// schedulable, whichever comes first. Boundary-held jobs become
+    /// schedulable at their boundary. Event-driven callers advance their
     /// clock here instead of busy-stepping simulated time.
     pub fn next_trigger_s(&self) -> Option<f64> {
         if self.pending.is_empty() {
             return None;
         }
-        let mut submitted: Vec<f64> = self.pending.iter().map(|j| j.submitted_s).collect();
-        submitted.sort_by(f64::total_cmp);
+        let mut available: Vec<f64> = self.pending.iter().map(Self::available_s).collect();
+        available.sort_by(f64::total_cmp);
         // An unarmed trigger arms at the first pooled submission.
-        let baseline = self.trigger.last_invocation_s().unwrap_or(submitted[0]);
-        let interval_fire = (baseline + self.trigger.interval_s).max(submitted[0]);
-        // The queue-size path fires the instant the limit-th job is submitted.
-        match submitted.get(self.trigger.queue_limit.saturating_sub(1)) {
+        let baseline = self.trigger.last_invocation_s().unwrap_or(available[0]);
+        let interval_fire = (baseline + self.trigger.interval_s).max(available[0]);
+        // The queue-size path fires the instant the limit-th job is available.
+        match available.get(self.trigger.queue_limit.saturating_sub(1)) {
             Some(&queue_fire) => Some(interval_fire.min(queue_fire)),
             None => Some(interval_fire),
         }
     }
 
     /// Run one trigger-gated scheduling cycle: if the trigger fires, schedule
-    /// every job submitted by `now_s` as one batch, enqueue the chosen
+    /// every job schedulable by `now_s` as one batch, enqueue the chosen
     /// placements onto the fleet queues, and return the batch record. Jobs
     /// the scheduler rejects are dropped from the pool (reported in the
     /// record); jobs it leaves unplaced — and jobs with later submission
     /// times — stay pending for the next cycle.
+    ///
+    /// Under [`CalibrationPolicy::SplitAtBoundary`] the chosen plan's
+    /// per-QPU timeline is partitioned at each device's next recalibration
+    /// boundary first (§7): placements finishing before their QPU's boundary
+    /// enqueue unchanged, while straddling and post-boundary placements are
+    /// pulled out of the batch and parked in the pending pool until the
+    /// boundary — reported in [`BatchRecord::deferred`] — so they can be
+    /// re-estimated against the post-boundary calibration snapshot and
+    /// re-planned by a later cycle.
     pub fn try_dispatch(
         &mut self,
         now_s: f64,
@@ -213,10 +314,11 @@ impl JobManager {
                 name: m.qpu.name.clone(),
                 num_qubits: m.qpu.num_qubits(),
                 waiting_time_s: m.queue.estimated_waiting_s(),
+                calibration_epoch: m.qpu.clock.epoch,
             })
             .collect();
         let batch: Vec<&PendingJob> =
-            self.pending.iter().filter(|j| j.submitted_s <= now_s).collect();
+            self.pending.iter().filter(|j| Self::available_s(j) <= now_s).collect();
         let job_ids: Vec<JobId> = batch.iter().map(|j| j.job_id).collect();
         let mut tenant_counts: BTreeMap<TenantId, usize> = BTreeMap::new();
         for job in &batch {
@@ -246,13 +348,30 @@ impl JobManager {
 
         let outcome = scheduler.schedule(requests, qpus.clone());
 
-        // One pass over the pool: enqueue placed jobs, drop rejected ones,
-        // retain the rest (unplaced or submitted after `now_s`).
+        // Calibration-crossover partition (§7): shift the planned timeline to
+        // absolute time and split it at each QPU's next boundary.
+        let deferred = match self.policy {
+            CalibrationPolicy::Naive => Vec::new(),
+            CalibrationPolicy::SplitAtBoundary => {
+                let deferrals_of: HashMap<JobId, u32> =
+                    batch.iter().map(|j| (j.job_id, j.deferrals)).collect();
+                split_at_boundaries(&outcome.planned, fleet, now_s, &deferrals_of)
+            }
+        };
+        let deferred_ids: HashMap<JobId, f64> = deferred.iter().copied().collect();
+
+        // One pass over the pool: enqueue placed jobs, park deferred ones
+        // behind their boundary, drop rejected ones, retain the rest
+        // (unplaced or not yet schedulable).
         let placement_of: HashMap<JobId, usize> =
             outcome.placements.iter().map(|p| (p.job_id, p.qpu_index)).collect();
         let rejected: HashSet<JobId> = outcome.rejected_jobs.iter().copied().collect();
-        self.pending.retain(|job| {
-            if let Some(&qpu_index) = placement_of.get(&job.job_id) {
+        self.pending.retain_mut(|job| {
+            if let Some(&boundary_s) = deferred_ids.get(&job.job_id) {
+                job.deferrals += 1;
+                job.held_until_s = boundary_s;
+                true
+            } else if let Some(&qpu_index) = placement_of.get(&job.job_id) {
                 let duration = sanitized_exec_s(&job.spec, qpu_index);
                 fleet.members_mut()[qpu_index].queue.enqueue(job.job_id, duration);
                 false
@@ -263,7 +382,17 @@ impl JobManager {
 
         let batch_index = self.batches_dispatched;
         self.batches_dispatched += 1;
-        Some(BatchRecord { batch_index, t_s: now_s, reason, job_ids, tenant_jobs, qpus, outcome })
+        Some(BatchRecord {
+            batch_index,
+            t_s: now_s,
+            reason,
+            job_ids,
+            tenant_jobs,
+            qpus,
+            fleet_epoch: fleet.calibration_epoch(),
+            deferred,
+            outcome,
+        })
     }
 
     /// Place one pending job directly onto a QPU queue, bypassing the trigger
@@ -307,41 +436,106 @@ impl JobManager {
             .min_by(|a, b| a.total_cmp(b))
     }
 
+    /// Jobs in the pending pool whose estimate tables were computed against
+    /// an older fleet calibration epoch than `fleet_epoch` — the set a
+    /// calibration-aware caller refreshes after a drift cycle.
+    pub fn stale_pending(&self, fleet_epoch: u64) -> Vec<JobId> {
+        self.pending
+            .iter()
+            .filter(|j| j.spec.estimate_epoch < fleet_epoch)
+            .map(|j| j.job_id)
+            .collect()
+    }
+
+    /// Replace a pending job's estimate table with one recomputed against a
+    /// fresh calibration snapshot (the spec carries its own epoch stamp).
+    /// Returns `false` if the job is not pending.
+    pub fn reestimate(&mut self, job_id: JobId, spec: JobSpec) -> bool {
+        match self.pending.iter_mut().find(|j| j.job_id == job_id) {
+            Some(job) => {
+                job.spec = spec;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// `true` if [`JobManager::dispatch_direct`] would succeed for this
+    /// `(job, QPU)` pair — the job is pending and the QPU has a finite
+    /// execution estimate. Lets a write-ahead journal validate before
+    /// appending the event.
+    pub fn can_dispatch_direct(&self, job_id: JobId, qpu_index: usize) -> bool {
+        self.pending.iter().find(|j| j.job_id == job_id).is_some_and(|j| {
+            j.spec.exec_time_per_qpu.get(qpu_index).copied().is_some_and(f64::is_finite)
+        })
+    }
+
     /// Replay one journaled batch dispatch against this manager's state
     /// without re-running the scheduler or touching a fleet: reset the
-    /// interval timer, drop the placed and rejected jobs from the pool, and
-    /// count the batch. Mirrors exactly the state delta of
-    /// [`JobManager::try_dispatch`], so snapshot + log replay reproduces a
-    /// live manager byte for byte.
-    pub(crate) fn apply_batch(&mut self, t_s: f64, placed: &[(JobId, usize)], rejected: &[JobId]) {
+    /// interval timer, drop the placed and rejected jobs from the pool, park
+    /// the boundary-deferred jobs, and count the batch. Mirrors exactly the
+    /// state delta of [`JobManager::try_dispatch`], so snapshot + log replay
+    /// reproduces a live manager byte for byte.
+    pub(crate) fn apply_batch(
+        &mut self,
+        t_s: f64,
+        placed: &[(JobId, usize)],
+        rejected: &[JobId],
+        deferred: &[(JobId, f64)],
+    ) {
         self.trigger.mark_invoked(t_s);
+        let deferred: HashMap<JobId, f64> = deferred.iter().copied().collect();
         let placed: HashSet<JobId> = placed.iter().map(|(job_id, _)| *job_id).collect();
         let rejected: HashSet<JobId> = rejected.iter().copied().collect();
-        self.pending.retain(|job| !placed.contains(&job.job_id) && !rejected.contains(&job.job_id));
+        self.pending.retain_mut(|job| {
+            if let Some(&boundary_s) = deferred.get(&job.job_id) {
+                job.deferrals += 1;
+                job.held_until_s = boundary_s;
+                true
+            } else {
+                !placed.contains(&job.job_id) && !rejected.contains(&job.job_id)
+            }
+        });
         self.batches_dispatched += 1;
     }
 
+    /// Replay one journaled direct dispatch: remove the job from the pool
+    /// (the state delta of [`JobManager::dispatch_direct`]).
+    pub(crate) fn apply_direct(&mut self, job_id: JobId) {
+        self.pending.retain(|job| job.job_id != job_id);
+    }
+
     /// Canonical byte-for-byte text encoding of the manager's full state
-    /// (trigger configuration and timer, pending pool in submission order,
-    /// id counters). Floats are encoded as IEEE-754 bit patterns, so
-    /// `decode_state(encode_state())` reproduces the state exactly and equal
-    /// encodings imply bit-identical states.
+    /// (trigger configuration and timer, calibration policy, pending pool in
+    /// submission order with deferral/hold state, id counters). Floats are
+    /// encoded as IEEE-754 bit patterns, so `decode_state(encode_state())`
+    /// reproduces the state exactly and equal encodings imply bit-identical
+    /// states.
     pub fn encode_state(&self) -> String {
         use crate::replication::wire::{enc_f64, enc_opt_f64, enc_spec};
-        let mut out = String::from("jm 1\n");
+        let mut out = String::from("jm 2\n");
         out.push_str(&format!(
             "trigger {} {} {}\n",
             self.trigger.queue_limit,
             enc_f64(self.trigger.interval_s),
             enc_opt_f64(self.trigger.last_invocation_s())
         ));
+        out.push_str(&format!(
+            "cal {}\n",
+            match self.policy {
+                CalibrationPolicy::Naive => "naive",
+                CalibrationPolicy::SplitAtBoundary => "split",
+            }
+        ));
         out.push_str(&format!("ids {} {}\n", self.next_job_id, self.batches_dispatched));
         for job in &self.pending {
             out.push_str(&format!(
-                "job {} {} {} {}\n",
+                "job {} {} {} {} {} {}\n",
                 job.job_id,
                 job.tenant,
                 enc_f64(job.submitted_s),
+                job.deferrals,
+                enc_f64(job.held_until_s),
                 enc_spec(&job.spec)
             ));
         }
@@ -352,7 +546,7 @@ impl JobManager {
     pub fn decode_state(encoded: &str) -> Option<JobManager> {
         use crate::replication::wire::{dec_f64, dec_opt_f64, dec_spec};
         let mut lines = encoded.lines();
-        if lines.next()? != "jm 1" {
+        if lines.next()? != "jm 2" {
             return None;
         }
         let mut trigger_line = lines.next()?.split(' ');
@@ -366,6 +560,15 @@ impl JobManager {
         if let Some(last) = last_invocation_s {
             trigger.mark_invoked(last);
         }
+        let mut cal_line = lines.next()?.split(' ');
+        if cal_line.next()? != "cal" {
+            return None;
+        }
+        let policy = match cal_line.next()? {
+            "naive" => CalibrationPolicy::Naive,
+            "split" => CalibrationPolicy::SplitAtBoundary,
+            _ => return None,
+        };
         let mut ids_line = lines.next()?.split(' ');
         if ids_line.next()? != "ids" {
             return None;
@@ -382,11 +585,47 @@ impl JobManager {
                 job_id: fields.next()?.parse().ok()?,
                 tenant: fields.next()?.parse().ok()?,
                 submitted_s: dec_f64(fields.next()?)?,
+                deferrals: fields.next()?.parse().ok()?,
+                held_until_s: dec_f64(fields.next()?)?,
                 spec: dec_spec(fields.next()?)?,
             });
         }
-        Some(JobManager { trigger, pending, next_job_id, batches_dispatched })
+        Some(JobManager { trigger, policy, pending, next_job_id, batches_dispatched })
     }
+}
+
+/// Partition a batch plan at the fleet's recalibration boundaries (§7): the
+/// scheduler's relative timeline is shifted to absolute time and each QPU's
+/// planned jobs are run through [`partition_at_boundary`] against that QPU's
+/// own next boundary. Returns the `(job id, boundary)` pairs to defer —
+/// straddling and post-boundary placements — except jobs already deferred
+/// [`MAX_DEFERRALS`] times, which dispatch anyway to avoid starvation behind
+/// a persistent backlog.
+fn split_at_boundaries(
+    planned: &[PlannedJob],
+    fleet: &Fleet,
+    now_s: f64,
+    deferrals_of: &HashMap<JobId, u32>,
+) -> Vec<(JobId, f64)> {
+    let mut per_qpu: BTreeMap<usize, Vec<PlannedJob>> = BTreeMap::new();
+    for job in planned {
+        per_qpu
+            .entry(job.qpu_index)
+            .or_default()
+            .push(PlannedJob { start_s: job.start_s + now_s, ..*job });
+    }
+    let mut deferred = Vec::new();
+    for (qpu_index, timeline) in per_qpu {
+        let boundary_s = fleet.members()[qpu_index].qpu.clock.next_boundary_s;
+        let partition = partition_at_boundary(&timeline, boundary_s);
+        for job in partition.straddling.iter().chain(&partition.after) {
+            if deferrals_of.get(&job.job_id).copied().unwrap_or(0) < MAX_DEFERRALS {
+                deferred.push((job.job_id, boundary_s));
+            }
+        }
+    }
+    deferred.sort_unstable_by_key(|&(id, _)| id);
+    deferred
 }
 
 /// Execution duration safe to enqueue: finite, and at least [`MIN_EXEC_S`].
@@ -440,6 +679,7 @@ mod tests {
                 .iter()
                 .map(|m| if m.qpu.num_qubits() >= qubits { exec_s } else { f64::INFINITY })
                 .collect(),
+            estimate_epoch: fleet.calibration_epoch(),
         }
     }
 
@@ -562,6 +802,9 @@ mod tests {
         // 20-qubit job: only the 27-qubit members have finite estimates.
         let id = jm.submit(spec(&fleet, 20, 5.0), 0.0);
         let lagos = fleet.members().iter().position(|m| m.qpu.num_qubits() == 7).unwrap();
+        assert!(!jm.can_dispatch_direct(id, lagos));
+        assert!(!jm.can_dispatch_direct(id, 999), "out-of-range QPU refuses, never panics");
+        assert!(jm.can_dispatch_direct(id, 0));
         assert!(!jm.dispatch_direct(id, lagos, &mut fleet), "7-qubit QPU cannot run it");
         assert_eq!(jm.pending_len(), 1, "refused job stays pending");
         assert!(jm.next_event_s(&fleet).is_none(), "nothing was enqueued");
@@ -598,8 +841,115 @@ mod tests {
         let record = live.try_dispatch(93.5, &scheduler(), &mut fleet).expect("interval fires");
         let placed: Vec<(JobId, usize)> =
             record.outcome.placements.iter().map(|p| (p.job_id, p.qpu_index)).collect();
-        restored.apply_batch(93.5, &placed, &record.outcome.rejected_jobs);
+        restored.apply_batch(93.5, &placed, &record.outcome.rejected_jobs, &record.deferred);
         assert_eq!(restored.encode_state(), live.encode_state());
+    }
+
+    /// A single-QPU fleet recalibrating every `period_s` seconds: planned
+    /// timelines serialize on the one device, so boundary crossings are
+    /// exactly predictable.
+    fn solo_fleet(period_s: f64, seed: u64) -> Fleet {
+        use qonductor_backend::{FleetMember, JobQueue, Qpu, QpuModel};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut qpu = Qpu::new("solo", QpuModel::falcon_27(), 1.0, &mut rng);
+        qpu.set_calibration_period(period_s, 0.0);
+        Fleet::from_members(vec![FleetMember { qpu, queue: JobQueue::new() }])
+    }
+
+    /// §7 split: jobs planned to finish before the boundary dispatch
+    /// unchanged; the job whose planned execution crosses it is pulled out,
+    /// parked until the boundary, and re-dispatched by a later cycle.
+    #[test]
+    fn split_at_boundary_defers_the_straddling_job() {
+        let mut fleet = solo_fleet(100.0, 3);
+        let mut jm = JobManager::new(ScheduleTrigger::new(3, 120.0))
+            .with_calibration_policy(CalibrationPolicy::SplitAtBoundary);
+        assert_eq!(jm.calibration_policy(), CalibrationPolicy::SplitAtBoundary);
+        let ids: Vec<JobId> = (0..3).map(|_| jm.submit(spec(&fleet, 5, 40.0), 0.0)).collect();
+        let batch = jm.try_dispatch(0.0, &scheduler(), &mut fleet).expect("trigger fires");
+        // Serialized on the solo QPU: 0–40, 40–80, 80–120 — the third job
+        // straddles the boundary at 100 and must be deferred.
+        assert_eq!(batch.deferred, vec![(ids[2], 100.0)]);
+        assert_eq!(batch.enqueued_job_ids(), vec![ids[0], ids[1]]);
+        assert_eq!(batch.job_ids, ids, "the whole pool was handed to the scheduler");
+        assert_eq!(fleet.members()[0].queue.pending_len(), 2, "only the before set enqueued");
+        // The deferred job is parked, not rejected: it stays pending with its
+        // deferral counted and cannot re-fire the trigger pre-boundary.
+        assert_eq!(jm.pending_len(), 1);
+        let held = &jm.pending()[0];
+        assert_eq!((held.job_id, held.deferrals, held.held_until_s), (ids[2], 1, 100.0));
+        assert_eq!(jm.check_trigger(50.0), None, "held jobs do not count toward the trigger");
+        // The next firing is the interval expiry at 120 ≥ the boundary.
+        assert_eq!(jm.next_trigger_s(), Some(120.0));
+        let mut rng = StdRng::seed_from_u64(9);
+        fleet.advance_to(120.0, &mut rng);
+        assert_eq!(fleet.calibration_epoch(), 1, "the boundary recalibrated the device");
+        let batch = jm.try_dispatch(120.0, &scheduler(), &mut fleet).expect("re-dispatch");
+        // 120–160 fits before the next boundary at 200: dispatches cleanly.
+        assert_eq!(batch.job_ids, vec![ids[2]]);
+        assert!(batch.deferred.is_empty());
+        assert_eq!(jm.pending_len(), 0);
+    }
+
+    /// A batch whose every placement crosses the boundary defers entirely —
+    /// and the held pool wakes exactly at the boundary, not busy-looping at
+    /// the dispatch instant.
+    #[test]
+    fn fully_straddling_batch_defers_everything_until_the_boundary() {
+        let mut fleet = solo_fleet(100.0, 4);
+        let mut jm = JobManager::new(ScheduleTrigger::new(3, 1e12))
+            .with_calibration_policy(CalibrationPolicy::SplitAtBoundary);
+        let ids: Vec<JobId> = (0..3).map(|_| jm.submit(spec(&fleet, 5, 200.0), 0.0)).collect();
+        let batch = jm.try_dispatch(0.0, &scheduler(), &mut fleet).expect("trigger fires");
+        assert_eq!(batch.deferred.len(), 3);
+        assert!(batch.enqueued_job_ids().is_empty());
+        assert_eq!(jm.pending_len(), 3);
+        // No same-instant re-fire: the queue-size path next fires when the
+        // third held job becomes available again — at the boundary.
+        assert_eq!(jm.check_trigger(0.0), None);
+        assert_eq!(jm.next_trigger_s(), Some(100.0));
+        let _ = ids;
+    }
+
+    /// The deferral budget bounds starvation: after [`MAX_DEFERRALS`] splits
+    /// a job dispatches even though its plan still crosses a boundary.
+    #[test]
+    fn deferral_budget_eventually_dispatches_a_perpetually_straddling_job() {
+        let mut fleet = solo_fleet(100.0, 5);
+        let mut jm = JobManager::new(ScheduleTrigger::new(1, 1e12))
+            .with_calibration_policy(CalibrationPolicy::SplitAtBoundary);
+        // 500 s of work on a 100 s calibration period: every plan crosses.
+        let id = jm.submit(spec(&fleet, 5, 500.0), 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut dispatched_at = None;
+        for _ in 0..8 {
+            let Some(t) = jm.next_trigger_s() else { break };
+            fleet.advance_to(t, &mut rng);
+            let batch = jm.try_dispatch(t, &scheduler(), &mut fleet).expect("fires");
+            if batch.deferred.is_empty() {
+                dispatched_at = Some(t);
+                break;
+            }
+        }
+        dispatched_at.expect("the deferral budget must force a dispatch");
+        assert_eq!(fleet.members()[0].queue.pending_len(), 1, "job {id} was enqueued");
+        assert_eq!(jm.pending_len(), 0, "the pool drained");
+    }
+
+    /// Re-estimation: stale pending specs are found by epoch comparison and
+    /// replaced in place.
+    #[test]
+    fn stale_pending_jobs_are_found_and_reestimated() {
+        let fleet = solo_fleet(100.0, 6);
+        let mut jm = JobManager::new(ScheduleTrigger::new(10, 1e12));
+        let id = jm.submit(spec(&fleet, 5, 10.0), 0.0); // estimate_epoch = 0
+        assert!(jm.stale_pending(0).is_empty(), "epoch 0 estimates are current at epoch 0");
+        assert_eq!(jm.stale_pending(1), vec![id]);
+        let fresh = JobSpec { estimate_epoch: 1, ..spec(&fleet, 5, 12.0) };
+        assert!(jm.reestimate(id, fresh.clone()));
+        assert!(jm.stale_pending(1).is_empty());
+        assert_eq!(jm.pending()[0].spec, fresh);
+        assert!(!jm.reestimate(999, fresh), "unknown jobs are refused");
     }
 
     #[test]

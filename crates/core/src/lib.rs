@@ -25,10 +25,12 @@ pub mod workflow;
 
 pub use config::{DeploymentConfig, Priority, ResourceLimits};
 pub use jobmanager::{
-    BatchRecord, CompletedExecution, JobId, JobManager, JobSpec, PendingJob, TenantId,
-    DEFAULT_TENANT,
+    BatchRecord, CalibrationPolicy, CompletedExecution, JobId, JobManager, JobSpec, PendingJob,
+    TenantId, DEFAULT_TENANT,
 };
-pub use monitor::{BatchObservation, SystemMonitor, WorkflowStatus};
+pub use monitor::{
+    BatchObservation, ReestimationObservation, SplitObservation, SystemMonitor, WorkflowStatus,
+};
 pub use orchestrator::{
     ClassicalStepResult, Orchestrator, OrchestratorError, QuantumStepResult, RunId, WorkflowResult,
 };

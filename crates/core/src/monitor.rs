@@ -107,6 +107,12 @@ impl SystemMonitor {
         value.split(',').nth(1)?.parse().ok()
     }
 
+    /// The last recorded calibration cycle (epoch) of a QPU, if known.
+    pub fn qpu_calibration_cycle(&self, name: &str) -> Option<u64> {
+        let value = self.store.get(&format!("qpu/{name}/dynamic")).ok()?;
+        value.split(',').nth(2)?.parse().ok()
+    }
+
     /// Update a workflow run's execution status.
     pub fn set_workflow_status(
         &self,
@@ -183,6 +189,91 @@ impl SystemMonitor {
             .collect()
     }
 
+    /// Write one epoch-stamped job-id record (`t_s,epoch,id|id|…`) — the
+    /// shared codec of the calibration-split and re-estimation observations.
+    fn put_epoch_record(
+        &self,
+        prefix: &str,
+        index: usize,
+        t_s: f64,
+        fleet_epoch: u64,
+        job_ids: &[u64],
+    ) -> Result<(), StoreError> {
+        let jobs = job_ids.iter().map(u64::to_string).collect::<Vec<_>>().join("|");
+        self.store.put(format!("{prefix}{index:08}"), format!("{t_s:.3},{fleet_epoch},{jobs}"))
+    }
+
+    /// Read back every [`Self::put_epoch_record`] under `prefix`, in index
+    /// order, as `(index, t_s, fleet_epoch, job ids)` tuples.
+    fn epoch_records(&self, prefix: &str) -> Vec<(usize, f64, u64, Vec<u64>)> {
+        let mut keys = self.store.keys_with_prefix(prefix);
+        keys.sort();
+        keys.into_iter()
+            .filter_map(|key| {
+                let index: usize = key.rsplit('/').next()?.parse().ok()?;
+                let value = self.store.get(&key).ok()?;
+                let mut parts = value.split(',');
+                let t_s = parts.next()?.parse().ok()?;
+                let fleet_epoch = parts.next()?.parse().ok()?;
+                let job_ids = parts
+                    .next()
+                    .map(|jobs| jobs.split('|').filter_map(|id| id.parse().ok()).collect())
+                    .unwrap_or_default();
+                Some((index, t_s, fleet_epoch, job_ids))
+            })
+            .collect()
+    }
+
+    /// Record one calibration-crossover split (§7): a dispatched batch whose
+    /// plan crossed a recalibration boundary, with the deferred job ids.
+    pub fn record_calibration_split(
+        &self,
+        batch_index: usize,
+        t_s: f64,
+        fleet_epoch: u64,
+        deferred_jobs: &[u64],
+    ) -> Result<(), StoreError> {
+        self.put_epoch_record("scheduler/split/", batch_index, t_s, fleet_epoch, deferred_jobs)
+    }
+
+    /// All recorded calibration splits, in dispatch order.
+    pub fn calibration_splits(&self) -> Vec<SplitObservation> {
+        self.epoch_records("scheduler/split/")
+            .into_iter()
+            .map(|(batch_index, t_s, fleet_epoch, deferred_jobs)| SplitObservation {
+                batch_index,
+                t_s,
+                fleet_epoch,
+                deferred_jobs,
+            })
+            .collect()
+    }
+
+    /// Record one post-boundary re-estimation pass: the jobs whose estimate
+    /// tables were recomputed against the new fleet calibration epoch.
+    pub fn record_reestimation(
+        &self,
+        pass_index: usize,
+        t_s: f64,
+        fleet_epoch: u64,
+        job_ids: &[u64],
+    ) -> Result<(), StoreError> {
+        self.put_epoch_record("scheduler/reestimate/", pass_index, t_s, fleet_epoch, job_ids)
+    }
+
+    /// All recorded re-estimation passes, in pass order.
+    pub fn reestimations(&self) -> Vec<ReestimationObservation> {
+        self.epoch_records("scheduler/reestimate/")
+            .into_iter()
+            .map(|(pass_index, t_s, fleet_epoch, job_ids)| ReestimationObservation {
+                pass_index,
+                t_s,
+                fleet_epoch,
+                job_ids,
+            })
+            .collect()
+    }
+
     /// Persist a tenant's submission-service accounting.
     pub fn record_tenant_stats(
         &self,
@@ -246,6 +337,32 @@ fn parse_tenant_composition(field: &str) -> Vec<(TenantId, usize)> {
             Some((tenant.parse().ok()?, count.parse().ok()?))
         })
         .collect()
+}
+
+/// A calibration-crossover split as observed through the monitor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SplitObservation {
+    /// Index of the batch whose plan crossed a boundary.
+    pub batch_index: usize,
+    /// Simulated time of the dispatch.
+    pub t_s: f64,
+    /// Fleet-wide calibration epoch at dispatch.
+    pub fleet_epoch: u64,
+    /// Jobs deferred past the boundary for re-estimation.
+    pub deferred_jobs: Vec<u64>,
+}
+
+/// A post-boundary re-estimation pass as observed through the monitor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReestimationObservation {
+    /// Zero-based pass index.
+    pub pass_index: usize,
+    /// Simulated time of the pass.
+    pub t_s: f64,
+    /// Fleet-wide calibration epoch the estimates were refreshed to.
+    pub fleet_epoch: u64,
+    /// Jobs whose estimate tables were recomputed.
+    pub job_ids: Vec<u64>,
 }
 
 /// A scheduling batch as observed through the monitor.
@@ -325,6 +442,26 @@ mod tests {
         assert_eq!(batches[1].reason, TriggerReason::QueueSize);
         assert_eq!(batches[1].num_jobs, 100);
         assert_eq!(batches[1].tenant_jobs, vec![(0, 60), (2, 40)]);
+    }
+
+    #[test]
+    fn calibration_split_and_reestimation_roundtrip() {
+        let monitor = SystemMonitor::default();
+        assert!(monitor.calibration_splits().is_empty());
+        assert!(monitor.reestimations().is_empty());
+        monitor.record_calibration_split(3, 3590.5, 8, &[12, 15]).unwrap();
+        monitor.record_calibration_split(5, 7190.0, 16, &[20]).unwrap();
+        monitor.record_reestimation(0, 3600.0, 16, &[12, 15]).unwrap();
+        let splits = monitor.calibration_splits();
+        assert_eq!(splits.len(), 2);
+        assert_eq!(splits[0].batch_index, 3);
+        assert_eq!(splits[0].fleet_epoch, 8);
+        assert_eq!(splits[0].deferred_jobs, vec![12, 15]);
+        assert!((splits[1].t_s - 7190.0).abs() < 1e-9);
+        let passes = monitor.reestimations();
+        assert_eq!(passes.len(), 1);
+        assert_eq!(passes[0].job_ids, vec![12, 15]);
+        assert_eq!(passes[0].fleet_epoch, 16);
     }
 
     #[test]

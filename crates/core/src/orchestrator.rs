@@ -15,7 +15,7 @@
 //! lets their quantum steps share a single scheduler invocation.
 
 use crate::config::{DeploymentConfig, Priority};
-use crate::jobmanager::{JobSpec, TenantId, DEFAULT_TENANT};
+use crate::jobmanager::{CalibrationPolicy, JobId, JobSpec, TenantId, DEFAULT_TENANT};
 use crate::monitor::{SystemMonitor, WorkflowStatus};
 use crate::registry::{HybridWorkflowImage, ImageId, WorkflowRegistry};
 use crate::replication::ReplicatedControlPlane;
@@ -136,6 +136,8 @@ struct OrchestratorState {
     clock_s: f64,
     next_run_id: RunId,
     results: Vec<WorkflowResult>,
+    /// Post-boundary re-estimation passes recorded so far (monitor key space).
+    reestimation_passes: usize,
     rng: StdRng,
 }
 
@@ -179,6 +181,7 @@ impl Orchestrator {
                 clock_s: 0.0,
                 next_run_id: 0,
                 results: Vec::new(),
+                reestimation_passes: 0,
                 rng: StdRng::seed_from_u64(seed),
             }),
         }
@@ -398,6 +401,13 @@ impl Orchestrator {
                 .map(|_| Err(OrchestratorError::UnknownTenant(tenant)))
                 .collect();
         }
+        // Plan-time calibration freshness: apply any recalibration boundary
+        // the clock has already crossed *before* resource plans are generated
+        // and priorities picked, so `pick_plan` and the per-step estimates
+        // read the current epoch's calibration, never a stale snapshot left
+        // over from the previous invocation wave.
+        state.fleet.sync_calibrations(state.clock_s, &mut state.rng);
+
         // One slot per input: either an early error or an index into `runs`.
         let mut slots: Vec<Result<usize, OrchestratorError>> = Vec::with_capacity(image_ids.len());
         let mut runs: Vec<ActiveRun> = Vec::new();
@@ -538,6 +548,13 @@ impl Orchestrator {
                     } else {
                         step.mitigation.clone()
                     };
+                    // Estimates are computed against the *engine clock's*
+                    // epoch (never the run-local clock, which classical
+                    // steps can push arbitrarily far ahead — recalibrating
+                    // to a future instant would consume boundaries other
+                    // runs' plans must still split at). If the engine clock
+                    // crosses a boundary before this job dispatches, the
+                    // drive loop's re-estimation pass refreshes it.
                     let (fidelity_per_qpu, exec_time_per_qpu) =
                         self.step_estimates(&state.fleet, &step.circuit, &stack);
                     if fidelity_per_qpu.iter().all(|&f| f <= 0.0) {
@@ -551,6 +568,7 @@ impl Orchestrator {
                         shots: step.circuit.shots(),
                         fidelity_per_qpu: fidelity_per_qpu.clone(),
                         exec_time_per_qpu,
+                        estimate_epoch: state.fleet.calibration_epoch(),
                     };
                     let ticket = state
                         .control
@@ -564,6 +582,8 @@ impl Orchestrator {
                             required_qubits: step.circuit.num_qubits(),
                             submitted_s: run.clock_s,
                             fidelity_per_qpu,
+                            circuit: step.circuit.clone(),
+                            stack,
                         },
                     );
                     run.awaiting_job = true;
@@ -617,6 +637,16 @@ impl Orchestrator {
             state.fleet.advance_to(target, &mut state.rng);
             state.clock_s = target;
 
+            // Re-estimate every pending job whose estimate table predates
+            // the current fleet epoch (jobs a split parked behind the
+            // boundary, jobs admitted from a pre-boundary tenant-queue
+            // backlog, and any still-pooled job), journaling each refresh so
+            // failover replays it byte-for-byte. Cheap when nothing is
+            // stale, so it runs every round rather than only on rounds whose
+            // own advance crossed a boundary.
+            let epoch = state.fleet.calibration_epoch();
+            self.reestimate_stale_pending(state, awaiting, epoch);
+
             // Deliver completions up to this instant (journaled per ticket).
             let mut delivered = 0usize;
             let completions = state.control.drain_completions(&mut state.fleet);
@@ -667,6 +697,18 @@ impl Orchestrator {
                     batch.job_ids.len(),
                     &batch.tenant_jobs,
                 );
+                // Surface calibration-crossover splits: which jobs were
+                // pulled out of the batch and parked behind the boundary.
+                if !batch.deferred.is_empty() {
+                    let deferred_ids: Vec<JobId> =
+                        batch.deferred.iter().map(|(id, _)| *id).collect();
+                    let _ = self.monitor.record_calibration_split(
+                        batch.batch_index,
+                        batch.t_s,
+                        batch.fleet_epoch,
+                        &deferred_ids,
+                    );
+                }
                 self.record_fleet_dynamics(state);
                 // Scheduler-rejected jobs return to their tenant queue for
                 // re-admission until the retry budget runs out; only the
@@ -688,6 +730,51 @@ impl Orchestrator {
         }
     }
 
+    /// Re-estimate every pending job whose estimate table predates the
+    /// current fleet calibration epoch: recompute the per-QPU
+    /// fidelity/execution estimates from the step's circuit and mitigation
+    /// stack against the *new* calibration snapshots, journal each refresh
+    /// through the control plane, and record the pass in the system monitor.
+    fn reestimate_stale_pending(
+        &self,
+        state: &mut OrchestratorState,
+        awaiting: &mut HashMap<TicketId, AwaitedStep>,
+        epoch: u64,
+    ) {
+        let mut refreshed: Vec<JobId> = Vec::new();
+        for job_id in state.control.stale_pending(epoch) {
+            let Some(ticket) = state.control.submissions().admitted_ticket(job_id) else {
+                continue;
+            };
+            let Some(step) = awaiting.get_mut(&ticket.ticket) else { continue };
+            let (fidelity_per_qpu, exec_time_per_qpu) =
+                self.step_estimates(&state.fleet, &step.circuit, &step.stack);
+            let spec = JobSpec {
+                qubits: step.circuit.num_qubits(),
+                shots: step.circuit.shots(),
+                fidelity_per_qpu: fidelity_per_qpu.clone(),
+                exec_time_per_qpu,
+                estimate_epoch: epoch,
+            };
+            // The step's result fidelity is read from these estimates at
+            // delivery: keep them in lock-step with what the engine now
+            // schedules against.
+            step.fidelity_per_qpu = fidelity_per_qpu;
+            if state
+                .control
+                .reestimate_job(job_id, spec)
+                .expect("control-plane journal has a quorum")
+            {
+                refreshed.push(job_id);
+            }
+        }
+        if !refreshed.is_empty() {
+            let pass = state.reestimation_passes;
+            state.reestimation_passes += 1;
+            let _ = self.monitor.record_reestimation(pass, state.clock_s, epoch, &refreshed);
+        }
+    }
+
     /// Refresh the monitor's dynamic per-QPU records (queue depth, waiting
     /// estimate, calibration cycle) from the current fleet state.
     fn record_fleet_dynamics(&self, state: &OrchestratorState) {
@@ -696,7 +783,7 @@ impl Orchestrator {
                 &member.qpu.name,
                 member.queue.pending_len(),
                 member.queue.estimated_waiting_s(),
-                member.qpu.calibration.cycle,
+                member.qpu.clock.epoch,
             );
         }
     }
@@ -805,14 +892,21 @@ struct AwaitedStep {
     /// here: pool wait for the trigger + queue wait).
     submitted_s: f64,
     fidelity_per_qpu: Vec<f64>,
+    /// The step's circuit and mitigation stack, kept so a pending job pulled
+    /// out of a batch at a recalibration boundary can be re-estimated against
+    /// the post-boundary calibration snapshot.
+    circuit: Circuit,
+    stack: MitigationStack,
 }
 
 /// A replicated control plane (f = 1: three store replicas, three election
-/// nodes) whose tenant 0 mirrors the legacy single-caller path: weight 1,
+/// nodes) whose batch engine splits plans at recalibration boundaries (§7)
+/// and whose tenant 0 mirrors the legacy single-caller path: weight 1,
 /// unbounded in-flight, and no rejection retries (a scheduler rejection fails
 /// the awaiting run immediately, as before the submission service existed).
 fn default_control_plane(trigger: ScheduleTrigger, seed: u64) -> ReplicatedControlPlane {
-    let mut control = ReplicatedControlPlane::new(trigger, 1, seed);
+    let mut control =
+        ReplicatedControlPlane::with_policy(trigger, CalibrationPolicy::SplitAtBoundary, 1, seed);
     let tenant = control
         .register_tenant_with(TenantConfig { weight: 1, max_in_flight: usize::MAX, max_retries: 0 })
         .expect("fresh store has a quorum");

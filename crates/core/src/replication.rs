@@ -14,7 +14,9 @@
 //! [`ReplicatedControlPlane::state_digest`] before a crash and after
 //! [`ReplicatedControlPlane::failover`] to prove it.
 
-use crate::jobmanager::{CompletedExecution, JobId, JobManager, JobSpec, TenantId};
+use crate::jobmanager::{
+    CalibrationPolicy, CompletedExecution, JobId, JobManager, JobSpec, PendingJob, TenantId,
+};
 use crate::submission::{
     JobTicket, SubmissionError, SubmissionService, TenantConfig, TicketStatus,
 };
@@ -51,15 +53,16 @@ pub(crate) mod wire {
         }
     }
 
-    /// Encode a job spec as `qubits|shots|f_bits,..|t_bits,..` (no spaces, so
-    /// a spec is a single field of a space-separated record).
+    /// Encode a job spec as `qubits|shots|epoch|f_bits,..|t_bits,..` (no
+    /// spaces, so a spec is a single field of a space-separated record).
     pub(crate) fn enc_spec(spec: &JobSpec) -> String {
         let join =
             |values: &[f64]| values.iter().map(|&v| enc_f64(v)).collect::<Vec<_>>().join(",");
         format!(
-            "{}|{}|{}|{}",
+            "{}|{}|{}|{}|{}",
             spec.qubits,
             spec.shots,
+            spec.estimate_epoch,
             join(&spec.fidelity_per_qpu),
             join(&spec.exec_time_per_qpu)
         )
@@ -70,6 +73,7 @@ pub(crate) mod wire {
         let mut parts = field.split('|');
         let qubits = parts.next()?.parse().ok()?;
         let shots = parts.next()?.parse().ok()?;
+        let estimate_epoch = parts.next()?.parse().ok()?;
         let split = |segment: &str| -> Option<Vec<f64>> {
             if segment.is_empty() {
                 return Some(Vec::new());
@@ -81,7 +85,7 @@ pub(crate) mod wire {
         if parts.next().is_some() {
             return None;
         }
-        Some(JobSpec { qubits, shots, fidelity_per_qpu, exec_time_per_qpu })
+        Some(JobSpec { qubits, shots, fidelity_per_qpu, exec_time_per_qpu, estimate_epoch })
     }
 }
 
@@ -113,7 +117,10 @@ pub enum ControlPlaneEvent {
         now_s: f64,
     },
     /// The trigger fired and a batch was dispatched: `placed` jobs left the
-    /// pool onto QPU queues, `rejected` jobs were bounced by the scheduler.
+    /// pool onto QPU queues (minus the `deferred` set), `rejected` jobs were
+    /// bounced by the scheduler, and `deferred` jobs were pulled out at a
+    /// recalibration boundary — they stay pending, parked until the boundary
+    /// (the typed split decision, replayed byte-for-byte on failover).
     BatchDispatched {
         /// Simulated dispatch time.
         t_s: f64,
@@ -121,6 +128,24 @@ pub enum ControlPlaneEvent {
         placed: Vec<(JobId, usize)>,
         /// Scheduler-rejected job ids.
         rejected: Vec<JobId>,
+        /// `(job id, boundary)` calibration-crossover deferrals (§7).
+        deferred: Vec<(JobId, f64)>,
+    },
+    /// A pending job's estimate table was recomputed against a fresh
+    /// calibration snapshot (the new spec carries its epoch stamp).
+    JobReestimated {
+        /// The engine-assigned job id.
+        job_id: JobId,
+        /// The recomputed estimates.
+        spec: JobSpec,
+    },
+    /// A job was placed directly onto a QPU queue, bypassing the trigger and
+    /// the optimizer (the FCFS / least-busy baseline path).
+    DirectDispatched {
+        /// The engine-assigned job id.
+        job_id: JobId,
+        /// Index of the QPU it was enqueued on.
+        qpu_index: usize,
     },
     /// A dispatched job finished executing on a QPU.
     JobCompleted {
@@ -148,7 +173,7 @@ impl LogEntry for ControlPlaneEvent {
                 format!("subm {tenant} {} {}", enc_f64(*now_s), enc_spec(spec))
             }
             ControlPlaneEvent::AdmissionPass { now_s } => format!("admt {}", enc_f64(*now_s)),
-            ControlPlaneEvent::BatchDispatched { t_s, placed, rejected } => {
+            ControlPlaneEvent::BatchDispatched { t_s, placed, rejected, deferred } => {
                 let placed = if placed.is_empty() {
                     "-".to_string()
                 } else {
@@ -163,7 +188,22 @@ impl LogEntry for ControlPlaneEvent {
                 } else {
                     rejected.iter().map(u64::to_string).collect::<Vec<_>>().join(",")
                 };
-                format!("disp {} {placed} {rejected}", enc_f64(*t_s))
+                let deferred = if deferred.is_empty() {
+                    "-".to_string()
+                } else {
+                    deferred
+                        .iter()
+                        .map(|(job, boundary)| format!("{job}:{}", enc_f64(*boundary)))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                };
+                format!("disp {} {placed} {rejected} {deferred}", enc_f64(*t_s))
+            }
+            ControlPlaneEvent::JobReestimated { job_id, spec } => {
+                format!("rest {job_id} {}", enc_spec(spec))
+            }
+            ControlPlaneEvent::DirectDispatched { job_id, qpu_index } => {
+                format!("dird {job_id} {qpu_index}")
             }
             ControlPlaneEvent::JobCompleted { job_id, qpu_index, enqueue_s, start_s, finish_s } => {
                 format!(
@@ -216,8 +256,28 @@ impl LogEntry for ControlPlaneEvent {
                         .map(|id| id.parse().ok())
                         .collect::<Option<Vec<_>>>()?
                 };
-                ControlPlaneEvent::BatchDispatched { t_s, placed, rejected }
+                let deferred_field = fields.next()?;
+                let deferred = if deferred_field == "-" {
+                    Vec::new()
+                } else {
+                    deferred_field
+                        .split(',')
+                        .map(|pair| {
+                            let (job, boundary) = pair.split_once(':')?;
+                            Some((job.parse().ok()?, dec_f64(boundary)?))
+                        })
+                        .collect::<Option<Vec<_>>>()?
+                };
+                ControlPlaneEvent::BatchDispatched { t_s, placed, rejected, deferred }
             }
+            "rest" => ControlPlaneEvent::JobReestimated {
+                job_id: fields.next()?.parse().ok()?,
+                spec: dec_spec(fields.next()?)?,
+            },
+            "dird" => ControlPlaneEvent::DirectDispatched {
+                job_id: fields.next()?.parse().ok()?,
+                qpu_index: fields.next()?.parse().ok()?,
+            },
             "done" => ControlPlaneEvent::JobCompleted {
                 job_id: fields.next()?.parse().ok()?,
                 qpu_index: fields.next()?.parse().ok()?,
@@ -293,11 +353,24 @@ pub struct ReplicatedControlPlane {
 }
 
 impl ReplicatedControlPlane {
-    /// A control plane whose engine is gated by `trigger`, journaling to a
-    /// fresh store of `2f + 1` replicas, with a `2f + 1`-node leader-election
-    /// cluster seeded by `seed`. Installs a genesis snapshot so a replica can
-    /// always rebuild, and elects the initial leader.
+    /// A control plane whose engine is gated by `trigger` (calibration-naive
+    /// dispatch), journaling to a fresh store of `2f + 1` replicas, with a
+    /// `2f + 1`-node leader-election cluster seeded by `seed`. Installs a
+    /// genesis snapshot so a replica can always rebuild, and elects the
+    /// initial leader.
     pub fn new(trigger: ScheduleTrigger, fault_tolerance: usize, seed: u64) -> Self {
+        Self::with_policy(trigger, CalibrationPolicy::default(), fault_tolerance, seed)
+    }
+
+    /// [`Self::new`] with an explicit calibration policy for the batch engine
+    /// (the policy is part of the genesis snapshot, so rebuilt replicas split
+    /// batches exactly like the original).
+    pub fn with_policy(
+        trigger: ScheduleTrigger,
+        policy: CalibrationPolicy,
+        fault_tolerance: usize,
+        seed: u64,
+    ) -> Self {
         let store = ReplicatedKvStore::new(fault_tolerance);
         let log = ReplicatedLog::new(store, "ctl");
         let mut cluster = Cluster::new(2 * fault_tolerance + 1, seed);
@@ -305,7 +378,7 @@ impl ReplicatedControlPlane {
         let plane = ReplicatedControlPlane {
             cluster,
             log,
-            jobmanager: JobManager::new(trigger),
+            jobmanager: JobManager::new(trigger).with_calibration_policy(policy),
             submissions: SubmissionService::new(),
         };
         plane.log.install_snapshot(&plane.encode_state(), 0).expect("fresh store has a quorum");
@@ -423,10 +496,57 @@ impl ReplicatedControlPlane {
                 t_s: now_s,
                 placed,
                 rejected: record.outcome.rejected_jobs.clone(),
+                deferred: record.deferred.clone(),
             })
             .expect("quorum pre-checked");
         let terminal_rejections = self.submissions.note_batch(&record);
         Ok(Some(DispatchOutcome { record, terminal_rejections }))
+    }
+
+    /// Place one pending job directly onto a QPU queue, bypassing the
+    /// trigger and the optimizer (journaled — the baseline path of the cloud
+    /// simulation). Returns `Ok(false)`, journaling nothing, if the job is
+    /// not pending or the QPU cannot run it.
+    pub fn dispatch_direct(
+        &mut self,
+        job_id: JobId,
+        qpu_index: usize,
+        fleet: &mut Fleet,
+    ) -> Result<bool, ReplicationError> {
+        if !self.jobmanager.can_dispatch_direct(job_id, qpu_index) {
+            return Ok(false);
+        }
+        self.log.append(&ControlPlaneEvent::DirectDispatched { job_id, qpu_index })?;
+        let dispatched = self.jobmanager.dispatch_direct(job_id, qpu_index, fleet);
+        debug_assert!(dispatched, "dispatch pre-validated");
+        Ok(dispatched)
+    }
+
+    /// Pending jobs whose estimate tables are stale against `fleet_epoch`
+    /// (served locally; see [`JobManager::stale_pending`]).
+    pub fn stale_pending(&self, fleet_epoch: u64) -> Vec<JobId> {
+        self.jobmanager.stale_pending(fleet_epoch)
+    }
+
+    /// A pending job by id (read-only), for callers recomputing estimates.
+    pub fn pending_job(&self, job_id: JobId) -> Option<&PendingJob> {
+        self.jobmanager.pending().iter().find(|j| j.job_id == job_id)
+    }
+
+    /// Replace a pending job's estimate table with one recomputed against a
+    /// fresh calibration snapshot (journaled, so failover replays the
+    /// re-estimation and the rebuilt pool carries the same estimates).
+    /// Returns `Ok(false)`, journaling nothing, if the job is not pending.
+    pub fn reestimate_job(
+        &mut self,
+        job_id: JobId,
+        spec: JobSpec,
+    ) -> Result<bool, ReplicationError> {
+        if self.pending_job(job_id).is_none() {
+            return Ok(false);
+        }
+        self.log.append(&ControlPlaneEvent::JobReestimated { job_id, spec: spec.clone() })?;
+        Ok(self.jobmanager.reestimate(job_id, spec))
     }
 
     /// Drain completion records from the fleet queues (data-plane state; no
@@ -564,9 +684,15 @@ fn apply_event(
         ControlPlaneEvent::AdmissionPass { now_s } => {
             submissions.admit(*now_s, jobmanager);
         }
-        ControlPlaneEvent::BatchDispatched { t_s, placed, rejected } => {
-            jobmanager.apply_batch(*t_s, placed, rejected);
+        ControlPlaneEvent::BatchDispatched { t_s, placed, rejected, deferred } => {
+            jobmanager.apply_batch(*t_s, placed, rejected, deferred);
             submissions.note_rejections(rejected);
+        }
+        ControlPlaneEvent::JobReestimated { job_id, spec } => {
+            jobmanager.reestimate(*job_id, spec.clone());
+        }
+        ControlPlaneEvent::DirectDispatched { job_id, .. } => {
+            jobmanager.apply_direct(*job_id);
         }
         ControlPlaneEvent::JobCompleted { job_id, qpu_index, enqueue_s, start_s, finish_s } => {
             submissions.note_completions(&[CompletedExecution {
@@ -622,6 +748,7 @@ mod tests {
                 .iter()
                 .map(|m| if m.qpu.num_qubits() >= qubits { exec_s } else { f64::INFINITY })
                 .collect(),
+            estimate_epoch: fleet.calibration_epoch(),
         }
     }
 
@@ -638,6 +765,7 @@ mod tests {
                     shots: 1024,
                     fidelity_per_qpu: vec![0.9, 0.0, f64::NAN],
                     exec_time_per_qpu: vec![4.25, f64::INFINITY, -0.0],
+                    estimate_epoch: 17,
                 },
                 now_s: 123.456,
             },
@@ -646,8 +774,25 @@ mod tests {
                 t_s: 99.5,
                 placed: vec![(0, 3), (2, 1)],
                 rejected: vec![1, 4],
+                deferred: vec![(5, 3600.0), (6, 7200.0)],
             },
-            ControlPlaneEvent::BatchDispatched { t_s: 1.0, placed: vec![], rejected: vec![] },
+            ControlPlaneEvent::BatchDispatched {
+                t_s: 1.0,
+                placed: vec![],
+                rejected: vec![],
+                deferred: vec![],
+            },
+            ControlPlaneEvent::JobReestimated {
+                job_id: 9,
+                spec: JobSpec {
+                    qubits: 3,
+                    shots: 256,
+                    fidelity_per_qpu: vec![0.75],
+                    exec_time_per_qpu: vec![2.0],
+                    estimate_epoch: 4,
+                },
+            },
+            ControlPlaneEvent::DirectDispatched { job_id: 11, qpu_index: 2 },
             ControlPlaneEvent::JobCompleted {
                 job_id: 12,
                 qpu_index: 4,
@@ -752,6 +897,75 @@ mod tests {
         plane.store().recover_replica(0);
         plane.submit(tenant, spec(&fleet, 5, 4.0), 2.0).unwrap();
         assert_eq!(plane.submissions().queued_len(tenant), 2);
+    }
+
+    /// Calibration-crossover state is journaled: a batch split at a
+    /// recalibration boundary, a post-boundary re-estimation, and a direct
+    /// dispatch all replay byte-for-byte through a leader crash + failover.
+    #[test]
+    fn split_and_reestimate_decisions_survive_failover_byte_for_byte() {
+        use qonductor_backend::{FleetMember, JobQueue, Qpu, QpuModel};
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut qpu = Qpu::new("solo", QpuModel::falcon_27(), 1.0, &mut rng);
+        qpu.set_calibration_period(100.0, 0.0);
+        let mut fleet = Fleet::from_members(vec![FleetMember { qpu, queue: JobQueue::new() }]);
+        let scheduler = scheduler();
+        let mut plane = ReplicatedControlPlane::with_policy(
+            ScheduleTrigger::new(3, 120.0),
+            CalibrationPolicy::SplitAtBoundary,
+            1,
+            9,
+        );
+        let tenant = plane.register_tenant(1).unwrap();
+        for i in 0..3 {
+            plane.submit(tenant, spec(&fleet, 5, 40.0), i as f64 * 0.1).unwrap();
+        }
+        plane.admit(0.5).unwrap();
+        let outcome = plane.try_dispatch(0.5, &scheduler, &mut fleet).unwrap().expect("fires");
+        // Serialized on the solo QPU, the third job crosses the boundary at
+        // 100 and is deferred (not rejected: no retry budget burned).
+        assert_eq!(outcome.record.deferred.len(), 1);
+        assert!(outcome.terminal_rejections.is_empty());
+        let (deferred_id, boundary) = outcome.record.deferred[0];
+        assert_eq!(boundary, 100.0);
+        let deferred_ticket =
+            plane.submissions().admitted_ticket(deferred_id).expect("still admitted");
+        assert!(matches!(plane.poll(deferred_ticket), Some(TicketStatus::Admitted { .. })));
+
+        // The boundary passes; the deferred job's estimates go stale and are
+        // refreshed (journaled).
+        fleet.advance_to(120.0, &mut rng);
+        let epoch = fleet.calibration_epoch();
+        assert_eq!(plane.stale_pending(epoch), vec![deferred_id]);
+        let fresh = JobSpec { estimate_epoch: epoch, ..spec(&fleet, 5, 41.0) };
+        assert!(plane.reestimate_job(deferred_id, fresh).unwrap());
+        assert!(plane.stale_pending(epoch).is_empty());
+
+        // Crash + failover: the rebuilt state (deferral counters, hold
+        // times, refreshed estimates) is byte-identical.
+        let digest = plane.state_digest();
+        plane.crash_leader();
+        plane.failover().expect("failover succeeds");
+        assert_eq!(plane.state_digest(), digest);
+        assert_eq!(plane.jobmanager().pending()[0].deferrals, 1);
+        assert_eq!(plane.jobmanager().pending()[0].held_until_s, 100.0);
+
+        // The re-planned job dispatches cleanly post-boundary and the direct
+        // path is journaled too.
+        let outcome = plane.try_dispatch(120.6, &scheduler, &mut fleet).unwrap().expect("fires");
+        assert!(outcome.record.deferred.is_empty());
+        assert_eq!(outcome.record.job_ids, vec![deferred_id]);
+        let t4 = plane.submit(tenant, spec(&fleet, 5, 2.0), 121.0).unwrap();
+        plane.admit(121.0).unwrap();
+        let job4 = match plane.poll(t4).unwrap() {
+            TicketStatus::Admitted { job_id } => job_id,
+            status => panic!("expected admission, got {status:?}"),
+        };
+        assert!(plane.dispatch_direct(job4, 0, &mut fleet).unwrap());
+        let digest = plane.state_digest();
+        plane.crash_leader();
+        plane.failover().expect("failover succeeds");
+        assert_eq!(plane.state_digest(), digest, "direct dispatch replayed");
     }
 
     #[test]

@@ -310,6 +310,13 @@ impl SubmissionService {
     /// pass, and the round-robin starting tenant rotates per pass, so
     /// capacity cutoffs even out across batches. Returns the admitted
     /// `(ticket, job id)` pairs in admission order.
+    ///
+    /// Boundary-deferred jobs (parked in the pool until a recalibration
+    /// boundary) deliberately *count* toward the capacity: admitting around
+    /// them could later produce a batch of held-turned-available plus fresh
+    /// jobs larger than the trigger limit. During a hold window admission
+    /// therefore backpressures into the tenant queues — bounded by one
+    /// calibration period per deferral and the engine's deferral budget.
     pub fn admit(&mut self, now_s: f64, jobmanager: &mut JobManager) -> Vec<(JobTicket, JobId)> {
         let mut admitted = Vec::new();
         let ids: Vec<TenantId> = self.tenants.keys().copied().collect();
@@ -449,6 +456,15 @@ impl SubmissionService {
     /// not yet resolved (completion or rejection accounting still pending).
     pub fn tracks_job(&self, job_id: JobId) -> bool {
         self.job_to_ticket.contains_key(&job_id)
+    }
+
+    /// The ticket of an admitted-but-unresolved engine job, if this service
+    /// issued one — how calibration-aware callers map a stale pending job
+    /// back to the submission (and its circuit) that produced it.
+    pub fn admitted_ticket(&self, job_id: JobId) -> Option<JobTicket> {
+        let ticket = *self.job_to_ticket.get(&job_id)?;
+        let record = self.tickets.get(&ticket)?;
+        Some(JobTicket { tenant: record.tenant, ticket })
     }
 
     /// Canonical byte-for-byte text encoding of the service's full state:
@@ -645,6 +661,7 @@ mod tests {
                 .iter()
                 .map(|m| if m.qpu.num_qubits() >= qubits { exec_s } else { f64::INFINITY })
                 .collect(),
+            estimate_epoch: fleet.calibration_epoch(),
         }
     }
 

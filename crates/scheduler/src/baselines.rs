@@ -68,9 +68,24 @@ mod tests {
 
     fn problem() -> SchedulingProblem {
         let qpus = vec![
-            QpuState { name: "best_fid".into(), num_qubits: 27, waiting_time_s: 500.0 },
-            QpuState { name: "empty".into(), num_qubits: 27, waiting_time_s: 0.0 },
-            QpuState { name: "small".into(), num_qubits: 7, waiting_time_s: 5.0 },
+            QpuState {
+                name: "best_fid".into(),
+                num_qubits: 27,
+                waiting_time_s: 500.0,
+                calibration_epoch: 0,
+            },
+            QpuState {
+                name: "empty".into(),
+                num_qubits: 27,
+                waiting_time_s: 0.0,
+                calibration_epoch: 0,
+            },
+            QpuState {
+                name: "small".into(),
+                num_qubits: 7,
+                waiting_time_s: 5.0,
+                calibration_epoch: 0,
+            },
         ];
         let jobs: Vec<JobRequest> = (0..6)
             .map(|i| JobRequest {

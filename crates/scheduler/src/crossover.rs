@@ -127,6 +127,82 @@ mod tests {
             vec![PlannedJob { job_id: 1, qpu_index: 0, start_s: 0.0, duration_s: 100.0 }];
         let partition = partition_at_boundary(&schedule, 100.0);
         assert_eq!(partition.before.len(), 1);
+        assert!(partition.straddling.is_empty());
         assert!(partition.after.is_empty());
+        assert!(!partition.needs_reevaluation());
+    }
+
+    /// A job *starting* exactly at the boundary runs entirely under the new
+    /// calibration: it belongs to `after`, not `straddling`.
+    #[test]
+    fn boundary_exactly_at_start_moves_job_after() {
+        let schedule =
+            vec![PlannedJob { job_id: 7, qpu_index: 2, start_s: 100.0, duration_s: 10.0 }];
+        let partition = partition_at_boundary(&schedule, 100.0);
+        assert!(partition.before.is_empty());
+        assert!(partition.straddling.is_empty());
+        assert_eq!(partition.after.len(), 1);
+        assert_eq!(partition.jobs_to_reestimate(), vec![7]);
+    }
+
+    /// A zero-duration job exactly at the boundary finishes at the boundary —
+    /// `finish <= boundary` wins, so it stays `before` (it never executes
+    /// under the new calibration).
+    #[test]
+    fn zero_duration_job_at_the_boundary_stays_before() {
+        let schedule =
+            vec![PlannedJob { job_id: 3, qpu_index: 0, start_s: 100.0, duration_s: 0.0 }];
+        let partition = partition_at_boundary(&schedule, 100.0);
+        assert_eq!(partition.before.len(), 1);
+        assert!(!partition.needs_reevaluation());
+    }
+
+    #[test]
+    fn empty_schedule_partitions_to_nothing() {
+        let partition = partition_at_boundary(&[], 50.0);
+        assert!(partition.before.is_empty());
+        assert!(partition.straddling.is_empty());
+        assert!(partition.after.is_empty());
+        assert!(!partition.needs_reevaluation());
+        assert!(partition.jobs_to_reestimate().is_empty());
+    }
+
+    #[test]
+    fn schedule_entirely_after_boundary_reestimates_everything() {
+        let schedule = vec![
+            PlannedJob { job_id: 1, qpu_index: 0, start_s: 10.0, duration_s: 5.0 },
+            PlannedJob { job_id: 2, qpu_index: 1, start_s: 20.0, duration_s: 5.0 },
+        ];
+        let partition = partition_at_boundary(&schedule, 10.0);
+        assert!(partition.before.is_empty());
+        assert!(partition.straddling.is_empty());
+        assert_eq!(partition.after.len(), 2);
+        assert_eq!(partition.jobs_to_reestimate(), vec![1, 2]);
+    }
+
+    /// The partition is exhaustive and exclusive: every input job lands in
+    /// exactly one bucket, whatever the boundary.
+    #[test]
+    fn partition_conserves_jobs_across_boundaries() {
+        let schedule: Vec<PlannedJob> = (0..20)
+            .map(|i| PlannedJob {
+                job_id: i,
+                qpu_index: (i % 3) as usize,
+                start_s: (i as f64) * 7.5,
+                duration_s: 1.0 + (i % 5) as f64 * 3.0,
+            })
+            .collect();
+        for boundary in [-10.0, 0.0, 7.5, 40.0, 75.0, 1_000.0] {
+            let partition = partition_at_boundary(&schedule, boundary);
+            let mut ids: Vec<u64> = partition
+                .before
+                .iter()
+                .chain(&partition.straddling)
+                .chain(&partition.after)
+                .map(|j| j.job_id)
+                .collect();
+            ids.sort_unstable();
+            assert_eq!(ids, (0..20).collect::<Vec<u64>>(), "boundary {boundary}");
+        }
     }
 }

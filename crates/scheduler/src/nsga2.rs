@@ -544,6 +544,7 @@ mod tests {
                 name: format!("qpu{i}"),
                 num_qubits: 27,
                 waiting_time_s: rng.gen_range(0.0..500.0),
+                calibration_epoch: 0,
             })
             .collect();
         let jobs: Vec<JobRequest> = (0..num_jobs)

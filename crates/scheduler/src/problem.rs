@@ -104,6 +104,10 @@ pub struct QpuState {
     pub num_qubits: u32,
     /// Approximate waiting time of the device's current queue in seconds (`w_x`).
     pub waiting_time_s: f64,
+    /// Calibration epoch of the snapshot the estimates were computed against
+    /// (§7: estimates are only valid until the device's next recalibration
+    /// boundary). Callers without an epoch clock pass 0.
+    pub calibration_epoch: u64,
 }
 
 /// A fully specified scheduling problem instance.
@@ -128,6 +132,9 @@ pub struct SchedulingProblem {
     /// candidates otherwise, and `(MAX, MAX)` for jobs with no feasible QPU.
     /// Lets the optimizer snap a real-valued gene in O(1).
     nearest: Vec<(u32, u32)>,
+    /// Per-QPU calibration epoch the estimate tables were built from
+    /// (index-aligned with `qpus`).
+    epochs: Vec<u64>,
 }
 
 /// Sentinel in the nearest-feasible table for jobs with an empty feasible set.
@@ -282,7 +289,17 @@ impl SchedulingProblem {
                 nearest.push(entry);
             }
         }
-        SchedulingProblem { jobs, qpus, feasible, exec, err, feasible_mask, wait, nearest }
+        let epochs = qpus.iter().map(|q| q.calibration_epoch).collect();
+        SchedulingProblem { jobs, qpus, feasible, exec, err, feasible_mask, wait, nearest, epochs }
+    }
+
+    /// The calibration epoch each QPU's estimate column was built from
+    /// (index-aligned with `qpus`). Diagnostic/library surface: external
+    /// callers comparing this against a live epoch clock can tell when the
+    /// tables went stale; the in-tree dispatch layer reads the fleet's
+    /// clocks directly.
+    pub fn qpu_epochs(&self) -> &[u64] {
+        &self.epochs
     }
 
     /// The feasible QPU(s) nearest to index `r` for `job`: `Some((lo, hi))`
@@ -432,9 +449,24 @@ mod tests {
 
     pub(crate) fn toy_problem() -> SchedulingProblem {
         let qpus = vec![
-            QpuState { name: "fast_noisy".into(), num_qubits: 27, waiting_time_s: 0.0 },
-            QpuState { name: "slow_good".into(), num_qubits: 27, waiting_time_s: 100.0 },
-            QpuState { name: "small".into(), num_qubits: 7, waiting_time_s: 10.0 },
+            QpuState {
+                name: "fast_noisy".into(),
+                num_qubits: 27,
+                waiting_time_s: 0.0,
+                calibration_epoch: 0,
+            },
+            QpuState {
+                name: "slow_good".into(),
+                num_qubits: 27,
+                waiting_time_s: 100.0,
+                calibration_epoch: 0,
+            },
+            QpuState {
+                name: "small".into(),
+                num_qubits: 7,
+                waiting_time_s: 10.0,
+                calibration_epoch: 0,
+            },
         ];
         let jobs = (0..4)
             .map(|i| JobRequest {
@@ -446,6 +478,18 @@ mod tests {
             })
             .collect();
         SchedulingProblem::new(jobs, qpus)
+    }
+
+    #[test]
+    fn qpu_epochs_mirror_the_input_states() {
+        let mut p = toy_problem();
+        assert_eq!(p.qpu_epochs(), &[0, 0, 0]);
+        let mut qpus = p.qpus.clone();
+        for (i, q) in qpus.iter_mut().enumerate() {
+            q.calibration_epoch = 5 + i as u64;
+        }
+        p = SchedulingProblem::new(p.jobs, qpus);
+        assert_eq!(p.qpu_epochs(), &[5, 6, 7], "epoch tags survive problem construction");
     }
 
     #[test]
@@ -507,8 +551,18 @@ mod tests {
     #[test]
     fn non_finite_estimates_are_sanitised_not_propagated() {
         let qpus = vec![
-            QpuState { name: "a".into(), num_qubits: 27, waiting_time_s: f64::NAN },
-            QpuState { name: "b".into(), num_qubits: 27, waiting_time_s: 5.0 },
+            QpuState {
+                name: "a".into(),
+                num_qubits: 27,
+                waiting_time_s: f64::NAN,
+                calibration_epoch: 0,
+            },
+            QpuState {
+                name: "b".into(),
+                num_qubits: 27,
+                waiting_time_s: 5.0,
+                calibration_epoch: 0,
+            },
         ];
         let jobs = vec![JobRequest {
             job_id: 0,

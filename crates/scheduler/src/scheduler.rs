@@ -3,6 +3,7 @@
 //! optimization (NSGA-II), and selection (MCDM pseudo-weights) — with per-stage
 //! runtime instrumentation used by the scalability study (Figure 9c).
 
+use crate::crossover::{plan_timeline, PlannedJob};
 use crate::mcdm::{self, Preference};
 use crate::nsga2::{self, Nsga2Config, OptimizerWorkspace, ParetoSolution};
 use crate::problem::{JobRequest, Objectives, QpuState, SchedulingProblem};
@@ -75,6 +76,13 @@ pub struct ScheduleOutcome {
     pub timings: StageTimings,
     /// Index of the chosen solution within `pareto_front`.
     pub chosen_index: usize,
+    /// The chosen placements as a planned per-QPU timeline, *relative to the
+    /// dispatch instant*: each job's `start_s` is its offset from "now"
+    /// (current queue wait plus co-scheduled jobs ahead of it on the same
+    /// QPU), using the problem's sanitised execution estimates. The dispatch
+    /// layer shifts this by the dispatch time and partitions it at the next
+    /// recalibration boundary (`crossover::partition_at_boundary`, §7).
+    pub planned: Vec<PlannedJob>,
 }
 
 /// Cross-cycle optimizer memory of a warm-started scheduler: the reusable
@@ -207,6 +215,7 @@ impl HybridScheduler {
                     selection_s: 0.0,
                 },
                 chosen_index: 0,
+                planned: vec![],
             };
         }
         let job_ids: Vec<u64> = schedulable.iter().map(|j| j.job_id).collect();
@@ -240,6 +249,16 @@ impl HybridScheduler {
             .map(|s| s.objectives)
             .min_by(|a, b| a.mean_error.total_cmp(&b.mean_error))
             .unwrap_or(chosen_solution.objectives);
+        // Planned per-QPU timeline of the chosen assignment (relative time:
+        // "now" is 0), from the sanitised estimates so it matches exactly
+        // what the dispatch layer will enqueue.
+        let assignment: Vec<(u64, usize, f64)> = placements
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.job_id, p.qpu_index, problem.jobs[i].exec_time_per_qpu[p.qpu_index]))
+            .collect();
+        let waits: Vec<f64> = problem.qpus.iter().map(|q| q.waiting_time_s).collect();
+        let planned = plan_timeline(&assignment, &waits, 0.0);
         let selection_s = t2.elapsed().as_secs_f64();
 
         ScheduleOutcome {
@@ -251,6 +270,7 @@ impl HybridScheduler {
             rejected_jobs,
             timings: StageTimings { preprocessing_s, optimization_s, selection_s },
             chosen_index,
+            planned,
         }
     }
 }
@@ -272,6 +292,7 @@ mod tests {
                 name: format!("qpu{i}"),
                 num_qubits: if i == 0 { 7 } else { 27 },
                 waiting_time_s: rng.gen_range(0.0..300.0),
+                calibration_epoch: 0,
             })
             .collect();
         let jobs: Vec<JobRequest> = (0..num_jobs)
@@ -347,8 +368,18 @@ mod tests {
     #[test]
     fn non_finite_estimates_complete_the_cycle_penalised() {
         let qpus = vec![
-            QpuState { name: "poisoned".into(), num_qubits: 27, waiting_time_s: 1.0 },
-            QpuState { name: "clean".into(), num_qubits: 27, waiting_time_s: 1.0 },
+            QpuState {
+                name: "poisoned".into(),
+                num_qubits: 27,
+                waiting_time_s: 1.0,
+                calibration_epoch: 0,
+            },
+            QpuState {
+                name: "clean".into(),
+                num_qubits: 27,
+                waiting_time_s: 1.0,
+                calibration_epoch: 0,
+            },
         ];
         let jobs: Vec<JobRequest> = (0..6)
             .map(|i| JobRequest {
@@ -408,9 +439,34 @@ mod tests {
         let _ = warm.schedule(jobs, qpus); // cold again: must not panic
     }
 
+    /// The outcome's planned timeline mirrors the chosen placements exactly:
+    /// one entry per placement, starts = queue wait + co-scheduled work ahead
+    /// on the same QPU, durations = the sanitised execution estimates.
+    #[test]
+    fn planned_timeline_matches_placements_and_serialises_per_qpu() {
+        let (jobs, qpus) = jobs_and_qpus(30, 4, 11);
+        let outcome = HybridScheduler::default().schedule(jobs.clone(), qpus.clone());
+        assert_eq!(outcome.planned.len(), outcome.placements.len());
+        let mut next_free: Vec<f64> = qpus.iter().map(|q| q.waiting_time_s).collect();
+        for (p, planned) in outcome.placements.iter().zip(&outcome.planned) {
+            assert_eq!(planned.job_id, p.job_id);
+            assert_eq!(planned.qpu_index, p.qpu_index);
+            // The timeline uses the problem's *sanitised* (grid-snapped)
+            // waits, so allow the 2⁻²⁰ s quantisation against the raw input.
+            assert!((planned.start_s - next_free[p.qpu_index]).abs() < 1e-5);
+            assert!(planned.duration_s > 0.0);
+            next_free[p.qpu_index] = planned.finish_s();
+        }
+    }
+
     #[test]
     fn all_jobs_oversized_returns_empty_schedule() {
-        let qpus = vec![QpuState { name: "tiny".into(), num_qubits: 5, waiting_time_s: 0.0 }];
+        let qpus = vec![QpuState {
+            name: "tiny".into(),
+            num_qubits: 5,
+            waiting_time_s: 0.0,
+            calibration_epoch: 0,
+        }];
         let jobs = vec![JobRequest {
             job_id: 1,
             qubits: 50,

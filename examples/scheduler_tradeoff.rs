@@ -21,6 +21,7 @@ fn main() {
             name: format!("qpu{i}"),
             num_qubits: 27,
             waiting_time_s: rng.gen_range(0.0..800.0),
+            calibration_epoch: 0,
         })
         .collect();
 

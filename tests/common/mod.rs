@@ -52,5 +52,6 @@ pub fn feasible_spec(fleet: &Fleet, qubits: u32, exec_s: f64) -> JobSpec {
             .iter()
             .map(|m| if m.qpu.num_qubits() >= qubits { exec_s } else { f64::INFINITY })
             .collect(),
+        estimate_epoch: fleet.calibration_epoch(),
     }
 }

@@ -90,13 +90,20 @@ fn plan_generation_and_direct_estimation_agree_on_feasibility() {
 
 #[test]
 fn qonductor_policy_beats_fcfs_on_completion_time_in_a_short_simulation() {
-    // 650 jobs/hour sits just under the default fleet's service capacity:
-    // queues stay bounded, so the completed-job means compare like for like.
-    // (Above capacity the "mean completion of completed jobs" metric is
-    // survivor-biased and chaotically sensitive to batch phase.)
+    // Both policies face the *identical* arrival stream and calibration
+    // trajectory (the simulation keeps arrivals, calibration drift, and
+    // completion jitter on independent seeded RNG streams), so this is a
+    // true like-for-like comparison. The workload is unmitigated: PEC
+    // mitigation creates rare minutes-long mega-jobs whose survivor bias
+    // makes "mean completion of completed jobs" phase-chaotic under load,
+    // drowning the policy effect in seed luck. At 3000 unmitigated
+    // jobs/hour the fidelity-greedy FCFS baseline funnels everything onto
+    // one or two favourite devices while Qonductor load-balances the fleet
+    // — the paper's RQ1 shape, stable across seeds.
     let config = |policy| SimulationConfig {
         duration_s: 600.0,
-        arrival: ArrivalConfig { mean_rate_per_hour: 650.0, ..Default::default() },
+        mitigation_fraction: 0.0,
+        arrival: ArrivalConfig { mean_rate_per_hour: 3000.0, ..Default::default() },
         policy,
         nsga2: Nsga2Config {
             population_size: 24,
@@ -113,14 +120,22 @@ fn qonductor_policy_beats_fcfs_on_completion_time_in_a_short_simulation() {
     }))
     .run();
     let fcfs = CloudSimulation::with_default_fleet(config(Policy::Fcfs)).run();
+    assert_eq!(qonductor.arrived, fcfs.arrived, "identical workload in both arms");
     assert!(!qonductor.completed.is_empty() && !fcfs.completed.is_empty());
-    // The headline RQ1 shape: Qonductor completes jobs faster and uses the fleet
-    // more evenly, at a small fidelity penalty.
+    // The headline RQ1 shape: Qonductor completes jobs faster, pushes far
+    // more of them through, and uses the fleet more evenly, at a small (or
+    // no) fidelity penalty.
     assert!(
         qonductor.mean_completion_s() < fcfs.mean_completion_s(),
         "Qonductor {:.1}s vs FCFS {:.1}s",
         qonductor.mean_completion_s(),
         fcfs.mean_completion_s()
+    );
+    assert!(
+        qonductor.completed.len() >= 2 * fcfs.completed.len(),
+        "load balancing multiplies throughput: {} vs {}",
+        qonductor.completed.len(),
+        fcfs.completed.len()
     );
     assert!(qonductor.mean_utilization() >= fcfs.mean_utilization() * 0.95);
     let fidelity_penalty =

@@ -113,6 +113,7 @@ proptest! {
                 name: format!("q{i}"),
                 num_qubits: if i == 0 { 7 } else { 27 },
                 waiting_time_s: rng.gen_range(0.0..300.0),
+                calibration_epoch: 0,
             })
             .collect();
         let jobs: Vec<JobRequest> = (0..num_jobs)
@@ -160,6 +161,7 @@ proptest! {
                 name: format!("q{i}"),
                 num_qubits: if i == 0 { 7 } else { 27 },
                 waiting_time_s: rng.gen_range(0.0..600.0),
+                calibration_epoch: 0,
             })
             .collect();
         let jobs: Vec<JobRequest> = (0..num_jobs)
@@ -217,6 +219,7 @@ proptest! {
                     name: format!("q{i}"),
                     num_qubits: 27,
                     waiting_time_s: rng.gen_range(0.0..300.0),
+                    calibration_epoch: 0,
                 })
                 .collect();
             let jobs: Vec<JobRequest> = (0..num_jobs)
@@ -394,6 +397,70 @@ proptest! {
                 stats.submitted,
                 "tenant {} conserves tickets", id
             );
+        }
+    }
+
+    /// Calibration-aware split dispatch conserves jobs: for arbitrary
+    /// workloads on a fleet whose devices recalibrate mid-run, every
+    /// submitted (feasible) job is *enqueued* exactly once across the split
+    /// batches — deferral delays a job past the boundary but never loses or
+    /// duplicates it — and every deferred job id reappears in a later batch.
+    #[test]
+    fn split_dispatch_conserves_jobs(seed in 0u64..1_000_000) {
+        use qonductor::core::CalibrationPolicy;
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Short calibration period so plans regularly cross boundaries.
+        let mut fleet = common::small_fleet(seed ^ 0xCAFE).with_calibration_period(120.0, 0.0);
+        let mut jm = JobManager::new(ScheduleTrigger::new(6, 30.0))
+            .with_calibration_policy(CalibrationPolicy::SplitAtBoundary);
+        let scheduler = common::small_scheduler(8, 4, 240);
+
+        let num_jobs = rng.gen_range(5..25);
+        let mut submitted: Vec<u64> = Vec::new();
+        let mut t = 0.0f64;
+        for _ in 0..num_jobs {
+            t += rng.gen_range(0.0..20.0);
+            let exec_s = rng.gen_range(5.0..90.0);
+            let qubits = rng.gen_range(2..=20);
+            submitted.push(jm.submit(common::feasible_spec(&fleet, qubits, exec_s), t));
+        }
+
+        // Drive the engine event-by-event until the pool drains.
+        let mut enqueued: HashMap<u64, usize> = HashMap::new();
+        let mut deferred_ever: HashSet<u64> = HashSet::new();
+        let mut guard = 0;
+        while jm.pending_len() > 0 {
+            guard += 1;
+            prop_assert!(guard < 400, "drain must converge (pending {})", jm.pending_len());
+            let Some(fire) = jm.next_trigger_s() else { break };
+            t = fire.max(t);
+            fleet.advance_to(t, &mut rng);
+            if let Some(batch) = jm.try_dispatch(t, &scheduler, &mut fleet) {
+                for id in batch.enqueued_job_ids() {
+                    *enqueued.entry(id).or_insert(0) += 1;
+                }
+                for &(id, boundary) in &batch.deferred {
+                    deferred_ever.insert(id);
+                    prop_assert!(boundary > t, "deferral parks behind a *future* boundary");
+                }
+            }
+        }
+
+        // Every submitted job was enqueued exactly once — none lost to a
+        // split, none dispatched twice across the split batches.
+        for &id in &submitted {
+            prop_assert_eq!(
+                enqueued.get(&id).copied().unwrap_or(0),
+                1,
+                "job {} must be enqueued exactly once (deferred: {})",
+                id,
+                deferred_ever.contains(&id)
+            );
+        }
+        prop_assert_eq!(enqueued.len(), submitted.len());
+        // Deferred jobs re-entered a later batch rather than vanishing.
+        for id in &deferred_ever {
+            prop_assert!(enqueued.contains_key(id), "deferred job {} was re-dispatched", id);
         }
     }
 
