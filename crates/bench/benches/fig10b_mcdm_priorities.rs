@@ -21,6 +21,7 @@ fn main() {
         let scheduler = HybridScheduler::new(SchedulerConfig {
             nsga2: Nsga2Config { seed: 99, ..Nsga2Config::default() },
             preference,
+            ..SchedulerConfig::default()
         });
         let outcome = scheduler.schedule(jobs.clone(), qpus.clone());
         if label == "balanced" {

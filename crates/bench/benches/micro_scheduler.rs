@@ -55,10 +55,27 @@ fn bench_incremental_evaluation(c: &mut Criterion) {
     group.finish();
 }
 
+/// The f32 objective-lane reduction over packed u16 genes — the island
+/// path's whole-assignment evaluation, versus the f64 `evaluate` above.
+fn bench_objective_lane_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("objective_lane_reduction");
+    for &num_jobs in &SIZES {
+        let (jobs, qpus) = synthetic_problem(num_jobs, NUM_QPUS, 1);
+        let problem = SchedulingProblem::new(jobs, qpus);
+        let genes: Vec<u16> = (0..num_jobs).map(|i| (i % NUM_QPUS) as u16).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(num_jobs), &num_jobs, |b, _| {
+            b.iter(|| problem.evaluate_lanes_packed(std::hint::black_box(&genes)))
+        });
+    }
+    group.finish();
+}
+
 fn nsga2_config() -> Nsga2Config {
     Nsga2Config { max_generations: 20, max_evaluations: 2000, ..Default::default() }
 }
 
+/// The acceptance-metric cycle under the *default* configuration — since the
+/// island refactor, `num_threads = 4` islands with ring migration.
 fn bench_nsga2(c: &mut Criterion) {
     let mut group = c.benchmark_group("nsga2_cycle");
     group.sample_size(10);
@@ -66,6 +83,34 @@ fn bench_nsga2(c: &mut Criterion) {
         let (jobs, qpus) = synthetic_problem(num_jobs, NUM_QPUS, 2);
         let problem = SchedulingProblem::new(jobs, qpus);
         let config = nsga2_config();
+        group.bench_with_input(BenchmarkId::from_parameter(num_jobs), &num_jobs, |b, _| {
+            b.iter(|| optimize(std::hint::black_box(&problem), &config))
+        });
+    }
+    group.finish();
+}
+
+/// The island path pinned explicitly (4 islands regardless of the default),
+/// same generation/evaluation budget as `nsga2_cycle`, plus the sequential
+/// reference path for the side-by-side trajectory.
+fn bench_nsga2_islands(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nsga2_island_cycle");
+    group.sample_size(10);
+    for &num_jobs in &[50usize, 100] {
+        let (jobs, qpus) = synthetic_problem(num_jobs, NUM_QPUS, 2);
+        let problem = SchedulingProblem::new(jobs, qpus);
+        let config = Nsga2Config { num_threads: 4, ..nsga2_config() };
+        group.bench_with_input(BenchmarkId::from_parameter(num_jobs), &num_jobs, |b, _| {
+            b.iter(|| optimize(std::hint::black_box(&problem), &config))
+        });
+    }
+    group.finish();
+    let mut group = c.benchmark_group("nsga2_sequential_cycle");
+    group.sample_size(10);
+    for &num_jobs in &[50usize, 100] {
+        let (jobs, qpus) = synthetic_problem(num_jobs, NUM_QPUS, 2);
+        let problem = SchedulingProblem::new(jobs, qpus);
+        let config = Nsga2Config { num_threads: 1, ..nsga2_config() };
         group.bench_with_input(BenchmarkId::from_parameter(num_jobs), &num_jobs, |b, _| {
             b.iter(|| optimize(std::hint::black_box(&problem), &config))
         });
@@ -131,7 +176,9 @@ criterion_group!(
     benches,
     bench_objective_evaluation,
     bench_incremental_evaluation,
+    bench_objective_lane_reduction,
     bench_nsga2,
+    bench_nsga2_islands,
     bench_nsga2_warm,
     bench_nsga2_convergence,
     bench_mcdm

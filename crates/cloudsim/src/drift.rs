@@ -92,6 +92,45 @@ pub fn run_drift_comparison(config: &DriftConfig) -> DriftComparison {
     DriftComparison { aware, naive }
 }
 
+/// Side-by-side outcome of the proactive boundary-penalty study: both arms
+/// run calibration-aware ([`CalibrationPolicy::SplitAtBoundary`]), but the
+/// penalized arm also steers NSGA-II *away* from boundary-crossing plans
+/// ([`SimulationConfig::boundary_penalty_weight`] > 0), so fewer batches
+/// need the reactive split-and-defer path at dispatch time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PenaltyComparison {
+    /// Calibration-aware with the proactive NSGA-II boundary penalty.
+    pub penalized: SimulationReport,
+    /// Calibration-aware with the penalty disabled (the PR-5 baseline).
+    pub baseline: SimulationReport,
+}
+
+impl PenaltyComparison {
+    /// Boundary deferrals avoided by the penalty: `baseline − penalized`
+    /// (positive = the penalty steered plans clear of boundaries).
+    pub fn deferrals_avoided(&self) -> isize {
+        self.baseline.deferred_total() as isize - self.penalized.deferred_total() as isize
+    }
+}
+
+/// Run the boundary-penalty study: calibration-aware dispatch with and
+/// without the proactive NSGA-II penalty, on identically seeded fleets and
+/// workload streams.
+pub fn run_penalty_comparison(config: &DriftConfig, weight: f64) -> PenaltyComparison {
+    let aware = SimulationConfig { calibration: CalibrationPolicy::SplitAtBoundary, ..config.base };
+    let penalized = CloudSimulation::with_drifting_fleet(
+        SimulationConfig { boundary_penalty_weight: weight, ..aware },
+        config.calibration_period_s,
+    )
+    .run();
+    let baseline = CloudSimulation::with_drifting_fleet(
+        SimulationConfig { boundary_penalty_weight: 0.0, ..aware },
+        config.calibration_period_s,
+    )
+    .run();
+    PenaltyComparison { penalized, baseline }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -18,7 +18,9 @@ pub mod load;
 pub mod multitenant;
 pub mod sim;
 
-pub use drift::{run_drift_comparison, DriftComparison, DriftConfig};
+pub use drift::{
+    run_drift_comparison, run_penalty_comparison, DriftComparison, DriftConfig, PenaltyComparison,
+};
 pub use estimates::{estimate, FastEstimate};
 pub use failover::{BaselineChaosReport, ChaosReport, CrashRecord, FailurePlan};
 pub use load::{

@@ -229,6 +229,7 @@ impl MultiTenantSimulation {
         let scheduler = HybridScheduler::with_warm_start(SchedulerConfig {
             nsga2: cfg.nsga2,
             preference: cfg.preference,
+            ..SchedulerConfig::default()
         });
         // The journaled control plane: f = 1 (three store replicas, three
         // election nodes). The election cluster has its own RNG, so

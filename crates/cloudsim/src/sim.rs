@@ -75,6 +75,17 @@ pub struct SimulationConfig {
     /// estimates, [`CalibrationPolicy::SplitAtBoundary`] partitions them and
     /// re-estimates the post-boundary jobs.
     pub calibration: CalibrationPolicy,
+    /// Plan-ahead pipelining: after each dispatch, speculatively schedule the
+    /// next step's batch against a snapshot of the live pool; the plan is
+    /// adopted at the next trigger firing only if its input digest still
+    /// matches (otherwise it is discarded and the cycle runs live). Off by
+    /// default; dispatches are byte-identical either way.
+    #[serde(default)]
+    pub pipeline_planning: bool,
+    /// Weight of the NSGA-II recalibration-boundary penalty
+    /// ([`SchedulerConfig::boundary_penalty_weight`]); `0.0` disables it.
+    #[serde(default)]
+    pub boundary_penalty_weight: f64,
     /// RNG seed.
     pub seed: u64,
 }
@@ -98,6 +109,8 @@ impl Default for SimulationConfig {
                 ..Nsga2Config::default()
             },
             calibration: CalibrationPolicy::Naive,
+            pipeline_planning: false,
+            boundary_penalty_weight: 0.0,
             seed: 2024,
         }
     }
@@ -213,6 +226,10 @@ pub struct SimulationReport {
     pub rejected: usize,
     /// Pending jobs whose estimates were recomputed after a drift cycle.
     pub reestimated_jobs: usize,
+    /// Batches dispatched from an adopted plan-ahead speculative schedule
+    /// (0 unless [`SimulationConfig::pipeline_planning`] is on).
+    #[serde(default)]
+    pub speculative_batches: usize,
 }
 
 impl SimulationReport {
@@ -376,6 +393,7 @@ impl CloudSimulation {
                 Some(HybridScheduler::with_warm_start(SchedulerConfig {
                     nsga2: cfg.nsga2,
                     preference,
+                    boundary_penalty_weight: cfg.boundary_penalty_weight,
                 }))
             }
             _ => None,
@@ -399,6 +417,7 @@ impl CloudSimulation {
         let mut crashes: Vec<CrashRecord> = Vec::new();
         let mut snapshots_installed = 0u64;
         let mut batches_seen = 0usize;
+        let mut speculative_batches = 0usize;
 
         let mut t = 0.0f64;
         while t < cfg.duration_s {
@@ -545,6 +564,9 @@ impl CloudSimulation {
                     if let Some(record) = cycle_record_from(batch, &control, &apps) {
                         cycles.push(record);
                     }
+                    if batch.speculative {
+                        speculative_batches += 1;
+                    }
                     batches_seen += 1;
                     // Periodic checkpoint: snapshot the job state and compact
                     // the journal so failovers replay a short suffix.
@@ -552,6 +574,14 @@ impl CloudSimulation {
                         control.snapshot().expect("control-plane journal has a quorum");
                         snapshots_installed += 1;
                     }
+                }
+                // 4b. Plan-ahead pipelining: with this step's dispatch (if
+                //     any) done, speculatively schedule the batch the next
+                //     step's trigger check would dispatch. Adopted next step
+                //     only if the pool, queues, and calibration epochs are
+                //     unchanged — dispatches are bit-identical either way.
+                if cfg.pipeline_planning {
+                    control.plan_ahead(t_next + cfg.step_s, scheduler, &self.fleet);
                 }
             }
 
@@ -583,6 +613,7 @@ impl CloudSimulation {
             arrived,
             rejected,
             reestimated_jobs,
+            speculative_batches,
         };
         BaselineChaosReport {
             final_digest: control.state_digest(),

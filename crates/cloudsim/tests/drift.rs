@@ -9,8 +9,10 @@
 //! CI runs this suite and uploads the emitted `calibration_drift_summary.txt`
 //! artifact.
 
+use qonductor_cloudsim::sim::SimulationReport;
 use qonductor_cloudsim::{
-    run_drift_comparison, CloudSimulation, DriftConfig, FailurePlan, SimulationConfig,
+    run_drift_comparison, run_penalty_comparison, CloudSimulation, DriftConfig, FailurePlan,
+    SimulationConfig,
 };
 use qonductor_core::CalibrationPolicy;
 use std::io::Write;
@@ -76,6 +78,69 @@ fn calibration_aware_dispatch_reduces_fidelity_error_under_drift() {
         std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("calibration_drift_summary.txt");
     let mut file = std::fs::File::create(&path).expect("summary file is writable");
     file.write_all(summary.as_bytes()).unwrap();
+}
+
+/// Share of jobs handed to the scheduler that the §7 split pulled back out
+/// at a recalibration boundary. Deferred jobs re-enter later batches, so the
+/// rate (not the absolute count) is the comparable quantity between arms
+/// whose throughput differs.
+fn deferral_rate(report: &SimulationReport) -> f64 {
+    let handed: usize = report.dispatches.iter().map(|d| d.job_ids.len()).sum();
+    report.deferred_total() as f64 / handed.max(1) as f64
+}
+
+/// The proactive boundary penalty: steering NSGA-II away from plans whose
+/// per-QPU busy time spills past the device's next recalibration must reduce
+/// the share of dispatched jobs the reactive split path has to defer — at
+/// equal or better realized fidelity error. (Both arms run the same
+/// calibration-aware dispatch; only the optimizer objective differs.)
+#[test]
+fn boundary_penalty_reduces_split_deferrals_at_equal_or_better_fidelity_error() {
+    const PENALTY_WEIGHT: f64 = 0.1;
+    let config = DriftConfig::default();
+    let comparison = run_penalty_comparison(&config, PENALTY_WEIGHT);
+
+    // Both arms genuinely cross boundaries.
+    assert!(comparison.baseline.split_batches() > 0, "no batch crossed a boundary");
+    assert!(!comparison.penalized.completed.is_empty());
+
+    let base_rate = deferral_rate(&comparison.baseline);
+    let pen_rate = deferral_rate(&comparison.penalized);
+    assert!(
+        pen_rate < base_rate,
+        "the boundary penalty must reduce the deferral rate: \
+         penalized {pen_rate:.4} vs baseline {base_rate:.4}"
+    );
+    let base_err = comparison.baseline.mean_fidelity_error();
+    let pen_err = comparison.penalized.mean_fidelity_error();
+    assert!(
+        pen_err <= base_err,
+        "fewer splits must not cost fidelity accuracy: \
+         penalized {pen_err:.6} vs baseline {base_err:.6}"
+    );
+
+    let summary = format!(
+        "metric,penalized(w={PENALTY_WEIGHT}),baseline(w=0)\n\
+         deferral_rate,{:.4},{:.4}\n\
+         deferred_jobs,{},{}\n\
+         split_batches,{},{}\n\
+         mean_fidelity_error,{:.6},{:.6}\n\
+         completed,{},{}\n",
+        pen_rate,
+        base_rate,
+        comparison.penalized.deferred_total(),
+        comparison.baseline.deferred_total(),
+        comparison.penalized.split_batches(),
+        comparison.baseline.split_batches(),
+        pen_err,
+        base_err,
+        comparison.penalized.completed.len(),
+        comparison.baseline.completed.len(),
+    );
+    println!("{summary}");
+    let path =
+        std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("boundary_penalty_summary.txt");
+    std::fs::write(&path, summary).expect("summary file is writable");
 }
 
 /// Acceptance: a fault-injected (leader-crash) run of the drift scenario

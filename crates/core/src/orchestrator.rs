@@ -151,6 +151,10 @@ pub struct Orchestrator {
     /// Seed for the control-plane election cluster (kept so
     /// [`Orchestrator::with_trigger`] rebuilds deterministically).
     control_seed: u64,
+    /// Plan-ahead pipelining: after each dispatched batch, speculatively
+    /// schedule the next trigger firing against the post-dispatch pool so
+    /// the optimizer cycle overlaps batch execution.
+    pipeline_planning: bool,
     state: Mutex<OrchestratorState>,
 }
 
@@ -174,6 +178,7 @@ impl Orchestrator {
             transpiler: Transpiler::default(),
             pricing: PricingTable::default(),
             control_seed: seed,
+            pipeline_planning: false,
             state: Mutex::new(OrchestratorState {
                 fleet,
                 classical_nodes,
@@ -216,6 +221,18 @@ impl Orchestrator {
             }
             state.control = control;
         }
+        self
+    }
+
+    /// Enable plan-ahead pipelining: after every dispatched batch the engine
+    /// speculatively schedules the batch the *next* trigger firing would
+    /// dispatch, so the optimizer cycle overlaps batch execution instead of
+    /// sitting on the dispatch critical path. The plan is adopted only if
+    /// the pool, QPU queues, and calibration epochs are unchanged at the
+    /// firing (validated by input digest), so dispatches are bit-identical
+    /// with or without pipelining.
+    pub fn with_pipeline_planning(mut self) -> Self {
+        self.pipeline_planning = true;
         self
     }
 
@@ -710,6 +727,17 @@ impl Orchestrator {
                     );
                 }
                 self.record_fleet_dynamics(state);
+                // Plan-ahead pipelining: with the batch on the QPU queues,
+                // speculatively schedule what the *next* trigger firing
+                // would dispatch from the post-dispatch pool. If nothing
+                // changes before the firing the cached plan is adopted and
+                // the optimizer cycle has already been paid for off the
+                // dispatch critical path; any change discards it.
+                if self.pipeline_planning {
+                    if let Some(next_fire) = state.control.next_trigger_s() {
+                        state.control.plan_ahead(next_fire, &self.scheduler, &state.fleet);
+                    }
+                }
                 // Scheduler-rejected jobs return to their tenant queue for
                 // re-admission until the retry budget runs out; only the
                 // terminal rejections fail their runs.

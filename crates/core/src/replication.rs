@@ -130,6 +130,10 @@ pub enum ControlPlaneEvent {
         rejected: Vec<JobId>,
         /// `(job id, boundary)` calibration-crossover deferrals (§7).
         deferred: Vec<(JobId, f64)>,
+        /// Whether the batch adopted a plan-ahead speculative schedule
+        /// (observability only: the placements above already pin the outcome,
+        /// which is bit-identical to the live-scheduled path by construction).
+        speculative: bool,
     },
     /// A pending job's estimate table was recomputed against a fresh
     /// calibration snapshot (the new spec carries its epoch stamp).
@@ -173,7 +177,7 @@ impl LogEntry for ControlPlaneEvent {
                 format!("subm {tenant} {} {}", enc_f64(*now_s), enc_spec(spec))
             }
             ControlPlaneEvent::AdmissionPass { now_s } => format!("admt {}", enc_f64(*now_s)),
-            ControlPlaneEvent::BatchDispatched { t_s, placed, rejected, deferred } => {
+            ControlPlaneEvent::BatchDispatched { t_s, placed, rejected, deferred, speculative } => {
                 let placed = if placed.is_empty() {
                     "-".to_string()
                 } else {
@@ -197,7 +201,8 @@ impl LogEntry for ControlPlaneEvent {
                         .collect::<Vec<_>>()
                         .join(",")
                 };
-                format!("disp {} {placed} {rejected} {deferred}", enc_f64(*t_s))
+                let spec_flag = if *speculative { "s" } else { "l" };
+                format!("disp {} {placed} {rejected} {deferred} {spec_flag}", enc_f64(*t_s))
             }
             ControlPlaneEvent::JobReestimated { job_id, spec } => {
                 format!("rest {job_id} {}", enc_spec(spec))
@@ -268,7 +273,12 @@ impl LogEntry for ControlPlaneEvent {
                         })
                         .collect::<Option<Vec<_>>>()?
                 };
-                ControlPlaneEvent::BatchDispatched { t_s, placed, rejected, deferred }
+                let speculative = match fields.next()? {
+                    "s" => true,
+                    "l" => false,
+                    _ => return None,
+                };
+                ControlPlaneEvent::BatchDispatched { t_s, placed, rejected, deferred, speculative }
             }
             "rest" => ControlPlaneEvent::JobReestimated {
                 job_id: fields.next()?.parse().ok()?,
@@ -497,10 +507,27 @@ impl ReplicatedControlPlane {
                 placed,
                 rejected: record.outcome.rejected_jobs.clone(),
                 deferred: record.deferred.clone(),
+                speculative: record.speculative,
             })
             .expect("quorum pre-checked");
         let terminal_rejections = self.submissions.note_batch(&record);
         Ok(Some(DispatchOutcome { record, terminal_rejections }))
+    }
+
+    /// Speculatively schedule the batch a trigger firing at `plan_for_s`
+    /// would dispatch (plan-ahead pipelining). The plan is a volatile hint
+    /// cached inside the job manager — it is *not* journaled, because it
+    /// changes no replicated state: only its *adoption* is observable, and
+    /// that rides the next `BatchDispatched` event. A failover simply drops
+    /// the cache and the next cycle schedules live, with a bit-identical
+    /// outcome. Returns whether a plan was cached.
+    pub fn plan_ahead(
+        &mut self,
+        plan_for_s: f64,
+        scheduler: &HybridScheduler,
+        fleet: &Fleet,
+    ) -> bool {
+        self.jobmanager.plan_ahead(plan_for_s, scheduler, fleet)
     }
 
     /// Place one pending job directly onto a QPU queue, bypassing the
@@ -684,7 +711,10 @@ fn apply_event(
         ControlPlaneEvent::AdmissionPass { now_s } => {
             submissions.admit(*now_s, jobmanager);
         }
-        ControlPlaneEvent::BatchDispatched { t_s, placed, rejected, deferred } => {
+        ControlPlaneEvent::BatchDispatched { t_s, placed, rejected, deferred, .. } => {
+            // `speculative` is observability metadata: an adopted plan's
+            // placements are bit-identical to the live path, so replay
+            // applies the same state delta either way.
             jobmanager.apply_batch(*t_s, placed, rejected, deferred);
             submissions.note_rejections(rejected);
         }
@@ -775,12 +805,14 @@ mod tests {
                 placed: vec![(0, 3), (2, 1)],
                 rejected: vec![1, 4],
                 deferred: vec![(5, 3600.0), (6, 7200.0)],
+                speculative: true,
             },
             ControlPlaneEvent::BatchDispatched {
                 t_s: 1.0,
                 placed: vec![],
                 rejected: vec![],
                 deferred: vec![],
+                speculative: false,
             },
             ControlPlaneEvent::JobReestimated {
                 job_id: 9,

@@ -21,10 +21,29 @@
 //! scheduling cycles. [`optimize_with`] additionally accepts seed assignments
 //! (e.g. the previous cycle's Pareto front) that are repaired against the
 //! current problem and injected into the initial population.
+//!
+//! # Island mode
+//!
+//! With [`Nsga2Config::num_threads`] > 1, [`optimize_with`] runs an island
+//! model: the population splits into independent subpopulations over the
+//! shared read-only problem tables, each with its own deterministic RNG
+//! stream, workspace slot, and termination window. Every
+//! [`MIGRATION_INTERVAL`] generations the islands exchange Pareto-front
+//! elites along a ring, and the final front is the non-dominated merge of
+//! the island fronts. Islands use two speed levers the sequential reference
+//! path deliberately avoids: an `O(n log n)` sweep-based non-dominated sort
+//! (ranks identical to the pairwise algorithm) and polynomial `ln`/`pow`
+//! approximations in the genetic operators (pure IEEE arithmetic, so island
+//! runs are deterministic for a fixed seed and island count — but not
+//! stream-compatible with the sequential path). Worker threads are spawned
+//! only when the host has more than one core; the results are identical
+//! either way because islands never share mutable state mid-round.
+//! [`optimize_sequential`] remains the single-population reference whose
+//! behaviour is pinned bit-for-bit by the property suite.
 
-use crate::problem::{EvalState, Objectives, SchedulingProblem};
+use crate::problem::{EvalState, Objectives, SchedulingProblem, NO_FEASIBLE};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// NSGA-II hyper-parameters.
@@ -50,9 +69,14 @@ pub struct Nsga2Config {
     pub tolerance: f64,
     /// Number of generations in the termination window.
     pub tolerance_window: usize,
-    /// Retained for configuration compatibility: fitness evaluation is now
-    /// incremental (O(changed genes) per offspring), so no thread pool is
-    /// spawned and this field is unused.
+    /// Number of NSGA-II islands (independent subpopulations exchanging
+    /// Pareto elites along a ring every [`MIGRATION_INTERVAL`] generations).
+    /// `<= 1` selects the sequential single-population reference path;
+    /// larger values are clamped so every island keeps at least
+    /// [`MIN_ISLAND_POP`] individuals. The field once sized a fitness
+    /// thread pool that PR 3's incremental evaluation removed; it now
+    /// controls partitioning, and threads are an implementation detail
+    /// (spawned only on multi-core hosts, never changing results).
     pub num_threads: usize,
     /// RNG seed.
     pub seed: u64,
@@ -130,6 +154,71 @@ impl Individual {
     }
 }
 
+/// Island-path individual: genes packed as `u16` QPU indices (a quarter of
+/// the cache footprint of the sequential `Vec<usize>` genome — the island
+/// pool streams through L1 every generation) and no incremental
+/// [`EvalState`]: island objectives always come from one
+/// [`SchedulingProblem::evaluate_lanes_packed`] pass.
+#[derive(Debug, Clone)]
+struct LaneIndividual {
+    genes: Vec<u16>,
+    objectives: Objectives,
+    rank: usize,
+    crowding: f64,
+}
+
+impl Default for LaneIndividual {
+    fn default() -> Self {
+        LaneIndividual { genes: Vec::new(), objectives: ZERO_OBJECTIVES, rank: 0, crowding: 0.0 }
+    }
+}
+
+impl LaneIndividual {
+    /// Copy `src` into `self`, reusing buffers (no allocation once sized).
+    fn copy_from(&mut self, src: &LaneIndividual) {
+        self.genes.clone_from(&src.genes);
+        self.objectives = src.objectives;
+        self.rank = src.rank;
+        self.crowding = src.crowding;
+    }
+}
+
+/// Rank/crowding view shared by the sequential [`Individual`] and the island
+/// [`LaneIndividual`], so selection machinery (tournament, non-dominated
+/// sorting, crowding) is written once.
+trait Ranked {
+    fn objectives(&self) -> Objectives;
+    fn rank(&self) -> usize;
+    fn crowding(&self) -> f64;
+    fn set_rank(&mut self, rank: usize);
+    fn set_crowding(&mut self, crowding: f64);
+}
+
+macro_rules! impl_ranked {
+    ($ty:ty) => {
+        impl Ranked for $ty {
+            fn objectives(&self) -> Objectives {
+                self.objectives
+            }
+            fn rank(&self) -> usize {
+                self.rank
+            }
+            fn crowding(&self) -> f64 {
+                self.crowding
+            }
+            fn set_rank(&mut self, rank: usize) {
+                self.rank = rank;
+            }
+            fn set_crowding(&mut self, crowding: f64) {
+                self.crowding = crowding;
+            }
+        }
+    };
+}
+
+impl_ranked!(Individual);
+impl_ranked!(LaneIndividual);
+
 /// Scratch buffers for non-dominated sorting and crowding assignment.
 #[derive(Debug, Default)]
 struct RankScratch {
@@ -140,17 +229,215 @@ struct RankScratch {
     sorted: Vec<usize>,
 }
 
+/// Scratch buffers for the `O(n log n)` sweep-based non-dominated sort used
+/// on the island path.
+#[derive(Debug, Default)]
+struct SweepScratch {
+    /// Individual indices sorted by (JCT, error, index).
+    order: Vec<u32>,
+    /// Per-front lexicographic key `(error, JCT)` of the most recently
+    /// inserted member — the front's minimum, strictly increasing across
+    /// fronts (the staircases are nested), which is what makes the rank
+    /// lookup a binary search.
+    front_key: Vec<(f64, f64)>,
+    /// Members of each front in processing order, for crowding assignment.
+    fronts: Vec<Vec<usize>>,
+    /// Crowding sort scratch.
+    sorted: Vec<usize>,
+}
+
+/// Bucket count of the island operator tables: plenty of distributional
+/// resolution for values that are immediately snapped to a QPU index.
+const OP_TABLE: usize = 512;
+
+/// Quantised inverse-CDF tables for the island genetic operators. The
+/// crossover offset (`-spread·ln(u)`), the polynomial-mutation delta, and the
+/// geometric mutation gap are each tabulated at the [`OP_TABLE`] bucket
+/// centres of their uniform driver, turning three transcendental evaluations
+/// per operator site into one table load. The values feed a snap to a small
+/// integer QPU index, so quantising the driver to 9 bits is far below the
+/// snap's own rounding; the search distribution keeps its shape. Built once
+/// per workspace and reused while the operator parameters stay unchanged.
+#[derive(Debug)]
+struct OperatorTables {
+    built: bool,
+    spread: f64,
+    inv_eta: f64,
+    p_mut: f64,
+    /// `-spread/2 · ln(u)` at bucket centres of the conditioned crossover
+    /// draw (the crossover's own `· 0.5` is folded in).
+    offset: Box<[f32; OP_TABLE]>,
+    /// Polynomial-mutation delta at bucket centres of the magnitude draw.
+    delta: Box<[f32; OP_TABLE]>,
+    /// Geometric gap `ln(1-g) / ln(1-p_mut)` at bucket centres.
+    gap: Box<[f32; OP_TABLE]>,
+}
+
+impl Default for OperatorTables {
+    fn default() -> Self {
+        OperatorTables {
+            built: false,
+            spread: 0.0,
+            inv_eta: 0.0,
+            p_mut: 0.0,
+            offset: Box::new([0.0; OP_TABLE]),
+            delta: Box::new([0.0; OP_TABLE]),
+            gap: Box::new([0.0; OP_TABLE]),
+        }
+    }
+}
+
+impl OperatorTables {
+    /// (Re)build the tables if `config`'s operator parameters changed.
+    fn ensure(&mut self, config: &Nsga2Config) {
+        let spread = config.crossover_spread;
+        let inv_eta = 1.0 / (config.mutation_eta + 1.0);
+        let p_mut = config.mutation_probability.clamp(0.0, 1.0);
+        if self.built && self.spread == spread && self.inv_eta == inv_eta && self.p_mut == p_mut {
+            return;
+        }
+        self.built = true;
+        self.spread = spread;
+        self.inv_eta = inv_eta;
+        self.p_mut = p_mut;
+        let inv_ln_miss = if p_mut > 0.0 && p_mut < 1.0 { 1.0 / fast_ln(1.0 - p_mut) } else { 0.0 };
+        for j in 0..OP_TABLE {
+            let u = (j as f64 + 0.5) / OP_TABLE as f64;
+            self.offset[j] = (-0.5 * spread * fast_ln(u)) as f32;
+            let delta = if u < 0.5 {
+                pow_frac_fast(2.0 * u, inv_eta) - 1.0
+            } else {
+                1.0 - pow_frac_fast(2.0 * (1.0 - u), inv_eta)
+            };
+            self.delta[j] = delta as f32;
+            self.gap[j] = (fast_ln(1.0 - u) * inv_ln_miss) as f32;
+        }
+    }
+
+    /// Table lookup for a uniform f32 driver in `[0, 1)`. The operator hot
+    /// loops run single-precision end to end (u16 genes are exact in f32),
+    /// which keeps width conversions out of each iteration's dependency
+    /// chain. The fixed-size array plus the integer `.min` clamp elide the
+    /// bounds check, and the unchecked cast skips the ~10-instruction
+    /// saturating `as usize` sequence (two compares and cmovs) the safe
+    /// cast lowers to.
+    #[inline]
+    fn bucket32(table: &[f32; OP_TABLE], u: f32) -> f32 {
+        // SAFETY: every caller derives `u` from RNG top bits (or a
+        // conditioned rescale thereof), so it is finite and in [0, 1);
+        // `u * OP_TABLE` is then in [0, OP_TABLE] — in range for usize.
+        let idx = unsafe { (u * OP_TABLE as f32).to_int_unchecked::<usize>() };
+        table[idx.min(OP_TABLE - 1)]
+    }
+}
+
+/// SplitMix64: the island-path entropy stream. One add is the only
+/// loop-carried dependency, so consecutive draws pipeline where xoshiro's
+/// four-word state rotation serialises; statistical quality is ample for
+/// genetic-operator drivers. The island path has no RNG-stream contract —
+/// only determinism per `(seed, islands)` — so swapping the generator is
+/// fair game; the sequential path keeps [`StdRng`].
+struct IslandRng(u64);
+
+impl IslandRng {
+    /// Seed the stream. The seed passes through one finaliser mix first:
+    /// [`island_seed`] spaces raw seeds by the golden-ratio constant, which
+    /// is exactly SplitMix64's own state stride — without the mix, island
+    /// `i`'s stream would be island 0's stream shifted by `i` draws, and
+    /// the islands would run correlated searches.
+    fn new(seed: u64) -> Self {
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        IslandRng(z ^ (z >> 31))
+    }
+}
+
+impl rand::RngCore for IslandRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Scale turning the top 24 bits of a draw into a uniform f32 in `[0, 1)`.
+const UNIT32: f32 = 1.0 / (1u32 << 24) as f32;
+
+/// Lemire multiply-shift map of 64 random bits onto `[0, n)`: one widening
+/// multiply instead of the shim `gen_range`'s 128-bit modulo (a `__umodti3`
+/// libcall). The without-rejection bias is `O(n / 2^64)` — irrelevant for
+/// genetic-operator index draws, and the island path carries no RNG-stream
+/// contract.
+#[inline]
+fn lemire_index(bits: u64, n: usize) -> usize {
+    (((bits as u128) * (n as u128)) >> 64) as usize
+}
+
+/// Island-path binary tournament: both contestant indices come from one
+/// 64-bit draw (32-bit Lemire halves) instead of two `gen_range` calls.
+#[inline]
+fn tournament_lanes(population: &[LaneIndividual], rng: &mut IslandRng) -> usize {
+    let bits = rng.next_u64();
+    let n = population.len() as u64;
+    let a = (((bits >> 32) * n) >> 32) as usize;
+    let b = (((bits & 0xffff_ffff) * n) >> 32) as usize;
+    let x = &population[a];
+    let y = &population[b];
+    if x.rank < y.rank || (x.rank == y.rank && x.crowding > y.crowding) {
+        a
+    } else {
+        b
+    }
+}
+
+/// Fill a lane-individual's genes with a uniformly random feasible
+/// assignment ([`random_into`] minus the usize round-trip and the modulo).
+fn random_lanes_into(problem: &SchedulingProblem, genes: &mut Vec<u16>, rng: &mut IslandRng) {
+    genes.clear();
+    for i in 0..problem.num_jobs() {
+        let feasible = problem.feasible_qpus(i);
+        let g = if feasible.is_empty() {
+            lemire_index(rng.next_u64(), problem.num_qpus())
+        } else {
+            feasible[lemire_index(rng.next_u64(), feasible.len())]
+        };
+        genes.push(g as u16);
+    }
+}
+
+/// Per-island evolution state: a private pool, sweep scratch, and
+/// termination window, so islands only touch shared state at migration.
+#[derive(Debug, Default)]
+struct IslandSlot {
+    pool: Vec<LaneIndividual>,
+    spare: LaneIndividual,
+    sweep: SweepScratch,
+    history: Vec<(f64, f64)>,
+    evaluations: usize,
+    generations: usize,
+    done: bool,
+}
+
 /// Reusable scratch state for [`optimize_with`]: the merged parent+offspring
 /// pool, an odd-population spare child, the ranking scratch, and the
-/// termination history. Create once (e.g. per scheduler) and reuse across
-/// cycles — every buffer is fully overwritten per run, so reuse never changes
-/// results, it only removes steady-state allocation.
+/// termination history for the sequential path, plus one [`IslandSlot`] per
+/// island and the elite-migration buffer for island mode. Create once (e.g.
+/// per scheduler) and reuse across cycles — every buffer is fully
+/// overwritten per run, so reuse never changes results, it only removes
+/// steady-state allocation.
 #[derive(Debug, Default)]
 pub struct OptimizerWorkspace {
     pool: Vec<Individual>,
     spare: Individual,
     scratch: RankScratch,
     history: Vec<(f64, f64)>,
+    islands: Vec<IslandSlot>,
+    elites: Vec<LaneIndividual>,
+    tables: OperatorTables,
 }
 
 impl OptimizerWorkspace {
@@ -178,11 +465,51 @@ pub fn optimize_seeded(
     optimize_with(problem, config, seeds, &mut workspace)
 }
 
+/// Generations an island evolves between elite exchanges.
+pub const MIGRATION_INTERVAL: usize = 5;
+
+/// Pareto-front elites each island sends to its ring neighbour per exchange.
+const MIGRATION_ELITES: usize = 2;
+
+/// Minimum individuals per island: requested island counts are clamped so no
+/// island drops below this (tiny subpopulations stall the genetic operators).
+pub const MIN_ISLAND_POP: usize = 4;
+
+/// Effective island count for a configuration: `num_threads` clamped so each
+/// island keeps at least [`MIN_ISLAND_POP`] individuals.
+fn effective_islands(config: &Nsga2Config) -> usize {
+    let pop_size = config.population_size.max(4);
+    config.num_threads.min(pop_size / MIN_ISLAND_POP).max(1)
+}
+
 /// The full-control entry point: NSGA-II with warm-start seeds and a caller
 /// owned, reusable [`OptimizerWorkspace`]. At most half the population is
 /// seeded (the rest stays random for diversity). Deterministic for a fixed
-/// `config.seed`, seed list, and problem — regardless of workspace history.
+/// `config.seed`, seed list, island count, and problem — regardless of
+/// workspace history or host core count. Dispatches to
+/// [`optimize_sequential`] when the effective island count is 1 (see
+/// [`Nsga2Config::num_threads`]), and to the island model otherwise.
 pub fn optimize_with(
+    problem: &SchedulingProblem,
+    config: &Nsga2Config,
+    seeds: &[Vec<usize>],
+    workspace: &mut OptimizerWorkspace,
+) -> Nsga2Result {
+    let islands = effective_islands(config);
+    // The island path packs genes as u16 QPU indices; a fleet wider than
+    // that (never seen in practice) takes the sequential reference path.
+    if islands <= 1 || problem.num_qpus() > (1 << 16) {
+        optimize_sequential(problem, config, seeds, workspace)
+    } else {
+        optimize_islands(problem, config, seeds, workspace, islands)
+    }
+}
+
+/// The single-population reference algorithm: exact `libm` operators and the
+/// pairwise non-dominated sort. This path's RNG stream and arithmetic are
+/// pinned bit-for-bit by the property suite; the island path trades that
+/// stream compatibility for speed.
+pub fn optimize_sequential(
     problem: &SchedulingProblem,
     config: &Nsga2Config,
     seeds: &[Vec<usize>],
@@ -192,7 +519,7 @@ pub fn optimize_with(
     let pop_size = config.population_size.max(4);
     let total = pop_size * 2;
 
-    let OptimizerWorkspace { pool, spare, scratch, history } = workspace;
+    let OptimizerWorkspace { pool, spare, scratch, history, .. } = workspace;
     if pool.len() < total {
         pool.resize_with(total, Individual::default);
     }
@@ -289,8 +616,279 @@ pub fn optimize_with(
     Nsga2Result { pareto_front: front, generations, evaluations }
 }
 
+/// Deterministic per-island RNG stream: island 0 keeps the configured seed,
+/// later islands decorrelate with a Weyl increment.
+fn island_seed(seed: u64, island: usize) -> u64 {
+    seed.wrapping_add((island as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Island-model NSGA-II: `islands` independent subpopulations over the
+/// shared read-only problem tables, ring migration of elites every
+/// [`MIGRATION_INTERVAL`] generations, and a final non-dominated merge of
+/// the island fronts. Results are a pure function of (problem, config,
+/// seeds, island count); threads are used only when the host has spare
+/// cores and never change the outcome.
+fn optimize_islands(
+    problem: &SchedulingProblem,
+    config: &Nsga2Config,
+    seeds: &[Vec<usize>],
+    workspace: &mut OptimizerWorkspace,
+    islands: usize,
+) -> Nsga2Result {
+    let pop_size = config.population_size.max(4);
+    let (base, rem) = (pop_size / islands, pop_size % islands);
+    let pops: Vec<usize> = (0..islands).map(|i| base + usize::from(i < rem)).collect();
+    // Split the evaluation budget evenly; every island always gets at least
+    // its initial population plus one generation.
+    let per_island_evals = (config.max_evaluations / islands).max(base * 2);
+
+    let OptimizerWorkspace { islands: slots, elites, tables, .. } = workspace;
+    if slots.len() < islands {
+        slots.resize_with(islands, IslandSlot::default);
+    }
+    tables.ensure(config);
+    let tables = &*tables;
+    let mut rngs: Vec<IslandRng> =
+        (0..islands).map(|i| IslandRng::new(island_seed(config.seed, i))).collect();
+
+    // Initial populations: warm-start seeds deal round-robin across islands
+    // (seed k → island k % islands), capped at half of each island.
+    let mut genebuf: Vec<usize> = Vec::new();
+    for (i, slot) in slots.iter_mut().take(islands).enumerate() {
+        let my_pop = pops[i];
+        let total = my_pop * 2;
+        if slot.pool.len() < total {
+            slot.pool.resize_with(total, LaneIndividual::default);
+        }
+        slot.history.clear();
+        slot.generations = 0;
+        slot.done = false;
+        let rng = &mut rngs[i];
+        let mut island_seeds = seeds.iter().skip(i).step_by(islands).take(my_pop / 2);
+        for ind in slot.pool.iter_mut().take(my_pop) {
+            match island_seeds.next() {
+                Some(seed) => {
+                    repair_into(problem, seed, &mut genebuf);
+                    ind.genes.clear();
+                    ind.genes.extend(genebuf.iter().map(|&g| g as u16));
+                }
+                None => random_lanes_into(problem, &mut ind.genes, rng),
+            }
+            // Island individuals never maintain an EvalState (see
+            // `breed_lanes`): all island objectives come from the f32 lanes,
+            // and the final front is re-evaluated exactly.
+            ind.objectives = problem.evaluate_lanes_packed(&ind.genes);
+            ind.rank = 0;
+            ind.crowding = 0.0;
+        }
+        slot.evaluations = my_pop;
+        // Tournament selection reads rank/crowding in place — the island
+        // pool is never kept totally ordered (see `island_round`).
+        rank_and_crowd_sweep(&mut slot.pool[..my_pop], &mut slot.sweep, my_pop);
+    }
+
+    let spawn_threads = std::thread::available_parallelism().is_ok_and(|p| p.get() > 1);
+    loop {
+        if slots[..islands].iter().all(|s| s.done) {
+            break;
+        }
+        if spawn_threads {
+            std::thread::scope(|scope| {
+                for ((slot, rng), &my_pop) in
+                    slots[..islands].iter_mut().zip(rngs.iter_mut()).zip(pops.iter())
+                {
+                    if !slot.done {
+                        scope.spawn(move || {
+                            island_round(
+                                problem,
+                                config,
+                                tables,
+                                slot,
+                                rng,
+                                my_pop,
+                                per_island_evals,
+                            );
+                        });
+                    }
+                }
+            });
+        } else {
+            for ((slot, rng), &my_pop) in
+                slots[..islands].iter_mut().zip(rngs.iter_mut()).zip(pops.iter())
+            {
+                if !slot.done {
+                    island_round(problem, config, tables, slot, rng, my_pop, per_island_evals);
+                }
+            }
+        }
+        if slots[..islands].iter().all(|s| s.done) {
+            break;
+        }
+
+        // Ring migration: snapshot every island's elites first, then insert
+        // each island's batch into its successor over the worst individuals,
+        // so exchange order never influences the result.
+        if elites.len() < islands * MIGRATION_ELITES {
+            elites.resize_with(islands * MIGRATION_ELITES, LaneIndividual::default);
+        }
+        for (i, slot) in slots[..islands].iter_mut().enumerate() {
+            let my_pop = pops[i];
+            let count = MIGRATION_ELITES.min(my_pop);
+            if count < my_pop {
+                // Partition the island's best `count` to the front; order
+                // within the batch is irrelevant (receivers re-rank).
+                slot.pool[..my_pop].select_nth_unstable_by(count - 1, selection_order);
+            }
+            for e in 0..count {
+                elites[i * MIGRATION_ELITES + e].copy_from(&slot.pool[e]);
+            }
+        }
+        for (i, slot) in slots[..islands].iter_mut().enumerate() {
+            let src = (i + islands - 1) % islands;
+            let my_pop = pops[i];
+            let count = MIGRATION_ELITES.min(pops[src]).min(my_pop);
+            if count < my_pop {
+                // Partition the island's worst `count` to the back, where the
+                // incoming elites overwrite them.
+                slot.pool[..my_pop].select_nth_unstable_by(my_pop - count - 1, selection_order);
+            }
+            for e in 0..count {
+                slot.pool[my_pop - 1 - e].copy_from(&elites[src * MIGRATION_ELITES + e]);
+            }
+            // Restore rank/crowding for the next round's tournaments.
+            rank_and_crowd_sweep(&mut slot.pool[..my_pop], &mut slot.sweep, my_pop);
+        }
+    }
+
+    // Merge: first front of each island, re-evaluated with the exact f64
+    // path (the search ran on f32 lane objectives; callers get exact
+    // values), then a global non-domination pass over the union.
+    for (slot, &my_pop) in slots[..islands].iter_mut().zip(pops.iter()) {
+        rank_and_crowd_sweep(&mut slot.pool[..my_pop], &mut slot.sweep, 1);
+    }
+    let candidates: Vec<ParetoSolution> = slots[..islands]
+        .iter()
+        .zip(pops.iter())
+        .flat_map(|(slot, &my_pop)| slot.pool[..my_pop].iter().filter(|ind| ind.rank == 0))
+        .map(|ind| {
+            let assignment: Vec<usize> = ind.genes.iter().map(|&g| g as usize).collect();
+            ParetoSolution { objectives: problem.evaluate(&assignment), assignment }
+        })
+        .collect();
+    let mut front: Vec<ParetoSolution> = candidates
+        .iter()
+        .filter(|a| !candidates.iter().any(|b| b.objectives.dominates(&a.objectives)))
+        .cloned()
+        .collect();
+    front.sort_by(|a, b| a.objectives.mean_jct_s.total_cmp(&b.objectives.mean_jct_s));
+    front.dedup_by(|a, b| {
+        (a.objectives.mean_jct_s - b.objectives.mean_jct_s).abs() < 1e-9
+            && (a.objectives.mean_error - b.objectives.mean_error).abs() < 1e-9
+    });
+
+    Nsga2Result {
+        pareto_front: front,
+        generations: slots[..islands].iter().map(|s| s.generations).max().unwrap_or(0),
+        evaluations: slots[..islands].iter().map(|s| s.evaluations).sum(),
+    }
+}
+
+/// NSGA-II environmental-selection order: rank ascending, then crowding
+/// distance descending.
+fn selection_order<T: Ranked>(a: &T, b: &T) -> std::cmp::Ordering {
+    a.rank().cmp(&b.rank()).then_with(|| b.crowding().total_cmp(&a.crowding()))
+}
+
+/// Evolve one island for up to [`MIGRATION_INTERVAL`] generations, or until
+/// its generation/evaluation budget or tolerance window terminates it.
+/// Mirrors the sequential generation loop with the island speed levers:
+/// [`breed_lanes`] offspring generation and the sweep-based sort.
+fn island_round(
+    problem: &SchedulingProblem,
+    config: &Nsga2Config,
+    tables: &OperatorTables,
+    slot: &mut IslandSlot,
+    rng: &mut IslandRng,
+    my_pop: usize,
+    max_evaluations: usize,
+) {
+    for _ in 0..MIGRATION_INTERVAL {
+        if slot.generations >= config.max_generations {
+            slot.done = true;
+            return;
+        }
+        slot.generations += 1;
+        let total = my_pop * 2;
+        let spare = &mut slot.spare;
+        let (parents, kids) = slot.pool[..total].split_at_mut(my_pop);
+        let mut k = 0;
+        while k < kids.len() {
+            let p1 = tournament_lanes(parents, rng);
+            let p2 = tournament_lanes(parents, rng);
+            if k + 1 < kids.len() {
+                let (head, tail) = kids.split_at_mut(k + 1);
+                breed_lanes(
+                    problem,
+                    config,
+                    tables,
+                    &parents[p1],
+                    &parents[p2],
+                    &mut head[k],
+                    &mut tail[0],
+                    rng,
+                );
+                k += 2;
+            } else {
+                breed_lanes(
+                    problem,
+                    config,
+                    tables,
+                    &parents[p1],
+                    &parents[p2],
+                    &mut kids[k],
+                    spare,
+                    rng,
+                );
+                k += 1;
+            }
+        }
+        slot.evaluations += my_pop;
+
+        rank_and_crowd_sweep(&mut slot.pool[..total], &mut slot.sweep, my_pop);
+        // Environmental truncation only needs the best `my_pop` of the merged
+        // pool in the parent half, in any order: an O(n) partition replaces
+        // the full (rank, crowding) sort — tournaments compare rank/crowding
+        // directly, so parent order never matters.
+        slot.pool[..total].select_nth_unstable_by(my_pop - 1, selection_order);
+
+        let best_jct = slot.pool[..my_pop]
+            .iter()
+            .map(|i| i.objectives.mean_jct_s)
+            .fold(f64::INFINITY, f64::min);
+        let best_err = slot.pool[..my_pop]
+            .iter()
+            .map(|i| i.objectives.mean_error)
+            .fold(f64::INFINITY, f64::min);
+        slot.history.push((best_jct, best_err));
+        if slot.evaluations >= max_evaluations {
+            slot.done = true;
+            return;
+        }
+        if slot.history.len() > config.tolerance_window {
+            let w = config.tolerance_window;
+            let (old_jct, old_err) = slot.history[slot.history.len() - 1 - w];
+            let jct_impr = (old_jct - best_jct) / old_jct.abs().max(1e-9);
+            let err_impr = (old_err - best_err) / old_err.abs().max(1e-9);
+            if jct_impr < config.tolerance && err_impr < config.tolerance {
+                slot.done = true;
+                return;
+            }
+        }
+    }
+}
+
 /// Fill `genes` with a uniformly random feasible assignment.
-fn random_into(problem: &SchedulingProblem, genes: &mut Vec<usize>, rng: &mut StdRng) {
+fn random_into<R: rand::RngCore>(problem: &SchedulingProblem, genes: &mut Vec<usize>, rng: &mut R) {
     genes.clear();
     for i in 0..problem.num_jobs() {
         let feasible = problem.feasible_qpus(i);
@@ -329,12 +927,11 @@ fn repair_into(problem: &SchedulingProblem, seed: &[usize], genes: &mut Vec<usiz
 }
 
 /// Binary tournament on (rank, crowding distance).
-fn tournament(population: &[Individual], rng: &mut StdRng) -> usize {
+fn tournament<T: Ranked, R: rand::RngCore>(population: &[T], rng: &mut R) -> usize {
     let a = rng.gen_range(0..population.len());
     let b = rng.gen_range(0..population.len());
-    let better = |x: &Individual, y: &Individual| {
-        x.rank < y.rank || (x.rank == y.rank && x.crowding > y.crowding)
-    };
+    let better =
+        |x: &T, y: &T| x.rank() < y.rank() || (x.rank() == y.rank() && x.crowding() > y.crowding());
     if better(&population[a], &population[b]) {
         a
     } else {
@@ -414,6 +1011,207 @@ fn mutate(
             set_gene(problem, ind, i, g);
         }
     }
+}
+
+/// The island-path offspring generator. Same operator distributions as
+/// [`breed`] (exponential-offset crossover, polynomial mutation, feasibility
+/// snapping), restructured around the f32 objective lanes instead of the
+/// incremental [`EvalState`]:
+///
+/// - With the default 0.9 crossover probability nearly every gene moves, so
+///   per-gene `move_job` deltas degenerate to full-rescan cost; children
+///   instead copy genes only and take one branch-free
+///   [`SchedulingProblem::evaluate_lanes`] pass each. Island individuals'
+///   `EvalState`s are never read — the final front is re-evaluated exactly.
+/// - One RNG draw serves each crossover site (decision from the 53-bit
+///   uniform, which conditionally rescales back to `[0,1)`; direction and
+///   snap tie-breaks from the unused low mantissa bits), and mutation sites
+///   are found by geometric-gap skipping ([`mutate_lanes`]) instead of one
+///   Bernoulli draw per child gene — instead of three-plus draws per gene.
+/// - `ln`/`pow` use the polynomial approximations below instead of `libm`.
+///
+/// The sequential path keeps [`breed`] untouched: its RNG-to-result mapping
+/// is a pinned bit-for-bit contract.
+#[allow(clippy::too_many_arguments)]
+fn breed_lanes(
+    problem: &SchedulingProblem,
+    config: &Nsga2Config,
+    tables: &OperatorTables,
+    p1: &LaneIndividual,
+    p2: &LaneIndividual,
+    c1: &mut LaneIndividual,
+    c2: &mut LaneIndividual,
+    rng: &mut IslandRng,
+) {
+    c1.genes.clone_from(&p1.genes);
+    c2.genes.clone_from(&p2.genes);
+    let p_cross = config.crossover_probability.clamp(0.0, 1.0) as f32;
+    let inv_p_cross = if p_cross > 0.0 { 1.0 / p_cross } else { 0.0 };
+    let qf = problem.num_qpus() as f32;
+    // Equal-length slice views let every per-gene index below skip its
+    // bounds check; the nearest-feasible rows ride along via `chunks_exact`
+    // instead of a per-gene `snap_row` range check.
+    let n = p1.genes.len();
+    let (p1g, p2g) = (&p1.genes[..n], &p2.genes[..n]);
+    let (c1g, c2g) = (&mut c1.genes[..n], &mut c2.genes[..n]);
+    let rows = problem.snap_table().chunks_exact(problem.num_qpus());
+    for (i, row) in rows.take(n).enumerate() {
+        let bits = rng.next_u64();
+        // Top 24 bits drive accept/offset (single-precision is plenty for a
+        // driver that indexes a 512-bucket table); the low bits feed the
+        // direction and snap tie-breaks, so the streams stay independent.
+        let u_raw = (bits >> 40) as f32 * UNIT32;
+        if u_raw < p_cross {
+            // `u_raw` conditioned on the accept region is uniform on
+            // `[0, p_cross)`; rescaling recovers the `[0, 1)` crossover draw,
+            // which indexes the tabulated half-exponential offset.
+            let offset = OperatorTables::bucket32(&tables.offset, u_raw * inv_p_cross);
+            let a = f32::from(p1g[i]);
+            let b = f32::from(p2g[i]);
+            let mid = (a + b) * 0.5;
+            let d0 = offset * (b - a).abs().max(1.0);
+            // The direction sign only decides which child lands on which
+            // side of `mid`: snap both sides unconditionally (the two chains
+            // run in parallel) and let the bit swap the stores — no sign
+            // flip on the float path at all.
+            let s_hi = snap_with_tie(row, mid + d0, bits >> 1);
+            let s_lo = snap_with_tie(row, mid - d0, bits >> 2);
+            let (x, y) = if bits & 1 == 0 { (s_hi, s_lo) } else { (s_lo, s_hi) };
+            c1g[i] = x;
+            c2g[i] = y;
+        }
+    }
+    mutate_lanes(problem, tables, c1, qf, rng);
+    mutate_lanes(problem, tables, c2, qf, rng);
+    c1.objectives = problem.evaluate_lanes_packed(&c1.genes);
+    c2.objectives = problem.evaluate_lanes_packed(&c2.genes);
+}
+
+/// Island-path polynomial mutation. Gene-wise Bernoulli(`p_mut`) selection is
+/// sampled by geometric gaps — `gap = floor(ln(1 - u) / ln(1 - p_mut))`
+/// failures precede each success — so the RNG cost scales with the expected
+/// number of *mutated* genes (`n * p_mut`) rather than `n`. Each selected
+/// site takes one extra draw for the polynomial magnitude plus the snap
+/// tie-break; both the gap and the magnitude come from the precomputed
+/// [`OperatorTables`]. The sampled site distribution matches the per-gene
+/// Bernoulli loop up to table quantisation; only the RNG-stream consumption
+/// pattern differs, which is fine on the island path (no bit-exactness
+/// contract).
+fn mutate_lanes(
+    problem: &SchedulingProblem,
+    tables: &OperatorTables,
+    child: &mut LaneIndividual,
+    qf: f32,
+    rng: &mut IslandRng,
+) {
+    let n = child.genes.len();
+    let p_mut = tables.p_mut;
+    if p_mut <= 0.0 {
+        return;
+    }
+    // Degenerate everything-mutates case: ln(1 - p) is not finite and the
+    // gap table is unusable, but every gene takes a magnitude draw anyway.
+    if p_mut >= 1.0 {
+        for i in 0..n {
+            let mbits = rng.next_u64();
+            let u = (mbits >> 40) as f32 * UNIT32;
+            let delta = OperatorTables::bucket32(&tables.delta, u);
+            let value = f32::from(child.genes[i]) + delta * qf;
+            child.genes[i] = snap_with_tie(problem.snap_row(i), value, mbits);
+        }
+        return;
+    }
+    let mut i = 0usize;
+    loop {
+        let gbits = rng.next_u64();
+        let g = (gbits >> 40) as f32 * UNIT32;
+        // `gap` is the tabulated non-negative geometric variate: the number
+        // of unmutated genes preceding the next mutation site.
+        let gap = OperatorTables::bucket32(&tables.gap, g);
+        if gap >= (n - i) as f32 {
+            return;
+        }
+        // SAFETY: `gap` is a finite non-negative table value below `n - i`.
+        i += unsafe { gap.to_int_unchecked::<usize>() };
+        let mbits = rng.next_u64();
+        let u = (mbits >> 40) as f32 * UNIT32;
+        let delta = OperatorTables::bucket32(&tables.delta, u);
+        let value = f32::from(child.genes[i]) + delta * qf;
+        child.genes[i] = snap_with_tie(problem.snap_row(i), value, mbits);
+        i += 1;
+        if i >= n {
+            return;
+        }
+    }
+}
+
+/// [`snap_to_feasible`] with the equidistant tie broken by a caller-supplied
+/// entropy bit instead of a fresh RNG draw (island path). Rounds half-to-even
+/// rather than half-away-from-zero — a single `roundsd` instead of the
+/// multi-instruction half-away expansion; which way an exact `.5` gene value
+/// rounds carries no meaning for the search. The caller hoists the job's
+/// nearest-feasible `row` once and reuses it for both children, so each snap
+/// is a round, a clamp, one 8-byte load, and a conditional move — float-to-
+/// int `as` casts saturate, and indexing by `row.len()` elides the bounds
+/// check. The rare no-feasible-QPU row keeps the clamped index as-is (the
+/// infeasibility penalty governs such jobs regardless of the gene value).
+#[inline]
+fn snap_with_tie(row: &[(u32, u32)], value: f32, tie_bits: u64) -> u16 {
+    // `max` maps negatives *and* NaN to 0, `min` bounds the float below
+    // u16::MAX + 1, so the unchecked cast (a bare cvttss2si) is always in
+    // range; the integer `.min` then elides the row bounds check. Values
+    // past either clamp snapped to the boundary under the safe saturating
+    // cast too — the result is identical, minus ~10 instructions per snap.
+    #[allow(clippy::manual_clamp)] // `clamp` would propagate NaN; `max` maps it to 0
+    let rf = value.round_ties_even().max(0.0).min(65535.0);
+    let r = unsafe { rf.to_int_unchecked::<usize>() }.min(row.len() - 1);
+    let (lo, hi) = row[r];
+    if lo == NO_FEASIBLE {
+        return r as u16;
+    }
+    (if tie_bits & 1 == 0 { lo } else { hi }) as u16
+}
+
+/// `ln(x)` for positive, finite, normal `x`: exponent/mantissa split plus an
+/// `atanh`-series for the mantissa (`t = (m-1)/(m+1)`, `|t| ≤ 1/3`).
+#[inline]
+fn fast_ln(x: f64) -> f64 {
+    let bits = x.to_bits();
+    let e = ((bits >> 52) & 0x7ff) as i64 - 1023;
+    let m = f64::from_bits((bits & 0x000f_ffff_ffff_ffff) | (1023u64 << 52));
+    let t = (m - 1.0) / (m + 1.0);
+    let t2 = t * t;
+    let series = 1.0
+        + t2 * (1.0 / 3.0
+            + t2 * (1.0 / 5.0 + t2 * (1.0 / 7.0 + t2 * (1.0 / 9.0 + t2 * (1.0 / 11.0)))));
+    e as f64 * std::f64::consts::LN_2 + 2.0 * t * series
+}
+
+/// `e^y` for moderate `y` (the island path only needs `y ∈ (-40, 1]`):
+/// split off an integer power of two, Taylor for the `|f| ≤ ln(2)/2` rest.
+#[inline]
+fn fast_exp(y: f64) -> f64 {
+    let n = (y * std::f64::consts::LOG2_E).round();
+    let f = y - n * std::f64::consts::LN_2;
+    let p = 1.0
+        + f * (1.0
+            + f * (0.5
+                + f * (1.0 / 6.0 + f * (1.0 / 24.0 + f * (1.0 / 120.0 + f * (1.0 / 720.0))))));
+    f64::from_bits(((1023 + n as i64) as u64) << 52) * p
+}
+
+/// `x^k` for `x ∈ [0, 1]` and a small positive exponent `k`, via
+/// `exp(k·ln(x))` on the approximations above (island path). Relative error
+/// is ~1e-7 — far below what offspring sampling can distinguish.
+#[inline]
+fn pow_frac_fast(x: f64, k: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0; // 0^k = 0 for the positive exponents the operators use
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    fast_exp(k * fast_ln(x))
 }
 
 /// Round a real-valued gene to the nearest feasible QPU index for the job:
@@ -501,17 +1299,95 @@ fn rank_and_crowd(population: &mut [Individual], scratch: &mut RankScratch, need
     }
 }
 
-fn assign_crowding(population: &mut [Individual], front: &[usize], sorted: &mut Vec<usize>) {
+/// Sweep-based non-dominated sorting for the two-objective case, `O(n log n)`
+/// instead of the pairwise `O(n²)` peeling — ranks are mathematically
+/// identical to [`rank_and_crowd`] (unit-tested against it as the oracle).
+///
+/// Individuals are processed in (JCT, error, index) order. Within a front,
+/// error strictly decreases along that order (two members with equal error
+/// or equal JCT would dominate one another), so each front is summarised by
+/// its latest member's `(error, JCT)` key — its minimum — and a point is
+/// dominated by a front exactly when that key is lexicographically smaller
+/// than its own. The keys increase strictly across fronts (the staircases
+/// are nested), so the first non-dominating front is a binary search.
+///
+/// The `needed` cutoff mirrors [`rank_and_crowd`]: crowding is assigned
+/// front-by-front until `needed` individuals are covered, and every
+/// individual past the cutoff reverts to rank `usize::MAX` / crowding 0.
+fn rank_and_crowd_sweep<T: Ranked>(
+    population: &mut [T],
+    scratch: &mut SweepScratch,
+    needed: usize,
+) {
+    let n = population.len();
+    for ind in population.iter_mut() {
+        ind.set_rank(usize::MAX);
+        ind.set_crowding(0.0);
+    }
+    let SweepScratch { order, front_key, fronts, sorted } = scratch;
+    order.clear();
+    order.extend(0..n as u32);
+    order.sort_unstable_by(|&a, &b| {
+        let oa = population[a as usize].objectives();
+        let ob = population[b as usize].objectives();
+        oa.mean_jct_s
+            .total_cmp(&ob.mean_jct_s)
+            .then(oa.mean_error.total_cmp(&ob.mean_error))
+            .then(a.cmp(&b))
+    });
+    front_key.clear();
+    for f in fronts.iter_mut() {
+        f.clear();
+    }
+    let mut used_fronts = 0usize;
+    for &iu in order.iter() {
+        let i = iu as usize;
+        let o = population[i].objectives();
+        let key = (o.mean_error, o.mean_jct_s);
+        let r = front_key[..used_fronts]
+            .partition_point(|fk| fk.0 < key.0 || (fk.0 == key.0 && fk.1 < key.1));
+        if r == used_fronts {
+            if fronts.len() == used_fronts {
+                fronts.push(Vec::new());
+            }
+            front_key.push(key);
+            used_fronts += 1;
+        } else {
+            front_key[r] = key;
+        }
+        fronts[r].push(i);
+        population[i].set_rank(r);
+    }
+    let mut assigned = 0usize;
+    let mut cut = used_fronts;
+    for (r, front) in fronts[..used_fronts].iter().enumerate() {
+        assigned += front.len();
+        if assigned >= needed {
+            cut = r + 1;
+            break;
+        }
+    }
+    for front in &fronts[..cut] {
+        assign_crowding(population, front, sorted);
+    }
+    for front in &fronts[cut..used_fronts] {
+        for &i in front {
+            population[i].set_rank(usize::MAX);
+        }
+    }
+}
+
+fn assign_crowding<T: Ranked>(population: &mut [T], front: &[usize], sorted: &mut Vec<usize>) {
     if front.is_empty() {
         return;
     }
     for &i in front {
-        population[i].crowding = 0.0;
+        population[i].set_crowding(0.0);
     }
     for objective in 0..2 {
-        let value = |ind: &Individual| match objective {
-            0 => ind.objectives.mean_jct_s,
-            _ => ind.objectives.mean_error,
+        let value = |ind: &T| match objective {
+            0 => ind.objectives().mean_jct_s,
+            _ => ind.objectives().mean_error,
         };
         sorted.clear();
         sorted.extend_from_slice(front);
@@ -521,12 +1397,13 @@ fn assign_crowding(population: &mut [Individual], front: &[usize], sorted: &mut 
         let min = value(&population[sorted[0]]);
         let max = value(&population[*sorted.last().unwrap()]);
         let range = (max - min).max(1e-12);
-        population[sorted[0]].crowding = f64::INFINITY;
-        population[*sorted.last().unwrap()].crowding = f64::INFINITY;
+        population[sorted[0]].set_crowding(f64::INFINITY);
+        population[*sorted.last().unwrap()].set_crowding(f64::INFINITY);
         for w in 1..sorted.len().saturating_sub(1) {
             let prev = value(&population[sorted[w - 1]]);
             let next = value(&population[sorted[w + 1]]);
-            population[sorted[w]].crowding += (next - prev) / range;
+            let c = population[sorted[w]].crowding();
+            population[sorted[w]].set_crowding(c + (next - prev) / range);
         }
     }
 }
@@ -665,6 +1542,114 @@ mod tests {
         let reused = optimize_with(&problem, &config, &[], &mut workspace);
         assert_eq!(fresh.pareto_front, reused.pareto_front);
         assert_eq!(fresh.evaluations, reused.evaluations);
+    }
+
+    #[test]
+    fn sweep_ranking_matches_the_pairwise_oracle() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for trial in 0..50 {
+            let n = rng.gen_range(1..=64);
+            let mut a: Vec<Individual> = (0..n)
+                .map(|_| {
+                    // Coarse grid so duplicate objective pairs and one-axis
+                    // ties are common — the hard cases for front assignment.
+                    let jct = rng.gen_range(0..8) as f64;
+                    let err = rng.gen_range(0..8) as f64 / 10.0;
+                    Individual {
+                        objectives: Objectives { mean_jct_s: jct, mean_error: err },
+                        ..Individual::default()
+                    }
+                })
+                .collect();
+            let mut b = a.clone();
+            let needed = rng.gen_range(1..=n);
+            let mut naive = RankScratch::default();
+            let mut sweep = SweepScratch::default();
+            rank_and_crowd(&mut a, &mut naive, needed);
+            rank_and_crowd_sweep(&mut b, &mut sweep, needed);
+            for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+                assert_eq!(
+                    x.rank, y.rank,
+                    "trial {trial}: rank mismatch at {i} for {:?} (needed {needed})",
+                    x.objectives
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_math_tracks_libm_closely() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..20_000 {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let exact = u.ln();
+            let approx = fast_ln(u);
+            assert!(
+                (exact - approx).abs() <= exact.abs().max(1.0) * 1e-6,
+                "ln({u}) = {exact} vs {approx}"
+            );
+            let k = 1.0 / (rng.gen_range(1.0..40.0) + 1.0);
+            let base: f64 = rng.gen_range(0.0..1.0);
+            let exact = base.powf(k);
+            let approx = pow_frac_fast(base, k);
+            assert!((exact - approx).abs() < 1e-6, "{base}^{k} = {exact} vs {approx}");
+        }
+        assert_eq!(pow_frac_fast(0.0, 0.05), 0.0);
+        assert_eq!(pow_frac_fast(1.0, 0.05), 1.0);
+    }
+
+    #[test]
+    fn one_island_dispatches_to_the_sequential_path() {
+        let problem = random_problem(30, 5, 9);
+        let config = Nsga2Config { num_threads: 1, ..Nsga2Config::default() };
+        let mut w1 = OptimizerWorkspace::new();
+        let mut w2 = OptimizerWorkspace::new();
+        let via_dispatch = optimize_with(&problem, &config, &[], &mut w1);
+        let direct = optimize_sequential(&problem, &config, &[], &mut w2);
+        assert_eq!(via_dispatch, direct);
+        // A population too small to split also falls back to sequential.
+        let tiny = Nsga2Config { num_threads: 8, population_size: 6, ..Nsga2Config::default() };
+        let a = optimize_with(&problem, &tiny, &[], &mut w1);
+        let b = optimize_sequential(&problem, &tiny, &[], &mut w2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn island_mode_is_deterministic_per_seed_and_island_count() {
+        let problem = random_problem(40, 6, 10);
+        for islands in [2usize, 3, 4] {
+            let config = Nsga2Config { num_threads: islands, ..Nsga2Config::default() };
+            let mut w1 = OptimizerWorkspace::new();
+            let mut w2 = OptimizerWorkspace::new();
+            let a = optimize_with(&problem, &config, &[], &mut w1);
+            // Dirty the second workspace on another shape first: reuse must
+            // not change island results either.
+            let other = random_problem(15, 3, 11);
+            let _ = optimize_with(&other, &config, &[], &mut w2);
+            let b = optimize_with(&problem, &config, &[], &mut w2);
+            assert_eq!(a, b, "islands = {islands}");
+            for s in &a.pareto_front {
+                assert!(problem.assignment_is_feasible(&s.assignment));
+            }
+        }
+        // Different island counts are allowed to differ (different streams).
+        let two = optimize(&problem, &Nsga2Config { num_threads: 2, ..Nsga2Config::default() });
+        assert!(!two.pareto_front.is_empty());
+    }
+
+    #[test]
+    fn island_front_is_mutually_non_dominated() {
+        let problem = random_problem(50, 8, 12);
+        let result = optimize(&problem, &Nsga2Config { num_threads: 4, ..Nsga2Config::default() });
+        assert!(result.pareto_front.len() >= 2);
+        for a in &result.pareto_front {
+            for b in &result.pareto_front {
+                assert!(
+                    !a.objectives.dominates(&b.objectives) || a.objectives == b.objectives,
+                    "island merge left dominated solutions on the front"
+                );
+            }
+        }
     }
 
     #[test]

@@ -11,8 +11,12 @@
 //!
 //! Estimates are stored twice: in the caller-facing [`JobRequest`] /
 //! [`QpuState`] structs, and in flat structure-of-arrays tables with stride
-//! `num_qpus` (`exec`, `err`, `feasible_mask`) that the optimizer's inner loop
-//! indexes directly. Both views hold the *sanitised* values computed by
+//! `num_qpus` (`exec`, `err`, plus a per-job feasibility bitset) that the
+//! optimizer's inner loop indexes directly. A third, *transposed* view stores
+//! per-QPU f32 lanes (`lane_exec`, `lane_err`, `lane_feas`, stride
+//! `num_jobs`) for [`SchedulingProblem::evaluate_lanes`], a branch-free
+//! chunked reduction the compiler auto-vectorizes. Both f64 views hold the
+//! *sanitised* values computed by
 //! [`SchedulingProblem::new`]: non-finite or out-of-range estimates are
 //! clamped (a NaN/∞ from the resource estimator must penalise a placement,
 //! never panic or poison the objective arithmetic), and every time/error value
@@ -79,6 +83,81 @@ fn sanitize_wait(v: f64) -> f64 {
     snap(v, TIME_GRID)
 }
 
+/// One QPU lane of the objective reduction: sum `exec`/`feas`/`err` over the
+/// genes assigned to QPU `qm`. On x86-64 this runs hand-packed SSE2 (baseline
+/// for the target, so no runtime dispatch): one 128-bit load covers eight
+/// `u16` genes, a packed `pcmpeqw` builds the selection mask, and widening
+/// the 16-bit mask halves to 32 bits (`punpck` of the mask with itself)
+/// yields all-ones f32 masks that AND the lane values directly — no
+/// branches, no int→float conversion. Other targets take the scalar
+/// eight-accumulator fold below, which LLVM can autovectorize. The two
+/// bodies accumulate in the same 8 partial lanes; only the final horizontal
+/// reduction order differs, so results are deterministic per target.
+fn lane_fold(genes: &[u16], exec: &[f32], feas: &[f32], err: &[f32], qm: u16) -> (f32, f32, f32) {
+    let n = genes.len();
+    debug_assert!(exec.len() == n && feas.len() == n && err.len() == n);
+    let mut time_acc = [0.0f32; 8];
+    let mut feas_acc = [0.0f32; 8];
+    let mut err_acc = [0.0f32; 8];
+    let mut i = 0usize;
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::arch::x86_64::*;
+        // SAFETY: all intrinsics are SSE2, baseline on x86_64; every unaligned
+        // load reads 8 u16s / 4 f32s starting at `i` or `i + 4` with
+        // `i + 8 <= n` checked by the loop condition, within the equal-length
+        // slices.
+        unsafe {
+            let qv = _mm_set1_epi16(qm as i16);
+            let mut t0 = _mm_setzero_ps();
+            let mut t1 = _mm_setzero_ps();
+            let mut f0 = _mm_setzero_ps();
+            let mut f1 = _mm_setzero_ps();
+            let mut e0 = _mm_setzero_ps();
+            let mut e1 = _mm_setzero_ps();
+            while i + 8 <= n {
+                let g = _mm_loadu_si128(genes.as_ptr().add(i) as *const __m128i);
+                let m16 = _mm_cmpeq_epi16(g, qv);
+                let m0 = _mm_castsi128_ps(_mm_unpacklo_epi16(m16, m16));
+                let m1 = _mm_castsi128_ps(_mm_unpackhi_epi16(m16, m16));
+                t0 = _mm_add_ps(t0, _mm_and_ps(m0, _mm_loadu_ps(exec.as_ptr().add(i))));
+                t1 = _mm_add_ps(t1, _mm_and_ps(m1, _mm_loadu_ps(exec.as_ptr().add(i + 4))));
+                f0 = _mm_add_ps(f0, _mm_and_ps(m0, _mm_loadu_ps(feas.as_ptr().add(i))));
+                f1 = _mm_add_ps(f1, _mm_and_ps(m1, _mm_loadu_ps(feas.as_ptr().add(i + 4))));
+                e0 = _mm_add_ps(e0, _mm_and_ps(m0, _mm_loadu_ps(err.as_ptr().add(i))));
+                e1 = _mm_add_ps(e1, _mm_and_ps(m1, _mm_loadu_ps(err.as_ptr().add(i + 4))));
+                i += 8;
+            }
+            _mm_storeu_ps(time_acc.as_mut_ptr(), t0);
+            _mm_storeu_ps(time_acc.as_mut_ptr().add(4), t1);
+            _mm_storeu_ps(feas_acc.as_mut_ptr(), f0);
+            _mm_storeu_ps(feas_acc.as_mut_ptr().add(4), f1);
+            _mm_storeu_ps(err_acc.as_mut_ptr(), e0);
+            _mm_storeu_ps(err_acc.as_mut_ptr().add(4), e1);
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        while i + 8 <= n {
+            for l in 0..8 {
+                let m = (genes[i + l] == qm) as u32 as f32;
+                time_acc[l] += m * exec[i + l];
+                feas_acc[l] += m * feas[i + l];
+                err_acc[l] += m * err[i + l];
+            }
+            i += 8;
+        }
+    }
+    while i < n {
+        let m = (genes[i] == qm) as u32 as f32;
+        time_acc[0] += m * exec[i];
+        feas_acc[0] += m * feas[i];
+        err_acc[0] += m * err[i];
+        i += 1;
+    }
+    (time_acc.iter().sum::<f32>(), feas_acc.iter().sum::<f32>(), err_acc.iter().sum::<f32>())
+}
+
 /// One job awaiting scheduling, together with its per-QPU estimates (produced
 /// by the resource estimator and fetched from the system monitor).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -123,8 +202,20 @@ pub struct SchedulingProblem {
     exec: Vec<f64>,
     /// Flat error table (1 − fidelity), `err[job * num_qpus + qpu]`.
     err: Vec<f64>,
-    /// Flat capacity-feasibility table, `feasible_mask[job * num_qpus + qpu]`.
-    feasible_mask: Vec<bool>,
+    /// Capacity-feasibility bitset: bit `qpu` of the `mask_words` words
+    /// starting at `job * mask_words` is set when the placement is feasible.
+    feasible_bits: Vec<u64>,
+    /// Number of `u64` words per job row in `feasible_bits`.
+    mask_words: usize,
+    /// Transposed f32 execution-time lanes, `lane_exec[qpu * num_jobs + job]`
+    /// (all placements, feasible or not — they occupy the device either way).
+    lane_exec: Vec<f32>,
+    /// Transposed f32 error lanes: the job's error on the QPU when feasible,
+    /// `1.0` when infeasible (matching the full error an infeasible placement
+    /// contributes to the mean-error objective).
+    lane_err: Vec<f32>,
+    /// Transposed f32 feasibility lanes: `1.0` when feasible, else `0.0`.
+    lane_feas: Vec<f32>,
     /// Sanitised per-QPU queue waiting times.
     wait: Vec<f64>,
     /// `nearest[job * num_qpus + r]` = the feasible QPU(s) nearest to index
@@ -135,10 +226,27 @@ pub struct SchedulingProblem {
     /// Per-QPU calibration epoch the estimate tables were built from
     /// (index-aligned with `qpus`).
     epochs: Vec<u64>,
+    /// Optional calibration-boundary penalty (see
+    /// [`Self::with_boundary_penalty`]). `None` leaves the objectives
+    /// bit-for-bit identical to a problem built without the penalty.
+    boundary: Option<BoundaryPenalty>,
+}
+
+/// Soft penalty steering the optimizer away from plans that spill past a
+/// QPU's next recalibration: estimates are only valid until the boundary, so
+/// work scheduled beyond it must be deferred or split at dispatch time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct BoundaryPenalty {
+    /// Seconds from now until each QPU's next calibration boundary
+    /// (`f64::INFINITY` = no upcoming boundary, index-aligned with `qpus`).
+    horizon_s: Vec<f64>,
+    /// Seconds of JCT-sum penalty added per second a QPU's planned busy time
+    /// (queue wait + newly assigned work) overruns its horizon.
+    weight: f64,
 }
 
 /// Sentinel in the nearest-feasible table for jobs with an empty feasible set.
-const NO_FEASIBLE: u32 = u32::MAX;
+pub(crate) const NO_FEASIBLE: u32 = u32::MAX;
 
 /// The two objective values of one assignment (both minimised).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -239,11 +347,12 @@ impl SchedulingProblem {
             q.waiting_time_s = sanitize_wait(q.waiting_time_s);
         }
         let wait: Vec<f64> = qpus.iter().map(|q| q.waiting_time_s).collect();
+        let mask_words = num_qpus.div_ceil(64);
         let mut exec = Vec::with_capacity(jobs.len() * num_qpus);
         let mut err = Vec::with_capacity(jobs.len() * num_qpus);
-        let mut feasible_mask = Vec::with_capacity(jobs.len() * num_qpus);
+        let mut feasible_bits = vec![0u64; jobs.len() * mask_words];
         let mut feasible = Vec::with_capacity(jobs.len());
-        for j in &mut jobs {
+        for (i, j) in jobs.iter_mut().enumerate() {
             for t in &mut j.exec_time_per_qpu {
                 *t = sanitize_exec(*t);
                 exec.push(*t);
@@ -256,13 +365,26 @@ impl SchedulingProblem {
             }
             let mut set = Vec::new();
             for (idx, q) in qpus.iter().enumerate() {
-                let ok = q.num_qubits >= j.qubits;
-                feasible_mask.push(ok);
-                if ok {
+                if q.num_qubits >= j.qubits {
+                    feasible_bits[i * mask_words + idx / 64] |= 1u64 << (idx % 64);
                     set.push(idx);
                 }
             }
             feasible.push(set);
+        }
+        // Transposed f32 lanes: one contiguous run per QPU so the objective
+        // reduction streams each lane without gathers.
+        let num_jobs = jobs.len();
+        let mut lane_exec = vec![0.0f32; num_jobs * num_qpus];
+        let mut lane_err = vec![0.0f32; num_jobs * num_qpus];
+        let mut lane_feas = vec![0.0f32; num_jobs * num_qpus];
+        for i in 0..num_jobs {
+            for q in 0..num_qpus {
+                let ok = feasible_bits[i * mask_words + q / 64] >> (q % 64) & 1 != 0;
+                lane_exec[q * num_jobs + i] = exec[i * num_qpus + q] as f32;
+                lane_err[q * num_jobs + i] = if ok { err[i * num_qpus + q] as f32 } else { 1.0 };
+                lane_feas[q * num_jobs + i] = if ok { 1.0 } else { 0.0 };
+            }
         }
         let mut nearest = Vec::with_capacity(jobs.len() * num_qpus);
         for set in &feasible {
@@ -290,7 +412,49 @@ impl SchedulingProblem {
             }
         }
         let epochs = qpus.iter().map(|q| q.calibration_epoch).collect();
-        SchedulingProblem { jobs, qpus, feasible, exec, err, feasible_mask, wait, nearest, epochs }
+        SchedulingProblem {
+            jobs,
+            qpus,
+            feasible,
+            exec,
+            err,
+            feasible_bits,
+            mask_words,
+            lane_exec,
+            lane_err,
+            lane_feas,
+            wait,
+            nearest,
+            epochs,
+            boundary: None,
+        }
+    }
+
+    /// Attach a calibration-boundary penalty: `horizon_s[q]` is the number of
+    /// seconds until QPU `q`'s next recalibration (non-finite or missing =
+    /// no boundary), and `weight` scales the JCT-sum penalty per second a
+    /// QPU's planned busy time overruns its horizon. The penalty is computed
+    /// from the per-QPU aggregates inside [`Self::objectives_of`], so
+    /// incremental and full evaluation remain bit-for-bit identical; a
+    /// zero/negative weight disables it entirely.
+    pub fn with_boundary_penalty(mut self, horizon_s: &[f64], weight: f64) -> Self {
+        if weight <= 0.0 || !weight.is_finite() {
+            self.boundary = None;
+            return self;
+        }
+        let horizon_s: Vec<f64> = (0..self.num_qpus())
+            .map(|q| match horizon_s.get(q) {
+                Some(&h) if h.is_finite() => snap(h.max(0.0), TIME_GRID),
+                _ => f64::INFINITY,
+            })
+            .collect();
+        self.boundary = Some(BoundaryPenalty { horizon_s, weight });
+        self
+    }
+
+    /// `true` when a calibration-boundary penalty is attached.
+    pub fn has_boundary_penalty(&self) -> bool {
+        self.boundary.is_some()
     }
 
     /// The calibration epoch each QPU's estimate column was built from
@@ -311,6 +475,25 @@ impl SchedulingProblem {
         (lo != NO_FEASIBLE).then_some((lo as usize, hi as usize))
     }
 
+    /// The nearest-feasible row for `job` (length `num_qpus`). The island
+    /// path's branch-free snap hoists this once per gene and indexes it with
+    /// the row length itself, so the bounds check vanishes; entries are
+    /// [`NO_FEASIBLE`] pairs when the job has no feasible QPU.
+    #[inline]
+    pub(crate) fn snap_row(&self, job: usize) -> &[(u32, u32)] {
+        let q = self.num_qpus();
+        &self.nearest[job * q..job * q + q]
+    }
+
+    /// The whole nearest-feasible table, row-major with stride `num_qpus`.
+    /// Hot loops walk it with `chunks_exact(num_qpus)` alongside the gene
+    /// vector, which removes the per-gene slice range checks [`snap_row`]
+    /// pays.
+    #[inline]
+    pub(crate) fn snap_table(&self) -> &[(u32, u32)] {
+        &self.nearest
+    }
+
     /// Number of jobs (`N`).
     pub fn num_jobs(&self) -> usize {
         self.jobs.len()
@@ -326,9 +509,15 @@ impl SchedulingProblem {
         &self.feasible[job]
     }
 
+    /// Feasibility-bitset lookup (callers guarantee `qpu < num_qpus`).
+    #[inline]
+    fn feasible_bit(&self, job: usize, qpu: usize) -> bool {
+        self.feasible_bits[job * self.mask_words + qpu / 64] >> (qpu % 64) & 1 != 0
+    }
+
     /// `true` if placing `job` on `qpu` satisfies the capacity constraint.
     pub fn placement_is_feasible(&self, job: usize, qpu: usize) -> bool {
-        qpu < self.num_qpus() && self.feasible_mask[job * self.num_qpus() + qpu]
+        qpu < self.num_qpus() && self.feasible_bit(job, qpu)
     }
 
     /// `true` if every job has at least one feasible QPU.
@@ -355,7 +544,7 @@ impl SchedulingProblem {
     pub fn place_job(&self, state: &mut EvalState, job: usize, qpu: usize) {
         let k = job * self.num_qpus() + qpu;
         state.assigned_time[qpu] += self.exec[k];
-        if self.feasible_mask[k] {
+        if self.feasible_bit(job, qpu) {
             state.feasible_count[qpu] += 1;
             state.err_sum += self.err[k];
         } else {
@@ -368,7 +557,7 @@ impl SchedulingProblem {
     pub fn unplace_job(&self, state: &mut EvalState, job: usize, qpu: usize) {
         let k = job * self.num_qpus() + qpu;
         state.assigned_time[qpu] -= self.exec[k];
-        if self.feasible_mask[k] {
+        if self.feasible_bit(job, qpu) {
             state.feasible_count[qpu] -= 1;
             state.err_sum -= self.err[k];
         } else {
@@ -388,7 +577,7 @@ impl SchedulingProblem {
         let (kf, kt) = (row + from, row + to);
         state.assigned_time[from] -= self.exec[kf];
         state.assigned_time[to] += self.exec[kt];
-        match (self.feasible_mask[kf], self.feasible_mask[kt]) {
+        match (self.feasible_bit(job, from), self.feasible_bit(job, to)) {
             (true, true) => {
                 state.feasible_count[from] -= 1;
                 state.feasible_count[to] += 1;
@@ -417,6 +606,14 @@ impl SchedulingProblem {
         for q in 0..self.num_qpus() {
             jct_sum += f64::from(state.feasible_count[q]) * (self.wait[q] + state.assigned_time[q]);
         }
+        if let Some(b) = &self.boundary {
+            for q in 0..self.num_qpus() {
+                let over = self.wait[q] + state.assigned_time[q] - b.horizon_s[q];
+                if over > 0.0 {
+                    jct_sum += b.weight * over;
+                }
+            }
+        }
         let err_total = state.err_sum + f64::from(state.infeasible);
         Objectives { mean_jct_s: jct_sum / n, mean_error: err_total / n }
     }
@@ -429,6 +626,60 @@ impl SchedulingProblem {
         let mut state = EvalState::new(self.num_qpus());
         self.init_state(assignment, &mut state);
         self.objectives_of(&state)
+    }
+
+    /// Evaluate the two objectives over the transposed f32 lanes: one
+    /// branch-free chunked fold per QPU lane (the selection mask is a
+    /// compare-and-convert, so the compiler auto-vectorizes the inner loop).
+    /// Semantically equivalent to [`Self::evaluate`] up to f32 rounding —
+    /// this is the island optimizer's batch-evaluation path; the sequential
+    /// reference keeps the exact incremental f64 path.
+    ///
+    /// Convenience wrapper that narrows a `usize` assignment; the optimizer's
+    /// hot path keeps its genes packed as `u16` and calls
+    /// [`Self::evaluate_lanes_packed`] directly.
+    pub fn evaluate_lanes(&self, assignment: &[usize]) -> Objectives {
+        debug_assert!(self.num_qpus() <= 1 << 16);
+        let genes: Vec<u16> = assignment.iter().map(|&q| q as u16).collect();
+        self.evaluate_lanes_packed(&genes)
+    }
+
+    /// [`Self::evaluate_lanes`] over a packed `u16` gene buffer: no widening
+    /// pass, no allocation, and the gene stream occupies a quarter of the
+    /// cache footprint of a `usize` assignment.
+    pub fn evaluate_lanes_packed(&self, genes: &[u16]) -> Objectives {
+        let n = self.num_jobs();
+        assert_eq!(genes.len(), n);
+        let num_qpus = self.num_qpus();
+        let mut jct_sum = 0.0f64;
+        let mut err_total = 0.0f64;
+        let mut feas_total = 0.0f64;
+        for q in 0..num_qpus {
+            let qm = q as u16;
+            let exec_lane = &self.lane_exec[q * n..(q + 1) * n];
+            let err_lane = &self.lane_err[q * n..(q + 1) * n];
+            let feas_lane = &self.lane_feas[q * n..(q + 1) * n];
+            let (time32, feas32, errs32) = lane_fold(genes, exec_lane, feas_lane, err_lane, qm);
+            let time = f64::from(time32);
+            let feas = f64::from(feas32);
+            let errs = f64::from(errs32);
+            let busy = self.wait[q] + time;
+            jct_sum += feas * busy;
+            err_total += errs;
+            feas_total += feas;
+            if let Some(b) = &self.boundary {
+                let over = busy - b.horizon_s[q];
+                if over > 0.0 {
+                    jct_sum += b.weight * over;
+                }
+            }
+        }
+        // Every job is assigned exactly once, so the infeasible count is the
+        // complement of the feasible count; infeasible error contributions of
+        // 1.0 are already folded into `lane_err`.
+        let infeasible = (n as f64 - feas_total).max(0.0);
+        jct_sum += infeasible * INFEASIBLE_PENALTY_S;
+        Objectives { mean_jct_s: jct_sum / n as f64, mean_error: err_total / n as f64 }
     }
 
     /// Per-job completion times (seconds) under an assignment — used by the
@@ -605,5 +856,55 @@ mod tests {
     #[should_panic]
     fn empty_problem_panics() {
         SchedulingProblem::new(vec![], vec![]);
+    }
+
+    #[test]
+    fn lane_evaluation_tracks_the_exact_path() {
+        let p = toy_problem();
+        for assignment in [vec![0, 0, 0, 0], vec![0, 1, 2, 1], vec![2, 2, 2, 2], vec![1, 0, 2, 0]] {
+            let exact = p.evaluate(&assignment);
+            let lanes = p.evaluate_lanes(&assignment);
+            let rel = |a: f64, b: f64| (a - b).abs() / a.abs().max(1.0);
+            assert!(rel(exact.mean_jct_s, lanes.mean_jct_s) < 1e-4, "{exact:?} vs {lanes:?}");
+            assert!(rel(exact.mean_error, lanes.mean_error) < 1e-4, "{exact:?} vs {lanes:?}");
+        }
+    }
+
+    #[test]
+    fn boundary_penalty_only_fires_past_the_horizon() {
+        let base = toy_problem();
+        let assignment = vec![0, 0, 0, 0]; // 40 s of work on QPU 0 (wait 0)
+        let unpenalised = base.evaluate(&assignment);
+
+        // Horizon beyond the planned busy time: objectives are bit-identical.
+        let roomy = toy_problem().with_boundary_penalty(&[100.0, 100.0, 100.0], 2.0);
+        assert!(roomy.has_boundary_penalty());
+        let o = roomy.evaluate(&assignment);
+        assert_eq!(o.mean_jct_s.to_bits(), unpenalised.mean_jct_s.to_bits());
+
+        // Horizon at 30 s: 10 s overrun × weight 2 / 4 jobs = +5 s mean JCT.
+        let tight = toy_problem().with_boundary_penalty(&[30.0, 100.0, 100.0], 2.0);
+        let t = tight.evaluate(&assignment);
+        assert!((t.mean_jct_s - (unpenalised.mean_jct_s + 5.0)).abs() < 1e-9);
+        assert_eq!(t.mean_error.to_bits(), unpenalised.mean_error.to_bits());
+
+        // Incremental moves stay bit-identical to full evaluation under the
+        // penalty, and the lane path applies it too.
+        let mut state = EvalState::new(tight.num_qpus());
+        let mut genes = assignment.clone();
+        tight.init_state(&genes, &mut state);
+        for (job, to) in [(1usize, 1usize), (3, 1), (1, 0)] {
+            tight.move_job(&mut state, job, genes[job], to);
+            genes[job] = to;
+            let inc = tight.objectives_of(&state);
+            let full = tight.evaluate(&genes);
+            assert_eq!(inc.mean_jct_s.to_bits(), full.mean_jct_s.to_bits());
+        }
+        let lanes = tight.evaluate_lanes(&assignment);
+        assert!((lanes.mean_jct_s - t.mean_jct_s).abs() / t.mean_jct_s < 1e-4);
+
+        // Zero or non-finite weights disable the penalty outright.
+        assert!(!toy_problem().with_boundary_penalty(&[30.0], 0.0).has_boundary_penalty());
+        assert!(!toy_problem().with_boundary_penalty(&[30.0], f64::NAN).has_boundary_penalty());
     }
 }

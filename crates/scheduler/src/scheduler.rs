@@ -22,11 +22,24 @@ pub struct SchedulerConfig {
     pub nsga2: Nsga2Config,
     /// Objective preference used by the MCDM selection stage.
     pub preference: Preference,
+    /// Weight of the proactive calibration-boundary penalty (§7): when > 0
+    /// and the caller supplies per-QPU boundary horizons
+    /// ([`HybridScheduler::schedule_with_horizons`]), the optimizer penalises
+    /// plans whose per-QPU busy time spills past the device's next
+    /// recalibration, steering the Pareto front toward plans the dispatch
+    /// layer will not have to split. 0 (the default) disables the penalty and
+    /// keeps every outcome bit-identical to the horizon-less path.
+    #[serde(default)]
+    pub boundary_penalty_weight: f64,
 }
 
 impl Default for SchedulerConfig {
     fn default() -> Self {
-        SchedulerConfig { nsga2: Nsga2Config::default(), preference: Preference::balanced() }
+        SchedulerConfig {
+            nsga2: Nsga2Config::default(),
+            preference: Preference::balanced(),
+            boundary_penalty_weight: 0.0,
+        }
     }
 }
 
@@ -85,6 +98,10 @@ pub struct ScheduleOutcome {
     pub planned: Vec<PlannedJob>,
 }
 
+/// A remembered Pareto front: one job-id→QPU assignment map per kept
+/// solution, repairable against the next cycle's job list.
+type WarmFront = Vec<Vec<(u64, usize)>>;
+
 /// Cross-cycle optimizer memory of a warm-started scheduler: the reusable
 /// workspace (no steady-state allocation) and the previous cycle's Pareto
 /// front, stored as job-id→QPU maps so it can be repaired against the next
@@ -92,7 +109,21 @@ pub struct ScheduleOutcome {
 #[derive(Debug, Default)]
 struct WarmState {
     workspace: OptimizerWorkspace,
-    front: Vec<Vec<(u64, usize)>>,
+    front: WarmFront,
+}
+
+/// A schedule computed ahead of its dispatch instant
+/// ([`HybridScheduler::schedule_speculative`]): the outcome itself plus the
+/// warm-start front a live cycle over the same inputs would have remembered.
+/// The warm memory is *not* touched until [`HybridScheduler::adopt`] commits
+/// the plan, so a discarded speculation leaves the scheduler byte-identical
+/// to one that never speculated.
+#[derive(Debug, Clone)]
+pub struct SpeculativeSchedule {
+    /// The outcome the plan produces when adopted.
+    pub outcome: ScheduleOutcome,
+    /// The post-cycle warm front (`None` for stateless schedulers).
+    front: Option<WarmFront>,
 }
 
 /// The Qonductor quantum-job scheduler. Stateless by default; constructed
@@ -154,11 +185,19 @@ impl HybridScheduler {
         &self.config
     }
 
-    /// Run the optimizer for one cycle, consulting and updating the
-    /// warm-start memory when enabled.
-    fn run_optimizer(&self, problem: &SchedulingProblem, job_ids: &[u64]) -> nsga2::Nsga2Result {
+    /// Run the optimizer for one cycle, consulting the warm-start memory when
+    /// enabled. With `commit` the remembered front is updated in place (the
+    /// live path); without it the would-be front is returned instead, so a
+    /// speculative cycle can be computed now and committed — or discarded —
+    /// later without perturbing the scheduler's observable state.
+    fn run_optimizer(
+        &self,
+        problem: &SchedulingProblem,
+        job_ids: &[u64],
+        commit: bool,
+    ) -> (nsga2::Nsga2Result, Option<WarmFront>) {
         let Some(mem) = &self.warm else {
-            return nsga2::optimize(problem, &self.config.nsga2);
+            return (nsga2::optimize(problem, &self.config.nsga2), None);
         };
         let mut mem = mem.lock();
         // Repair the remembered front against the current job list: genes for
@@ -178,14 +217,19 @@ impl HybridScheduler {
         // seeds, whatever the configured preference favours.
         let n = result.pareto_front.len();
         let keep = n.min(WARM_FRONT_CAP);
-        *front = (0..keep)
+        let next_front: WarmFront = (0..keep)
             .map(|k| {
                 let idx = if keep <= 1 { 0 } else { k * (n - 1) / (keep - 1) };
                 let s = &result.pareto_front[idx];
                 job_ids.iter().copied().zip(s.assignment.iter().copied()).collect()
             })
             .collect();
-        result
+        if commit {
+            *front = next_front;
+            (result, None)
+        } else {
+            (result, Some(next_front))
+        }
     }
 
     /// Run one scheduling cycle over the pending jobs and available QPUs.
@@ -193,6 +237,62 @@ impl HybridScheduler {
     /// Jobs whose qubit requirement no QPU can satisfy are filtered out during
     /// pre-processing and reported in `rejected_jobs`.
     pub fn schedule(&self, jobs: Vec<JobRequest>, qpus: Vec<QpuState>) -> ScheduleOutcome {
+        self.schedule_cycle(jobs, qpus, &[], true).0
+    }
+
+    /// [`Self::schedule`] with per-QPU recalibration horizons: `horizon_s[q]`
+    /// is the number of seconds from the dispatch instant until QPU `q`'s
+    /// next calibration boundary. When
+    /// [`SchedulerConfig::boundary_penalty_weight`] is positive the optimizer
+    /// proactively penalises plans whose per-QPU busy time spills past the
+    /// horizon, so fewer chosen plans straddle a boundary and reach the
+    /// dispatch layer's split path at all. With a zero weight (or an empty
+    /// horizon table) the outcome is bit-identical to [`Self::schedule`].
+    pub fn schedule_with_horizons(
+        &self,
+        jobs: Vec<JobRequest>,
+        qpus: Vec<QpuState>,
+        horizon_s: &[f64],
+    ) -> ScheduleOutcome {
+        self.schedule_cycle(jobs, qpus, horizon_s, true).0
+    }
+
+    /// Compute a schedule for a *future* dispatch without mutating the
+    /// scheduler: the warm-start memory is consulted but not advanced, so the
+    /// caller can hold the plan while the current batch executes and either
+    /// [`Self::adopt`] it (if the pool snapshot is still valid at trigger
+    /// fire) or drop it with no trace. Adopting is equivalent, bit for bit,
+    /// to having called [`Self::schedule_with_horizons`] at the fire instant
+    /// with the same inputs.
+    pub fn schedule_speculative(
+        &self,
+        jobs: Vec<JobRequest>,
+        qpus: Vec<QpuState>,
+        horizon_s: &[f64],
+    ) -> SpeculativeSchedule {
+        let (outcome, front) = self.schedule_cycle(jobs, qpus, horizon_s, false);
+        SpeculativeSchedule { outcome, front }
+    }
+
+    /// Commit a speculative schedule: install the warm-start front the cycle
+    /// would have remembered had it run live. No-op for stateless schedulers
+    /// and for plans computed by one.
+    pub fn adopt(&self, plan: &SpeculativeSchedule) {
+        if let (Some(mem), Some(front)) = (&self.warm, &plan.front) {
+            mem.lock().front = front.clone();
+        }
+    }
+
+    /// The three-stage cycle shared by the live and speculative paths.
+    /// Returns the outcome plus, when `commit` is false and warm start is on,
+    /// the front the warm memory *would* have kept.
+    fn schedule_cycle(
+        &self,
+        jobs: Vec<JobRequest>,
+        qpus: Vec<QpuState>,
+        horizon_s: &[f64],
+        commit: bool,
+    ) -> (ScheduleOutcome, Option<WarmFront>) {
         assert!(!qpus.is_empty(), "scheduling requires at least one QPU");
         // ---------- Stage 1: job pre-processing ----------
         let t0 = Instant::now();
@@ -202,7 +302,7 @@ impl HybridScheduler {
         let rejected_jobs: Vec<u64> = rejected.iter().map(|j| j.job_id).collect();
         if schedulable.is_empty() {
             let zero = Objectives { mean_jct_s: 0.0, mean_error: 0.0 };
-            return ScheduleOutcome {
+            let outcome = ScheduleOutcome {
                 placements: vec![],
                 chosen: zero,
                 pareto_front: vec![],
@@ -217,14 +317,20 @@ impl HybridScheduler {
                 chosen_index: 0,
                 planned: vec![],
             };
+            // An empty cycle never touches the warm memory, so adopting it is
+            // trivially a no-op (`front: None` on the speculative path).
+            return (outcome, None);
         }
         let job_ids: Vec<u64> = schedulable.iter().map(|j| j.job_id).collect();
-        let problem = SchedulingProblem::new(schedulable, qpus);
+        let mut problem = SchedulingProblem::new(schedulable, qpus);
+        if self.config.boundary_penalty_weight > 0.0 && !horizon_s.is_empty() {
+            problem = problem.with_boundary_penalty(horizon_s, self.config.boundary_penalty_weight);
+        }
         let preprocessing_s = t0.elapsed().as_secs_f64();
 
         // ---------- Stage 2: multi-objective optimization ----------
         let t1 = Instant::now();
-        let result = self.run_optimizer(&problem, &job_ids);
+        let (result, next_front) = self.run_optimizer(&problem, &job_ids, commit);
         let optimization_s = t1.elapsed().as_secs_f64();
 
         // ---------- Stage 3: MCDM selection ----------
@@ -261,7 +367,7 @@ impl HybridScheduler {
         let planned = plan_timeline(&assignment, &waits, 0.0);
         let selection_s = t2.elapsed().as_secs_f64();
 
-        ScheduleOutcome {
+        let outcome = ScheduleOutcome {
             placements,
             chosen: chosen_solution.objectives,
             pareto_front: result.pareto_front,
@@ -271,7 +377,8 @@ impl HybridScheduler {
             timings: StageTimings { preprocessing_s, optimization_s, selection_s },
             chosen_index,
             planned,
-        }
+        };
+        (outcome, next_front)
     }
 }
 

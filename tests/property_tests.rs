@@ -16,8 +16,8 @@ use qonductor::core::{
 };
 use qonductor::mitigation::{fold_circuit, MitigationCost};
 use qonductor::scheduler::{
-    optimize, optimize_with, select, EvalState, JobRequest, Nsga2Config, OptimizerWorkspace,
-    Preference, QpuState, ScheduleTrigger, SchedulingProblem,
+    optimize, optimize_sequential, optimize_with, select, EvalState, JobRequest, Nsga2Config,
+    OptimizerWorkspace, Preference, QpuState, ScheduleTrigger, SchedulingProblem,
 };
 use qonductor::transpiler::Transpiler;
 use rand::rngs::StdRng;
@@ -265,6 +265,157 @@ proptest! {
         prop_assert_eq!(warm_a.evaluations, warm_b.evaluations);
         for s in &warm_a.pareto_front {
             prop_assert!(problem.assignment_is_feasible(&s.assignment));
+        }
+    }
+
+    /// The contract pinning the objective-lane (SIMD) refactor: one island IS
+    /// the sequential optimizer. `optimize_with` at `num_threads = 1` must
+    /// return a front **bit-for-bit** identical to `optimize_sequential`'s
+    /// for arbitrary problems — the f32 lane machinery of the island path is
+    /// never allowed to leak into the single-island case.
+    #[test]
+    fn one_island_front_equals_the_sequential_front(
+        num_jobs in 2usize..30,
+        num_qpus in 2usize..6,
+        seed in 0u64..500,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x15AD);
+        let qpus: Vec<QpuState> = (0..num_qpus)
+            .map(|i| QpuState {
+                name: format!("q{i}"),
+                num_qubits: if i == 0 { 7 } else { 27 },
+                waiting_time_s: rng.gen_range(0.0..300.0),
+                calibration_epoch: 0,
+            })
+            .collect();
+        let jobs: Vec<JobRequest> = (0..num_jobs)
+            .map(|i| JobRequest {
+                job_id: i as u64,
+                qubits: rng.gen_range(2..=20),
+                shots: 1000,
+                fidelity_per_qpu: (0..num_qpus)
+                    .map(|_| if rng.gen_bool(0.05) { f64::NAN } else { rng.gen_range(0.3..0.95) })
+                    .collect(),
+                exec_time_per_qpu: (0..num_qpus)
+                    .map(|_| {
+                        if rng.gen_bool(0.05) { f64::INFINITY } else { rng.gen_range(1.0..60.0) }
+                    })
+                    .collect(),
+            })
+            .collect();
+        let problem = SchedulingProblem::new(jobs, qpus);
+        let config = Nsga2Config {
+            population_size: 16,
+            max_generations: 8,
+            max_evaluations: 1000,
+            num_threads: 1,
+            seed,
+            ..Nsga2Config::default()
+        };
+        let island = optimize_with(&problem, &config, &[], &mut OptimizerWorkspace::new());
+        let sequential =
+            optimize_sequential(&problem, &config, &[], &mut OptimizerWorkspace::new());
+        prop_assert_eq!(island.evaluations, sequential.evaluations);
+        prop_assert_eq!(island.generations, sequential.generations);
+        prop_assert_eq!(island.pareto_front.len(), sequential.pareto_front.len());
+        for (a, b) in island.pareto_front.iter().zip(&sequential.pareto_front) {
+            prop_assert_eq!(&a.assignment, &b.assignment);
+            prop_assert_eq!(a.objectives.mean_jct_s.to_bits(), b.objectives.mean_jct_s.to_bits());
+            prop_assert_eq!(a.objectives.mean_error.to_bits(), b.objectives.mean_error.to_bits());
+        }
+    }
+
+    /// Island-mode determinism: for a fixed (seed, island count) the island
+    /// optimizer is a pure function of its inputs — two independent runs with
+    /// fresh workspaces return bit-identical fronts.
+    #[test]
+    fn island_optimizer_is_deterministic_per_seed_and_island_count(
+        islands in 2usize..5,
+        num_jobs in 8usize..30,
+        num_qpus in 2usize..6,
+        seed in 0u64..500,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD0D0);
+        let qpus: Vec<QpuState> = (0..num_qpus)
+            .map(|i| QpuState {
+                name: format!("q{i}"),
+                num_qubits: if i == 0 { 7 } else { 27 },
+                waiting_time_s: rng.gen_range(0.0..300.0),
+                calibration_epoch: 0,
+            })
+            .collect();
+        let jobs: Vec<JobRequest> = (0..num_jobs)
+            .map(|i| JobRequest {
+                job_id: i as u64,
+                qubits: rng.gen_range(2..=20),
+                shots: 1000,
+                fidelity_per_qpu: (0..num_qpus).map(|_| rng.gen_range(0.3..0.95)).collect(),
+                exec_time_per_qpu: (0..num_qpus).map(|_| rng.gen_range(1.0..60.0)).collect(),
+            })
+            .collect();
+        let problem = SchedulingProblem::new(jobs, qpus);
+        // Population 16 with MIN_ISLAND_POP = 4 keeps up to 4 islands live.
+        let config = Nsga2Config {
+            population_size: 16,
+            max_generations: 12,
+            max_evaluations: 1500,
+            num_threads: islands,
+            seed,
+            ..Nsga2Config::default()
+        };
+        let a = optimize_with(&problem, &config, &[], &mut OptimizerWorkspace::new());
+        let b = optimize_with(&problem, &config, &[], &mut OptimizerWorkspace::new());
+        prop_assert_eq!(a.evaluations, b.evaluations);
+        prop_assert_eq!(a.pareto_front, b.pareto_front);
+        for s in &a.pareto_front {
+            prop_assert!(problem.assignment_is_feasible(&s.assignment));
+        }
+    }
+
+    /// Plan-ahead safety: whatever happens between planning and the firing —
+    /// new arrivals, jobs leaving the pool via direct dispatch, or nothing
+    /// at all — a dispatched batch only ever contains jobs present in the
+    /// live pending pool at the firing instant. A stale cached plan can at
+    /// worst be discarded; it can never resurrect a job that left the pool
+    /// or hide one that joined it.
+    #[test]
+    fn speculative_adoption_never_dispatches_an_absent_job(
+        num_jobs in 2usize..10,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EC5);
+        let mut fleet = common::small_fleet(seed ^ 0x00AB);
+        let scheduler = common::small_scheduler(8, 4, 240);
+        let mut jm = JobManager::new(ScheduleTrigger::new(100, 40.0));
+        for _ in 0..num_jobs {
+            jm.submit(common::feasible_spec(&fleet, rng.gen_range(2..=20), 5.0), 0.0);
+        }
+        prop_assert!(jm.plan_ahead(40.0, &scheduler, &fleet));
+        // Mutate the world between planning and the firing.
+        let mut mutated = false;
+        if rng.gen_bool(0.4) {
+            for _ in 0..rng.gen_range(1..3) {
+                jm.submit(common::feasible_spec(&fleet, rng.gen_range(2..=20), 5.0), 1.0);
+            }
+            mutated = true;
+        }
+        if rng.gen_bool(0.4) {
+            let victim = jm.pending()[rng.gen_range(0..jm.pending_len())].job_id;
+            let qpu = rng.gen_range(0..fleet.members().len());
+            mutated |= jm.dispatch_direct(victim, qpu, &mut fleet);
+        }
+        let live: HashSet<u64> = jm.pending().iter().map(|j| j.job_id).collect();
+        let batch = jm.try_dispatch(40.0, &scheduler, &mut fleet).expect("interval fires");
+        prop_assert_eq!(batch.job_ids.len(), live.len(), "the whole live pool is scheduled");
+        for id in &batch.job_ids {
+            prop_assert!(live.contains(id), "job {} dispatched but not in the live pool", id);
+        }
+        for id in batch.enqueued_job_ids() {
+            prop_assert!(live.contains(&id), "job {} enqueued but not in the live pool", id);
+        }
+        // And the positive side: an untouched world must adopt the plan.
+        if !mutated {
+            prop_assert!(batch.speculative, "unchanged inputs must adopt the cached plan");
         }
     }
 
