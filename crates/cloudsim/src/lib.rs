@@ -16,6 +16,7 @@ pub mod estimates;
 pub mod failover;
 pub mod load;
 pub mod multitenant;
+pub mod sharded;
 pub mod sim;
 
 pub use drift::{
@@ -30,6 +31,9 @@ pub use load::{
 pub use multitenant::{
     BatchComposition, MultiTenantConfig, MultiTenantReport, MultiTenantSimulation,
     TenantCompletion, TenantLoad, TenantOutcome,
+};
+pub use sharded::{
+    ShardedBatch, ShardedCrashRecord, ShardedReport, ShardedSimConfig, ShardedSimulation,
 };
 pub use sim::{
     CloudSimulation, CompletedApp, CycleRecord, DispatchRecord, Policy, SimulationConfig,

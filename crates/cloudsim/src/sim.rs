@@ -394,6 +394,7 @@ impl CloudSimulation {
                     nsga2: cfg.nsga2,
                     preference,
                     boundary_penalty_weight: cfg.boundary_penalty_weight,
+                    ..SchedulerConfig::default()
                 }))
             }
             _ => None,

@@ -1,0 +1,129 @@
+//! Sharded control-plane e2e suite: hash-partitioned tenants across N
+//! shards, per-shard DRR fairness composing into the global weighted split,
+//! and whole-plane chaos (every shard's leader killed mid-run) with
+//! per-shard byte-for-byte failover digests and lease-allocator consistency.
+//!
+//! Like the chaos suite, CI can run this as a seed matrix
+//! (`QONDUCTOR_CHAOS_SEED=<seed>` selects one leg; unset runs the default
+//! set).
+
+use qonductor_cloudsim::{FailurePlan, ShardedSimConfig, ShardedSimulation};
+use qonductor_core::jobmanager::CalibrationPolicy;
+use qonductor_core::sharding::ShardedControlPlane;
+use qonductor_scheduler::ScheduleTrigger;
+
+/// Default seed matrix (mirrors the chaos suite).
+const DEFAULT_SEEDS: [u64; 5] = [11, 23, 37, 41, 59];
+const DURATION_S: f64 = 300.0;
+const CRASHES_PER_RUN: usize = 3;
+
+fn sharded_config(seed: u64) -> ShardedSimConfig {
+    ShardedSimConfig { duration_s: DURATION_S, seed, ..ShardedSimConfig::default() }
+}
+
+/// Seeds under test: the single `QONDUCTOR_CHAOS_SEED` if set (one CI matrix
+/// leg), otherwise the whole default set.
+fn seeds_under_test() -> Vec<u64> {
+    match std::env::var("QONDUCTOR_CHAOS_SEED") {
+        Ok(seed) => vec![seed.parse().expect("QONDUCTOR_CHAOS_SEED must be an integer")],
+        Err(_) => DEFAULT_SEEDS.to_vec(),
+    }
+}
+
+/// Weights 2:1 split across shards (one heavy + one light pair per shard,
+/// saturating streams) yield the heavy tenants a ~2/3 global share of all
+/// admitted batch slots, within ±10% — per-shard DRR composes into global
+/// weighted fairness because the shards' active populations are balanced.
+#[test]
+fn sharded_fairness_composes_to_the_global_weighted_split() {
+    for seed in seeds_under_test() {
+        let report = ShardedSimulation::with_default_fleet(sharded_config(seed)).run();
+        assert!(!report.batches.is_empty(), "seed {seed}: batches must dispatch");
+        assert!(!report.completed.is_empty(), "seed {seed}: applications must complete");
+        for shard in 0..report.num_shards {
+            assert!(
+                report.batches.iter().any(|b| b.shard == shard),
+                "seed {seed}: shard {shard} never dispatched"
+            );
+        }
+        let share = report.heavy_share();
+        assert!(
+            (share - 2.0 / 3.0).abs() <= 0.1,
+            "seed {seed}: heavy global share {share} strays from 2/3"
+        );
+        assert_eq!(report.lost_tickets(), 0, "seed {seed}: every ledger balances");
+    }
+}
+
+/// Killing every shard's leader at seeded mid-run instants is invisible to
+/// the workload: each shard's rebuilt state matches its pre-crash digest
+/// byte for byte, the fleet allocator rebuilds from the journaled lease sets
+/// without leaking or double-granting a QPU, and the fault-injected run
+/// produces exactly the batches and completions of the failure-free run.
+#[test]
+fn sharded_failovers_are_byte_exact_per_shard_across_the_seed_matrix() {
+    for seed in seeds_under_test() {
+        let plan = FailurePlan::from_seed(seed, DURATION_S, CRASHES_PER_RUN);
+        let chaos =
+            ShardedSimulation::with_default_fleet(sharded_config(seed)).run_with_failures(&plan);
+        assert_eq!(chaos.crashes.len(), CRASHES_PER_RUN, "seed {seed}");
+        assert!(
+            chaos.all_digests_matched(),
+            "seed {seed}: a shard's rebuilt state diverged: {:?}",
+            chaos.crashes
+        );
+        assert!(
+            chaos.allocator_always_consistent(),
+            "seed {seed}: lease replay leaked or double-granted capacity"
+        );
+        assert_eq!(chaos.lost_tickets(), 0, "seed {seed}");
+        assert!(chaos.double_dispatched_jobs().is_empty(), "seed {seed}");
+
+        let plain = ShardedSimulation::with_default_fleet(sharded_config(seed)).run();
+        assert_eq!(chaos.batches, plain.batches, "seed {seed}: batch streams diverged");
+        assert_eq!(chaos.completed, plain.completed, "seed {seed}: completions diverged");
+        assert_eq!(
+            chaos.final_digests, plain.final_digests,
+            "seed {seed}: final per-shard digests diverged"
+        );
+    }
+}
+
+/// The mid-lease crash window: a shard's leader dies *between* journaling a
+/// lease grant and first using the QPU. The replay must restore the grant
+/// (no leak) without letting any other shard claim the QPU (no double
+/// grant), for both directions of a lease move.
+#[test]
+fn leader_death_between_lease_journal_and_use_neither_leaks_nor_double_grants() {
+    let mut plane = ShardedControlPlane::new(
+        2,
+        8,
+        ScheduleTrigger::new(12, 45.0),
+        CalibrationPolicy::Naive,
+        1,
+        41,
+    );
+    let fleet = {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        qonductor_backend::Fleet::ibm_default(&mut rng)
+    };
+
+    // Move QPU 0 from shard 0 to shard 1: release journaled on shard 0,
+    // grant journaled on shard 1, and the leader dies before shard 1 ever
+    // dispatches onto it.
+    assert!(plane.release_qpu(0, 0, &fleet).unwrap());
+    assert!(plane.lease_qpu(1, 0).unwrap());
+    let digests = plane.state_digests();
+    plane.crash_all_leaders();
+    plane.failover_all().expect("both shards fail over");
+    assert_eq!(plane.state_digests(), digests, "replay is byte-exact mid-lease");
+    let rebuilt = plane.rebuild_allocator().expect("no QPU is double-granted");
+    assert_eq!(rebuilt.owner(0), Some(1), "the journaled grant survives the crash");
+    assert_eq!(&rebuilt, plane.allocator(), "live and journaled lease state agree");
+    // The grant is exclusive after replay: shard 0 cannot claim QPU 0 back
+    // without shard 1 releasing it.
+    assert!(!plane.lease_qpu(0, 0).unwrap());
+    assert!(plane.release_qpu(1, 0, &fleet).unwrap());
+    assert!(plane.lease_qpu(0, 0).unwrap());
+}

@@ -154,6 +154,47 @@ impl ReplicatedKvStore {
         keys
     }
 
+    /// Atomic compare-and-swap: write `new` under `key` only if the committed
+    /// value currently equals `expected` (`None` = the key must be absent).
+    ///
+    /// Returns `Ok(true)` if the swap committed, `Ok(false)` if the committed
+    /// value did not match `expected` (nothing is written), and
+    /// `Err(NoQuorum)` when a write quorum is unavailable — a CAS is a write
+    /// and must never "succeed" against a minority.
+    ///
+    /// This is the linearization primitive the in-store leader election
+    /// ([`crate::lease::StoreElection`]) builds on: the read of the committed
+    /// value and the conditional write happen under the same store locks, so
+    /// two racing campaigns cannot both acquire the lease.
+    pub fn compare_and_swap(
+        &self,
+        key: &str,
+        expected: Option<&str>,
+        new: impl Into<String>,
+    ) -> Result<bool, StoreError> {
+        if !self.has_quorum() {
+            return Err(StoreError::NoQuorum);
+        }
+        let mut log_length = self.log_length.write();
+        let mut replicas = self.replicas.write();
+        let current = replicas
+            .iter()
+            .filter(|r| !r.crashed)
+            .max_by_key(|r| r.applied_index)
+            .and_then(|r| r.data.get(key).cloned());
+        if current.as_deref() != expected {
+            return Ok(false);
+        }
+        *log_length += 1;
+        let index = *log_length;
+        let (key, value) = (key.to_string(), new.into());
+        for r in replicas.iter_mut().filter(|r| !r.crashed) {
+            r.data.insert(key.clone(), value.clone());
+            r.applied_index = index;
+        }
+        Ok(true)
+    }
+
     /// Number of committed writes (the replication log length).
     pub fn committed_writes(&self) -> u64 {
         *self.log_length.read()
@@ -254,6 +295,30 @@ mod tests {
         let keys = store.keys_with_prefix("log/entry/");
         assert_eq!(keys.len(), 4);
         assert!(keys.windows(2).all(|w| w[0] < w[1]), "sorted after recovery: {keys:?}");
+    }
+
+    #[test]
+    fn compare_and_swap_is_conditional_on_the_committed_value() {
+        let store = ReplicatedKvStore::new(1);
+        // Absent key: only the None-expectation succeeds.
+        assert_eq!(store.compare_and_swap("leader", Some("0 1"), "1 2"), Ok(false));
+        assert_eq!(store.compare_and_swap("leader", None, "0 1"), Ok(true));
+        assert_eq!(store.get("leader").unwrap(), "0 1");
+        // Present key: a stale expectation loses, the current value wins.
+        assert_eq!(store.compare_and_swap("leader", None, "9 9"), Ok(false));
+        assert_eq!(store.compare_and_swap("leader", Some("0 1"), "1 2"), Ok(true));
+        assert_eq!(store.get("leader").unwrap(), "1 2");
+    }
+
+    #[test]
+    fn compare_and_swap_requires_a_quorum() {
+        let store = ReplicatedKvStore::new(1);
+        store.put("leader", "0 1").unwrap();
+        store.crash_replica(0);
+        store.crash_replica(1);
+        assert_eq!(store.compare_and_swap("leader", Some("0 1"), "1 2"), Err(StoreError::NoQuorum));
+        // The surviving minority still serves the old value.
+        assert_eq!(store.get("leader").unwrap(), "0 1");
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! Shared fleet allocator for the sharded control plane: QPU capacity is
+//! handed to shards as exclusive *leases*. The allocator itself is volatile
+//! bookkeeping — the durable record of every grant/release is the
+//! [`ControlPlaneEvent::LeaseGranted`] / [`ControlPlaneEvent::LeaseReleased`]
+//! journal entries on the *granting* shard — so after any number of shard
+//! failovers the allocator is reconstructed from the per-shard lease sets
+//! with [`FleetAllocator::rebuild`], which enforces the no-double-grant
+//! invariant: two shards claiming the same QPU is a replay bug, not a state
+//! to silently merge.
+//!
+//! [`ControlPlaneEvent::LeaseGranted`]: crate::replication::ControlPlaneEvent::LeaseGranted
+//! [`ControlPlaneEvent::LeaseReleased`]: crate::replication::ControlPlaneEvent::LeaseReleased
+
+use std::collections::BTreeSet;
+
+/// A QPU claimed by more than one shard's journal — capacity would be
+/// double-granted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaseConflict {
+    /// The doubly-claimed QPU.
+    pub qpu_index: usize,
+    /// The shard that already held the lease.
+    pub held_by: usize,
+    /// The shard whose claim collided.
+    pub claimed_by: usize,
+}
+
+/// Exclusive-lease bookkeeping over the shared QPU fleet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetAllocator {
+    /// `owner_of[qpu] = Some(shard)` while leased.
+    owner_of: Vec<Option<usize>>,
+}
+
+impl FleetAllocator {
+    /// An allocator over `num_qpus` unleased QPUs.
+    pub fn new(num_qpus: usize) -> Self {
+        FleetAllocator { owner_of: vec![None; num_qpus] }
+    }
+
+    /// Number of QPUs under management.
+    pub fn num_qpus(&self) -> usize {
+        self.owner_of.len()
+    }
+
+    /// Grant `qpu_index` to `shard` if it is free (or already held by the
+    /// same shard — grants are idempotent per owner). Returns whether the
+    /// shard holds the lease afterwards.
+    pub fn try_grant(&mut self, shard: usize, qpu_index: usize) -> bool {
+        match self.owner_of[qpu_index] {
+            None => {
+                self.owner_of[qpu_index] = Some(shard);
+                true
+            }
+            Some(owner) => owner == shard,
+        }
+    }
+
+    /// Release `qpu_index` if `shard` holds it. Returns whether a lease was
+    /// released (a release by a non-owner is refused, not absorbed).
+    pub fn release(&mut self, shard: usize, qpu_index: usize) -> bool {
+        if self.owner_of[qpu_index] == Some(shard) {
+            self.owner_of[qpu_index] = None;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current lease holder of `qpu_index`.
+    pub fn owner(&self, qpu_index: usize) -> Option<usize> {
+        self.owner_of.get(qpu_index).copied().flatten()
+    }
+
+    /// QPU indices leased by `shard`, ascending.
+    pub fn leased_by(&self, shard: usize) -> Vec<usize> {
+        self.owner_of
+            .iter()
+            .enumerate()
+            .filter_map(|(qpu, owner)| (*owner == Some(shard)).then_some(qpu))
+            .collect()
+    }
+
+    /// Reconstruct the allocator from the per-shard journaled lease sets
+    /// (`shard_leases[s]` = the QPU indices shard `s` holds after replay).
+    /// Fails with the exact conflict if two shards claim one QPU — the
+    /// invariant a crash mid-lease must not break.
+    pub fn rebuild(
+        shard_leases: &[BTreeSet<usize>],
+        num_qpus: usize,
+    ) -> Result<Self, LeaseConflict> {
+        let mut allocator = FleetAllocator::new(num_qpus);
+        for (shard, held) in shard_leases.iter().enumerate() {
+            for &qpu_index in held {
+                if let Some(held_by) = allocator.owner(qpu_index) {
+                    return Err(LeaseConflict { qpu_index, held_by, claimed_by: shard });
+                }
+                allocator.owner_of[qpu_index] = Some(shard);
+            }
+        }
+        Ok(allocator)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_are_exclusive_and_idempotent_per_owner() {
+        let mut alloc = FleetAllocator::new(4);
+        assert!(alloc.try_grant(0, 2));
+        assert!(alloc.try_grant(0, 2), "re-grant to the owner is idempotent");
+        assert!(!alloc.try_grant(1, 2), "a held QPU is refused to another shard");
+        assert_eq!(alloc.owner(2), Some(0));
+        assert_eq!(alloc.leased_by(0), vec![2]);
+        assert_eq!(alloc.leased_by(1), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn release_is_owner_gated() {
+        let mut alloc = FleetAllocator::new(2);
+        alloc.try_grant(0, 1);
+        assert!(!alloc.release(1, 1), "a non-owner cannot release");
+        assert_eq!(alloc.owner(1), Some(0));
+        assert!(alloc.release(0, 1));
+        assert_eq!(alloc.owner(1), None);
+        assert!(!alloc.release(0, 1), "double release is refused");
+        assert!(alloc.try_grant(1, 1), "a released QPU is grantable again");
+    }
+
+    #[test]
+    fn rebuild_reconstructs_ownership_and_rejects_double_grants() {
+        let shard0: BTreeSet<usize> = [0, 2].into_iter().collect();
+        let shard1: BTreeSet<usize> = [1, 3].into_iter().collect();
+        let alloc = FleetAllocator::rebuild(&[shard0.clone(), shard1], 4).unwrap();
+        assert_eq!(alloc.owner(0), Some(0));
+        assert_eq!(alloc.owner(1), Some(1));
+        assert_eq!(alloc.leased_by(0), vec![0, 2]);
+
+        let overlapping: BTreeSet<usize> = [2, 3].into_iter().collect();
+        assert_eq!(
+            FleetAllocator::rebuild(&[shard0, overlapping], 4),
+            Err(LeaseConflict { qpu_index: 2, held_by: 0, claimed_by: 1 })
+        );
+    }
+}

@@ -37,12 +37,6 @@ const INFEASIBLE_EXEC_S: f64 = 1e6;
 /// zero-length jobs producing zero-time completions).
 const MIN_EXEC_S: f64 = 0.001;
 
-/// How many times a job may be pulled out of a batch at a recalibration
-/// boundary before it is dispatched anyway. A persistent backlog longer than
-/// the calibration period would otherwise starve the job one period at a
-/// time; after this many splits, a stale estimate beats never running.
-const MAX_DEFERRALS: u32 = 4;
-
 /// How the batch engine treats plans that cross a recalibration boundary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum CalibrationPolicy {
@@ -95,6 +89,19 @@ pub struct PendingJob {
     pub held_until_s: f64,
     /// The submission payload.
     pub spec: JobSpec,
+}
+
+impl PendingJob {
+    /// Park this job behind a recalibration boundary: count the deferral and
+    /// hold the job until the boundary instant. The two fields are only ever
+    /// written together — a deferral without a hold would let the trigger
+    /// re-plan the job against the same stale estimates in the same instant,
+    /// and a hold without the count would unbound the deferral budget — so
+    /// every park site goes through this one method.
+    fn park(&mut self, boundary_s: f64) {
+        self.deferrals += 1;
+        self.held_until_s = boundary_s;
+    }
 }
 
 /// Record of one trigger-gated batch dispatch (the unit of observability:
@@ -362,13 +369,18 @@ impl JobManager {
         let deferred = match self.policy {
             CalibrationPolicy::Naive => Vec::new(),
             CalibrationPolicy::SplitAtBoundary => {
-                let deferrals_of: HashMap<JobId, u32> = self
-                    .pending
-                    .iter()
-                    .filter(|j| Self::available_s(j) <= now_s)
-                    .map(|j| (j.job_id, j.deferrals))
-                    .collect();
-                split_at_boundaries(&outcome.planned, fleet, now_s, &deferrals_of)
+                // Cover the WHOLE pool, not just the jobs available at
+                // `now_s`: the budget lookup below must never miss a planned
+                // job and silently treat it as never-deferred.
+                let deferrals_of: HashMap<JobId, u32> =
+                    self.pending.iter().map(|j| (j.job_id, j.deferrals)).collect();
+                split_at_boundaries(
+                    &outcome.planned,
+                    fleet,
+                    now_s,
+                    &deferrals_of,
+                    scheduler.config().max_deferrals,
+                )
             }
         };
         let deferred_ids: HashMap<JobId, f64> = deferred.iter().copied().collect();
@@ -381,8 +393,7 @@ impl JobManager {
         let rejected: HashSet<JobId> = outcome.rejected_jobs.iter().copied().collect();
         self.pending.retain_mut(|job| {
             if let Some(&boundary_s) = deferred_ids.get(&job.job_id) {
-                job.deferrals += 1;
-                job.held_until_s = boundary_s;
+                job.park(boundary_s);
                 true
             } else if let Some(&qpu_index) = placement_of.get(&job.job_id) {
                 let duration = sanitized_exec_s(&job.spec, qpu_index);
@@ -588,8 +599,7 @@ impl JobManager {
         let rejected: HashSet<JobId> = rejected.iter().copied().collect();
         self.pending.retain_mut(|job| {
             if let Some(&boundary_s) = deferred.get(&job.job_id) {
-                job.deferrals += 1;
-                job.held_until_s = boundary_s;
+                job.park(boundary_s);
                 true
             } else {
                 !placed.contains(&job.job_id) && !rejected.contains(&job.job_id)
@@ -761,13 +771,16 @@ fn snapshot_digest(
 /// planned jobs are run through [`partition_at_boundary`] against that QPU's
 /// own next boundary. Returns the `(job id, boundary)` pairs to defer —
 /// straddling and post-boundary placements — except jobs already deferred
-/// [`MAX_DEFERRALS`] times, which dispatch anyway to avoid starvation behind
-/// a persistent backlog.
+/// `max_deferrals` times (`SchedulerConfig::max_deferrals`, paper default 4),
+/// which dispatch anyway to avoid starvation behind a persistent backlog.
+/// `deferrals_of` must cover every planned job; a missing entry would debit
+/// no budget.
 fn split_at_boundaries(
     planned: &[PlannedJob],
     fleet: &Fleet,
     now_s: f64,
     deferrals_of: &HashMap<JobId, u32>,
+    max_deferrals: u32,
 ) -> Vec<(JobId, f64)> {
     let mut per_qpu: BTreeMap<usize, Vec<PlannedJob>> = BTreeMap::new();
     for job in planned {
@@ -781,7 +794,7 @@ fn split_at_boundaries(
         let boundary_s = fleet.members()[qpu_index].qpu.clock.next_boundary_s;
         let partition = partition_at_boundary(&timeline, boundary_s);
         for job in partition.straddling.iter().chain(&partition.after) {
-            if deferrals_of.get(&job.job_id).copied().unwrap_or(0) < MAX_DEFERRALS {
+            if deferrals_of.get(&job.job_id).copied().unwrap_or(0) < max_deferrals {
                 deferred.push((job.job_id, boundary_s));
             }
         }
@@ -1073,8 +1086,9 @@ mod tests {
         let _ = ids;
     }
 
-    /// The deferral budget bounds starvation: after [`MAX_DEFERRALS`] splits
-    /// a job dispatches even though its plan still crosses a boundary.
+    /// The deferral budget bounds starvation: after
+    /// `SchedulerConfig::max_deferrals` splits a job dispatches even though
+    /// its plan still crosses a boundary.
     #[test]
     fn deferral_budget_eventually_dispatches_a_perpetually_straddling_job() {
         let mut fleet = solo_fleet(100.0, 5);
@@ -1096,6 +1110,26 @@ mod tests {
         dispatched_at.expect("the deferral budget must force a dispatch");
         assert_eq!(fleet.members()[0].queue.pending_len(), 1, "job {id} was enqueued");
         assert_eq!(jm.pending_len(), 0, "the pool drained");
+    }
+
+    /// `max_deferrals` is a live `SchedulerConfig` knob, not a hidden const:
+    /// a zero budget disables boundary deferral entirely — the straddling
+    /// batch from `fully_straddling_batch_defers_everything_until_the_boundary`
+    /// dispatches on the first cycle instead.
+    #[test]
+    fn zero_deferral_budget_disables_boundary_parking() {
+        let mut fleet = solo_fleet(100.0, 4);
+        let mut jm = JobManager::new(ScheduleTrigger::new(3, 1e12))
+            .with_calibration_policy(CalibrationPolicy::SplitAtBoundary);
+        for _ in 0..3 {
+            jm.submit(spec(&fleet, 5, 200.0), 0.0);
+        }
+        let sched =
+            HybridScheduler::new(SchedulerConfig { max_deferrals: 0, ..*scheduler().config() });
+        let batch = jm.try_dispatch(0.0, &sched, &mut fleet).expect("trigger fires");
+        assert!(batch.deferred.is_empty(), "a zero budget parks nothing");
+        assert_eq!(batch.enqueued_job_ids().len(), 3);
+        assert_eq!(jm.pending_len(), 0);
     }
 
     /// Re-estimation: stale pending specs are found by epoch comparison and

@@ -15,15 +15,18 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod fleetlease;
 pub mod jobmanager;
 pub mod monitor;
 pub mod orchestrator;
 pub mod registry;
 pub mod replication;
+pub mod sharding;
 pub mod submission;
 pub mod workflow;
 
 pub use config::{DeploymentConfig, Priority, ResourceLimits};
+pub use fleetlease::{FleetAllocator, LeaseConflict};
 pub use jobmanager::{
     BatchRecord, CalibrationPolicy, CompletedExecution, JobId, JobManager, JobSpec, PendingJob,
     TenantId, DEFAULT_TENANT,
@@ -38,6 +41,7 @@ pub use registry::{HybridWorkflowImage, ImageId, WorkflowRegistry};
 pub use replication::{
     ControlPlaneEvent, DispatchOutcome, FailoverError, ReplicatedControlPlane, ReplicationError,
 };
+pub use sharding::{shard_of_global, GlobalTicket, ShardedControlPlane};
 pub use submission::{
     JobTicket, SubmissionError, SubmissionService, TenantConfig, TenantStats, TicketId,
     TicketStatus,

@@ -21,8 +21,9 @@ use crate::submission::{
     JobTicket, SubmissionError, SubmissionService, TenantConfig, TicketStatus,
 };
 use qonductor_backend::{CompletedJob, Fleet};
-use qonductor_consensus::{Cluster, LogEntry, ReplicatedKvStore, ReplicatedLog, StoreError};
+use qonductor_consensus::{LogEntry, ReplicatedKvStore, ReplicatedLog, StoreElection, StoreError};
 use qonductor_scheduler::{HybridScheduler, ScheduleTrigger};
+use std::collections::BTreeSet;
 
 /// Bit-exact text codecs shared by the journal and the state snapshots.
 pub(crate) mod wire {
@@ -164,6 +165,22 @@ pub enum ControlPlaneEvent {
         /// Simulated finish time.
         finish_s: f64,
     },
+    /// This control-plane shard was granted a lease on one fleet QPU by the
+    /// shared fleet allocator. Journaled on the *granting* shard (the shard
+    /// that will submit to the QPU) **before** the lease is used, so a crash
+    /// between grant and first use replays the grant — capacity is neither
+    /// leaked (the rebuilt shard still holds the lease) nor double-granted
+    /// (the allocator is rebuilt from the per-shard lease sets and rejects
+    /// overlaps).
+    LeaseGranted {
+        /// Index of the leased QPU in the shared fleet.
+        qpu_index: usize,
+    },
+    /// This shard returned a QPU lease to the shared fleet allocator.
+    LeaseReleased {
+        /// Index of the released QPU in the shared fleet.
+        qpu_index: usize,
+    },
 }
 
 impl LogEntry for ControlPlaneEvent {
@@ -218,6 +235,8 @@ impl LogEntry for ControlPlaneEvent {
                     enc_f64(*finish_s)
                 )
             }
+            ControlPlaneEvent::LeaseGranted { qpu_index } => format!("lgr {qpu_index}"),
+            ControlPlaneEvent::LeaseReleased { qpu_index } => format!("lrl {qpu_index}"),
         }
     }
 
@@ -295,6 +314,8 @@ impl LogEntry for ControlPlaneEvent {
                 start_s: dec_f64(fields.next()?)?,
                 finish_s: dec_f64(fields.next()?)?,
             },
+            "lgr" => ControlPlaneEvent::LeaseGranted { qpu_index: fields.next()?.parse().ok()? },
+            "lrl" => ControlPlaneEvent::LeaseReleased { qpu_index: fields.next()?.parse().ok()? },
             _ => return None,
         };
         if fields.next().is_some() {
@@ -347,29 +368,43 @@ pub struct DispatchOutcome {
 
 /// The journaled control plane: a [`JobManager`] + [`SubmissionService`] pair
 /// whose every state transition is appended to a quorum-replicated log before
-/// it is applied, with leadership decided by a Raft-style [`Cluster`].
+/// it is applied, with leadership decided *inside* the store: the leader
+/// lease is a CAS'd key in the same quorum KV that holds the journal
+/// ([`StoreElection`]), so election and data share one fault domain — there
+/// is no window where an election cluster has a leader the data replicas
+/// cannot serve.
 ///
 /// Write-ahead discipline: journal first, apply second — so the replicated
 /// log can only ever be *ahead* of the volatile state, never behind, and a
 /// crash between the two replays the tail event idempotently on recovery.
 /// ([`Self::try_dispatch`] is the one post-hoc journal: the scheduler outcome
 /// must be computed to be journaled, so it pre-checks quorum instead.)
+///
+/// In a sharded deployment ([`crate::sharding::ShardedControlPlane`]) each
+/// shard is one `ReplicatedControlPlane` that additionally journals the QPU
+/// leases it holds from the shared fleet allocator
+/// ([`crate::fleetlease::FleetAllocator`]); [`Self::leases`] is rebuilt by
+/// `snapshot + log replay` exactly like the engine state.
 #[derive(Debug)]
 pub struct ReplicatedControlPlane {
-    cluster: Cluster,
+    election: StoreElection,
     log: ReplicatedLog<ControlPlaneEvent>,
     jobmanager: JobManager,
     submissions: SubmissionService,
+    /// Fleet QPU indices this shard currently leases (journaled state).
+    leases: BTreeSet<usize>,
 }
 
 impl ReplicatedControlPlane {
     /// A control plane whose engine is gated by `trigger` (calibration-naive
-    /// dispatch), journaling to a fresh store of `2f + 1` replicas, with a
-    /// `2f + 1`-node leader-election cluster seeded by `seed`. Installs a
-    /// genesis snapshot so a replica can always rebuild, and elects the
-    /// initial leader.
-    pub fn new(trigger: ScheduleTrigger, fault_tolerance: usize, seed: u64) -> Self {
-        Self::with_policy(trigger, CalibrationPolicy::default(), fault_tolerance, seed)
+    /// dispatch), journaling to a fresh store of `2f + 1` replicas, with
+    /// `2f + 1` electable control nodes whose leader lease lives in that same
+    /// store. Installs a genesis snapshot so a replica can always rebuild,
+    /// and elects the initial leader. (`_seed` is retained for API
+    /// compatibility with the old message-passing election; the in-store
+    /// election is deterministic.)
+    pub fn new(trigger: ScheduleTrigger, fault_tolerance: usize, _seed: u64) -> Self {
+        Self::with_policy(trigger, CalibrationPolicy::default(), fault_tolerance, _seed)
     }
 
     /// [`Self::new`] with an explicit calibration policy for the batch engine
@@ -379,17 +414,18 @@ impl ReplicatedControlPlane {
         trigger: ScheduleTrigger,
         policy: CalibrationPolicy,
         fault_tolerance: usize,
-        seed: u64,
+        _seed: u64,
     ) -> Self {
         let store = ReplicatedKvStore::new(fault_tolerance);
-        let log = ReplicatedLog::new(store, "ctl");
-        let mut cluster = Cluster::new(2 * fault_tolerance + 1, seed);
-        cluster.run_until_leader(2_000);
+        let log = ReplicatedLog::new(store.clone(), "ctl");
+        let mut election = StoreElection::new(store, "ctl", 2 * fault_tolerance + 1);
+        election.run_until_leader(2_000);
         let plane = ReplicatedControlPlane {
-            cluster,
+            election,
             log,
             jobmanager: JobManager::new(trigger).with_calibration_policy(policy),
             submissions: SubmissionService::new(),
+            leases: BTreeSet::new(),
         };
         plane.log.install_snapshot(&plane.encode_state(), 0).expect("fresh store has a quorum");
         plane
@@ -406,9 +442,10 @@ impl ReplicatedControlPlane {
         &self.submissions
     }
 
-    /// The leader-election cluster.
-    pub fn cluster(&self) -> &Cluster {
-        &self.cluster
+    /// The in-store leader election (the leader lease lives in the same
+    /// quorum KV as the journal).
+    pub fn election(&self) -> &StoreElection {
+        &self.election
     }
 
     /// The journal.
@@ -422,9 +459,10 @@ impl ReplicatedControlPlane {
         self.log.store()
     }
 
-    /// The current control-plane leader, if one is elected and alive.
+    /// The current control-plane leader, if one holds a live lease in the
+    /// store.
     pub fn leader(&self) -> Option<usize> {
-        self.cluster.leader()
+        self.election.leader()
     }
 
     /// Register a tenant with the given weight (journaled).
@@ -602,6 +640,37 @@ impl ReplicatedControlPlane {
         Ok(self.submissions.note_completions(completions))
     }
 
+    /// Take a lease on one fleet QPU (journaled *before* the lease is used:
+    /// write-ahead, so a crash between grant and first use replays the grant
+    /// and the capacity is neither leaked nor double-granted). Returns
+    /// `Ok(false)`, journaling nothing, if this shard already holds the
+    /// lease.
+    pub fn lease_qpu(&mut self, qpu_index: usize) -> Result<bool, ReplicationError> {
+        if self.leases.contains(&qpu_index) {
+            return Ok(false);
+        }
+        self.log.append(&ControlPlaneEvent::LeaseGranted { qpu_index })?;
+        self.leases.insert(qpu_index);
+        Ok(true)
+    }
+
+    /// Return a QPU lease to the shared allocator (journaled). Returns
+    /// `Ok(false)`, journaling nothing, if this shard does not hold the
+    /// lease.
+    pub fn release_qpu(&mut self, qpu_index: usize) -> Result<bool, ReplicationError> {
+        if !self.leases.contains(&qpu_index) {
+            return Ok(false);
+        }
+        self.log.append(&ControlPlaneEvent::LeaseReleased { qpu_index })?;
+        self.leases.remove(&qpu_index);
+        Ok(true)
+    }
+
+    /// Fleet QPU indices this shard currently leases.
+    pub fn leases(&self) -> &BTreeSet<usize> {
+        &self.leases
+    }
+
     /// Earliest next completion across the fleet (delegates to the engine).
     pub fn next_event_s(&self, fleet: &Fleet) -> Option<f64> {
         self.jobmanager.next_event_s(fleet)
@@ -628,31 +697,35 @@ impl ReplicatedControlPlane {
         self.encode_state()
     }
 
-    /// Crash the elected leader: its node stops heartbeating and the
-    /// *volatile* control-plane state dies with it. The replicated journal
-    /// (and any installed snapshot) survives on the store replicas. State is
-    /// unusable until [`Self::failover`] rebuilds it.
+    /// Crash the elected leader: its lease becomes invalid and the *volatile*
+    /// control-plane state (engine, submission service, lease set) dies with
+    /// it. The replicated journal (and any installed snapshot) survives on
+    /// the store replicas. State is unusable until [`Self::failover`]
+    /// rebuilds it.
     pub fn crash_leader(&mut self) {
-        if let Some(leader) = self.cluster.leader() {
-            self.cluster.crash(leader);
+        if let Some(leader) = self.election.leader() {
+            self.election.crash(leader);
         }
         self.jobmanager = JobManager::default();
         self.submissions = SubmissionService::new();
+        self.leases = BTreeSet::new();
     }
 
-    /// Fail over to a recovered replica: elect a new leader, rebuild the
-    /// engine + submission service deterministically from `snapshot + log
-    /// replay`, install the rebuilt pair as the live state, and let crashed
-    /// nodes rejoin as followers. Returns clones of the rebuilt pair for
-    /// inspection.
+    /// Fail over to a recovered replica: elect a new leader (a CAS on the
+    /// lease key — impossible without the store quorum, by design), rebuild
+    /// the engine + submission service + lease set deterministically from
+    /// `snapshot + log replay`, install the rebuilt state as live, and let
+    /// crashed nodes rejoin as followers. Returns clones of the rebuilt
+    /// engine pair for inspection.
     pub fn failover(&mut self) -> Result<(JobManager, SubmissionService), FailoverError> {
-        self.cluster.run_until_leader(5_000).ok_or(FailoverError::NoLeader)?;
-        let (jobmanager, submissions) = self.rebuild()?;
+        self.election.run_until_leader(5_000).ok_or(FailoverError::NoLeader)?;
+        let (jobmanager, submissions, leases) = self.rebuild_parts()?;
         self.jobmanager = jobmanager.clone();
         self.submissions = submissions.clone();
-        for id in 0..self.cluster.len() {
-            if self.cluster.node(id).crashed {
-                self.cluster.recover(id);
+        self.leases = leases;
+        for id in 0..self.election.len() {
+            if self.election.is_crashed(id) {
+                self.election.recover(id);
             }
         }
         Ok((jobmanager, submissions))
@@ -660,15 +733,24 @@ impl ReplicatedControlPlane {
 
     /// Rebuild a `(JobManager, SubmissionService)` pair from the replicated
     /// store without touching the live state: restore the latest snapshot,
-    /// then replay every retained journal entry after it, in order.
+    /// then replay every retained journal entry after it, in order. (The
+    /// journaled lease set is rebuilt the same way; see [`Self::leases`] on a
+    /// failed-over plane.)
     pub fn rebuild(&self) -> Result<(JobManager, SubmissionService), FailoverError> {
+        let (jobmanager, submissions, _) = self.rebuild_parts()?;
+        Ok((jobmanager, submissions))
+    }
+
+    fn rebuild_parts(
+        &self,
+    ) -> Result<(JobManager, SubmissionService, BTreeSet<usize>), FailoverError> {
         let (from, payload) = self.log.snapshot().ok_or(FailoverError::MissingSnapshot)?;
-        let (mut jobmanager, mut submissions) =
+        let (mut jobmanager, mut submissions, mut leases) =
             decode_combined_state(&payload).ok_or(FailoverError::CorruptState)?;
         for (_, event) in self.log.entries_from(from) {
-            apply_event(&mut jobmanager, &mut submissions, &event);
+            apply_event(&mut jobmanager, &mut submissions, &mut leases, &event);
         }
-        Ok((jobmanager, submissions))
+        Ok((jobmanager, submissions, leases))
     }
 
     /// Number of journal entries a failover right now would replay on top of
@@ -679,18 +761,38 @@ impl ReplicatedControlPlane {
     }
 
     fn encode_state(&self) -> String {
-        format!("{}\n{}", self.jobmanager.encode_state(), self.submissions.encode_state())
+        let base =
+            format!("{}\n{}", self.jobmanager.encode_state(), self.submissions.encode_state());
+        if self.leases.is_empty() {
+            // Lease-free planes (every pre-sharding deployment) keep their
+            // historical digest format.
+            base
+        } else {
+            let held = self.leases.iter().map(usize::to_string).collect::<Vec<_>>().join(",");
+            format!("{base}\nlease {held}")
+        }
     }
 }
 
-/// Split a combined snapshot payload at the submission-service header and
-/// decode both halves.
-fn decode_combined_state(payload: &str) -> Option<(JobManager, SubmissionService)> {
+/// Split a combined snapshot payload into the engine state, the
+/// submission-service state, and the (possibly absent) lease section, and
+/// decode all three.
+fn decode_combined_state(
+    payload: &str,
+) -> Option<(JobManager, SubmissionService, BTreeSet<usize>)> {
+    let (payload, leases) = match payload.find("\nlease ") {
+        Some(at) => {
+            let (rest, lease_part) = payload.split_at(at);
+            let held = lease_part.trim_start_matches('\n').strip_prefix("lease ")?;
+            (rest, held.split(',').map(str::parse).collect::<Result<_, _>>().ok()?)
+        }
+        None => (payload, BTreeSet::new()),
+    };
     let split = payload.find("\nsvc ")?;
     let (jm_part, svc_part) = payload.split_at(split);
     let jobmanager = JobManager::decode_state(jm_part)?;
     let submissions = SubmissionService::decode_state(svc_part.trim_start_matches('\n'))?;
-    Some((jobmanager, submissions))
+    Some((jobmanager, submissions, leases))
 }
 
 /// Apply one journaled event to a rebuilding state pair. Every arm is
@@ -699,6 +801,7 @@ fn decode_combined_state(payload: &str) -> Option<(JobManager, SubmissionService
 fn apply_event(
     jobmanager: &mut JobManager,
     submissions: &mut SubmissionService,
+    leases: &mut BTreeSet<usize>,
     event: &ControlPlaneEvent,
 ) {
     match event {
@@ -735,6 +838,12 @@ fn apply_event(
                     finish_time_s: *finish_s,
                 },
             }]);
+        }
+        ControlPlaneEvent::LeaseGranted { qpu_index } => {
+            leases.insert(*qpu_index);
+        }
+        ControlPlaneEvent::LeaseReleased { qpu_index } => {
+            leases.remove(qpu_index);
         }
     }
 }
@@ -832,6 +941,8 @@ mod tests {
                 start_s: 2.5,
                 finish_s: 7.125,
             },
+            ControlPlaneEvent::LeaseGranted { qpu_index: 6 },
+            ControlPlaneEvent::LeaseReleased { qpu_index: 6 },
         ];
         for event in events {
             let line = event.encode();
@@ -998,6 +1109,67 @@ mod tests {
         plane.crash_leader();
         plane.failover().expect("failover succeeds");
         assert_eq!(plane.state_digest(), digest, "direct dispatch replayed");
+    }
+
+    /// The mid-lease crash the sharded fleet allocator must survive: the
+    /// leader dies *between* the lease-journal-append and any use of the
+    /// lease. Replay must restore the lease exactly — not leaked (the rebuilt
+    /// shard still holds it) and not double-granted (releases replay too, and
+    /// re-granting a held lease journals nothing).
+    #[test]
+    fn lease_grants_survive_a_crash_between_append_and_use() {
+        let mut plane = ReplicatedControlPlane::new(ScheduleTrigger::default(), 1, 3);
+        assert!(plane.lease_qpu(2).unwrap());
+        assert!(plane.lease_qpu(5).unwrap());
+        assert!(!plane.lease_qpu(2).unwrap(), "re-granting a held lease journals nothing");
+        let journaled = plane.log().len();
+        let digest = plane.state_digest();
+        assert!(digest.contains("\nlease 2,5"), "the lease set is part of the digest");
+
+        // Crash immediately: the grants were journaled but never used.
+        plane.crash_leader();
+        assert!(plane.leases().is_empty(), "volatile lease state died with the leader");
+        plane.failover().expect("failover succeeds");
+        assert_eq!(plane.state_digest(), digest, "replay restored the exact lease set");
+        assert_eq!(plane.leases().iter().copied().collect::<Vec<_>>(), vec![2, 5]);
+        assert_eq!(plane.log().len(), journaled, "failover appends nothing");
+
+        // Releases are journaled and replay symmetrically — including a
+        // crash between the release-append and anything observing it.
+        assert!(plane.release_qpu(2).unwrap());
+        assert!(!plane.release_qpu(2).unwrap(), "double release journals nothing");
+        let digest = plane.state_digest();
+        plane.crash_leader();
+        plane.failover().expect("failover succeeds");
+        assert_eq!(plane.state_digest(), digest);
+        assert_eq!(plane.leases().iter().copied().collect::<Vec<_>>(), vec![5]);
+
+        // A snapshot folds the lease set into the baseline: replay from the
+        // compacted journal still reproduces it.
+        plane.snapshot().unwrap();
+        assert!(plane.lease_qpu(0).unwrap());
+        let digest = plane.state_digest();
+        plane.crash_leader();
+        plane.failover().expect("failover succeeds");
+        assert_eq!(plane.state_digest(), digest);
+        assert_eq!(plane.leases().iter().copied().collect::<Vec<_>>(), vec![0, 5]);
+    }
+
+    /// Election-in-store: leadership lives in the same quorum KV as the
+    /// journal, so losing the store majority blocks failover itself — the
+    /// split-brain window where an election cluster disagrees with the data
+    /// replicas cannot exist.
+    #[test]
+    fn failover_is_impossible_without_the_store_quorum() {
+        let mut plane = ReplicatedControlPlane::new(ScheduleTrigger::default(), 1, 4);
+        assert!(plane.leader().is_some());
+        plane.crash_leader();
+        plane.store().crash_replica(0);
+        plane.store().crash_replica(1);
+        assert!(matches!(plane.failover(), Err(FailoverError::NoLeader)));
+        plane.store().recover_replica(0);
+        plane.failover().expect("failover resumes with the quorum");
+        assert!(plane.leader().is_some());
     }
 
     #[test]

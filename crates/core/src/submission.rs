@@ -340,6 +340,14 @@ impl SubmissionService {
                     continue;
                 }
                 if tenant.in_flight >= tenant.config.max_in_flight {
+                    // A backlogged tenant skipped only for being at its
+                    // in-flight cap keeps its earned service credit — losing
+                    // it here would permanently skew long-run weighted shares
+                    // every time the cap binds. Clamp to one quantum so the
+                    // carried credit cannot compound into an unbounded burst
+                    // when the cap lifts.
+                    let quantum = u64::from(tenant.config.weight);
+                    tenant.deficit = (tenant.deficit + quantum).min(quantum);
                     continue;
                 }
                 tenant.deficit += u64::from(tenant.config.weight);
@@ -730,6 +738,75 @@ mod tests {
         let resolved = svc.note_completions(&done);
         assert_eq!(resolved.len(), 2);
         assert_eq!(svc.admit(1.0, &mut jm).len(), 2);
+    }
+
+    /// Regression for the DRR credit-loss bug: a tenant skipped for being at
+    /// its in-flight cap must keep its earned service credit — clamped to one
+    /// quantum — instead of silently losing it, and must converge back to its
+    /// weighted share once the cap lifts.
+    #[test]
+    fn capped_tenant_keeps_bounded_credit_and_reconverges_to_its_share() {
+        let fleet = small_fleet(5);
+        let mut svc = SubmissionService::new();
+        let heavy =
+            svc.register_tenant_with(TenantConfig { weight: 2, max_in_flight: 6, max_retries: 0 });
+        let light = svc.register_tenant_with(TenantConfig::weighted(1));
+        let mut jm = JobManager::new(ScheduleTrigger::new(6, 1e12));
+        let job = spec(&fleet, 5, 1.0);
+        let qpu = job.exec_time_per_qpu.iter().position(|e| e.is_finite()).expect("feasible QPU");
+        let mut fleet = fleet;
+
+        // Phase 1 — only the heavy tenant is active: one pass fills its
+        // in-flight cap, and the dispatched jobs stay in flight.
+        for _ in 0..40 {
+            svc.submit(heavy, job.clone(), 0.0).unwrap();
+        }
+        let burst = svc.admit(0.0, &mut jm);
+        assert_eq!(burst.len(), 6, "the first pass fills the in-flight cap");
+        for &(_, job_id) in &burst {
+            assert!(jm.dispatch_direct(job_id, qpu, &mut fleet));
+        }
+
+        // While capped, every admission pass grants the quantum but clamps
+        // the carried credit at exactly one quantum: not zeroed (the bug),
+        // not compounding (unbounded post-cap burst).
+        for pass in 1..=4 {
+            assert!(svc.admit(pass as f64, &mut jm).is_empty(), "capped tenant admits nothing");
+            assert_eq!(
+                svc.tenants[&heavy].deficit, 2,
+                "pass {pass}: carried credit is exactly one quantum"
+            );
+        }
+
+        // The cap lifts: completions return the heavy tenant below its cap.
+        let mut rng = StdRng::seed_from_u64(7);
+        fleet.advance_to(100.0, &mut rng);
+        assert_eq!(svc.note_completions(&jm.drain_completions(&mut fleet)).len(), 6);
+        for _ in 0..40 {
+            svc.submit(light, job.clone(), 100.0).unwrap();
+        }
+
+        // Post-lift passes: the carried quantum buys bounded catch-up on the
+        // first pass, then steady state settles at the 2:1 weighted share.
+        let (mut heavy_admitted, mut light_admitted) = (0usize, 0usize);
+        for pass in 0..6 {
+            let t = 200.0 + 100.0 * pass as f64;
+            let admitted = svc.admit(t, &mut jm);
+            assert_eq!(admitted.len(), 6, "uncapped passes fill the pool");
+            heavy_admitted += admitted.iter().filter(|(t, _)| t.tenant == heavy).count();
+            light_admitted += admitted.iter().filter(|(t, _)| t.tenant == light).count();
+            for &(_, job_id) in &admitted {
+                assert!(jm.dispatch_direct(job_id, qpu, &mut fleet));
+            }
+            fleet.advance_to(t + 50.0, &mut rng);
+            svc.note_completions(&jm.drain_completions(&mut fleet));
+        }
+        let share = heavy_admitted as f64 / (heavy_admitted + light_admitted) as f64;
+        assert!(
+            (share - 2.0 / 3.0).abs() <= 0.0667,
+            "heavy share {share:.3} must converge to 2:1 ±10% after the cap lifts \
+             ({heavy_admitted}:{light_admitted})"
+        );
     }
 
     #[test]

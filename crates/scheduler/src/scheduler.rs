@@ -31,6 +31,18 @@ pub struct SchedulerConfig {
     /// keeps every outcome bit-identical to the horizon-less path.
     #[serde(default)]
     pub boundary_penalty_weight: f64,
+    /// How many times a single job may be parked at a calibration boundary
+    /// (`CalibrationPolicy::SplitAtBoundary`) before the dispatch layer stops
+    /// deferring it and lets it run across the boundary. Bounds the worst-case
+    /// added latency of boundary splitting to `max_deferrals` recalibration
+    /// periods; 0 disables deferral entirely.
+    #[serde(default = "default_max_deferrals")]
+    pub max_deferrals: u32,
+}
+
+/// Paper-default deferral budget (see `SchedulerConfig::max_deferrals`).
+fn default_max_deferrals() -> u32 {
+    4
 }
 
 impl Default for SchedulerConfig {
@@ -39,6 +51,7 @@ impl Default for SchedulerConfig {
             nsga2: Nsga2Config::default(),
             preference: Preference::balanced(),
             boundary_penalty_weight: 0.0,
+            max_deferrals: default_max_deferrals(),
         }
     }
 }

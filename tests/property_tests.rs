@@ -642,6 +642,12 @@ enum ControlOp {
     /// Checkpoint: install a snapshot and compact the journal (moves the
     /// replay baseline, so later crash points restore `snapshot + log[..k]`).
     Snapshot,
+    /// Take a fleet-QPU lease (journaled before use; idempotent re-grants
+    /// append nothing, so replay can't double-count them).
+    Lease { qpu_index: usize },
+    /// Return a fleet-QPU lease (journaled; releasing an unheld lease is a
+    /// no-op that appends nothing).
+    Release { qpu_index: usize },
 }
 
 /// Execute an op sequence against a fresh replicated control plane; if
@@ -709,6 +715,12 @@ fn run_control_ops(
             ControlOp::Snapshot => {
                 plane.snapshot().expect("quorum");
             }
+            ControlOp::Lease { qpu_index } => {
+                plane.lease_qpu(qpu_index % fleet.members().len()).expect("quorum");
+            }
+            ControlOp::Release { qpu_index } => {
+                plane.release_qpu(qpu_index % fleet.members().len()).expect("quorum");
+            }
         }
     }
     if crash_at == Some(ops.len()) {
@@ -734,7 +746,8 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(120))]
 
     /// For an arbitrary interleaving of submit / admit+dispatch / complete /
-    /// snapshot ops and an arbitrary crash point `k`: killing the leader
+    /// snapshot / lease-grant / lease-release ops and an arbitrary crash
+    /// point `k`: killing the leader
     /// before op `k` and rebuilding from `restore(snapshot, log[..k])`, then
     /// replaying the remaining ops (`log[k..]`), yields a final control-plane
     /// state **byte-for-byte identical** to the uninterrupted run — same
@@ -757,10 +770,14 @@ proptest! {
                         // replay also covers rejection + bounded retry.
                         qubits: if rng.gen_bool(0.1) { 40 } else { rng.gen_range(2..=20) },
                     }
-                } else if roll < 0.9 {
+                } else if roll < 0.8 {
                     ControlOp::Drive { dt_s: rng.gen_range(1.0..50.0) }
-                } else {
+                } else if roll < 0.9 {
                     ControlOp::Snapshot
+                } else if roll < 0.95 {
+                    ControlOp::Lease { qpu_index: rng.gen_range(0..8) }
+                } else {
+                    ControlOp::Release { qpu_index: rng.gen_range(0..8) }
                 }
             })
             .collect();
