@@ -6,7 +6,7 @@
 //! Figure 2(b) (≈38% best-to-worst spread on a 12-qubit GHZ circuit) is
 //! reproduced, with auckland the best device and algiers the worst.
 
-use crate::qpu::{Qpu, QpuModel, TemplateQpu};
+use crate::qpu::{Qpu, QpuModel, ResourceClass, TemplateQpu};
 use crate::queue::JobQueue;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -79,6 +79,54 @@ impl Fleet {
                     qpu: Qpu::new(format!("qpu_{i:02}"), QpuModel::falcon_27(), quality, rng),
                     queue: JobQueue::new(),
                 }
+            })
+            .collect();
+        Fleet { members }
+    }
+
+    /// A heterogeneous federation-style fleet mixing resource classes and
+    /// regions: four superconducting Falcons split across `us-east` and
+    /// `eu-central`, one premium all-to-all ion trap, and one near-free
+    /// simulator mirroring the Falcon topology. Used by the federation
+    /// scenarios (cost × fidelity × turnaround placement studies).
+    pub fn heterogeneous<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let spec: Vec<(&str, f64, QpuModel, ResourceClass, &str, f64)> = vec![
+            (
+                "auckland",
+                0.70,
+                QpuModel::falcon_27(),
+                ResourceClass::Superconducting,
+                "us-east",
+                1.2,
+            ),
+            ("hanoi", 0.85, QpuModel::falcon_27(), ResourceClass::Superconducting, "us-east", 1.0),
+            (
+                "cairo",
+                1.00,
+                QpuModel::falcon_27(),
+                ResourceClass::Superconducting,
+                "eu-central",
+                0.8,
+            ),
+            (
+                "kolkata",
+                1.20,
+                QpuModel::falcon_27(),
+                ResourceClass::Superconducting,
+                "eu-central",
+                0.6,
+            ),
+            ("ion_forte", 0.60, QpuModel::trapped_ion(25), ResourceClass::IonTrap, "us-east", 3.5),
+            ("sim_aer", 1.35, QpuModel::falcon_27(), ResourceClass::Simulator, "eu-central", 0.05),
+        ];
+        let members = spec
+            .into_iter()
+            .map(|(name, quality, model, class, region, cost)| FleetMember {
+                qpu: Qpu::new(name, model, quality, rng)
+                    .with_resource_class(class)
+                    .with_region(region)
+                    .with_cost_per_shot(cost),
+                queue: JobQueue::new(),
             })
             .collect();
         Fleet { members }
@@ -165,6 +213,31 @@ impl Fleet {
         self.members.iter().map(|m| m.qpu.clock.next_boundary_s).min_by(|a, b| a.total_cmp(b))
     }
 
+    /// Per-QPU shot costs, indexed like [`Fleet::members`]. The vector a
+    /// cost-aware scheduler attaches to its [`SchedulingProblem`]
+    /// (`qonductor_scheduler`) as the cost objective lane.
+    pub fn cost_per_shot_per_qpu(&self) -> Vec<f64> {
+        self.members.iter().map(|m| m.qpu.cost_per_shot).collect()
+    }
+
+    /// Schedule a maintenance window on every device hosted in `region` —
+    /// a seeded regional outage. Returns how many devices were affected.
+    pub fn schedule_region_outage(&mut self, region: &str, start_s: f64, end_s: f64) -> usize {
+        let mut affected = 0;
+        for m in &mut self.members {
+            if m.qpu.region == region {
+                m.qpu.add_maintenance_window(start_s, end_s);
+                affected += 1;
+            }
+        }
+        affected
+    }
+
+    /// Indices of members currently inside a maintenance window at `t`.
+    pub fn in_maintenance_at(&self, t: f64) -> Vec<usize> {
+        (0..self.members.len()).filter(|&i| self.members[i].qpu.in_maintenance(t)).collect()
+    }
+
     /// The same fleet with every member recalibrating every `period_s`
     /// seconds (next boundaries snap to multiples of the new period after
     /// `now_s`) — drift scenarios shorten the cadence to force crossovers.
@@ -221,6 +294,39 @@ mod tests {
             let fleet = Fleet::scaled(n, &mut rng);
             assert_eq!(fleet.len(), n);
         }
+    }
+
+    #[test]
+    fn heterogeneous_fleet_mixes_classes_and_regions() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let fleet = Fleet::heterogeneous(&mut rng);
+        assert_eq!(fleet.len(), 6);
+        let classes: Vec<ResourceClass> =
+            fleet.members().iter().map(|m| m.qpu.resource_class).collect();
+        assert!(classes.contains(&ResourceClass::Superconducting));
+        assert!(classes.contains(&ResourceClass::IonTrap));
+        assert!(classes.contains(&ResourceClass::Simulator));
+        let costs = fleet.cost_per_shot_per_qpu();
+        assert_eq!(costs.len(), 6);
+        assert!(costs.iter().all(|&c| c > 0.0));
+        // The simulator is the cheapest resource, the ion trap the priciest.
+        let sim = fleet.by_name("sim_aer").unwrap();
+        assert!(costs.iter().all(|&c| c >= sim.qpu.cost_per_shot));
+        let ion = fleet.by_name("ion_forte").unwrap();
+        assert!(costs.iter().all(|&c| c <= ion.qpu.cost_per_shot));
+    }
+
+    #[test]
+    fn region_outage_holes_only_that_region() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut fleet = Fleet::heterogeneous(&mut rng);
+        let affected = fleet.schedule_region_outage("eu-central", 1000.0, 2000.0);
+        assert_eq!(affected, 3);
+        assert!(fleet.in_maintenance_at(500.0).is_empty());
+        let down = fleet.in_maintenance_at(1500.0);
+        assert_eq!(down.len(), 3);
+        assert!(down.iter().all(|&i| fleet.members()[i].qpu.region == "eu-central"));
+        assert!(fleet.in_maintenance_at(2000.0).is_empty(), "window end is exclusive");
     }
 
     #[test]

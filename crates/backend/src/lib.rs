@@ -26,7 +26,7 @@ pub use calibration::{
 pub use fleet::{Fleet, FleetMember};
 pub use hellinger::{hellinger_fidelity, Distribution};
 pub use noise::NoiseModel;
-pub use qpu::{Qpu, QpuModel, QpuTechnology, TemplateQpu};
+pub use qpu::{MaintenanceWindow, Qpu, QpuModel, QpuTechnology, ResourceClass, TemplateQpu};
 pub use queue::{CompletedJob, JobQueue, QueuedJob};
 pub use simulator::{ExecutionResult, FidelityMode, Simulator, Statevector};
 pub use topology::CouplingMap;

@@ -22,6 +22,63 @@ pub enum QpuTechnology {
     NeutralAtom,
 }
 
+/// The coarse *resource class* a federated scheduler places against: the
+/// billing and capacity tier of a device, one level above
+/// [`QpuTechnology`]. Real hardware maps technology → class directly;
+/// `Simulator` marks classically emulated capacity that shares a hardware
+/// model's topology but bills (and degrades) differently.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourceClass {
+    /// Superconducting hardware (transmon-style devices).
+    #[default]
+    Superconducting,
+    /// Trapped-ion hardware.
+    IonTrap,
+    /// Classical simulator capacity emulating a hardware model.
+    Simulator,
+}
+
+impl ResourceClass {
+    /// The resource class real hardware of `technology` belongs to.
+    pub fn of_technology(technology: QpuTechnology) -> Self {
+        match technology {
+            QpuTechnology::Superconducting | QpuTechnology::NeutralAtom => {
+                ResourceClass::Superconducting
+            }
+            QpuTechnology::TrappedIon => ResourceClass::IonTrap,
+        }
+    }
+
+    /// Default per-shot cost (arbitrary credit units) for this class:
+    /// ion traps bill a premium over superconducting devices, simulators
+    /// are near-free. Providers override per device.
+    pub fn default_cost_per_shot(self) -> f64 {
+        match self {
+            ResourceClass::Superconducting => 1.0,
+            ResourceClass::IonTrap => 3.0,
+            ResourceClass::Simulator => 0.05,
+        }
+    }
+}
+
+/// A scheduled capacity hole: the device accepts no new work in
+/// `[start_s, end_s)`. The planner treats window starts as boundaries
+/// (like recalibration) and parks straddling jobs until the window ends.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MaintenanceWindow {
+    /// Window start (inclusive), seconds of simulated time.
+    pub start_s: f64,
+    /// Window end (exclusive), seconds of simulated time.
+    pub end_s: f64,
+}
+
+impl MaintenanceWindow {
+    /// `true` if `t` falls inside the window.
+    pub fn contains(&self, t: f64) -> bool {
+        t >= self.start_s && t < self.end_s
+    }
+}
+
 /// A QPU *model* (architecture family): basis gates, coupling map, technology.
 /// Multiple physical devices share one model (heterogeneity dimension 2).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -106,7 +163,33 @@ pub struct Qpu {
     /// (IBM devices calibrate roughly daily; the simulation default is hourly
     /// to exercise crossovers). Invariant: `clock.epoch == calibration.cycle`.
     pub clock: CalibrationClock,
+    /// Billing/capacity tier of the device (federation dimension). Defaults
+    /// to the class implied by the model's technology.
+    #[serde(default)]
+    pub resource_class: ResourceClass,
+    /// Per-shot cost in provider credit units. Only consulted when a
+    /// scheduler enables its cost objective; the default plane never reads it.
+    #[serde(default)]
+    pub cost_per_shot: f64,
+    /// Provider region the device is hosted in (outages are scoped per
+    /// region in the federation scenarios).
+    #[serde(default)]
+    pub region: String,
+    /// Historical availability score in `[0, 1]` (federation metadata; used
+    /// by placement strategies for tie-breaking documentation, not by the
+    /// default plane).
+    #[serde(default)]
+    pub reliability_score: f64,
+    /// Scheduled maintenance windows, ascending by start time.
+    #[serde(default)]
+    pub maintenance: Vec<MaintenanceWindow>,
 }
+
+/// Default region devices are hosted in when a provider does not say.
+pub const DEFAULT_REGION: &str = "us-east";
+
+/// Default reliability score for a freshly provisioned device.
+pub const DEFAULT_RELIABILITY: f64 = 0.99;
 
 impl Qpu {
     /// Create a QPU of the given model with freshly generated calibration data.
@@ -121,7 +204,70 @@ impl Qpu {
             model.coupling_map.edges(),
             rng,
         );
-        Qpu { name: name.into(), model, calibration, quality, clock: CalibrationClock::new(3600.0) }
+        let resource_class = ResourceClass::of_technology(model.technology);
+        Qpu {
+            name: name.into(),
+            model,
+            calibration,
+            quality,
+            clock: CalibrationClock::new(3600.0),
+            resource_class,
+            cost_per_shot: resource_class.default_cost_per_shot(),
+            region: DEFAULT_REGION.into(),
+            reliability_score: DEFAULT_RELIABILITY,
+            maintenance: Vec::new(),
+        }
+    }
+
+    /// Override the resource class (e.g. to mark a hardware model's
+    /// topology as simulator capacity) and reset the per-shot cost to the
+    /// class default.
+    pub fn with_resource_class(mut self, class: ResourceClass) -> Self {
+        self.resource_class = class;
+        self.cost_per_shot = class.default_cost_per_shot();
+        self
+    }
+
+    /// Override the per-shot cost.
+    pub fn with_cost_per_shot(mut self, cost: f64) -> Self {
+        self.cost_per_shot = cost;
+        self
+    }
+
+    /// Override the hosting region.
+    pub fn with_region(mut self, region: impl Into<String>) -> Self {
+        self.region = region.into();
+        self
+    }
+
+    /// Override the reliability score (clamped to `[0, 1]`).
+    pub fn with_reliability(mut self, score: f64) -> Self {
+        self.reliability_score = score.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Schedule a maintenance window (kept sorted by start time).
+    pub fn add_maintenance_window(&mut self, start_s: f64, end_s: f64) {
+        debug_assert!(end_s > start_s, "maintenance window must be non-empty");
+        self.maintenance.push(MaintenanceWindow { start_s, end_s });
+        self.maintenance.sort_by(|a, b| a.start_s.total_cmp(&b.start_s));
+    }
+
+    /// `true` if the device is inside a maintenance window at `t`.
+    pub fn in_maintenance(&self, t: f64) -> bool {
+        self.maintenance.iter().any(|w| w.contains(t))
+    }
+
+    /// Start of the next maintenance window strictly after `now_s`, or
+    /// `None` when nothing further is scheduled.
+    pub fn next_maintenance_start_after(&self, now_s: f64) -> Option<f64> {
+        self.maintenance.iter().map(|w| w.start_s).filter(|&s| s > now_s).min_by(f64::total_cmp)
+    }
+
+    /// End of the maintenance window covering `t`, or `None` when the
+    /// device is up at `t`.
+    pub fn maintenance_end_at(&self, t: f64) -> Option<f64> {
+        self.maintenance.iter().find(|w| w.contains(t)).map(|w| w.end_s)
     }
 
     /// Number of qubits.
@@ -276,6 +422,40 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         qpu.recalibrate(20_000.0, &mut rng);
         assert_eq!(qpu.next_calibration_after(4_000.0), 21_600.0);
+    }
+
+    #[test]
+    fn resource_class_defaults_follow_technology() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let sc = Qpu::new("ibm_test", QpuModel::falcon_27(), 1.0, &mut rng);
+        assert_eq!(sc.resource_class, ResourceClass::Superconducting);
+        assert_eq!(sc.cost_per_shot, 1.0);
+        let ion = Qpu::new("ion_test", QpuModel::trapped_ion(11), 1.0, &mut rng);
+        assert_eq!(ion.resource_class, ResourceClass::IonTrap);
+        assert_eq!(ion.cost_per_shot, 3.0);
+        let sim = Qpu::new("sim_test", QpuModel::falcon_27(), 1.0, &mut rng)
+            .with_resource_class(ResourceClass::Simulator);
+        assert_eq!(sim.cost_per_shot, 0.05);
+        let custom = sim.with_cost_per_shot(0.2);
+        assert_eq!(custom.cost_per_shot, 0.2);
+    }
+
+    #[test]
+    fn maintenance_windows_sort_and_query() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut qpu = Qpu::new("ibm_test", QpuModel::falcon_7(), 1.0, &mut rng);
+        assert!(!qpu.in_maintenance(100.0));
+        assert_eq!(qpu.next_maintenance_start_after(0.0), None);
+        qpu.add_maintenance_window(500.0, 700.0);
+        qpu.add_maintenance_window(100.0, 200.0);
+        assert_eq!(qpu.maintenance[0].start_s, 100.0, "windows kept sorted");
+        assert!(qpu.in_maintenance(150.0));
+        assert!(!qpu.in_maintenance(200.0), "end is exclusive");
+        assert_eq!(qpu.next_maintenance_start_after(0.0), Some(100.0));
+        assert_eq!(qpu.next_maintenance_start_after(100.0), Some(500.0));
+        assert_eq!(qpu.next_maintenance_start_after(600.0), None);
+        assert_eq!(qpu.maintenance_end_at(550.0), Some(700.0));
+        assert_eq!(qpu.maintenance_end_at(300.0), None);
     }
 
     #[test]

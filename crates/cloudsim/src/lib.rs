@@ -14,6 +14,7 @@
 pub mod drift;
 pub mod estimates;
 pub mod failover;
+pub mod federation;
 pub mod load;
 pub mod multitenant;
 pub mod sharded;
@@ -24,6 +25,10 @@ pub use drift::{
 };
 pub use estimates::{estimate, FastEstimate};
 pub use failover::{BaselineChaosReport, ChaosReport, CrashRecord, FailurePlan};
+pub use federation::{
+    federated_heterogeneous, run_federation_comparison, FederationComparison, FederationConfig,
+    PlacementArm,
+};
 pub use load::{
     ArrivalConfig, HybridApplication, LoadGenerator, MultiTenantLoadGenerator, StreamArrival,
     TenantArrivalConfig,

@@ -86,6 +86,13 @@ pub struct SimulationConfig {
     /// ([`SchedulerConfig::boundary_penalty_weight`]); `0.0` disables it.
     #[serde(default)]
     pub boundary_penalty_weight: f64,
+    /// Weight of the federation cost lane
+    /// ([`SchedulerConfig::cost_weight`]): when > 0 the batch engine feeds
+    /// the fleet's per-QPU shot prices into the optimizer and placement
+    /// trades monetary cost against turnaround. `0.0` (the default) keeps
+    /// every outcome bit-identical to the cost-free path.
+    #[serde(default)]
+    pub cost_weight: f64,
     /// RNG seed.
     pub seed: u64,
 }
@@ -111,6 +118,7 @@ impl Default for SimulationConfig {
             calibration: CalibrationPolicy::Naive,
             pipeline_planning: false,
             boundary_penalty_weight: 0.0,
+            cost_weight: 0.0,
             seed: 2024,
         }
     }
@@ -186,6 +194,10 @@ pub struct CompletedApp {
     pub fidelity_error: f64,
     /// Whether the application used error mitigation.
     pub mitigated: bool,
+    /// Monetary cost of the execution: `shots × cost_per_shot` of the QPU it
+    /// ran on (federation accounting; 0-priced fleets report 0).
+    #[serde(default)]
+    pub cost: f64,
 }
 
 /// One trigger-gated batch dispatch as seen by the simulation (ids only; the
@@ -257,6 +269,17 @@ impl SimulationReport {
     /// applications (see [`CompletedApp::fidelity_error`]).
     pub fn mean_fidelity_error(&self) -> f64 {
         mean(self.completed.iter().map(|c| c.fidelity_error))
+    }
+
+    /// Total monetary cost across all completed applications
+    /// (see [`CompletedApp::cost`]).
+    pub fn total_cost(&self) -> f64 {
+        self.completed.iter().map(|c| c.cost).sum()
+    }
+
+    /// Mean per-application monetary cost.
+    pub fn mean_cost(&self) -> f64 {
+        mean(self.completed.iter().map(|c| c.cost))
     }
 
     /// Number of dispatches whose plan crossed a recalibration boundary.
@@ -394,6 +417,7 @@ impl CloudSimulation {
                     nsga2: cfg.nsga2,
                     preference,
                     boundary_penalty_weight: cfg.boundary_penalty_weight,
+                    cost_weight: cfg.cost_weight,
                     ..SchedulerConfig::default()
                 }))
             }
@@ -463,6 +487,8 @@ impl CloudSimulation {
                 let fidelity_error =
                     fresh.map_or(0.0, |fresh| (est.fidelity - fresh.fidelity).abs());
                 let jitter = 1.0 + self.rng.gen_range(-0.02..0.02);
+                let cost = app.app.circuit.shots() as f64
+                    * self.fleet.members()[completion.qpu_index].qpu.cost_per_shot;
                 completed.push(CompletedApp {
                     app_id: app.app_id,
                     qpu_index: completion.qpu_index,
@@ -473,6 +499,7 @@ impl CloudSimulation {
                     fidelity: (est.fidelity * jitter).clamp(0.0, 1.0),
                     fidelity_error,
                     mitigated: app.mitigated,
+                    cost,
                 });
             }
 

@@ -180,6 +180,7 @@ fn pipelined_chaos_runs_are_byte_identical_to_the_live_path() {
         calibration: qonductor_core::CalibrationPolicy::SplitAtBoundary,
         pipeline_planning: pipeline,
         boundary_penalty_weight: 0.0,
+        cost_weight: 0.0,
         seed,
     };
 

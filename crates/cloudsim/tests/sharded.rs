@@ -112,7 +112,7 @@ fn leader_death_between_lease_journal_and_use_neither_leaks_nor_double_grants() 
     // Move QPU 0 from shard 0 to shard 1: release journaled on shard 0,
     // grant journaled on shard 1, and the leader dies before shard 1 ever
     // dispatches onto it.
-    assert!(plane.release_qpu(0, 0, &fleet).unwrap());
+    assert_eq!(plane.release_qpu(0, 0, &fleet).unwrap(), Ok(()));
     assert!(plane.lease_qpu(1, 0).unwrap());
     let digests = plane.state_digests();
     plane.crash_all_leaders();
@@ -124,6 +124,6 @@ fn leader_death_between_lease_journal_and_use_neither_leaks_nor_double_grants() 
     // The grant is exclusive after replay: shard 0 cannot claim QPU 0 back
     // without shard 1 releasing it.
     assert!(!plane.lease_qpu(0, 0).unwrap());
-    assert!(plane.release_qpu(1, 0, &fleet).unwrap());
+    assert_eq!(plane.release_qpu(1, 0, &fleet).unwrap(), Ok(()));
     assert!(plane.lease_qpu(0, 0).unwrap());
 }

@@ -1,0 +1,315 @@
+//! Multi-provider backend federation: several named provider fleets composed
+//! behind one flat capacity view, plus the pluggable placement policies that
+//! steer the hybrid scheduler across them.
+//!
+//! A [`FederatedFleet`] concatenates each provider's devices into a single
+//! [`Fleet`] in registration order, remembering only the contiguous index
+//! span each provider owns. Everything downstream — the job manager, the
+//! scheduler, the sharded control plane, the journals — keeps operating on
+//! flat QPU indices, so federation adds no new journal event types and a
+//! *single*-provider federation is byte-identical to an unfederated fleet
+//! (same members, same indices, same RNG streams, same digests).
+//!
+//! Placement policy is a [`PlacementStrategy`]: a pure mapping from a base
+//! [`SchedulerConfig`] to the configuration actually used for dispatch
+//! (objective preference + cost-lane weight). Strategies never touch the
+//! fleet or the clock, which is what keeps failover replay and plan-ahead
+//! adoption exact under any policy.
+
+use qonductor_backend::Fleet;
+use qonductor_scheduler::{Preference, SchedulerConfig};
+
+/// One provider's slice of the federated index space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Provider {
+    /// Provider name (e.g. `"ibm"`, `"ionq"`, `"aws-sim"`).
+    pub name: String,
+    /// First flat QPU index owned by this provider.
+    pub start: usize,
+    /// Number of QPUs the provider contributes.
+    pub len: usize,
+}
+
+/// Aggregate capacity of one provider at an instant — what a dashboard or a
+/// capacity planner reads off the federation without touching flat indices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProviderCapacity {
+    /// Provider name.
+    pub name: String,
+    /// QPUs contributed.
+    pub qpus: usize,
+    /// QPUs currently inside a maintenance window (capacity holes).
+    pub in_maintenance: usize,
+    /// Total qubits across the provider's devices.
+    pub qubits: u32,
+    /// Cheapest per-shot price among the provider's devices.
+    pub min_cost_per_shot: f64,
+}
+
+/// Multiple named provider fleets behind one flat capacity view.
+#[derive(Debug, Clone)]
+pub struct FederatedFleet {
+    fleet: Fleet,
+    providers: Vec<Provider>,
+}
+
+impl FederatedFleet {
+    /// Compose the given `(provider name, fleet)` pairs, concatenating their
+    /// members in order. Index `0..n₀` is provider 0, `n₀..n₀+n₁` provider 1,
+    /// and so on — span membership is a pure function of the flat index.
+    pub fn new<S: Into<String>>(provider_fleets: Vec<(S, Fleet)>) -> Self {
+        let mut members = Vec::new();
+        let mut providers = Vec::new();
+        for (name, fleet) in provider_fleets {
+            let start = members.len();
+            let mut fleet_members: Vec<_> = fleet.members().to_vec();
+            members.append(&mut fleet_members);
+            providers.push(Provider { name: name.into(), start, len: members.len() - start });
+        }
+        FederatedFleet { fleet: Fleet::from_members(members), providers }
+    }
+
+    /// A federation of exactly one provider — the compatibility shape. Its
+    /// flat fleet is the provider's fleet unchanged, so every dispatch,
+    /// digest, and batch stream matches the unfederated plane byte-for-byte.
+    pub fn single<S: Into<String>>(name: S, fleet: Fleet) -> Self {
+        let len = fleet.len();
+        FederatedFleet { fleet, providers: vec![Provider { name: name.into(), start: 0, len }] }
+    }
+
+    /// The flat composed fleet — what every downstream layer schedules over.
+    pub fn fleet(&self) -> &Fleet {
+        &self.fleet
+    }
+
+    /// Mutable flat fleet (queue advancement, calibration drift, outages).
+    pub fn fleet_mut(&mut self) -> &mut Fleet {
+        &mut self.fleet
+    }
+
+    /// Unwrap into the flat fleet, dropping provider metadata.
+    pub fn into_fleet(self) -> Fleet {
+        self.fleet
+    }
+
+    /// The registered providers, in composition order.
+    pub fn providers(&self) -> &[Provider] {
+        &self.providers
+    }
+
+    /// The provider owning flat QPU index `qpu_index`.
+    pub fn provider_of(&self, qpu_index: usize) -> Option<&str> {
+        self.providers
+            .iter()
+            .find(|p| qpu_index >= p.start && qpu_index < p.start + p.len)
+            .map(|p| p.name.as_str())
+    }
+
+    /// `(provider name, qpu count)` pairs in flat-index order — the shape
+    /// [`FleetAllocator::with_provider_spans`] consumes so shard leases
+    /// become provider-scoped.
+    ///
+    /// [`FleetAllocator::with_provider_spans`]: crate::fleetlease::FleetAllocator::with_provider_spans
+    pub fn provider_spans(&self) -> Vec<(String, usize)> {
+        self.providers.iter().map(|p| (p.name.clone(), p.len)).collect()
+    }
+
+    /// Number of QPUs across every provider.
+    pub fn num_qpus(&self) -> usize {
+        self.fleet.len()
+    }
+
+    /// Per-provider aggregate capacity at `now_s`, in composition order.
+    pub fn capacity_view(&self, now_s: f64) -> Vec<ProviderCapacity> {
+        self.providers
+            .iter()
+            .map(|p| {
+                let members = &self.fleet.members()[p.start..p.start + p.len];
+                ProviderCapacity {
+                    name: p.name.clone(),
+                    qpus: p.len,
+                    in_maintenance: members.iter().filter(|m| m.qpu.in_maintenance(now_s)).count(),
+                    qubits: members.iter().map(|m| m.qpu.num_qubits()).sum(),
+                    min_cost_per_shot: members
+                        .iter()
+                        .map(|m| m.qpu.cost_per_shot)
+                        .fold(f64::INFINITY, f64::min),
+                }
+            })
+            .collect()
+    }
+}
+
+/// A placement policy over a federated fleet: a *pure* mapping from the base
+/// scheduler configuration to the one used for dispatch.
+///
+/// # Determinism requirements
+///
+/// An implementation must be a pure function of the scheduling problem and
+/// its own configuration:
+///
+/// - **No wall-clock reads.** Simulated time reaches the scheduler through
+///   the snapshot (queue waits, horizons); consulting `SystemTime`/`Instant`
+///   would make journal replay diverge from the live run.
+/// - **No ambient randomness or I/O.** All stochasticity must flow through
+///   the seeded [`Nsga2Config`](qonductor_scheduler::Nsga2Config) the
+///   strategy returns.
+/// - **Stable output.** Equal inputs must produce equal configurations, so
+///   speculative plan adoption and sharded failover replay federation
+///   decisions byte-for-byte.
+pub trait PlacementStrategy {
+    /// Short policy name (scenario reports, artifacts).
+    fn name(&self) -> &'static str;
+
+    /// The scheduler configuration this policy dispatches with, derived from
+    /// `base` (which carries the NSGA-II budget, boundary penalty, etc.).
+    fn scheduler_config(&self, base: SchedulerConfig) -> SchedulerConfig;
+}
+
+/// Spread work for fast turnaround: JCT-heavy preference, no cost lane. The
+/// optimizer's JCT objective already folds per-QPU queue backlogs, so
+/// weighting it is what "least loaded" means under Eq. 1.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeastLoaded;
+
+impl PlacementStrategy for LeastLoaded {
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+
+    fn scheduler_config(&self, base: SchedulerConfig) -> SchedulerConfig {
+        SchedulerConfig {
+            preference: Preference { fidelity_weight: 0.1, jct_weight: 0.9 },
+            cost_weight: 0.0,
+            ..base
+        }
+    }
+}
+
+/// The paper's quantum-aware policy: balanced fidelity/JCT preference, no
+/// cost lane — placement follows calibration quality and backlog exactly as
+/// in the unfederated evaluation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QuantumAware;
+
+impl PlacementStrategy for QuantumAware {
+    fn name(&self) -> &'static str {
+        "quantum-aware"
+    }
+
+    fn scheduler_config(&self, base: SchedulerConfig) -> SchedulerConfig {
+        SchedulerConfig { preference: Preference::balanced(), cost_weight: 0.0, ..base }
+    }
+}
+
+/// Minimise spend at bounded quality loss: the least-loaded arm's
+/// turnaround-heavy preference plus an active cost lane weighted by
+/// `cost_weight` (the scale at which one unit of currency trades against
+/// one second of mean JCT). Sharing [`LeastLoaded`]'s preference makes the
+/// two strategies a clean ablation — the only difference between them is
+/// the cost lane.
+#[derive(Debug, Clone, Copy)]
+pub struct CostOptimized {
+    /// Weight of the cost lane (must be > 0 to have any effect).
+    pub cost_weight: f64,
+}
+
+impl Default for CostOptimized {
+    fn default() -> Self {
+        CostOptimized { cost_weight: 1.0 }
+    }
+}
+
+impl PlacementStrategy for CostOptimized {
+    fn name(&self) -> &'static str {
+        "cost-optimized"
+    }
+
+    fn scheduler_config(&self, base: SchedulerConfig) -> SchedulerConfig {
+        SchedulerConfig {
+            preference: Preference { fidelity_weight: 0.1, jct_weight: 0.9 },
+            cost_weight: self.cost_weight,
+            ..base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_provider_federation() -> FederatedFleet {
+        let mut rng = StdRng::seed_from_u64(11);
+        let ibm = Fleet::falcon_six(&mut rng);
+        let het = Fleet::heterogeneous(&mut rng);
+        FederatedFleet::new(vec![("ibm", ibm), ("mixed", het)])
+    }
+
+    #[test]
+    fn composition_concatenates_spans_in_order() {
+        let fed = two_provider_federation();
+        assert_eq!(fed.num_qpus(), 12);
+        assert_eq!(fed.providers().len(), 2);
+        assert_eq!(fed.providers()[0], Provider { name: "ibm".into(), start: 0, len: 6 });
+        assert_eq!(fed.providers()[1], Provider { name: "mixed".into(), start: 6, len: 6 });
+        assert_eq!(fed.provider_of(0), Some("ibm"));
+        assert_eq!(fed.provider_of(5), Some("ibm"));
+        assert_eq!(fed.provider_of(6), Some("mixed"));
+        assert_eq!(fed.provider_of(11), Some("mixed"));
+        assert_eq!(fed.provider_of(12), None);
+        assert_eq!(fed.provider_spans(), vec![("ibm".to_string(), 6), ("mixed".to_string(), 6)]);
+    }
+
+    #[test]
+    fn a_single_provider_federation_is_the_fleet_unchanged() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let fleet = Fleet::falcon_six(&mut rng);
+        let names: Vec<String> = fleet.members().iter().map(|m| m.qpu.name.clone()).collect();
+        let epoch = fleet.calibration_epoch();
+        let fed = FederatedFleet::single("ibm", fleet);
+        assert_eq!(fed.num_qpus(), 6);
+        assert_eq!(fed.provider_of(3), Some("ibm"));
+        let flat_names: Vec<String> =
+            fed.fleet().members().iter().map(|m| m.qpu.name.clone()).collect();
+        assert_eq!(flat_names, names, "member order is untouched");
+        assert_eq!(fed.fleet().calibration_epoch(), epoch);
+    }
+
+    #[test]
+    fn capacity_view_counts_maintenance_holes() {
+        let mut fed = two_provider_federation();
+        fed.fleet_mut().schedule_region_outage("eu-central", 100.0, 200.0);
+        let before = fed.capacity_view(50.0);
+        assert_eq!(before.iter().map(|c| c.in_maintenance).sum::<usize>(), 0);
+        let during = fed.capacity_view(150.0);
+        assert_eq!(during[0].in_maintenance, 0, "falcon_six has no regions in eu-central");
+        assert_eq!(during[1].in_maintenance, 3, "the mixed provider hosts eu-central");
+        assert!(during[1].min_cost_per_shot <= 0.05 + 1e-12, "the simulator sets the floor");
+    }
+
+    #[test]
+    fn strategies_map_to_deterministic_scheduler_configs() {
+        let base = SchedulerConfig::default();
+        let ll = LeastLoaded.scheduler_config(base);
+        assert_eq!(ll.cost_weight, 0.0);
+        assert!(ll.preference.jct_weight > ll.preference.fidelity_weight);
+
+        let qa = QuantumAware.scheduler_config(base);
+        assert_eq!(qa.cost_weight, 0.0);
+        assert_eq!(qa.preference.fidelity_weight, qa.preference.jct_weight);
+
+        let co = CostOptimized { cost_weight: 2.5 }.scheduler_config(base);
+        assert_eq!(co.cost_weight, 2.5);
+
+        // Purity: equal inputs, equal outputs.
+        let again = CostOptimized { cost_weight: 2.5 }.scheduler_config(base);
+        assert_eq!(co.cost_weight, again.cost_weight);
+        assert_eq!(co.preference.fidelity_weight, again.preference.fidelity_weight);
+        assert_eq!(
+            [LeastLoaded.name(), QuantumAware.name(), CostOptimized::default().name()],
+            ["least-loaded", "quantum-aware", "cost-optimized"]
+        );
+    }
+}

@@ -8,10 +8,18 @@
 //! invariant: two shards claiming the same QPU is a replay bug, not a state
 //! to silently merge.
 //!
+//! In a federated deployment the flat QPU index space is carved into
+//! contiguous *provider spans* ([`FleetAllocator::with_provider_spans`]):
+//! span membership is a pure function of the QPU index, so the journaled
+//! grant/release events need no new fields — a failover replays the same
+//! `lgr`/`lrl` records and re-derives every provider attribution
+//! byte-for-byte.
+//!
 //! [`ControlPlaneEvent::LeaseGranted`]: crate::replication::ControlPlaneEvent::LeaseGranted
 //! [`ControlPlaneEvent::LeaseReleased`]: crate::replication::ControlPlaneEvent::LeaseReleased
 
 use std::collections::BTreeSet;
+use std::fmt;
 
 /// A QPU claimed by more than one shard's journal — capacity would be
 /// double-granted.
@@ -25,17 +33,104 @@ pub struct LeaseConflict {
     pub claimed_by: usize,
 }
 
+/// Why a lease release was refused — typed like [`LeaseConflict`] so callers
+/// can tell an ownership bug apart from a transiently busy queue instead of
+/// collapsing both into a silent `false`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReleaseError {
+    /// The releasing shard does not hold the lease.
+    NotOwner {
+        /// The QPU whose release was requested.
+        qpu_index: usize,
+        /// The shard that asked.
+        requested_by: usize,
+        /// The actual holder, if any.
+        held_by: Option<usize>,
+    },
+    /// The QPU's queue still holds dispatched work; releasing mid-execution
+    /// would re-route those completions to the next lease holder.
+    QueueBusy {
+        /// The QPU whose release was requested.
+        qpu_index: usize,
+        /// Jobs still pending on its queue.
+        pending_jobs: usize,
+    },
+}
+
+impl fmt::Display for ReleaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReleaseError::NotOwner { qpu_index, requested_by, held_by } => write!(
+                f,
+                "shard {requested_by} does not hold the lease on QPU {qpu_index} (holder: {held_by:?})"
+            ),
+            ReleaseError::QueueBusy { qpu_index, pending_jobs } => write!(
+                f,
+                "QPU {qpu_index} still has {pending_jobs} pending job(s); release refused"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReleaseError {}
+
+/// A contiguous slice of the flat QPU index space owned by one named
+/// provider: QPUs `start..start + len`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProviderSpan {
+    /// Provider name (e.g. `"ibm"`, `"ionq"`).
+    pub name: String,
+    /// First QPU index of the span.
+    pub start: usize,
+    /// Number of QPUs in the span.
+    pub len: usize,
+}
+
 /// Exclusive-lease bookkeeping over the shared QPU fleet.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FleetAllocator {
     /// `owner_of[qpu] = Some(shard)` while leased.
     owner_of: Vec<Option<usize>>,
+    /// Contiguous provider spans covering (a prefix of) the index space;
+    /// empty for a single-provider fleet. Static configuration, never
+    /// journaled: provider attribution is a pure function of the QPU index.
+    spans: Vec<ProviderSpan>,
 }
 
 impl FleetAllocator {
     /// An allocator over `num_qpus` unleased QPUs.
     pub fn new(num_qpus: usize) -> Self {
-        FleetAllocator { owner_of: vec![None; num_qpus] }
+        FleetAllocator { owner_of: vec![None; num_qpus], spans: Vec::new() }
+    }
+
+    /// Attach provider spans: `spans[p] = (name, qpu count)` in flat-index
+    /// order, concatenated from index 0. Span membership is derived purely
+    /// from the QPU index, so journal replay needs no provider fields.
+    pub fn with_provider_spans<S: Into<String>>(mut self, spans: Vec<(S, usize)>) -> Self {
+        let mut start = 0;
+        self.spans = spans
+            .into_iter()
+            .map(|(name, len)| {
+                let span = ProviderSpan { name: name.into(), start, len };
+                start += len;
+                span
+            })
+            .collect();
+        debug_assert!(start <= self.owner_of.len(), "spans must fit the index space");
+        self
+    }
+
+    /// The configured provider spans (empty when unfederated).
+    pub fn provider_spans(&self) -> &[ProviderSpan] {
+        &self.spans
+    }
+
+    /// The provider owning `qpu_index`, if spans are configured and cover it.
+    pub fn provider_of(&self, qpu_index: usize) -> Option<&str> {
+        self.spans
+            .iter()
+            .find(|s| qpu_index >= s.start && qpu_index < s.start + s.len)
+            .map(|s| s.name.as_str())
     }
 
     /// Number of QPUs under management.
@@ -56,15 +151,41 @@ impl FleetAllocator {
         }
     }
 
-    /// Release `qpu_index` if `shard` holds it. Returns whether a lease was
-    /// released (a release by a non-owner is refused, not absorbed).
-    pub fn release(&mut self, shard: usize, qpu_index: usize) -> bool {
-        if self.owner_of[qpu_index] == Some(shard) {
-            self.owner_of[qpu_index] = None;
-            true
-        } else {
-            false
+    /// Whether [`FleetAllocator::release`] would succeed for this request —
+    /// the shard holds the lease and the queue is empty — without mutating.
+    /// Lets a write-ahead caller validate before journaling the release.
+    pub fn check_release(
+        &self,
+        shard: usize,
+        qpu_index: usize,
+        pending_jobs: usize,
+    ) -> Result<(), ReleaseError> {
+        if self.owner_of.get(qpu_index).copied().flatten() != Some(shard) {
+            return Err(ReleaseError::NotOwner {
+                qpu_index,
+                requested_by: shard,
+                held_by: self.owner(qpu_index),
+            });
         }
+        if pending_jobs > 0 {
+            return Err(ReleaseError::QueueBusy { qpu_index, pending_jobs });
+        }
+        Ok(())
+    }
+
+    /// Release `qpu_index` if `shard` holds it and the QPU's queue is idle
+    /// (`pending_jobs` is the caller-observed queue depth). A release by a
+    /// non-owner or on a busy queue is refused with the exact typed reason,
+    /// never absorbed.
+    pub fn release(
+        &mut self,
+        shard: usize,
+        qpu_index: usize,
+        pending_jobs: usize,
+    ) -> Result<(), ReleaseError> {
+        self.check_release(shard, qpu_index, pending_jobs)?;
+        self.owner_of[qpu_index] = None;
+        Ok(())
     }
 
     /// Current lease holder of `qpu_index`.
@@ -81,10 +202,28 @@ impl FleetAllocator {
             .collect()
     }
 
+    /// `shard`'s leased QPUs grouped by provider span, in span order:
+    /// `(provider name, ascending QPU indices)`. QPUs outside every span are
+    /// omitted; with no spans configured the result is empty.
+    pub fn leased_by_provider(&self, shard: usize) -> Vec<(String, Vec<usize>)> {
+        self.spans
+            .iter()
+            .map(|span| {
+                let held: Vec<usize> = (span.start..span.start + span.len)
+                    .filter(|&qpu| self.owner(qpu) == Some(shard))
+                    .collect();
+                (span.name.clone(), held)
+            })
+            .collect()
+    }
+
     /// Reconstruct the allocator from the per-shard journaled lease sets
     /// (`shard_leases[s]` = the QPU indices shard `s` holds after replay).
     /// Fails with the exact conflict if two shards claim one QPU — the
-    /// invariant a crash mid-lease must not break.
+    /// invariant a crash mid-lease must not break. Provider spans are static
+    /// configuration; re-attach them with
+    /// [`FleetAllocator::with_provider_spans`] (membership is index-derived,
+    /// so the re-derived attribution is byte-identical).
     pub fn rebuild(
         shard_leases: &[BTreeSet<usize>],
         num_qpus: usize,
@@ -118,15 +257,69 @@ mod tests {
     }
 
     #[test]
-    fn release_is_owner_gated() {
+    fn release_is_owner_gated_with_typed_errors() {
         let mut alloc = FleetAllocator::new(2);
         alloc.try_grant(0, 1);
-        assert!(!alloc.release(1, 1), "a non-owner cannot release");
+        assert_eq!(
+            alloc.release(1, 1, 0),
+            Err(ReleaseError::NotOwner { qpu_index: 1, requested_by: 1, held_by: Some(0) }),
+            "a non-owner release reports the actual holder"
+        );
         assert_eq!(alloc.owner(1), Some(0));
-        assert!(alloc.release(0, 1));
+        assert_eq!(alloc.release(0, 1, 0), Ok(()));
         assert_eq!(alloc.owner(1), None);
-        assert!(!alloc.release(0, 1), "double release is refused");
+        assert_eq!(
+            alloc.release(0, 1, 0),
+            Err(ReleaseError::NotOwner { qpu_index: 1, requested_by: 0, held_by: None }),
+            "double release reports the lease as free"
+        );
         assert!(alloc.try_grant(1, 1), "a released QPU is grantable again");
+    }
+
+    #[test]
+    fn busy_queue_release_is_a_typed_error() {
+        let mut alloc = FleetAllocator::new(2);
+        alloc.try_grant(0, 0);
+        assert_eq!(
+            alloc.release(0, 0, 3),
+            Err(ReleaseError::QueueBusy { qpu_index: 0, pending_jobs: 3 }),
+            "a busy queue refuses release with the observed depth"
+        );
+        assert_eq!(alloc.owner(0), Some(0), "the refused release left the lease in place");
+        assert_eq!(alloc.check_release(0, 0, 0), Ok(()));
+        assert_eq!(alloc.release(0, 0, 0), Ok(()));
+    }
+
+    #[test]
+    fn provider_spans_partition_the_index_space() {
+        let alloc =
+            FleetAllocator::new(6).with_provider_spans(vec![("ibm", 4), ("ionq", 1), ("sim", 1)]);
+        assert_eq!(alloc.provider_of(0), Some("ibm"));
+        assert_eq!(alloc.provider_of(3), Some("ibm"));
+        assert_eq!(alloc.provider_of(4), Some("ionq"));
+        assert_eq!(alloc.provider_of(5), Some("sim"));
+        assert_eq!(alloc.provider_of(6), None);
+
+        let mut alloc = alloc;
+        alloc.try_grant(0, 1);
+        alloc.try_grant(0, 4);
+        alloc.try_grant(1, 5);
+        assert_eq!(
+            alloc.leased_by_provider(0),
+            vec![
+                ("ibm".to_string(), vec![1]),
+                ("ionq".to_string(), vec![4]),
+                ("sim".to_string(), vec![])
+            ]
+        );
+        assert_eq!(
+            alloc.leased_by_provider(1),
+            vec![
+                ("ibm".to_string(), vec![]),
+                ("ionq".to_string(), vec![]),
+                ("sim".to_string(), vec![5])
+            ]
+        );
     }
 
     #[test]
@@ -143,5 +336,18 @@ mod tests {
             FleetAllocator::rebuild(&[shard0, overlapping], 4),
             Err(LeaseConflict { qpu_index: 2, held_by: 0, claimed_by: 1 })
         );
+    }
+
+    #[test]
+    fn rebuild_with_spans_reattached_matches_the_original_attribution() {
+        let mut alloc = FleetAllocator::new(4).with_provider_spans(vec![("ibm", 2), ("ionq", 2)]);
+        alloc.try_grant(0, 0);
+        alloc.try_grant(1, 3);
+        let sets: Vec<BTreeSet<usize>> = vec![[0].into_iter().collect(), [3].into_iter().collect()];
+        let rebuilt = FleetAllocator::rebuild(&sets, 4)
+            .unwrap()
+            .with_provider_spans(vec![("ibm", 2), ("ionq", 2)]);
+        assert_eq!(rebuilt, alloc, "replayed leases + static spans = byte-identical allocator");
+        assert_eq!(rebuilt.leased_by_provider(0), alloc.leased_by_provider(0));
     }
 }

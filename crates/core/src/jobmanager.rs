@@ -345,7 +345,7 @@ impl JobManager {
         let reason = self.check_trigger(now_s)?;
         self.trigger.mark_invoked(now_s);
 
-        let BatchSnapshot { qpus, job_ids, tenant_jobs, requests, horizon_s } =
+        let BatchSnapshot { qpus, job_ids, tenant_jobs, requests, horizon_s, cost_per_shot } =
             self.batch_snapshot(now_s, fleet);
 
         // Plan-ahead pipelining: if a speculative plan was computed while the
@@ -354,14 +354,24 @@ impl JobManager {
         // epochs), adopt it — the outcome is bit-identical to a live
         // scheduler call, already paid for. Any mismatch discards the plan.
         let penalized = scheduler.config().boundary_penalty_weight > 0.0;
-        let digest = snapshot_digest(&qpus, &requests, &horizon_s, penalized);
+        let costed = scheduler.config().cost_weight > 0.0;
+        let digest =
+            snapshot_digest(&qpus, &requests, &horizon_s, penalized, &cost_per_shot, costed);
         let live_epochs: Vec<u64> = qpus.iter().map(|q| q.calibration_epoch).collect();
         let (outcome, speculative) = match self.speculative.take() {
             Some(cached) if cached.digest == digest && cached.epochs == live_epochs => {
                 scheduler.adopt(&cached.plan);
                 (cached.plan.outcome, true)
             }
-            _ => (scheduler.schedule_with_horizons(requests, qpus.clone(), &horizon_s), false),
+            _ => (
+                scheduler.schedule_with_fleet_context(
+                    requests,
+                    qpus.clone(),
+                    &horizon_s,
+                    &cost_per_shot,
+                ),
+                false,
+            ),
         };
 
         // Calibration-crossover partition (§7): shift the planned timeline to
@@ -442,12 +452,14 @@ impl JobManager {
         if self.pending_available_by(plan_for_s) == 0 {
             return false;
         }
-        let BatchSnapshot { qpus, requests, horizon_s, .. } =
+        let BatchSnapshot { qpus, requests, horizon_s, cost_per_shot, .. } =
             self.batch_snapshot(plan_for_s, fleet);
         let penalized = scheduler.config().boundary_penalty_weight > 0.0;
-        let digest = snapshot_digest(&qpus, &requests, &horizon_s, penalized);
+        let costed = scheduler.config().cost_weight > 0.0;
+        let digest =
+            snapshot_digest(&qpus, &requests, &horizon_s, penalized, &cost_per_shot, costed);
         let epochs: Vec<u64> = qpus.iter().map(|q| q.calibration_epoch).collect();
-        let plan = scheduler.schedule_speculative(requests, qpus, &horizon_s);
+        let plan = scheduler.schedule_speculative(requests, qpus, &horizon_s, &cost_per_shot);
         self.speculative = Some(SpeculativePlan { digest, epochs, plan });
         true
     }
@@ -472,8 +484,26 @@ impl JobManager {
                 calibration_epoch: m.qpu.clock.epoch,
             })
             .collect();
-        let horizon_s: Vec<f64> =
-            fleet.members().iter().map(|m| m.qpu.clock.next_boundary_s - now_s).collect();
+        // A QPU's effective boundary is whichever comes first: its next
+        // recalibration or its next scheduled maintenance window. The planner
+        // routes around both with the same partition machinery.
+        let horizon_s: Vec<f64> = fleet
+            .members()
+            .iter()
+            .map(|m| {
+                let boundary = match m.qpu.next_maintenance_start_after(now_s) {
+                    Some(maint_s) => m.qpu.clock.next_boundary_s.min(maint_s),
+                    None => m.qpu.clock.next_boundary_s,
+                };
+                boundary - now_s
+            })
+            .collect();
+        let cost_per_shot: Vec<f64> = fleet.members().iter().map(|m| m.qpu.cost_per_shot).collect();
+        // QPUs currently inside a maintenance window are capacity holes:
+        // every request sees them as infeasible (fidelity 0, exec ∞-marker),
+        // the same mask used for devices too small for a circuit.
+        let in_maintenance: Vec<bool> =
+            fleet.members().iter().map(|m| m.qpu.in_maintenance(now_s)).collect();
         let batch: Vec<&PendingJob> =
             self.pending.iter().filter(|j| Self::available_s(j) <= now_s).collect();
         let job_ids: Vec<JobId> = batch.iter().map(|j| j.job_id).collect();
@@ -492,17 +522,31 @@ impl JobManager {
                     .spec
                     .fidelity_per_qpu
                     .iter()
-                    .map(|&f| if f.is_finite() { f } else { 0.0 })
+                    .enumerate()
+                    .map(|(q, &f)| {
+                        if in_maintenance.get(q).copied().unwrap_or(false) || !f.is_finite() {
+                            0.0
+                        } else {
+                            f
+                        }
+                    })
                     .collect(),
                 exec_time_per_qpu: j
                     .spec
                     .exec_time_per_qpu
                     .iter()
-                    .map(|&t| if t.is_finite() { t } else { INFEASIBLE_EXEC_S })
+                    .enumerate()
+                    .map(|(q, &t)| {
+                        if in_maintenance.get(q).copied().unwrap_or(false) || !t.is_finite() {
+                            INFEASIBLE_EXEC_S
+                        } else {
+                            t
+                        }
+                    })
                     .collect(),
             })
             .collect();
-        BatchSnapshot { qpus, job_ids, tenant_jobs, requests, horizon_s }
+        BatchSnapshot { qpus, job_ids, tenant_jobs, requests, horizon_s, cost_per_shot }
     }
 
     /// Place one pending job directly onto a QPU queue, bypassing the trigger
@@ -718,12 +762,14 @@ struct BatchSnapshot {
     tenant_jobs: Vec<(TenantId, usize)>,
     requests: Vec<JobRequest>,
     horizon_s: Vec<f64>,
+    cost_per_shot: Vec<f64>,
 }
 
 /// FNV-1a fingerprint of a scheduling-cycle input snapshot. Covers the full
 /// QPU state (name, size, queue wait bits, calibration epoch) and every
 /// sanitised request field; the boundary horizons are folded in only when the
-/// scheduler's penalty is active (`penalized`), since they do not influence
+/// scheduler's penalty is active (`penalized`), and the per-QPU shot prices
+/// only when the cost lane is active (`costed`), since they do not influence
 /// the outcome otherwise and would needlessly invalidate plans computed for a
 /// slightly different fire instant. Equal digests over these inputs mean the
 /// scheduler is a pure function of equal arguments, so an adopted speculative
@@ -733,6 +779,8 @@ fn snapshot_digest(
     requests: &[JobRequest],
     horizon_s: &[f64],
     penalized: bool,
+    cost_per_shot: &[f64],
+    costed: bool,
 ) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     let mut eat = |bytes: &[u8]| {
@@ -763,18 +811,26 @@ fn snapshot_digest(
             eat(&h.to_bits().to_le_bytes());
         }
     }
+    if costed {
+        for &c in cost_per_shot {
+            eat(&c.to_bits().to_le_bytes());
+        }
+    }
     hash
 }
 
-/// Partition a batch plan at the fleet's recalibration boundaries (§7): the
+/// Partition a batch plan at the fleet's capacity boundaries (§7): the
 /// scheduler's relative timeline is shifted to absolute time and each QPU's
-/// planned jobs are run through [`partition_at_boundary`] against that QPU's
-/// own next boundary. Returns the `(job id, boundary)` pairs to defer —
-/// straddling and post-boundary placements — except jobs already deferred
-/// `max_deferrals` times (`SchedulerConfig::max_deferrals`, paper default 4),
-/// which dispatch anyway to avoid starvation behind a persistent backlog.
-/// `deferrals_of` must cover every planned job; a missing entry would debit
-/// no budget.
+/// planned jobs are run through [`partition_at_boundary`] against whichever
+/// comes first for that QPU — its next recalibration boundary or the start of
+/// its next maintenance window. Returns the `(job id, hold-until)` pairs to
+/// defer — straddling and post-boundary placements — except jobs already
+/// deferred `max_deferrals` times (`SchedulerConfig::max_deferrals`, paper
+/// default 4), which dispatch anyway to avoid starvation behind a persistent
+/// backlog. Jobs cut at a recalibration boundary are held until the boundary
+/// itself; jobs cut at a maintenance window are held until the window's END,
+/// since the capacity hole spans the whole window. `deferrals_of` must cover
+/// every planned job; a missing entry would debit no budget.
 fn split_at_boundaries(
     planned: &[PlannedJob],
     fleet: &Fleet,
@@ -791,11 +847,18 @@ fn split_at_boundaries(
     }
     let mut deferred = Vec::new();
     for (qpu_index, timeline) in per_qpu {
-        let boundary_s = fleet.members()[qpu_index].qpu.clock.next_boundary_s;
+        let qpu = &fleet.members()[qpu_index].qpu;
+        let cal_boundary_s = qpu.clock.next_boundary_s;
+        let (boundary_s, hold_until_s) = match qpu.next_maintenance_start_after(now_s) {
+            Some(maint_s) if maint_s < cal_boundary_s => {
+                (maint_s, qpu.maintenance_end_at(maint_s).unwrap_or(maint_s))
+            }
+            _ => (cal_boundary_s, cal_boundary_s),
+        };
         let partition = partition_at_boundary(&timeline, boundary_s);
         for job in partition.straddling.iter().chain(&partition.after) {
             if deferrals_of.get(&job.job_id).copied().unwrap_or(0) < max_deferrals {
-                deferred.push((job.job_id, boundary_s));
+                deferred.push((job.job_id, hold_until_s));
             }
         }
     }
@@ -883,6 +946,44 @@ mod tests {
         // The placements actually landed on queues.
         let enqueued: usize = fleet.members().iter().map(|m| m.queue.pending_len()).sum();
         assert_eq!(enqueued, 3);
+    }
+
+    #[test]
+    fn maintenance_masks_qpus_from_dispatch() {
+        let mut fleet = small_fleet(21);
+        // Every QPU except index 0 is down for maintenance at dispatch time.
+        for member in fleet.members_mut().iter_mut().skip(1) {
+            member.qpu.add_maintenance_window(0.0, 10_000.0);
+        }
+        let mut jm = JobManager::new(ScheduleTrigger::new(3, 1e12));
+        for _ in 0..3 {
+            jm.submit(spec(&fleet, 5, 10.0), 0.0);
+        }
+        let batch = jm.try_dispatch(0.0, &scheduler(), &mut fleet).expect("trigger fires");
+        assert_eq!(batch.outcome.placements.len(), 3);
+        assert!(
+            batch.outcome.placements.iter().all(|p| p.qpu_index == 0),
+            "jobs must never land on a QPU inside a maintenance window"
+        );
+    }
+
+    #[test]
+    fn maintenance_boundary_parks_jobs_until_window_end() {
+        let mut fleet = small_fleet(22);
+        // A window opening mid-execution on every QPU: planned jobs straddle
+        // its start and must be parked until the window END, not its start.
+        for member in fleet.members_mut().iter_mut() {
+            member.qpu.add_maintenance_window(5.0, 500.0);
+        }
+        let mut jm = JobManager::new(ScheduleTrigger::new(1, 1e12))
+            .with_calibration_policy(CalibrationPolicy::SplitAtBoundary);
+        let id = jm.submit(spec(&fleet, 5, 10.0), 0.0);
+        let batch = jm.try_dispatch(0.0, &scheduler(), &mut fleet).expect("trigger fires");
+        assert_eq!(batch.deferred, vec![(id, 500.0)]);
+        assert_eq!(jm.pending_len(), 1, "deferred job stays pooled");
+        assert_eq!(jm.pending()[0].held_until_s, 500.0);
+        let enqueued: usize = fleet.members().iter().map(|m| m.queue.pending_len()).sum();
+        assert_eq!(enqueued, 0, "nothing may execute into the maintenance hole");
     }
 
     #[test]

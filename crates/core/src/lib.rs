@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod federation;
 pub mod fleetlease;
 pub mod jobmanager;
 pub mod monitor;
@@ -26,7 +27,11 @@ pub mod submission;
 pub mod workflow;
 
 pub use config::{DeploymentConfig, Priority, ResourceLimits};
-pub use fleetlease::{FleetAllocator, LeaseConflict};
+pub use federation::{
+    CostOptimized, FederatedFleet, LeastLoaded, PlacementStrategy, Provider, ProviderCapacity,
+    QuantumAware,
+};
+pub use fleetlease::{FleetAllocator, LeaseConflict, ProviderSpan, ReleaseError};
 pub use jobmanager::{
     BatchRecord, CalibrationPolicy, CompletedExecution, JobId, JobManager, JobSpec, PendingJob,
     TenantId, DEFAULT_TENANT,

@@ -27,7 +27,7 @@
 //!   shards, so drained completions are attributed to the shard leasing the
 //!   QPU they ran on — which is exactly the shard that dispatched them.
 
-use crate::fleetlease::{FleetAllocator, LeaseConflict};
+use crate::fleetlease::{FleetAllocator, LeaseConflict, ReleaseError};
 use crate::jobmanager::{CalibrationPolicy, CompletedExecution, JobId, JobSpec, TenantId};
 use crate::replication::{
     DispatchOutcome, FailoverError, ReplicatedControlPlane, ReplicationError,
@@ -45,6 +45,28 @@ pub struct GlobalTicket {
     pub shard: usize,
     /// The shard-local ticket.
     pub ticket: JobTicket,
+}
+
+impl GlobalTicket {
+    /// Canonical text encoding `shard:tenant:ticket` — what a client stores
+    /// to poll across sessions. `decode(encode(t)) == t` exactly.
+    pub fn encode(&self) -> String {
+        format!("{}:{}:{}", self.shard, self.ticket.tenant, self.ticket.ticket)
+    }
+
+    /// Decode a ticket produced by [`GlobalTicket::encode`]. Returns `None`
+    /// on any malformed input (wrong field count, non-numeric fields,
+    /// trailing garbage).
+    pub fn decode(encoded: &str) -> Option<GlobalTicket> {
+        let mut fields = encoded.split(':');
+        let shard = fields.next()?.parse().ok()?;
+        let tenant = fields.next()?.parse().ok()?;
+        let ticket = fields.next()?.parse().ok()?;
+        if fields.next().is_some() {
+            return None;
+        }
+        Some(GlobalTicket { shard, ticket: JobTicket { tenant, ticket } })
+    }
 }
 
 /// Pure shard router: FNV-1a over the global tenant id's little-endian
@@ -109,6 +131,15 @@ impl ShardedControlPlane {
             plane.lease_qpu(shard, qpu_index).expect("fresh stores have quorums");
         }
         plane
+    }
+
+    /// Attach provider spans to the shared allocator (federated
+    /// deployments): `spans[p] = (provider name, qpu count)` concatenated in
+    /// flat-index order. Pure configuration — nothing is journaled, and
+    /// failover re-attaches the spans to the rebuilt allocator.
+    pub fn with_provider_spans(mut self, spans: Vec<(String, usize)>) -> Self {
+        self.allocator = self.allocator.with_provider_spans(spans);
+        self
     }
 
     /// Number of shards.
@@ -365,27 +396,34 @@ impl ShardedControlPlane {
         Ok(true)
     }
 
-    /// Release `shard`'s lease on `qpu_index`. Refused while the QPU's queue
-    /// still holds the shard's dispatched work — releasing mid-execution
-    /// would re-route those completions to the next lease holder.
+    /// Release `shard`'s lease on `qpu_index`. The outer `Result` is journal
+    /// plumbing; the inner one is the domain answer — `Ok(())` on release, or
+    /// the typed refusal: [`ReleaseError::NotOwner`] for an ownership
+    /// mismatch, [`ReleaseError::QueueBusy`] while the QPU's queue still
+    /// holds the shard's dispatched work (releasing mid-execution would
+    /// re-route those completions to the next lease holder).
     pub fn release_qpu(
         &mut self,
         shard: usize,
         qpu_index: usize,
         fleet: &Fleet,
-    ) -> Result<bool, ReplicationError> {
-        if self.allocator.owner(qpu_index) != Some(shard) {
-            return Ok(false);
-        }
-        if fleet.members()[qpu_index].queue.pending_len() > 0 {
-            return Ok(false);
+    ) -> Result<Result<(), ReleaseError>, ReplicationError> {
+        let pending_jobs = fleet.members()[qpu_index].queue.pending_len();
+        if let Err(refusal) = self.allocator.check_release(shard, qpu_index, pending_jobs) {
+            return Ok(Err(refusal));
         }
         if !self.shards[shard].release_qpu(qpu_index)? {
-            return Ok(false);
+            // Ownership was verified against the live allocator, so the
+            // journaled lease set disagreeing means the lease is not ours.
+            return Ok(Err(ReleaseError::NotOwner {
+                qpu_index,
+                requested_by: shard,
+                held_by: self.allocator.owner(qpu_index),
+            }));
         }
-        let released = self.allocator.release(shard, qpu_index);
-        debug_assert!(released, "allocator ownership checked above");
-        Ok(true)
+        let released = self.allocator.release(shard, qpu_index, pending_jobs);
+        debug_assert!(released.is_ok(), "allocator ownership checked above");
+        Ok(Ok(()))
     }
 
     /// Checkpoint every shard (snapshot + journal compaction). Returns the
@@ -437,10 +475,15 @@ impl ShardedControlPlane {
     }
 
     /// Reconstruct the allocator from the shards' journaled lease sets,
-    /// failing on any double grant.
+    /// failing on any double grant. Provider spans are static configuration
+    /// (membership is index-derived, never journaled), so they are carried
+    /// over from the live allocator — the rebuilt provider attribution is
+    /// byte-identical to the pre-crash one.
     pub fn rebuild_allocator(&self) -> Result<FleetAllocator, LeaseConflict> {
         let sets: Vec<_> = self.shards.iter().map(|s| s.leases().clone()).collect();
-        FleetAllocator::rebuild(&sets, self.allocator.num_qpus())
+        let spans: Vec<(String, usize)> =
+            self.allocator.provider_spans().iter().map(|s| (s.name.clone(), s.len)).collect();
+        Ok(FleetAllocator::rebuild(&sets, self.allocator.num_qpus())?.with_provider_spans(spans))
     }
 
     /// Mask a full-fleet spec to a shard's leased QPUs: non-leased entries
@@ -697,9 +740,21 @@ mod tests {
             .position(|m| m.queue.pending_len() > 0)
             .expect("the dispatched job occupies a queue");
         assert_eq!(plane.allocator().owner(busy_qpu), Some(shard));
-        assert!(
-            !plane.release_qpu(shard, busy_qpu, &fleet).unwrap(),
-            "a lease with in-flight work cannot be released"
+        let pending_jobs = fleet.members()[busy_qpu].queue.pending_len();
+        assert_eq!(
+            plane.release_qpu(shard, busy_qpu, &fleet).unwrap(),
+            Err(ReleaseError::QueueBusy { qpu_index: busy_qpu, pending_jobs }),
+            "a lease with in-flight work refuses release with the typed reason"
+        );
+        let other = (shard + 1) % 2;
+        assert_eq!(
+            plane.release_qpu(other, busy_qpu, &fleet).unwrap(),
+            Err(ReleaseError::NotOwner {
+                qpu_index: busy_qpu,
+                requested_by: other,
+                held_by: Some(shard)
+            }),
+            "a non-owner release reports the actual holder"
         );
 
         // Drain the work; the release then goes through and the QPU can move.
@@ -707,11 +762,79 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         fleet.advance_to(horizon + 1.0, &mut rng);
         plane.drain_and_note(&mut fleet).unwrap();
-        assert!(plane.release_qpu(shard, busy_qpu, &fleet).unwrap());
+        assert_eq!(plane.release_qpu(shard, busy_qpu, &fleet).unwrap(), Ok(()));
         assert_eq!(plane.allocator().owner(busy_qpu), None);
-        let other = (shard + 1) % 2;
         assert!(plane.lease_qpu(other, busy_qpu).unwrap());
         assert_eq!(plane.allocator().owner(busy_qpu), Some(other));
         assert!(plane.rebuild_allocator().is_ok(), "journals stay conflict-free after a move");
+    }
+
+    #[test]
+    fn the_router_balances_a_large_tenant_population() {
+        // Satellite check: FNV-1a over 10⁵ sequential tenant ids must spread
+        // evenly — the heaviest shard may not carry more than 1.1× the
+        // lightest (the hash is uniform; sequential ids are the worst
+        // realistic input since registration assigns them in order).
+        const TENANTS: u32 = 100_000;
+        for num_shards in [2usize, 4, 8, 16] {
+            let mut load = vec![0u32; num_shards];
+            for tenant in 0..TENANTS {
+                load[shard_of_global(tenant, num_shards)] += 1;
+            }
+            let max = *load.iter().max().unwrap();
+            let min = *load.iter().min().unwrap();
+            assert!(min > 0, "no shard may be starved at {num_shards} shards");
+            let ratio = f64::from(max) / f64::from(min);
+            assert!(
+                ratio < 1.1,
+                "shard load imbalance {ratio:.3} at {num_shards} shards (max {max}, min {min})"
+            );
+        }
+    }
+
+    #[test]
+    fn global_tickets_roundtrip_through_their_text_encoding() {
+        let tickets = [
+            GlobalTicket { shard: 0, ticket: JobTicket { tenant: 0, ticket: 0 } },
+            GlobalTicket { shard: 7, ticket: JobTicket { tenant: 42, ticket: 9_001 } },
+            GlobalTicket {
+                shard: usize::MAX,
+                ticket: JobTicket { tenant: u32::MAX, ticket: u64::MAX },
+            },
+        ];
+        for ticket in tickets {
+            let encoded = ticket.encode();
+            assert_eq!(GlobalTicket::decode(&encoded), Some(ticket), "roundtrip of {encoded}");
+        }
+        for bad in ["", "1", "1:2", "1:2:3:4", "x:2:3", "1:-2:3", "1:2:3 "] {
+            assert_eq!(GlobalTicket::decode(bad), None, "malformed input {bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn provider_spans_survive_failover_byte_for_byte() {
+        let mut plane =
+            plane(2, 8).with_provider_spans(vec![("ibm".to_string(), 6), ("ionq".to_string(), 2)]);
+        let fleet = small_fleet(3);
+        let tenant = plane.register_tenant(1).unwrap();
+        plane.submit(tenant, spec(&fleet, 5, 20.0), 1.0).unwrap();
+        plane.admit(2.0).unwrap();
+
+        let before = plane.allocator().clone();
+        assert_eq!(before.provider_of(5), Some("ibm"));
+        assert_eq!(before.provider_of(6), Some("ionq"));
+        plane.crash_all_leaders();
+        plane.failover_all().unwrap();
+        assert_eq!(
+            plane.allocator(),
+            &before,
+            "rebuilt allocator (leases + spans) must match the pre-crash one exactly"
+        );
+        for shard in 0..2 {
+            assert_eq!(
+                plane.allocator().leased_by_provider(shard),
+                before.leased_by_provider(shard)
+            );
+        }
     }
 }

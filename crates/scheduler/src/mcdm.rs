@@ -111,7 +111,7 @@ mod tests {
             .enumerate()
             .map(|(i, &(jct, err))| ParetoSolution {
                 assignment: vec![i],
-                objectives: Objectives { mean_jct_s: jct, mean_error: err },
+                objectives: Objectives { mean_jct_s: jct, mean_error: err, mean_cost: 0.0 },
             })
             .collect()
     }
@@ -174,7 +174,7 @@ mod tests {
         let f: Vec<ParetoSolution> = (0..3)
             .map(|i| ParetoSolution {
                 assignment: vec![i],
-                objectives: Objectives { mean_jct_s: 42.0, mean_error: 0.25 },
+                objectives: Objectives { mean_jct_s: 42.0, mean_error: 0.25, mean_cost: 0.0 },
             })
             .collect();
         for (fid, jct) in pseudo_weights(&f) {
@@ -200,7 +200,7 @@ mod tests {
             .enumerate()
             .map(|(i, &(jct, err))| ParetoSolution {
                 assignment: vec![i],
-                objectives: Objectives { mean_jct_s: jct, mean_error: err },
+                objectives: Objectives { mean_jct_s: jct, mean_error: err, mean_cost: 0.0 },
             })
             .collect();
         let w = pseudo_weights(&f);

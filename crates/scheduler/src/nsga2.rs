@@ -28,8 +28,8 @@
 //! model: the population splits into independent subpopulations over the
 //! shared read-only problem tables, each with its own deterministic RNG
 //! stream, workspace slot, and termination window. Every
-//! [`MIGRATION_INTERVAL`] generations the islands exchange Pareto-front
-//! elites along a ring, and the final front is the non-dominated merge of
+//! [`Nsga2Config::migration_interval`] generations the islands exchange
+//! Pareto-front elites along a ring, and the final front is the non-dominated merge of
 //! the island fronts. Islands use two speed levers the sequential reference
 //! path deliberately avoids: an `O(n log n)` sweep-based non-dominated sort
 //! (ranks identical to the pairwise algorithm) and polynomial `ln`/`pow`
@@ -70,14 +70,25 @@ pub struct Nsga2Config {
     /// Number of generations in the termination window.
     pub tolerance_window: usize,
     /// Number of NSGA-II islands (independent subpopulations exchanging
-    /// Pareto elites along a ring every [`MIGRATION_INTERVAL`] generations).
-    /// `<= 1` selects the sequential single-population reference path;
-    /// larger values are clamped so every island keeps at least
-    /// [`MIN_ISLAND_POP`] individuals. The field once sized a fitness
+    /// Pareto elites along a ring every [`Nsga2Config::migration_interval`]
+    /// generations). `<= 1` selects the sequential single-population
+    /// reference path; larger values are clamped so every island keeps at
+    /// least [`Nsga2Config::min_island_pop`] individuals. The field once sized a fitness
     /// thread pool that PR 3's incremental evaluation removed; it now
     /// controls partitioning, and threads are an implementation detail
     /// (spawned only on multi-core hosts, never changing results).
     pub num_threads: usize,
+    /// Generations an island evolves between ring elite exchanges
+    /// (default [`MIGRATION_INTERVAL`]; values `< 1` are clamped to 1).
+    /// Only consulted on the island path.
+    #[serde(default)]
+    pub migration_interval: usize,
+    /// Minimum individuals per island: requested island counts are clamped
+    /// so no island drops below this (default [`MIN_ISLAND_POP`]; values
+    /// `< 1` are clamped to 1 — tiny subpopulations stall the genetic
+    /// operators).
+    #[serde(default)]
+    pub min_island_pop: usize,
     /// RNG seed.
     pub seed: u64,
 }
@@ -95,6 +106,8 @@ impl Default for Nsga2Config {
             tolerance: 1e-3,
             tolerance_window: 10,
             num_threads: 4,
+            migration_interval: MIGRATION_INTERVAL,
+            min_island_pop: MIN_ISLAND_POP,
             seed: 0xC0FFEE,
         }
     }
@@ -120,7 +133,7 @@ pub struct Nsga2Result {
     pub evaluations: usize,
 }
 
-const ZERO_OBJECTIVES: Objectives = Objectives { mean_jct_s: 0.0, mean_error: 0.0 };
+const ZERO_OBJECTIVES: Objectives = Objectives { mean_jct_s: 0.0, mean_error: 0.0, mean_cost: 0.0 };
 
 #[derive(Debug, Clone)]
 struct Individual {
@@ -465,21 +478,22 @@ pub fn optimize_seeded(
     optimize_with(problem, config, seeds, &mut workspace)
 }
 
-/// Generations an island evolves between elite exchanges.
+/// Default for [`Nsga2Config::migration_interval`]: generations an island
+/// evolves between elite exchanges.
 pub const MIGRATION_INTERVAL: usize = 5;
 
 /// Pareto-front elites each island sends to its ring neighbour per exchange.
 const MIGRATION_ELITES: usize = 2;
 
-/// Minimum individuals per island: requested island counts are clamped so no
-/// island drops below this (tiny subpopulations stall the genetic operators).
+/// Default for [`Nsga2Config::min_island_pop`]: minimum individuals per
+/// island (tiny subpopulations stall the genetic operators).
 pub const MIN_ISLAND_POP: usize = 4;
 
 /// Effective island count for a configuration: `num_threads` clamped so each
-/// island keeps at least [`MIN_ISLAND_POP`] individuals.
+/// island keeps at least [`Nsga2Config::min_island_pop`] individuals.
 fn effective_islands(config: &Nsga2Config) -> usize {
     let pop_size = config.population_size.max(4);
-    config.num_threads.min(pop_size / MIN_ISLAND_POP).max(1)
+    config.num_threads.min(pop_size / config.min_island_pop.max(1)).max(1)
 }
 
 /// The full-control entry point: NSGA-II with warm-start seeds and a caller
@@ -624,7 +638,7 @@ fn island_seed(seed: u64, island: usize) -> u64 {
 
 /// Island-model NSGA-II: `islands` independent subpopulations over the
 /// shared read-only problem tables, ring migration of elites every
-/// [`MIGRATION_INTERVAL`] generations, and a final non-dominated merge of
+/// [`Nsga2Config::migration_interval`] generations, and a final non-dominated merge of
 /// the island fronts. Results are a pure function of (problem, config,
 /// seeds, island count); threads are used only when the host has spare
 /// cores and never change the outcome.
@@ -799,7 +813,7 @@ fn selection_order<T: Ranked>(a: &T, b: &T) -> std::cmp::Ordering {
     a.rank().cmp(&b.rank()).then_with(|| b.crowding().total_cmp(&a.crowding()))
 }
 
-/// Evolve one island for up to [`MIGRATION_INTERVAL`] generations, or until
+/// Evolve one island for up to [`Nsga2Config::migration_interval`] generations, or until
 /// its generation/evaluation budget or tolerance window terminates it.
 /// Mirrors the sequential generation loop with the island speed levers:
 /// [`breed_lanes`] offspring generation and the sweep-based sort.
@@ -812,7 +826,7 @@ fn island_round(
     my_pop: usize,
     max_evaluations: usize,
 ) {
-    for _ in 0..MIGRATION_INTERVAL {
+    for _ in 0..config.migration_interval.max(1) {
         if slot.generations >= config.max_generations {
             slot.done = true;
             return;
@@ -1556,7 +1570,7 @@ mod tests {
                     let jct = rng.gen_range(0..8) as f64;
                     let err = rng.gen_range(0..8) as f64 / 10.0;
                     Individual {
-                        objectives: Objectives { mean_jct_s: jct, mean_error: err },
+                        objectives: Objectives { mean_jct_s: jct, mean_error: err, mean_cost: 0.0 },
                         ..Individual::default()
                     }
                 })
@@ -1650,6 +1664,44 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn island_knobs_are_configurable_with_unchanged_defaults() {
+        let defaults = Nsga2Config::default();
+        assert_eq!(defaults.migration_interval, MIGRATION_INTERVAL);
+        assert_eq!(defaults.min_island_pop, MIN_ISLAND_POP);
+
+        let problem = random_problem(40, 6, 13);
+        // A custom migration cadence is deterministic and feasible.
+        let custom =
+            Nsga2Config { num_threads: 3, migration_interval: 2, ..Nsga2Config::default() };
+        let a = optimize(&problem, &custom);
+        let b = optimize(&problem, &custom);
+        assert_eq!(a, b);
+        for s in &a.pareto_front {
+            assert!(problem.assignment_is_feasible(&s.assignment));
+        }
+        // Raising the per-island floor clamps the island count; with a floor
+        // of the whole population the dispatch is exactly the sequential path.
+        let floor = Nsga2Config {
+            num_threads: 8,
+            min_island_pop: defaults.population_size,
+            ..Nsga2Config::default()
+        };
+        let mut w1 = OptimizerWorkspace::new();
+        let mut w2 = OptimizerWorkspace::new();
+        let via_dispatch = optimize_with(&problem, &floor, &[], &mut w1);
+        let sequential = optimize_sequential(&problem, &floor, &[], &mut w2);
+        assert_eq!(via_dispatch, sequential);
+        // A degenerate zero interval is clamped, not an infinite loop.
+        let zero = Nsga2Config {
+            num_threads: 2,
+            migration_interval: 0,
+            max_generations: 6,
+            ..Nsga2Config::default()
+        };
+        assert!(!optimize(&problem, &zero).pareto_front.is_empty());
     }
 
     #[test]

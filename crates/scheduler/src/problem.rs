@@ -49,6 +49,11 @@ pub const MAX_WAIT_S: f64 = 1e8;
 /// violation), steering the optimizer toward feasible assignments.
 pub const INFEASIBLE_PENALTY_S: f64 = 1e7;
 
+/// Upper clamp on the per-placement shot cost (credit units): keeps per-QPU
+/// cost sums exactly representable on the dyadic grid (see the module docs'
+/// 2⁵³ budget) no matter what a provider's billing table claims.
+pub const MAX_PLACEMENT_COST: f64 = 1e6;
+
 /// Times snap to multiples of 2⁻²⁰ s (≈ 1 µs): power-of-two scaling keeps
 /// quantisation exact and per-QPU sums exactly representable.
 const TIME_GRID: f64 = 1_048_576.0; // 2^20
@@ -81,6 +86,38 @@ fn sanitize_err(fidelity: f64) -> f64 {
 fn sanitize_wait(v: f64) -> f64 {
     let v = if v.is_finite() { v.clamp(0.0, MAX_WAIT_S) } else { MAX_WAIT_S };
     snap(v, TIME_GRID)
+}
+
+/// Sanitised per-placement shot cost: a non-finite or negative billing entry
+/// degrades to free (costs must never poison the objective arithmetic), the
+/// rest clamps to [`MAX_PLACEMENT_COST`] and snaps to the time grid so
+/// incremental cost sums stay exact.
+fn sanitize_cost(v: f64) -> f64 {
+    let v = if v.is_finite() && v >= 0.0 { v.min(MAX_PLACEMENT_COST) } else { 0.0 };
+    snap(v, TIME_GRID)
+}
+
+/// One QPU lane of a single-table reduction (the cost lane): sum `vals` over
+/// the genes assigned to QPU `qm`. Same 8-accumulator shape as [`lane_fold`]
+/// so results are deterministic per target; the cost lane is folded
+/// separately to keep the three-table SSE2 kernel untouched.
+fn lane_fold_single(genes: &[u16], vals: &[f32], qm: u16) -> f32 {
+    let n = genes.len();
+    debug_assert_eq!(vals.len(), n);
+    let mut acc = [0.0f32; 8];
+    let mut i = 0usize;
+    while i + 8 <= n {
+        for l in 0..8 {
+            let m = (genes[i + l] == qm) as u32 as f32;
+            acc[l] += m * vals[i + l];
+        }
+        i += 8;
+    }
+    while i < n {
+        acc[0] += (genes[i] == qm) as u32 as f32 * vals[i];
+        i += 1;
+    }
+    acc.iter().sum()
 }
 
 /// One QPU lane of the objective reduction: sum `exec`/`feas`/`err` over the
@@ -230,6 +267,10 @@ pub struct SchedulingProblem {
     /// [`Self::with_boundary_penalty`]). `None` leaves the objectives
     /// bit-for-bit identical to a problem built without the penalty.
     boundary: Option<BoundaryPenalty>,
+    /// Optional per-placement shot-cost objective lane (see
+    /// [`Self::with_shot_costs`]). `None` leaves the objectives bit-for-bit
+    /// identical to a problem built without costs.
+    costs: Option<ShotCosts>,
 }
 
 /// Soft penalty steering the optimizer away from plans that spill past a
@@ -245,16 +286,43 @@ struct BoundaryPenalty {
     weight: f64,
 }
 
+/// The federation cost lane: per-placement monetary cost
+/// (`shots × cost_per_shot[qpu]`) mirrored into both evaluation layouts.
+/// The cost sum is reported as [`Objectives::mean_cost`] and, scaled by
+/// `weight`, folded into the JCT objective so the optimizer trades turnaround
+/// against spend. Dominance stays two-dimensional — the cost lane steers
+/// through the scalarised JCT like the boundary penalty does, which keeps the
+/// 2-D Pareto sweep, crowding, and MCDM layers untouched.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ShotCosts {
+    /// Flat sanitised cost table, `cost[job * num_qpus + qpu]`, on the time
+    /// grid so incremental sums are exact.
+    cost: Vec<f64>,
+    /// Transposed f32 cost lanes, `lane_cost[qpu * num_jobs + job]`, for the
+    /// island optimizer's batch path.
+    lane_cost: Vec<f32>,
+    /// Seconds of JCT-sum pressure per credit unit of plan cost.
+    weight: f64,
+}
+
 /// Sentinel in the nearest-feasible table for jobs with an empty feasible set.
 pub(crate) const NO_FEASIBLE: u32 = u32::MAX;
 
-/// The two objective values of one assignment (both minimised).
+/// The objective values of one assignment (all minimised). `mean_jct_s` and
+/// `mean_error` are the two Pareto dimensions of Eq. (1); `mean_cost` is the
+/// federation cost lane, reported for MCDM tie-breaking and diagnostics and
+/// folded into `mean_jct_s` (scaled by the cost weight) during the search —
+/// it does **not** participate in [`Objectives::dominates`], which keeps the
+/// 2-D non-dominated sort intact. Always `0.0` when no cost lane is attached.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Objectives {
     /// Mean job completion time in seconds (`f₁`).
     pub mean_jct_s: f64,
     /// Mean error = 1 − mean fidelity (`f₂`).
     pub mean_error: f64,
+    /// Mean per-job placement cost in credit units (federation lane).
+    #[serde(default)]
+    pub mean_cost: f64,
 }
 
 impl Objectives {
@@ -263,8 +331,11 @@ impl Objectives {
         1.0 - self.mean_error
     }
 
-    /// Pareto dominance: `self` dominates `other` if it is no worse in both
-    /// objectives and strictly better in at least one.
+    /// Pareto dominance over the two Eq. (1) objectives: `self` dominates
+    /// `other` if it is no worse in both and strictly better in at least one.
+    /// `mean_cost` is deliberately excluded — cost pressure reaches the
+    /// search through the scalarised JCT term (see
+    /// [`SchedulingProblem::with_shot_costs`]).
     pub fn dominates(&self, other: &Objectives) -> bool {
         let no_worse = self.mean_jct_s <= other.mean_jct_s && self.mean_error <= other.mean_error;
         let better = self.mean_jct_s < other.mean_jct_s || self.mean_error < other.mean_error;
@@ -290,6 +361,9 @@ pub struct EvalState {
     /// Number of infeasibly placed jobs (each adds the JCT penalty and a full
     /// error of 1.0).
     infeasible: u32,
+    /// Sum of per-placement shot costs over all placed jobs (exact on the
+    /// dyadic grid). Stays `0.0` when the problem has no cost lane.
+    cost_sum: f64,
 }
 
 impl EvalState {
@@ -300,6 +374,7 @@ impl EvalState {
             feasible_count: vec![0; num_qpus],
             err_sum: 0.0,
             infeasible: 0,
+            cost_sum: 0.0,
         }
     }
 
@@ -311,6 +386,7 @@ impl EvalState {
         self.feasible_count.resize(num_qpus, 0);
         self.err_sum = 0.0;
         self.infeasible = 0;
+        self.cost_sum = 0.0;
     }
 
     /// Copy another state into this one, reusing the buffers (no allocation
@@ -320,6 +396,7 @@ impl EvalState {
         self.feasible_count.clone_from(&src.feasible_count);
         self.err_sum = src.err_sum;
         self.infeasible = src.infeasible;
+        self.cost_sum = src.cost_sum;
     }
 }
 
@@ -427,6 +504,7 @@ impl SchedulingProblem {
             nearest,
             epochs,
             boundary: None,
+            costs: None,
         }
     }
 
@@ -455,6 +533,46 @@ impl SchedulingProblem {
     /// `true` when a calibration-boundary penalty is attached.
     pub fn has_boundary_penalty(&self) -> bool {
         self.boundary.is_some()
+    }
+
+    /// Attach the federation cost lane: `cost_per_shot[q]` is QPU `q`'s
+    /// per-shot price in credit units (non-finite, negative, or missing
+    /// entries degrade to free), and `weight` scales the JCT-sum pressure per
+    /// credit unit of total plan cost. Each placement's cost is
+    /// `shots × cost_per_shot[qpu]`, sanitised and snapped to the dyadic grid
+    /// so [`EvalState`] cost sums update exactly; the lane is also mirrored
+    /// into transposed f32 lanes for the island optimizer. The cost term is
+    /// computed from the aggregates inside [`Self::objectives_of`], so
+    /// incremental and full evaluation remain bit-for-bit identical; a
+    /// zero/negative weight disables the lane entirely, leaving every
+    /// objective bit-identical to a cost-free problem.
+    pub fn with_shot_costs(mut self, cost_per_shot: &[f64], weight: f64) -> Self {
+        if weight <= 0.0 || !weight.is_finite() {
+            self.costs = None;
+            return self;
+        }
+        let num_qpus = self.num_qpus();
+        let num_jobs = self.num_jobs();
+        let mut cost = Vec::with_capacity(num_jobs * num_qpus);
+        for j in &self.jobs {
+            for q in 0..num_qpus {
+                let per_shot = cost_per_shot.get(q).copied().unwrap_or(0.0);
+                cost.push(sanitize_cost(f64::from(j.shots) * per_shot));
+            }
+        }
+        let mut lane_cost = vec![0.0f32; num_jobs * num_qpus];
+        for (i, row) in cost.chunks_exact(num_qpus).enumerate() {
+            for (q, &c) in row.iter().enumerate() {
+                lane_cost[q * num_jobs + i] = c as f32;
+            }
+        }
+        self.costs = Some(ShotCosts { cost, lane_cost, weight });
+        self
+    }
+
+    /// `true` when the federation cost lane is attached.
+    pub fn has_shot_costs(&self) -> bool {
+        self.costs.is_some()
     }
 
     /// The calibration epoch each QPU's estimate column was built from
@@ -544,6 +662,9 @@ impl SchedulingProblem {
     pub fn place_job(&self, state: &mut EvalState, job: usize, qpu: usize) {
         let k = job * self.num_qpus() + qpu;
         state.assigned_time[qpu] += self.exec[k];
+        if let Some(c) = &self.costs {
+            state.cost_sum += c.cost[k];
+        }
         if self.feasible_bit(job, qpu) {
             state.feasible_count[qpu] += 1;
             state.err_sum += self.err[k];
@@ -557,6 +678,9 @@ impl SchedulingProblem {
     pub fn unplace_job(&self, state: &mut EvalState, job: usize, qpu: usize) {
         let k = job * self.num_qpus() + qpu;
         state.assigned_time[qpu] -= self.exec[k];
+        if let Some(c) = &self.costs {
+            state.cost_sum -= c.cost[k];
+        }
         if self.feasible_bit(job, qpu) {
             state.feasible_count[qpu] -= 1;
             state.err_sum -= self.err[k];
@@ -577,6 +701,12 @@ impl SchedulingProblem {
         let (kf, kt) = (row + from, row + to);
         state.assigned_time[from] -= self.exec[kf];
         state.assigned_time[to] += self.exec[kt];
+        if let Some(c) = &self.costs {
+            // Subtract-then-add of grid values is exact, so a move is the
+            // exact inverse-compose of unplace + place for the cost sum too.
+            state.cost_sum -= c.cost[kf];
+            state.cost_sum += c.cost[kt];
+        }
         match (self.feasible_bit(job, from), self.feasible_bit(job, to)) {
             (true, true) => {
                 state.feasible_count[from] -= 1;
@@ -614,8 +744,13 @@ impl SchedulingProblem {
                 }
             }
         }
+        let mut mean_cost = 0.0;
+        if let Some(c) = &self.costs {
+            jct_sum += c.weight * state.cost_sum;
+            mean_cost = state.cost_sum / n;
+        }
         let err_total = state.err_sum + f64::from(state.infeasible);
-        Objectives { mean_jct_s: jct_sum / n, mean_error: err_total / n }
+        Objectives { mean_jct_s: jct_sum / n, mean_error: err_total / n, mean_cost }
     }
 
     /// Evaluate the two objectives of Eq. (1) for an assignment
@@ -654,6 +789,7 @@ impl SchedulingProblem {
         let mut jct_sum = 0.0f64;
         let mut err_total = 0.0f64;
         let mut feas_total = 0.0f64;
+        let mut cost_total = 0.0f64;
         for q in 0..num_qpus {
             let qm = q as u16;
             let exec_lane = &self.lane_exec[q * n..(q + 1) * n];
@@ -673,13 +809,22 @@ impl SchedulingProblem {
                     jct_sum += b.weight * over;
                 }
             }
+            if let Some(c) = &self.costs {
+                let cost_lane = &c.lane_cost[q * n..(q + 1) * n];
+                cost_total += f64::from(lane_fold_single(genes, cost_lane, qm));
+            }
         }
         // Every job is assigned exactly once, so the infeasible count is the
         // complement of the feasible count; infeasible error contributions of
         // 1.0 are already folded into `lane_err`.
         let infeasible = (n as f64 - feas_total).max(0.0);
         jct_sum += infeasible * INFEASIBLE_PENALTY_S;
-        Objectives { mean_jct_s: jct_sum / n as f64, mean_error: err_total / n as f64 }
+        let mut mean_cost = 0.0;
+        if let Some(c) = &self.costs {
+            jct_sum += c.weight * cost_total;
+            mean_cost = cost_total / n as f64;
+        }
+        Objectives { mean_jct_s: jct_sum / n as f64, mean_error: err_total / n as f64, mean_cost }
     }
 
     /// Per-job completion times (seconds) under an assignment — used by the
@@ -781,13 +926,16 @@ mod tests {
 
     #[test]
     fn dominance_relation() {
-        let a = Objectives { mean_jct_s: 10.0, mean_error: 0.1 };
-        let b = Objectives { mean_jct_s: 20.0, mean_error: 0.2 };
-        let c = Objectives { mean_jct_s: 5.0, mean_error: 0.3 };
+        let a = Objectives { mean_jct_s: 10.0, mean_error: 0.1, mean_cost: 0.0 };
+        let b = Objectives { mean_jct_s: 20.0, mean_error: 0.2, mean_cost: 0.0 };
+        let c = Objectives { mean_jct_s: 5.0, mean_error: 0.3, mean_cost: 0.0 };
         assert!(a.dominates(&b));
         assert!(!b.dominates(&a));
         assert!(!a.dominates(&c) && !c.dominates(&a), "a and c are incomparable");
         assert!(!a.dominates(&a), "dominance is irreflexive");
+        // The cost lane never participates in dominance.
+        let pricey = Objectives { mean_cost: 99.0, ..a };
+        assert!(pricey.dominates(&b) && !b.dominates(&pricey));
     }
 
     #[test]
@@ -906,5 +1054,60 @@ mod tests {
         // Zero or non-finite weights disable the penalty outright.
         assert!(!toy_problem().with_boundary_penalty(&[30.0], 0.0).has_boundary_penalty());
         assert!(!toy_problem().with_boundary_penalty(&[30.0], f64::NAN).has_boundary_penalty());
+    }
+
+    #[test]
+    fn cost_lane_prices_placements_without_touching_other_objectives() {
+        let base = toy_problem();
+        let assignment = vec![0, 0, 1, 1];
+        let free = base.evaluate(&assignment);
+        assert_eq!(free.mean_cost, 0.0, "no lane attached → zero cost");
+
+        // 1000 shots each at 2.0 / 0.5 / 0.1 credits per shot.
+        let prices = [2.0, 0.5, 0.1];
+        let weight = 0.001;
+        let priced = toy_problem().with_shot_costs(&prices, weight);
+        assert!(priced.has_shot_costs());
+        let o = priced.evaluate(&assignment);
+        let expected_cost = (2.0 * 2000.0 + 2.0 * 500.0) / 4.0;
+        assert!((o.mean_cost - expected_cost).abs() < 1e-9, "{o:?}");
+        // Cost reaches the search as scalarised JCT pressure...
+        let expected_jct = free.mean_jct_s + weight * expected_cost * 4.0 / 4.0;
+        assert!((o.mean_jct_s - expected_jct).abs() < 1e-9);
+        // ...and never perturbs the error objective.
+        assert_eq!(o.mean_error.to_bits(), free.mean_error.to_bits());
+
+        // Incremental moves stay bit-identical to full evaluation with the
+        // lane attached, cost_sum included.
+        let mut state = EvalState::new(priced.num_qpus());
+        let mut genes = assignment.clone();
+        priced.init_state(&genes, &mut state);
+        for (job, to) in [(0usize, 2usize), (3, 0), (0, 1), (2, 2), (3, 1)] {
+            priced.move_job(&mut state, job, genes[job], to);
+            genes[job] = to;
+            let inc = priced.objectives_of(&state);
+            let full = priced.evaluate(&genes);
+            assert_eq!(inc.mean_jct_s.to_bits(), full.mean_jct_s.to_bits());
+            assert_eq!(inc.mean_cost.to_bits(), full.mean_cost.to_bits());
+        }
+
+        // The f32 island path agrees to lane tolerance.
+        let lanes = priced.evaluate_lanes(&assignment);
+        assert!((lanes.mean_cost - o.mean_cost).abs() / o.mean_cost.max(1.0) < 1e-4);
+        assert!((lanes.mean_jct_s - o.mean_jct_s).abs() / o.mean_jct_s < 1e-4);
+
+        // A disabled lane leaves every objective bit-identical to cost-free.
+        let disabled = toy_problem().with_shot_costs(&prices, 0.0);
+        assert!(!disabled.has_shot_costs());
+        let d = disabled.evaluate(&assignment);
+        assert_eq!(d.mean_jct_s.to_bits(), free.mean_jct_s.to_bits());
+        assert_eq!(d.mean_cost, 0.0);
+        assert!(!toy_problem().with_shot_costs(&prices, f64::NAN).has_shot_costs());
+
+        // Billing garbage degrades to free instead of poisoning objectives.
+        let weird = toy_problem().with_shot_costs(&[f64::NAN, -3.0], 1.0);
+        let w = weird.evaluate(&assignment);
+        assert_eq!(w.mean_cost, 0.0);
+        assert!(w.mean_jct_s.is_finite());
     }
 }

@@ -38,6 +38,16 @@ pub struct SchedulerConfig {
     /// periods; 0 disables deferral entirely.
     #[serde(default = "default_max_deferrals")]
     pub max_deferrals: u32,
+    /// Weight of the federation cost objective: when > 0 and the caller
+    /// supplies per-QPU shot prices
+    /// ([`HybridScheduler::schedule_with_fleet_context`]), each candidate
+    /// plan's total monetary cost (`Σ shots × cost_per_shot[qpu]`) is
+    /// reported as [`Objectives::mean_cost`] and folded into the JCT
+    /// objective scaled by this weight, steering placement toward cheaper
+    /// providers. 0 (the default) disables the lane and keeps every outcome
+    /// bit-identical to the cost-free path.
+    #[serde(default)]
+    pub cost_weight: f64,
 }
 
 /// Paper-default deferral budget (see `SchedulerConfig::max_deferrals`).
@@ -52,6 +62,7 @@ impl Default for SchedulerConfig {
             preference: Preference::balanced(),
             boundary_penalty_weight: 0.0,
             max_deferrals: default_max_deferrals(),
+            cost_weight: 0.0,
         }
     }
 }
@@ -250,7 +261,7 @@ impl HybridScheduler {
     /// Jobs whose qubit requirement no QPU can satisfy are filtered out during
     /// pre-processing and reported in `rejected_jobs`.
     pub fn schedule(&self, jobs: Vec<JobRequest>, qpus: Vec<QpuState>) -> ScheduleOutcome {
-        self.schedule_cycle(jobs, qpus, &[], true).0
+        self.schedule_cycle(jobs, qpus, &[], &[], true).0
     }
 
     /// [`Self::schedule`] with per-QPU recalibration horizons: `horizon_s[q]`
@@ -267,7 +278,25 @@ impl HybridScheduler {
         qpus: Vec<QpuState>,
         horizon_s: &[f64],
     ) -> ScheduleOutcome {
-        self.schedule_cycle(jobs, qpus, horizon_s, true).0
+        self.schedule_cycle(jobs, qpus, horizon_s, &[], true).0
+    }
+
+    /// [`Self::schedule_with_horizons`] plus per-QPU shot prices
+    /// (`cost_per_shot[q]`, credit units, index-aligned with `qpus`): the
+    /// full fleet context a federated dispatch layer carries. When
+    /// [`SchedulerConfig::cost_weight`] is positive the optimizer trades
+    /// turnaround against spend (see
+    /// [`SchedulingProblem::with_shot_costs`]); with a zero weight (or an
+    /// empty price table) the outcome is bit-identical to
+    /// [`Self::schedule_with_horizons`].
+    pub fn schedule_with_fleet_context(
+        &self,
+        jobs: Vec<JobRequest>,
+        qpus: Vec<QpuState>,
+        horizon_s: &[f64],
+        cost_per_shot: &[f64],
+    ) -> ScheduleOutcome {
+        self.schedule_cycle(jobs, qpus, horizon_s, cost_per_shot, true).0
     }
 
     /// Compute a schedule for a *future* dispatch without mutating the
@@ -282,8 +311,9 @@ impl HybridScheduler {
         jobs: Vec<JobRequest>,
         qpus: Vec<QpuState>,
         horizon_s: &[f64],
+        cost_per_shot: &[f64],
     ) -> SpeculativeSchedule {
-        let (outcome, front) = self.schedule_cycle(jobs, qpus, horizon_s, false);
+        let (outcome, front) = self.schedule_cycle(jobs, qpus, horizon_s, cost_per_shot, false);
         SpeculativeSchedule { outcome, front }
     }
 
@@ -304,6 +334,7 @@ impl HybridScheduler {
         jobs: Vec<JobRequest>,
         qpus: Vec<QpuState>,
         horizon_s: &[f64],
+        cost_per_shot: &[f64],
         commit: bool,
     ) -> (ScheduleOutcome, Option<WarmFront>) {
         assert!(!qpus.is_empty(), "scheduling requires at least one QPU");
@@ -314,7 +345,7 @@ impl HybridScheduler {
             jobs.into_iter().partition(|j| j.qubits <= max_qpu_size);
         let rejected_jobs: Vec<u64> = rejected.iter().map(|j| j.job_id).collect();
         if schedulable.is_empty() {
-            let zero = Objectives { mean_jct_s: 0.0, mean_error: 0.0 };
+            let zero = Objectives { mean_jct_s: 0.0, mean_error: 0.0, mean_cost: 0.0 };
             let outcome = ScheduleOutcome {
                 placements: vec![],
                 chosen: zero,
@@ -338,6 +369,9 @@ impl HybridScheduler {
         let mut problem = SchedulingProblem::new(schedulable, qpus);
         if self.config.boundary_penalty_weight > 0.0 && !horizon_s.is_empty() {
             problem = problem.with_boundary_penalty(horizon_s, self.config.boundary_penalty_weight);
+        }
+        if self.config.cost_weight > 0.0 && !cost_per_shot.is_empty() {
+            problem = problem.with_shot_costs(cost_per_shot, self.config.cost_weight);
         }
         let preprocessing_s = t0.elapsed().as_secs_f64();
 
@@ -577,6 +611,56 @@ mod tests {
             assert!(planned.duration_s > 0.0);
             next_free[p.qpu_index] = planned.finish_s();
         }
+    }
+
+    #[test]
+    fn cost_weight_steers_placement_and_zero_weight_is_bit_identical() {
+        // Two equally capable QPUs; QPU 0 is 20× pricier per shot.
+        let qpus: Vec<QpuState> = (0..2)
+            .map(|i| QpuState {
+                name: format!("qpu{i}"),
+                num_qubits: 27,
+                waiting_time_s: 0.0,
+                calibration_epoch: 0,
+            })
+            .collect();
+        let jobs: Vec<JobRequest> = (0..12)
+            .map(|i| JobRequest {
+                job_id: i,
+                qubits: 5,
+                shots: 1000,
+                fidelity_per_qpu: vec![0.9, 0.9],
+                exec_time_per_qpu: vec![10.0, 10.0],
+            })
+            .collect();
+        let prices = [20.0, 1.0];
+
+        // Zero weight: bit-identical to the price-blind path, zero mean_cost.
+        let blind = HybridScheduler::default().schedule(jobs.clone(), qpus.clone());
+        let zero_w = HybridScheduler::default().schedule_with_fleet_context(
+            jobs.clone(),
+            qpus.clone(),
+            &[],
+            &prices,
+        );
+        assert_eq!(blind.placements, zero_w.placements);
+        assert_eq!(blind.chosen.mean_jct_s.to_bits(), zero_w.chosen.mean_jct_s.to_bits());
+        assert_eq!(zero_w.chosen.mean_cost, 0.0);
+
+        // A strong cost weight drives every job onto the cheap QPU.
+        let costed = HybridScheduler::new(SchedulerConfig {
+            cost_weight: 10.0,
+            ..SchedulerConfig::default()
+        })
+        .schedule_with_fleet_context(jobs, qpus, &[], &prices);
+        assert!(costed.chosen.mean_cost > 0.0);
+        assert!(
+            costed.placements.iter().all(|p| p.qpu_index == 1),
+            "cost pressure must avoid the pricey QPU: {:?}",
+            costed.placements
+        );
+        // All 12 jobs × 1000 shots × 1.0 credit on the cheap device.
+        assert!((costed.chosen.mean_cost - 1000.0).abs() < 1e-9);
     }
 
     #[test]
