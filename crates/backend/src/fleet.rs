@@ -157,6 +157,30 @@ impl Fleet {
         &mut self.members
     }
 
+    /// Append an elastic member at the fleet tail (autoscaler grow path) and
+    /// return its flat index. Tail-append keeps every existing flat QPU index
+    /// stable, which is what lets the journaled control plane scale capacity
+    /// without renumbering in-flight placements.
+    pub fn push_member(&mut self, member: FleetMember) -> usize {
+        self.members.push(member);
+        self.members.len() - 1
+    }
+
+    /// Remove and return the tail member (autoscaler shrink path), or `None`
+    /// if the fleet is empty or the tail still has work — a queued, running,
+    /// or undrained-completion member must not be retired, or its jobs (and
+    /// their completion records) would vanish mid-flight.
+    pub fn pop_member(&mut self) -> Option<FleetMember> {
+        let tail = self.members.last()?;
+        if tail.queue.pending_len() > 0
+            || tail.queue.is_busy()
+            || !tail.queue.completed().is_empty()
+        {
+            return None;
+        }
+        self.members.pop()
+    }
+
     /// Member by device name.
     pub fn by_name(&self, name: &str) -> Option<&FleetMember> {
         self.members.iter().find(|m| m.qpu.name == name)
@@ -375,6 +399,41 @@ mod tests {
         assert!(fleet.members().iter().all(|m| m.qpu.clock.epoch == 1));
         // The queue did not advance: the enqueued job is still pending.
         assert_eq!(fleet.members()[0].queue.pending_len(), 1);
+    }
+
+    #[test]
+    fn push_and_pop_member_keep_existing_indices_stable() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut fleet = Fleet::falcon_six(&mut rng);
+        let names: Vec<String> = fleet.members().iter().map(|m| m.qpu.name.clone()).collect();
+        let elastic = FleetMember {
+            qpu: Qpu::new("sim_elastic_0", QpuModel::falcon_27(), 1.3, &mut rng)
+                .with_resource_class(ResourceClass::Simulator),
+            queue: JobQueue::new(),
+        };
+        let index = fleet.push_member(elastic);
+        assert_eq!(index, 6, "elastic capacity appends at the tail");
+        for (i, name) in names.iter().enumerate() {
+            assert_eq!(&fleet.members()[i].qpu.name, name, "existing indices untouched");
+        }
+        let popped = fleet.pop_member().expect("idle tail retires");
+        assert_eq!(popped.qpu.name, "sim_elastic_0");
+        assert_eq!(fleet.len(), 6);
+    }
+
+    #[test]
+    fn pop_member_refuses_a_tail_with_work() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let mut fleet = Fleet::scaled(2, &mut rng);
+        fleet.members_mut()[1].queue.enqueue(7, 50.0);
+        assert!(fleet.pop_member().is_none(), "queued work blocks retirement");
+        fleet.members_mut()[1].queue.advance_to(10.0);
+        assert!(fleet.pop_member().is_none(), "a running job blocks retirement");
+        fleet.members_mut()[1].queue.advance_to(100.0);
+        assert!(fleet.pop_member().is_none(), "undrained completions block retirement");
+        fleet.members_mut()[1].queue.take_completed();
+        assert!(fleet.pop_member().is_some(), "a drained idle tail retires");
+        assert!(Fleet::from_members(Vec::new()).pop_member().is_none(), "empty fleet");
     }
 
     #[test]

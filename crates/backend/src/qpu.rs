@@ -459,6 +459,32 @@ mod tests {
     }
 
     #[test]
+    fn maintenance_boundary_instants_are_half_open() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut qpu = Qpu::new("ibm_edge", QpuModel::falcon_7(), 1.0, &mut rng);
+        qpu.add_maintenance_window(100.0, 200.0);
+        // A batch snapshot taken exactly at `start` must see the device masked.
+        assert!(qpu.in_maintenance(100.0), "start instant is inclusive");
+        assert_eq!(qpu.maintenance_end_at(100.0), Some(200.0));
+        // A job dispatched exactly at `end` must not be masked.
+        assert!(!qpu.in_maintenance(200.0), "end instant is exclusive");
+        assert_eq!(qpu.maintenance_end_at(200.0), None);
+        // The window itself agrees with the device-level queries.
+        let w = MaintenanceWindow { start_s: 100.0, end_s: 200.0 };
+        assert!(w.contains(100.0));
+        assert!(!w.contains(200.0));
+        // `next_maintenance_start_after` is strictly-after: queried exactly at
+        // `start` it reports the next window, never the one just entered.
+        assert_eq!(qpu.next_maintenance_start_after(100.0 - f64::EPSILON * 128.0), Some(100.0));
+        assert_eq!(qpu.next_maintenance_start_after(100.0), None);
+        // Back-to-back windows: the shared instant belongs to the later one.
+        qpu.add_maintenance_window(200.0, 250.0);
+        assert!(qpu.in_maintenance(200.0), "shared boundary belongs to the later window");
+        assert_eq!(qpu.maintenance_end_at(200.0), Some(250.0));
+        assert!(!qpu.in_maintenance(250.0));
+    }
+
+    #[test]
     fn template_qpus_group_by_model_and_average() {
         let mut rng = StdRng::seed_from_u64(10);
         let devices = vec![

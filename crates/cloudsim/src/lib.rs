@@ -19,6 +19,7 @@ pub mod load;
 pub mod multitenant;
 pub mod sharded;
 pub mod sim;
+pub mod slo;
 
 pub use drift::{
     run_drift_comparison, run_penalty_comparison, DriftComparison, DriftConfig, PenaltyComparison,
@@ -43,4 +44,8 @@ pub use sharded::{
 pub use sim::{
     CloudSimulation, CompletedApp, CycleRecord, DispatchRecord, Policy, SimulationConfig,
     SimulationReport, TimePoint,
+};
+pub use slo::{
+    run_slo_arm, run_slo_comparison, SloArmOutcome, SloArmReport, SloComparison, SloCompletion,
+    SloConfig,
 };

@@ -119,6 +119,47 @@ impl FederatedFleet {
         self.fleet.len()
     }
 
+    /// Provision elastic capacity: append `member` at the flat-fleet tail
+    /// under `provider` and return its flat index (the autoscaler grow path).
+    /// If the tail provider already carries that name its span extends;
+    /// otherwise a new provider span is registered — either way every
+    /// existing flat index (and with it every in-flight placement, lease,
+    /// and journal entry) stays valid.
+    pub fn provision<S: Into<String>>(
+        &mut self,
+        provider: S,
+        member: qonductor_backend::FleetMember,
+    ) -> usize {
+        let name = provider.into();
+        let index = self.fleet.push_member(member);
+        match self.providers.last_mut() {
+            Some(last) if last.name == name => last.len += 1,
+            _ => self.providers.push(Provider { name, start: index, len: 1 }),
+        }
+        index
+    }
+
+    /// Retire the tail member if (and only if) it is elastic-retirable: idle
+    /// queue, nothing running, completions drained (see
+    /// [`Fleet::pop_member`]). Shrinks (or drops) the owning provider span.
+    /// Returns the retired member's flat index.
+    pub fn retire_last(&mut self) -> Option<usize> {
+        self.fleet.pop_member()?;
+        let index = self.fleet.len();
+        // Skip over degenerate empty spans (a provider registered with an
+        // empty fleet) before shrinking the actual owner.
+        while matches!(self.providers.last(), Some(p) if p.len == 0) {
+            self.providers.pop();
+        }
+        if let Some(last) = self.providers.last_mut() {
+            last.len -= 1;
+            if last.len == 0 {
+                self.providers.pop();
+            }
+        }
+        Some(index)
+    }
+
     /// Per-provider aggregate capacity at `now_s`, in composition order.
     pub fn capacity_view(&self, now_s: f64) -> Vec<ProviderCapacity> {
         self.providers
@@ -287,6 +328,40 @@ mod tests {
         assert_eq!(during[0].in_maintenance, 0, "falcon_six has no regions in eu-central");
         assert_eq!(during[1].in_maintenance, 3, "the mixed provider hosts eu-central");
         assert!(during[1].min_cost_per_shot <= 0.05 + 1e-12, "the simulator sets the floor");
+    }
+
+    #[test]
+    fn provision_and_retire_scale_elastic_capacity_at_the_tail() {
+        use qonductor_backend::{FleetMember, JobQueue, Qpu, QpuModel, ResourceClass};
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut fed = FederatedFleet::single("ibm", Fleet::falcon_six(&mut rng));
+        let elastic = |i: usize, rng: &mut StdRng| FleetMember {
+            qpu: Qpu::new(format!("sim_elastic_{i}"), QpuModel::falcon_27(), 1.3, rng)
+                .with_resource_class(ResourceClass::Simulator),
+            queue: JobQueue::new(),
+        };
+        let a = fed.provision("elastic-sim", elastic(0, &mut rng));
+        let b = fed.provision("elastic-sim", elastic(1, &mut rng));
+        assert_eq!((a, b), (6, 7), "elastic members append at the tail");
+        assert_eq!(
+            fed.provider_spans(),
+            vec![("ibm".to_string(), 6), ("elastic-sim".to_string(), 2)],
+            "a repeated provider name extends its tail span"
+        );
+        assert_eq!(fed.provider_of(6), Some("elastic-sim"));
+        assert_eq!(fed.provider_of(3), Some("ibm"), "existing spans untouched");
+
+        // Shrink: an idle tail retires; the span shrinks and finally drops.
+        assert_eq!(fed.retire_last(), Some(7));
+        assert_eq!(fed.provider_spans()[1], ("elastic-sim".to_string(), 1));
+        // A busy tail refuses retirement.
+        fed.fleet_mut().members_mut()[6].queue.enqueue(9, 50.0);
+        assert_eq!(fed.retire_last(), None, "a tail with work must not retire");
+        fed.fleet_mut().members_mut()[6].queue.advance_to(100.0);
+        fed.fleet_mut().members_mut()[6].queue.take_completed();
+        assert_eq!(fed.retire_last(), Some(6));
+        assert_eq!(fed.provider_spans(), vec![("ibm".to_string(), 6)], "empty span dropped");
+        assert_eq!(fed.num_qpus(), 6);
     }
 
     #[test]

@@ -85,8 +85,14 @@ pub struct PendingJob {
     /// 0 for never-deferred jobs. Held jobs do not count toward the trigger
     /// and are excluded from batches, so a split cannot re-fire the trigger
     /// at the same instant and re-plan the same jobs against the same stale
-    /// estimates.
+    /// estimates — unless the job's SLO slack goes negative first, in which
+    /// case the hold is bypassed (see [`JobManager::schedulable_at`]).
     pub held_until_s: f64,
+    /// Absolute SLO deadline (simulated seconds), `f64::INFINITY` for jobs
+    /// without one. When `now + slo_margin ≥ deadline_s` the job is urgent:
+    /// it fires the trigger early ([`TriggerReason::SloSlack`]) and escapes
+    /// any `held_until_s` park.
+    pub deadline_s: f64,
     /// The submission payload.
     pub spec: JobSpec,
 }
@@ -263,6 +269,20 @@ impl JobManager {
     /// created long after the simulated epoch measures the interval from when
     /// work first appeared, not from time zero.
     pub fn submit_for_tenant(&mut self, spec: JobSpec, now_s: f64, tenant: TenantId) -> JobId {
+        self.submit_for_tenant_with_deadline(spec, now_s, tenant, f64::INFINITY)
+    }
+
+    /// [`Self::submit_for_tenant`] with an absolute SLO deadline: when the
+    /// job's slack against `deadline_s` falls below the trigger's
+    /// [`ScheduleTrigger::slo_margin_s`], the trigger fires early rather than
+    /// waiting out the interval, and a boundary-parked job escapes its hold.
+    pub fn submit_for_tenant_with_deadline(
+        &mut self,
+        spec: JobSpec,
+        now_s: f64,
+        tenant: TenantId,
+        deadline_s: f64,
+    ) -> JobId {
         self.trigger.arm_if_unarmed(now_s);
         let job_id = self.next_job_id;
         self.next_job_id += 1;
@@ -272,6 +292,7 @@ impl JobManager {
             submitted_s: now_s,
             deferrals: 0,
             held_until_s: 0.0,
+            deadline_s,
             spec,
         });
         job_id
@@ -283,28 +304,57 @@ impl JobManager {
         job.submitted_s.max(job.held_until_s)
     }
 
+    /// Whether `job` is urgent at `now_s`: it carries a finite SLO deadline
+    /// whose slack has fallen below the trigger's scheduling-latency margin.
+    fn urgent_at(&self, job: &PendingJob, now_s: f64) -> bool {
+        job.deadline_s.is_finite() && now_s + self.trigger.slo_margin_s >= job.deadline_s
+    }
+
+    /// Whether `job` can join a batch at `now_s`: schedulable when available
+    /// (submitted, and past any boundary hold) — or, the SLO escape hatch, a
+    /// *held* job whose deadline slack has gone below the margin. Waiting out
+    /// `held_until_s` would silently blow the deadline, so urgency overrides
+    /// the park (the deferral bookkeeping stays intact).
+    fn schedulable_at(&self, job: &PendingJob, now_s: f64) -> bool {
+        if Self::available_s(job) <= now_s {
+            return true;
+        }
+        job.submitted_s <= now_s && self.urgent_at(job, now_s)
+    }
+
     /// Number of pooled jobs schedulable at or before `now_s`. Jobs carry
     /// their own submission times, so a causally-ordered caller can ask
     /// about an instant earlier than the latest submission; boundary-held
-    /// jobs do not count until the boundary passes.
+    /// jobs do not count until the boundary passes — unless their SLO slack
+    /// has gone negative, in which case the hold is bypassed.
     fn pending_available_by(&self, now_s: f64) -> usize {
-        self.pending.iter().filter(|j| Self::available_s(j) <= now_s).count()
+        self.pending.iter().filter(|j| self.schedulable_at(j, now_s)).count()
+    }
+
+    /// Whether any schedulable job is urgent at `now_s` (feeds the trigger's
+    /// SLO lane).
+    fn any_urgent_by(&self, now_s: f64) -> bool {
+        self.pending.iter().any(|j| j.submitted_s <= now_s && self.urgent_at(j, now_s))
     }
 
     /// Whether the trigger would fire now, and why. Only jobs already
-    /// schedulable by `now_s` count toward the queue-size limit. (Takes
-    /// `&mut` because an unarmed trigger arms itself on its first non-empty
-    /// check.)
+    /// schedulable by `now_s` count toward the queue-size limit; any
+    /// schedulable job whose deadline slack is below the margin fires the
+    /// SLO lane. (Takes `&mut` because an unarmed trigger arms itself on its
+    /// first non-empty check.)
     pub fn check_trigger(&mut self, now_s: f64) -> Option<TriggerReason> {
-        self.trigger.check(self.pending_available_by(now_s), now_s)
+        let queue_len = self.pending_available_by(now_s);
+        let urgent = self.any_urgent_by(now_s);
+        self.trigger.check_with_urgency(queue_len, now_s, urgent)
     }
 
     /// Earliest simulated time at which the trigger can fire, or `None` with
     /// an empty pool: the interval expiry (but no earlier than the first
-    /// schedulable job), or the instant the `queue_limit`-th job becomes
-    /// schedulable, whichever comes first. Boundary-held jobs become
-    /// schedulable at their boundary. Event-driven callers advance their
-    /// clock here instead of busy-stepping simulated time.
+    /// schedulable job), the instant the `queue_limit`-th job becomes
+    /// schedulable, or the instant a deadline job's slack drops below the SLO
+    /// margin, whichever comes first. Boundary-held jobs become schedulable
+    /// at their boundary (or when their slack runs out). Event-driven callers
+    /// advance their clock here instead of busy-stepping simulated time.
     pub fn next_trigger_s(&self) -> Option<f64> {
         if self.pending.is_empty() {
             return None;
@@ -315,10 +365,20 @@ impl JobManager {
         let baseline = self.trigger.last_invocation_s().unwrap_or(available[0]);
         let interval_fire = (baseline + self.trigger.interval_s).max(available[0]);
         // The queue-size path fires the instant the limit-th job is available.
-        match available.get(self.trigger.queue_limit.saturating_sub(1)) {
-            Some(&queue_fire) => Some(interval_fire.min(queue_fire)),
-            None => Some(interval_fire),
+        let mut fire = match available.get(self.trigger.queue_limit.saturating_sub(1)) {
+            Some(&queue_fire) => interval_fire.min(queue_fire),
+            None => interval_fire,
+        };
+        // The SLO lane fires the instant a deadline job's slack hits the
+        // margin (no earlier than its submission; holds do not matter — the
+        // lane bypasses them).
+        for job in &self.pending {
+            if job.deadline_s.is_finite() {
+                let slo_fire = (job.deadline_s - self.trigger.slo_margin_s).max(job.submitted_s);
+                fire = fire.min(slo_fire);
+            }
         }
+        Some(fire)
     }
 
     /// Run one trigger-gated scheduling cycle: if the trigger fires, schedule
@@ -505,25 +565,27 @@ impl JobManager {
         let in_maintenance: Vec<bool> =
             fleet.members().iter().map(|m| m.qpu.in_maintenance(now_s)).collect();
         let batch: Vec<&PendingJob> =
-            self.pending.iter().filter(|j| Self::available_s(j) <= now_s).collect();
+            self.pending.iter().filter(|j| self.schedulable_at(j, now_s)).collect();
         let job_ids: Vec<JobId> = batch.iter().map(|j| j.job_id).collect();
         let mut tenant_counts: BTreeMap<TenantId, usize> = BTreeMap::new();
         for job in &batch {
             *tenant_counts.entry(job.tenant).or_insert(0) += 1;
         }
         let tenant_jobs: Vec<(TenantId, usize)> = tenant_counts.into_iter().collect();
+        // Requests are sized to the LIVE fleet, not the spec's estimate
+        // table: the autoscaler can provision or retire QPUs while a job is
+        // pending, leaving its table shorter (a provisioned QPU defaults to
+        // infeasible until re-estimation fills it in) or longer (entries for
+        // retired QPUs are dropped) than the fleet.
         let requests: Vec<JobRequest> = batch
             .iter()
             .map(|j| JobRequest {
                 job_id: j.job_id,
                 qubits: j.spec.qubits,
                 shots: j.spec.shots,
-                fidelity_per_qpu: j
-                    .spec
-                    .fidelity_per_qpu
-                    .iter()
-                    .enumerate()
-                    .map(|(q, &f)| {
+                fidelity_per_qpu: (0..qpus.len())
+                    .map(|q| {
+                        let f = j.spec.fidelity_per_qpu.get(q).copied().unwrap_or(0.0);
                         if in_maintenance.get(q).copied().unwrap_or(false) || !f.is_finite() {
                             0.0
                         } else {
@@ -531,12 +593,9 @@ impl JobManager {
                         }
                     })
                     .collect(),
-                exec_time_per_qpu: j
-                    .spec
-                    .exec_time_per_qpu
-                    .iter()
-                    .enumerate()
-                    .map(|(q, &t)| {
+                exec_time_per_qpu: (0..qpus.len())
+                    .map(|q| {
+                        let t = j.spec.exec_time_per_qpu.get(q).copied().unwrap_or(f64::INFINITY);
                         if in_maintenance.get(q).copied().unwrap_or(false) || !t.is_finite() {
                             INFEASIBLE_EXEC_S
                         } else {
@@ -558,7 +617,14 @@ impl JobManager {
         let Some(pos) = self.pending.iter().position(|j| j.job_id == job_id) else {
             return false;
         };
-        if !self.pending[pos].spec.exec_time_per_qpu[qpu_index].is_finite() {
+        if qpu_index >= fleet.members().len()
+            || !self.pending[pos]
+                .spec
+                .exec_time_per_qpu
+                .get(qpu_index)
+                .copied()
+                .is_some_and(f64::is_finite)
+        {
             return false;
         }
         let job = self.pending.remove(pos);
@@ -666,12 +732,13 @@ impl JobManager {
     /// states.
     pub fn encode_state(&self) -> String {
         use crate::replication::wire::{enc_f64, enc_opt_f64, enc_spec};
-        let mut out = String::from("jm 2\n");
+        let mut out = String::from("jm 3\n");
         out.push_str(&format!(
-            "trigger {} {} {}\n",
+            "trigger {} {} {} {}\n",
             self.trigger.queue_limit,
             enc_f64(self.trigger.interval_s),
-            enc_opt_f64(self.trigger.last_invocation_s())
+            enc_opt_f64(self.trigger.last_invocation_s()),
+            enc_f64(self.trigger.slo_margin_s)
         ));
         out.push_str(&format!(
             "cal {}\n",
@@ -683,12 +750,13 @@ impl JobManager {
         out.push_str(&format!("ids {} {}\n", self.next_job_id, self.batches_dispatched));
         for job in &self.pending {
             out.push_str(&format!(
-                "job {} {} {} {} {} {}\n",
+                "job {} {} {} {} {} {} {}\n",
                 job.job_id,
                 job.tenant,
                 enc_f64(job.submitted_s),
                 job.deferrals,
                 enc_f64(job.held_until_s),
+                enc_f64(job.deadline_s),
                 enc_spec(&job.spec)
             ));
         }
@@ -699,7 +767,7 @@ impl JobManager {
     pub fn decode_state(encoded: &str) -> Option<JobManager> {
         use crate::replication::wire::{dec_f64, dec_opt_f64, dec_spec};
         let mut lines = encoded.lines();
-        if lines.next()? != "jm 2" {
+        if lines.next()? != "jm 3" {
             return None;
         }
         let mut trigger_line = lines.next()?.split(' ');
@@ -709,7 +777,9 @@ impl JobManager {
         let queue_limit = trigger_line.next()?.parse().ok()?;
         let interval_s = dec_f64(trigger_line.next()?)?;
         let last_invocation_s = dec_opt_f64(trigger_line.next()?)?;
-        let mut trigger = ScheduleTrigger::new(queue_limit, interval_s);
+        let slo_margin_s = dec_f64(trigger_line.next()?)?;
+        let mut trigger =
+            ScheduleTrigger::new(queue_limit, interval_s).with_slo_margin(slo_margin_s);
         if let Some(last) = last_invocation_s {
             trigger.mark_invoked(last);
         }
@@ -740,8 +810,12 @@ impl JobManager {
                 submitted_s: dec_f64(fields.next()?)?,
                 deferrals: fields.next()?.parse().ok()?,
                 held_until_s: dec_f64(fields.next()?)?,
+                deadline_s: dec_f64(fields.next()?)?,
                 spec: dec_spec(fields.next()?)?,
             });
+            if fields.next().is_some() {
+                return None;
+            }
         }
         Some(JobManager {
             trigger,
@@ -870,7 +944,9 @@ fn split_at_boundaries(
 /// Non-finite estimates (the "cannot run here" marker) degrade to
 /// [`INFEASIBLE_EXEC_S`] so simulated time can never be wedged at infinity.
 fn sanitized_exec_s(spec: &JobSpec, qpu_index: usize) -> f64 {
-    let exec = spec.exec_time_per_qpu[qpu_index];
+    // An estimate table shorter than the fleet (a QPU provisioned after
+    // submission) reads as infeasible for the missing tail.
+    let exec = spec.exec_time_per_qpu.get(qpu_index).copied().unwrap_or(f64::INFINITY);
     if exec.is_finite() {
         exec.max(MIN_EXEC_S)
     } else {
@@ -1033,6 +1109,58 @@ mod tests {
         let batch = jm.try_dispatch(300.0, &scheduler(), &mut fleet).expect("fires at submission");
         assert_eq!(batch.job_ids.len(), 1);
         assert_eq!(jm.pending_len(), 0);
+    }
+
+    /// The admission-aware trigger: a deadline job fires the SLO lane
+    /// `slo_margin_s` before its deadline, long before the interval expiry.
+    #[test]
+    fn slo_deadline_fires_the_trigger_early() {
+        let mut fleet = small_fleet(31);
+        let mut jm = JobManager::new(ScheduleTrigger::new(100, 1e12).with_slo_margin(2.0));
+        let id = jm.submit_for_tenant_with_deadline(spec(&fleet, 5, 10.0), 0.0, 0, 50.0);
+        assert_eq!(jm.next_trigger_s(), Some(48.0), "fires at deadline - margin");
+        assert_eq!(jm.check_trigger(47.0), None, "slack is still above the margin");
+        let batch = jm.try_dispatch(48.0, &scheduler(), &mut fleet).expect("SLO lane fires");
+        assert_eq!(batch.reason, TriggerReason::SloSlack);
+        assert_eq!(batch.job_ids, vec![id]);
+        assert_eq!(jm.pending_len(), 0);
+    }
+
+    /// Jobs without a deadline never fire the SLO lane (`INFINITY` sentinel).
+    #[test]
+    fn deadline_free_jobs_never_fire_the_slo_lane() {
+        let fleet = small_fleet(32);
+        let mut jm = JobManager::new(ScheduleTrigger::new(100, 120.0));
+        jm.submit(spec(&fleet, 5, 10.0), 0.0);
+        assert_eq!(jm.check_trigger(1e9), Some(TriggerReason::Interval));
+        assert_eq!(jm.next_trigger_s(), Some(120.0));
+    }
+
+    /// Satellite: a job parked behind a recalibration boundary
+    /// (`held_until_s`) whose deadline slack goes negative escapes the park —
+    /// it surfaces to the trigger's early-fire check and rejoins the batch
+    /// instead of silently blowing its SLO while waiting out the hold.
+    #[test]
+    fn held_job_with_exhausted_slack_escapes_its_park() {
+        let mut fleet = solo_fleet(100.0, 33);
+        let mut jm = JobManager::new(ScheduleTrigger::new(2, 1e12).with_slo_margin(2.0))
+            .with_calibration_policy(CalibrationPolicy::SplitAtBoundary);
+        // 200 s of work each against a boundary at 100: both plans cross the
+        // boundary and both jobs park until 100 — but the first one's
+        // deadline is at 60.
+        let id = jm.submit_for_tenant_with_deadline(spec(&fleet, 5, 200.0), 0.0, 0, 60.0);
+        let plain = jm.submit(spec(&fleet, 5, 200.0), 0.0);
+        let batch = jm.try_dispatch(0.0, &scheduler(), &mut fleet).expect("trigger fires");
+        assert_eq!(batch.deferred.len(), 2);
+        assert!(jm.pending().iter().all(|j| j.held_until_s == 100.0));
+        // Without the SLO escape the next fire would be the boundary at 100;
+        // with it, the slack runs out at 58 and the held job resurfaces.
+        assert_eq!(jm.next_trigger_s(), Some(58.0));
+        assert_eq!(jm.check_trigger(30.0), None, "held and slack still positive");
+        let batch = jm.try_dispatch(58.0, &scheduler(), &mut fleet).expect("SLO lane fires");
+        assert_eq!(batch.reason, TriggerReason::SloSlack);
+        assert!(batch.job_ids.contains(&id), "the held job joined the batch early");
+        assert!(!batch.job_ids.contains(&plain), "the deadline-free job stays parked");
     }
 
     /// Regression: a manager whose first submission arrives long after the

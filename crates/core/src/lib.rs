@@ -14,6 +14,7 @@
 
 #![warn(missing_docs)]
 
+pub mod autoscaler;
 pub mod config;
 pub mod federation;
 pub mod fleetlease;
@@ -26,6 +27,7 @@ pub mod sharding;
 pub mod submission;
 pub mod workflow;
 
+pub use autoscaler::{Autoscaler, AutoscalerConfig, ScalingDecision, ScalingStrategy};
 pub use config::{DeploymentConfig, Priority, ResourceLimits};
 pub use federation::{
     CostOptimized, FederatedFleet, LeastLoaded, PlacementStrategy, Provider, ProviderCapacity,
@@ -48,8 +50,8 @@ pub use replication::{
 };
 pub use sharding::{shard_of_global, GlobalTicket, ShardedControlPlane};
 pub use submission::{
-    JobTicket, SubmissionError, SubmissionService, TenantConfig, TenantStats, TicketId,
-    TicketStatus,
+    JobTicket, RejectReason, SloClass, SubmissionError, SubmissionService, TenantConfig,
+    TenantStats, TicketId, TicketStatus,
 };
 pub use workflow::{
     mitigated_execution_workflow, ClassicalKind, ClassicalStep, QuantumStep, Step, Workflow,

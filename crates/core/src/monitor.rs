@@ -152,6 +152,7 @@ impl SystemMonitor {
     ) -> Result<(), StoreError> {
         let reason = match reason {
             TriggerReason::QueueSize => "queue_size",
+            TriggerReason::SloSlack => "slo_slack",
             TriggerReason::Interval => "interval",
         };
         let composition = tenant_jobs
@@ -179,6 +180,7 @@ impl SystemMonitor {
                     t_s: parts.next()?.parse().ok()?,
                     reason: match parts.next()? {
                         "queue_size" => TriggerReason::QueueSize,
+                        "slo_slack" => TriggerReason::SloSlack,
                         "interval" => TriggerReason::Interval,
                         _ => return None,
                     },
@@ -283,7 +285,7 @@ impl SystemMonitor {
         self.store.put(
             format!("tenant/{tenant:08}/stats"),
             format!(
-                "{},{},{},{},{},{},{},{:.3},{:.3}",
+                "{},{},{},{},{},{},{},{:.3},{:.3},{}",
                 stats.weight,
                 stats.submitted,
                 stats.admitted,
@@ -292,7 +294,8 @@ impl SystemMonitor {
                 stats.queued,
                 stats.in_flight,
                 stats.mean_queue_wait_s,
-                stats.mean_turnaround_s
+                stats.mean_turnaround_s,
+                stats.escalated
             ),
         )
     }
@@ -311,6 +314,8 @@ impl SystemMonitor {
             in_flight: parts.next()?.parse().ok()?,
             mean_queue_wait_s: parts.next()?.parse().ok()?,
             mean_turnaround_s: parts.next()?.parse().ok()?,
+            // Records written before SLO escalation existed omit the field.
+            escalated: parts.next().and_then(|s| s.parse().ok()).unwrap_or(0),
         })
     }
 
@@ -479,6 +484,7 @@ mod tests {
             in_flight: 4,
             mean_queue_wait_s: 12.5,
             mean_turnaround_s: 98.25,
+            escalated: 3,
         };
         monitor.record_tenant_stats(3, &stats).unwrap();
         monitor.record_tenant_stats(1, &stats).unwrap();
@@ -493,5 +499,6 @@ mod tests {
         assert_eq!(back.in_flight, 4);
         assert!((back.mean_queue_wait_s - 12.5).abs() < 1e-9);
         assert!((back.mean_turnaround_s - 98.25).abs() < 1e-9);
+        assert_eq!(back.escalated, 3);
     }
 }

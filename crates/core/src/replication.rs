@@ -18,9 +18,9 @@ use crate::jobmanager::{
     CalibrationPolicy, CompletedExecution, JobId, JobManager, JobSpec, PendingJob, TenantId,
 };
 use crate::submission::{
-    JobTicket, SubmissionError, SubmissionService, TenantConfig, TicketStatus,
+    JobTicket, SloClass, SubmissionError, SubmissionService, TenantConfig, TicketStatus,
 };
-use qonductor_backend::{CompletedJob, Fleet};
+use qonductor_backend::{CompletedJob, Fleet, ResourceClass};
 use qonductor_consensus::{LogEntry, ReplicatedKvStore, ReplicatedLog, StoreElection, StoreError};
 use qonductor_scheduler::{HybridScheduler, ScheduleTrigger};
 use std::collections::BTreeSet;
@@ -101,6 +101,39 @@ pub enum ControlPlaneEvent {
     TenantRegistered {
         /// The tenant's admission configuration.
         config: TenantConfig,
+        /// The tenant's SLO class, if registered with one — journaled so a
+        /// failover replays the registration (and every later escalation
+        /// decision derived from it) byte-for-byte.
+        slo: Option<SloClass>,
+    },
+    /// A queued ticket jumped the DRR scan through the SLO bypass lane: its
+    /// deadline would be missed by waiting one more trigger interval. The
+    /// admission itself is a deterministic function of the ticket + instant,
+    /// so the pair pins the escalation for byte-exact failover replay.
+    SloEscalated {
+        /// Simulated time of the escalation.
+        now_s: f64,
+        /// The escalated ticket.
+        ticket: JobTicket,
+    },
+    /// The autoscaler grew elastic capacity: a QPU at `qpu_index` of
+    /// `class` joined the fleet. Journaled *before* the fleet mutates
+    /// (write-ahead), so replay reconstructs the exact elastic set.
+    QpuProvisioned {
+        /// Simulated time of the scaling decision.
+        now_s: f64,
+        /// Fleet index the elastic QPU occupies.
+        qpu_index: usize,
+        /// Resource class of the provisioned capacity.
+        class: ResourceClass,
+    },
+    /// The autoscaler shrank elastic capacity: the QPU at `qpu_index` left
+    /// the fleet.
+    QpuRetired {
+        /// Simulated time of the scaling decision.
+        now_s: f64,
+        /// Fleet index the retired QPU occupied.
+        qpu_index: usize,
     },
     /// A job entered a tenant's FIFO queue.
     JobSubmitted {
@@ -187,8 +220,36 @@ impl LogEntry for ControlPlaneEvent {
     fn encode(&self) -> String {
         use wire::{enc_f64, enc_spec};
         match self {
-            ControlPlaneEvent::TenantRegistered { config } => {
-                format!("treg {} {} {}", config.weight, config.max_in_flight, config.max_retries)
+            ControlPlaneEvent::TenantRegistered { config, slo } => {
+                let base = format!(
+                    "treg {} {} {}",
+                    config.weight, config.max_in_flight, config.max_retries
+                );
+                match slo {
+                    // SLO-free registrations keep the historical three-field
+                    // format, so pre-SLO journals still decode.
+                    None => base,
+                    Some(slo) => format!(
+                        "{base} {}:{}:{}",
+                        enc_f64(slo.deadline_s),
+                        slo.priority,
+                        enc_f64(slo.max_error)
+                    ),
+                }
+            }
+            ControlPlaneEvent::SloEscalated { now_s, ticket } => {
+                format!("sesc {} {}:{}", enc_f64(*now_s), ticket.tenant, ticket.ticket)
+            }
+            ControlPlaneEvent::QpuProvisioned { now_s, qpu_index, class } => {
+                let class = match class {
+                    ResourceClass::Superconducting => "sc",
+                    ResourceClass::IonTrap => "ion",
+                    ResourceClass::Simulator => "sim",
+                };
+                format!("qprv {} {qpu_index} {class}", enc_f64(*now_s))
+            }
+            ControlPlaneEvent::QpuRetired { now_s, qpu_index } => {
+                format!("qret {} {qpu_index}", enc_f64(*now_s))
             }
             ControlPlaneEvent::JobSubmitted { tenant, spec, now_s } => {
                 format!("subm {tenant} {} {}", enc_f64(*now_s), enc_spec(spec))
@@ -244,12 +305,49 @@ impl LogEntry for ControlPlaneEvent {
         use wire::{dec_f64, dec_spec};
         let mut fields = line.split(' ');
         let event = match fields.next()? {
-            "treg" => ControlPlaneEvent::TenantRegistered {
-                config: TenantConfig {
+            "treg" => {
+                let config = TenantConfig {
                     weight: fields.next()?.parse().ok()?,
                     max_in_flight: fields.next()?.parse().ok()?,
                     max_retries: fields.next()?.parse().ok()?,
+                };
+                let slo = match fields.next() {
+                    None => None,
+                    Some(field) => match field.split(':').collect::<Vec<_>>()[..] {
+                        [deadline, priority, max_error] => Some(SloClass {
+                            deadline_s: dec_f64(deadline)?,
+                            priority: priority.parse().ok()?,
+                            max_error: dec_f64(max_error)?,
+                        }),
+                        _ => return None,
+                    },
+                };
+                ControlPlaneEvent::TenantRegistered { config, slo }
+            }
+            "sesc" => {
+                let now_s = dec_f64(fields.next()?)?;
+                let (tenant, ticket) = fields.next()?.split_once(':')?;
+                ControlPlaneEvent::SloEscalated {
+                    now_s,
+                    ticket: JobTicket {
+                        tenant: tenant.parse().ok()?,
+                        ticket: ticket.parse().ok()?,
+                    },
+                }
+            }
+            "qprv" => ControlPlaneEvent::QpuProvisioned {
+                now_s: dec_f64(fields.next()?)?,
+                qpu_index: fields.next()?.parse().ok()?,
+                class: match fields.next()? {
+                    "sc" => ResourceClass::Superconducting,
+                    "ion" => ResourceClass::IonTrap,
+                    "sim" => ResourceClass::Simulator,
+                    _ => return None,
                 },
+            },
+            "qret" => ControlPlaneEvent::QpuRetired {
+                now_s: dec_f64(fields.next()?)?,
+                qpu_index: fields.next()?.parse().ok()?,
             },
             "subm" => ControlPlaneEvent::JobSubmitted {
                 tenant: fields.next()?.parse().ok()?,
@@ -393,6 +491,9 @@ pub struct ReplicatedControlPlane {
     submissions: SubmissionService,
     /// Fleet QPU indices this shard currently leases (journaled state).
     leases: BTreeSet<usize>,
+    /// Fleet QPU indices holding autoscaler-provisioned elastic capacity
+    /// (journaled state, rebuilt on failover like the lease set).
+    elastic: BTreeSet<usize>,
 }
 
 impl ReplicatedControlPlane {
@@ -426,6 +527,7 @@ impl ReplicatedControlPlane {
             jobmanager: JobManager::new(trigger).with_calibration_policy(policy),
             submissions: SubmissionService::new(),
             leases: BTreeSet::new(),
+            elastic: BTreeSet::new(),
         };
         plane.log.install_snapshot(&plane.encode_state(), 0).expect("fresh store has a quorum");
         plane
@@ -475,8 +577,20 @@ impl ReplicatedControlPlane {
         &mut self,
         config: TenantConfig,
     ) -> Result<TenantId, ReplicationError> {
-        self.log.append(&ControlPlaneEvent::TenantRegistered { config })?;
+        self.log.append(&ControlPlaneEvent::TenantRegistered { config, slo: None })?;
         Ok(self.submissions.register_tenant_with(config))
+    }
+
+    /// Register a tenant with an SLO class (journaled — the class rides the
+    /// registration event so failover replays every later escalation decision
+    /// derived from it).
+    pub fn register_tenant_with_slo(
+        &mut self,
+        config: TenantConfig,
+        slo: SloClass,
+    ) -> Result<TenantId, ReplicationError> {
+        self.log.append(&ControlPlaneEvent::TenantRegistered { config, slo: Some(slo) })?;
+        Ok(self.submissions.register_tenant_with_slo(config, slo))
     }
 
     /// Non-blocking submission into the tenant's FIFO queue (journaled).
@@ -505,12 +619,34 @@ impl ReplicatedControlPlane {
     /// cover both sides: even an empty pass would advance the round-robin
     /// cursor, and a journal/local mismatch would desynchronize replay) — so
     /// idle periods do not grow the journal or the failover replay backlog.
+    /// The SLO bypass lane runs *before* the DRR pass: queued tickets whose
+    /// deadline would be missed by waiting one more trigger interval jump the
+    /// scan, each journaled as a typed [`ControlPlaneEvent::SloEscalated`]
+    /// event (write-ahead, one per ticket) so failover replays the exact
+    /// escalation sequence.
     pub fn admit(&mut self, now_s: f64) -> Result<Vec<(JobTicket, JobId)>, ReplicationError> {
         if self.submissions.tenant_ids().is_empty() || self.submissions.total_queued() == 0 {
             return Ok(Vec::new());
         }
-        self.log.append(&ControlPlaneEvent::AdmissionPass { now_s })?;
-        Ok(self.submissions.admit(now_s, &mut self.jobmanager))
+        let mut admitted = Vec::new();
+        let trigger = *self.jobmanager.trigger();
+        let horizon_s = trigger.interval_s + trigger.slo_margin_s;
+        let budget = trigger.queue_limit.saturating_sub(self.jobmanager.pending_len());
+        for ticket in self.submissions.pending_escalations(now_s, horizon_s, budget) {
+            self.log.append(&ControlPlaneEvent::SloEscalated { now_s, ticket })?;
+            if let Some(job_id) =
+                self.submissions.apply_escalation(ticket, now_s, &mut self.jobmanager)
+            {
+                admitted.push((ticket, job_id));
+            }
+        }
+        // The escalations may have drained every queue; the skip guard
+        // applies to the DRR pass exactly as it would on an idle call.
+        if self.submissions.total_queued() > 0 {
+            self.log.append(&ControlPlaneEvent::AdmissionPass { now_s })?;
+            admitted.extend(self.submissions.admit(now_s, &mut self.jobmanager));
+        }
+        Ok(admitted)
     }
 
     /// One trigger-gated scheduling cycle: dispatch the pool as a batch onto
@@ -671,6 +807,43 @@ impl ReplicatedControlPlane {
         &self.leases
     }
 
+    /// Record an autoscaler grow decision: the QPU at `qpu_index` is elastic
+    /// capacity of `class` (journaled write-ahead, *before* the caller
+    /// mutates the fleet, so a crash between journal and fleet mutation
+    /// replays the provisioning). Returns `Ok(false)`, journaling nothing, if
+    /// the index is already tracked as elastic.
+    pub fn provision_qpu(
+        &mut self,
+        now_s: f64,
+        qpu_index: usize,
+        class: ResourceClass,
+    ) -> Result<bool, ReplicationError> {
+        if self.elastic.contains(&qpu_index) {
+            return Ok(false);
+        }
+        self.log.append(&ControlPlaneEvent::QpuProvisioned { now_s, qpu_index, class })?;
+        self.elastic.insert(qpu_index);
+        Ok(true)
+    }
+
+    /// Record an autoscaler shrink decision: the elastic QPU at `qpu_index`
+    /// leaves the fleet (journaled). Returns `Ok(false)`, journaling nothing,
+    /// if the index is not tracked as elastic.
+    pub fn retire_qpu(&mut self, now_s: f64, qpu_index: usize) -> Result<bool, ReplicationError> {
+        if !self.elastic.contains(&qpu_index) {
+            return Ok(false);
+        }
+        self.log.append(&ControlPlaneEvent::QpuRetired { now_s, qpu_index })?;
+        self.elastic.remove(&qpu_index);
+        Ok(true)
+    }
+
+    /// Fleet QPU indices currently holding autoscaler-provisioned elastic
+    /// capacity.
+    pub fn elastic(&self) -> &BTreeSet<usize> {
+        &self.elastic
+    }
+
     /// Earliest next completion across the fleet (delegates to the engine).
     pub fn next_event_s(&self, fleet: &Fleet) -> Option<f64> {
         self.jobmanager.next_event_s(fleet)
@@ -709,6 +882,7 @@ impl ReplicatedControlPlane {
         self.jobmanager = JobManager::default();
         self.submissions = SubmissionService::new();
         self.leases = BTreeSet::new();
+        self.elastic = BTreeSet::new();
     }
 
     /// Fail over to a recovered replica: elect a new leader (a CAS on the
@@ -719,10 +893,11 @@ impl ReplicatedControlPlane {
     /// engine pair for inspection.
     pub fn failover(&mut self) -> Result<(JobManager, SubmissionService), FailoverError> {
         self.election.run_until_leader(5_000).ok_or(FailoverError::NoLeader)?;
-        let (jobmanager, submissions, leases) = self.rebuild_parts()?;
+        let (jobmanager, submissions, leases, elastic) = self.rebuild_parts()?;
         self.jobmanager = jobmanager.clone();
         self.submissions = submissions.clone();
         self.leases = leases;
+        self.elastic = elastic;
         for id in 0..self.election.len() {
             if self.election.is_crashed(id) {
                 self.election.recover(id);
@@ -737,20 +912,22 @@ impl ReplicatedControlPlane {
     /// journaled lease set is rebuilt the same way; see [`Self::leases`] on a
     /// failed-over plane.)
     pub fn rebuild(&self) -> Result<(JobManager, SubmissionService), FailoverError> {
-        let (jobmanager, submissions, _) = self.rebuild_parts()?;
+        let (jobmanager, submissions, _, _) = self.rebuild_parts()?;
         Ok((jobmanager, submissions))
     }
 
+    #[allow(clippy::type_complexity)]
     fn rebuild_parts(
         &self,
-    ) -> Result<(JobManager, SubmissionService, BTreeSet<usize>), FailoverError> {
+    ) -> Result<(JobManager, SubmissionService, BTreeSet<usize>, BTreeSet<usize>), FailoverError>
+    {
         let (from, payload) = self.log.snapshot().ok_or(FailoverError::MissingSnapshot)?;
-        let (mut jobmanager, mut submissions, mut leases) =
+        let (mut jobmanager, mut submissions, mut leases, mut elastic) =
             decode_combined_state(&payload).ok_or(FailoverError::CorruptState)?;
         for (_, event) in self.log.entries_from(from) {
-            apply_event(&mut jobmanager, &mut submissions, &mut leases, &event);
+            apply_event(&mut jobmanager, &mut submissions, &mut leases, &mut elastic, &event);
         }
-        Ok((jobmanager, submissions, leases))
+        Ok((jobmanager, submissions, leases, elastic))
     }
 
     /// Number of journal entries a failover right now would replay on top of
@@ -761,25 +938,39 @@ impl ReplicatedControlPlane {
     }
 
     fn encode_state(&self) -> String {
-        let base =
+        let mut state =
             format!("{}\n{}", self.jobmanager.encode_state(), self.submissions.encode_state());
-        if self.leases.is_empty() {
-            // Lease-free planes (every pre-sharding deployment) keep their
-            // historical digest format.
-            base
-        } else {
+        // Lease-free / elastic-free planes (every pre-sharding, pre-autoscale
+        // deployment) keep their historical digest format: the optional
+        // sections appear only when non-empty.
+        if !self.leases.is_empty() {
             let held = self.leases.iter().map(usize::to_string).collect::<Vec<_>>().join(",");
-            format!("{base}\nlease {held}")
+            state.push_str(&format!("\nlease {held}"));
         }
+        if !self.elastic.is_empty() {
+            let held = self.elastic.iter().map(usize::to_string).collect::<Vec<_>>().join(",");
+            state.push_str(&format!("\nelastic {held}"));
+        }
+        state
     }
 }
 
 /// Split a combined snapshot payload into the engine state, the
-/// submission-service state, and the (possibly absent) lease section, and
-/// decode all three.
+/// submission-service state, and the (possibly absent) lease and elastic
+/// sections, and decode them all.
+#[allow(clippy::type_complexity)]
 fn decode_combined_state(
     payload: &str,
-) -> Option<(JobManager, SubmissionService, BTreeSet<usize>)> {
+) -> Option<(JobManager, SubmissionService, BTreeSet<usize>, BTreeSet<usize>)> {
+    // Optional trailing sections in encode order: lease, then elastic.
+    let (payload, elastic) = match payload.find("\nelastic ") {
+        Some(at) => {
+            let (rest, part) = payload.split_at(at);
+            let held = part.trim_start_matches('\n').strip_prefix("elastic ")?;
+            (rest, held.split(',').map(str::parse).collect::<Result<_, _>>().ok()?)
+        }
+        None => (payload, BTreeSet::new()),
+    };
     let (payload, leases) = match payload.find("\nlease ") {
         Some(at) => {
             let (rest, lease_part) = payload.split_at(at);
@@ -792,7 +983,7 @@ fn decode_combined_state(
     let (jm_part, svc_part) = payload.split_at(split);
     let jobmanager = JobManager::decode_state(jm_part)?;
     let submissions = SubmissionService::decode_state(svc_part.trim_start_matches('\n'))?;
-    Some((jobmanager, submissions, leases))
+    Some((jobmanager, submissions, leases, elastic))
 }
 
 /// Apply one journaled event to a rebuilding state pair. Every arm is
@@ -802,11 +993,26 @@ fn apply_event(
     jobmanager: &mut JobManager,
     submissions: &mut SubmissionService,
     leases: &mut BTreeSet<usize>,
+    elastic: &mut BTreeSet<usize>,
     event: &ControlPlaneEvent,
 ) {
     match event {
-        ControlPlaneEvent::TenantRegistered { config } => {
-            submissions.register_tenant_with(*config);
+        ControlPlaneEvent::TenantRegistered { config, slo } => match slo {
+            Some(slo) => {
+                submissions.register_tenant_with_slo(*config, *slo);
+            }
+            None => {
+                submissions.register_tenant_with(*config);
+            }
+        },
+        ControlPlaneEvent::SloEscalated { now_s, ticket } => {
+            submissions.apply_escalation(*ticket, *now_s, jobmanager);
+        }
+        ControlPlaneEvent::QpuProvisioned { qpu_index, .. } => {
+            elastic.insert(*qpu_index);
+        }
+        ControlPlaneEvent::QpuRetired { qpu_index, .. } => {
+            elastic.remove(qpu_index);
         }
         ControlPlaneEvent::JobSubmitted { tenant, spec, now_s } => {
             let _ = submissions.submit(*tenant, spec.clone(), *now_s);
@@ -819,7 +1025,7 @@ fn apply_event(
             // placements are bit-identical to the live path, so replay
             // applies the same state delta either way.
             jobmanager.apply_batch(*t_s, placed, rejected, deferred);
-            submissions.note_rejections(rejected);
+            submissions.note_rejections(*t_s, rejected);
         }
         ControlPlaneEvent::JobReestimated { job_id, spec } => {
             jobmanager.reestimate(*job_id, spec.clone());
@@ -896,7 +1102,31 @@ mod tests {
         let events = vec![
             ControlPlaneEvent::TenantRegistered {
                 config: TenantConfig { weight: 3, max_in_flight: usize::MAX, max_retries: 2 },
+                slo: None,
             },
+            ControlPlaneEvent::TenantRegistered {
+                config: TenantConfig { weight: 2, max_in_flight: 8, max_retries: 1 },
+                slo: Some(crate::submission::SloClass {
+                    deadline_s: 60.0,
+                    priority: 3,
+                    max_error: 0.02,
+                }),
+            },
+            ControlPlaneEvent::SloEscalated {
+                now_s: 42.5,
+                ticket: JobTicket { tenant: 3, ticket: 17 },
+            },
+            ControlPlaneEvent::QpuProvisioned {
+                now_s: 300.0,
+                qpu_index: 9,
+                class: ResourceClass::Simulator,
+            },
+            ControlPlaneEvent::QpuProvisioned {
+                now_s: 301.0,
+                qpu_index: 10,
+                class: ResourceClass::IonTrap,
+            },
+            ControlPlaneEvent::QpuRetired { now_s: 900.0, qpu_index: 9 },
             ControlPlaneEvent::JobSubmitted {
                 tenant: 7,
                 spec: JobSpec {
@@ -955,6 +1185,10 @@ mod tests {
         assert!(ControlPlaneEvent::decode("bogus 1 2").is_none());
         assert!(ControlPlaneEvent::decode("subm 1").is_none());
         assert!(ControlPlaneEvent::decode("admt 0000000000000000 trailing").is_none());
+        assert!(ControlPlaneEvent::decode("treg 1 2 3 not-an-slo").is_none());
+        assert!(ControlPlaneEvent::decode("sesc 0000000000000000").is_none());
+        assert!(ControlPlaneEvent::decode("qprv 0000000000000000 2 tape").is_none());
+        assert!(ControlPlaneEvent::decode("qret 0000000000000000 2 trailing").is_none());
     }
 
     #[test]
@@ -1153,6 +1387,57 @@ mod tests {
         plane.failover().expect("failover succeeds");
         assert_eq!(plane.state_digest(), digest);
         assert_eq!(plane.leases().iter().copied().collect::<Vec<_>>(), vec![0, 5]);
+    }
+
+    /// SLO escalations and elastic provisioning are journaled: a leader crash
+    /// after an escalated admission plus a grow/shrink cycle replays both
+    /// event streams byte-for-byte — the rebuilt digest, elastic set, and
+    /// escalation counters are identical.
+    #[test]
+    fn slo_escalations_and_elastic_capacity_survive_failover() {
+        let fleet = small_fleet(15);
+        let mut plane = ReplicatedControlPlane::new(
+            ScheduleTrigger::new(100, 30.0).with_slo_margin(2.0),
+            1,
+            10,
+        );
+        let bulk = plane.register_tenant(5).unwrap();
+        let slo = plane
+            .register_tenant_with_slo(TenantConfig::weighted(1), SloClass::with_deadline(20.0))
+            .unwrap();
+        for i in 0..4 {
+            plane.submit(bulk, spec(&fleet, 5, 5.0), i as f64 * 0.1).unwrap();
+        }
+        let urgent = plane.submit(slo, spec(&fleet, 5, 5.0), 1.0).unwrap();
+        // At t=2 the interval+margin horizon (32 s) overshoots the absolute
+        // deadline at 21: the ticket jumps the DRR scan through the lane.
+        let admitted = plane.admit(2.0).unwrap();
+        assert_eq!(admitted.first().map(|&(t, _)| t), Some(urgent), "escalation admits first");
+        assert_eq!(plane.submissions().tenant_stats(slo).unwrap().escalated, 1);
+
+        // Elastic capacity: grow/shrink journal with idempotence guards.
+        assert!(plane.provision_qpu(2.0, 7, ResourceClass::Simulator).unwrap());
+        assert!(!plane.provision_qpu(2.5, 7, ResourceClass::Simulator).unwrap());
+        assert!(plane.provision_qpu(3.0, 8, ResourceClass::Simulator).unwrap());
+        assert!(plane.retire_qpu(4.0, 8).unwrap());
+        assert!(!plane.retire_qpu(4.0, 8).unwrap(), "double retire journals nothing");
+
+        let digest = plane.state_digest();
+        assert!(digest.contains("\nelastic 7"), "the elastic set is part of the digest");
+        plane.crash_leader();
+        assert!(plane.elastic().is_empty(), "volatile elastic state died with the leader");
+        plane.failover().expect("failover succeeds");
+        assert_eq!(plane.state_digest(), digest, "escalations + scaling replay byte-for-byte");
+        assert_eq!(plane.elastic().iter().copied().collect::<Vec<_>>(), vec![7]);
+        assert_eq!(plane.submissions().tenant_stats(slo).unwrap().escalated, 1);
+        assert!(matches!(plane.poll(urgent), Some(TicketStatus::Admitted { .. })));
+
+        // A snapshot folds both sets into the baseline.
+        plane.snapshot().unwrap();
+        let digest = plane.state_digest();
+        plane.crash_leader();
+        plane.failover().expect("failover succeeds");
+        assert_eq!(plane.state_digest(), digest);
     }
 
     /// Election-in-store: leadership lives in the same quorum KV as the

@@ -201,9 +201,31 @@ impl ShardedControlPlane {
         &mut self,
         config: TenantConfig,
     ) -> Result<TenantId, ReplicationError> {
+        self.register_tenant_inner(config, None)
+    }
+
+    /// [`Self::register_tenant_with`] plus an SLO class: the class is
+    /// journaled on the tenant's home shard (it rides the registration
+    /// event), so the shard's escalation lane and failover replay see it.
+    pub fn register_tenant_with_slo(
+        &mut self,
+        config: TenantConfig,
+        slo: crate::submission::SloClass,
+    ) -> Result<TenantId, ReplicationError> {
+        self.register_tenant_inner(config, Some(slo))
+    }
+
+    fn register_tenant_inner(
+        &mut self,
+        config: TenantConfig,
+        slo: Option<crate::submission::SloClass>,
+    ) -> Result<TenantId, ReplicationError> {
         let global = self.next_global;
         let shard = shard_of_global(global, self.num_shards());
-        let local = self.shards[shard].register_tenant_with(config)?;
+        let local = match slo {
+            Some(slo) => self.shards[shard].register_tenant_with_slo(config, slo)?,
+            None => self.shards[shard].register_tenant_with(config)?,
+        };
         self.next_global += 1;
         self.placement.push((shard, local));
         self.global_of.insert((shard, local), global);
@@ -633,6 +655,42 @@ mod tests {
             leased.iter().any(|&q| pending.spec.fidelity_per_qpu[q] > 0.0),
             "the job must stay feasible on the shard's own lease"
         );
+    }
+
+    /// An SLO class registered through the sharded front door lands on the
+    /// tenant's home shard: the escalation lane fires there, and the shard's
+    /// crash + failover replays it byte-for-byte.
+    #[test]
+    fn slo_classes_route_to_the_home_shard_and_survive_its_failover() {
+        use crate::submission::SloClass;
+        let mut plane = ShardedControlPlane::new(
+            2,
+            8,
+            ScheduleTrigger::new(100, 30.0),
+            CalibrationPolicy::Naive,
+            1,
+            7,
+        );
+        let fleet = small_fleet(3);
+        let tenant = plane
+            .register_tenant_with_slo(TenantConfig::weighted(1), SloClass::with_deadline(20.0))
+            .unwrap();
+        let (shard, local) = plane.placement_of(tenant).unwrap();
+        assert_eq!(
+            plane.shard(shard).submissions().tenant_slo(local).map(|s| s.deadline_s),
+            Some(20.0)
+        );
+        let ticket = plane.submit(tenant, spec(&fleet, 5, 10.0), 1.0).unwrap();
+        // interval+margin horizon (32 s) overshoots the deadline at 21: the
+        // shard-local escalation lane admits it despite queue_limit 100.
+        let admitted = plane.admit(2.0).unwrap();
+        assert_eq!(admitted.len(), 1);
+        assert_eq!(admitted[0].0, ticket);
+        assert_eq!(plane.shard(shard).submissions().tenant_stats(local).unwrap().escalated, 1);
+        let digest = plane.shard(shard).state_digest();
+        plane.shards_mut()[shard].crash_leader();
+        plane.shards_mut()[shard].failover().expect("failover succeeds");
+        assert_eq!(plane.shard(shard).state_digest(), digest, "escalation replays on the shard");
     }
 
     #[test]

@@ -52,6 +52,54 @@ impl TenantConfig {
     }
 }
 
+/// A tenant's service-level objective: the absolute guarantee layered on top
+/// of the *relative* DRR weight. Jobs submitted under an SLO class carry an
+/// absolute deadline (`submitted_s + deadline_s`); when a queued job's
+/// deadline would be missed by waiting one more trigger interval it jumps the
+/// DRR scan through the escalation lane
+/// ([`SubmissionService::pending_escalations`]), and once admitted it arms
+/// the trigger's early-fire SLO path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SloClass {
+    /// Submit-to-completion deadline in seconds (relative to submission
+    /// time); `f64::INFINITY` for no deadline.
+    pub deadline_s: f64,
+    /// Escalation priority: when the bypass lane's budget cannot cover every
+    /// urgent job, higher-priority tenants escalate first.
+    pub priority: u32,
+    /// Maximum tolerated estimated error rate (1.0 = no bound). Advisory to
+    /// estimate-aware schedulers; carried here so the class is one value.
+    pub max_error: f64,
+}
+
+impl Default for SloClass {
+    fn default() -> Self {
+        SloClass { deadline_s: f64::INFINITY, priority: 0, max_error: 1.0 }
+    }
+}
+
+impl SloClass {
+    /// An SLO class with the given deadline and default priority/error bound.
+    pub fn with_deadline(deadline_s: f64) -> Self {
+        SloClass { deadline_s, ..SloClass::default() }
+    }
+}
+
+/// Why a ticket was terminally rejected (satellite of the SLO work: a bare
+/// `Rejected` gave operators no way to distinguish "the circuit fits nowhere"
+/// from "the retry budget ran out" from "the deadline passed first").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// The scheduler bounced the job until the tenant's retry budget ran out.
+    RetriesExhausted,
+    /// The job's SLO deadline had already passed when the rejection became
+    /// terminal.
+    DeadlineMissed,
+    /// No QPU in the fleet could run the job at all (every per-QPU fidelity
+    /// estimate is zero) — the case retry-with-cutting exists to prevent.
+    Infeasible,
+}
+
 /// Handle returned by [`SubmissionService::submit`]; pass it to
 /// [`SubmissionService::poll`] to observe the job's progress.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -92,6 +140,8 @@ pub enum TicketStatus {
     Rejected {
         /// Total scheduler rejections (always `max_retries + 1`).
         attempts: u32,
+        /// Why the rejection became terminal.
+        reason: RejectReason,
     },
 }
 
@@ -120,6 +170,8 @@ pub struct TenantStats {
     pub queued: usize,
     /// Tickets admitted but not yet completed.
     pub in_flight: usize,
+    /// Admissions through the SLO escalation lane (a subset of `admitted`).
+    pub escalated: u64,
     /// Mean submission-to-admission wait over all admission events (seconds).
     pub mean_queue_wait_s: f64,
     /// Mean submission-to-finish turnaround over completed tickets (seconds).
@@ -132,7 +184,7 @@ enum TicketState {
     Queued,
     Admitted { job_id: JobId },
     Completed { job_id: JobId, qpu_index: usize, waiting_s: f64, turnaround_s: f64 },
-    Rejected,
+    Rejected { reason: RejectReason },
 }
 
 /// Full per-ticket record (the spec is kept so rejected jobs can re-enter the
@@ -150,6 +202,9 @@ struct TicketRecord {
 #[derive(Debug, Clone)]
 struct TenantState {
     config: TenantConfig,
+    /// The tenant's SLO class, if registered with one
+    /// ([`SubmissionService::register_tenant_with_slo`]).
+    slo: Option<SloClass>,
     queue: VecDeque<TicketId>,
     deficit: u64,
     in_flight: usize,
@@ -157,11 +212,16 @@ struct TenantState {
     admitted: u64,
     completed: u64,
     rejected: u64,
+    escalated: u64,
     queue_wait_total_s: f64,
     turnaround_total_s: f64,
 }
 
 impl TenantState {
+    /// Weight and in-flight caps are clamped to at least 1 here — the single
+    /// construction chokepoint (registration *and* state decode) — because a
+    /// weight-0 tenant would earn a zero DRR quantum and its tickets would
+    /// sit `Queued` forever.
     fn new(config: TenantConfig) -> Self {
         TenantState {
             config: TenantConfig {
@@ -169,6 +229,7 @@ impl TenantState {
                 max_in_flight: config.max_in_flight.max(1),
                 max_retries: config.max_retries,
             },
+            slo: None,
             queue: VecDeque::new(),
             deficit: 0,
             in_flight: 0,
@@ -176,8 +237,18 @@ impl TenantState {
             admitted: 0,
             completed: 0,
             rejected: 0,
+            escalated: 0,
             queue_wait_total_s: 0.0,
             turnaround_total_s: 0.0,
+        }
+    }
+
+    /// The absolute deadline of a job submitted at `submitted_s` under this
+    /// tenant's SLO class (`INFINITY` without one).
+    fn absolute_deadline(&self, submitted_s: f64) -> f64 {
+        match self.slo {
+            Some(slo) if slo.deadline_s.is_finite() => submitted_s + slo.deadline_s,
+            _ => f64::INFINITY,
         }
     }
 
@@ -190,6 +261,7 @@ impl TenantState {
             rejected: self.rejected,
             queued: self.queue.len(),
             in_flight: self.in_flight,
+            escalated: self.escalated,
             mean_queue_wait_s: if self.admitted == 0 {
                 0.0
             } else {
@@ -229,12 +301,30 @@ impl SubmissionService {
         self.register_tenant_with(TenantConfig::weighted(weight))
     }
 
-    /// Register a tenant with an explicit configuration.
+    /// Register a tenant with an explicit configuration. A zero `weight` (or
+    /// zero `max_in_flight`) is clamped to 1: a weight-0 tenant would earn a
+    /// zero DRR quantum and its tickets would sit `Queued` forever.
     pub fn register_tenant_with(&mut self, config: TenantConfig) -> TenantId {
         let id = self.next_tenant_id;
         self.next_tenant_id += 1;
         self.tenants.insert(id, TenantState::new(config));
         id
+    }
+
+    /// Register a tenant with an admission configuration *and* an SLO class:
+    /// every job the tenant submits carries the absolute deadline
+    /// `submitted_s + slo.deadline_s`, enforced by the escalation lane
+    /// ([`Self::pending_escalations`]) before admission and by the trigger's
+    /// SLO early-fire path after it.
+    pub fn register_tenant_with_slo(&mut self, config: TenantConfig, slo: SloClass) -> TenantId {
+        let id = self.register_tenant_with(config);
+        self.tenants.get_mut(&id).expect("just registered").slo = Some(slo);
+        id
+    }
+
+    /// A tenant's SLO class, if it registered with one.
+    pub fn tenant_slo(&self, tenant: TenantId) -> Option<SloClass> {
+        self.tenants.get(&tenant).and_then(|t| t.slo)
     }
 
     /// All registered tenant ids, ascending.
@@ -298,7 +388,9 @@ impl SubmissionService {
             TicketState::Completed { job_id, qpu_index, waiting_s, turnaround_s } => {
                 TicketStatus::Completed { job_id, qpu_index, waiting_s, turnaround_s }
             }
-            TicketState::Rejected => TicketStatus::Rejected { attempts: record.attempts },
+            TicketState::Rejected { reason } => {
+                TicketStatus::Rejected { attempts: record.attempts, reason }
+            }
         })
     }
 
@@ -357,8 +449,12 @@ impl SubmissionService {
                 {
                     let Some(ticket) = tenant.queue.pop_front() else { break };
                     let record = self.tickets.get_mut(&ticket).expect("queued tickets exist");
-                    let job_id =
-                        jobmanager.submit_for_tenant(record.spec.clone(), record.submitted_s, id);
+                    let job_id = jobmanager.submit_for_tenant_with_deadline(
+                        record.spec.clone(),
+                        record.submitted_s,
+                        id,
+                        tenant.absolute_deadline(record.submitted_s),
+                    );
                     record.state = TicketState::Admitted { job_id };
                     self.job_to_ticket.insert(job_id, ticket);
                     tenant.deficit -= 1;
@@ -379,18 +475,106 @@ impl SubmissionService {
         admitted
     }
 
+    /// The SLO bypass lane, read side: queued tickets whose absolute deadline
+    /// would be blown by waiting `horizon_s` more seconds for the next
+    /// regular admission (`now_s + horizon_s ≥ deadline`), in deterministic
+    /// escalation order — descending SLO priority, then ascending ticket id —
+    /// bounded by `budget` slots and each tenant's in-flight cap. Read-only:
+    /// the caller journals one `SloEscalated` event per returned ticket and
+    /// then applies each with [`Self::apply_escalation`], so failover replays
+    /// the exact escalation stream.
+    pub fn pending_escalations(&self, now_s: f64, horizon_s: f64, budget: usize) -> Vec<JobTicket> {
+        let mut candidates: Vec<(u32, TicketId, TenantId)> = Vec::new();
+        for (&id, tenant) in &self.tenants {
+            let Some(slo) = tenant.slo else { continue };
+            if !slo.deadline_s.is_finite() {
+                continue;
+            }
+            for &ticket in &tenant.queue {
+                let record = &self.tickets[&ticket];
+                if now_s + horizon_s >= tenant.absolute_deadline(record.submitted_s) {
+                    candidates.push((slo.priority, ticket, id));
+                }
+            }
+        }
+        // Descending priority, ascending ticket id within a priority class.
+        candidates.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let mut in_flight: HashMap<TenantId, usize> =
+            self.tenants.iter().map(|(&id, t)| (id, t.in_flight)).collect();
+        let mut escalations = Vec::new();
+        for (_, ticket, tenant_id) in candidates {
+            if escalations.len() >= budget {
+                break;
+            }
+            let used = in_flight.get_mut(&tenant_id).expect("tenant exists");
+            if *used >= self.tenants[&tenant_id].config.max_in_flight {
+                continue;
+            }
+            *used += 1;
+            escalations.push(JobTicket { tenant: tenant_id, ticket });
+        }
+        escalations
+    }
+
+    /// The SLO bypass lane, write side: admit one escalated ticket into the
+    /// engine ahead of the DRR scan. Validates everything
+    /// [`Self::pending_escalations`] promised (queued ticket, SLO tenant,
+    /// free in-flight slot) and returns `None` without touching any state if
+    /// a precondition no longer holds — so a journaled escalation replays
+    /// idempotently. No DRR deficit is debited: escalation is the *absolute*
+    /// lane, deliberately outside the weighted-share accounting.
+    pub fn apply_escalation(
+        &mut self,
+        ticket: JobTicket,
+        now_s: f64,
+        jobmanager: &mut JobManager,
+    ) -> Option<JobId> {
+        let record = self.tickets.get(&ticket.ticket)?;
+        if record.tenant != ticket.tenant || record.state != TicketState::Queued {
+            return None;
+        }
+        let tenant = self.tenants.get_mut(&ticket.tenant)?;
+        tenant.slo?;
+        if tenant.in_flight >= tenant.config.max_in_flight {
+            return None;
+        }
+        let pos = tenant.queue.iter().position(|&t| t == ticket.ticket)?;
+        tenant.queue.remove(pos);
+        let deadline_s = tenant.absolute_deadline(record.submitted_s);
+        let record = self.tickets.get_mut(&ticket.ticket).expect("checked above");
+        let job_id = jobmanager.submit_for_tenant_with_deadline(
+            record.spec.clone(),
+            record.submitted_s,
+            ticket.tenant,
+            deadline_s,
+        );
+        record.state = TicketState::Admitted { job_id };
+        self.job_to_ticket.insert(job_id, ticket.ticket);
+        let tenant = self.tenants.get_mut(&ticket.tenant).expect("checked above");
+        tenant.in_flight += 1;
+        tenant.admitted += 1;
+        tenant.escalated += 1;
+        tenant.queue_wait_total_s += (now_s - record.submitted_s).max(0.0);
+        Some(job_id)
+    }
+
     /// Account a dispatched batch: jobs the scheduler rejected return to the
     /// *front* of their tenant's queue for re-admission until the tenant's
     /// retry budget is exhausted, at which point the ticket becomes terminally
     /// [`TicketStatus::Rejected`]. Returns the terminally rejected tickets.
     pub fn note_batch(&mut self, batch: &BatchRecord) -> Vec<JobTicket> {
-        self.note_rejections(&batch.outcome.rejected_jobs)
+        self.note_rejections(batch.t_s, &batch.outcome.rejected_jobs)
     }
 
     /// [`Self::note_batch`] from the raw rejected job ids — the replay form
     /// used when re-applying a journaled batch dispatch, where only the state
-    /// delta (not the full batch record) was persisted.
-    pub fn note_rejections(&mut self, rejected_jobs: &[JobId]) -> Vec<JobTicket> {
+    /// delta (not the full batch record) was persisted. `now_s` is the batch
+    /// dispatch instant, used to classify terminal rejections: a spec no QPU
+    /// can run is [`RejectReason::Infeasible`], a ticket whose SLO deadline
+    /// already passed is [`RejectReason::DeadlineMissed`], anything else is
+    /// [`RejectReason::RetriesExhausted`]. The classification reads only
+    /// journaled state, so replay reproduces it byte for byte.
+    pub fn note_rejections(&mut self, now_s: f64, rejected_jobs: &[JobId]) -> Vec<JobTicket> {
         let mut terminal = Vec::new();
         for job_id in rejected_jobs {
             let Some(ticket) = self.job_to_ticket.remove(job_id) else { continue };
@@ -400,7 +584,15 @@ impl SubmissionService {
             tenant.in_flight -= 1;
             record.attempts += 1;
             if record.attempts > tenant.config.max_retries {
-                record.state = TicketState::Rejected;
+                let reason = if record.spec.fidelity_per_qpu.iter().all(|&f| f <= 0.0 || f.is_nan())
+                {
+                    RejectReason::Infeasible
+                } else if now_s >= tenant.absolute_deadline(record.submitted_s) {
+                    RejectReason::DeadlineMissed
+                } else {
+                    RejectReason::RetriesExhausted
+                };
+                record.state = TicketState::Rejected { reason };
                 tenant.rejected += 1;
                 terminal.push(JobTicket { tenant: record.tenant, ticket });
             } else {
@@ -482,7 +674,7 @@ impl SubmissionService {
     /// bit patterns, so equal encodings imply bit-identical states.
     pub fn encode_state(&self) -> String {
         use crate::replication::wire::{enc_f64, enc_spec};
-        let mut out = String::from("svc 1\n");
+        let mut out = String::from("svc 2\n");
         out.push_str(&format!(
             "ids {} {} {}\n",
             self.next_tenant_id, self.next_ticket_id, self.rr_start
@@ -493,8 +685,17 @@ impl SubmissionService {
             } else {
                 tenant.queue.iter().map(u64::to_string).collect::<Vec<_>>().join(",")
             };
+            let slo = match tenant.slo {
+                None => "-".to_string(),
+                Some(slo) => format!(
+                    "{}:{}:{}",
+                    enc_f64(slo.deadline_s),
+                    slo.priority,
+                    enc_f64(slo.max_error)
+                ),
+            };
             out.push_str(&format!(
-                "tenant {id} {} {} {} {} {} {} {} {} {} {} {} {queue}\n",
+                "tenant {id} {} {} {} {slo} {} {} {} {} {} {} {} {} {} {queue}\n",
                 tenant.config.weight,
                 tenant.config.max_in_flight,
                 tenant.config.max_retries,
@@ -504,6 +705,7 @@ impl SubmissionService {
                 tenant.admitted,
                 tenant.completed,
                 tenant.rejected,
+                tenant.escalated,
                 enc_f64(tenant.queue_wait_total_s),
                 enc_f64(tenant.turnaround_total_s),
             ));
@@ -522,7 +724,11 @@ impl SubmissionService {
                         enc_f64(turnaround_s)
                     )
                 }
-                TicketState::Rejected => "r".to_string(),
+                TicketState::Rejected { reason } => match reason {
+                    RejectReason::RetriesExhausted => "r:x".to_string(),
+                    RejectReason::DeadlineMissed => "r:d".to_string(),
+                    RejectReason::Infeasible => "r:i".to_string(),
+                },
             };
             out.push_str(&format!(
                 "ticket {ticket_id} {} {} {} {state} {}\n",
@@ -548,7 +754,7 @@ impl SubmissionService {
     pub fn decode_state(encoded: &str) -> Option<SubmissionService> {
         use crate::replication::wire::{dec_f64, dec_spec};
         let mut lines = encoded.lines();
-        if lines.next()? != "svc 1" {
+        if lines.next()? != "svc 2" {
             return None;
         }
         let mut ids = lines.next()?.split(' ');
@@ -573,12 +779,24 @@ impl SubmissionService {
                         max_in_flight: fields.next()?.parse().ok()?,
                         max_retries: fields.next()?.parse().ok()?,
                     });
+                    tenant.slo = match fields.next()? {
+                        "-" => None,
+                        slo_field => match slo_field.split(':').collect::<Vec<_>>().as_slice() {
+                            [deadline, priority, max_error] => Some(SloClass {
+                                deadline_s: dec_f64(deadline)?,
+                                priority: priority.parse().ok()?,
+                                max_error: dec_f64(max_error)?,
+                            }),
+                            _ => return None,
+                        },
+                    };
                     tenant.deficit = fields.next()?.parse().ok()?;
                     tenant.in_flight = fields.next()?.parse().ok()?;
                     tenant.submitted = fields.next()?.parse().ok()?;
                     tenant.admitted = fields.next()?.parse().ok()?;
                     tenant.completed = fields.next()?.parse().ok()?;
                     tenant.rejected = fields.next()?.parse().ok()?;
+                    tenant.escalated = fields.next()?.parse().ok()?;
                     tenant.queue_wait_total_s = dec_f64(fields.next()?)?;
                     tenant.turnaround_total_s = dec_f64(fields.next()?)?;
                     let queue = fields.next()?;
@@ -604,7 +822,13 @@ impl SubmissionService {
                             waiting_s: dec_f64(wait)?,
                             turnaround_s: dec_f64(turn)?,
                         },
-                        ["r"] => TicketState::Rejected,
+                        ["r", "x"] => {
+                            TicketState::Rejected { reason: RejectReason::RetriesExhausted }
+                        }
+                        ["r", "d"] => {
+                            TicketState::Rejected { reason: RejectReason::DeadlineMissed }
+                        }
+                        ["r", "i"] => TicketState::Rejected { reason: RejectReason::Infeasible },
                         _ => return None,
                     };
                     let spec = dec_spec(fields.next()?)?;
@@ -829,12 +1053,138 @@ mod tests {
         let batch = jm.try_dispatch(1.0, &scheduler, &mut fleet).expect("trigger fires again");
         let terminal = svc.note_batch(&batch);
         assert_eq!(terminal, vec![doomed]);
-        assert_eq!(svc.poll(doomed), Some(TicketStatus::Rejected { attempts: 2 }));
+        // 64 qubits fits no QPU: the terminal reason is Infeasible, not a
+        // bare retries-exhausted.
+        assert_eq!(
+            svc.poll(doomed),
+            Some(TicketStatus::Rejected { attempts: 2, reason: RejectReason::Infeasible })
+        );
         let stats = svc.tenant_stats(tenant).unwrap();
         assert_eq!(stats.rejected, 1);
         assert_eq!(stats.admitted, 2, "both admission events are counted");
         assert_eq!(stats.in_flight, 0);
         assert_eq!(stats.queued, 0);
+    }
+
+    /// Satellite regression: `register_tenant(0)` used to yield a zero DRR
+    /// quantum — the tenant's deficit never grew, so its tickets sat `Queued`
+    /// forever. Registration clamps the weight to 1; the tenant makes
+    /// progress.
+    #[test]
+    fn weight_zero_tenant_is_clamped_and_makes_progress() {
+        let fleet = small_fleet(7);
+        let mut svc = SubmissionService::new();
+        let zero = svc.register_tenant(0);
+        assert_eq!(svc.tenant_stats(zero).unwrap().weight, 1, "weight 0 clamps to 1");
+        let configs = svc.tenant_configs();
+        assert_eq!(configs[0].1.weight, 1);
+        let ticket = svc.submit(zero, spec(&fleet, 5, 10.0), 0.0).unwrap();
+        let mut jm = JobManager::new(ScheduleTrigger::new(4, 1e12));
+        let admitted = svc.admit(1.0, &mut jm);
+        assert_eq!(admitted.len(), 1, "the clamped tenant is admitted, not starved");
+        assert!(matches!(svc.poll(ticket), Some(TicketStatus::Admitted { .. })));
+        // Zero max_in_flight clamps the same way (it would also starve).
+        let capped =
+            svc.register_tenant_with(TenantConfig { weight: 0, max_in_flight: 0, max_retries: 0 });
+        svc.submit(capped, spec(&fleet, 5, 10.0), 2.0).unwrap();
+        assert_eq!(svc.admit(2.0, &mut jm).len(), 1, "max_in_flight 0 clamps to 1");
+    }
+
+    /// The SLO escalation lane: an urgent queued job jumps the DRR scan ahead
+    /// of a heavier tenant's backlog, exactly once (no double-admit), with
+    /// the `escalated` counter tracking it.
+    #[test]
+    fn escalation_jumps_the_drr_scan_without_double_admit() {
+        let fleet = small_fleet(8);
+        let mut svc = SubmissionService::new();
+        let bulk = svc.register_tenant(8);
+        let slo =
+            svc.register_tenant_with_slo(TenantConfig::weighted(1), SloClass::with_deadline(30.0));
+        assert_eq!(svc.tenant_slo(slo).map(|s| s.deadline_s), Some(30.0));
+        assert_eq!(svc.tenant_slo(bulk), None);
+        for i in 0..10 {
+            svc.submit(bulk, spec(&fleet, 5, 5.0), i as f64 * 0.01).unwrap();
+        }
+        let urgent = svc.submit(slo, spec(&fleet, 5, 5.0), 1.0).unwrap();
+        let mut jm = JobManager::new(ScheduleTrigger::new(4, 1e12));
+
+        // Far from the deadline nothing escalates.
+        assert!(svc.pending_escalations(2.0, 10.0, 4).is_empty());
+        // At t=25 a 10 s horizon blows the deadline at 31: the ticket is due.
+        let due = svc.pending_escalations(25.0, 10.0, 4);
+        assert_eq!(due, vec![urgent]);
+        let job_id = svc.apply_escalation(urgent, 25.0, &mut jm).expect("escalates");
+        assert_eq!(svc.poll(urgent), Some(TicketStatus::Admitted { job_id }));
+        assert_eq!(svc.tenant_stats(slo).unwrap().escalated, 1);
+        // The escalated job carries its absolute deadline into the engine.
+        assert_eq!(jm.pending().last().unwrap().deadline_s, 31.0);
+        // No double admission: the ticket is no longer queued, so neither the
+        // lane nor the DRR scan can pick it again.
+        assert!(svc.pending_escalations(25.0, 10.0, 4).is_empty());
+        assert!(svc.apply_escalation(urgent, 25.0, &mut jm).is_none(), "replay is a no-op");
+        let before = jm.pending_len();
+        let admitted = svc.admit(26.0, &mut jm);
+        assert!(admitted.iter().all(|(t, _)| t.tenant == bulk), "only bulk jobs remain queued");
+        assert_eq!(jm.pending_len(), before + admitted.len());
+        // Conservation: every ticket is in exactly one place.
+        let s = svc.tenant_stats(slo).unwrap();
+        assert_eq!(s.queued as u64 + s.in_flight as u64 + s.completed + s.rejected, s.submitted);
+    }
+
+    /// Escalation order is deterministic — higher priority first, ticket id
+    /// within a class — and bounded by the budget and in-flight caps.
+    #[test]
+    fn escalation_order_is_priority_then_ticket_id_and_respects_caps() {
+        let fleet = small_fleet(9);
+        let mut svc = SubmissionService::new();
+        let gold = svc.register_tenant_with_slo(
+            TenantConfig { weight: 1, max_in_flight: 1, max_retries: 0 },
+            SloClass { deadline_s: 10.0, priority: 2, max_error: 0.05 },
+        );
+        let silver =
+            svc.register_tenant_with_slo(TenantConfig::weighted(1), SloClass::with_deadline(10.0));
+        let g0 = svc.submit(gold, spec(&fleet, 5, 5.0), 0.0).unwrap();
+        let g1 = svc.submit(gold, spec(&fleet, 5, 5.0), 0.0).unwrap();
+        let s0 = svc.submit(silver, spec(&fleet, 5, 5.0), 0.0).unwrap();
+        // All three are overdue; gold outranks silver, but gold's in-flight
+        // cap (1) admits only its first ticket; the budget (2) then takes the
+        // silver one.
+        let due = svc.pending_escalations(100.0, 10.0, 2);
+        assert_eq!(due, vec![g0, s0]);
+        let _ = g1;
+    }
+
+    /// Typed terminal rejections: a rejected job whose deadline has passed is
+    /// `DeadlineMissed`; a feasible job that merely ran out of retries is
+    /// `RetriesExhausted`.
+    #[test]
+    fn terminal_reject_reasons_distinguish_deadline_from_retries() {
+        let fleet = small_fleet(10);
+        let mut svc = SubmissionService::new();
+        let slo = svc.register_tenant_with_slo(
+            TenantConfig { weight: 1, max_in_flight: 4, max_retries: 0 },
+            SloClass::with_deadline(5.0),
+        );
+        let plain =
+            svc.register_tenant_with(TenantConfig { weight: 1, max_in_flight: 4, max_retries: 0 });
+        let late = svc.submit(slo, spec(&fleet, 5, 5.0), 0.0).unwrap();
+        let unlucky = svc.submit(plain, spec(&fleet, 5, 5.0), 0.0).unwrap();
+        let mut jm = JobManager::new(ScheduleTrigger::new(2, 1e12));
+        let admitted = svc.admit(1.0, &mut jm);
+        assert_eq!(admitted.len(), 2);
+        // Both jobs bounce at t=20 (past the SLO deadline at 5). The specs
+        // are feasible, so the reasons split on the deadline.
+        let rejected: Vec<JobId> = admitted.iter().map(|&(_, job)| job).collect();
+        let terminal = svc.note_rejections(20.0, &rejected);
+        assert_eq!(terminal.len(), 2);
+        assert_eq!(
+            svc.poll(late),
+            Some(TicketStatus::Rejected { attempts: 1, reason: RejectReason::DeadlineMissed })
+        );
+        assert_eq!(
+            svc.poll(unlucky),
+            Some(TicketStatus::Rejected { attempts: 1, reason: RejectReason::RetriesExhausted })
+        );
     }
 
     /// The state codec roundtrips bit for bit across a mixed lifecycle:

@@ -33,4 +33,4 @@ pub use problem::{
 pub use scheduler::{
     HybridScheduler, Placement, ScheduleOutcome, SchedulerConfig, SpeculativeSchedule, StageTimings,
 };
-pub use triggers::{ScheduleTrigger, TriggerReason};
+pub use triggers::{ScheduleTrigger, TriggerReason, DEFAULT_SLO_MARGIN_S};

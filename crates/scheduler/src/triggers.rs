@@ -11,6 +11,13 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Default slack margin before a deadline at which the SLO path fires the
+/// trigger early ([`ScheduleTrigger::slo_margin_s`]): the configured estimate
+/// of one scheduling cycle's latency (snapshot + NSGA-II + enqueue). A config
+/// knob, *not* a wall-clock measurement — determinism requires the margin to
+/// be part of the replicated trigger state.
+pub const DEFAULT_SLO_MARGIN_S: f64 = 2.0;
+
 /// Trigger configuration and state.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ScheduleTrigger {
@@ -18,6 +25,12 @@ pub struct ScheduleTrigger {
     pub queue_limit: usize,
     /// Time-based trigger interval in seconds (paper default: 120 s).
     pub interval_s: f64,
+    /// Estimated scheduling-cycle latency: when a pending job's deadline
+    /// slack falls below this margin the trigger fires early
+    /// ([`TriggerReason::SloSlack`]) instead of letting the job wait out the
+    /// interval. Deterministic by construction (a configured constant, never
+    /// measured from the wall clock).
+    pub slo_margin_s: f64,
     /// Simulated time of the last scheduling invocation, or `None` until the
     /// trigger is armed.
     last_invocation_s: Option<f64>,
@@ -28,13 +41,22 @@ pub struct ScheduleTrigger {
 pub enum TriggerReason {
     /// The pending queue reached the size limit.
     QueueSize,
+    /// A pending job's deadline slack fell below the estimated scheduling
+    /// latency ([`ScheduleTrigger::slo_margin_s`]): waiting for the next
+    /// interval expiry would blow the job's SLO deadline.
+    SloSlack,
     /// The time interval elapsed.
     Interval,
 }
 
 impl Default for ScheduleTrigger {
     fn default() -> Self {
-        ScheduleTrigger { queue_limit: 100, interval_s: 120.0, last_invocation_s: None }
+        ScheduleTrigger {
+            queue_limit: 100,
+            interval_s: 120.0,
+            slo_margin_s: DEFAULT_SLO_MARGIN_S,
+            last_invocation_s: None,
+        }
     }
 }
 
@@ -42,7 +64,19 @@ impl ScheduleTrigger {
     /// Create a trigger with explicit thresholds. The interval timer is
     /// unarmed until the first observation (see the module docs).
     pub fn new(queue_limit: usize, interval_s: f64) -> Self {
-        ScheduleTrigger { queue_limit, interval_s, last_invocation_s: None }
+        ScheduleTrigger {
+            queue_limit,
+            interval_s,
+            slo_margin_s: DEFAULT_SLO_MARGIN_S,
+            last_invocation_s: None,
+        }
+    }
+
+    /// The same trigger with an explicit SLO slack margin (the deterministic
+    /// estimate of one scheduling cycle's latency).
+    pub fn with_slo_margin(mut self, slo_margin_s: f64) -> Self {
+        self.slo_margin_s = slo_margin_s;
+        self
     }
 
     /// Arm the interval timer at `now_s` if it has no baseline yet. Callers
@@ -59,15 +93,39 @@ impl ScheduleTrigger {
     /// An unarmed trigger arms itself at the first check that observes a
     /// non-empty queue (and therefore never interval-fires on that check).
     pub fn check(&mut self, queue_len: usize, now_s: f64) -> Option<TriggerReason> {
+        self.check_with_urgency(queue_len, now_s, false)
+    }
+
+    /// [`Self::check`] with the admission-aware SLO lane: `urgent` reports
+    /// whether any pending job's deadline slack has fallen below
+    /// [`Self::slo_margin_s`] (the caller computes this from its pool — the
+    /// trigger itself holds no job state). Fire priority is
+    /// queue-size > SLO slack > interval; the SLO path fires even on the
+    /// arming check, since a deadline about to be blown cannot wait out the
+    /// first interval.
+    pub fn check_with_urgency(
+        &mut self,
+        queue_len: usize,
+        now_s: f64,
+        urgent: bool,
+    ) -> Option<TriggerReason> {
         if queue_len == 0 {
             return None;
         }
         let Some(last) = self.last_invocation_s else {
             self.last_invocation_s = Some(now_s);
-            return (queue_len >= self.queue_limit).then_some(TriggerReason::QueueSize);
+            return if queue_len >= self.queue_limit {
+                Some(TriggerReason::QueueSize)
+            } else if urgent {
+                Some(TriggerReason::SloSlack)
+            } else {
+                None
+            };
         };
         if queue_len >= self.queue_limit {
             Some(TriggerReason::QueueSize)
+        } else if urgent {
+            Some(TriggerReason::SloSlack)
         } else if now_s - last >= self.interval_s {
             Some(TriggerReason::Interval)
         } else {
@@ -151,6 +209,43 @@ mod tests {
     fn late_construction_queue_path_is_unaffected() {
         let mut t = ScheduleTrigger::new(3, 120.0);
         assert_eq!(t.check(3, 50_000.0), Some(TriggerReason::QueueSize));
+    }
+
+    /// The SLO lane fires between interval expiries — but only when the
+    /// caller reports an urgent job, and never on an empty queue.
+    #[test]
+    fn slo_slack_fires_early_but_only_when_urgent() {
+        let mut t = ScheduleTrigger::new(100, 120.0);
+        t.mark_invoked(0.0);
+        assert_eq!(t.check_with_urgency(5, 10.0, false), None);
+        assert_eq!(t.check_with_urgency(5, 10.0, true), Some(TriggerReason::SloSlack));
+        assert_eq!(t.check_with_urgency(0, 10.0, true), None, "no queue, nothing to rescue");
+    }
+
+    /// Priority: queue-size beats SLO slack beats interval.
+    #[test]
+    fn slo_slack_priority_sits_between_queue_size_and_interval() {
+        let mut t = ScheduleTrigger::new(10, 60.0);
+        t.mark_invoked(0.0);
+        assert_eq!(t.check_with_urgency(10, 5.0, true), Some(TriggerReason::QueueSize));
+        assert_eq!(t.check_with_urgency(5, 100.0, true), Some(TriggerReason::SloSlack));
+        assert_eq!(t.check_with_urgency(5, 100.0, false), Some(TriggerReason::Interval));
+    }
+
+    /// Unlike the interval path, the SLO path fires even on the arming check:
+    /// a deadline about to be blown cannot wait out the first interval.
+    #[test]
+    fn slo_slack_fires_on_the_arming_check() {
+        let mut t = ScheduleTrigger::new(100, 120.0);
+        assert_eq!(t.check_with_urgency(3, 10_000.0, true), Some(TriggerReason::SloSlack));
+        assert_eq!(t.last_invocation_s(), Some(10_000.0), "the check still armed the timer");
+    }
+
+    #[test]
+    fn slo_margin_is_configurable() {
+        let t = ScheduleTrigger::new(10, 60.0).with_slo_margin(7.5);
+        assert_eq!(t.slo_margin_s, 7.5);
+        assert_eq!(ScheduleTrigger::default().slo_margin_s, DEFAULT_SLO_MARGIN_S);
     }
 
     #[test]

@@ -538,7 +538,7 @@ proptest! {
         for ticket in &all_tickets {
             match svc.poll(*ticket) {
                 Some(TicketStatus::Completed { .. }) => {}
-                Some(TicketStatus::Rejected { attempts }) => prop_assert_eq!(attempts, 2),
+                Some(TicketStatus::Rejected { attempts, .. }) => prop_assert_eq!(attempts, 2),
                 other => panic!("ticket {ticket:?} ended as {other:?}"),
             }
         }
