@@ -74,10 +74,15 @@ pub struct BaselineChaosReport {
     pub crashes: Vec<CrashRecord>,
     /// Snapshots installed (journal compactions) during the run.
     pub snapshots_installed: u64,
-    /// The control plane's byte-for-byte state digest at the end of the run
-    /// — fault-injected and failure-free runs of the same configuration must
-    /// produce equal digests.
+    /// The control plane's state digest (incremental fingerprint) at the
+    /// end of the run. Comparable between runs that snapshot on the same
+    /// schedule; cross-schedule equality checks use [`Self::final_state`].
     pub final_digest: String,
+    /// The control plane's byte-for-byte encoded state at the end of the
+    /// run (the `encode_state` oracle) — fault-injected and failure-free
+    /// runs of the same configuration must produce equal bytes, regardless
+    /// of when each run snapshotted.
+    pub final_state: String,
 }
 
 impl BaselineChaosReport {

@@ -145,8 +145,12 @@ pub struct ShardedReport {
     pub crashes: Vec<ShardedCrashRecord>,
     /// Snapshots installed (per-shard journal compactions) during the run.
     pub snapshots_installed: u64,
-    /// Per-shard byte-for-byte state digests at the end of the run.
+    /// Per-shard state digests (incremental fingerprints) at the end of the
+    /// run; cross-schedule equality checks use [`Self::final_states`].
     pub final_digests: Vec<String>,
+    /// Per-shard byte-for-byte encoded states at the end of the run (the
+    /// `encode_state` oracle).
+    pub final_states: Vec<String>,
 }
 
 impl ShardedReport {
@@ -466,6 +470,7 @@ impl ShardedSimulation {
             crashes,
             snapshots_installed,
             final_digests: plane.state_digests(),
+            final_states: plane.encoded_states(),
         }
     }
 }

@@ -645,6 +645,7 @@ impl CloudSimulation {
         };
         BaselineChaosReport {
             final_digest: control.state_digest(),
+            final_state: control.encode_state(),
             report,
             crashes,
             snapshots_installed,

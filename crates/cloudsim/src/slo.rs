@@ -202,8 +202,13 @@ pub struct SloArmOutcome {
     pub crashes: Vec<CrashRecord>,
     /// Snapshots installed (journal compactions) during the run.
     pub snapshots_installed: u64,
-    /// The control plane's byte-for-byte state digest at the end of the run.
+    /// The control plane's state digest (incremental fingerprint) at the
+    /// end of the run; cross-schedule equality checks use
+    /// [`Self::final_state`].
     pub final_digest: String,
+    /// The control plane's byte-for-byte encoded state at the end of the
+    /// run (the `encode_state` oracle).
+    pub final_state: String,
 }
 
 impl SloArmOutcome {
@@ -657,6 +662,7 @@ pub fn run_slo_arm(
         crashes,
         snapshots_installed,
         final_digest: control.state_digest(),
+        final_state: control.encode_state(),
     }
 }
 

@@ -206,8 +206,11 @@ fn pipelined_chaos_runs_are_byte_identical_to_the_live_path() {
             pipelined.report.completed, live.report.completed,
             "seed {seed}: pipelining changed a completion"
         );
+        // Compare the encode_state oracle: the incremental digests diverge
+        // legitimately here (the journaled `speculative` flag differs
+        // between the arms) while the replicated *state* must not.
         assert_eq!(
-            pipelined.final_digest, live.final_digest,
+            pipelined.final_state, live.final_state,
             "seed {seed}: pipelining changed the final control-plane state"
         );
         assert_eq!(live.report.speculative_batches, 0, "the live arm never speculates");

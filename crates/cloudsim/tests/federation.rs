@@ -125,8 +125,8 @@ fn a_single_provider_federation_is_byte_identical_to_the_flat_plane() {
     );
     assert_eq!(flat.report.qpu_names, federated.report.qpu_names);
     assert_eq!(
-        flat.final_digest, federated.final_digest,
-        "final control-plane digests must be byte-identical"
+        flat.final_state, federated.final_state,
+        "final control-plane states must be byte-identical"
     );
     assert_eq!(flat.report.speculative_batches, federated.report.speculative_batches);
 }

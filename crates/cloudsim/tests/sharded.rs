@@ -82,9 +82,11 @@ fn sharded_failovers_are_byte_exact_per_shard_across_the_seed_matrix() {
         let plain = ShardedSimulation::with_default_fleet(sharded_config(seed)).run();
         assert_eq!(chaos.batches, plain.batches, "seed {seed}: batch streams diverged");
         assert_eq!(chaos.completed, plain.completed, "seed {seed}: completions diverged");
+        // The chaos and plain runs snapshot on different cadences, so their
+        // incremental digests are not comparable — compare the byte oracle.
         assert_eq!(
-            chaos.final_digests, plain.final_digests,
-            "seed {seed}: final per-shard digests diverged"
+            chaos.final_states, plain.final_states,
+            "seed {seed}: final per-shard states diverged"
         );
     }
 }

@@ -121,7 +121,7 @@ fn slo_aware_holds_p95_deadlines_weighted_fair_misses() {
 fn slo_chaos_runs_are_byte_identical_to_failure_free_runs() {
     let mut summary = String::from(
         "seed,crashes,snapshots,batches,completions,escalated,provisioned,retired,\
-         digests_matched,final_digest_matched\n",
+         digests_matched,final_state_matched\n",
     );
     for seed in seeds_under_test() {
         let config = scenario(seed);
@@ -140,8 +140,10 @@ fn slo_chaos_runs_are_byte_identical_to_failure_free_runs() {
         }
         assert_eq!(chaos.batches, plain.batches, "seed {seed}: chaos changed a dispatch");
         assert_eq!(chaos.completions, plain.completions, "seed {seed}: chaos changed a completion");
+        // The chaos and plain arms snapshot on different cadences, so their
+        // incremental digests are not comparable — compare the byte oracle.
         assert_eq!(
-            chaos.final_digest, plain.final_digest,
+            chaos.final_state, plain.final_state,
             "seed {seed}: chaos changed the final control-plane state"
         );
         assert_eq!(chaos.report, plain.report, "seed {seed}: chaos changed the aggregate report");

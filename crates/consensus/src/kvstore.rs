@@ -107,6 +107,31 @@ impl ReplicatedKvStore {
         Ok(())
     }
 
+    /// Write a batch of keys atomically: one quorum check, one lock
+    /// acquisition, one committed write index for the whole batch. Either
+    /// every pair is applied on every live replica or (without a quorum)
+    /// none is — the group-commit primitive the journaling layer's
+    /// `ReplicatedLog::append_all` builds on.
+    pub fn put_all(&self, pairs: &[(String, String)]) -> Result<(), StoreError> {
+        if !self.has_quorum() {
+            return Err(StoreError::NoQuorum);
+        }
+        if pairs.is_empty() {
+            return Ok(());
+        }
+        let mut log_length = self.log_length.write();
+        *log_length += 1;
+        let index = *log_length;
+        let mut replicas = self.replicas.write();
+        for r in replicas.iter_mut().filter(|r| !r.crashed) {
+            for (key, value) in pairs {
+                r.data.insert(key.clone(), value.clone());
+            }
+            r.applied_index = index;
+        }
+        Ok(())
+    }
+
     /// Read a key from any live, up-to-date replica.
     pub fn get(&self, key: &str) -> Result<String, StoreError> {
         let replicas = self.replicas.read();
@@ -319,6 +344,42 @@ mod tests {
         assert_eq!(store.compare_and_swap("leader", Some("0 1"), "1 2"), Err(StoreError::NoQuorum));
         // The surviving minority still serves the old value.
         assert_eq!(store.get("leader").unwrap(), "0 1");
+    }
+
+    #[test]
+    fn put_all_commits_the_whole_batch_as_one_write() {
+        let store = ReplicatedKvStore::new(1);
+        store
+            .put_all(&[
+                ("log/entry/0".to_string(), "a".to_string()),
+                ("log/entry/1".to_string(), "b".to_string()),
+                ("log/len".to_string(), "2".to_string()),
+            ])
+            .unwrap();
+        assert_eq!(store.get("log/entry/0").unwrap(), "a");
+        assert_eq!(store.get("log/entry/1").unwrap(), "b");
+        assert_eq!(store.get("log/len").unwrap(), "2");
+        assert_eq!(store.committed_writes(), 1, "a batch is one committed write");
+        assert_eq!(store.put_all(&[]), Ok(()));
+        assert_eq!(store.committed_writes(), 1, "an empty batch writes nothing");
+    }
+
+    #[test]
+    fn put_all_without_a_quorum_applies_nothing() {
+        let store = ReplicatedKvStore::new(1);
+        store.put("a", "1").unwrap();
+        store.crash_replica(0);
+        store.crash_replica(1);
+        assert_eq!(
+            store.put_all(&[
+                ("a".to_string(), "overwritten".to_string()),
+                ("b".to_string(), "2".to_string()),
+            ]),
+            Err(StoreError::NoQuorum)
+        );
+        // The surviving minority serves the pre-batch state: no partial batch.
+        assert_eq!(store.get("a").unwrap(), "1");
+        assert_eq!(store.get("b"), Err(StoreError::KeyNotFound));
     }
 
     #[test]

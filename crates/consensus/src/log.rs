@@ -84,6 +84,32 @@ impl<E: LogEntry> ReplicatedLog<E> {
         Ok(index)
     }
 
+    /// Append a batch of entries in one quorum round
+    /// ([`ReplicatedKvStore::put_all`]): every entry key *and* the length
+    /// key commit atomically. Unlike a sequence of [`Self::append`] calls, a
+    /// quorum loss mid-batch cannot leave a committed prefix of the batch
+    /// behind — readers observe the whole batch or none of it, and a failed
+    /// batch leaves the log at its pre-batch state. The keys, indices, and
+    /// entry bytes written are identical to appending the entries one by
+    /// one, so replay cannot distinguish the two paths. Returns the index of
+    /// the first appended entry (`len()` unchanged for an empty batch).
+    pub fn append_all(&self, entries: &[E]) -> Result<u64, StoreError> {
+        let index = self.len();
+        if entries.is_empty() {
+            return Ok(index);
+        }
+        let mut pairs: Vec<(String, String)> = entries
+            .iter()
+            .enumerate()
+            .map(|(i, entry)| {
+                (format!("{}/entry/{:016}", self.prefix, index + i as u64), entry.encode())
+            })
+            .collect();
+        pairs.push((format!("{}/len", self.prefix), (index + entries.len() as u64).to_string()));
+        self.store.put_all(&pairs)?;
+        Ok(index)
+    }
+
     /// All retained entries with index ≥ `from`, in index order. Entries
     /// compacted away by [`ReplicatedLog::install_snapshot`] are not
     /// returned, and neither is a phantom entry from a torn append (only
@@ -227,6 +253,58 @@ mod tests {
         let entries = log.entries_from(0);
         assert_eq!(entries.len(), 2);
         assert_eq!(entries[1].1 .0, "retried");
+    }
+
+    /// Group commit writes the same keys, indices, and bytes as per-entry
+    /// appends — replay cannot tell which path journaled an entry.
+    #[test]
+    fn append_all_is_byte_identical_to_per_entry_appends() {
+        let per_event: ReplicatedLog<Note> = ReplicatedLog::new(ReplicatedKvStore::new(1), "t");
+        let grouped: ReplicatedLog<Note> = ReplicatedLog::new(ReplicatedKvStore::new(1), "t");
+        let batch: Vec<Note> = (0..5).map(|i| Note(format!("e{i}"))).collect();
+        per_event.append(&batch[0]).unwrap();
+        grouped.append(&batch[0]).unwrap();
+        for entry in &batch[1..] {
+            per_event.append(entry).unwrap();
+        }
+        assert_eq!(grouped.append_all(&batch[1..]).unwrap(), 1);
+        assert_eq!(grouped.len(), per_event.len());
+        for log in [&per_event, &grouped] {
+            for (i, (index, note)) in log.entries_from(0).iter().enumerate() {
+                assert_eq!(*index, i as u64);
+                assert_eq!(note.0, format!("e{i}"));
+            }
+        }
+        // The stored bytes match key for key.
+        for key in per_event.store().keys_with_prefix("t/") {
+            assert_eq!(per_event.store().get(&key), grouped.store().get(&key), "key {key}");
+        }
+        assert_eq!(grouped.append_all(&[]).unwrap(), 5, "empty batch returns the next index");
+        assert_eq!(grouped.len(), 5, "an empty batch writes nothing");
+    }
+
+    /// A quorum loss mid-batch commits *nothing*: no prefix of the batch, no
+    /// phantom entries, length unchanged — the crash-between-stage-and-commit
+    /// case replays to the pre-batch state.
+    #[test]
+    fn a_failed_group_commit_leaves_the_log_at_its_pre_batch_state() {
+        let store = ReplicatedKvStore::new(1);
+        let log: ReplicatedLog<Note> = ReplicatedLog::new(store.clone(), "t");
+        log.append(&Note("durable".into())).unwrap();
+        store.crash_replica(0);
+        store.crash_replica(1);
+        let batch: Vec<Note> = (0..3).map(|i| Note(format!("lost{i}"))).collect();
+        assert_eq!(log.append_all(&batch), Err(StoreError::NoQuorum));
+        store.recover_replica(0);
+        store.recover_replica(1);
+        assert_eq!(log.len(), 1, "the failed batch committed nothing");
+        let entries = log.entries_from(0);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].1 .0, "durable");
+        assert_eq!(log.retained_len(), 1, "no phantom batch entries linger");
+        // A retried batch lands at the same indices.
+        assert_eq!(log.append_all(&batch).unwrap(), 1);
+        assert_eq!(log.len(), 4);
     }
 
     #[test]

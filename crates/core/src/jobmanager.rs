@@ -16,6 +16,7 @@ use qonductor_scheduler::{
     ScheduleTrigger, SpeculativeSchedule, TriggerReason,
 };
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Identifier of a submitted quantum job (monotonic per manager).
@@ -204,6 +205,10 @@ pub struct JobManager {
     /// Plan-ahead cache (see [`SpeculativePlan`]); excluded from
     /// [`JobManager::encode_state`] because it is a pure performance hint.
     speculative: Option<SpeculativePlan>,
+    /// Cumulative wall time spent inside live scheduler calls, for the
+    /// bench's phase-timing breakdown. Pure observability: excluded from
+    /// `encode_state` and never read by any control-flow decision.
+    sched_ns: Cell<u64>,
 }
 
 impl Default for JobManager {
@@ -222,6 +227,7 @@ impl JobManager {
             next_job_id: 0,
             batches_dispatched: 0,
             speculative: None,
+            sched_ns: Cell::new(0),
         }
     }
 
@@ -255,6 +261,12 @@ impl JobManager {
     /// Number of batches dispatched so far.
     pub fn batches_dispatched(&self) -> usize {
         self.batches_dispatched
+    }
+
+    /// Cumulative nanoseconds spent in live scheduler calls (phase-timing
+    /// observability; adopted speculative plans contribute nothing here).
+    pub fn scheduling_nanos(&self) -> u64 {
+        self.sched_ns.get()
     }
 
     /// Submit a job into the pending pool, assigning the next monotonic id.
@@ -423,15 +435,17 @@ impl JobManager {
                 scheduler.adopt(&cached.plan);
                 (cached.plan.outcome, true)
             }
-            _ => (
-                scheduler.schedule_with_fleet_context(
+            _ => {
+                let started = std::time::Instant::now();
+                let outcome = scheduler.schedule_with_fleet_context(
                     requests,
                     qpus.clone(),
                     &horizon_s,
                     &cost_per_shot,
-                ),
-                false,
-            ),
+                );
+                self.sched_ns.set(self.sched_ns.get() + started.elapsed().as_nanos() as u64);
+                (outcome, false)
+            }
         };
 
         // Calibration-crossover partition (§7): shift the planned timeline to
@@ -824,6 +838,7 @@ impl JobManager {
             next_job_id,
             batches_dispatched,
             speculative: None,
+            sched_ns: Cell::new(0),
         })
     }
 }
@@ -856,41 +871,38 @@ fn snapshot_digest(
     cost_per_shot: &[f64],
     costed: bool,
 ) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    let mut eat = |bytes: &[u8]| {
-        for &b in bytes {
-            hash ^= u64::from(b);
-            hash = hash.wrapping_mul(0x100_0000_01b3);
+    let mut hash = crate::digest::Fnv64::new();
+    {
+        let mut eat = |bytes: &[u8]| hash.absorb(bytes);
+        for q in qpus {
+            eat(q.name.as_bytes());
+            eat(&q.num_qubits.to_le_bytes());
+            eat(&q.waiting_time_s.to_bits().to_le_bytes());
+            eat(&q.calibration_epoch.to_le_bytes());
         }
-    };
-    for q in qpus {
-        eat(q.name.as_bytes());
-        eat(&q.num_qubits.to_le_bytes());
-        eat(&q.waiting_time_s.to_bits().to_le_bytes());
-        eat(&q.calibration_epoch.to_le_bytes());
-    }
-    for r in requests {
-        eat(&r.job_id.to_le_bytes());
-        eat(&r.qubits.to_le_bytes());
-        eat(&r.shots.to_le_bytes());
-        for &f in &r.fidelity_per_qpu {
-            eat(&f.to_bits().to_le_bytes());
+        for r in requests {
+            eat(&r.job_id.to_le_bytes());
+            eat(&r.qubits.to_le_bytes());
+            eat(&r.shots.to_le_bytes());
+            for &f in &r.fidelity_per_qpu {
+                eat(&f.to_bits().to_le_bytes());
+            }
+            for &t in &r.exec_time_per_qpu {
+                eat(&t.to_bits().to_le_bytes());
+            }
         }
-        for &t in &r.exec_time_per_qpu {
-            eat(&t.to_bits().to_le_bytes());
+        if penalized {
+            for &h in horizon_s {
+                eat(&h.to_bits().to_le_bytes());
+            }
         }
-    }
-    if penalized {
-        for &h in horizon_s {
-            eat(&h.to_bits().to_le_bytes());
-        }
-    }
-    if costed {
-        for &c in cost_per_shot {
-            eat(&c.to_bits().to_le_bytes());
+        if costed {
+            for &c in cost_per_shot {
+                eat(&c.to_bits().to_le_bytes());
+            }
         }
     }
-    hash
+    hash.value()
 }
 
 /// Partition a batch plan at the fleet's capacity boundaries (§7): the

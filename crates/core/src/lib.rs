@@ -16,6 +16,7 @@
 
 pub mod autoscaler;
 pub mod config;
+pub mod digest;
 pub mod federation;
 pub mod fleetlease;
 pub mod jobmanager;

@@ -14,6 +14,7 @@
 //! [`ReplicatedControlPlane::state_digest`] before a crash and after
 //! [`ReplicatedControlPlane::failover`] to prove it.
 
+use crate::digest::{fnv128, Fnv128, FNV128_OFFSET};
 use crate::jobmanager::{
     CalibrationPolicy, CompletedExecution, JobId, JobManager, JobSpec, PendingJob, TenantId,
 };
@@ -23,7 +24,9 @@ use crate::submission::{
 use qonductor_backend::{CompletedJob, Fleet, ResourceClass};
 use qonductor_consensus::{LogEntry, ReplicatedKvStore, ReplicatedLog, StoreElection, StoreError};
 use qonductor_scheduler::{HybridScheduler, ScheduleTrigger};
+use std::cell::Cell;
 use std::collections::BTreeSet;
+use std::time::Instant;
 
 /// Bit-exact text codecs shared by the journal and the state snapshots.
 pub(crate) mod wire {
@@ -494,6 +497,22 @@ pub struct ReplicatedControlPlane {
     /// Fleet QPU indices holding autoscaler-provisioned elastic capacity
     /// (journaled state, rebuilt on failover like the lease set).
     elastic: BTreeSet<usize>,
+    /// Group-commit journaling: when set (the default), an `admit` or
+    /// completion-accounting cycle stages its events and commits them in one
+    /// quorum round via [`ReplicatedLog::append_all`]; when cleared, every
+    /// event pays its own quorum round (the historical path, kept live so CI
+    /// can assert both paths write byte-identical journals).
+    group_commit: bool,
+    /// FNV-1a-128 of the full-encode payload installed at the last snapshot
+    /// (genesis included) — the anchor of the incremental state digest.
+    digest_checkpoint: Cell<u128>,
+    /// Rolling FNV-1a-128 over every journaled event line since that
+    /// checkpoint. `(checkpoint, rolling)` together identify the state:
+    /// same anchor bytes + same journaled suffix ⇒ same replayed state.
+    digest_rolling: Cell<u128>,
+    /// Cumulative wall time spent inside quorum journal writes (phase-timing
+    /// observability; never read by control flow).
+    journal_ns: Cell<u64>,
 }
 
 impl ReplicatedControlPlane {
@@ -528,9 +547,72 @@ impl ReplicatedControlPlane {
             submissions: SubmissionService::new(),
             leases: BTreeSet::new(),
             elastic: BTreeSet::new(),
+            group_commit: true,
+            digest_checkpoint: Cell::new(FNV128_OFFSET),
+            digest_rolling: Cell::new(FNV128_OFFSET),
+            journal_ns: Cell::new(0),
         };
-        plane.log.install_snapshot(&plane.encode_state(), 0).expect("fresh store has a quorum");
+        let genesis = plane.encode_state();
+        plane.log.install_snapshot(&genesis, 0).expect("fresh store has a quorum");
+        plane.digest_checkpoint.set(fnv128(genesis.as_bytes()));
         plane
+    }
+
+    /// Toggle group-commit journaling (see [`Self::group_commit`]). Both
+    /// settings write byte-identical journals; only the number of quorum
+    /// rounds per cycle differs.
+    pub fn set_group_commit(&mut self, enabled: bool) {
+        self.group_commit = enabled;
+    }
+
+    /// Whether admission/completion cycles batch their journal writes.
+    pub fn group_commit(&self) -> bool {
+        self.group_commit
+    }
+
+    /// Cumulative nanoseconds spent in quorum journal writes (phase-timing
+    /// observability).
+    pub fn journal_nanos(&self) -> u64 {
+        self.journal_ns.get()
+    }
+
+    /// Journal one event: a timed quorum append, folded into the rolling
+    /// digest only once durably committed (a failed append must not advance
+    /// the digest — the state it fingerprints never changed).
+    fn journal(&self, event: &ControlPlaneEvent) -> Result<u64, StoreError> {
+        let started = Instant::now();
+        let result = self.log.append(event);
+        self.journal_ns.set(self.journal_ns.get() + started.elapsed().as_nanos() as u64);
+        if result.is_ok() {
+            self.absorb(std::slice::from_ref(event));
+        }
+        result
+    }
+
+    /// Journal a staged batch atomically in one quorum round
+    /// ([`ReplicatedLog::append_all`]): either every event commits or none
+    /// does, and the rolling digest advances only in the former case. The
+    /// absorbed bytes are each event's encoded line plus `'\n'`, exactly what
+    /// [`Self::journal`] absorbs per event, so batched and per-event paths
+    /// roll to the same digest.
+    fn journal_all(&self, events: &[ControlPlaneEvent]) -> Result<u64, StoreError> {
+        let started = Instant::now();
+        let result = self.log.append_all(events);
+        self.journal_ns.set(self.journal_ns.get() + started.elapsed().as_nanos() as u64);
+        if result.is_ok() {
+            self.absorb(events);
+        }
+        result
+    }
+
+    /// Fold committed events into the rolling digest.
+    fn absorb(&self, events: &[ControlPlaneEvent]) {
+        let mut rolling = Fnv128::from_state(self.digest_rolling.get());
+        for event in events {
+            rolling.absorb(event.encode().as_bytes());
+            rolling.absorb(b"\n");
+        }
+        self.digest_rolling.set(rolling.value());
     }
 
     /// The batch engine (read-only; every mutation goes through the journal).
@@ -577,7 +659,7 @@ impl ReplicatedControlPlane {
         &mut self,
         config: TenantConfig,
     ) -> Result<TenantId, ReplicationError> {
-        self.log.append(&ControlPlaneEvent::TenantRegistered { config, slo: None })?;
+        self.journal(&ControlPlaneEvent::TenantRegistered { config, slo: None })?;
         Ok(self.submissions.register_tenant_with(config))
     }
 
@@ -589,7 +671,7 @@ impl ReplicatedControlPlane {
         config: TenantConfig,
         slo: SloClass,
     ) -> Result<TenantId, ReplicationError> {
-        self.log.append(&ControlPlaneEvent::TenantRegistered { config, slo: Some(slo) })?;
+        self.journal(&ControlPlaneEvent::TenantRegistered { config, slo: Some(slo) })?;
         Ok(self.submissions.register_tenant_with_slo(config, slo))
     }
 
@@ -603,7 +685,7 @@ impl ReplicatedControlPlane {
         if self.submissions.tenant_stats(tenant).is_none() {
             return Err(SubmissionError::UnknownTenant(tenant).into());
         }
-        self.log.append(&ControlPlaneEvent::JobSubmitted { tenant, spec: spec.clone(), now_s })?;
+        self.journal(&ControlPlaneEvent::JobSubmitted { tenant, spec: spec.clone(), now_s })?;
         Ok(self.submissions.submit(tenant, spec, now_s).expect("tenant checked above"))
     }
 
@@ -622,29 +704,68 @@ impl ReplicatedControlPlane {
     /// The SLO bypass lane runs *before* the DRR pass: queued tickets whose
     /// deadline would be missed by waiting one more trigger interval jump the
     /// scan, each journaled as a typed [`ControlPlaneEvent::SloEscalated`]
-    /// event (write-ahead, one per ticket) so failover replays the exact
-    /// escalation sequence.
+    /// event (write-ahead) so failover replays the exact escalation sequence.
+    ///
+    /// Under group commit the whole cycle — every escalation plus the
+    /// optional `AdmissionPass` — is staged and committed in ONE quorum round
+    /// before anything is applied locally. The journal bytes, keys, and
+    /// ordering are identical to the per-event path; a crash between stage
+    /// and commit leaves the log at its pre-batch state, so replay lands on
+    /// the pre-batch bytes (the chaos matrix proves this). The DRR guard is
+    /// decidable before applying: every ticket the escalation scan yields is
+    /// pre-validated (queued, SLO-classed, within its tenant's in-flight
+    /// budget, counted cumulatively per tenant) so each applies successfully
+    /// and removes exactly one queued ticket — the post-escalation queue
+    /// depth is `total_queued() - escalations.len()`, no application needed.
     pub fn admit(&mut self, now_s: f64) -> Result<Vec<(JobTicket, JobId)>, ReplicationError> {
-        if self.submissions.tenant_ids().is_empty() || self.submissions.total_queued() == 0 {
+        if self.submissions.tenant_count() == 0 || self.submissions.total_queued() == 0 {
             return Ok(Vec::new());
         }
         let mut admitted = Vec::new();
         let trigger = *self.jobmanager.trigger();
         let horizon_s = trigger.interval_s + trigger.slo_margin_s;
         let budget = trigger.queue_limit.saturating_sub(self.jobmanager.pending_len());
-        for ticket in self.submissions.pending_escalations(now_s, horizon_s, budget) {
-            self.log.append(&ControlPlaneEvent::SloEscalated { now_s, ticket })?;
-            if let Some(job_id) =
-                self.submissions.apply_escalation(ticket, now_s, &mut self.jobmanager)
-            {
-                admitted.push((ticket, job_id));
+        let escalations = self.submissions.pending_escalations(now_s, horizon_s, budget);
+        if self.group_commit {
+            let mut staged: Vec<ControlPlaneEvent> = escalations
+                .iter()
+                .map(|&ticket| ControlPlaneEvent::SloEscalated { now_s, ticket })
+                .collect();
+            let run_pass = self.submissions.total_queued() > escalations.len();
+            if run_pass {
+                staged.push(ControlPlaneEvent::AdmissionPass { now_s });
             }
-        }
-        // The escalations may have drained every queue; the skip guard
-        // applies to the DRR pass exactly as it would on an idle call.
-        if self.submissions.total_queued() > 0 {
-            self.log.append(&ControlPlaneEvent::AdmissionPass { now_s })?;
-            admitted.extend(self.submissions.admit(now_s, &mut self.jobmanager));
+            self.journal_all(&staged)?;
+            for ticket in escalations {
+                if let Some(job_id) =
+                    self.submissions.apply_escalation(ticket, now_s, &mut self.jobmanager)
+                {
+                    admitted.push((ticket, job_id));
+                }
+            }
+            debug_assert_eq!(
+                run_pass,
+                self.submissions.total_queued() > 0,
+                "escalation tickets are pre-validated: each must drain exactly one queued ticket"
+            );
+            if run_pass {
+                admitted.extend(self.submissions.admit(now_s, &mut self.jobmanager));
+            }
+        } else {
+            for ticket in escalations {
+                self.journal(&ControlPlaneEvent::SloEscalated { now_s, ticket })?;
+                if let Some(job_id) =
+                    self.submissions.apply_escalation(ticket, now_s, &mut self.jobmanager)
+                {
+                    admitted.push((ticket, job_id));
+                }
+            }
+            // The escalations may have drained every queue; the skip guard
+            // applies to the DRR pass exactly as it would on an idle call.
+            if self.submissions.total_queued() > 0 {
+                self.journal(&ControlPlaneEvent::AdmissionPass { now_s })?;
+                admitted.extend(self.submissions.admit(now_s, &mut self.jobmanager));
+            }
         }
         Ok(admitted)
     }
@@ -675,15 +796,14 @@ impl ReplicatedControlPlane {
         };
         let placed: Vec<(JobId, usize)> =
             record.outcome.placements.iter().map(|p| (p.job_id, p.qpu_index)).collect();
-        self.log
-            .append(&ControlPlaneEvent::BatchDispatched {
-                t_s: now_s,
-                placed,
-                rejected: record.outcome.rejected_jobs.clone(),
-                deferred: record.deferred.clone(),
-                speculative: record.speculative,
-            })
-            .expect("quorum pre-checked");
+        self.journal(&ControlPlaneEvent::BatchDispatched {
+            t_s: now_s,
+            placed,
+            rejected: record.outcome.rejected_jobs.clone(),
+            deferred: record.deferred.clone(),
+            speculative: record.speculative,
+        })
+        .expect("quorum pre-checked");
         let terminal_rejections = self.submissions.note_batch(&record);
         Ok(Some(DispatchOutcome { record, terminal_rejections }))
     }
@@ -717,7 +837,7 @@ impl ReplicatedControlPlane {
         if !self.jobmanager.can_dispatch_direct(job_id, qpu_index) {
             return Ok(false);
         }
-        self.log.append(&ControlPlaneEvent::DirectDispatched { job_id, qpu_index })?;
+        self.journal(&ControlPlaneEvent::DirectDispatched { job_id, qpu_index })?;
         let dispatched = self.jobmanager.dispatch_direct(job_id, qpu_index, fleet);
         debug_assert!(dispatched, "dispatch pre-validated");
         Ok(dispatched)
@@ -746,7 +866,7 @@ impl ReplicatedControlPlane {
         if self.pending_job(job_id).is_none() {
             return Ok(false);
         }
-        self.log.append(&ControlPlaneEvent::JobReestimated { job_id, spec: spec.clone() })?;
+        self.journal(&ControlPlaneEvent::JobReestimated { job_id, spec: spec.clone() })?;
         Ok(self.jobmanager.reestimate(job_id, spec))
     }
 
@@ -756,21 +876,29 @@ impl ReplicatedControlPlane {
         self.jobmanager.drain_completions(fleet)
     }
 
-    /// Account drained completions (journaled per resolved ticket) and return
+    /// Account drained completions (journaled per resolved ticket — one
+    /// atomic quorum round for the whole drain under group commit) and return
     /// the `(ticket, completion)` pairs this control plane admitted.
     pub fn note_completions(
         &mut self,
         completions: &[CompletedExecution],
     ) -> Result<Vec<(JobTicket, CompletedExecution)>, ReplicationError> {
-        for completion in completions {
-            if self.submissions.tracks_job(completion.job_id) {
-                self.log.append(&ControlPlaneEvent::JobCompleted {
-                    job_id: completion.job_id,
-                    qpu_index: completion.qpu_index,
-                    enqueue_s: completion.record.enqueue_time_s,
-                    start_s: completion.record.start_time_s,
-                    finish_s: completion.record.finish_time_s,
-                })?;
+        let events: Vec<ControlPlaneEvent> = completions
+            .iter()
+            .filter(|completion| self.submissions.tracks_job(completion.job_id))
+            .map(|completion| ControlPlaneEvent::JobCompleted {
+                job_id: completion.job_id,
+                qpu_index: completion.qpu_index,
+                enqueue_s: completion.record.enqueue_time_s,
+                start_s: completion.record.start_time_s,
+                finish_s: completion.record.finish_time_s,
+            })
+            .collect();
+        if self.group_commit {
+            self.journal_all(&events)?;
+        } else {
+            for event in &events {
+                self.journal(event)?;
             }
         }
         Ok(self.submissions.note_completions(completions))
@@ -785,7 +913,7 @@ impl ReplicatedControlPlane {
         if self.leases.contains(&qpu_index) {
             return Ok(false);
         }
-        self.log.append(&ControlPlaneEvent::LeaseGranted { qpu_index })?;
+        self.journal(&ControlPlaneEvent::LeaseGranted { qpu_index })?;
         self.leases.insert(qpu_index);
         Ok(true)
     }
@@ -797,7 +925,7 @@ impl ReplicatedControlPlane {
         if !self.leases.contains(&qpu_index) {
             return Ok(false);
         }
-        self.log.append(&ControlPlaneEvent::LeaseReleased { qpu_index })?;
+        self.journal(&ControlPlaneEvent::LeaseReleased { qpu_index })?;
         self.leases.remove(&qpu_index);
         Ok(true)
     }
@@ -821,7 +949,7 @@ impl ReplicatedControlPlane {
         if self.elastic.contains(&qpu_index) {
             return Ok(false);
         }
-        self.log.append(&ControlPlaneEvent::QpuProvisioned { now_s, qpu_index, class })?;
+        self.journal(&ControlPlaneEvent::QpuProvisioned { now_s, qpu_index, class })?;
         self.elastic.insert(qpu_index);
         Ok(true)
     }
@@ -833,7 +961,7 @@ impl ReplicatedControlPlane {
         if !self.elastic.contains(&qpu_index) {
             return Ok(false);
         }
-        self.log.append(&ControlPlaneEvent::QpuRetired { now_s, qpu_index })?;
+        self.journal(&ControlPlaneEvent::QpuRetired { now_s, qpu_index })?;
         self.elastic.remove(&qpu_index);
         Ok(true)
     }
@@ -856,18 +984,30 @@ impl ReplicatedControlPlane {
     }
 
     /// Checkpoint: install a snapshot of the current state and compact the
-    /// journal up to it. Returns the first journal index not covered.
+    /// journal up to it. Returns the first journal index not covered. The
+    /// incremental digest re-anchors here: the checkpoint becomes the hash of
+    /// the installed payload and the rolling hash resets, so planes that
+    /// snapshot on the same schedule keep comparable digests.
     pub fn snapshot(&self) -> Result<u64, ReplicationError> {
         let upto = self.log.len();
-        self.log.install_snapshot(&self.encode_state(), upto)?;
+        let payload = self.encode_state();
+        self.log.install_snapshot(&payload, upto)?;
+        self.digest_checkpoint.set(fnv128(payload.as_bytes()));
+        self.digest_rolling.set(FNV128_OFFSET);
         Ok(upto)
     }
 
-    /// Canonical byte-for-byte encoding of the full control-plane state
-    /// (engine + submission service). Two states are identical iff their
-    /// digests are equal as strings.
+    /// O(1) incremental fingerprint of the control-plane state:
+    /// `fnv128 <checkpoint> <rolling>`, where the checkpoint hashes the
+    /// full-encode payload installed at the last snapshot and the rolling
+    /// hash absorbs every event journaled since. Two planes that snapshot on
+    /// the same schedule and journal the same bytes report equal digests;
+    /// equal digests fingerprint equal replayed states. This replaces the
+    /// former full `encode_state()` re-encode on every comparison — suites
+    /// that assert *byte* exactness compare [`Self::encode_state`] directly
+    /// (the oracle), not this fingerprint.
     pub fn state_digest(&self) -> String {
-        self.encode_state()
+        format!("fnv128 {:032x} {:032x}", self.digest_checkpoint.get(), self.digest_rolling.get())
     }
 
     /// Crash the elected leader: its lease becomes invalid and the *volatile*
@@ -883,6 +1023,10 @@ impl ReplicatedControlPlane {
         self.submissions = SubmissionService::new();
         self.leases = BTreeSet::new();
         self.elastic = BTreeSet::new();
+        // The digest dies with the volatile state (a crashed plane
+        // fingerprints nothing); failover recomputes it from the store.
+        self.digest_checkpoint.set(FNV128_OFFSET);
+        self.digest_rolling.set(FNV128_OFFSET);
     }
 
     /// Fail over to a recovered replica: elect a new leader (a CAS on the
@@ -893,11 +1037,18 @@ impl ReplicatedControlPlane {
     /// engine pair for inspection.
     pub fn failover(&mut self) -> Result<(JobManager, SubmissionService), FailoverError> {
         self.election.run_until_leader(5_000).ok_or(FailoverError::NoLeader)?;
-        let (jobmanager, submissions, leases, elastic) = self.rebuild_parts()?;
+        let (jobmanager, submissions, leases, elastic, (checkpoint, rolling)) =
+            self.rebuild_parts()?;
         self.jobmanager = jobmanager.clone();
         self.submissions = submissions.clone();
         self.leases = leases;
         self.elastic = elastic;
+        // Recomputed from the store, these equal the pre-crash cells: the
+        // checkpoint hashes the same installed payload, and the rolling hash
+        // absorbs the same retained entries re-encoded through the same
+        // round-tripping codec.
+        self.digest_checkpoint.set(checkpoint);
+        self.digest_rolling.set(rolling);
         for id in 0..self.election.len() {
             if self.election.is_crashed(id) {
                 self.election.recover(id);
@@ -912,22 +1063,28 @@ impl ReplicatedControlPlane {
     /// journaled lease set is rebuilt the same way; see [`Self::leases`] on a
     /// failed-over plane.)
     pub fn rebuild(&self) -> Result<(JobManager, SubmissionService), FailoverError> {
-        let (jobmanager, submissions, _, _) = self.rebuild_parts()?;
+        let (jobmanager, submissions, _, _, _) = self.rebuild_parts()?;
         Ok((jobmanager, submissions))
     }
 
     #[allow(clippy::type_complexity)]
     fn rebuild_parts(
         &self,
-    ) -> Result<(JobManager, SubmissionService, BTreeSet<usize>, BTreeSet<usize>), FailoverError>
-    {
+    ) -> Result<
+        (JobManager, SubmissionService, BTreeSet<usize>, BTreeSet<usize>, (u128, u128)),
+        FailoverError,
+    > {
         let (from, payload) = self.log.snapshot().ok_or(FailoverError::MissingSnapshot)?;
         let (mut jobmanager, mut submissions, mut leases, mut elastic) =
             decode_combined_state(&payload).ok_or(FailoverError::CorruptState)?;
+        let checkpoint = fnv128(payload.as_bytes());
+        let mut rolling = Fnv128::new();
         for (_, event) in self.log.entries_from(from) {
             apply_event(&mut jobmanager, &mut submissions, &mut leases, &mut elastic, &event);
+            rolling.absorb(event.encode().as_bytes());
+            rolling.absorb(b"\n");
         }
-        Ok((jobmanager, submissions, leases, elastic))
+        Ok((jobmanager, submissions, leases, elastic, (checkpoint, rolling.value())))
     }
 
     /// Number of journal entries a failover right now would replay on top of
@@ -937,7 +1094,12 @@ impl ReplicatedControlPlane {
         self.log.len().saturating_sub(baseline)
     }
 
-    fn encode_state(&self) -> String {
+    /// Canonical byte-for-byte encoding of the full control-plane state
+    /// (engine + submission service + lease/elastic sets) — the *oracle* the
+    /// byte-exactness suites compare. Two states are identical iff their
+    /// encodings are equal as strings; [`Self::state_digest`] is the cheap
+    /// incremental fingerprint of the same state.
+    pub fn encode_state(&self) -> String {
         let mut state =
             format!("{}\n{}", self.jobmanager.encode_state(), self.submissions.encode_state());
         // Lease-free / elastic-free planes (every pre-sharding, pre-autoscale
@@ -1214,10 +1376,11 @@ mod tests {
         }
 
         // An independent rebuild from the store matches the live state byte
-        // for byte.
+        // for byte (the encode_state oracle, not just the fingerprint).
         let digest = plane.state_digest();
+        let oracle = plane.encode_state();
         let (jm, svc) = plane.rebuild().expect("rebuild succeeds");
-        assert_eq!(format!("{}\n{}", jm.encode_state(), svc.encode_state()), digest);
+        assert_eq!(format!("{}\n{}", jm.encode_state(), svc.encode_state()), oracle);
 
         // Crash + failover: the recovered pair is identical too.
         let old_leader = plane.leader().unwrap();
@@ -1225,6 +1388,7 @@ mod tests {
         assert_ne!(plane.state_digest(), digest, "volatile state died with the leader");
         plane.failover().expect("failover succeeds");
         assert_eq!(plane.state_digest(), digest);
+        assert_eq!(plane.encode_state(), oracle, "replayed bytes, not just matching hashes");
         assert_ne!(plane.leader(), Some(old_leader));
         for &ticket in &tickets {
             assert!(matches!(plane.poll(ticket), Some(TicketStatus::Completed { .. })));
@@ -1358,7 +1522,10 @@ mod tests {
         assert!(!plane.lease_qpu(2).unwrap(), "re-granting a held lease journals nothing");
         let journaled = plane.log().len();
         let digest = plane.state_digest();
-        assert!(digest.contains("\nlease 2,5"), "the lease set is part of the digest");
+        assert!(
+            plane.encode_state().contains("\nlease 2,5"),
+            "the lease set is part of the encoded state"
+        );
 
         // Crash immediately: the grants were journaled but never used.
         plane.crash_leader();
@@ -1423,7 +1590,10 @@ mod tests {
         assert!(!plane.retire_qpu(4.0, 8).unwrap(), "double retire journals nothing");
 
         let digest = plane.state_digest();
-        assert!(digest.contains("\nelastic 7"), "the elastic set is part of the digest");
+        assert!(
+            plane.encode_state().contains("\nelastic 7"),
+            "the elastic set is part of the encoded state"
+        );
         plane.crash_leader();
         assert!(plane.elastic().is_empty(), "volatile elastic state died with the leader");
         plane.failover().expect("failover succeeds");

@@ -21,7 +21,8 @@
 
 use crate::jobmanager::{BatchRecord, CompletedExecution, JobId, JobManager, JobSpec, TenantId};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::cell::Cell;
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 /// Identifier of a submitted ticket (monotonic across all tenants).
 pub type TicketId = u64;
@@ -277,6 +278,23 @@ impl TenantState {
 }
 
 /// The tenant-aware submission front-end of the batch engine.
+///
+/// Besides the journaled tenant/ticket state, the service maintains three
+/// *derived* indices — never encoded, rebuilt by [`Self::decode_state`] —
+/// that make the admission hot path independent of the registered-tenant
+/// population:
+///
+/// - the **active ring** (`active`): tenants with a non-empty queue *or* an
+///   unspent DRR deficit — exactly the tenants for which the DRR scan is not
+///   a no-op (an inactive tenant has an empty queue and deficit 0, so the
+///   scan would only re-zero its deficit);
+/// - the **SLO index** (`slo_tenants`): tenants registered with a
+///   finite-deadline [`SloClass`] — the only tenants the escalation lane can
+///   ever select from;
+/// - the **queued total** (`queued_total`): the sum of all queue lengths,
+///   kept incrementally so [`Self::total_queued`] is O(1).
+///
+/// [`Self::indices_consistent`] checks all three against the tenant map.
 #[derive(Debug, Clone, Default)]
 pub struct SubmissionService {
     tenants: BTreeMap<TenantId, TenantState>,
@@ -287,6 +305,19 @@ pub struct SubmissionService {
     /// Rotates the DRR starting tenant so pool-capacity cutoffs do not
     /// systematically favor low tenant ids.
     rr_start: usize,
+    /// Derived: tenant ids in registration order (ids are sequential, so
+    /// this is also ascending) — O(1) lookup of the rotating DRR pivot.
+    registered_ids: Vec<TenantId>,
+    /// Derived: the active ring (non-empty queue or unspent deficit).
+    active: BTreeSet<TenantId>,
+    /// Derived: tenants carrying a finite-deadline SLO class.
+    slo_tenants: BTreeSet<TenantId>,
+    /// Derived: total tickets queued across all tenants.
+    queued_total: usize,
+    /// Tenants visited by DRR admission scans (diagnostic, never encoded).
+    admission_visits: Cell<u64>,
+    /// Tenants visited by SLO escalation scans (diagnostic, never encoded).
+    escalation_visits: Cell<u64>,
 }
 
 impl SubmissionService {
@@ -308,6 +339,7 @@ impl SubmissionService {
         let id = self.next_tenant_id;
         self.next_tenant_id += 1;
         self.tenants.insert(id, TenantState::new(config));
+        self.registered_ids.push(id);
         id
     }
 
@@ -319,6 +351,11 @@ impl SubmissionService {
     pub fn register_tenant_with_slo(&mut self, config: TenantConfig, slo: SloClass) -> TenantId {
         let id = self.register_tenant_with(config);
         self.tenants.get_mut(&id).expect("just registered").slo = Some(slo);
+        if slo.deadline_s.is_finite() {
+            // An infinite deadline can never escalate; keep it off the index
+            // so the escalation scan stays proportional to tenants that can.
+            self.slo_tenants.insert(id);
+        }
         id
     }
 
@@ -353,6 +390,8 @@ impl SubmissionService {
         self.next_ticket_id += 1;
         state.submitted += 1;
         state.queue.push_back(ticket);
+        self.queued_total += 1;
+        self.active.insert(tenant);
         self.tickets.insert(
             ticket,
             TicketRecord {
@@ -409,26 +448,39 @@ impl SubmissionService {
     /// jobs larger than the trigger limit. During a hold window admission
     /// therefore backpressures into the tenant queues — bounded by one
     /// calibration period per deferral and the engine's deferral budget.
+    /// The scan is O(active), not O(registered): each round visits only the
+    /// active ring, in the same cyclic ascending-id order the full scan used
+    /// (pivot = the rotating `rr_start` cursor mapped onto the registered-id
+    /// list). An inactive tenant — empty queue, zero deficit — was always a
+    /// no-op visit, so skipping it leaves every journaled outcome, deficit,
+    /// and the `rr_start` rotation byte-identical to the full scan.
     pub fn admit(&mut self, now_s: f64, jobmanager: &mut JobManager) -> Vec<(JobTicket, JobId)> {
         let mut admitted = Vec::new();
-        let ids: Vec<TenantId> = self.tenants.keys().copied().collect();
-        if ids.is_empty() {
+        if self.registered_ids.is_empty() {
             return admitted;
         }
         let capacity = jobmanager.trigger().queue_limit.max(1);
-        let start = self.rr_start % ids.len();
+        let pivot = self.registered_ids[self.rr_start % self.registered_ids.len()];
         self.rr_start = self.rr_start.wrapping_add(1);
         loop {
             if jobmanager.pending_len() >= capacity {
                 break;
             }
+            // Tenants drained this round leave the ring mid-iteration, so
+            // each round walks a snapshot of it — still cyclic from the
+            // pivot, ascending ids with wrap-around.
+            let round: Vec<TenantId> =
+                self.active.range(pivot..).chain(self.active.range(..pivot)).copied().collect();
             let mut progressed = false;
-            for offset in 0..ids.len() {
-                let id = ids[(start + offset) % ids.len()];
-                let tenant = self.tenants.get_mut(&id).expect("tenant ids are registered");
+            for id in round {
+                self.admission_visits.set(self.admission_visits.get() + 1);
+                let tenant = self.tenants.get_mut(&id).expect("active tenants are registered");
                 if tenant.queue.is_empty() {
-                    // Standard DRR: an idle tenant hoards no credit.
+                    // Standard DRR: an idle tenant hoards no credit. (Only
+                    // an escalation-drained tenant can still be on the ring
+                    // with an empty queue — its leftover deficit dies here.)
                     tenant.deficit = 0;
+                    self.active.remove(&id);
                     continue;
                 }
                 if tenant.in_flight >= tenant.config.max_in_flight {
@@ -448,6 +500,7 @@ impl SubmissionService {
                     && jobmanager.pending_len() < capacity
                 {
                     let Some(ticket) = tenant.queue.pop_front() else { break };
+                    self.queued_total -= 1;
                     let record = self.tickets.get_mut(&ticket).expect("queued tickets exist");
                     let job_id = jobmanager.submit_for_tenant_with_deadline(
                         record.spec.clone(),
@@ -466,6 +519,7 @@ impl SubmissionService {
                 }
                 if tenant.queue.is_empty() {
                     tenant.deficit = 0;
+                    self.active.remove(&id);
                 }
             }
             if !progressed {
@@ -484,12 +538,16 @@ impl SubmissionService {
     /// then applies each with [`Self::apply_escalation`], so failover replays
     /// the exact escalation stream.
     pub fn pending_escalations(&self, now_s: f64, horizon_s: f64, budget: usize) -> Vec<JobTicket> {
+        // SLO-free workloads pay nothing: without a finite-deadline SLO class
+        // anywhere, no ticket can ever be due, so the scan does zero work.
+        if self.slo_tenants.is_empty() {
+            return Vec::new();
+        }
         let mut candidates: Vec<(u32, TicketId, TenantId)> = Vec::new();
-        for (&id, tenant) in &self.tenants {
-            let Some(slo) = tenant.slo else { continue };
-            if !slo.deadline_s.is_finite() {
-                continue;
-            }
+        for &id in &self.slo_tenants {
+            self.escalation_visits.set(self.escalation_visits.get() + 1);
+            let tenant = &self.tenants[&id];
+            let slo = tenant.slo.expect("indexed tenants carry an SLO class");
             for &ticket in &tenant.queue {
                 let record = &self.tickets[&ticket];
                 if now_s + horizon_s >= tenant.absolute_deadline(record.submitted_s) {
@@ -499,8 +557,12 @@ impl SubmissionService {
         }
         // Descending priority, ascending ticket id within a priority class.
         candidates.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
-        let mut in_flight: HashMap<TenantId, usize> =
-            self.tenants.iter().map(|(&id, t)| (id, t.in_flight)).collect();
+        // In-flight occupancy only for tenants that actually have a due
+        // ticket — not the full tenant map.
+        let mut in_flight: HashMap<TenantId, usize> = HashMap::new();
+        for &(_, _, tenant_id) in &candidates {
+            in_flight.entry(tenant_id).or_insert_with(|| self.tenants[&tenant_id].in_flight);
+        }
         let mut escalations = Vec::new();
         for (_, ticket, tenant_id) in candidates {
             if escalations.len() >= budget {
@@ -540,6 +602,13 @@ impl SubmissionService {
         }
         let pos = tenant.queue.iter().position(|&t| t == ticket.ticket)?;
         tenant.queue.remove(pos);
+        self.queued_total -= 1;
+        // Escalation admits outside the DRR scan, so it can drain a queue
+        // while a deficit is still unspent — the tenant then *stays* on the
+        // active ring until the next admission pass zeroes the credit.
+        if tenant.queue.is_empty() && tenant.deficit == 0 {
+            self.active.remove(&ticket.tenant);
+        }
         let deadline_s = tenant.absolute_deadline(record.submitted_s);
         let record = self.tickets.get_mut(&ticket.ticket).expect("checked above");
         let job_id = jobmanager.submit_for_tenant_with_deadline(
@@ -598,6 +667,8 @@ impl SubmissionService {
             } else {
                 record.state = TicketState::Queued;
                 tenant.queue.push_front(ticket);
+                self.queued_total += 1;
+                self.active.insert(record.tenant);
             }
         }
         terminal
@@ -647,9 +718,51 @@ impl SubmissionService {
         self.tenants.get(&tenant).map_or(0, |t| t.queue.len())
     }
 
-    /// Total tickets waiting across all tenant queues.
+    /// Total tickets waiting across all tenant queues — O(1), maintained
+    /// incrementally (checked against the queues by
+    /// [`Self::indices_consistent`]).
     pub fn total_queued(&self) -> usize {
-        self.tenants.values().map(|t| t.queue.len()).sum()
+        self.queued_total
+    }
+
+    /// Number of registered tenants — O(1), the hot-path replacement for
+    /// `tenant_ids().is_empty()` (which allocates the full id list).
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Tenants visited by DRR admission scans since construction (or decode).
+    /// Diagnostic: lets tests assert the scan is O(active), not O(registered).
+    pub fn admission_visits(&self) -> u64 {
+        self.admission_visits.get()
+    }
+
+    /// Tenants visited by SLO escalation scans since construction (or
+    /// decode). Diagnostic: an SLO-free workload must leave this at zero.
+    pub fn escalation_visits(&self) -> u64 {
+        self.escalation_visits.get()
+    }
+
+    /// Verify every derived index against the journaled state it is derived
+    /// from: the active ring holds exactly the tenants with a non-empty
+    /// queue or unspent deficit, the SLO index exactly the tenants with a
+    /// finite-deadline class, the registered-id list mirrors the tenant map
+    /// in order, and the queued total equals the sum of queue lengths.
+    pub fn indices_consistent(&self) -> bool {
+        let active_ok = self
+            .tenants
+            .iter()
+            .all(|(id, t)| self.active.contains(id) == (!t.queue.is_empty() || t.deficit > 0))
+            && self.active.iter().all(|id| self.tenants.contains_key(id));
+        let slo_ok = self.tenants.iter().all(|(id, t)| {
+            self.slo_tenants.contains(id)
+                == matches!(t.slo, Some(slo) if slo.deadline_s.is_finite())
+        }) && self.slo_tenants.iter().all(|id| self.tenants.contains_key(id));
+        let ids_ok = self.registered_ids.len() == self.tenants.len()
+            && self.registered_ids.iter().zip(self.tenants.keys()).all(|(a, b)| a == b);
+        let queued_ok =
+            self.queued_total == self.tenants.values().map(|t| t.queue.len()).sum::<usize>();
+        active_ok && slo_ok && ids_ok && queued_ok
     }
 
     /// `true` if `job_id` belongs to a ticket this service admitted and has
@@ -768,6 +881,7 @@ impl SubmissionService {
             tickets: HashMap::new(),
             job_to_ticket: HashMap::new(),
             rr_start: ids.next()?.parse().ok()?,
+            ..SubmissionService::default()
         };
         for line in lines {
             let mut fields = line.split(' ');
@@ -848,6 +962,18 @@ impl SubmissionService {
                 }
                 _ => return None,
             }
+        }
+        // Rebuild the derived indices from the decoded journal state — they
+        // are never encoded, so replay exercises exactly this path.
+        for (&id, tenant) in &service.tenants {
+            service.registered_ids.push(id);
+            if !tenant.queue.is_empty() || tenant.deficit > 0 {
+                service.active.insert(id);
+            }
+            if matches!(tenant.slo, Some(slo) if slo.deadline_s.is_finite()) {
+                service.slo_tenants.insert(id);
+            }
+            service.queued_total += tenant.queue.len();
         }
         Some(service)
     }
@@ -1276,5 +1402,96 @@ mod tests {
                 "every ticket completes"
             );
         }
+    }
+
+    /// The DRR scan is O(active): with 10,000 registered tenants of which
+    /// only 3 ever submit, an admission pass visits a handful of tenants —
+    /// not the population — and admits exactly what the full scan would.
+    #[test]
+    fn admission_scan_is_o_active_not_o_registered() {
+        let fleet = small_fleet(12);
+        let mut svc = SubmissionService::new();
+        let mut tenants = Vec::new();
+        for i in 0..10_000u32 {
+            tenants.push(svc.register_tenant(i % 3 + 1));
+        }
+        for &t in &[tenants[17], tenants[4_200], tenants[9_999]] {
+            svc.submit(t, spec(&fleet, 5, 10.0), 0.0).unwrap();
+            svc.submit(t, spec(&fleet, 5, 10.0), 0.0).unwrap();
+        }
+        assert_eq!(svc.total_queued(), 6);
+        let mut jm = JobManager::new(ScheduleTrigger::new(16, 1e12));
+        let admitted = svc.admit(1.0, &mut jm);
+        assert_eq!(admitted.len(), 6, "every queued ticket is admitted");
+        assert!(
+            svc.admission_visits() <= 12,
+            "visited {} tenants for 3 active ones — the scan is O(registered) again",
+            svc.admission_visits()
+        );
+        assert_eq!(svc.total_queued(), 0);
+        assert!(svc.indices_consistent());
+        // A fully idle population costs one empty round, not a full scan.
+        let before = svc.admission_visits();
+        assert!(svc.admit(2.0, &mut jm).is_empty());
+        assert_eq!(svc.admission_visits(), before, "an idle pass visits nobody");
+    }
+
+    /// Satellite regression: without a single SLO-classed tenant the
+    /// escalation pass must do *zero* scan work — no candidate allocation,
+    /// no tenant visits — instead of walking every registered tenant.
+    #[test]
+    fn slo_free_workloads_skip_the_escalation_scan_entirely() {
+        let fleet = small_fleet(13);
+        let mut svc = SubmissionService::new();
+        for i in 0..500u32 {
+            let t = svc.register_tenant(i % 2 + 1);
+            svc.submit(t, spec(&fleet, 5, 10.0), 0.0).unwrap();
+        }
+        assert!(svc.pending_escalations(1e9, 1e9, usize::MAX).is_empty());
+        assert_eq!(svc.escalation_visits(), 0, "no SLO class registered — zero scan work");
+        // Registering one finite-deadline class bounds the scan to the index.
+        let slo =
+            svc.register_tenant_with_slo(TenantConfig::weighted(1), SloClass::with_deadline(5.0));
+        let urgent = svc.submit(slo, spec(&fleet, 5, 10.0), 0.0).unwrap();
+        assert_eq!(svc.pending_escalations(100.0, 10.0, 8), vec![urgent]);
+        assert_eq!(svc.escalation_visits(), 1, "the scan visits only the SLO index");
+        // An infinite deadline can never escalate and stays off the index.
+        svc.register_tenant_with_slo(TenantConfig::weighted(1), SloClass::default());
+        svc.pending_escalations(100.0, 10.0, 8);
+        assert_eq!(svc.escalation_visits(), 2);
+        assert!(svc.indices_consistent());
+    }
+
+    /// The derived indices survive the full lifecycle — including the
+    /// escalation corner where a drained queue leaves an unspent deficit on
+    /// the ring — and the codec rebuilds them from scratch.
+    #[test]
+    fn derived_indices_track_the_lifecycle_and_rebuild_on_decode() {
+        let fleet = small_fleet(14);
+        let mut svc = SubmissionService::new();
+        let bulk = svc.register_tenant(4);
+        let slo =
+            svc.register_tenant_with_slo(TenantConfig::weighted(1), SloClass::with_deadline(10.0));
+        for i in 0..6 {
+            svc.submit(bulk, spec(&fleet, 5, 5.0), i as f64 * 0.1).unwrap();
+        }
+        let urgent = svc.submit(slo, spec(&fleet, 5, 5.0), 0.0).unwrap();
+        assert!(svc.indices_consistent());
+        let mut jm = JobManager::new(ScheduleTrigger::new(4, 1e12));
+        // Escalate the SLO tenant's only ticket: its queue drains outside the
+        // DRR scan, which must not corrupt the ring.
+        svc.apply_escalation(urgent, 100.0, &mut jm).expect("escalates");
+        assert!(svc.indices_consistent());
+        svc.admit(101.0, &mut jm);
+        assert!(svc.indices_consistent());
+        // Bounce a job back and terminalize another: both queue paths.
+        let rejected: Vec<JobId> = jm.pending().iter().map(|p| p.job_id).collect();
+        svc.note_rejections(102.0, &rejected);
+        assert!(svc.indices_consistent());
+        let encoded = svc.encode_state();
+        let rebuilt = SubmissionService::decode_state(&encoded).expect("decodes");
+        assert!(rebuilt.indices_consistent(), "decode rebuilds every derived index");
+        assert_eq!(rebuilt.total_queued(), svc.total_queued());
+        assert_eq!(rebuilt.encode_state(), encoded);
     }
 }

@@ -7,9 +7,9 @@
 mod common;
 
 use common::{feasible_spec, small_fleet, small_scheduler};
-use qonductor::consensus::{Cluster, ReplicatedKvStore, Role, StoreError};
+use qonductor::consensus::{Cluster, LogEntry, ReplicatedKvStore, Role, StoreError};
 use qonductor::core::{
-    ReplicatedControlPlane, SystemMonitor, TenantConfig, TicketStatus, WorkflowStatus,
+    ReplicatedControlPlane, SloClass, SystemMonitor, TenantConfig, TicketStatus, WorkflowStatus,
 };
 use qonductor::scheduler::ScheduleTrigger;
 use rand::rngs::StdRng;
@@ -201,6 +201,105 @@ fn minority_store_replica_churn_preserves_weighted_fairness() {
     plane.crash_leader();
     plane.failover().expect("failover succeeds after churn");
     assert_eq!(plane.state_digest(), digest);
+}
+
+/// Drive one fixed mixed workload — registrations (bulk + SLO), submissions,
+/// an escalating admission pass, a batch dispatch, completions — against a
+/// seeded plane. Shared by the journal-equivalence gate below.
+fn drive_fixed_workload(plane: &mut ReplicatedControlPlane) {
+    let mut fleet = small_fleet(93);
+    let scheduler = small_scheduler(16, 8, 800);
+    let bulk = plane.register_tenant(2).unwrap();
+    let slo = plane
+        .register_tenant_with_slo(TenantConfig::weighted(1), SloClass::with_deadline(20.0))
+        .unwrap();
+    for i in 0..6 {
+        plane.submit(bulk, feasible_spec(&fleet, 5, 4.0), i as f64 * 0.1).unwrap();
+    }
+    let urgent = plane.submit(slo, feasible_spec(&fleet, 5, 4.0), 1.0).unwrap();
+    // At t=2 the interval+margin horizon (32 s) overshoots the deadline at
+    // 21: the SLO ticket escalates, then the DRR pass admits the rest — an
+    // admission cycle with both event kinds in one staged batch.
+    let admitted = plane.admit(2.0).unwrap();
+    assert_eq!(admitted.first().map(|&(t, _)| t), Some(urgent), "escalation admits first");
+    plane.try_dispatch(31.0, &scheduler, &mut fleet).unwrap().expect("trigger fires");
+    let mut rng = StdRng::seed_from_u64(7);
+    fleet.advance_to(1e5, &mut rng);
+    let done = plane.drain_completions(&mut fleet);
+    assert!(!done.is_empty(), "the batch must complete");
+    plane.note_completions(&done).unwrap();
+}
+
+/// The CI journal-equivalence gate: on a fixed seed, the group-commit path
+/// and the per-event path journal byte-identical event sequences at the same
+/// indices, and leave byte-identical control-plane states. Replay cannot
+/// tell which path wrote the log.
+#[test]
+fn group_commit_and_per_event_paths_write_identical_journals() {
+    let trigger = ScheduleTrigger::new(100, 30.0).with_slo_margin(2.0);
+    let mut grouped = ReplicatedControlPlane::new(trigger, 1, 93);
+    let mut per_event = ReplicatedControlPlane::new(trigger, 1, 93);
+    per_event.set_group_commit(false);
+    assert!(grouped.group_commit());
+    assert!(!per_event.group_commit());
+
+    drive_fixed_workload(&mut grouped);
+    drive_fixed_workload(&mut per_event);
+
+    let grouped_entries = grouped.log().entries_from(0);
+    let per_event_entries = per_event.log().entries_from(0);
+    assert!(grouped_entries.len() > 4, "the workload journals a non-trivial sequence");
+    assert_eq!(grouped_entries.len(), per_event_entries.len());
+    for ((index_a, event_a), (index_b, event_b)) in
+        grouped_entries.iter().zip(per_event_entries.iter())
+    {
+        assert_eq!(index_a, index_b);
+        assert_eq!(event_a.encode(), event_b.encode(), "journal bytes diverged at {index_a}");
+    }
+    assert_eq!(grouped.encode_state(), per_event.encode_state(), "states diverged");
+    assert_eq!(grouped.state_digest(), per_event.state_digest(), "digests diverged");
+}
+
+/// The crash-between-stage-and-commit window of group commit: the quorum dies
+/// after an admission cycle's events are staged but before the batched append
+/// commits. Nothing may land — no prefix of the batch, no local state change
+/// — and a recovery + failover replays to exactly the pre-batch bytes.
+#[test]
+fn a_crash_between_stage_and_commit_replays_to_the_pre_batch_state() {
+    let fleet = small_fleet(94);
+    let trigger = ScheduleTrigger::new(100, 30.0).with_slo_margin(2.0);
+    let mut plane = ReplicatedControlPlane::new(trigger, 1, 94);
+    let bulk = plane.register_tenant(2).unwrap();
+    let slo = plane
+        .register_tenant_with_slo(TenantConfig::weighted(1), SloClass::with_deadline(20.0))
+        .unwrap();
+    for i in 0..4 {
+        plane.submit(bulk, feasible_spec(&fleet, 5, 4.0), i as f64 * 0.1).unwrap();
+    }
+    plane.submit(slo, feasible_spec(&fleet, 5, 4.0), 1.0).unwrap();
+    let pre_batch_state = plane.encode_state();
+    let pre_batch_len = plane.log().len();
+
+    // Kill the quorum; the staged batch (escalation + admission pass) must
+    // fail its single commit round and leave no trace, locally or durably.
+    plane.store().crash_replica(0);
+    plane.store().crash_replica(1);
+    assert_eq!(plane.admit(2.0), Err(StoreError::NoQuorum.into()));
+    assert_eq!(plane.encode_state(), pre_batch_state, "the failed batch mutated local state");
+    assert_eq!(plane.log().len(), pre_batch_len, "the failed batch left a journal prefix");
+
+    // Recover the store, crash the leader, and replay: the rebuilt state is
+    // the pre-batch bytes.
+    plane.store().recover_replica(0);
+    plane.store().recover_replica(1);
+    plane.crash_leader();
+    plane.failover().expect("failover succeeds");
+    assert_eq!(plane.encode_state(), pre_batch_state, "replay must land on the pre-batch state");
+
+    // The retried cycle commits at the same indices and admits everything.
+    let admitted = plane.admit(2.0).unwrap();
+    assert_eq!(admitted.len(), 5, "the retried admission admits the full backlog");
+    assert!(plane.log().len() > pre_batch_len);
 }
 
 #[test]

@@ -12,7 +12,8 @@ use qonductor::backend::{
 };
 use qonductor::circuit::{generators, Circuit, CircuitMetrics};
 use qonductor::core::{
-    JobManager, JobTicket, ReplicatedControlPlane, SubmissionService, TenantConfig, TicketStatus,
+    JobManager, JobTicket, ReplicatedControlPlane, SloClass, SubmissionService, TenantConfig,
+    TicketStatus,
 };
 use qonductor::mitigation::{fold_circuit, MitigationCost};
 use qonductor::scheduler::{
@@ -633,6 +634,10 @@ proptest! {
 /// One step of the replicated-control-plane property run.
 #[derive(Debug, Clone, Copy)]
 enum ControlOp {
+    /// Register a fresh tenant mid-run (journaled; with `slo_deadline_s` the
+    /// tenant lands on the submission service's SLO index — the active-ring /
+    /// SLO-index consistency invariant must hold through it and its replay).
+    Register { weight: u32, slo_deadline_s: Option<f64> },
     /// Submit a job for tenant `tenant_index` (infeasible if `qubits` exceeds
     /// every QPU, exercising the bounded-retry rejection path on replay).
     Submit { tenant_index: usize, qubits: u32 },
@@ -654,13 +659,23 @@ enum ControlOp {
 /// `crash_at` is `Some(k)`, the leader is killed and failed over right before
 /// op `k` (the journal then holds exactly the events of `log[..k]`, and the
 /// run continues by appending — i.e. replaying — `log[k..]`). Returns the
-/// final state digest, every ticket's final status, and whether each failover
-/// rebuilt the pre-crash state byte for byte.
+/// final encoded state (the byte oracle), every ticket's final status, and
+/// whether each failover rebuilt the pre-crash state byte for byte. The
+/// derived admission indices are checked for consistency after every op.
 fn run_control_ops(
     seed: u64,
     ops: &[ControlOp],
     crash_at: Option<usize>,
 ) -> (String, Vec<Option<TicketStatus>>, bool) {
+    // The derived-index invariant (active ring ⇔ queue/deficit, SLO index ⇔
+    // finite-deadline class, O(1) queue counter) must hold after *every*
+    // op, crash, and replay — not just at the end.
+    fn indices_hold(plane: &ReplicatedControlPlane) {
+        assert!(
+            plane.submissions().indices_consistent(),
+            "derived admission indices diverged from the tenant map"
+        );
+    }
     const QUEUE_LIMIT: usize = 5;
     const INTERVAL_S: f64 = 40.0;
     let mut fleet = common::small_fleet(seed ^ 0xF1EE);
@@ -671,7 +686,7 @@ fn run_control_ops(
         1,
         seed,
     );
-    let tenants: Vec<_> = (1..=3u32)
+    let mut tenants: Vec<_> = (1..=3u32)
         .map(|w| {
             plane
                 .register_tenant_with(TenantConfig { weight: w, max_in_flight: 16, max_retries: 1 })
@@ -684,9 +699,13 @@ fn run_control_ops(
 
     let crash = |plane: &mut ReplicatedControlPlane, matched: &mut bool| {
         let digest = plane.state_digest();
+        let oracle = plane.encode_state();
         plane.crash_leader();
         plane.failover().expect("a majority of control replicas survives");
-        *matched &= plane.state_digest() == digest;
+        // Byte exactness via the encode_state oracle AND fingerprint
+        // agreement of the incremental digest.
+        *matched &= plane.state_digest() == digest && plane.encode_state() == oracle;
+        indices_hold(plane);
     };
     let drive = |plane: &mut ReplicatedControlPlane,
                  fleet: &mut Fleet,
@@ -706,6 +725,16 @@ fn run_control_ops(
             crash(&mut plane, &mut rebuilds_matched);
         }
         match *op {
+            ControlOp::Register { weight, slo_deadline_s } => {
+                let config = TenantConfig { weight, max_in_flight: 16, max_retries: 1 };
+                let tenant = match slo_deadline_s {
+                    Some(deadline_s) => plane
+                        .register_tenant_with_slo(config, SloClass::with_deadline(deadline_s))
+                        .expect("quorum"),
+                    None => plane.register_tenant_with(config).expect("quorum"),
+                };
+                tenants.push(tenant);
+            }
             ControlOp::Submit { tenant_index, qubits } => {
                 let spec = common::feasible_spec(&fleet, qubits, 5.0);
                 let tenant = tenants[tenant_index % tenants.len()];
@@ -722,6 +751,7 @@ fn run_control_ops(
                 plane.release_qpu(qpu_index % fleet.members().len()).expect("quorum");
             }
         }
+        indices_hold(&plane);
     }
     if crash_at == Some(ops.len()) {
         crash(&mut plane, &mut rebuilds_matched);
@@ -736,8 +766,9 @@ fn run_control_ops(
     fleet.advance_to(t + 1e6, &mut rng);
     let done = plane.drain_completions(&mut fleet);
     plane.note_completions(&done).expect("quorum");
+    indices_hold(&plane);
     let statuses = tickets.iter().map(|&ticket| plane.poll(ticket)).collect();
-    (plane.state_digest(), statuses, rebuilds_matched)
+    (plane.encode_state(), statuses, rebuilds_matched)
 }
 
 proptest! {
@@ -763,12 +794,21 @@ proptest! {
         let ops: Vec<ControlOp> = (0..num_ops)
             .map(|_| {
                 let roll: f64 = rng.gen_range(0.0..1.0);
-                if roll < 0.55 {
+                if roll < 0.5 {
                     ControlOp::Submit {
-                        tenant_index: rng.gen_range(0..3),
+                        tenant_index: rng.gen_range(0..6),
                         // ~10% of submissions are wider than every QPU, so
                         // replay also covers rejection + bounded retry.
                         qubits: if rng.gen_bool(0.1) { 40 } else { rng.gen_range(2..=20) },
+                    }
+                } else if roll < 0.57 {
+                    // Mid-run registrations, half carrying an SLO class, so
+                    // the SLO index and active ring churn under replay.
+                    ControlOp::Register {
+                        weight: rng.gen_range(1..=3),
+                        slo_deadline_s: rng
+                            .gen_bool(0.5)
+                            .then(|| rng.gen_range(20.0f64..200.0)),
                     }
                 } else if roll < 0.8 {
                     ControlOp::Drive { dt_s: rng.gen_range(1.0..50.0) }
